@@ -1,0 +1,185 @@
+//! Roofline latency models for the CPU/GPU comparison platforms.
+//!
+//! `latency = overhead + max(ops / (peak · efficiency), bytes / bandwidth)`
+//!
+//! The models exist to *sanity-check* the published Table III baselines
+//! (the tables themselves quote the published numbers): given a model's
+//! op and byte counts, [`PlatformModel::implied_efficiency`] recovers
+//! the compute efficiency a published latency corresponds to — small
+//! transformer inference on a big GPU is overwhelmingly launch-overhead
+//! bound, which the paper's anomalously slow GPU rows (147 ms on a Titan
+//! XP) make vivid.
+
+/// A CPU or GPU platform's roofline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformModel {
+    /// Name as Table III spells it.
+    pub name: &'static str,
+    /// Core clock in GHz (as reported in the paper's frequency column).
+    pub freq_ghz: f64,
+    /// Peak throughput in GOPS for the relevant precision.
+    pub peak_gops: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_gbps: f64,
+    /// Fixed per-inference overhead in ms (framework dispatch, kernel
+    /// launches); dominates tiny models.
+    pub overhead_ms: f64,
+    /// Achievable fraction of peak on dense transformer kernels.
+    pub efficiency: f64,
+}
+
+impl PlatformModel {
+    /// Intel i5-5257U (2-core Broadwell, 2.7 GHz) — ~170 GFLOPS fp32 AVX2.
+    #[must_use]
+    pub const fn i5_5257u() -> Self {
+        Self {
+            name: "Intel i5-5257U CPU",
+            freq_ghz: 2.7,
+            peak_gops: 170.0,
+            mem_gbps: 25.6,
+            overhead_ms: 0.05,
+            efficiency: 0.25,
+        }
+    }
+
+    /// Intel i5-4460 (4-core Haswell, 3.2 GHz).
+    #[must_use]
+    pub const fn i5_4460() -> Self {
+        Self {
+            name: "Intel i5-4460 CPU",
+            freq_ghz: 3.2,
+            peak_gops: 410.0,
+            mem_gbps: 25.6,
+            overhead_ms: 0.05,
+            efficiency: 0.25,
+        }
+    }
+
+    /// NVIDIA Jetson TX2 (integrated Pascal, 1.3 GHz) — ~1.3 TFLOPS fp16.
+    #[must_use]
+    pub const fn jetson_tx2() -> Self {
+        Self {
+            name: "Jetson TX2 GPU",
+            freq_ghz: 1.3,
+            peak_gops: 1330.0,
+            mem_gbps: 59.7,
+            overhead_ms: 0.2,
+            efficiency: 0.30,
+        }
+    }
+
+    /// NVIDIA Titan XP (Pascal, 1.4 GHz) — 12.1 TFLOPS fp32.
+    #[must_use]
+    pub const fn titan_xp() -> Self {
+        Self {
+            name: "NVIDIA Titan XP GPU",
+            freq_ghz: 1.4,
+            peak_gops: 12_100.0,
+            mem_gbps: 547.0,
+            overhead_ms: 0.8,
+            efficiency: 0.35,
+        }
+    }
+
+    /// NVIDIA RTX 3060 (Ampere, boost ~1.8 GHz; the paper lists 1.3).
+    #[must_use]
+    pub const fn rtx_3060() -> Self {
+        Self {
+            name: "NVIDIA RTX 3060 GPU",
+            freq_ghz: 1.3,
+            peak_gops: 12_700.0,
+            mem_gbps: 360.0,
+            overhead_ms: 0.5,
+            efficiency: 0.35,
+        }
+    }
+
+    /// All Table III platforms.
+    #[must_use]
+    pub fn all() -> Vec<PlatformModel> {
+        vec![
+            Self::i5_5257u(),
+            Self::i5_4460(),
+            Self::jetson_tx2(),
+            Self::titan_xp(),
+            Self::rtx_3060(),
+        ]
+    }
+
+    /// Roofline latency in ms for a workload of `ops` operations touching
+    /// `bytes` bytes of memory.
+    #[must_use]
+    pub fn latency_ms(&self, ops: u64, bytes: u64) -> f64 {
+        let compute_s = ops as f64 / (self.peak_gops * 1e9 * self.efficiency);
+        let memory_s = bytes as f64 / (self.mem_gbps * 1e9);
+        self.overhead_ms + compute_s.max(memory_s) * 1e3
+    }
+
+    /// The compute efficiency a *published* latency implies (after
+    /// subtracting the overhead floor), clamped to [0, 1]. Tiny values
+    /// flag framework-bound measurements.
+    #[must_use]
+    pub fn implied_efficiency(&self, ops: u64, published_ms: f64) -> f64 {
+        let avail_s = ((published_ms - self.overhead_ms) / 1e3).max(1e-12);
+        (ops as f64 / (self.peak_gops * 1e9) / avail_s).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_bandwidth_never_hurts() {
+        let mut fast = PlatformModel::titan_xp();
+        fast.mem_gbps *= 2.0;
+        let ops = 1_000_000_000;
+        let bytes = 2_000_000_000;
+        assert!(fast.latency_ms(ops, bytes) <= PlatformModel::titan_xp().latency_ms(ops, bytes));
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_models() {
+        let p = PlatformModel::titan_xp();
+        let tiny = p.latency_ms(700_000, 100_000);
+        assert!((tiny - p.overhead_ms).abs() < 0.01, "tiny model ≈ overhead, got {tiny}");
+    }
+
+    #[test]
+    fn compute_bound_large_models() {
+        let p = PlatformModel::i5_5257u();
+        let big = p.latency_ms(100_000_000_000, 1_000_000);
+        // 100 Gop at 42.5 effective GOPS ≈ 2350 ms
+        assert!(big > 2000.0 && big < 3000.0, "big = {big}");
+    }
+
+    #[test]
+    fn implied_efficiency_flags_slow_published_numbers() {
+        // Table III #4: 147 ms on a Titan XP for a ~1.2 Gop model implies
+        // ~0.01 % of peak — framework-bound, as the reproduction notes.
+        let p = PlatformModel::titan_xp();
+        let eff = p.implied_efficiency(1_200_000_000, 147.0);
+        assert!(eff < 0.001, "implied eff = {eff}");
+    }
+
+    #[test]
+    fn published_cpu_rows_are_roofline_plausible() {
+        // #1: i5-5257U at 3.54 ms for ~0.35 Gop ⇒ implied ~60 % of peak —
+        // right at the plausibility boundary (an optimized BLAS path, or a
+        // slightly smaller actual model). The check is that the published
+        // number does not require *super*-peak throughput.
+        let p = PlatformModel::i5_5257u();
+        let eff = p.implied_efficiency(354_000_000, 3.54);
+        assert!(eff > 0.01 && eff <= 1.0, "eff = {eff}");
+    }
+
+    #[test]
+    fn gpu_faster_than_cpu_on_big_dense_work() {
+        let ops = 50_000_000_000u64;
+        let bytes = 500_000_000u64;
+        assert!(
+            PlatformModel::titan_xp().latency_ms(ops, bytes)
+                < PlatformModel::i5_4460().latency_ms(ops, bytes)
+        );
+    }
+}

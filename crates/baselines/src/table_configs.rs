@@ -1,0 +1,151 @@
+//! Model-configuration assumptions behind Tables II and III.
+//!
+//! The paper states that Table II/III's ProTEA rows were produced by
+//! runtime-reprogramming the accelerator "to align with the architectures
+//! in the referenced studies", but does not publish the resulting
+//! `(d_model, h, N, SL)` tuples. We reconstruct them by anchoring on the
+//! *reported ProTEA latency* of each row (latency is the measured
+//! quantity; GOPS is derived from it): each config below is the smallest
+//! natural encoder shape whose simulated latency on the paper-default
+//! synthesis lands on the published value. EXPERIMENTS.md records the
+//! residuals.
+
+use protea_model::EncoderConfig;
+use crate::published::{PublishedAccelerator, PublishedBaseline};
+
+/// One Table II row pair: a comparator + the matched ProTEA config.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The published comparator.
+    pub comparator: PublishedAccelerator,
+    /// The reconstructed model configuration ProTEA was programmed to.
+    pub protea_config: EncoderConfig,
+    /// ProTEA's reported latency for this row (ms).
+    pub protea_reported_latency_ms: f64,
+    /// ProTEA's reported GOPS for this row.
+    pub protea_reported_gops: f64,
+    /// ProTEA's reported (GOPS/DSP)×1000.
+    pub protea_reported_gops_per_dsp: f64,
+}
+
+/// One Table III row group: a model config with its published baselines.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The paper's model number (1–4).
+    pub model: u32,
+    /// The reconstructed configuration.
+    pub config: EncoderConfig,
+    /// Published CPU/GPU results for this model.
+    pub baselines: Vec<PublishedBaseline>,
+    /// ProTEA's reported latency (ms).
+    pub protea_reported_latency_ms: f64,
+}
+
+/// The reconstructed model configuration for each paper "model #".
+#[must_use]
+pub fn model_config(model: u32) -> EncoderConfig {
+    match model {
+        // Model #1 ([21]): ProTEA reported 4.48 ms — a single BERT-width
+        // layer over a short sequence.
+        1 => EncoderConfig::new(768, 8, 1, 12),
+        // Model #2 ([23]): the LHC trigger network — tiny d_model, one
+        // layer, short constituent list. ProTEA reported 0.425 ms.
+        2 => EncoderConfig::new(64, 8, 1, 8),
+        // Model #3 ([25]): EFA-Trans's encoder — ProTEA reported 5.18 ms.
+        3 => EncoderConfig::new(768, 8, 1, 14),
+        // Model #4 ([28]): the co-optimization framework's BERT workload
+        // — ProTEA reported 9.12 ms.
+        4 => EncoderConfig::new(768, 8, 1, 24),
+        _ => panic!("the paper defines models 1–4, got {model}"),
+    }
+}
+
+/// Table II row pairs in the paper's order.
+#[must_use]
+pub fn table2_rows() -> Vec<Table2Row> {
+    let comps = PublishedAccelerator::table2();
+    let reported = [
+        // (model#, latency, gops, gops/dsp×1000) of the ProTEA rows.
+        (1u32, 4.48, 79.0, 22.0),
+        (2, 0.425, 0.0017, 0.45e-3),
+        (3, 5.18, 83.0, 23.0),
+        (4, 9.12, 132.0, 37.0),
+        (1, 4.48, 79.0, 22.0), // vs FTRANS the paper reuses model #1's row
+    ];
+    comps
+        .into_iter()
+        .zip(reported)
+        .map(|(comparator, (m, lat, gops, gpd))| Table2Row {
+            comparator,
+            protea_config: model_config(m),
+            protea_reported_latency_ms: lat,
+            protea_reported_gops: gops,
+            protea_reported_gops_per_dsp: gpd,
+        })
+        .collect()
+}
+
+/// Table III row groups in the paper's order.
+#[must_use]
+pub fn table3_rows() -> Vec<Table3Row> {
+    let all = PublishedBaseline::table3();
+    let protea = [(1u32, 4.48), (2, 0.425), (3, 5.18), (4, 9.12)];
+    protea
+        .into_iter()
+        .map(|(model, lat)| Table3Row {
+            model,
+            config: model_config(model),
+            baselines: all.iter().copied().filter(|b| b.model == model).collect(),
+            protea_reported_latency_ms: lat,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_models_all_within_synthesized_capacity() {
+        for m in 1..=4 {
+            let c = model_config(m);
+            assert!(c.d_model <= 768 && c.heads <= 8 && c.seq_len <= 128, "model {m}");
+        }
+    }
+
+    #[test]
+    fn table2_pairs_line_up() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[2].comparator.cite, "[25]");
+        assert!((rows[2].protea_reported_latency_ms - 5.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table3_groups_have_their_baselines() {
+        let rows = table3_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].baselines.len(), 2); // CPU + Jetson
+        assert_eq!(rows[1].baselines.len(), 1); // Titan XP only
+        assert_eq!(rows[3].baselines[0].latency_ms, 147.0);
+    }
+
+    #[test]
+    fn paper_speedups_recoverable_from_reported_numbers() {
+        let rows = table3_rows();
+        // Model #2: 1.062 / 0.425 ≈ 2.5× (the paper's headline GPU win).
+        let m2 = &rows[1];
+        let speedup = m2.baselines[0].latency_ms / m2.protea_reported_latency_ms;
+        assert!((speedup - 2.5).abs() < 0.05, "speedup = {speedup}");
+        // Model #4: 147 / 9.12 ≈ 16×.
+        let m4 = &rows[3];
+        let s4 = m4.baselines[0].latency_ms / m4.protea_reported_latency_ms;
+        assert!((s4 - 16.1).abs() < 0.2, "speedup = {s4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "models 1–4")]
+    fn unknown_model_rejected() {
+        let _ = model_config(9);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the native CPU baseline: real measured
+//! latencies for the quantized encoder on this machine, serial vs
+//! rayon-parallel — the one row of the comparison story that is
+//! genuinely executed rather than published or simulated.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use protea_baselines::NativeCpuEngine;
+use protea_fixed::Quantizer;
+use protea_model::{EncoderConfig, EncoderWeights, QuantSchedule, QuantizedEncoder};
+use protea_tensor::Matrix;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_forward");
+    g.sample_size(10);
+    for &(d, h, n, sl, tag) in &[
+        (64usize, 8usize, 1usize, 8usize, "model2_hep"),
+        (256, 8, 2, 32, "small"),
+        (768, 8, 1, 12, "model1_bertslice"),
+    ] {
+        let cfg = EncoderConfig::new(d, h, n, sl);
+        let enc = QuantizedEncoder::from_float(
+            &EncoderWeights::random(cfg, 5),
+            QuantSchedule::paper(),
+        );
+        let x = Matrix::from_fn(sl, d, |r, cc| ((r * 31 + cc * 7) % 127) as i8);
+        g.bench_with_input(BenchmarkId::new("golden_serial", tag), &d, |b, _| {
+            b.iter(|| black_box(enc.forward(&x)))
+        });
+        let native = NativeCpuEngine::new(&enc);
+        g.bench_with_input(BenchmarkId::new("rayon_parallel", tag), &d, |b, _| {
+            b.iter(|| black_box(native.forward(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let data: Vec<f32> = (0..768 * 768).map(|i| ((i % 977) as f32 - 488.0) / 977.0).collect();
+    c.bench_function("quantize_768x768", |b| {
+        b.iter(|| Quantizer::default().quantize(black_box(&data)))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_quantization);
+criterion_main!(benches);

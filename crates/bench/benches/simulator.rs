@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the simulator itself: how fast the harness
+//! regenerates the paper's numbers (timing-only analysis, full
+//! functional co-simulation, synthesis sweeps, and the event-driven
+//! double-buffer scheduler).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use protea_core::{Accelerator, RuntimeConfig, SynthesisConfig};
+use protea_hwsim::Cycles;
+use protea_mem::overlap::simulate_double_buffered;
+use protea_model::{EncoderConfig, EncoderWeights, QuantSchedule, QuantizedEncoder};
+use protea_platform::FpgaDevice;
+use protea_tensor::Matrix;
+
+fn bench_timing_report(c: &mut Criterion) {
+    let syn = SynthesisConfig::paper_default();
+    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    acc.program(
+        RuntimeConfig::from_model(&EncoderConfig::paper_test1(), &syn).unwrap(),
+    )
+    .unwrap();
+    c.bench_function("timing_report_test1", |b| {
+        b.iter(|| black_box(acc.timing_report()).total)
+    });
+}
+
+fn bench_synthesize(c: &mut Criterion) {
+    let device = FpgaDevice::alveo_u55c();
+    c.bench_function("synthesize_paper_default", |b| {
+        b.iter(|| black_box(SynthesisConfig::paper_default().synthesize(&device)).fmax_mhz)
+    });
+}
+
+fn bench_functional_cosim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_cosim");
+    g.sample_size(10);
+    for &(d, h, sl) in &[(64usize, 4usize, 8usize), (128, 8, 16)] {
+        let cfg = EncoderConfig::new(d, h, 1, sl);
+        let syn = SynthesisConfig::paper_default();
+        let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+        acc.load_weights(QuantizedEncoder::from_float(
+            &EncoderWeights::random(cfg, 1),
+            QuantSchedule::paper(),
+        ));
+        let x = Matrix::from_fn(sl, d, |r, cc| ((r * 3 + cc) % 100) as i8);
+        g.bench_with_input(BenchmarkId::new("run", format!("d{d}_sl{sl}")), &d, |b, _| {
+            b.iter(|| black_box(acc.run(&x)).latency_ms)
+        });
+    }
+    g.finish();
+}
+
+fn bench_overlap_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap_scheduler");
+    for &n in &[36usize, 144, 1000] {
+        let schedule: Vec<(Cycles, Cycles)> = (0..n)
+            .map(|i| (Cycles(500 + (i as u64 * 37) % 300), Cycles(600 + (i as u64 * 53) % 400)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("accesses", n), &n, |b, _| {
+            b.iter(|| simulate_double_buffered(black_box(&schedule)).total)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timing_report,
+    bench_synthesize,
+    bench_functional_cosim,
+    bench_overlap_scheduler
+);
+criterion_main!(benches);

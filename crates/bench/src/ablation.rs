@@ -1,0 +1,350 @@
+//! Ablations of the paper's design choices (DESIGN.md §4).
+//!
+//! * **Tiling** — what happens without it: a no-tiling design point
+//!   (one tile = the whole matrix) demands more LUTs than any Alveo has;
+//!   tiling is what makes the design synthesizable at all.
+//! * **Overlap** — double-buffered load/compute vs serialized.
+//! * **Head parallelism** — h parallel head engines (ProTEA) vs a single
+//!   shared attention engine (the Lu et al. [18] baseline structure).
+//! * **Initiation intervals** — the paper-calibrated engine IIs vs an
+//!   idealized II=1 datapath.
+
+use protea_core::{Accelerator, RuntimeConfig, SynthesisConfig, TimingPreset};
+use protea_model::EncoderConfig;
+use protea_platform::{FpgaDevice, ResourceVector};
+
+/// Tiling ablation result.
+#[derive(Debug, Clone)]
+pub struct TilingAblation {
+    /// Tile counts (MHA, FFN).
+    pub tiles: (usize, usize),
+    /// Resource demand.
+    pub resources: ResourceVector,
+    /// Whether it fits the U55C.
+    pub feasible: bool,
+    /// Latency if feasible (test #1 workload).
+    pub latency_ms: Option<f64>,
+}
+
+/// Compare tiled designs against the untiled extreme.
+#[must_use]
+pub fn tiling() -> Vec<TilingAblation> {
+    let device = FpgaDevice::alveo_u55c();
+    let workload = EncoderConfig::paper_test1();
+    [(1usize, 1usize), (3, 2), (6, 3), (12, 6), (24, 6), (48, 6)]
+        .into_iter()
+        .map(|(tm, tf)| {
+            let syn = SynthesisConfig::with_tile_counts(tm, tf);
+            let design = syn.synthesize(&device);
+            let latency_ms = design.feasible.then(|| {
+                let mut acc = Accelerator::new(syn, &device);
+                acc.program(RuntimeConfig::from_model(&workload, &syn).unwrap()).unwrap();
+                acc.timing_report().latency_ms()
+            });
+            TilingAblation {
+                tiles: (tm, tf),
+                resources: design.resources,
+                feasible: design.feasible,
+                latency_ms,
+            }
+        })
+        .collect()
+}
+
+/// Overlap ablation: (overlapped_ms, serialized_ms) for a workload.
+#[must_use]
+pub fn overlap(cfg: &EncoderConfig) -> (f64, f64) {
+    let syn = SynthesisConfig::paper_default();
+    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    acc.program(RuntimeConfig::from_model(cfg, &syn).unwrap()).unwrap();
+    let with = acc.timing_report().latency_ms();
+    acc.set_overlap(false);
+    let without = acc.timing_report().latency_ms();
+    (with, without)
+}
+
+/// Head-parallelism ablation result.
+#[derive(Debug, Clone)]
+pub struct HeadsAblation {
+    /// Synthesized head engines.
+    pub heads: usize,
+    /// DSPs consumed.
+    pub dsps: u64,
+    /// Latency of a `(768, h, 12, 64)` model (ms).
+    pub latency_ms: f64,
+}
+
+/// Parallel head engines vs a shared engine bank: the same 8-head model,
+/// but with only `e` head engines the MHA phases serialize `8/e` rounds
+/// (Lu et al. [18] built a single-head engine — `e = 1`). The FFN
+/// engines are unaffected; DSPs scale with the head-engine count.
+#[must_use]
+pub fn heads() -> Vec<HeadsAblation> {
+    let device = FpgaDevice::alveo_u55c();
+    let syn = SynthesisConfig::paper_default();
+    let cfg = EncoderConfig::paper_test1();
+    let mut acc = Accelerator::new(syn, &device);
+    acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+    let report = acc.timing_report();
+    let mha_phases = ["QKV_CE", "QK_CE", "Softmax", "SV_CE"];
+    let mha: u64 = report
+        .phases
+        .iter()
+        .filter(|p| mha_phases.contains(&p.name))
+        .map(|p| p.cycles.get())
+        .sum();
+    let rest = report.total.get() - mha;
+    // Per-head engine DSP cost (QKV + QK + SV PEs for one head).
+    let per_head_dsps: u64 =
+        syn.pe_breakdown().iter().take(3).map(|(_, n)| n / syn.heads as u64).sum();
+    let base_dsps = acc.design().resources.dsps - per_head_dsps * syn.heads as u64;
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|e| {
+            let rounds = (syn.heads / e) as u64;
+            let cycles = rest + mha * rounds;
+            let ms = protea_hwsim::Cycles(cycles)
+                .to_millis(protea_hwsim::Frequency::mhz(report.fmax_mhz));
+            HeadsAblation {
+                heads: e,
+                dsps: base_dsps + per_head_dsps * e as u64,
+                latency_ms: ms,
+            }
+        })
+        .collect()
+}
+
+/// HBM channel-sharing ablation: the QKV phase's per-tile load when the
+/// 8 head DMAs share one channel (round-robin arbitrated) vs dedicated
+/// channels. Returns `(dedicated_cycles, shared_cycles)` per tile for
+/// the test #1 geometry — the mechanism candidate for the Table I #9
+/// residual (EXPERIMENTS.md).
+#[must_use]
+pub fn channel_sharing() -> (u64, u64) {
+    use protea_mem::arbiter::arbitrate_round_robin;
+    use protea_mem::hbm::bounded_transfer_cycles;
+    use protea_mem::{AxiPort, ChannelShare};
+    let syn = SynthesisConfig::paper_default();
+    let port = AxiPort::new(256);
+    let device = FpgaDevice::alveo_u55c();
+    let share = ChannelShare::of(&device.memory, 1, 191.0e6);
+    // per head, per tile: 3 weight strips (96×64) + input strip (64×64)
+    let per_head_bytes = 3 * 96 * 64 + 64 * 64;
+    let dedicated = bounded_transfer_cycles(&port, &share, per_head_bytes).get();
+    let shared =
+        arbitrate_round_robin(&vec![per_head_bytes; syn.heads], &port, &share).total.get();
+    (dedicated, shared)
+}
+
+/// Batch-throughput ablation: per-sequence latency at batch sizes 1–16
+/// (weight-stationary batching amortizes tile loads). Returns
+/// `(batch, per_seq_ms)` pairs for a load-sensitive workload.
+#[must_use]
+pub fn batching() -> Vec<(usize, f64)> {
+    let syn = SynthesisConfig::paper_default();
+    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    acc.program(
+        RuntimeConfig::from_model(&EncoderConfig::new(768, 8, 12, 32), &syn).unwrap(),
+    )
+    .unwrap();
+    [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|b| (b, acc.timing_report_batched(b).latency_ms() / b as f64))
+        .collect()
+}
+
+/// Bit-width ablation: the paper notes the design "can be easily
+/// modified in the HLS code" for wider data, "which will impact both
+/// resource utilization and latency". Synthesize the same architecture
+/// at 8 and 16 bits and report `(bits, bram18, lutram_luts_total,
+/// latency_ms, feasible)` for the test #1 workload — the doubled weight
+/// traffic shows up wherever loads are exposed.
+#[must_use]
+pub fn bitwidth() -> Vec<(u32, u64, u64, Option<f64>, bool)> {
+    let device = FpgaDevice::alveo_u55c();
+    let workload = EncoderConfig::paper_test1();
+    [8u32, 16]
+        .into_iter()
+        .map(|bits| {
+            let syn = SynthesisConfig { data_bits: bits, ..SynthesisConfig::paper_default() };
+            let design = syn.synthesize(&device);
+            let mem_luts: u64 = syn.arrays().iter().map(|a| a.bind().lutram_luts).sum();
+            let latency = design.feasible.then(|| {
+                let mut acc = Accelerator::new(syn, &device);
+                acc.program(RuntimeConfig::from_model(&workload, &syn).unwrap()).unwrap();
+                acc.timing_report().latency_ms()
+            });
+            (bits, design.resources.bram18, mem_luts, latency, design.feasible)
+        })
+        .collect()
+}
+
+/// Sparse-exploitation ablation: prune a model three ways at the same
+/// target sparsity and price the FFN stages under tile-skipping and
+/// balanced-row hardware. Returns
+/// `(scheme name, measured sparsity, tile-skip saving, balanced saving)`.
+#[must_use]
+pub fn sparsity_exploitation(target: f64) -> Vec<(&'static str, f64, f64, f64)> {
+    use protea_core::SparseMode;
+    use protea_model::PruningScheme;
+    use protea_model::{EncoderWeights, QuantSchedule, QuantizedEncoder};
+    let cfg = EncoderConfig::new(768, 8, 1, 16);
+    let syn = SynthesisConfig::paper_default();
+    [
+        ("magnitude (unstructured)", PruningScheme::Magnitude),
+        ("column-balanced ([21])", PruningScheme::ColumnBalanced),
+        ("blocks 128x128 ([29]-style)", PruningScheme::Blocks(128)),
+    ]
+    .into_iter()
+    .map(|(name, scheme)| {
+        let mut w = EncoderWeights::random(cfg, 17);
+        let measured = w.prune(scheme, target);
+        let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+        acc.load_weights(QuantizedEncoder::from_float(&w, QuantSchedule::paper()));
+        let saving = |mode: SparseMode| {
+            let (dense, sparse) = acc.sparse_speedup(mode);
+            1.0 - sparse.get() as f64 / dense.get().max(1) as f64
+        };
+        (name, measured, saving(SparseMode::TileSkip), saving(SparseMode::BalancedRows))
+    })
+    .collect()
+}
+
+/// Initiation-interval ablation: paper-calibrated vs idealized timing.
+#[must_use]
+pub fn initiation_intervals() -> (f64, f64) {
+    let device = FpgaDevice::alveo_u55c();
+    let cfg = EncoderConfig::paper_test1();
+    let run = |timing: TimingPreset| -> f64 {
+        let syn = SynthesisConfig { timing, ..SynthesisConfig::paper_default() };
+        let mut acc = Accelerator::new(syn, &device);
+        acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+        acc.timing_report().latency_ms()
+    };
+    (run(TimingPreset::paper()), run(TimingPreset::ideal()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untiled_design_does_not_fit_any_alveo() {
+        let rows = tiling();
+        let untiled = &rows[0];
+        assert_eq!(untiled.tiles, (1, 1));
+        assert!(!untiled.feasible, "untiled must exceed the device");
+        assert!(untiled.resources.luts > FpgaDevice::alveo_u250().budget.luts);
+    }
+
+    #[test]
+    fn paper_tiling_is_the_fastest_feasible() {
+        let rows = tiling();
+        let best = rows
+            .iter()
+            .filter(|r| r.feasible)
+            .min_by(|a, b| a.latency_ms.unwrap().total_cmp(&b.latency_ms.unwrap()))
+            .unwrap();
+        assert_eq!(best.tiles, (12, 6));
+    }
+
+    #[test]
+    fn overlap_saves_time() {
+        let (with, without) = overlap(&EncoderConfig::paper_test1());
+        assert!(with < without);
+        // At SL=64 the design is compute-bound, so the saving is a few
+        // percent; at SL=32 loads matter more.
+        let (w32, wo32) = overlap(&EncoderConfig::new(768, 8, 12, 32));
+        assert!((wo32 - w32) / w32 > (without - with) / with * 0.8);
+    }
+
+    #[test]
+    fn more_head_engines_cost_dsps_but_cut_latency() {
+        let rows = heads();
+        for pair in rows.windows(2) {
+            assert!(pair[1].dsps > pair[0].dsps, "DSPs grow with engines");
+            assert!(
+                pair[1].latency_ms < pair[0].latency_ms,
+                "latency falls with engines: {} vs {}",
+                pair[1].latency_ms,
+                pair[0].latency_ms
+            );
+        }
+        // A single shared engine (Lu et al. structure) serializes all 8
+        // heads' MHA work; at SL=64 the FFN still dominates, so the
+        // penalty is real but bounded.
+        let h1 = &rows[0];
+        let h8 = &rows[3];
+        assert!(h1.latency_ms > 1.05 * h8.latency_ms);
+        assert!(h1.latency_ms < 2.0 * h8.latency_ms);
+    }
+
+    #[test]
+    fn channel_sharing_costs_roughly_headcount() {
+        let (dedicated, shared) = channel_sharing();
+        assert!(shared > dedicated);
+        let ratio = shared as f64 / dedicated as f64;
+        assert!((6.0..10.0).contains(&ratio), "8 masters on one channel ≈ 8×, got {ratio:.1}");
+    }
+
+    #[test]
+    fn batching_improves_per_sequence_latency_monotonically() {
+        let rows = batching();
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1,
+                "batch {} per-seq {} vs batch {} per-seq {}",
+                pair[1].0,
+                pair[1].1,
+                pair[0].0,
+                pair[0].1
+            );
+        }
+    }
+
+    #[test]
+    fn wider_data_costs_memory_and_bandwidth() {
+        let rows = bitwidth();
+        let (b8, b16) = (&rows[0], &rows[1]);
+        assert_eq!(b8.0, 8);
+        assert_eq!(b16.0, 16);
+        // memory roughly doubles (BRAM + LUTRAM combined)
+        let mem8 = b8.1 * 18 * 1024 + b8.2 * 64;
+        let mem16 = b16.1 * 18 * 1024 + b16.2 * 64;
+        assert!(
+            mem16 as f64 / mem8 as f64 > 1.6,
+            "16-bit memory {mem16} vs 8-bit {mem8}"
+        );
+        // if both fit, the 16-bit build is never faster
+        if let (Some(l8), Some(l16)) = (b8.3, b16.3) {
+            assert!(l16 >= l8);
+        }
+    }
+
+    #[test]
+    fn sparsity_exploitation_depends_on_structure() {
+        let rows = sparsity_exploitation(0.9);
+        let by_name: std::collections::HashMap<_, _> =
+            rows.iter().map(|r| (r.0, (r.2, r.3))).collect();
+        // unstructured: tile-skip ≈ nothing; balanced HW would need
+        // index decoding it can't use here either — but the balanced
+        // *model* prices trips by occupancy, so it still shrinks.
+        let (tile_unstruct, _) = by_name["magnitude (unstructured)"];
+        assert!(tile_unstruct < 0.1, "unstructured tile-skip = {tile_unstruct}");
+        // block pruning at the engine tile size: tile-skip ≈ sparsity.
+        let (tile_block, _) = by_name["blocks 128x128 ([29]-style)"];
+        assert!(tile_block > 0.6, "block tile-skip = {tile_block}");
+        // column-balanced + balanced HW recovers most of (1 − s).
+        let (_, bal_cb) = by_name["column-balanced ([21])"];
+        assert!(bal_cb > 0.6, "balanced saving = {bal_cb}");
+    }
+
+    #[test]
+    fn ideal_iis_roughly_halve_latency() {
+        let (paper, ideal) = initiation_intervals();
+        assert!(ideal < paper);
+        let ratio = paper / ideal;
+        assert!((1.5..3.0).contains(&ratio), "II ablation ratio = {ratio:.2}");
+    }
+}

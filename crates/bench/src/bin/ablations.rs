@@ -1,0 +1,157 @@
+//! Ablation studies of the paper's design choices.
+
+use protea_bench::ablation;
+use protea_bench::fmt::{num, render_table};
+use protea_model::EncoderConfig;
+
+fn main() {
+    println!("ABLATION 1 — TILING (why large matrices must be tiled)\n");
+    let rows = ablation::tiling();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} x {}", r.tiles.0, r.tiles.1),
+                r.resources.dsps.to_string(),
+                r.resources.luts.to_string(),
+                r.resources.bram18.to_string(),
+                if r.feasible { "yes".into() } else { "NO".into() },
+                r.latency_ms.map_or("-".into(), num),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Tiles (MHA x FFN)", "DSP", "LUT", "BRAM18", "Fits U55C", "Latency (ms)"],
+            &body
+        )
+    );
+
+    println!("\nABLATION 2 — LOAD/COMPUTE OVERLAP (double buffering)\n");
+    let mut body = Vec::new();
+    for cfg in [
+        EncoderConfig::paper_test1(),
+        EncoderConfig::new(768, 8, 12, 32),
+        EncoderConfig::new(256, 8, 12, 64),
+    ] {
+        let (with, without) = ablation::overlap(&cfg);
+        body.push(vec![
+            format!("d={}, SL={}", cfg.d_model, cfg.seq_len),
+            num(with),
+            num(without),
+            format!("{:.1}%", (without - with) / without * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Workload", "Overlapped (ms)", "Serialized (ms)", "Saving"], &body)
+    );
+
+    println!("\nABLATION 3 — PARALLEL HEAD ENGINES (vs a shared engine, Lu et al. [18])\n");
+    let rows = ablation::heads();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.heads.to_string(), r.dsps.to_string(), num(r.latency_ms)]
+        })
+        .collect();
+    println!("{}", render_table(&["Head engines", "DSP", "Latency (ms)"], &body));
+
+    println!("\nABLATION 4 — INITIATION INTERVALS (paper-calibrated vs ideal II=1)\n");
+    let (paper, ideal) = ablation::initiation_intervals();
+    println!("  paper-calibrated timing: {} ms", num(paper));
+    println!("  idealized (II=1, shallow pipelines): {} ms ({:.2}x)", num(ideal), paper / ideal);
+
+    println!("\nABLATION 5 — HBM CHANNEL SHARING (8 head DMAs, one QKV tile)\n");
+    let (dedicated, shared) = ablation::channel_sharing();
+    println!("  dedicated channel per head: {dedicated} cycles/tile");
+    println!(
+        "  one shared channel (round-robin): {shared} cycles/tile ({:.1}x)",
+        shared as f64 / dedicated as f64
+    );
+
+    println!("\nABLATION 6 — WEIGHT-STATIONARY BATCHING (d=768, SL=32, 12 layers)\n");
+    let rows = ablation::batching();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(b, ms)| vec![b.to_string(), num(*ms), format!("{:.2}%", (1.0 - ms / rows[0].1) * 100.0)])
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Batch", "Per-sequence latency (ms)", "Saving vs batch=1"], &body)
+    );
+
+    println!("\nABLATION 7 — DATA BIT WIDTH (the paper's 'easily modified' knob)\n");
+    let rows = ablation::bitwidth();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(bits, bram, luts, lat, feas)| {
+            vec![
+                format!("{bits}-bit fixed"),
+                bram.to_string(),
+                luts.to_string(),
+                lat.map_or("-".into(), num),
+                if *feas { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Precision", "BRAM18", "LUTRAM LUTs", "Latency (ms)", "Fits U55C"],
+            &body
+        )
+    );
+
+    println!("\nABLATION 8 — WHAT SPARSITY SUPPORT WOULD BUY (90% target, FFN stages)\n");
+    let rows = ablation::sparsity_exploitation(0.9);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, s, tile, bal)| {
+            vec![
+                (*name).to_string(),
+                format!("{:.0}%", s * 100.0),
+                format!("{:.1}%", tile * 100.0),
+                format!("{:.1}%", bal * 100.0),
+                "90.0%".into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Pruning scheme", "Sparsity", "Tile-skip saving", "Balanced-HW saving", "Paper arithmetic"],
+            &body
+        )
+    );
+
+    println!("\nENERGY (modelled power envelopes; see baselines::energy)\n");
+    use protea_baselines::PowerModel;
+    let entries = [
+        (PowerModel::protea_u55c(), 0.45, "model #2"),
+        (PowerModel::titan_xp_smallbatch(), 1.062, "model #2"),
+        (PowerModel::protea_u55c(), 4.72, "model #1"),
+        (PowerModel::jetson_tx2(), 0.673, "model #1"),
+        (PowerModel::i5_5257u(), 3.54, "model #1"),
+    ];
+    let body: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(p, lat, m)| {
+            vec![
+                p.name.to_string(),
+                m.to_string(),
+                num(*lat),
+                format!("{:.1}", p.average_watts()),
+                format!("{:.1}", p.energy_mj(*lat)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Platform", "Workload", "Latency (ms)", "Avg power (W)", "Energy (mJ)"],
+            &body
+        )
+    );
+}

@@ -1,0 +1,49 @@
+//! The GPU/FPGA batch-crossover analysis: where the Table III victories
+//! end as the batch size grows.
+
+use protea_baselines::roofline::PlatformModel;
+use protea_bench::crossover::{published_calibrated, run};
+use protea_bench::fmt::{num, render_table};
+use protea_model::EncoderConfig;
+
+fn main() {
+    println!("BATCH CROSSOVER — ProTEA vs Titan XP per-sequence latency\n");
+    for (label, cfg, published) in [
+        ("model #4 ([28], published GPU = 147 ms)", EncoderConfig::new(768, 8, 1, 24), 147.0),
+        ("model #2 ([23], published GPU = 1.062 ms)", EncoderConfig::new(64, 8, 1, 8), 1.062),
+    ] {
+        let gpu = published_calibrated(&PlatformModel::titan_xp(), published, &cfg);
+        let r = run(&cfg, &gpu);
+        println!("{label}:");
+        let body: Vec<Vec<String>> = r
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.batch.to_string(),
+                    num(p.protea_ms),
+                    num(p.gpu_ms),
+                    if p.gpu_ms < p.protea_ms { "GPU" } else { "ProTEA" }.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["Batch", "ProTEA (ms/seq)", "GPU as-published (ms/seq)", "winner"],
+                &body
+            )
+        );
+        match r.crossover_batch {
+            Some(b) => println!("crossover: the GPU overtakes at batch {b}\n"),
+            None => println!("no crossover within the sweep\n"),
+        }
+        // And the optimized-GPU caveat:
+        let opt = run(&cfg, &PlatformModel::titan_xp());
+        println!(
+            "(an optimized, non-framework-bound Titan XP deployment would win from batch {} — \
+             the Table III victories are small-batch + framework-overhead phenomena)\n",
+            opt.crossover_batch.map_or("∞".into(), |b| b.to_string())
+        );
+    }
+}

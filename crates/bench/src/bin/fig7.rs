@@ -1,0 +1,54 @@
+//! Regenerates Fig. 7: frequency and normalized latency vs tile counts.
+
+use protea_bench::fig7;
+use protea_bench::fmt::{num, render_table};
+
+fn main() {
+    let sweep = fig7::run();
+    println!("FIG. 7 — CHOOSING THE OPTIMUM TILE SIZE (test #1 workload, Alveo U55C)\n");
+    let header = [
+        "Tiles MHA",
+        "Tiles FFN",
+        "TS_MHA",
+        "TS_FFN",
+        "Fmax (MHz)",
+        "Latency (ms)",
+        "Latency (norm)",
+        "Feasible",
+    ];
+    let body: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.tiles_mha.to_string(),
+                p.tiles_ffn.to_string(),
+                (768 / p.tiles_mha).to_string(),
+                (768 / p.tiles_ffn).to_string(),
+                num(p.fmax_mhz),
+                if p.feasible { num(p.latency_ms) } else { "-".into() },
+                if p.feasible {
+                    format!("{:.2}", sweep.normalized_latency(p))
+                } else {
+                    "-".into()
+                },
+                if p.feasible { "yes" } else { "NO (over budget)" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &body));
+    let f = sweep.fmax_optimum();
+    let l = sweep.latency_optimum();
+    println!(
+        "\nHighest frequency: {} MHz at {} MHA tiles x {} FFN tiles (paper: 200 MHz at 12 x 6)",
+        num(f.fmax_mhz),
+        f.tiles_mha,
+        f.tiles_ffn
+    );
+    println!(
+        "Lowest latency:    {} ms at {} MHA tiles x {} FFN tiles (paper optimum: 12 x 6)",
+        num(l.latency_ms),
+        l.tiles_mha,
+        l.tiles_ffn
+    );
+}

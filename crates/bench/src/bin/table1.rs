@@ -1,0 +1,47 @@
+//! Regenerates Table I: runtime programmability on one synthesis.
+
+use protea_bench::fmt::{num, render_table};
+use protea_bench::table1;
+
+fn main() {
+    let rows = table1::run();
+    println!("TABLE I — OVERALL RESULTS (one synthesis: TS_MHA=64, TS_FFN=128, Alveo U55C)");
+    println!(
+        "Resources (all rows): {} DSPs, {} LUTs, {} FFs\n",
+        rows[0].dsps, rows[0].luts, rows[0].ffs
+    );
+    let header = [
+        "Test",
+        "SL",
+        "d_model",
+        "Heads",
+        "Layers",
+        "Latency sim (ms)",
+        "Latency paper (ms)",
+        "ratio",
+        "GOPS sim*",
+        "GOPS paper",
+        "GOPS (std conv)",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.test.to_string(),
+                r.config.seq_len.to_string(),
+                r.config.d_model.to_string(),
+                r.config.heads.to_string(),
+                r.config.layers.to_string(),
+                num(r.sim_latency_ms),
+                num(r.paper.latency_ms),
+                format!("{:.2}", r.latency_ratio()),
+                num(r.sim_gops_paper_conv),
+                num(r.paper.gops),
+                num(r.sim_gops_standard),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &body));
+    println!("* GOPS sim uses the paper's reverse-engineered op convention (see EXPERIMENTS.md);");
+    println!("  the last column is the standard 2-ops-per-MAC convention over all stages.");
+}

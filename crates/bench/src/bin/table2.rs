@@ -1,0 +1,71 @@
+//! Regenerates Table II: comparison with published FPGA accelerators.
+
+use protea_bench::fmt::{num, render_table};
+use protea_bench::table2;
+
+fn main() {
+    let rows = table2::run();
+    println!("TABLE II — COMPARISON WITH FPGA ACCELERATORS");
+    println!("(comparator rows are published numbers; ProTEA rows are our simulation,");
+    println!(" with the paper's reported ProTEA values alongside)\n");
+    let header = [
+        "Accelerator",
+        "Precision",
+        "FPGA",
+        "DSP",
+        "Latency (ms)",
+        "GOPS",
+        "(GOPS/DSP)x1000",
+        "Method",
+        "Sparsity",
+    ];
+    let mut body = Vec::new();
+    for r in &rows {
+        let c = &r.row.comparator;
+        body.push(vec![
+            c.cite.to_string(),
+            c.precision.to_string(),
+            c.platform.to_string(),
+            c.dsps.to_string(),
+            num(c.latency_ms),
+            num(c.gops),
+            num(c.gops_per_dsp_x1000()),
+            c.method.to_string(),
+            format!("{:.0}%", c.sparsity * 100.0),
+        ]);
+        body.push(vec![
+            format!("ProTEA sim (paper: {} / {})", num(r.row.protea_reported_latency_ms),
+                num(r.row.protea_reported_gops)),
+            "Fix8".into(),
+            "Alveo U55C".into(),
+            "3612".into(),
+            num(r.sim_latency_ms),
+            num(r.sim_gops),
+            num(r.sim_gops_per_dsp_x1000),
+            "HLS (sim)".into(),
+            "0%".into(),
+        ]);
+    }
+    println!("{}", render_table(&header, &body));
+
+    println!("\nDerived claims:");
+    for r in &rows {
+        let c = &r.row.comparator;
+        let speed = c.latency_ms / r.sim_latency_ms;
+        if speed >= 1.0 {
+            println!("  ProTEA is {speed:.1}x faster than {} {}", c.cite, c.name);
+        } else {
+            println!("  {} {} is {:.1}x faster than ProTEA", c.cite, c.name, 1.0 / speed);
+        }
+        if let Some(adj) = r.sim_sparsity_adjusted_ms {
+            println!(
+                "    at {}'s {:.0}% sparsity, ProTEA's dense {} ms would become {} ms ({})",
+                c.cite,
+                c.sparsity * 100.0,
+                num(r.sim_latency_ms),
+                num(adj),
+                if adj < c.latency_ms { "faster than the comparator" } else { "still slower" }
+            );
+        }
+    }
+}

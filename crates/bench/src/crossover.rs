@@ -1,0 +1,144 @@
+//! GPU/FPGA batch crossover — the analysis the paper's Table III invites
+//! but doesn't run.
+//!
+//! ProTEA wins small-batch latency against the Titan XP (2.5× on model
+//! #2) because GPU inference at batch 1 is launch-overhead-bound. As the
+//! batch grows, the GPU amortizes its overhead and climbs toward its
+//! enormous peak throughput, while ProTEA's weight-stationary batching
+//! only amortizes tile loads. Somewhere there is a crossover batch size;
+//! this module finds it per model configuration.
+
+use protea_baselines::roofline::PlatformModel;
+use protea_core::{Accelerator, RuntimeConfig, SynthesisConfig};
+use protea_model::{EncoderConfig, OpCount};
+use protea_platform::FpgaDevice;
+
+/// Per-batch-size comparison point.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossoverPoint {
+    /// Batch size.
+    pub batch: usize,
+    /// ProTEA per-sequence latency (ms), weight-stationary batching.
+    pub protea_ms: f64,
+    /// GPU per-sequence latency (ms), roofline + amortized overhead.
+    pub gpu_ms: f64,
+}
+
+/// Result of the sweep.
+#[derive(Debug, Clone)]
+pub struct CrossoverResult {
+    /// The model configuration analyzed.
+    pub config: EncoderConfig,
+    /// The sweep points.
+    pub points: Vec<CrossoverPoint>,
+    /// Smallest batch at which the GPU's per-sequence latency beats
+    /// ProTEA's (`None` if it never does within the sweep).
+    pub crossover_batch: Option<usize>,
+}
+
+/// Calibrate a platform model to a *published* batch-1 latency: keep the
+/// roofline compute/memory terms, set the overhead to whatever the
+/// published deployment actually paid (the Table III GPU rows are
+/// framework-bound, so almost all of the published latency is overhead).
+#[must_use]
+pub fn published_calibrated(
+    base: &PlatformModel,
+    published_ms: f64,
+    cfg: &EncoderConfig,
+) -> PlatformModel {
+    let ops = OpCount::for_config(cfg).total();
+    let compute_ms = ops as f64 / (base.peak_gops * 1e9 * base.efficiency) * 1e3;
+    PlatformModel { overhead_ms: (published_ms - compute_ms).max(0.0), ..*base }
+}
+
+/// Sweep batch sizes for `cfg` against `gpu`.
+#[must_use]
+pub fn run(cfg: &EncoderConfig, gpu: &PlatformModel) -> CrossoverResult {
+    let syn = SynthesisConfig::paper_default();
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    accel
+        .program(RuntimeConfig::from_model(cfg, &syn).expect("config fits"))
+        .expect("register write");
+    let ops = OpCount::for_config(cfg).total();
+    // bytes touched per sequence ≈ weights once (amortized over batch on
+    // the GPU too) + activations; simplify to weights/batch + activations.
+    let weight_bytes = (cfg.layers * (4 * cfg.d_model * cfg.d_model
+        + 2 * cfg.d_model * cfg.d_ffn())) as u64;
+    let act_bytes = (cfg.seq_len * cfg.d_model * 4) as u64;
+
+    let mut points = Vec::new();
+    let mut crossover_batch = None;
+    for batch in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let protea_ms = accel.timing_report_batched(batch).latency_ms() / batch as f64;
+        // GPU: one launch per layer-ish amortized over the batch; compute
+        // and weight traffic scale with batch, weights stream once.
+        let gpu_total = gpu.overhead_ms
+            + {
+                let compute_s =
+                    (ops as f64 * batch as f64) / (gpu.peak_gops * 1e9 * gpu.efficiency);
+                let mem_s = (weight_bytes as f64 + act_bytes as f64 * batch as f64)
+                    / (gpu.mem_gbps * 1e9);
+                compute_s.max(mem_s) * 1e3
+            };
+        let gpu_ms = gpu_total / batch as f64;
+        if crossover_batch.is_none() && gpu_ms < protea_ms {
+            crossover_batch = Some(batch);
+        }
+        points.push(CrossoverPoint { batch, protea_ms, gpu_ms });
+    }
+    CrossoverResult { config: *cfg, points, crossover_batch }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_loses_at_batch_1_wins_at_large_batch() {
+        // Model #4: the Table III case ProTEA wins 16× — against the
+        // *published* (framework-bound) GPU deployment. As the batch
+        // grows, even that deployment amortizes its overhead away.
+        let cfg = EncoderConfig::new(768, 8, 1, 24);
+        let gpu = published_calibrated(&PlatformModel::titan_xp(), 147.0, &cfg);
+        let r = run(&cfg, &gpu);
+        let first = &r.points[0];
+        assert!(first.protea_ms < first.gpu_ms, "ProTEA must win batch-1 latency");
+        let last = r.points.last().unwrap();
+        assert!(last.gpu_ms < last.protea_ms, "GPU must win at batch 256");
+        let x = r.crossover_batch.expect("a crossover must exist");
+        assert!(x > 1 && x <= 256, "crossover at {x}");
+    }
+
+    #[test]
+    fn optimized_gpu_wins_even_at_batch_1() {
+        // The flip side the reproduction makes explicit: a roofline-class
+        // (non-framework-bound) Titan XP deployment beats ProTEA at every
+        // batch size on this model — the paper's GPU victories are
+        // small-batch + framework-overhead phenomena.
+        let cfg = EncoderConfig::new(768, 8, 1, 24);
+        let r = run(&cfg, &PlatformModel::titan_xp());
+        assert_eq!(r.crossover_batch, Some(1));
+    }
+
+    #[test]
+    fn per_sequence_latencies_are_monotone_nonincreasing() {
+        let cfg = EncoderConfig::new(256, 8, 2, 32);
+        let r = run(&cfg, &PlatformModel::titan_xp());
+        for pair in r.points.windows(2) {
+            assert!(pair[1].protea_ms <= pair[0].protea_ms * 1.0001);
+            assert!(pair[1].gpu_ms <= pair[0].gpu_ms * 1.0001);
+        }
+    }
+
+    #[test]
+    fn jetson_crossover_comes_earlier_than_titan() {
+        // A small GPU with low overhead starts competitive sooner on a
+        // small model.
+        let cfg = EncoderConfig::new(256, 8, 1, 16);
+        let titan = run(&cfg, &PlatformModel::titan_xp()).crossover_batch;
+        let jetson = run(&cfg, &PlatformModel::jetson_tx2()).crossover_batch;
+        if let (Some(t), Some(j)) = (titan, jetson) {
+            assert!(j <= t, "jetson {j} vs titan {t}");
+        }
+    }
+}

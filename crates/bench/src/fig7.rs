@@ -1,0 +1,150 @@
+//! Fig. 7 — choosing the optimum tile size.
+//!
+//! The paper sweeps MHA tile count 6→48 and FFN tile count 2→6 and plots
+//! achievable frequency (MHz) and latency normalized to the minimum; the
+//! optimum is 12 MHA tiles × 6 FFN tiles at 200 MHz. Each sweep point
+//! here is a full re-synthesis (new tile sizes → new PE counts, resource
+//! binding, Fmax) followed by a timed run of the test #1 workload.
+
+use protea_core::{Accelerator, RuntimeConfig, SynthesisConfig};
+use protea_model::EncoderConfig;
+use protea_platform::FpgaDevice;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// MHA tile count (`d_max / TS_MHA`).
+    pub tiles_mha: usize,
+    /// FFN tile count (`d_max / TS_FFN`).
+    pub tiles_ffn: usize,
+    /// Achievable frequency (MHz).
+    pub fmax_mhz: f64,
+    /// Latency of the test #1 workload (ms).
+    pub latency_ms: f64,
+    /// Whether the design fits the U55C.
+    pub feasible: bool,
+}
+
+/// The sweep result with normalization.
+#[derive(Debug, Clone)]
+pub struct Fig7Sweep {
+    /// All points, row-major over (tiles_mha, tiles_ffn).
+    pub points: Vec<Fig7Point>,
+}
+
+impl Fig7Sweep {
+    /// Latency of a point normalized to the sweep minimum (the paper's
+    /// y-axis).
+    #[must_use]
+    pub fn normalized_latency(&self, p: &Fig7Point) -> f64 {
+        let min = self
+            .points
+            .iter()
+            .filter(|q| q.feasible)
+            .map(|q| q.latency_ms)
+            .fold(f64::MAX, f64::min);
+        p.latency_ms / min
+    }
+
+    /// The feasible point with the highest frequency.
+    #[must_use]
+    pub fn fmax_optimum(&self) -> Fig7Point {
+        *self
+            .points
+            .iter()
+            .filter(|p| p.feasible)
+            .max_by(|a, b| a.fmax_mhz.total_cmp(&b.fmax_mhz))
+            .expect("at least one feasible point")
+    }
+
+    /// The feasible point with the lowest latency.
+    #[must_use]
+    pub fn latency_optimum(&self) -> Fig7Point {
+        *self
+            .points
+            .iter()
+            .filter(|p| p.feasible)
+            .min_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms))
+            .expect("at least one feasible point")
+    }
+}
+
+/// The tile counts the paper sweeps (divisors of 768 within the ranges).
+#[must_use]
+pub fn sweep_axes() -> (Vec<usize>, Vec<usize>) {
+    (vec![6, 8, 12, 16, 24, 32, 48], vec![2, 3, 4, 6])
+}
+
+/// Run the sweep.
+#[must_use]
+pub fn run() -> Fig7Sweep {
+    let device = FpgaDevice::alveo_u55c();
+    let workload = EncoderConfig::paper_test1();
+    let (mha_axis, ffn_axis) = sweep_axes();
+    let mut points = Vec::new();
+    for &tm in &mha_axis {
+        for &tf in &ffn_axis {
+            let syn = SynthesisConfig::with_tile_counts(tm, tf);
+            let design = syn.synthesize(&device);
+            let latency_ms = if design.feasible {
+                let mut acc = Accelerator::new(syn, &device);
+                let rt = RuntimeConfig::from_model(&workload, &syn).expect("workload fits");
+                acc.program(rt).expect("register write");
+                acc.timing_report().latency_ms()
+            } else {
+                f64::INFINITY
+            };
+            points.push(Fig7Point {
+                tiles_mha: tm,
+                tiles_ffn: tf,
+                fmax_mhz: design.fmax_mhz,
+                latency_ms,
+                feasible: design.feasible,
+            });
+        }
+    }
+    Fig7Sweep { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_is_12_mha_by_6_ffn_for_both_metrics() {
+        let sweep = run();
+        let f = sweep.fmax_optimum();
+        assert_eq!((f.tiles_mha, f.tiles_ffn), (12, 6), "fmax optimum");
+        let l = sweep.latency_optimum();
+        assert_eq!((l.tiles_mha, l.tiles_ffn), (12, 6), "latency optimum");
+        assert!((f.fmax_mhz - 200.0).abs() < 15.0, "fmax at optimum = {:.1}", f.fmax_mhz);
+    }
+
+    #[test]
+    fn sweep_covers_paper_ranges() {
+        let sweep = run();
+        assert_eq!(sweep.points.len(), 7 * 4);
+        assert!(sweep.points.iter().any(|p| p.tiles_mha == 6));
+        assert!(sweep.points.iter().any(|p| p.tiles_mha == 48));
+        assert!(sweep.points.iter().any(|p| p.tiles_ffn == 2));
+    }
+
+    #[test]
+    fn normalized_latency_is_one_at_optimum() {
+        let sweep = run();
+        let opt = sweep.latency_optimum();
+        assert!((sweep.normalized_latency(&opt) - 1.0).abs() < 1e-12);
+        // every other feasible point is ≥ 1
+        for p in sweep.points.iter().filter(|p| p.feasible) {
+            assert!(sweep.normalized_latency(p) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn big_tiles_are_infeasible_or_slow() {
+        // (6, 2): the largest tiles — oversubscribes the U55C's LUTs.
+        let sweep = run();
+        let p = sweep.points.iter().find(|p| p.tiles_mha == 6 && p.tiles_ffn == 2).unwrap();
+        assert!(!p.feasible || sweep.normalized_latency(p) > 1.3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Table I — runtime programmability: tests 1–9 on one synthesis.
+
+use protea_core::{Accelerator, RuntimeConfig, SynthesisConfig};
+use protea_model::{EncoderConfig, OpCount};
+use protea_platform::FpgaDevice;
+
+/// Published Table I values for one test.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Latency in ms.
+    pub latency_ms: f64,
+    /// Throughput in GOPS.
+    pub gops: f64,
+}
+
+/// One reproduced Table I row.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Test label ("#1" … "#9").
+    pub test: &'static str,
+    /// The runtime configuration.
+    pub config: EncoderConfig,
+    /// Simulated latency (ms).
+    pub sim_latency_ms: f64,
+    /// Simulated GOPS in the paper's op convention (see
+    /// [`OpCount::paper_convention`]); tests #4/#5 keep the 12-layer op
+    /// total, reproducing the published normalization.
+    pub sim_gops_paper_conv: f64,
+    /// Simulated GOPS in the standard convention.
+    pub sim_gops_standard: f64,
+    /// The published values.
+    pub paper: PaperRow,
+    /// DSPs used (identical for all rows — one synthesis).
+    pub dsps: u64,
+    /// LUTs used.
+    pub luts: u64,
+    /// FFs used.
+    pub ffs: u64,
+}
+
+impl Table1Result {
+    /// Simulated / published latency ratio.
+    #[must_use]
+    pub fn latency_ratio(&self) -> f64 {
+        self.sim_latency_ms / self.paper.latency_ms
+    }
+}
+
+/// The published Table I rows, in test order.
+#[must_use]
+pub fn paper_rows() -> [PaperRow; 9] {
+    [
+        PaperRow { latency_ms: 279.0, gops: 53.0 },
+        PaperRow { latency_ms: 285.0, gops: 51.0 },
+        PaperRow { latency_ms: 295.0, gops: 49.0 },
+        PaperRow { latency_ms: 186.0, gops: 80.0 },
+        PaperRow { latency_ms: 93.0, gops: 159.0 },
+        PaperRow { latency_ms: 186.0, gops: 36.0 },
+        PaperRow { latency_ms: 95.0, gops: 18.0 },
+        PaperRow { latency_ms: 560.0, gops: 54.0 },
+        PaperRow { latency_ms: 165.0, gops: 44.0 },
+    ]
+}
+
+/// Run all nine tests on a single synthesized accelerator.
+#[must_use]
+pub fn run() -> Vec<Table1Result> {
+    let syn = SynthesisConfig::paper_default();
+    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let res = acc.design().resources;
+    let paper = paper_rows();
+    EncoderConfig::table1_tests()
+        .into_iter()
+        .zip(paper)
+        .map(|((test, cfg), paper)| {
+            let rt = RuntimeConfig::from_model(&cfg, &syn).expect("Table I fits capacity");
+            acc.program(rt).expect("register write within capacity");
+            let report = acc.timing_report();
+            let lat = report.latency_ms();
+            // The paper's GOPS normalization: layer-count tests (#4, #5)
+            // divide the full 12-layer op total by the shorter latency.
+            let ops_cfg =
+                EncoderConfig::new(cfg.d_model, cfg.heads, 12.max(cfg.layers), cfg.seq_len);
+            let paper_ops = OpCount::paper_convention(&if matches!(test, "#4" | "#5") {
+                ops_cfg
+            } else {
+                cfg
+            }) as f64;
+            Table1Result {
+                test,
+                config: cfg,
+                sim_latency_ms: lat,
+                sim_gops_paper_conv: paper_ops / (lat * 1e-3) / 1e9,
+                sim_gops_standard: OpCount::for_config(&cfg).gops(lat),
+                paper,
+                dsps: res.dsps,
+                luts: res.luts,
+                ffs: res.ffs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_tests_within_20_percent_of_paper() {
+        for r in run() {
+            let ratio = r.latency_ratio();
+            assert!(
+                (0.8..=1.2).contains(&ratio),
+                "{}: sim {:.1} ms vs paper {:.1} ms (ratio {ratio:.2})",
+                r.test,
+                r.sim_latency_ms,
+                r.paper.latency_ms
+            );
+        }
+    }
+
+    #[test]
+    fn headline_test1_tight() {
+        let r = &run()[0];
+        assert!((r.latency_ratio() - 1.0).abs() < 0.1, "test #1 ratio {:.3}", r.latency_ratio());
+        // GOPS in the paper convention lands near the published 53.
+        assert!((r.sim_gops_paper_conv - 53.0).abs() < 6.0, "gops {:.1}", r.sim_gops_paper_conv);
+    }
+
+    #[test]
+    fn resources_identical_across_tests() {
+        let rows = run();
+        assert!(rows.iter().all(|r| r.dsps == rows[0].dsps && r.luts == rows[0].luts));
+        assert_eq!(rows[0].dsps, 3612);
+    }
+
+    #[test]
+    fn qualitative_shapes_hold() {
+        let r = run();
+        // #1–#3: fewer heads → slower (weakly).
+        assert!(r[0].sim_latency_ms < r[1].sim_latency_ms);
+        assert!(r[1].sim_latency_ms < r[2].sim_latency_ms);
+        // #4–#5: latency ∝ layers.
+        assert!((r[3].sim_latency_ms / r[0].sim_latency_ms - 8.0 / 12.0).abs() < 0.02);
+        assert!((r[4].sim_latency_ms / r[0].sim_latency_ms - 4.0 / 12.0).abs() < 0.02);
+        // #6–#7: latency shrinks with d_model, roughly linearly.
+        assert!(r[5].sim_latency_ms < r[0].sim_latency_ms);
+        assert!(r[6].sim_latency_ms < r[5].sim_latency_ms);
+        // #8: SL=128 ≈ 2× the SL=64 latency; #9 shows the sub-2× floor.
+        assert!((r[7].sim_latency_ms / r[0].sim_latency_ms - 2.0).abs() < 0.15);
+        assert!(r[8].sim_latency_ms > r[0].sim_latency_ms * 0.40);
+        assert!(r[8].sim_latency_ms < r[0].sim_latency_ms * 0.62);
+    }
+}

@@ -1,0 +1,129 @@
+//! Table II — comparison with published FPGA accelerators.
+
+use protea_baselines::table_configs::{table2_rows, Table2Row};
+use protea_core::{Accelerator, RuntimeConfig, SynthesisConfig};
+use protea_model::OpCount;
+use protea_platform::FpgaDevice;
+
+/// One reproduced Table II pairing.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// The row definition (comparator + reported ProTEA numbers).
+    pub row: Table2Row,
+    /// Our simulated ProTEA latency for the reconstructed config (ms).
+    pub sim_latency_ms: f64,
+    /// Our simulated GOPS (paper convention).
+    pub sim_gops: f64,
+    /// Our simulated (GOPS/DSP)×1000.
+    pub sim_gops_per_dsp_x1000: f64,
+    /// Speedup of the comparator over simulated ProTEA (>1 means the
+    /// comparator is faster), from reported comparator latency.
+    pub comparator_speedup_over_sim: f64,
+    /// The paper's sparsity-adjusted ProTEA latency for this row, using
+    /// our simulated dense latency (the `l·(1−s)` arithmetic).
+    pub sim_sparsity_adjusted_ms: Option<f64>,
+}
+
+/// Run all five pairings.
+#[must_use]
+pub fn run() -> Vec<Table2Result> {
+    let syn = SynthesisConfig::paper_default();
+    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let dsps = acc.design().resources.dsps as f64;
+    table2_rows()
+        .into_iter()
+        .map(|row| {
+            let rt = RuntimeConfig::from_model(&row.protea_config, &syn)
+                .expect("reconstructed configs fit capacity");
+            acc.program(rt).expect("register write");
+            let lat = acc.timing_report().latency_ms();
+            let ops = OpCount::paper_convention(&row.protea_config) as f64;
+            let gops = ops / (lat * 1e-3) / 1e9;
+            let sparsity = row.comparator.sparsity;
+            Table2Result {
+                sim_latency_ms: lat,
+                sim_gops: gops,
+                sim_gops_per_dsp_x1000: gops / dsps * 1000.0,
+                comparator_speedup_over_sim: lat / row.comparator.latency_ms,
+                sim_sparsity_adjusted_ms: (sparsity > 0.0).then(|| lat * (1.0 - sparsity)),
+                row,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_latencies_match_reported_protea_rows() {
+        for r in run() {
+            let ratio = r.sim_latency_ms / r.row.protea_reported_latency_ms;
+            assert!(
+                (0.85..=1.15).contains(&ratio),
+                "{}: sim {:.3} vs reported {:.3}",
+                r.row.comparator.cite,
+                r.sim_latency_ms,
+                r.row.protea_reported_latency_ms
+            );
+        }
+    }
+
+    #[test]
+    fn derived_ratios_reproduce_paper_claims() {
+        let rows = run();
+        // vs [23]: ProTEA ≈ 2.8× faster (paper's claim, from reported
+        // numbers 1.2/0.425; with our simulated latency the ratio stays
+        // well above 2×).
+        let wojcicki = &rows[1];
+        let speedup = wojcicki.row.comparator.latency_ms / wojcicki.sim_latency_ms;
+        assert!(speedup > 2.2, "speedup over [23] = {speedup:.2}");
+        // vs [28]: faster (sim), and the paper's 1.7× GOPS claim is
+        // recoverable from the reported numbers (132 / 75.94). Our
+        // op-count convention yields lower absolute GOPS at this shape —
+        // EXPERIMENTS.md discusses the gap — so the GOPS claim is
+        // checked on the reported column.
+        let qi = &rows[3];
+        assert!(qi.sim_latency_ms < qi.row.comparator.latency_ms);
+        let reported_ratio = qi.row.protea_reported_gops / qi.row.comparator.gops;
+        assert!((reported_ratio - 1.74).abs() < 0.05, "reported GOPS ratio {reported_ratio:.2}");
+        // EFA-Trans [25] remains faster than ProTEA (paper: 3.5×).
+        let efa = &rows[2];
+        let efa_adv = efa.sim_latency_ms / efa.row.comparator.latency_ms;
+        assert!((2.5..=4.5).contains(&efa_adv), "EFA-Trans advantage = {efa_adv:.2}");
+        // [21] with 90 % sparsity is much faster (paper: 14×).
+        let peng = &rows[0];
+        let peng_adv = peng.sim_latency_ms / peng.row.comparator.latency_ms;
+        assert!(peng_adv > 10.0, "[21] advantage = {peng_adv:.1}");
+    }
+
+    #[test]
+    fn sparsity_adjustment_matches_paper_arithmetic() {
+        let rows = run();
+        // Paper: at 90 % sparsity ProTEA's 4.48 → 0.448, making [21] only
+        // 1.4× faster. Reproduce with our simulated latency.
+        let peng = &rows[0];
+        let adj = peng.sim_sparsity_adjusted_ms.unwrap();
+        assert!((adj - peng.sim_latency_ms * 0.1).abs() < 1e-9);
+        let residual_gap = adj / peng.row.comparator.latency_ms;
+        assert!((1.0..2.2).contains(&residual_gap), "post-adjust gap = {residual_gap:.2}");
+        // FTRANS row: 93 % compression → ProTEA would be faster.
+        let ftrans = &rows[4];
+        let adj93 = ftrans.sim_sparsity_adjusted_ms.unwrap();
+        assert!(adj93 < ftrans.row.comparator.latency_ms, "adjusted ProTEA beats FTRANS");
+    }
+
+    #[test]
+    fn gops_per_dsp_beats_ftrans() {
+        // Paper: ProTEA has ~2× the GOPS/DSP of FTRANS. The reported
+        // column gives 22 vs 11; our simulated (stricter op convention)
+        // still clears FTRANS's reported 10.6.
+        let rows = run();
+        let ftrans = &rows[4];
+        let reported_ratio =
+            ftrans.row.protea_reported_gops_per_dsp / ftrans.row.comparator.gops_per_dsp_x1000();
+        assert!((reported_ratio - 2.07).abs() < 0.1, "reported ratio {reported_ratio:.2}");
+        assert!(ftrans.sim_gops_per_dsp_x1000 > ftrans.row.comparator.gops_per_dsp_x1000());
+    }
+}

@@ -1,0 +1,131 @@
+//! Table III — cross-platform comparison (CPUs and GPUs).
+
+use protea_baselines::roofline::PlatformModel;
+use protea_baselines::table_configs::{table3_rows, Table3Row};
+use protea_core::{Accelerator, RuntimeConfig, SynthesisConfig};
+use protea_model::OpCount;
+use protea_platform::FpgaDevice;
+
+/// One baseline entry within a model group.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Clock in GHz as the paper lists it.
+    pub freq_ghz: f64,
+    /// Published latency (ms).
+    pub latency_ms: f64,
+    /// Speedup over the base row (the paper's "Speed Up" column).
+    pub speedup_vs_base: f64,
+    /// Compute efficiency this published latency implies on a roofline
+    /// model of the platform (flags framework-bound baselines).
+    pub implied_efficiency: Option<f64>,
+}
+
+/// One reproduced Table III group (model #1–#4).
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// The row definition.
+    pub row: Table3Row,
+    /// The baselines with recomputed speedups.
+    pub baselines: Vec<BaselineEntry>,
+    /// Simulated ProTEA latency (ms) at 0.2 GHz-class clock.
+    pub sim_latency_ms: f64,
+    /// ProTEA speedup over the base row (sim).
+    pub sim_speedup_vs_base: f64,
+    /// ProTEA speedup over the base row using the paper's reported
+    /// ProTEA latency (the published column).
+    pub reported_speedup_vs_base: f64,
+}
+
+fn platform_model(name: &str) -> Option<PlatformModel> {
+    PlatformModel::all().into_iter().find(|p| p.name == name)
+}
+
+/// Run all four model groups.
+#[must_use]
+pub fn run() -> Vec<Table3Result> {
+    let syn = SynthesisConfig::paper_default();
+    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    table3_rows()
+        .into_iter()
+        .map(|row| {
+            let rt = RuntimeConfig::from_model(&row.config, &syn).expect("config fits");
+            acc.program(rt).expect("register write");
+            let sim = acc.timing_report().latency_ms();
+            let base = row
+                .baselines
+                .iter()
+                .find(|b| b.is_base)
+                .expect("each model has a base row")
+                .latency_ms;
+            let ops = OpCount::paper_convention(&row.config);
+            let baselines = row
+                .baselines
+                .iter()
+                .map(|b| BaselineEntry {
+                    platform: b.platform,
+                    freq_ghz: b.freq_ghz,
+                    latency_ms: b.latency_ms,
+                    speedup_vs_base: base / b.latency_ms,
+                    implied_efficiency: platform_model(b.platform)
+                        .map(|p| p.implied_efficiency(ops, b.latency_ms)),
+                })
+                .collect();
+            Table3Result {
+                sim_latency_ms: sim,
+                sim_speedup_vs_base: base / sim,
+                reported_speedup_vs_base: base / row.protea_reported_latency_ms,
+                row,
+                baselines,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_speedup_columns_reproduce() {
+        let rows = run();
+        // Model #2: 2.5× faster than the Titan XP (the abstract's claim).
+        assert!((rows[1].reported_speedup_vs_base - 2.5).abs() < 0.05);
+        assert!(rows[1].sim_speedup_vs_base > 2.0, "sim speedup {:.2}", rows[1].sim_speedup_vs_base);
+        // Model #4: 16× faster than the Titan XP.
+        assert!((rows[3].reported_speedup_vs_base - 16.1).abs() < 0.3);
+        assert!(rows[3].sim_speedup_vs_base > 13.0);
+        // Model #1: ProTEA *slower* than the i5 CPU (0.79×).
+        assert!((rows[0].reported_speedup_vs_base - 0.79).abs() < 0.02);
+        assert!(rows[0].sim_speedup_vs_base < 1.0);
+        // Model #3: slower than both baselines (0.89× vs CPU).
+        assert!(rows[2].sim_speedup_vs_base < 1.0);
+    }
+
+    #[test]
+    fn jetson_column_matches_paper() {
+        let rows = run();
+        let jetson = rows[0]
+            .baselines
+            .iter()
+            .find(|b| b.platform.contains("Jetson"))
+            .unwrap();
+        assert!((jetson.speedup_vs_base - 5.26).abs() < 0.05, "paper reports 5.3×");
+    }
+
+    #[test]
+    fn slow_gpu_baselines_are_flagged_as_framework_bound() {
+        let rows = run();
+        // Model #4's 147 ms Titan XP row implies ~0.01 % of peak.
+        let titan = rows[3].baselines.iter().find(|b| b.platform.contains("Titan")).unwrap();
+        assert!(titan.implied_efficiency.unwrap() < 0.001);
+    }
+
+    #[test]
+    fn every_group_has_a_base() {
+        for r in run() {
+            assert!(r.baselines.iter().any(|b| (b.speedup_vs_base - 1.0).abs() < 1e-9));
+        }
+    }
+}

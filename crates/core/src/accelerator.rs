@@ -1,0 +1,533 @@
+//! The assembled accelerator: functional + timing co-simulation.
+
+use crate::engines::ffn::{FfnEngine, FfnStage};
+use crate::engines::ln::LnEngine;
+use crate::engines::qk::QkEngine;
+use crate::engines::qkv::QkvEngine;
+use crate::engines::softmax::SoftmaxEngine;
+use crate::engines::sv::SvEngine;
+use crate::engines::Access;
+use crate::registers::{RegisterError, RuntimeConfig};
+use crate::report::{CycleReport, EnginePhase};
+use crate::synthesis::{SynthesisConfig, SynthesizedDesign};
+use protea_fixed::activation::ActivationLut;
+use protea_hwsim::Cycles;
+use protea_mem::hbm::{bounded_transfer_cycles, ChannelShare};
+use protea_mem::overlap::{simulate_double_buffered, simulate_serial};
+use protea_model::{OpCount, QuantizedEncoder};
+use protea_platform::FpgaDevice;
+use protea_tensor::Matrix;
+
+/// The full ProTEA instance: one synthesized design, a runtime register
+/// file, and (once loaded) the model weights.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    design: SynthesizedDesign,
+    runtime: RuntimeConfig,
+    weights: Option<QuantizedEncoder>,
+    /// When `false`, the double-buffer overlap is disabled (loads and
+    /// compute serialize) — the ablation knob for the paper's overlap
+    /// claim.
+    overlap_enabled: bool,
+}
+
+/// The result of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The encoder stack's output (`SL × d_model`, activation format).
+    pub output: Matrix<i8>,
+    /// Cycle accounting.
+    pub report: CycleReport,
+    /// Latency in milliseconds at the synthesized clock.
+    pub latency_ms: f64,
+    /// Throughput in GOPS (standard op-count convention).
+    pub gops: f64,
+}
+
+impl Accelerator {
+    /// Synthesize `config` onto `device` and power on with a default
+    /// register file (the paper's test #1 shape, clamped to capacity).
+    ///
+    /// # Panics
+    /// Panics if the design does not fit the device.
+    #[must_use]
+    pub fn new(config: SynthesisConfig, device: &FpgaDevice) -> Self {
+        let design = config.synthesize(device);
+        assert!(
+            design.feasible,
+            "design does not fit {}: {}",
+            device.name, design.resources
+        );
+        let runtime = RuntimeConfig {
+            heads: config.heads,
+            layers: 12.min(64),
+            d_model: config.d_max,
+            seq_len: 64.min(config.sl_max),
+        };
+        Self { design, runtime, weights: None, overlap_enabled: true }
+    }
+
+    /// The synthesized design (resources, Fmax).
+    #[must_use]
+    pub fn design(&self) -> &SynthesizedDesign {
+        &self.design
+    }
+
+    /// The current register file.
+    #[must_use]
+    pub fn runtime(&self) -> &RuntimeConfig {
+        &self.runtime
+    }
+
+    /// The loaded weights, if any.
+    #[must_use]
+    pub fn weights(&self) -> Option<&QuantizedEncoder> {
+        self.weights.as_ref()
+    }
+
+    /// Reprogram the runtime registers — **no resynthesis**. Fails if the
+    /// request exceeds the synthesized capacity, exactly as the real
+    /// controller rejects out-of-range AXI-lite writes.
+    pub fn program(&mut self, runtime: RuntimeConfig) -> Result<(), RegisterError> {
+        runtime.validate(&self.design.config)?;
+        self.runtime = runtime;
+        Ok(())
+    }
+
+    /// Reprogram through the AXI-Lite bus functional model: the word
+    /// writes go through address decoding and per-write validation, and
+    /// the register file only changes if every transfer returns `OKAY`.
+    pub fn program_through_bus(
+        &mut self,
+        target: RuntimeConfig,
+    ) -> Result<Vec<crate::bus::BusResponse>, RegisterError> {
+        let mut bus = crate::bus::AxiLiteBus::new(self.design.config);
+        let responses = bus.program(target);
+        if responses.iter().all(|&r| r == crate::bus::BusResponse::Okay) {
+            self.program(bus.config())?;
+            Ok(responses)
+        } else {
+            // surface the underlying validation error
+            target.validate(&self.design.config)?;
+            Ok(responses)
+        }
+    }
+
+    /// Load quantized weights (the DDR-resident model image).
+    ///
+    /// # Panics
+    /// Panics if the weight dimensions disagree with the register file.
+    pub fn load_weights(&mut self, weights: QuantizedEncoder) {
+        assert_eq!(
+            weights.config.d_model, self.runtime.d_model,
+            "weights d_model must match the programmed register"
+        );
+        assert!(
+            weights.config.layers >= self.runtime.layers,
+            "model has fewer layers than programmed"
+        );
+        self.weights = Some(weights);
+    }
+
+    /// Disable/enable load-compute overlap (ablation).
+    pub fn set_overlap(&mut self, enabled: bool) {
+        self.overlap_enabled = enabled;
+    }
+
+    /// Run the encoder on a quantized input. Produces both the bit-exact
+    /// output and the cycle report.
+    ///
+    /// # Panics
+    /// Panics if weights are not loaded or the input shape mismatches the
+    /// register file.
+    #[must_use]
+    pub fn run(&self, x: &Matrix<i8>) -> RunResult {
+        let weights = self.weights.as_ref().expect("load_weights before run");
+        assert_eq!(
+            x.shape(),
+            (self.runtime.seq_len, self.runtime.d_model),
+            "input must be SL × d_model per the register file"
+        );
+        let output = self.forward_functional(x, weights);
+        let report = self.timing_report();
+        let latency_ms = report.latency_ms();
+        let ops = OpCount::for_config(&self.runtime.to_model_config());
+        let gops = report.gops(&ops);
+        RunResult { output, report, latency_ms, gops }
+    }
+
+    /// Timing only (no data needed): what Table I measures.
+    #[must_use]
+    pub fn timing_report(&self) -> CycleReport {
+        let syn = &self.design.config;
+        let rt = &self.runtime;
+        let freq_hz = self.design.fmax_mhz * 1e6;
+        let share = ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
+
+        let price = |plan: &[Access]| -> (Cycles, Cycles) {
+            let schedule: Vec<(Cycles, Cycles)> = plan
+                .iter()
+                .map(|a| {
+                    (
+                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
+                        Cycles(a.compute_cycles),
+                    )
+                })
+                .collect();
+            let r = if self.overlap_enabled {
+                simulate_double_buffered(&schedule)
+            } else {
+                simulate_serial(&schedule)
+            };
+            (r.total, r.compute_stall)
+        };
+
+        let phase_plans: [(&'static str, Vec<Access>); 9] = [
+            ("QKV_CE", QkvEngine::plan(rt, syn)),
+            ("QK_CE", QkEngine::plan(rt, syn)),
+            ("Softmax", SoftmaxEngine::plan(rt, syn)),
+            ("SV_CE", SvEngine::plan(rt, syn)),
+            ("FFN1_CE", FfnEngine::plan(FfnStage::Ffn1, rt, syn)),
+            ("AddNorm1", LnEngine::plan(rt, syn)),
+            ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, rt, syn)),
+            ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, rt, syn)),
+            ("AddNorm2", LnEngine::plan(rt, syn)),
+        ];
+
+        let layers = rt.layers as u64;
+        let mut phases = Vec::with_capacity(phase_plans.len());
+        let mut total = Cycles::ZERO;
+        for (name, plan) in phase_plans {
+            let (per_layer, stall) = price(&plan);
+            let cycles = Cycles(per_layer.get() * layers);
+            let load_stall = Cycles(stall.get() * layers);
+            total = total.saturating_add(cycles);
+            phases.push(EnginePhase { name, cycles, load_stall });
+        }
+        CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }
+    }
+
+    /// Timing for a **batch** of `batch` sequences processed
+    /// weight-stationary: each engine access computes all `batch`
+    /// sequences' rows against the resident tile before the next tile
+    /// streams in, amortizing every weight load `batch`-fold. Throughput
+    /// mode for offline inference; `batch = 1` reduces exactly to
+    /// [`timing_report`](Self::timing_report).
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn timing_report_batched(&self, batch: usize) -> CycleReport {
+        assert!(batch > 0, "batch must be nonzero");
+        let single = self.timing_report();
+        if batch == 1 {
+            return single;
+        }
+        let syn = &self.design.config;
+        let rt = &self.runtime;
+        let freq_hz = self.design.fmax_mhz * 1e6;
+        let share = ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
+        let b = batch as u64;
+
+        let price = |plan: &[Access]| -> (Cycles, Cycles) {
+            let schedule: Vec<(Cycles, Cycles)> = plan
+                .iter()
+                .map(|a| {
+                    (
+                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
+                        Cycles(a.compute_cycles * b),
+                    )
+                })
+                .collect();
+            let r = if self.overlap_enabled {
+                simulate_double_buffered(&schedule)
+            } else {
+                simulate_serial(&schedule)
+            };
+            (r.total, r.compute_stall)
+        };
+
+        let phase_plans: [(&'static str, Vec<Access>); 9] = [
+            ("QKV_CE", QkvEngine::plan(rt, syn)),
+            ("QK_CE", QkEngine::plan(rt, syn)),
+            ("Softmax", SoftmaxEngine::plan(rt, syn)),
+            ("SV_CE", SvEngine::plan(rt, syn)),
+            ("FFN1_CE", FfnEngine::plan(FfnStage::Ffn1, rt, syn)),
+            ("AddNorm1", LnEngine::plan(rt, syn)),
+            ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, rt, syn)),
+            ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, rt, syn)),
+            ("AddNorm2", LnEngine::plan(rt, syn)),
+        ];
+        let layers = rt.layers as u64;
+        let mut phases = Vec::with_capacity(phase_plans.len());
+        let mut total = Cycles::ZERO;
+        for (name, plan) in phase_plans {
+            let (per_layer, stall) = price(&plan);
+            let cycles = Cycles(per_layer.get() * layers);
+            total = total.saturating_add(cycles);
+            phases.push(EnginePhase { name, cycles, load_stall: Cycles(stall.get() * layers) });
+        }
+        CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }
+    }
+
+    /// Run a batch functionally (each sequence independent) with the
+    /// batched timing. Outputs equal per-sequence [`run`](Self::run)
+    /// outputs exactly.
+    #[must_use]
+    pub fn run_batch(&self, xs: &[Matrix<i8>]) -> (Vec<Matrix<i8>>, CycleReport) {
+        assert!(!xs.is_empty(), "batch must be nonempty");
+        let weights = self.weights.as_ref().expect("load_weights before run");
+        let outputs =
+            xs.iter().map(|x| self.forward_functional(x, weights)).collect();
+        (outputs, self.timing_report_batched(xs.len()))
+    }
+
+    /// Built-in self-test (the BIST a deployment runs after loading
+    /// weights): push a deterministic pattern through the datapath and
+    /// compare byte-for-byte against the golden software model. Returns
+    /// `Ok(())` or the index of the first mismatching byte.
+    ///
+    /// # Panics
+    /// Panics if weights are not loaded.
+    pub fn self_test(&self) -> Result<(), usize> {
+        let weights = self.weights.as_ref().expect("load_weights before self_test");
+        let x = Matrix::from_fn(self.runtime.seq_len, self.runtime.d_model, |r, c| {
+            (((r * 131 + c * 31 + 17) % 251) as i64 - 125) as i8
+        });
+        let hw = self.forward_functional(&x, weights);
+        let sw = {
+            // The golden model asserts its own config's SL; run layer by
+            // layer to honour the programmed layer count and shape.
+            let mut h = x.clone();
+            for layer in weights.layers.iter().take(self.runtime.layers) {
+                h = weights.forward_layer(&h, layer).out;
+            }
+            h
+        };
+        hw.as_slice()
+            .iter()
+            .zip(sw.as_slice())
+            .position(|(a, b)| a != b)
+            .map_or(Ok(()), Err)
+    }
+
+    /// Steady-state sequence interval under inter-sequence **dataflow
+    /// pipelining**: with every engine double-buffered on its activation
+    /// interfaces, sequence *k+1* may occupy an engine as soon as
+    /// sequence *k* releases it, so sustained throughput is set by the
+    /// busiest engine's total per-sequence occupancy, not by the
+    /// end-to-end latency. Returns `(interval_cycles, bottleneck_name)`;
+    /// latency per sequence is unchanged.
+    #[must_use]
+    pub fn pipelined_interval(&self) -> (Cycles, &'static str) {
+        let report = self.timing_report();
+        report
+            .phases
+            .iter()
+            .map(|p| (p.cycles, p.name))
+            .max_by_key(|&(c, _)| c)
+            .expect("at least one phase")
+    }
+
+    /// The bit-exact functional path: tile-accumulated engine compute.
+    fn forward_functional(&self, x: &Matrix<i8>, weights: &QuantizedEncoder) -> Matrix<i8> {
+        let syn = &self.design.config;
+        let rt = &self.runtime;
+        let s = &weights.schedule;
+        let softmax = SoftmaxEngine::new(s);
+        let act = ActivationLut::new(weights.config.activation, s.act_fmt);
+        let sl = rt.seq_len;
+        let dk = rt.dk();
+
+        let mut h = x.clone();
+        for layer in weights.layers.iter().take(rt.layers) {
+            // --- attention -------------------------------------------------
+            let (q, k, v) = QkvEngine::compute(&h, layer, rt, syn, s);
+            let mut sv_concat = Matrix::<i8>::zeros(sl, rt.d_model);
+            for head in 0..rt.heads {
+                let c0 = head * dk;
+                let qi = q.submatrix(0, c0, sl, dk);
+                let ki = k.submatrix(0, c0, sl, dk);
+                let vi = v.submatrix(0, c0, sl, dk);
+                let logits = QkEngine::compute_head(&qi, &ki, rt, s);
+                let probs = softmax.compute_head(&logits);
+                let svi = SvEngine::compute_head(&probs, &vi, s);
+                sv_concat.write_submatrix(0, c0, &svi);
+            }
+            // --- FFN1 (output projection) + add&norm -----------------------
+            let attn = FfnEngine::compute(&sv_concat, &layer.wo, &layer.bo, rt, syn, s, None);
+            let x1 = LnEngine::compute(&h, &attn, &layer.ln1, s);
+            // --- FFN2 (+activation) and FFN3 + add&norm --------------------
+            let hidden =
+                FfnEngine::compute(&x1, &layer.w1, &layer.b1, rt, syn, s, Some(&act));
+            let ffn_out = FfnEngine::compute(&hidden, &layer.w2, &layer.b2, rt, syn, s, None);
+            h = LnEngine::compute(&x1, &ffn_out, &layer.ln2, s);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protea_model::{EncoderConfig, EncoderWeights, QuantSchedule};
+
+    fn small_accel() -> (Accelerator, Matrix<i8>, QuantizedEncoder) {
+        let cfg = EncoderConfig::new(96, 4, 2, 8);
+        let fw = EncoderWeights::random(cfg, 31);
+        let qw = QuantizedEncoder::from_float(&fw, QuantSchedule::paper());
+        let mut acc =
+            Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+        acc.program(RuntimeConfig::from_model(&cfg, &SynthesisConfig::paper_default()).unwrap())
+            .unwrap();
+        acc.load_weights(qw.clone());
+        let x = Matrix::from_fn(8, 96, |r, c| (((r * 41 + c * 13) % 200) as i32 - 100) as i8);
+        (acc, x, qw)
+    }
+
+    #[test]
+    fn output_matches_golden_model_bitwise() {
+        let (acc, x, golden) = small_accel();
+        let hw = acc.run(&x);
+        let sw = golden.forward(&x);
+        assert_eq!(hw.output.as_slice(), sw.as_slice(), "tiled datapath must be bit-exact");
+    }
+
+    #[test]
+    fn reprogramming_without_resynthesis() {
+        let (mut acc, _, _) = small_accel();
+        let before_dsps = acc.design().resources.dsps;
+        acc.program(RuntimeConfig { heads: 2, layers: 1, d_model: 64, seq_len: 4 }).unwrap();
+        assert_eq!(acc.design().resources.dsps, before_dsps, "resources frozen");
+        assert_eq!(acc.runtime().heads, 2);
+    }
+
+    #[test]
+    fn over_capacity_program_rejected() {
+        let (mut acc, _, _) = small_accel();
+        let err = acc.program(RuntimeConfig { heads: 8, layers: 1, d_model: 4096, seq_len: 8 });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn latency_linear_in_layers() {
+        let (mut acc, _, _) = small_accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 4, d_model: 768, seq_len: 64 }).unwrap();
+        let l4 = acc.timing_report().total.get();
+        acc.program(RuntimeConfig { heads: 8, layers: 8, d_model: 768, seq_len: 64 }).unwrap();
+        let l8 = acc.timing_report().total.get();
+        assert_eq!(l8, 2 * l4, "Table I tests #4/#5: latency ∝ N");
+    }
+
+    #[test]
+    fn overlap_beats_serial() {
+        let (mut acc, _, _) = small_accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 12, d_model: 768, seq_len: 64 }).unwrap();
+        let with = acc.timing_report().total;
+        acc.set_overlap(false);
+        let without = acc.timing_report().total;
+        assert!(with < without, "double buffering must help: {with} vs {without}");
+    }
+
+    #[test]
+    fn ffn_dominates_cycle_budget() {
+        let (mut acc, _, _) = small_accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 12, d_model: 768, seq_len: 64 }).unwrap();
+        let r = acc.timing_report();
+        let ffn = r.phase_fraction("FFN1_CE")
+            + r.phase_fraction("FFN2_CE")
+            + r.phase_fraction("FFN3_CE");
+        assert!(ffn > 0.7, "FFN fraction = {ffn:.2}");
+    }
+
+    #[test]
+    fn batching_amortizes_weight_loads() {
+        let (mut acc, _, _) = small_accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 12, d_model: 768, seq_len: 32 }).unwrap();
+        let single = acc.timing_report_batched(1).total.get();
+        assert_eq!(single, acc.timing_report().total.get(), "batch=1 is the plain report");
+        let b8 = acc.timing_report_batched(8).total.get();
+        // strictly better than 8 independent runs (loads amortized)…
+        assert!(b8 < 8 * single, "b8={b8} vs 8x single={}", 8 * single);
+        // …and at least as much as the pure-compute lower bound
+        assert!(b8 > 6 * single / 2, "sanity");
+        // per-sequence latency improves with batch size; at SL=32 the
+        // design is mostly compute-bound, so the saving is the unhidden
+        // load fraction (~1 %) — strictly positive is the claim.
+        let per_seq_1 = single as f64;
+        let per_seq_8 = b8 as f64 / 8.0;
+        assert!(per_seq_8 < per_seq_1 * 0.998, "per-seq {per_seq_8} vs {per_seq_1}");
+    }
+
+    #[test]
+    fn dma_channel_sharing_slows_load_sensitive_workloads() {
+        let cfg = RuntimeConfig { heads: 8, layers: 12, d_model: 768, seq_len: 32 };
+        let device = FpgaDevice::alveo_u55c();
+        let dedicated = {
+            let mut a = Accelerator::new(SynthesisConfig::paper_default(), &device);
+            a.program(cfg).unwrap();
+            a.timing_report().total
+        };
+        let shared = {
+            let syn = SynthesisConfig { dma_sharing: 8, ..SynthesisConfig::paper_default() };
+            let mut a = Accelerator::new(syn, &device);
+            a.program(cfg).unwrap();
+            a.timing_report().total
+        };
+        assert!(shared > dedicated, "sharing 8 ways must cost: {shared} vs {dedicated}");
+    }
+
+    #[test]
+    fn self_test_passes_on_healthy_hardware() {
+        let (acc, _, _) = small_accel();
+        assert_eq!(acc.self_test(), Ok(()));
+    }
+
+    #[test]
+    fn pipelined_throughput_beats_latency_bound() {
+        let (mut acc, _, _) = small_accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 12, d_model: 768, seq_len: 64 }).unwrap();
+        let report = acc.timing_report();
+        let (interval, bottleneck) = acc.pipelined_interval();
+        assert_eq!(bottleneck, "FFN2_CE", "FFN2 is the busiest engine");
+        assert!(interval < report.total, "pipelining must beat serial");
+        // FFN2 is ~55 % of the layer, so throughput ≈ 1.8× of 1/latency.
+        let gain = report.total.get() as f64 / interval.get() as f64;
+        assert!((1.5..2.2).contains(&gain), "pipelining gain = {gain:.2}");
+    }
+
+    #[test]
+    fn run_batch_outputs_match_individual_runs() {
+        let (acc, x, _) = small_accel();
+        let mut x2 = x.clone();
+        for v in x2.as_mut_slice() {
+            *v = v.saturating_add(3);
+        }
+        let (outs, report) = acc.run_batch(&[x.clone(), x2.clone()]);
+        assert_eq!(outs[0].as_slice(), acc.run(&x).output.as_slice());
+        assert_eq!(outs[1].as_slice(), acc.run(&x2).output.as_slice());
+        assert!(report.total.get() > 0);
+    }
+
+    #[test]
+    fn program_through_bus_round_trips() {
+        let (mut acc, _, _) = small_accel();
+        let target = RuntimeConfig { heads: 3, layers: 2, d_model: 36, seq_len: 8 };
+        let responses = acc.program_through_bus(target).unwrap();
+        assert!(responses.iter().all(|&r| r == crate::bus::BusResponse::Okay));
+        assert_eq!(*acc.runtime(), target);
+        // an over-capacity target must error
+        let bad = RuntimeConfig { heads: 8, layers: 1, d_model: 4096, seq_len: 8 };
+        assert!(acc.program_through_bus(bad).is_err());
+        assert_eq!(*acc.runtime(), target, "failed programming leaves registers intact");
+    }
+
+    #[test]
+    #[should_panic(expected = "load_weights")]
+    fn run_without_weights_panics() {
+        let acc =
+            Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+        let x = Matrix::<i8>::zeros(64, 768);
+        let _ = acc.run(&x);
+    }
+}

@@ -1,0 +1,346 @@
+//! The accelerator controller: instruction encoding and execution.
+//!
+//! The paper's software "utilizes the extracted data to generate
+//! instructions and control signals. These signals guide the processor
+//! in activating the relevant parts of the accelerator hardware." This
+//! module gives those instructions a concrete binary form (one 64-bit
+//! word each, the natural width for a MicroBlaze mailbox) and a
+//! controller state machine that executes a program: register writes go
+//! through the AXI-Lite [`bus`](crate::bus) model, weight-load
+//! descriptors arm the DMA bookkeeping, and `START` is only accepted
+//! once the register file and every programmed layer's weights are in
+//! place — the same interlocks the RTL controller needs.
+
+use crate::bus::{AxiLiteBus, BusResponse};
+use crate::driver::Instruction;
+use crate::registers::{Reg, RuntimeConfig};
+use crate::synthesis::SynthesisConfig;
+
+/// Instruction opcodes (bits 63:56 of the encoded word).
+const OP_WRITE_REG: u8 = 0x01;
+const OP_LOAD_WEIGHTS: u8 = 0x02;
+const OP_START: u8 = 0x03;
+const OP_READ_OUTPUT: u8 = 0x04;
+
+/// Encoding/decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Register address field does not decode.
+    BadRegister(u32),
+    /// Field value out of range for the encoding.
+    FieldOverflow,
+}
+
+impl core::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IsaError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            IsaError::BadRegister(a) => write!(f, "bad register address {a:#x}"),
+            IsaError::FieldOverflow => write!(f, "instruction field overflow"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+/// Encode one instruction to its 64-bit word.
+///
+/// Layout: `[63:56] opcode | [55:32] field | [31:0] immediate`.
+/// `WriteReg`: field = register address, imm = value.
+/// `LoadWeights`: field = layer index, imm = bytes (≤ 4 GiB per layer).
+pub fn encode(instr: &Instruction) -> Result<u64, IsaError> {
+    let word = |op: u8, field: u32, imm: u32| -> Result<u64, IsaError> {
+        if field >= (1 << 24) {
+            return Err(IsaError::FieldOverflow);
+        }
+        Ok((u64::from(op) << 56) | (u64::from(field) << 32) | u64::from(imm))
+    };
+    match instr {
+        Instruction::WriteReg(reg, v) => word(OP_WRITE_REG, *reg as u32, *v),
+        Instruction::LoadWeights { layer, bytes } => {
+            let imm = u32::try_from(*bytes).map_err(|_| IsaError::FieldOverflow)?;
+            word(OP_LOAD_WEIGHTS, *layer, imm)
+        }
+        Instruction::Start => word(OP_START, 0, 0),
+        Instruction::ReadOutput => word(OP_READ_OUTPUT, 0, 0),
+    }
+}
+
+/// Decode one 64-bit word.
+pub fn decode(word: u64) -> Result<Instruction, IsaError> {
+    let op = (word >> 56) as u8;
+    let field = ((word >> 32) & 0xFF_FFFF) as u32;
+    let imm = (word & 0xFFFF_FFFF) as u32;
+    match op {
+        OP_WRITE_REG => {
+            let reg = match field {
+                0x00 => Reg::Heads,
+                0x04 => Reg::Layers,
+                0x08 => Reg::DModel,
+                0x0C => Reg::SeqLen,
+                other => return Err(IsaError::BadRegister(other)),
+            };
+            Ok(Instruction::WriteReg(reg, imm))
+        }
+        OP_LOAD_WEIGHTS => Ok(Instruction::LoadWeights { layer: field, bytes: u64::from(imm) }),
+        OP_START => Ok(Instruction::Start),
+        OP_READ_OUTPUT => Ok(Instruction::ReadOutput),
+        other => Err(IsaError::BadOpcode(other)),
+    }
+}
+
+/// Assemble a program to its binary image.
+pub fn assemble(program: &[Instruction]) -> Result<Vec<u64>, IsaError> {
+    program.iter().map(encode).collect()
+}
+
+/// Execution errors the controller reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// A register write came back with a non-OKAY bus response.
+    RegisterRejected {
+        /// Which register.
+        reg: &'static str,
+        /// Attempted value.
+        value: u32,
+    },
+    /// `START` issued before all programmed layers had weights loaded.
+    StartBeforeWeights {
+        /// Layers the register file expects.
+        expected: u32,
+        /// Layers with weights resident.
+        loaded: u32,
+    },
+    /// `READ_OUTPUT` before any `START`.
+    ReadBeforeStart,
+    /// Malformed instruction word.
+    Isa(IsaError),
+}
+
+impl core::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ControllerError::RegisterRejected { reg, value } => {
+                write!(f, "register write rejected: {reg} = {value}")
+            }
+            ControllerError::StartBeforeWeights { expected, loaded } => {
+                write!(f, "START with {loaded}/{expected} layer images loaded")
+            }
+            ControllerError::ReadBeforeStart => write!(f, "READ_OUTPUT before START"),
+            ControllerError::Isa(e) => write!(f, "bad instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// The controller state machine.
+#[derive(Debug)]
+pub struct Controller {
+    bus: AxiLiteBus,
+    layers_loaded: Vec<bool>,
+    started: bool,
+    /// AXI-Lite single-beat write cost (address + data + response).
+    pub reg_write_cycles: u64,
+    /// Instruction fetch/dispatch cost from the mailbox.
+    pub dispatch_cycles: u64,
+    control_cycles: u64,
+}
+
+impl Controller {
+    /// A controller for one synthesized design.
+    #[must_use]
+    pub fn new(synthesis: SynthesisConfig) -> Self {
+        Self {
+            bus: AxiLiteBus::new(synthesis),
+            layers_loaded: Vec::new(),
+            started: false,
+            reg_write_cycles: 4,
+            dispatch_cycles: 2,
+            control_cycles: 0,
+        }
+    }
+
+    /// The register file after execution.
+    #[must_use]
+    pub fn config(&self) -> RuntimeConfig {
+        self.bus.config()
+    }
+
+    /// Control-plane cycles spent (register writes + dispatch). This is
+    /// the quantity that justifies ignoring control cost in the latency
+    /// model: a full reprogram is ~30 cycles against ~10⁷ of compute.
+    #[must_use]
+    pub fn control_cycles(&self) -> u64 {
+        self.control_cycles
+    }
+
+    /// Whether a START has been accepted.
+    #[must_use]
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Execute one decoded instruction.
+    pub fn step(&mut self, instr: &Instruction) -> Result<(), ControllerError> {
+        self.control_cycles += self.dispatch_cycles;
+        match instr {
+            Instruction::WriteReg(reg, v) => {
+                self.control_cycles += self.reg_write_cycles;
+                let addr = *reg as u32;
+                match self.bus.write(addr, *v) {
+                    BusResponse::Okay => {
+                        // resizing the model invalidates loaded weights
+                        self.layers_loaded.clear();
+                        self.started = false;
+                        Ok(())
+                    }
+                    _ => Err(ControllerError::RegisterRejected {
+                        reg: match reg {
+                            Reg::Heads => "heads",
+                            Reg::Layers => "layers",
+                            Reg::DModel => "d_model",
+                            Reg::SeqLen => "seq_len",
+                        },
+                        value: *v,
+                    }),
+                }
+            }
+            Instruction::LoadWeights { layer, .. } => {
+                let idx = *layer as usize;
+                if self.layers_loaded.len() <= idx {
+                    self.layers_loaded.resize(idx + 1, false);
+                }
+                self.layers_loaded[idx] = true;
+                Ok(())
+            }
+            Instruction::Start => {
+                let expected = self.bus.config().layers as u32;
+                let loaded =
+                    self.layers_loaded.iter().take(expected as usize).filter(|&&l| l).count()
+                        as u32;
+                if loaded < expected {
+                    return Err(ControllerError::StartBeforeWeights { expected, loaded });
+                }
+                self.started = true;
+                Ok(())
+            }
+            Instruction::ReadOutput => {
+                if !self.started {
+                    return Err(ControllerError::ReadBeforeStart);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Execute a binary program image.
+    pub fn execute_binary(&mut self, words: &[u64]) -> Result<(), ControllerError> {
+        for &w in words {
+            let instr = decode(w).map_err(ControllerError::Isa)?;
+            self.step(&instr)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use protea_model::serialize::encode as encode_weights;
+    use protea_model::{EncoderConfig, EncoderWeights};
+
+    fn program_for(cfg: EncoderConfig) -> Vec<Instruction> {
+        let blob = encode_weights(&EncoderWeights::random(cfg, 1));
+        Driver::new(SynthesisConfig::paper_default()).compile(&blob).unwrap().1
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instr in [
+            Instruction::WriteReg(Reg::Heads, 8),
+            Instruction::WriteReg(Reg::DModel, 768),
+            Instruction::LoadWeights { layer: 11, bytes: 7_077_888 },
+            Instruction::Start,
+            Instruction::ReadOutput,
+        ] {
+            let w = encode(&instr).unwrap();
+            assert_eq!(decode(w).unwrap(), instr, "word {w:#018x}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_without_panicking() {
+        for w in [0u64, u64::MAX, 0xFF00_0000_0000_0000, (0x01u64 << 56) | (0x55u64 << 32)] {
+            let _ = decode(w); // Err or Ok, never panic
+        }
+        assert_eq!(decode(0xFF00_0000_0000_0000), Err(IsaError::BadOpcode(0xFF)));
+        assert_eq!(
+            decode((0x01u64 << 56) | (0x55u64 << 32)),
+            Err(IsaError::BadRegister(0x55))
+        );
+    }
+
+    #[test]
+    fn full_program_executes() {
+        let cfg = EncoderConfig::new(256, 4, 3, 16);
+        let words = assemble(&program_for(cfg)).unwrap();
+        let mut ctl = Controller::new(SynthesisConfig::paper_default());
+        ctl.execute_binary(&words).unwrap();
+        assert!(ctl.started());
+        assert_eq!(ctl.config().d_model, 256);
+        assert_eq!(ctl.config().layers, 3);
+        // control plane is negligible vs compute (~10⁷ cycles)
+        assert!(ctl.control_cycles() < 200, "control = {}", ctl.control_cycles());
+    }
+
+    #[test]
+    fn start_interlock_requires_all_layers() {
+        let cfg = EncoderConfig::new(128, 4, 2, 8);
+        let prog = program_for(cfg);
+        let mut ctl = Controller::new(SynthesisConfig::paper_default());
+        // execute the 5 register writes + only the first layer load
+        for instr in prog.iter().take(6) {
+            ctl.step(instr).unwrap();
+        }
+        let err = ctl.step(&Instruction::Start).unwrap_err();
+        assert!(matches!(err, ControllerError::StartBeforeWeights { expected: 2, loaded: 1 }));
+    }
+
+    #[test]
+    fn read_before_start_rejected() {
+        let mut ctl = Controller::new(SynthesisConfig::paper_default());
+        assert_eq!(ctl.step(&Instruction::ReadOutput), Err(ControllerError::ReadBeforeStart));
+    }
+
+    #[test]
+    fn reprogram_invalidates_weights() {
+        let cfg = EncoderConfig::new(128, 4, 1, 8);
+        let words = assemble(&program_for(cfg)).unwrap();
+        let mut ctl = Controller::new(SynthesisConfig::paper_default());
+        ctl.execute_binary(&words).unwrap();
+        // shrinking the model mid-flight clears the weight-resident flags
+        ctl.step(&Instruction::WriteReg(Reg::SeqLen, 4)).unwrap();
+        assert!(!ctl.started());
+        let err = ctl.step(&Instruction::Start).unwrap_err();
+        assert!(matches!(err, ControllerError::StartBeforeWeights { .. }));
+    }
+
+    #[test]
+    fn rejected_register_write_surfaces() {
+        let mut ctl = Controller::new(SynthesisConfig::paper_default());
+        let err = ctl.step(&Instruction::WriteReg(Reg::DModel, 4096)).unwrap_err();
+        assert!(matches!(err, ControllerError::RegisterRejected { reg: "d_model", .. }));
+    }
+
+    #[test]
+    fn field_overflow_checked() {
+        let too_big = Instruction::LoadWeights { layer: 1 << 25, bytes: 0 };
+        assert_eq!(encode(&too_big), Err(IsaError::FieldOverflow));
+        let huge_bytes = Instruction::LoadWeights { layer: 0, bytes: u64::from(u32::MAX) + 1 };
+        assert_eq!(encode(&huge_bytes), Err(IsaError::FieldOverflow));
+    }
+}

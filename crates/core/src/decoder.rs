@@ -1,0 +1,507 @@
+//! Decoder support on the ProTEA architecture — the paper's future work,
+//! built "using the same design principles".
+//!
+//! A decoder layer maps onto the existing engines with two extra phases:
+//! the masked self-attention reuses `QKV_CE`/`QK_CE`/softmax/`SV_CE`
+//! (the mask is a comparator gating the softmax normalization — see
+//! [`protea_fixed::SoftmaxUnit::forward_row_masked`]); the cross-attention
+//! runs the same engines a second time with keys/values projected from
+//! the encoder memory; `FFN1_CE` computes both attention output
+//! projections; the FFN pair and the three add-&-norm modules are
+//! unchanged. Timing uses the identical calibrated engine formulas over
+//! the rectangular (target × source) iteration spaces.
+
+use crate::engines::ffn::{FfnEngine, FfnStage};
+use crate::engines::{accumulate_tiled, finish_projection, Access};
+use crate::registers::{RegisterError, RuntimeConfig};
+use crate::report::{CycleReport, EnginePhase};
+use crate::synthesis::SynthesisConfig;
+use crate::accelerator::Accelerator;
+use protea_fixed::activation::ActivationLut;
+use protea_fixed::{Requantizer, SoftmaxUnit};
+use protea_hwsim::Cycles;
+use protea_mem::hbm::{bounded_transfer_cycles, ChannelShare};
+use protea_mem::overlap::simulate_double_buffered;
+use protea_model::decoder::{QuantizedDecoder, QuantizedDecoderLayer};
+use protea_model::quantized::{add_norm, requant_logits, QuantMatrix};
+use protea_model::QuantSchedule;
+use protea_tensor::{matmul_i8_i32, transpose, Matrix, TileGrid};
+
+/// Result of a decoder run.
+#[derive(Debug, Clone)]
+pub struct DecoderRunResult {
+    /// The decoded output (`SL_tgt × d_model`).
+    pub output: Matrix<i8>,
+    /// Cycle accounting for the decoder stack.
+    pub report: CycleReport,
+    /// Latency in milliseconds at the synthesized clock.
+    pub latency_ms: f64,
+}
+
+impl Accelerator {
+    /// Run a full sequence-to-sequence transformer: encode `source` with
+    /// the loaded encoder weights, then decode `target` against the
+    /// memory. Returns the decoder output plus the combined latency.
+    ///
+    /// # Panics
+    /// Panics if encoder weights are not loaded, or shapes/capacities
+    /// mismatch.
+    #[must_use]
+    pub fn run_transformer(
+        &self,
+        transformer: &protea_model::QuantizedTransformer,
+        source: &Matrix<i8>,
+        target: &Matrix<i8>,
+    ) -> DecoderRunResult {
+        // encode (uses the accelerator's loaded weights check indirectly:
+        // we run the encoder functionally from the transformer's own
+        // weights to keep the pair consistent)
+        let enc = &transformer.encoder;
+        assert_eq!(
+            source.shape(),
+            (enc.config.seq_len, enc.config.d_model),
+            "source must match the encoder config's SL × d_model"
+        );
+        let memory = enc.forward(source);
+        // price the encoder pass at the source shape
+        let enc_rt = RuntimeConfig {
+            heads: enc.config.heads,
+            layers: enc.config.layers,
+            d_model: enc.config.d_model,
+            seq_len: source.rows(),
+        };
+        enc_rt.validate(&self.design().config).expect("encoder fits capacity");
+        let mut enc_accel = self.clone();
+        enc_accel.program(enc_rt).expect("register write");
+        let enc_report = enc_accel.timing_report();
+        // decode
+        let mut result = self.run_decoder(&transformer.decoder, target, &memory);
+        let combined = Cycles(enc_report.total.get() + result.report.total.get());
+        result.report.total = combined;
+        result.latency_ms = result.report.latency_ms();
+        result
+    }
+
+    /// Validate that a decoder workload fits the synthesized capacity:
+    /// both sequence lengths bounded by `sl_max`, dims by the registers.
+    pub fn validate_decoder(
+        &self,
+        dec: &QuantizedDecoder,
+        src_len: usize,
+    ) -> Result<(), RegisterError> {
+        let syn = &self.design().config;
+        if src_len == 0 || src_len > syn.sl_max {
+            return Err(RegisterError::ExceedsCapacity {
+                reg: "src_len",
+                requested: src_len as u32,
+                max: syn.sl_max as u32,
+            });
+        }
+        let rt = RuntimeConfig {
+            heads: dec.config.heads,
+            layers: dec.config.layers,
+            d_model: dec.config.d_model,
+            seq_len: dec.config.seq_len,
+        };
+        rt.validate(syn)
+    }
+
+    /// Run a decoder stack: `x` is the target input (`SL_tgt × d`),
+    /// `memory` the encoder output (`SL_src × d`). Functionally
+    /// bit-identical to [`QuantizedDecoder::forward`]; timed with the
+    /// calibrated engine formulas.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or capacity violations.
+    #[must_use]
+    pub fn run_decoder(
+        &self,
+        dec: &QuantizedDecoder,
+        x: &Matrix<i8>,
+        memory: &Matrix<i8>,
+    ) -> DecoderRunResult {
+        self.validate_decoder(dec, memory.rows()).expect("decoder fits capacity");
+        assert_eq!(x.cols(), dec.config.d_model);
+        assert_eq!(memory.cols(), dec.config.d_model);
+
+        let output = decoder_functional(self.design().config, dec, x, memory);
+        let report = self.decoder_timing_report(dec, x.rows(), memory.rows());
+        let latency_ms = report.latency_ms();
+        DecoderRunResult { output, report, latency_ms }
+    }
+
+    /// Timing of one autoregressive decode step at `position` (0-based)
+    /// with a KV cache: the engines process a single target row; the
+    /// self-attention reduction spans the `position + 1` cached
+    /// positions, the cross-attention spans `src_len`. Weight streaming
+    /// is unchanged (every tile still loads — the dominant cost of
+    /// single-token decoding, which is why generation is bandwidth-bound
+    /// everywhere).
+    #[must_use]
+    pub fn decode_step_timing(
+        &self,
+        dec: &QuantizedDecoder,
+        position: usize,
+        src_len: usize,
+    ) -> CycleReport {
+        let syn = &self.design().config;
+        let t = &syn.timing;
+        let cfg = &dec.config;
+        let rt = RuntimeConfig {
+            heads: cfg.heads,
+            layers: cfg.layers,
+            d_model: cfg.d_model,
+            seq_len: 1,
+        };
+        let dk = rt.dk() as u64;
+        let kv = (position + 1) as u64;
+        let sl_s = src_len as u64;
+        let freq_hz = self.design().fmax_mhz * 1e6;
+        let share = ChannelShare::of(&self.design().device.memory, self.design().config.dma_sharing, freq_hz);
+        let compute_only = |cycles: u64| vec![Access { load_bytes: 0, compute_cycles: cycles }];
+        let proj_plan = |rows: u64| -> Vec<Access> {
+            let tiles = syn.tiles_mha() as u64;
+            let w = rt.mha_tile_width(syn) as u64;
+            let h = rt.heads as u64;
+            let load = h * (3 * dk * w + rows * w);
+            let compute = t.qkv_tile_cycles(rows, dk);
+            (0..tiles).map(|_| Access { load_bytes: load, compute_cycles: compute }).collect()
+        };
+        let phase_plans: Vec<(&'static str, Vec<Access>)> = vec![
+            ("SelfQKV", proj_plan(1)),
+            ("SelfQK", compute_only(t.qk_cycles_rect(1, kv, dk, syn.dk_max() as u64))),
+            ("SelfSoftmax", compute_only(t.softmax_cycles(1).max(kv))),
+            ("SelfSV", compute_only(t.sv_cycles_rect(1, kv, dk, syn.sl_unroll as u64))),
+            ("SelfProj", FfnEngine::plan(FfnStage::Ffn1, &rt, syn)),
+            ("AddNorm1", compute_only(t.ln_cycles(1, rt.d_model as u64))),
+            ("CrossQKV", proj_plan(1)), // memory K/V cached: only Q projects
+            ("CrossQK", compute_only(t.qk_cycles_rect(1, sl_s, dk, syn.dk_max() as u64))),
+            ("CrossSoftmax", compute_only(t.softmax_cycles(1).max(sl_s))),
+            ("CrossSV", compute_only(t.sv_cycles_rect(1, sl_s, dk, syn.sl_unroll as u64))),
+            ("CrossProj", FfnEngine::plan(FfnStage::Ffn1, &rt, syn)),
+            ("AddNorm2", compute_only(t.ln_cycles(1, rt.d_model as u64))),
+            ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, &rt, syn)),
+            ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, &rt, syn)),
+            ("AddNorm3", compute_only(t.ln_cycles(1, rt.d_model as u64))),
+        ];
+        let layers = cfg.layers as u64;
+        let mut phases = Vec::with_capacity(phase_plans.len());
+        let mut total = Cycles::ZERO;
+        for (name, plan) in phase_plans {
+            let schedule: Vec<(Cycles, Cycles)> = plan
+                .iter()
+                .map(|a| {
+                    (
+                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
+                        Cycles(a.compute_cycles),
+                    )
+                })
+                .collect();
+            let r = simulate_double_buffered(&schedule);
+            let cycles = Cycles(r.total.get() * layers);
+            total = total.saturating_add(cycles);
+            phases.push(EnginePhase {
+                name,
+                cycles,
+                load_stall: Cycles(r.compute_stall.get() * layers),
+            });
+        }
+        CycleReport { phases, layers: cfg.layers, total, fmax_mhz: self.design().fmax_mhz }
+    }
+
+    /// Timing of a decoder stack without data.
+    #[must_use]
+    pub fn decoder_timing_report(
+        &self,
+        dec: &QuantizedDecoder,
+        tgt_len: usize,
+        src_len: usize,
+    ) -> CycleReport {
+        let syn = &self.design().config;
+        let t = &syn.timing;
+        let cfg = &dec.config;
+        let rt = RuntimeConfig {
+            heads: cfg.heads,
+            layers: cfg.layers,
+            d_model: cfg.d_model,
+            seq_len: tgt_len,
+        };
+        let dk = rt.dk() as u64;
+        let sl_t = tgt_len as u64;
+        let sl_s = src_len as u64;
+        let freq_hz = self.design().fmax_mhz * 1e6;
+        let share = ChannelShare::of(&self.design().device.memory, self.design().config.dma_sharing, freq_hz);
+
+        // QKV-style projection phase: `rows` activation rows, the weight
+        // strips tiled `tiles_mha` times.
+        let proj_plan = |rows: u64| -> Vec<Access> {
+            let tiles = syn.tiles_mha() as u64;
+            let w = rt.mha_tile_width(syn) as u64;
+            let h = rt.heads as u64;
+            let load = h * (3 * dk * w + rows * w);
+            let compute = t.qkv_tile_cycles(rows, dk);
+            (0..tiles).map(|_| Access { load_bytes: load, compute_cycles: compute }).collect()
+        };
+        let compute_only = |cycles: u64| vec![Access { load_bytes: 0, compute_cycles: cycles }];
+
+        let phase_plans: Vec<(&'static str, Vec<Access>)> = vec![
+            ("SelfQKV", proj_plan(sl_t)),
+            ("SelfQK", compute_only(t.qk_cycles_rect(sl_t, sl_t, dk, syn.dk_max() as u64))),
+            ("SelfSoftmax", compute_only(t.softmax_cycles(sl_t))),
+            ("SelfSV", compute_only(t.sv_cycles_rect(sl_t, sl_t, dk, syn.sl_unroll as u64))),
+            ("SelfProj", FfnEngine::plan(FfnStage::Ffn1, &rt, syn)),
+            ("AddNorm1", compute_only(t.ln_cycles(sl_t, rt.d_model as u64))),
+            // cross attention: K/V projected from the (usually longer)
+            // source stream share the engine pipeline with Q.
+            ("CrossQKV", proj_plan(sl_t.max(sl_s))),
+            ("CrossQK", compute_only(t.qk_cycles_rect(sl_t, sl_s, dk, syn.dk_max() as u64))),
+            ("CrossSoftmax", compute_only(t.softmax_cycles(sl_t.max(sl_s)))),
+            ("CrossSV", compute_only(t.sv_cycles_rect(sl_t, sl_s, dk, syn.sl_unroll as u64))),
+            ("CrossProj", FfnEngine::plan(FfnStage::Ffn1, &rt, syn)),
+            ("AddNorm2", compute_only(t.ln_cycles(sl_t, rt.d_model as u64))),
+            ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, &rt, syn)),
+            ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, &rt, syn)),
+            ("AddNorm3", compute_only(t.ln_cycles(sl_t, rt.d_model as u64))),
+        ];
+
+        let layers = cfg.layers as u64;
+        let mut phases = Vec::with_capacity(phase_plans.len());
+        let mut total = Cycles::ZERO;
+        for (name, plan) in phase_plans {
+            let schedule: Vec<(Cycles, Cycles)> = plan
+                .iter()
+                .map(|a| {
+                    (
+                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
+                        Cycles(a.compute_cycles),
+                    )
+                })
+                .collect();
+            let r = simulate_double_buffered(&schedule);
+            let cycles = Cycles(r.total.get() * layers);
+            let load_stall = Cycles(r.compute_stall.get() * layers);
+            total = total.saturating_add(cycles);
+            phases.push(EnginePhase { name, cycles, load_stall });
+        }
+        CycleReport { phases, layers: cfg.layers, total, fmax_mhz: self.design().fmax_mhz }
+    }
+}
+
+/// The tile-accumulated functional path (bit-identical to the golden
+/// quantized decoder — integer tiling invariance again).
+fn decoder_functional(
+    syn: SynthesisConfig,
+    dec: &QuantizedDecoder,
+    x: &Matrix<i8>,
+    memory: &Matrix<i8>,
+) -> Matrix<i8> {
+    let s = &dec.schedule;
+    let act = ActivationLut::new(dec.config.activation, s.act_fmt);
+    let mut h = x.clone();
+    for layer in &dec.layers {
+        h = decoder_layer(syn, dec, layer, &h, memory, s, &act);
+    }
+    h
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decoder_layer(
+    syn: SynthesisConfig,
+    dec: &QuantizedDecoder,
+    w: &QuantizedDecoderLayer,
+    x: &Matrix<i8>,
+    memory: &Matrix<i8>,
+    s: &QuantSchedule,
+    act: &ActivationLut,
+) -> Matrix<i8> {
+    let rt = RuntimeConfig {
+        heads: dec.config.heads,
+        layers: dec.config.layers,
+        d_model: dec.config.d_model,
+        seq_len: x.rows(),
+    };
+    let sa = tiled_attention(
+        &syn, &rt, dec, x, x, &w.self_wq, &w.self_wk, &w.self_wv, &w.self_bq, &w.self_bk,
+        &w.self_bv, &w.self_wo, &w.self_bo, true, s,
+    );
+    let x1 = add_norm(x, &sa, &w.ln[0], s);
+    let ca = tiled_attention(
+        &syn, &rt, dec, &x1, memory, &w.cross_wq, &w.cross_wk, &w.cross_wv, &w.cross_bq,
+        &w.cross_bk, &w.cross_bv, &w.cross_wo, &w.cross_bo, false, s,
+    );
+    let x2 = add_norm(&x1, &ca, &w.ln[1], s);
+    let hidden = FfnEngine::compute(&x2, &w.w1, &w.b1, &rt, &syn, s, Some(act));
+    let ffn = FfnEngine::compute(&hidden, &w.w2, &w.b2, &rt, &syn, s, None);
+    add_norm(&x2, &ffn, &w.ln[2], s)
+}
+
+/// Engine-tiled attention: projections accumulate over the frozen MHA
+/// tile grid; logits, masked softmax and SV follow the golden stages.
+#[allow(clippy::too_many_arguments)]
+fn tiled_attention(
+    syn: &SynthesisConfig,
+    rt: &RuntimeConfig,
+    dec: &QuantizedDecoder,
+    q_src: &Matrix<i8>,
+    kv_src: &Matrix<i8>,
+    wq: &QuantMatrix,
+    wk: &QuantMatrix,
+    wv: &QuantMatrix,
+    bq: &[i32],
+    bk: &[i32],
+    bv: &[i32],
+    wo: &QuantMatrix,
+    bo: &[i32],
+    causal: bool,
+    s: &QuantSchedule,
+) -> Matrix<i8> {
+    let d = rt.d_model;
+    let dk = rt.dk();
+    let sl_q = q_src.rows();
+    let sl_kv = kv_src.rows();
+    let grid = TileGrid::new(d, d, rt.mha_tile_width(syn), d);
+    let proj = |src: &Matrix<i8>, w: &QuantMatrix, b: &[i32]| -> Matrix<i8> {
+        let mut acc = Matrix::<i32>::zeros(src.rows(), d);
+        accumulate_tiled(&mut acc, src, &w.data, &grid);
+        finish_projection(acc, b, w.fmt, s)
+    };
+    let q = proj(q_src, wq, bq);
+    let k = proj(kv_src, wk, bk);
+    let v = proj(kv_src, wv, bv);
+
+    let softmax = SoftmaxUnit::new(s.logit_fmt);
+    let rq = Requantizer::new(
+        s.logit_fmt.frac_bits() + s.act_fmt.frac_bits(),
+        s.act_fmt,
+        s.rounding,
+    );
+    let mut concat = Matrix::<i8>::zeros(sl_q, d);
+    for head in 0..rt.heads {
+        let c0 = head * dk;
+        let qi = q.submatrix(0, c0, sl_q, dk);
+        let ki = k.submatrix(0, c0, sl_kv, dk);
+        let vi = v.submatrix(0, c0, sl_kv, dk);
+        let acc = matmul_i8_i32(&qi, &transpose(&ki));
+        let logits = requant_logits(&acc, &dec.config, s);
+        let mut p = Matrix::<i8>::zeros(sl_q, sl_kv);
+        for r in 0..sl_q {
+            let valid = if causal { r + 1 } else { sl_kv };
+            softmax.forward_row_masked(logits.row(r), valid, p.row_mut(r));
+        }
+        let acc_sv = matmul_i8_i32(&p, &vi);
+        concat.write_submatrix(0, c0, &acc_sv.map(|a| rq.apply(a)));
+    }
+    // Output projection through the FFN1 tile geometry.
+    FfnEngine::compute(&concat, wo, bo, rt, syn, s, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protea_model::decoder::DecoderWeights;
+    use protea_model::EncoderConfig;
+    use protea_platform::FpgaDevice;
+
+    fn setup(cfg: EncoderConfig, seed: u64) -> (Accelerator, QuantizedDecoder) {
+        let accel = Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+        let dec =
+            QuantizedDecoder::from_float(&DecoderWeights::random(cfg, seed), QuantSchedule::paper());
+        (accel, dec)
+    }
+
+    #[test]
+    fn decoder_matches_golden_model_bitwise() {
+        let cfg = EncoderConfig::new(96, 4, 2, 8);
+        let (accel, dec) = setup(cfg, 41);
+        let x = Matrix::from_fn(8, 96, |r, c| (((r * 19 + c * 7) % 180) as i32 - 90) as i8);
+        let mem = Matrix::from_fn(12, 96, |r, c| (((r * 23 + c * 3) % 180) as i32 - 90) as i8);
+        let hw = accel.run_decoder(&dec, &x, &mem);
+        let sw = dec.forward(&x, &mem);
+        assert_eq!(hw.output.as_slice(), sw.as_slice());
+    }
+
+    #[test]
+    fn decoder_timing_scales_with_source_length() {
+        let cfg = EncoderConfig::new(768, 8, 6, 32);
+        let (accel, dec) = setup(cfg, 1);
+        let short = accel.decoder_timing_report(&dec, 32, 16).total;
+        let long = accel.decoder_timing_report(&dec, 32, 128).total;
+        assert!(long > short, "longer source memory must cost more");
+    }
+
+    #[test]
+    fn decoder_layer_costs_more_than_encoder_layer() {
+        // Same dims: a decoder layer adds a whole cross-attention block.
+        let cfg = EncoderConfig::new(768, 8, 1, 64);
+        let (mut accel, dec) = setup(cfg, 2);
+        accel
+            .program(RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 })
+            .unwrap();
+        let enc_cycles = accel.timing_report().total;
+        let dec_cycles = accel.decoder_timing_report(&dec, 64, 64).total;
+        assert!(dec_cycles.get() > enc_cycles.get());
+        let ratio = dec_cycles.get() as f64 / enc_cycles.get() as f64;
+        assert!((1.1..1.8).contains(&ratio), "decoder/encoder cycle ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn decode_step_is_load_dominated_and_grows_slowly() {
+        // Single-token decoding still streams every weight tile, so the
+        // per-step latency barely depends on the position — the classic
+        // bandwidth-bound generation profile.
+        let cfg = EncoderConfig::new(768, 8, 2, 1);
+        let (accel, dec) = setup(cfg, 7);
+        let early = accel.decode_step_timing(&dec, 0, 64).total;
+        let late = accel.decode_step_timing(&dec, 63, 64).total;
+        assert!(late >= early);
+        let growth = late.get() as f64 / early.get() as f64;
+        assert!(growth < 1.3, "per-step growth = {growth:.2}");
+        // and a step costs far less than a full 64-token forward
+        let full = accel.decoder_timing_report(&dec, 64, 64).total;
+        assert!(full.get() > 5 * late.get());
+    }
+
+    #[test]
+    fn run_transformer_combines_both_stacks() {
+        let cfg = EncoderConfig::new(64, 4, 1, 8);
+        let t = protea_model::QuantizedTransformer::random(cfg, QuantSchedule::paper(), 77);
+        let accel =
+            Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+        let src = Matrix::from_fn(8, 64, |r, c| ((r * 3 + c) % 90) as i8);
+        let tgt = Matrix::from_fn(4, 64, |r, c| ((r * 7 + c * 2) % 90) as i8);
+        let out = accel.run_transformer(&t, &src, &tgt);
+        // bit-exact vs the software transformer
+        assert_eq!(out.output.as_slice(), t.forward(&src, &tgt).as_slice());
+        // combined latency exceeds the decoder-only report
+        let dec_only = accel
+            .decoder_timing_report(&t.decoder, 4, 8)
+            .total;
+        assert!(out.report.total > dec_only);
+    }
+
+    #[test]
+    fn oversized_source_rejected() {
+        let cfg = EncoderConfig::new(96, 4, 1, 8);
+        let (accel, dec) = setup(cfg, 3);
+        assert!(accel.validate_decoder(&dec, 4096).is_err());
+        assert!(accel.validate_decoder(&dec, 0).is_err());
+        assert!(accel.validate_decoder(&dec, 64).is_ok());
+    }
+
+    #[test]
+    fn causal_property_survives_the_tiled_path() {
+        let cfg = EncoderConfig::new(64, 4, 1, 6);
+        let (accel, dec) = setup(cfg, 4);
+        let mem = Matrix::from_fn(5, 64, |r, c| ((r * 3 + c) % 90) as i8);
+        let x1 = Matrix::from_fn(6, 64, |r, c| ((r * 11 + c * 5) % 90) as i8);
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(5) {
+            *v = v.saturating_add(7);
+        }
+        let y1 = accel.run_decoder(&dec, &x1, &mem).output;
+        let y2 = accel.run_decoder(&dec, &x2, &mem).output;
+        for r in 0..5 {
+            assert_eq!(y1.row(r), y2.row(r), "tiled path leaked future info at row {r}");
+        }
+    }
+}

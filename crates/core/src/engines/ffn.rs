@@ -1,0 +1,187 @@
+//! `FFN1_CE`, `FFN2_CE`, `FFN3_CE` — the linear-transformation engines
+//! (Algorithm 4, Figs. 4 and 6).
+//!
+//! All three share the tiled-linear pattern; they differ in matrix shape
+//! and access structure:
+//!
+//! | engine | weight        | accesses (T = FFN tile count) | unroll |
+//! |--------|---------------|-------------------------------|--------|
+//! | FFN1   | `d × d` (attention output projection) | `T²`  | `TS`   |
+//! | FFN2   | `d × 4d` (first transformation + act) | `4T²` | `TS`   |
+//! | FFN3   | `4d × d` (second transformation)      | `4T²` | `4·TS` |
+//!
+//! Weights are tiled along **both** dimensions (Fig. 6); "results are
+//! first accumulated along the columns, followed by accumulation along
+//! the rows" — the tile-accumulated integer sums in
+//! [`accumulate_tiled`](crate::engines::accumulate_tiled).
+
+use crate::engines::{accumulate_tiled, finish_projection, Access};
+use crate::registers::RuntimeConfig;
+use crate::synthesis::SynthesisConfig;
+use protea_fixed::activation::ActivationLut;
+use protea_model::quantized::QuantMatrix;
+use protea_model::QuantSchedule;
+use protea_tensor::{Matrix, TileGrid};
+
+/// Which of the three FFN engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FfnStage {
+    /// Attention output projection (`d × d`), followed by add&norm.
+    Ffn1,
+    /// First FFN transformation (`d × 4d`), followed by the activation.
+    Ffn2,
+    /// Second FFN transformation (`4d × d`), followed by add&norm.
+    Ffn3,
+}
+
+/// The FFN engine family.
+#[derive(Debug, Clone, Copy)]
+pub struct FfnEngine;
+
+impl FfnEngine {
+    /// Weight shape of `stage` at runtime `d`.
+    #[must_use]
+    pub fn weight_shape(stage: FfnStage, d: usize, ffn_mult: usize) -> (usize, usize) {
+        match stage {
+            FfnStage::Ffn1 => (d, d),
+            FfnStage::Ffn2 => (d, ffn_mult * d),
+            FfnStage::Ffn3 => (ffn_mult * d, d),
+        }
+    }
+
+    /// Access count of `stage` (frozen at synthesis: `T²` or `4T²`).
+    #[must_use]
+    pub fn access_count(stage: FfnStage, syn: &SynthesisConfig) -> usize {
+        let t = syn.tiles_ffn();
+        match stage {
+            FfnStage::Ffn1 => t * t,
+            FfnStage::Ffn2 | FfnStage::Ffn3 => 4 * t * t,
+        }
+    }
+
+    /// The pipelined trip per access: the runtime tile width for
+    /// FFN1/FFN2, a quarter of it for FFN3 (whose unroll is 4× wider).
+    #[must_use]
+    pub fn access_trip(stage: FfnStage, rt: &RuntimeConfig, syn: &SynthesisConfig) -> usize {
+        let w = rt.ffn_tile_width(syn);
+        match stage {
+            FfnStage::Ffn1 | FfnStage::Ffn2 => w,
+            FfnStage::Ffn3 => rt.d_model.div_ceil(4 * syn.tiles_ffn()),
+        }
+    }
+
+    /// Access plan for one layer's `stage` phase.
+    #[must_use]
+    pub fn plan(stage: FfnStage, rt: &RuntimeConfig, syn: &SynthesisConfig) -> Vec<Access> {
+        let accesses = Self::access_count(stage, syn) as u64;
+        let (rows, cols) = Self::weight_shape(stage, rt.d_model, 4);
+        let elem = u64::from(syn.data_bits / 8).max(1);
+        let total_bytes = (rows * cols) as u64 * elem;
+        let load = total_bytes.div_ceil(accesses);
+        let compute = syn
+            .timing
+            .ffn_access_cycles(rt.seq_len as u64, Self::access_trip(stage, rt, syn) as u64);
+        (0..accesses).map(|_| Access { load_bytes: load, compute_cycles: compute }).collect()
+    }
+
+    /// Functional compute: tiled linear + bias + requantize, with an
+    /// optional activation ROM applied in place (FFN2).
+    #[must_use]
+    pub fn compute(
+        x: &Matrix<i8>,
+        w: &QuantMatrix,
+        bias: &[i32],
+        rt: &RuntimeConfig,
+        syn: &SynthesisConfig,
+        s: &QuantSchedule,
+        activation: Option<&ActivationLut>,
+    ) -> Matrix<i8> {
+        let tile = rt.ffn_tile_width(syn).max(1);
+        let grid = TileGrid::ffn(w.data.rows(), w.data.cols(), tile, tile);
+        let mut acc = Matrix::<i32>::zeros(x.rows(), w.data.cols());
+        accumulate_tiled(&mut acc, x, &w.data, &grid);
+        let mut out = finish_projection(acc, bias, w.fmt, s);
+        if let Some(lut) = activation {
+            lut.apply_slice(out.as_mut_slice());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protea_fixed::{Activation, QFormat};
+    use protea_model::quantized::project;
+
+    #[test]
+    fn access_counts_match_paper() {
+        let syn = SynthesisConfig::paper_default(); // T = 6
+        assert_eq!(FfnEngine::access_count(FfnStage::Ffn1, &syn), 36);
+        assert_eq!(FfnEngine::access_count(FfnStage::Ffn2, &syn), 144);
+        assert_eq!(FfnEngine::access_count(FfnStage::Ffn3, &syn), 144);
+    }
+
+    #[test]
+    fn access_counts_frozen_across_runtime_d() {
+        let syn = SynthesisConfig::paper_default();
+        for d in [768usize, 512, 256] {
+            let rt = RuntimeConfig { heads: 8, layers: 1, d_model: d, seq_len: 64 };
+            assert_eq!(FfnEngine::plan(FfnStage::Ffn2, &rt, &syn).len(), 144, "d={d}");
+        }
+    }
+
+    #[test]
+    fn trips_scale_with_runtime_d() {
+        let syn = SynthesisConfig::paper_default();
+        let rt768 = RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 };
+        let rt512 = RuntimeConfig { heads: 8, layers: 1, d_model: 512, seq_len: 64 };
+        assert_eq!(FfnEngine::access_trip(FfnStage::Ffn2, &rt768, &syn), 128);
+        assert_eq!(FfnEngine::access_trip(FfnStage::Ffn2, &rt512, &syn), 86);
+        assert_eq!(FfnEngine::access_trip(FfnStage::Ffn3, &rt768, &syn), 32);
+    }
+
+    #[test]
+    fn functional_matches_untiled_project() {
+        let syn = SynthesisConfig::paper_default();
+        let rt = RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 3 };
+        let s = QuantSchedule::paper();
+        let x = Matrix::from_fn(3, 768, |r, c| (((r * 37 + c * 11) % 200) as i32 - 100) as i8);
+        let w = QuantMatrix {
+            data: Matrix::from_fn(768, 768, |r, c| (((r * 7 + c * 13) % 200) as i32 - 100) as i8),
+            fmt: QFormat::new(8, 6),
+        };
+        let bias: Vec<i32> = (0..768).map(|i| (i as i32 % 64) - 32).collect();
+        let golden = project(&x, &w, &bias, &s);
+        let tiled = FfnEngine::compute(&x, &w, &bias, &rt, &syn, &s, None);
+        assert_eq!(tiled.as_slice(), golden.as_slice());
+    }
+
+    #[test]
+    fn activation_applies_after_requant() {
+        let syn = SynthesisConfig::paper_default();
+        let rt = RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 2 };
+        let s = QuantSchedule::paper();
+        let lut = ActivationLut::new(Activation::Relu, s.act_fmt);
+        let x = Matrix::from_fn(2, 768, |_, c| if c % 2 == 0 { 50i8 } else { -50 });
+        let w = QuantMatrix {
+            data: Matrix::from_fn(768, 8, |r, c| if (r + c) % 3 == 0 { -90i8 } else { 40 }),
+            fmt: QFormat::new(8, 6),
+        };
+        let bias = vec![0i32; 8];
+        let out = FfnEngine::compute(&x, &w, &bias, &rt, &syn, &s, Some(&lut));
+        assert!(out.as_slice().iter().all(|&v| v >= 0), "ReLU output must be nonneg");
+    }
+
+    #[test]
+    fn load_bytes_cover_whole_weight() {
+        let syn = SynthesisConfig::paper_default();
+        let rt = RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 };
+        for stage in [FfnStage::Ffn1, FfnStage::Ffn2, FfnStage::Ffn3] {
+            let plan = FfnEngine::plan(stage, &rt, &syn);
+            let total: u64 = plan.iter().map(|a| a.load_bytes).sum();
+            let (r, c) = FfnEngine::weight_shape(stage, 768, 4);
+            assert!(total >= (r * c) as u64, "{stage:?} streams the full matrix");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The seven compute engines (Figs. 3 and 4).
+//!
+//! Every engine exposes two faces:
+//!
+//! * **functional** — bit-exact int8/int32 arithmetic on *tiles*,
+//!   accumulating partial sums across tile iterations exactly as the
+//!   hardware's intermediate buffers do ("the final output is the
+//!   cumulative sum of the results computed across all tiles"), finishing
+//!   through the same requantization stages as `protea-model`'s golden
+//!   model;
+//! * **timing** — an access plan: one [`Access`] per engine invocation
+//!   (tile visit), carrying the weight bytes to stream and the compute
+//!   cycles, consumed by the double-buffer scheduler.
+
+pub mod ffn;
+pub mod ln;
+pub mod qk;
+pub mod qkv;
+pub mod softmax;
+pub mod sv;
+
+use protea_fixed::{QFormat, Requantizer};
+use protea_model::QuantSchedule;
+use protea_tensor::Matrix;
+
+/// One engine access: a tile's data movement and compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Weight/input bytes streamed from HBM for this access.
+    pub load_bytes: u64,
+    /// Compute cycles once the data is resident.
+    pub compute_cycles: u64,
+}
+
+/// Finish a projection: add pre-scaled biases into the i32 accumulators
+/// and requantize to the activation format — the identical tail to
+/// `protea_model::quantized::project`, factored so the tiled path cannot
+/// drift from the golden model.
+#[must_use]
+pub fn finish_projection(
+    mut acc: Matrix<i32>,
+    bias: &[i32],
+    weight_fmt: QFormat,
+    s: &QuantSchedule,
+) -> Matrix<i8> {
+    assert_eq!(acc.cols(), bias.len(), "bias length mismatch");
+    for r in 0..acc.rows() {
+        for (a, &b) in acc.row_mut(r).iter_mut().zip(bias.iter()) {
+            *a = a.saturating_add(b);
+        }
+    }
+    let rq = Requantizer::new(
+        s.act_fmt.frac_bits() + weight_fmt.frac_bits(),
+        s.act_fmt,
+        s.rounding,
+    );
+    acc.map(|a| rq.apply(a))
+}
+
+/// Tile-accumulated matrix product: `acc += x[:, rows_of(w_tile)] ·
+/// w_tile` over every tile of `w` in the grid — the engines' inner
+/// pattern. The accumulator must be pre-shaped to `(x.rows, w.cols)`.
+pub fn accumulate_tiled(
+    acc: &mut Matrix<i32>,
+    x: &Matrix<i8>,
+    w: &Matrix<i8>,
+    grid: &protea_tensor::TileGrid,
+) {
+    assert_eq!(acc.shape(), (x.rows(), w.cols()));
+    assert_eq!(x.cols(), w.rows(), "inner dimensions must agree");
+    assert_eq!(grid.extent(), (w.rows(), w.cols()), "grid must tile the weight");
+    for t in grid.iter() {
+        for i in 0..x.rows() {
+            let x_row = x.row(i);
+            for k in t.r0..t.r0 + t.h {
+                let xv = i32::from(x_row[k]);
+                if xv == 0 {
+                    continue;
+                }
+                let w_row = w.row(k);
+                let acc_row = acc.row_mut(i);
+                for j in t.c0..t.c0 + t.w {
+                    acc_row[j] += xv * i32::from(w_row[j]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protea_tensor::{matmul_i8_i32, TileGrid};
+
+    #[test]
+    fn tiled_accumulation_equals_direct_matmul() {
+        let x = Matrix::from_fn(5, 12, |r, c| ((r * 31 + c * 7) % 255) as i8);
+        let w = Matrix::from_fn(12, 9, |r, c| ((r * 13 + c * 17) % 255) as i8);
+        let direct = matmul_i8_i32(&x, &w);
+        for (th, tw) in [(12, 9), (4, 3), (5, 4), (1, 1), (12, 2)] {
+            let mut acc = Matrix::<i32>::zeros(5, 9);
+            accumulate_tiled(&mut acc, &x, &w, &TileGrid::new(12, 9, th, tw));
+            assert_eq!(acc.as_slice(), direct.as_slice(), "tile {th}x{tw}");
+        }
+    }
+
+    #[test]
+    fn finish_projection_matches_model_project() {
+        use protea_model::quantized::{project, QuantMatrix};
+        let s = QuantSchedule::paper();
+        let x = Matrix::from_fn(4, 8, |r, c| ((r * 11 + c * 3) % 120) as i8 - 60);
+        let wm = Matrix::from_fn(8, 6, |r, c| ((r * 7 + c * 19) % 120) as i8 - 60);
+        let w = QuantMatrix { data: wm.clone(), fmt: QFormat::new(8, 6) };
+        let bias: Vec<i32> = (0..6).map(|i| (i as i32 - 3) * 100).collect();
+        let golden = project(&x, &w, &bias, &s);
+        let mut acc = Matrix::<i32>::zeros(4, 6);
+        accumulate_tiled(&mut acc, &x, &wm, &TileGrid::new(8, 6, 3, 2));
+        let tiled = finish_projection(acc, &bias, w.fmt, &s);
+        assert_eq!(tiled.as_slice(), golden.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_rejected() {
+        let x = Matrix::<i8>::zeros(2, 3);
+        let w = Matrix::<i8>::zeros(4, 2);
+        let mut acc = Matrix::<i32>::zeros(2, 2);
+        accumulate_tiled(&mut acc, &x, &w, &TileGrid::new(4, 2, 2, 2));
+    }
+}

@@ -1,0 +1,87 @@
+//! `QK_CE` — attention-weight computation `S = Q·Kᵀ / d` (Algorithm 2).
+//!
+//! "Since these matrices are relatively small, they are not tiled." The
+//! engine's unrolled reduction is synthesized `d_max/h_syn` wide, so at
+//! runtime with fewer active heads (larger `d_k`) the initiation interval
+//! inflates — the effect visible as Table I tests #2/#3.
+
+use crate::engines::Access;
+use crate::registers::RuntimeConfig;
+use crate::synthesis::SynthesisConfig;
+use protea_model::quantized::requant_logits;
+use protea_model::{EncoderConfig, QuantSchedule};
+use protea_tensor::{matmul_i8_i32, transpose, Matrix};
+
+/// The Q·Kᵀ engine bank.
+#[derive(Debug, Clone, Copy)]
+pub struct QkEngine;
+
+impl QkEngine {
+    /// Access plan: one untiled access per layer (all heads parallel),
+    /// no weight streaming (operands live on chip).
+    #[must_use]
+    pub fn plan(rt: &RuntimeConfig, syn: &SynthesisConfig) -> Vec<Access> {
+        let compute = syn.timing.qk_cycles(
+            rt.seq_len as u64,
+            rt.dk() as u64,
+            syn.dk_max() as u64,
+        );
+        vec![Access { load_bytes: 0, compute_cycles: compute }]
+    }
+
+    /// Functional compute for one head: scaled, requantized logits.
+    #[must_use]
+    pub fn compute_head(
+        qi: &Matrix<i8>,
+        ki: &Matrix<i8>,
+        rt: &RuntimeConfig,
+        s: &QuantSchedule,
+    ) -> Matrix<i8> {
+        let acc = matmul_i8_i32(qi, &transpose(ki));
+        let cfg: EncoderConfig = rt.to_model_config();
+        requant_logits(&acc, &cfg, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_costs_no_bandwidth() {
+        let syn = SynthesisConfig::paper_default();
+        let rt = RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 };
+        let p = QkEngine::plan(&rt, &syn);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].load_bytes, 0);
+    }
+
+    #[test]
+    fn fewer_heads_cost_more_cycles() {
+        let syn = SynthesisConfig::paper_default();
+        let mk = |h| QkEngine::plan(
+            &RuntimeConfig { heads: h, layers: 1, d_model: 768, seq_len: 64 },
+            &syn,
+        )[0]
+        .compute_cycles;
+        assert!(mk(2) > mk(4));
+        assert!(mk(4) > mk(8));
+    }
+
+    #[test]
+    fn logits_are_scaled_products() {
+        let syn = SynthesisConfig::paper_default();
+        let rt = RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 4 };
+        let s = QuantSchedule::paper();
+        let qi = Matrix::from_fn(4, 96, |r, c| ((r + c) % 64) as i8);
+        let ki = qi.clone();
+        let out = QkEngine::compute_head(&qi, &ki, &rt, &s);
+        assert_eq!(out.shape(), (4, 4));
+        // diagonal (self-similarity) should dominate each row
+        for r in 0..4 {
+            let diag = out[(r, r)];
+            assert!(out.row(r).iter().all(|&v| v <= diag));
+        }
+        let _ = syn;
+    }
+}

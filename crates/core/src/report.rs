@@ -1,0 +1,233 @@
+//! Cycle and performance reporting.
+
+use core::fmt;
+use protea_hwsim::{Cycles, Frequency};
+use protea_model::OpCount;
+
+/// Per-engine-phase cycle accounting, summed over all layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnginePhase {
+    /// Engine name ("QKV_CE", "FFN2_CE", …).
+    pub name: &'static str,
+    /// Total cycles this phase occupied.
+    pub cycles: Cycles,
+    /// Cycles the engine stalled waiting on weight loads (zero for
+    /// compute-only phases).
+    pub load_stall: Cycles,
+}
+
+/// The timing result of one accelerator run.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// Per-phase breakdown (summed over layers).
+    pub phases: Vec<EnginePhase>,
+    /// Layers executed.
+    pub layers: usize,
+    /// Total cycles end to end.
+    pub total: Cycles,
+    /// The clock this design closed at.
+    pub fmax_mhz: f64,
+}
+
+impl CycleReport {
+    /// Wall-clock latency in milliseconds at the synthesized clock.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.total.to_millis(Frequency::mhz(self.fmax_mhz))
+    }
+
+    /// Throughput in GOPS for the given op count.
+    #[must_use]
+    pub fn gops(&self, ops: &OpCount) -> f64 {
+        ops.gops(self.latency_ms())
+    }
+
+    /// Fraction of total cycles spent in a named phase.
+    #[must_use]
+    pub fn phase_fraction(&self, name: &str) -> f64 {
+        if self.total.get() == 0 {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.cycles.get())
+            .sum::<u64>() as f64
+            / self.total.get() as f64
+    }
+
+    /// Total stall cycles across phases.
+    #[must_use]
+    pub fn total_stall(&self) -> Cycles {
+        Cycles(self.phases.iter().map(|p| p.load_stall.get()).sum())
+    }
+
+    /// Reconstruct the phase timeline: `(phase name, start, end)` spans
+    /// in execution order (phases run sequentially within a layer, layers
+    /// back to back).
+    #[must_use]
+    pub fn timeline(&self) -> Vec<(&'static str, Cycles, Cycles)> {
+        let layers = self.layers.max(1) as u64;
+        let mut spans = Vec::with_capacity(self.phases.len() * self.layers.max(1));
+        let mut t = 0u64;
+        for _layer in 0..layers {
+            for p in &self.phases {
+                let per_layer = p.cycles.get() / layers;
+                spans.push(("", Cycles(t), Cycles(t + per_layer)));
+                let idx = spans.len() - 1;
+                spans[idx].0 = p.name;
+                t += per_layer;
+            }
+        }
+        spans
+    }
+
+    /// Export the run as a VCD waveform: one busy wire per engine phase
+    /// and a phase-index bus, viewable in GTKWave.
+    #[must_use]
+    pub fn to_vcd(&self) -> String {
+        let mut trace = protea_hwsim::VcdTrace::new("protea");
+        let phase_bus = trace.add_signal("phase_idx", 8);
+        let wires: Vec<_> = self
+            .phases
+            .iter()
+            .map(|p| trace.add_signal(&format!("{}_busy", p.name), 1))
+            .collect();
+        let name_index: std::collections::HashMap<&str, usize> =
+            self.phases.iter().enumerate().map(|(i, p)| (p.name, i)).collect();
+        // all idle at time zero
+        for &w in &wires {
+            trace.change(Cycles(0), w, 0);
+        }
+        for (name, start, end) in self.timeline() {
+            let idx = name_index[name];
+            trace.change(start, phase_bus, idx as u64);
+            trace.change(start, wires[idx], 1);
+            trace.change(end, wires[idx], 0);
+        }
+        trace.render()
+    }
+
+    /// A terminal Gantt chart of one layer's phases (`width` columns).
+    #[must_use]
+    pub fn gantt(&self, width: usize) -> String {
+        let layers = self.layers.max(1) as u64;
+        let layer_cycles = (self.total.get() / layers).max(1);
+        let width = width.max(10);
+        let mut out = String::new();
+        let mut t = 0u64;
+        for p in &self.phases {
+            let per_layer = p.cycles.get() / layers;
+            let start_col = (t * width as u64 / layer_cycles) as usize;
+            let end_col =
+                (((t + per_layer) * width as u64).div_ceil(layer_cycles) as usize).min(width);
+            let bar: String = (0..width)
+                .map(|c| if c >= start_col && c < end_col { '█' } else { '·' })
+                .collect();
+            out.push_str(&format!(
+                "{:<12} {bar} {:>5.1}%\n",
+                p.name,
+                per_layer as f64 / layer_cycles as f64 * 100.0
+            ));
+            t += per_layer;
+        }
+        out
+    }
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CycleReport: {} cycles @ {:.1} MHz = {:.3} ms ({} layers)",
+            self.total.get(),
+            self.fmax_mhz,
+            self.latency_ms(),
+            self.layers
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  {:<10} {:>12} cyc ({:>5.1}%)  stall {:>10}",
+                p.name,
+                p.cycles.get(),
+                self.phase_fraction(p.name) * 100.0,
+                p.load_stall.get()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CycleReport {
+        CycleReport {
+            phases: vec![
+                EnginePhase { name: "QKV_CE", cycles: Cycles(100), load_stall: Cycles(10) },
+                EnginePhase { name: "FFN2_CE", cycles: Cycles(300), load_stall: Cycles(0) },
+            ],
+            layers: 2,
+            total: Cycles(400),
+            fmax_mhz: 200.0,
+        }
+    }
+
+    #[test]
+    fn latency_arithmetic() {
+        let r = report();
+        // 400 cycles at 200 MHz = 2 µs
+        assert!((r.latency_ms() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions() {
+        let r = report();
+        assert!((r.phase_fraction("FFN2_CE") - 0.75).abs() < 1e-12);
+        assert_eq!(r.phase_fraction("nonexistent"), 0.0);
+        assert_eq!(r.total_stall(), Cycles(10));
+    }
+
+    #[test]
+    fn display_includes_phases() {
+        let text = report().to_string();
+        assert!(text.contains("QKV_CE"));
+        assert!(text.contains("200.0 MHz"));
+    }
+
+    #[test]
+    fn timeline_is_contiguous_and_ordered() {
+        let r = report();
+        let spans = r.timeline();
+        assert_eq!(spans.len(), 2 * 2); // phases × layers
+        // contiguous: each span starts where the previous ended
+        for pair in spans.windows(2) {
+            assert_eq!(pair[0].2, pair[1].1);
+        }
+        assert_eq!(spans[0].1, Cycles(0));
+        assert_eq!(spans.last().unwrap().2, r.total);
+        // first layer's phases then the second layer's
+        assert_eq!(spans[0].0, "QKV_CE");
+        assert_eq!(spans[2].0, "QKV_CE");
+    }
+
+    #[test]
+    fn vcd_export_is_well_formed() {
+        let doc = report().to_vcd();
+        assert!(doc.contains("$var wire 1"));
+        assert!(doc.contains("QKV_CE_busy"));
+        assert!(doc.contains("FFN2_CE_busy"));
+        assert!(doc.contains("$enddefinitions"));
+        assert!(doc.contains("#0"));
+    }
+
+    #[test]
+    fn gantt_rows_cover_all_phases() {
+        let g = report().gantt(40);
+        assert_eq!(g.lines().count(), 2);
+        assert!(g.contains("QKV_CE"));
+        assert!(g.contains('█'));
+    }
+}

@@ -1,0 +1,253 @@
+//! Fixed-point value types with explicit formats.
+//!
+//! These are the "typed" layer over raw integers: an [`Fx8`] is an `i8` raw
+//! value tagged with its [`QFormat`]. Arithmetic checks format agreement in
+//! debug builds and saturates like a hardware datapath. Bulk kernels in
+//! [`crate::mac`] work on raw slices for speed; these types are used at API
+//! boundaries and in tests where the format bookkeeping matters.
+
+use crate::qformat::QFormat;
+use crate::rounding::Rounding;
+
+macro_rules! fx_type {
+    ($(#[$doc:meta])* $name:ident, $raw:ty, $bits:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $name {
+            raw: $raw,
+            fmt: QFormat,
+        }
+
+        impl $name {
+            /// Construct from a raw integer and its format.
+            ///
+            /// # Panics
+            /// Panics if `fmt.total_bits()` does not match this storage width.
+            #[must_use]
+            pub fn from_raw(raw: $raw, fmt: QFormat) -> Self {
+                assert_eq!(
+                    fmt.total_bits(),
+                    $bits,
+                    "format width {} does not match storage width {}",
+                    fmt.total_bits(),
+                    $bits
+                );
+                Self { raw, fmt }
+            }
+
+            /// Quantize a real number into this storage width with the given
+            /// format, saturating at the representable range.
+            #[must_use]
+            pub fn from_real(x: f64, fmt: QFormat) -> Self {
+                assert_eq!(fmt.total_bits(), $bits);
+                Self { raw: fmt.real_to_raw(x) as $raw, fmt }
+            }
+
+            /// The raw stored integer.
+            #[must_use]
+            pub fn raw(self) -> $raw {
+                self.raw
+            }
+
+            /// The value's format.
+            #[must_use]
+            pub fn format(self) -> QFormat {
+                self.fmt
+            }
+
+            /// The real number this value represents.
+            #[must_use]
+            pub fn to_real(self) -> f64 {
+                self.fmt.raw_to_real(self.raw as i64)
+            }
+
+            /// Saturating addition; both operands must share a format.
+            #[must_use]
+            pub fn sat_add(self, rhs: Self) -> Self {
+                debug_assert_eq!(self.fmt, rhs.fmt, "format mismatch in sat_add");
+                Self { raw: self.raw.saturating_add(rhs.raw), fmt: self.fmt }
+            }
+
+            /// Saturating subtraction; both operands must share a format.
+            #[must_use]
+            pub fn sat_sub(self, rhs: Self) -> Self {
+                debug_assert_eq!(self.fmt, rhs.fmt, "format mismatch in sat_sub");
+                Self { raw: self.raw.saturating_sub(rhs.raw), fmt: self.fmt }
+            }
+
+            /// Saturating negation (`-MIN` saturates to `MAX`).
+            #[must_use]
+            pub fn sat_neg(self) -> Self {
+                Self { raw: self.raw.checked_neg().unwrap_or(<$raw>::MAX), fmt: self.fmt }
+            }
+
+            /// Convert to another format of the same width by shifting,
+            /// rounding per `mode`, and saturating.
+            #[must_use]
+            pub fn convert(self, target: QFormat, mode: Rounding) -> Self {
+                assert_eq!(target.total_bits(), $bits);
+                let src_f = i32::from(self.fmt.frac_bits());
+                let dst_f = i32::from(target.frac_bits());
+                let v = self.raw as i64;
+                let shifted = if dst_f >= src_f {
+                    v.checked_shl((dst_f - src_f) as u32).unwrap_or(if v >= 0 { i64::MAX } else { i64::MIN })
+                } else {
+                    mode.shift_right(v, (src_f - dst_f) as u32)
+                };
+                let clamped = shifted.clamp(target.raw_min(), target.raw_max());
+                Self { raw: clamped as $raw, fmt: target }
+            }
+        }
+    };
+}
+
+fx_type!(
+    /// 8-bit fixed-point value — the storage type of ProTEA's datapath.
+    Fx8, i8, 8
+);
+fx_type!(
+    /// 16-bit fixed-point value — exact product width of two 8-bit values
+    /// (with one bit to spare).
+    Fx16, i16, 16
+);
+fx_type!(
+    /// 32-bit fixed-point value — the accumulator type (`int` in the HLS
+    /// source; hardware DSP48 accumulators are 48-bit, of which at most 32
+    /// are exercised by this design's trip counts).
+    Fx32, i32, 32
+);
+
+impl Fx8 {
+    /// Exact widening multiply: i8 × i8 → i16 never overflows
+    /// (|−128 × −128| = 16384 < 32767). The exact product needs only 15
+    /// bits; it is stored in the 16-bit type with the same binary point.
+    #[must_use]
+    pub fn widening_mul(self, rhs: Self) -> Fx16 {
+        let prod = i16::from(self.raw) * i16::from(rhs.raw);
+        let fmt = QFormat::new(16, self.fmt.frac_bits() + rhs.fmt.frac_bits());
+        Fx16::from_raw(prod, fmt)
+    }
+}
+
+impl Fx32 {
+    /// Accumulate an exact i8×i8 product into this 32-bit accumulator
+    /// (the PE inner operation). Saturating — a real DSP48 accumulator
+    /// wraps at 48 bits, but this design's worst case
+    /// (`768 · 128 · 128 < 2^24`) never reaches even 32 bits, which tests
+    /// assert.
+    #[must_use]
+    pub fn mac(self, a: Fx8, b: Fx8) -> Fx32 {
+        debug_assert_eq!(
+            self.fmt.frac_bits(),
+            a.format().frac_bits() + b.format().frac_bits(),
+            "accumulator format must match product format"
+        );
+        let prod = i32::from(a.raw()) * i32::from(b.raw());
+        Fx32 { raw: self.raw.saturating_add(prod), fmt: self.fmt }
+    }
+
+    /// Narrow this accumulator to 8-bit storage in `target` format.
+    #[must_use]
+    pub fn narrow_to_8(self, target: QFormat, mode: Rounding) -> Fx8 {
+        assert_eq!(target.total_bits(), 8);
+        let src_f = i32::from(self.fmt.frac_bits());
+        let dst_f = i32::from(target.frac_bits());
+        let v = i64::from(self.raw);
+        let shifted = if dst_f >= src_f {
+            v << (dst_f - src_f).min(62)
+        } else {
+            mode.shift_right(v, (src_f - dst_f) as u32)
+        };
+        Fx8::from_raw(shifted.clamp(target.raw_min(), target.raw_max()) as i8, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q85() -> QFormat {
+        QFormat::new(8, 5)
+    }
+
+    #[test]
+    fn real_round_trip() {
+        let x = Fx8::from_real(1.5, q85());
+        assert_eq!(x.raw(), 48);
+        assert!((x.to_real() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_construction() {
+        assert_eq!(Fx8::from_real(100.0, q85()).raw(), 127);
+        assert_eq!(Fx8::from_real(-100.0, q85()).raw(), -128);
+    }
+
+    #[test]
+    fn sat_add_saturates() {
+        let a = Fx8::from_raw(120, q85());
+        let b = Fx8::from_raw(20, q85());
+        assert_eq!(a.sat_add(b).raw(), 127);
+        let c = Fx8::from_raw(-120, q85());
+        let d = Fx8::from_raw(-20, q85());
+        assert_eq!(c.sat_add(d).raw(), -128);
+    }
+
+    #[test]
+    fn sat_neg_of_min() {
+        let m = Fx8::from_raw(i8::MIN, q85());
+        assert_eq!(m.sat_neg().raw(), i8::MAX);
+    }
+
+    #[test]
+    fn widening_mul_exact() {
+        let a = Fx8::from_real(1.5, q85());
+        let b = Fx8::from_real(-2.0, q85());
+        let p = a.widening_mul(b);
+        assert_eq!(p.format().frac_bits(), 10);
+        assert_eq!(p.format().total_bits(), 16);
+        assert!((p.to_real() + 3.0).abs() < 1e-9);
+        // extreme corners don't overflow
+        let lo = Fx8::from_raw(i8::MIN, q85());
+        assert_eq!(lo.widening_mul(lo).raw(), 16384);
+    }
+
+    #[test]
+    fn mac_accumulates_products() {
+        let acc_fmt = QFormat::acc32(10);
+        let mut acc = Fx32::from_raw(0, acc_fmt);
+        let a = Fx8::from_real(1.0, q85());
+        let b = Fx8::from_real(2.0, q85());
+        for _ in 0..10 {
+            acc = acc.mac(a, b);
+        }
+        assert!((acc.to_real() - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn narrow_rounds_and_saturates() {
+        let acc_fmt = QFormat::acc32(10);
+        let acc = Fx32::from_real(3.14159, acc_fmt);
+        let n = acc.narrow_to_8(q85(), Rounding::NearestEven);
+        assert!((n.to_real() - 3.14159).abs() <= q85().lsb() / 2.0 + 1e-9);
+        let big = Fx32::from_real(500.0, acc_fmt);
+        assert_eq!(big.narrow_to_8(q85(), Rounding::NearestEven).raw(), 127);
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let x = Fx8::from_real(1.25, QFormat::new(8, 5));
+        let y = x.convert(QFormat::new(8, 2), Rounding::NearestEven);
+        assert!((y.to_real() - 1.25).abs() < 1e-12);
+        // widening the fraction can saturate
+        let big = Fx8::from_real(3.9, QFormat::new(8, 5));
+        let z = big.convert(QFormat::new(8, 7), Rounding::NearestEven);
+        assert_eq!(z.raw(), 127); // 3.9 not representable in Q0.7
+    }
+
+    #[test]
+    #[should_panic(expected = "format width")]
+    fn from_raw_rejects_wrong_width() {
+        let _ = Fx8::from_raw(0, QFormat::new(16, 8));
+    }
+}

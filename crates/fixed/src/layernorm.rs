@@ -1,0 +1,281 @@
+//! Integer layer normalization.
+//!
+//! ProTEA places a layer-normalization module after `FFN1_CE` and
+//! `FFN3_CE` (each MHA and FFN sub-layer has residual + LN). The hardware
+//! computes row mean, variance, an integer square root, and a reciprocal
+//! multiply, all in fixed point with LUT/FF resources. This module is that
+//! datapath, bit-exact and deterministic.
+
+use crate::qformat::QFormat;
+use crate::rounding::Rounding;
+
+/// Internal precision of the normalized intermediate (`(x-μ)/σ` in Q.8):
+/// the normalized value of a layer-normed row is bounded by `±sqrt(n)` but
+/// in practice ±8 covers it; Q8.8 in an i32 never overflows here.
+const NORM_FRAC: u32 = 8;
+
+/// Integer square root: largest `s` with `s² ≤ x`. Newton's method, exact.
+#[must_use]
+pub fn isqrt_u64(x: u64) -> u64 {
+    if x < 2 {
+        return x;
+    }
+    // Initial guess from float sqrt, then correct — float sqrt of u64 can
+    // be off by a few ULP, so settle with exact integer steps.
+    let mut s = (x as f64).sqrt() as u64;
+    while s.checked_mul(s).map_or(true, |sq| sq > x) {
+        s -= 1;
+    }
+    while (s + 1).checked_mul(s + 1).is_some_and(|sq| sq <= x) {
+        s += 1;
+    }
+    s
+}
+
+/// A layer-normalization unit with quantized affine parameters.
+#[derive(Debug, Clone)]
+pub struct LayerNormUnit {
+    gamma: Vec<i8>,
+    beta: Vec<i8>,
+    gamma_fmt: QFormat,
+    beta_fmt: QFormat,
+    out_fmt: QFormat,
+}
+
+impl LayerNormUnit {
+    /// Build from quantized affine parameters. `gamma` and `beta` must have
+    /// the same length (the feature dimension).
+    #[must_use]
+    pub fn new(
+        gamma: Vec<i8>,
+        beta: Vec<i8>,
+        gamma_fmt: QFormat,
+        beta_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Self {
+        assert_eq!(gamma.len(), beta.len(), "gamma/beta length mismatch");
+        Self { gamma, beta, gamma_fmt, beta_fmt, out_fmt }
+    }
+
+    /// An identity-affine unit (γ=1, β=0) over `dim` features.
+    #[must_use]
+    pub fn identity(dim: usize, out_fmt: QFormat) -> Self {
+        let gamma_fmt = QFormat::new(8, 6); // 1.0 representable as 64
+        let beta_fmt = QFormat::new(8, 6);
+        Self::new(vec![64; dim], vec![0; dim], gamma_fmt, beta_fmt, out_fmt)
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Output format.
+    #[must_use]
+    pub fn output_format(&self) -> QFormat {
+        self.out_fmt
+    }
+
+    /// Normalize one row (`row.len()` may be ≤ `dim()` when the runtime
+    /// `d_model` is below the synthesized maximum; the affine parameters
+    /// are indexed from 0).
+    pub fn forward_row(&self, row: &[i8], in_fmt: QFormat, out: &mut [i8]) {
+        assert_eq!(row.len(), out.len());
+        assert!(row.len() <= self.dim(), "row exceeds synthesized dimension");
+        let n = row.len();
+        if n == 0 {
+            return;
+        }
+        // Mean in raw units, rounded to nearest.
+        let sum: i64 = row.iter().map(|&x| i64::from(x)).sum();
+        let mean = div_round_nearest(sum, n as i64);
+        // Variance in raw² units (biased, as hardware implements).
+        let var: i64 = row
+            .iter()
+            .map(|&x| {
+                let c = i64::from(x) - mean;
+                c * c
+            })
+            .sum::<i64>()
+            / n as i64;
+        // Standard deviation in raw units; epsilon = keep σ ≥ 1 LSB, the
+        // integer analogue of the float eps guard.
+        let sigma = isqrt_u64(var as u64).max(1);
+        let inv_gain = 1i64 << NORM_FRAC;
+        for i in 0..n {
+            let c = i64::from(row[i]) - mean;
+            // normalized t = c/σ in Q.NORM_FRAC
+            let t = div_round_nearest(c * inv_gain, sigma as i64);
+            // y = t*γ + β, accumulated at frac (NORM_FRAC + γ_frac)
+            let acc_frac = NORM_FRAC + u32::from(self.gamma_fmt.frac_bits());
+            let mut acc = t * i64::from(self.gamma[i]);
+            let beta_shift = acc_frac as i32 - i32::from(self.beta_fmt.frac_bits());
+            let beta_aligned = shift_signed(i64::from(self.beta[i]), beta_shift);
+            acc += beta_aligned;
+            // requantize acc (frac = acc_frac) to out_fmt
+            let dst = i32::from(self.out_fmt.frac_bits());
+            let shifted = shift_round(acc, acc_frac as i32 - dst);
+            out[i] = shifted.clamp(-128, 127) as i8;
+            // in_fmt participates only through the normalization being
+            // scale-free: (x-μ)/σ cancels the input scale entirely.
+            let _ = in_fmt;
+        }
+    }
+
+    /// Normalize a row-major `rows × cols` matrix.
+    pub fn forward_matrix(&self, data: &[i8], cols: usize, in_fmt: QFormat, out: &mut [i8]) {
+        assert_eq!(data.len(), out.len());
+        assert!(cols > 0 && data.len() % cols == 0);
+        for (ri, ro) in data.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+            self.forward_row(ri, in_fmt, ro);
+        }
+    }
+}
+
+/// `num/den` rounded to nearest, ties away from zero. `den > 0`.
+fn div_round_nearest(num: i64, den: i64) -> i64 {
+    debug_assert!(den > 0);
+    let half = den / 2;
+    if num >= 0 {
+        (num + half) / den
+    } else {
+        (num - half) / den
+    }
+}
+
+/// Shift left for positive `sh`, rounding right shift for negative.
+fn shift_signed(v: i64, sh: i32) -> i64 {
+    if sh >= 0 {
+        v << sh.min(62)
+    } else {
+        Rounding::NearestEven.shift_right(v, (-sh) as u32)
+    }
+}
+
+/// Right shift by `sh` with round-to-nearest-even (left shift if negative).
+fn shift_round(v: i64, sh: i32) -> i64 {
+    if sh > 0 {
+        Rounding::NearestEven.shift_right(v, sh as u32)
+    } else {
+        v << (-sh).min(62)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q85() -> QFormat {
+        QFormat::new(8, 5)
+    }
+
+    #[test]
+    fn isqrt_exact_small() {
+        for x in 0u64..2000 {
+            let s = isqrt_u64(x);
+            assert!(s * s <= x);
+            assert!((s + 1) * (s + 1) > x);
+        }
+    }
+
+    #[test]
+    fn isqrt_large_values() {
+        for &x in &[u64::MAX, u64::MAX - 1, 1u64 << 62, (1u64 << 32) - 1] {
+            let s = isqrt_u64(x);
+            assert!(s.checked_mul(s).is_some_and(|sq| sq <= x));
+            assert!((s + 1).checked_mul(s + 1).map_or(true, |sq| sq > x));
+        }
+    }
+
+    #[test]
+    fn constant_row_normalizes_to_beta() {
+        let unit = LayerNormUnit::identity(8, q85());
+        let row = vec![42i8; 8];
+        let mut out = vec![0i8; 8];
+        unit.forward_row(&row, q85(), &mut out);
+        // zero variance → centered values are 0 → output β = 0.
+        assert!(out.iter().all(|&y| y == 0), "{out:?}");
+    }
+
+    #[test]
+    fn output_mean_near_zero_identity_affine() {
+        let unit = LayerNormUnit::identity(16, q85());
+        let row: Vec<i8> = (0..16).map(|i| (i * 8 - 60) as i8).collect();
+        let mut out = vec![0i8; 16];
+        unit.forward_row(&row, q85(), &mut out);
+        let mean: f64 = out.iter().map(|&y| f64::from(y)).sum::<f64>() / 16.0;
+        assert!(mean.abs() < 4.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn matches_float_layernorm() {
+        let unit = LayerNormUnit::identity(32, q85());
+        let row: Vec<i8> = (0..32).map(|i| ((i * 37 % 101) as i8).wrapping_sub(50)).collect();
+        let mut out = vec![0i8; 32];
+        unit.forward_row(&row, q85(), &mut out);
+        // float reference (on raw values; LN is scale-invariant)
+        let xs: Vec<f64> = row.iter().map(|&x| f64::from(x)).collect();
+        let m = xs.iter().sum::<f64>() / 32.0;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / 32.0;
+        let s = v.sqrt().max(1.0);
+        for i in 0..32 {
+            let expect = (xs[i] - m) / s;
+            let got = unit.output_format().raw_to_real(i64::from(out[i]));
+            assert!(
+                (got - expect).abs() < 0.15,
+                "i={i} got={got} expect={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_parameters_apply() {
+        // γ = 2.0, β = 1.0 in Q1.6/Q1.6
+        let gamma_fmt = QFormat::new(8, 5);
+        let beta_fmt = QFormat::new(8, 5);
+        let unit = LayerNormUnit::new(
+            vec![64; 8], // 2.0 in Q.5
+            vec![32; 8], // 1.0 in Q.5
+            gamma_fmt,
+            beta_fmt,
+            QFormat::new(8, 4),
+        );
+        let row: Vec<i8> = vec![-40, -30, -20, -10, 10, 20, 30, 40];
+        let mut out = vec![0i8; 8];
+        unit.forward_row(&row, q85(), &mut out);
+        // expectation: 2*(x-0)/σ + 1
+        let v: f64 = row.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() / 8.0;
+        let s = v.sqrt();
+        for i in 0..8 {
+            let expect = 2.0 * f64::from(row[i]) / s + 1.0;
+            let got = f64::from(out[i]) / 16.0;
+            assert!((got - expect).abs() < 0.3, "i={i} got={got} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn runtime_dim_below_synthesized_max() {
+        let unit = LayerNormUnit::identity(768, q85());
+        let row: Vec<i8> = (0..256).map(|i| (i % 100) as i8).collect();
+        let mut out = vec![0i8; 256];
+        unit.forward_row(&row, q85(), &mut out); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds synthesized dimension")]
+    fn over_dim_row_rejected() {
+        let unit = LayerNormUnit::identity(4, q85());
+        let row = vec![0i8; 8];
+        let mut out = vec![0i8; 8];
+        unit.forward_row(&row, q85(), &mut out);
+    }
+
+    #[test]
+    fn div_round_nearest_behaviour() {
+        assert_eq!(div_round_nearest(7, 2), 4);
+        assert_eq!(div_round_nearest(-7, 2), -4);
+        assert_eq!(div_round_nearest(6, 4), 2);
+        assert_eq!(div_round_nearest(5, 10), 1);
+    }
+}

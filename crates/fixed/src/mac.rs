@@ -1,0 +1,167 @@
+//! Multiply-accumulate kernels — the PE datapath.
+//!
+//! Each ProTEA processing element is one DSP48 doing `acc += a * b` per
+//! cycle on 8-bit operands. An engine's unrolled inner loop is a *row* of
+//! PEs reducing in parallel. These kernels are the bit-exact software
+//! equivalent: i8×i8 products accumulated in i32 (order-independent because
+//! integer addition is associative — the property tests check permutation
+//! invariance, something float kernels cannot offer).
+
+/// Dot product of two i8 slices accumulated exactly in i32.
+///
+/// The maximum magnitude is `len · 128 · 128`; callers keep `len < 2^17`
+/// (true for every trip count in this design, max `4·d_model = 3072`) so
+/// the accumulation cannot overflow i32. Debug builds assert this.
+#[must_use]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    debug_assert!(a.len() < (1 << 17), "dot length {} risks i32 overflow", a.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| i32::from(x) * i32::from(y))
+        .sum()
+}
+
+/// Dot product with an explicit unroll factor, mirroring how the HLS
+/// `#pragma HLS unroll` splits the reduction into `unroll` parallel
+/// accumulator chains that are summed at the end.
+///
+/// The result is identical to [`dot_i8`] (integer addition is associative);
+/// this variant exists to (a) document the hardware reduction shape and
+/// (b) give the autovectorizer an easier pattern for benchmarking.
+#[must_use]
+pub fn dot_i8_unrolled(a: &[i8], b: &[i8], unroll: usize) -> i32 {
+    assert_eq!(a.len(), b.len());
+    let unroll = unroll.max(1).min(a.len().max(1));
+    let mut lanes = vec![0i32; unroll];
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        lanes[i % unroll] += i32::from(x) * i32::from(y);
+    }
+    lanes.iter().sum()
+}
+
+/// A stateful MAC unit: one PE. Used by the engine functional models where
+/// the accumulator lives across tile iterations (the paper's intermediate
+/// buffers that are "accumulated with results from previous iterations").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mac {
+    acc: i32,
+}
+
+impl Mac {
+    /// A fresh PE with a zeroed accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One cycle: `acc += a*b`.
+    pub fn step(&mut self, a: i8, b: i8) {
+        self.acc = self.acc.saturating_add(i32::from(a) * i32::from(b));
+    }
+
+    /// Fold a whole vector through the PE (models the pipelined loop).
+    pub fn accumulate(&mut self, a: &[i8], b: &[i8]) {
+        self.acc = self.acc.saturating_add(dot_i8(a, b));
+    }
+
+    /// Add a pre-scaled bias term directly into the accumulator (the
+    /// paper loads biases into registers and adds them to Q/K/V).
+    pub fn add_bias(&mut self, bias: i32) {
+        self.acc = self.acc.saturating_add(bias);
+    }
+
+    /// Read the accumulator.
+    #[must_use]
+    pub fn value(&self) -> i32 {
+        self.acc
+    }
+
+    /// Clear for the next output element (the `S_q ← 0` in Algorithm 1).
+    pub fn reset(&mut self) {
+        self.acc = 0;
+    }
+}
+
+/// Row-of-PEs helper: `out[j] = dot(a, b_cols[j])` for a bank of `n`
+/// parallel PEs sharing the `a` operand (one engine row step).
+pub fn pe_row(a: &[i8], b_cols: &[&[i8]], out: &mut [i32]) {
+    assert_eq!(b_cols.len(), out.len());
+    for (o, col) in out.iter_mut().zip(b_cols.iter()) {
+        *o = dot_i8(a, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_reference() {
+        let a = [1i8, -2, 3, -4];
+        let b = [5i8, 6, -7, 8];
+        assert_eq!(dot_i8(&a, &b), 5 - 12 - 21 - 32);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot_i8(&[], &[]), 0);
+    }
+
+    #[test]
+    fn dot_extreme_values_no_overflow() {
+        let a = vec![i8::MIN; 3072];
+        let b = vec![i8::MIN; 3072];
+        assert_eq!(dot_i8(&a, &b), 3072 * 128 * 128);
+    }
+
+    #[test]
+    fn unrolled_equals_rolled() {
+        let a: Vec<i8> = (0..97).map(|i| (i * 7 % 251) as i8).collect();
+        let b: Vec<i8> = (0..97).map(|i| (i * 13 % 251) as i8).collect();
+        let reference = dot_i8(&a, &b);
+        for unroll in [1, 2, 3, 8, 16, 64, 97, 200] {
+            assert_eq!(dot_i8_unrolled(&a, &b, unroll), reference, "unroll={unroll}");
+        }
+    }
+
+    #[test]
+    fn mac_step_equals_accumulate() {
+        let a = [3i8, -5, 7, 11, -13];
+        let b = [2i8, 4, -6, 8, 10];
+        let mut pe1 = Mac::new();
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            pe1.step(x, y);
+        }
+        let mut pe2 = Mac::new();
+        pe2.accumulate(&a, &b);
+        assert_eq!(pe1.value(), pe2.value());
+    }
+
+    #[test]
+    fn mac_bias_and_reset() {
+        let mut pe = Mac::new();
+        pe.add_bias(42);
+        pe.step(2, 3);
+        assert_eq!(pe.value(), 48);
+        pe.reset();
+        assert_eq!(pe.value(), 0);
+    }
+
+    #[test]
+    fn pe_row_computes_all_columns() {
+        let a = [1i8, 2, 3];
+        let c0 = [1i8, 0, 0];
+        let c1 = [0i8, 1, 0];
+        let c2 = [1i8, 1, 1];
+        let mut out = [0i32; 3];
+        pe_row(&a, &[&c0, &c1, &c2], &mut out);
+        assert_eq!(out, [1, 2, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot_i8(&[1, 2], &[1]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Requantization: wide accumulator → narrow storage.
+//!
+//! After an engine finishes an output element, the 32-bit accumulator holds
+//! a value in the *product* format (`frac_a + frac_b` fractional bits). The
+//! hardware requantization stage shifts it back to the 8-bit storage format
+//! and saturates. ProTEA's `QK_CE` additionally divides by the embedding
+//! dimension (Algorithm 2, line 9) — a power-of-two-friendly scaling we
+//! fold into the same shift where possible and model exactly otherwise.
+
+use crate::qformat::QFormat;
+use crate::rounding::Rounding;
+
+/// Requantize one accumulator value from `acc_frac` fractional bits to the
+/// `target` format, rounding per `mode` and saturating.
+#[must_use]
+pub fn requantize(acc: i32, acc_frac: u8, target: QFormat, mode: Rounding) -> i8 {
+    debug_assert_eq!(target.total_bits(), 8, "requantize targets 8-bit storage");
+    let src = i32::from(acc_frac);
+    let dst = i32::from(target.frac_bits());
+    let v = i64::from(acc);
+    let shifted = if dst >= src {
+        // Widening the fraction: left shift, saturating.
+        let sh = (dst - src) as u32;
+        v.checked_shl(sh).unwrap_or(if v >= 0 { i64::MAX } else { i64::MIN })
+    } else {
+        mode.shift_right(v, (src - dst) as u32)
+    };
+    shifted.clamp(-128, 127) as i8
+}
+
+/// A configured requantizer: fixed source fraction, target format, rounding
+/// mode, and an optional extra integer divisor (for the `S/d_model` scaling
+/// in Algorithm 2). One of these sits at the output of every engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Requantizer {
+    acc_frac: u8,
+    target: QFormat,
+    mode: Rounding,
+    /// Extra right-shift applied before format conversion; used for the
+    /// attention scaling `1/d_k^(1/2)` (the paper scales by the embedding
+    /// dimension, a stronger power-of-two-able normalization).
+    pre_shift: u8,
+}
+
+impl Requantizer {
+    /// Build a requantizer from the accumulator fraction and target format.
+    #[must_use]
+    pub fn new(acc_frac: u8, target: QFormat, mode: Rounding) -> Self {
+        Self { acc_frac, target, mode, pre_shift: 0 }
+    }
+
+    /// Add a power-of-two pre-scaling of `2^-shift` (e.g. `shift =
+    /// log2(d_model)` for Algorithm 2's division by the embedding
+    /// dimension).
+    #[must_use]
+    pub fn with_pre_shift(mut self, shift: u8) -> Self {
+        self.pre_shift = shift;
+        self
+    }
+
+    /// The target storage format.
+    #[must_use]
+    pub fn target(&self) -> QFormat {
+        self.target
+    }
+
+    /// Requantize a single accumulator value.
+    #[must_use]
+    pub fn apply(&self, acc: i32) -> i8 {
+        let pre = self.mode.shift_right(i64::from(acc), u32::from(self.pre_shift));
+        // `pre` still fits i32 semantics (a right shift only shrinks), but
+        // keep the wide path through requantize for uniform rounding.
+        let src = i32::from(self.acc_frac);
+        let dst = i32::from(self.target.frac_bits());
+        let shifted = if dst >= src {
+            let sh = (dst - src) as u32;
+            pre.checked_shl(sh).unwrap_or(if pre >= 0 { i64::MAX } else { i64::MIN })
+        } else {
+            self.mode.shift_right(pre, (src - dst) as u32)
+        };
+        shifted.clamp(-128, 127) as i8
+    }
+
+    /// Requantize a slice of accumulators into an i8 buffer.
+    pub fn apply_slice(&self, acc: &[i32], out: &mut [i8]) {
+        assert_eq!(acc.len(), out.len());
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = self.apply(a);
+        }
+    }
+
+    /// The real-valued scale this requantizer divides by, for verifying
+    /// against a float reference: `2^(acc_frac - target_frac + pre_shift)`.
+    #[must_use]
+    pub fn effective_shift(&self) -> i32 {
+        i32::from(self.acc_frac) - i32::from(self.target.frac_bits()) + i32::from(self.pre_shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requantize_identity_when_formats_match() {
+        let t = QFormat::new(8, 5);
+        assert_eq!(requantize(100, 5, t, Rounding::Truncate), 100);
+        assert_eq!(requantize(-100, 5, t, Rounding::Truncate), -100);
+    }
+
+    #[test]
+    fn requantize_shifts_down_product_format() {
+        // acc holds Q.10 (two Q.5 inputs); target Q.5 → shift right 5.
+        let t = QFormat::new(8, 5);
+        assert_eq!(requantize(32 << 5, 10, t, Rounding::NearestEven), 32);
+    }
+
+    #[test]
+    fn requantize_saturates() {
+        let t = QFormat::new(8, 5);
+        assert_eq!(requantize(i32::MAX, 10, t, Rounding::Truncate), 127);
+        assert_eq!(requantize(i32::MIN, 10, t, Rounding::Truncate), -128);
+    }
+
+    #[test]
+    fn requantize_widening_fraction() {
+        let t = QFormat::new(8, 7);
+        // acc = 1 in Q.5 (=1/32); in Q.7 it's raw 4.
+        assert_eq!(requantize(1, 5, t, Rounding::Truncate), 4);
+    }
+
+    #[test]
+    fn pre_shift_divides() {
+        let t = QFormat::new(8, 5);
+        let r = Requantizer::new(10, t, Rounding::Truncate).with_pre_shift(3);
+        // acc = 8.0 in Q.10 → pre-shift /8 → 1.0 → Q.5 raw 32.
+        assert_eq!(r.apply(8 << 10), 32);
+        assert_eq!(r.effective_shift(), 10 - 5 + 3);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let t = QFormat::new(8, 4);
+        let r = Requantizer::new(9, t, Rounding::NearestEven);
+        let acc: Vec<i32> = (-20..20).map(|i| i * 137).collect();
+        let mut out = vec![0i8; acc.len()];
+        r.apply_slice(&acc, &mut out);
+        for (i, &a) in acc.iter().enumerate() {
+            assert_eq!(out[i], r.apply(a));
+        }
+    }
+
+    #[test]
+    fn requantize_error_within_half_lsb_of_target() {
+        let t = QFormat::new(8, 5);
+        for acc in (-4000i32..4000).step_by(7) {
+            let real = f64::from(acc) / 1024.0; // Q.10
+            let q = requantize(acc, 10, t, Rounding::NearestEven);
+            let back = f64::from(q) / 32.0;
+            if real.abs() < t.real_max() {
+                assert!((back - real).abs() <= t.lsb() / 2.0 + 1e-12, "acc={acc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Hardware rounding modes for right-shift requantization.
+//!
+//! When a wide accumulator is narrowed to storage width, the datapath
+//! right-shifts by the difference in fractional bits and must decide what
+//! happens to the discarded bits. Real HLS designs pick one of these
+//! strategies (`AP_TRN`, `AP_RND`, `AP_RND_CONV` in `ap_fixed` terms).
+
+/// Rounding strategy applied when discarding low-order bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Truncate toward negative infinity (drop bits; `AP_TRN`). Cheapest in
+    /// hardware — a plain wire selection.
+    Truncate,
+    /// Round half away from zero (`AP_RND`): add half an LSB of the target
+    /// format before truncating. One extra adder in hardware. This is the
+    /// ProTEA default.
+    #[default]
+    NearestEven, // see note below: implemented as convergent rounding
+    /// Round half up (toward +infinity): add `0.5 LSB` then floor.
+    HalfUp,
+}
+
+impl Rounding {
+    /// Shift `value` right by `shift` bits applying this rounding mode.
+    ///
+    /// `shift == 0` returns the value unchanged. `shift` up to 63 is
+    /// supported; the result always fits in `i64` because rounding a
+    /// right-shift can increase magnitude by at most one LSB.
+    #[must_use]
+    pub fn shift_right(self, value: i64, shift: u32) -> i64 {
+        if shift == 0 {
+            return value;
+        }
+        let shift = shift.min(63);
+        match self {
+            Rounding::Truncate => value >> shift,
+            Rounding::HalfUp => {
+                let half = 1i64 << (shift - 1);
+                // Saturating add guards the pathological i64::MAX case.
+                value.saturating_add(half) >> shift
+            }
+            Rounding::NearestEven => {
+                let floor = value >> shift;
+                let rem = value - (floor << shift);
+                let half = 1i64 << (shift - 1);
+                if rem > half || (rem == half && (floor & 1) == 1) {
+                    floor + 1
+                } else {
+                    floor
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_is_floor_division() {
+        let r = Rounding::Truncate;
+        assert_eq!(r.shift_right(7, 1), 3);
+        assert_eq!(r.shift_right(-7, 1), -4); // arithmetic shift floors
+        assert_eq!(r.shift_right(8, 3), 1);
+        assert_eq!(r.shift_right(-8, 3), -1);
+    }
+
+    #[test]
+    fn half_up_rounds_ties_up() {
+        let r = Rounding::HalfUp;
+        assert_eq!(r.shift_right(3, 1), 2); // 1.5 -> 2
+        assert_eq!(r.shift_right(-3, 1), -1); // -1.5 -> -1
+        assert_eq!(r.shift_right(5, 2), 1); // 1.25 -> 1
+        assert_eq!(r.shift_right(6, 2), 2); // 1.5 -> 2
+    }
+
+    #[test]
+    fn nearest_even_breaks_ties_to_even() {
+        let r = Rounding::NearestEven;
+        assert_eq!(r.shift_right(2, 2), 0); // 0.5 -> 0 (even)
+        assert_eq!(r.shift_right(6, 2), 2); // 1.5 -> 2 (even)
+        assert_eq!(r.shift_right(10, 2), 2); // 2.5 -> 2 (even)
+        assert_eq!(r.shift_right(-2, 2), 0); // -0.5 -> 0
+        assert_eq!(r.shift_right(-6, 2), -2); // -1.5 -> -2
+        assert_eq!(r.shift_right(3, 2), 1); // 0.75 -> 1
+    }
+
+    #[test]
+    fn zero_shift_identity() {
+        for &m in &[Rounding::Truncate, Rounding::HalfUp, Rounding::NearestEven] {
+            assert_eq!(m.shift_right(12345, 0), 12345);
+            assert_eq!(m.shift_right(-12345, 0), -12345);
+        }
+    }
+
+    #[test]
+    fn large_shift_clamps() {
+        assert_eq!(Rounding::Truncate.shift_right(i64::MAX, 100), 0);
+        assert_eq!(Rounding::Truncate.shift_right(i64::MIN, 100), -1);
+    }
+
+    #[test]
+    fn rounding_error_bounded() {
+        // |round(x/2^s) - x/2^s| <= 1 for truncation, <= 0.5 for nearest.
+        for v in -1000i64..1000 {
+            for s in 1..8u32 {
+                let exact = v as f64 / f64::from(1u32 << s);
+                let t = Rounding::Truncate.shift_right(v, s) as f64;
+                let n = Rounding::NearestEven.shift_right(v, s) as f64;
+                assert!((t - exact).abs() < 1.0 + 1e-12);
+                assert!((n - exact).abs() <= 0.5 + 1e-12);
+            }
+        }
+    }
+}

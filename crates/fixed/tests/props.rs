@@ -1,0 +1,101 @@
+//! Property-based tests of the fixed-point layer's algebraic contracts.
+
+use proptest::prelude::*;
+use protea_fixed::layernorm::isqrt_u64;
+use protea_fixed::{
+    dot_i8, dot_i8_unrolled, gelu_i8, relu_i8, requantize, Fx32, Fx8, QFormat, Rounding,
+};
+
+proptest! {
+    #[test]
+    fn quantization_round_trip_error_at_most_half_lsb(
+        x in -200f64..200f64, frac in 0u8..8
+    ) {
+        let fmt = QFormat::new(8, frac);
+        let q = Fx8::from_real(x, fmt);
+        if x < fmt.real_max() && x > fmt.real_min() {
+            prop_assert!((q.to_real() - x).abs() <= fmt.lsb() / 2.0 + 1e-12);
+        } else {
+            // saturated: output clamps to the range boundary
+            prop_assert!(q.raw() == 127 || q.raw() == -128);
+        }
+    }
+
+    #[test]
+    fn sat_add_is_commutative_and_bounded(a in any::<i8>(), b in any::<i8>()) {
+        let fmt = QFormat::q8_default();
+        let x = Fx8::from_raw(a, fmt);
+        let y = Fx8::from_raw(b, fmt);
+        prop_assert_eq!(x.sat_add(y).raw(), y.sat_add(x).raw());
+        let exact = i16::from(a) + i16::from(b);
+        let got = i16::from(x.sat_add(y).raw());
+        prop_assert_eq!(got, exact.clamp(-128, 127));
+    }
+
+    #[test]
+    fn widening_mul_is_exact(a in any::<i8>(), b in any::<i8>()) {
+        let fmt = QFormat::q8_default();
+        let p = Fx8::from_raw(a, fmt).widening_mul(Fx8::from_raw(b, fmt));
+        prop_assert_eq!(i32::from(p.raw()), i32::from(a) * i32::from(b));
+    }
+
+    #[test]
+    fn mac_accumulates_exactly(pairs in prop::collection::vec((any::<i8>(), any::<i8>()), 0..64)) {
+        let acc_fmt = QFormat::acc32(10);
+        let fmt = QFormat::q8_default();
+        let mut acc = Fx32::from_raw(0, acc_fmt);
+        let mut expect = 0i64;
+        for &(a, b) in &pairs {
+            acc = acc.mac(Fx8::from_raw(a, fmt), Fx8::from_raw(b, fmt));
+            expect += i64::from(a) * i64::from(b);
+        }
+        prop_assert_eq!(i64::from(acc.raw()), expect); // 64·2^14 ≪ i32::MAX
+    }
+
+    #[test]
+    fn dot_matches_unrolled_for_all_factors(
+        a in prop::collection::vec(any::<i8>(), 0..128),
+        unroll in 1usize..40
+    ) {
+        let b: Vec<i8> = a.iter().rev().copied().collect();
+        prop_assert_eq!(dot_i8(&a, &b), dot_i8_unrolled(&a, &b, unroll));
+    }
+
+    #[test]
+    fn requantize_is_monotone_in_the_accumulator(
+        a in -100_000i32..100_000, delta in 0i32..10_000, frac in 6u8..14
+    ) {
+        let t = QFormat::new(8, 5);
+        for mode in [Rounding::Truncate, Rounding::NearestEven, Rounding::HalfUp] {
+            let lo = requantize(a, frac, t, mode);
+            let hi = requantize(a.saturating_add(delta), frac, t, mode);
+            prop_assert!(hi >= lo, "{mode:?}: requantize must be monotone");
+        }
+    }
+
+    #[test]
+    fn relu_gelu_bounded_by_identity(x in any::<i8>()) {
+        let fmt = QFormat::q8_default();
+        prop_assert!(relu_i8(x) >= 0);
+        prop_assert!(relu_i8(x) >= x.min(0));
+        let g = gelu_i8(x, fmt);
+        // gelu(x) ≤ max(x, 0) + 1 LSB and ≥ min(x, 0) − slack
+        prop_assert!(i16::from(g) <= i16::from(x.max(0)) + 1);
+        prop_assert!(i16::from(g) >= i16::from(x.min(0)) - 1);
+    }
+
+    #[test]
+    fn isqrt_is_exact_floor_sqrt(x in any::<u64>()) {
+        let s = isqrt_u64(x);
+        prop_assert!(s.checked_mul(s).is_some_and(|sq| sq <= x));
+        prop_assert!((s + 1).checked_mul(s + 1).map_or(true, |sq| sq > x));
+    }
+
+    #[test]
+    fn rounding_modes_agree_on_exact_multiples(v in -1_000_000i64..1_000_000, s in 1u32..16) {
+        let exact = v << s;
+        for mode in [Rounding::Truncate, Rounding::NearestEven, Rounding::HalfUp] {
+            prop_assert_eq!(mode.shift_right(exact, s), v);
+        }
+    }
+}

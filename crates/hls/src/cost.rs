@@ -1,0 +1,153 @@
+//! Calibrated resource costs for synthesized functional units.
+//!
+//! The paper reports exactly one synthesized design point (Table I):
+//! 3612 DSPs, 993 107 LUTs, 704 115 FFs for `TS_MHA = 64`, `TS_FFN = 128`,
+//! `h = 8` head engines, `d_max = 768`, `SL_max = 128`. The PE counts
+//! follow from the unroll widths of Algorithms 1–4:
+//!
+//! ```text
+//! QKV_CE:  3·TS_MHA  per head  →  8 · 192 = 1536 DSP
+//! QK_CE:   d/h = 96  per head  →  8 ·  96 =  768 DSP
+//! SV_CE:   SL_syn=64 per head  →  8 ·  64 =  512 DSP
+//! FFN1_CE: TS_FFN              →        128 DSP
+//! FFN2_CE: TS_FFN              →        128 DSP
+//! FFN3_CE: 4·TS_FFN            →        512 DSP
+//!                                 ──────────
+//!                                  3584 DSP  (+ 28 in softmax/LN units)
+//! ```
+//!
+//! That the published total (3612) is within 28 DSPs of the PE-array sum
+//! is strong evidence for this reconstruction; the remaining units and
+//! the LUT/FF per-PE costs below are calibrated so the published design
+//! point reproduces **exactly** (asserted in tests).
+
+use protea_platform::ResourceVector;
+
+/// Resource cost of one processing element (one MAC lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeCost {
+    /// DSP48 slices per PE.
+    pub dsps: u64,
+    /// LUTs per PE (operand muxing, address logic, share of the local
+    /// LUTRAM weight banks).
+    pub luts: u64,
+    /// Flip-flops per PE (pipeline registers).
+    pub ffs: u64,
+}
+
+impl PeCost {
+    /// Calibrated against Table I (see module docs).
+    #[must_use]
+    pub const fn calibrated() -> Self {
+        Self { dsps: 1, luts: 240, ffs: 170 }
+    }
+
+    /// Resources of `n` PEs.
+    #[must_use]
+    pub fn times(&self, n: u64) -> ResourceVector {
+        ResourceVector { luts: self.luts * n, ffs: self.ffs * n, dsps: self.dsps * n, bram18: 0, uram: 0 }
+    }
+}
+
+/// Resource cost of a non-PE functional unit (softmax, layer norm, the
+/// AXI/control infrastructure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalUnitCost {
+    /// LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSPs.
+    pub dsps: u64,
+}
+
+impl FunctionalUnitCost {
+    /// One softmax unit (per attention head): exp ROM + divider datapath.
+    /// The exp ROM itself is 4 Kib → LUTs, matching the paper's "softmax
+    /// … utilizes LUTs and flip-flops".
+    #[must_use]
+    pub const fn softmax_unit() -> Self {
+        Self { luts: 6_000, ffs: 4_000, dsps: 2 }
+    }
+
+    /// One layer-normalization unit: mean/variance accumulators, isqrt,
+    /// reciprocal multiply.
+    #[must_use]
+    pub const fn layernorm_unit() -> Self {
+        Self { luts: 8_000, ffs: 5_000, dsps: 6 }
+    }
+
+    /// The fixed infrastructure: AXI masters, AXI-lite slave, the
+    /// accelerator controller, bias registers. Calibrated once so the
+    /// Table I design point reproduces exactly.
+    #[must_use]
+    pub const fn base_infrastructure() -> Self {
+        Self { luts: 68_947, ffs: 52_835, dsps: 0 }
+    }
+
+    /// As a resource vector.
+    #[must_use]
+    pub const fn resources(&self) -> ResourceVector {
+        ResourceVector { luts: self.luts, ffs: self.ffs, dsps: self.dsps, bram18: 0, uram: 0 }
+    }
+
+    /// `n` copies.
+    #[must_use]
+    pub fn times(&self, n: u64) -> ResourceVector {
+        ResourceVector {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            dsps: self.dsps * n,
+            bram18: 0,
+            uram: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod calibration {
+    use super::*;
+
+    /// The published design point's PE count (see module docs).
+    const PE_TOTAL: u64 = 3584;
+    const HEADS: u64 = 8;
+    const LN_UNITS: u64 = 2;
+
+    #[test]
+    fn dsp_total_matches_table1() {
+        let pes = PeCost::calibrated().times(PE_TOTAL);
+        let softmax = FunctionalUnitCost::softmax_unit().times(HEADS);
+        let ln = FunctionalUnitCost::layernorm_unit().times(LN_UNITS);
+        let total = pes + softmax + ln + FunctionalUnitCost::base_infrastructure().resources();
+        assert_eq!(total.dsps, 3_612, "Table I: 3612 DSPs");
+    }
+
+    #[test]
+    fn lut_total_matches_table1() {
+        let pes = PeCost::calibrated().times(PE_TOTAL);
+        let softmax = FunctionalUnitCost::softmax_unit().times(HEADS);
+        let ln = FunctionalUnitCost::layernorm_unit().times(LN_UNITS);
+        let total = pes + softmax + ln + FunctionalUnitCost::base_infrastructure().resources();
+        assert_eq!(total.luts, 993_107, "Table I: 993107 LUTs");
+    }
+
+    #[test]
+    fn ff_total_matches_table1() {
+        let pes = PeCost::calibrated().times(PE_TOTAL);
+        let softmax = FunctionalUnitCost::softmax_unit().times(HEADS);
+        let ln = FunctionalUnitCost::layernorm_unit().times(LN_UNITS);
+        let total = pes + softmax + ln + FunctionalUnitCost::base_infrastructure().resources();
+        assert_eq!(total.ffs, 704_115, "Table I: 704115 FFs");
+    }
+
+    #[test]
+    fn pe_reconstruction_from_unroll_widths() {
+        let ts_mha = 64;
+        let ts_ffn = 128;
+        let d_max = 768;
+        let sl_syn = 64; // SV_CE unroll is the synthesized SL of Table I tests
+        let per_head = 3 * ts_mha + d_max / HEADS + sl_syn;
+        let ffn = 2 * ts_ffn + 4 * ts_ffn;
+        assert_eq!(HEADS * per_head + ffn, PE_TOTAL);
+    }
+}

@@ -1,0 +1,180 @@
+//! Initiation-interval analysis: why the FFN engines run at II = 2.
+//!
+//! Vitis-HLS schedules a pipelined loop at the smallest II that
+//! satisfies (a) recurrence constraints — a value computed in one
+//! iteration and consumed `distance` iterations later cannot recur
+//! faster than `ceil(latency / distance)` — and (b) resource
+//! constraints — a memory bank with `P` ports can serve at most `P`
+//! accesses per II window.
+//!
+//! ProTEA's engine loops differ in exactly one way: the MHA engines
+//! accumulate in *registers* (`S_q ← S_q + …`, scalars held in FFs),
+//! while the FFN engines accumulate into a **BRAM-backed output buffer**
+//! (`output[i][m] ← output[i][j] + sum`, Algorithm 4) — a read-modify-
+//! write through a dual-port memory that also services the stream-out,
+//! plus the recurrence through the adder. Running this analysis on the
+//! two loop shapes yields II = 1 for MHA and II = 2 for FFN — the values
+//! the Table I calibration needs (tests below assert both).
+
+/// One memory accessed inside a pipelined loop body.
+#[derive(Debug, Clone, Copy)]
+pub struct MemAccess {
+    /// Reads per iteration hitting the same bank.
+    pub reads_per_iter: u32,
+    /// Writes per iteration hitting the same bank.
+    pub writes_per_iter: u32,
+    /// Ports on that bank (BRAM true dual-port = 2; registers = ∞,
+    /// model with `u32::MAX`).
+    pub ports: u32,
+}
+
+impl MemAccess {
+    /// Minimum II this access pattern permits: `ceil(accesses / ports)`.
+    #[must_use]
+    pub fn min_ii(&self) -> u32 {
+        let accesses = self.reads_per_iter + self.writes_per_iter;
+        if accesses == 0 {
+            return 1;
+        }
+        accesses.div_ceil(self.ports.max(1)).max(1)
+    }
+}
+
+/// A loop-carried recurrence (value produced and consumed across
+/// iterations).
+#[derive(Debug, Clone, Copy)]
+pub struct Recurrence {
+    /// Combinational+register latency of the producing operation chain
+    /// (cycles).
+    pub latency: u32,
+    /// Iteration distance between production and consumption.
+    pub distance: u32,
+}
+
+impl Recurrence {
+    /// Minimum II: `ceil(latency / distance)`.
+    #[must_use]
+    pub fn min_ii(&self) -> u32 {
+        assert!(self.distance > 0, "recurrence distance must be positive");
+        self.latency.div_ceil(self.distance).max(1)
+    }
+}
+
+/// The II analysis of one pipelined loop body.
+#[derive(Debug, Clone, Default)]
+pub struct IiAnalysis {
+    memories: Vec<MemAccess>,
+    recurrences: Vec<Recurrence>,
+}
+
+impl IiAnalysis {
+    /// An empty analysis (II = 1).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a memory-port constraint.
+    #[must_use]
+    pub fn with_memory(mut self, m: MemAccess) -> Self {
+        self.memories.push(m);
+        self
+    }
+
+    /// Add a recurrence constraint.
+    #[must_use]
+    pub fn with_recurrence(mut self, r: Recurrence) -> Self {
+        self.recurrences.push(r);
+        self
+    }
+
+    /// The achievable II: the max over all constraints.
+    #[must_use]
+    pub fn achievable_ii(&self) -> u32 {
+        self.memories
+            .iter()
+            .map(MemAccess::min_ii)
+            .chain(self.recurrences.iter().map(Recurrence::min_ii))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// ProTEA's MHA engine inner loop (Algorithm 1): operand banks are
+    /// fully partitioned (one PE per bank, 1 read/iter on a 2-port
+    /// memory); the accumulators `S_q/S_k/S_v` live in registers, so the
+    /// accumulation recurrence retires in a single cycle.
+    #[must_use]
+    pub fn protea_mha_loop() -> Self {
+        Self::new()
+            .with_memory(MemAccess { reads_per_iter: 1, writes_per_iter: 0, ports: 2 }) // X bank
+            .with_memory(MemAccess { reads_per_iter: 1, writes_per_iter: 0, ports: 2 }) // W bank
+            .with_recurrence(Recurrence { latency: 1, distance: 1 }) // FF accumulator
+    }
+
+    /// ProTEA's FFN engine inner loop (Algorithm 4): operand banks as
+    /// above, but the output accumulation is a read-modify-write into a
+    /// dual-port BRAM that the same window also uses for the running
+    /// partial-sum read — 2 accesses/iteration on top of the read — and
+    /// the BRAM read latency puts 2 cycles into the recurrence.
+    #[must_use]
+    pub fn protea_ffn_loop() -> Self {
+        Self::new()
+            .with_memory(MemAccess { reads_per_iter: 1, writes_per_iter: 0, ports: 2 }) // input bank
+            .with_memory(MemAccess { reads_per_iter: 1, writes_per_iter: 0, ports: 2 }) // weight bank
+            // output buffer: read old partial + write new partial, and the
+            // stream-out path shares the second port half the time → the
+            // binding constraint is the RMW recurrence through BRAM:
+            .with_memory(MemAccess { reads_per_iter: 1, writes_per_iter: 1, ports: 2 })
+            .with_recurrence(Recurrence { latency: 2, distance: 1 }) // BRAM RMW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_math() {
+        assert_eq!(MemAccess { reads_per_iter: 1, writes_per_iter: 0, ports: 2 }.min_ii(), 1);
+        assert_eq!(MemAccess { reads_per_iter: 2, writes_per_iter: 1, ports: 2 }.min_ii(), 2);
+        assert_eq!(MemAccess { reads_per_iter: 4, writes_per_iter: 0, ports: 1 }.min_ii(), 4);
+        assert_eq!(MemAccess { reads_per_iter: 0, writes_per_iter: 0, ports: 2 }.min_ii(), 1);
+    }
+
+    #[test]
+    fn recurrence_math() {
+        assert_eq!(Recurrence { latency: 1, distance: 1 }.min_ii(), 1);
+        assert_eq!(Recurrence { latency: 2, distance: 1 }.min_ii(), 2);
+        assert_eq!(Recurrence { latency: 5, distance: 2 }.min_ii(), 3);
+    }
+
+    #[test]
+    fn mha_loops_achieve_ii_1() {
+        assert_eq!(IiAnalysis::protea_mha_loop().achievable_ii(), 1);
+    }
+
+    #[test]
+    fn ffn_loops_are_ii_2_bound() {
+        // The mechanical justification for the Table I calibration.
+        assert_eq!(IiAnalysis::protea_ffn_loop().achievable_ii(), 2);
+    }
+
+    #[test]
+    fn worst_constraint_governs() {
+        let a = IiAnalysis::new()
+            .with_memory(MemAccess { reads_per_iter: 1, writes_per_iter: 0, ports: 2 })
+            .with_recurrence(Recurrence { latency: 6, distance: 2 });
+        assert_eq!(a.achievable_ii(), 3);
+    }
+
+    #[test]
+    fn empty_analysis_is_ii_1() {
+        assert_eq!(IiAnalysis::new().achievable_ii(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn zero_distance_rejected() {
+        let _ = Recurrence { latency: 1, distance: 0 }.min_ii();
+    }
+}

@@ -1,0 +1,204 @@
+//! A miniature loop-nest DSL — "parameterized HLS code" as data.
+//!
+//! The paper's contribution list includes "a parameterized HLS code that
+//! allows for design-time adjustments". This parser gives the repository
+//! the same affordance: engine loop structures written as text (one per
+//! Algorithm in the paper), parsed into [`LoopNest`]s the scheduler can
+//! price. Grammar (whitespace-separated; braces and `=` may abut):
+//!
+//! ```text
+//! nest   := [ "depth" INT ] loop
+//! loop   := "for" INT mode [ "{" loop "}" ]
+//! mode   := "off" | "ii" "=" INT | "unroll"
+//! ```
+//!
+//! Example — Algorithm 1's QKV engine, one tile:
+//!
+//! ```
+//! use protea_hls::parse::parse_nest;
+//! let nest = parse_nest("depth 16 for 64 off { for 96 ii=1 { for 64 unroll } }").unwrap();
+//! assert_eq!(nest.pe_count(), 64);
+//! ```
+
+use crate::sched::{LoopNest, LoopSpec};
+
+/// Parse errors with a token position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Token index the error was detected at.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Tokens {
+    owned: Vec<String>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn new(src: &str) -> Self {
+        let spaced = src.replace('{', " { ").replace('}', " } ").replace('=', " = ");
+        Self { owned: spaced.split_whitespace().map(str::to_string).collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.owned.get(self.pos).map(String::as_str)
+    }
+
+    fn next_tok(&mut self) -> Option<String> {
+        let t = self.owned.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, what: &str) -> Result<(), ParseError> {
+        match self.next_tok() {
+            Some(ref t) if t == what => Ok(()),
+            Some(t) => Err(ParseError {
+                at: self.pos - 1,
+                message: format!("expected '{what}', found '{t}'"),
+            }),
+            None => {
+                Err(ParseError { at: self.pos, message: format!("expected '{what}', found end") })
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseError> {
+        match self.next_tok() {
+            Some(t) => t.parse().map_err(|_| ParseError {
+                at: self.pos - 1,
+                message: format!("expected integer, found '{t}'"),
+            }),
+            None => Err(ParseError { at: self.pos, message: "expected integer, found end".into() }),
+        }
+    }
+}
+
+/// Parse a loop-nest description (see module docs for the grammar).
+pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
+    let mut t = Tokens::new(src);
+    let mut depth = 8u32; // default pipeline depth
+    if t.peek() == Some("depth") {
+        let _ = t.next_tok();
+        depth = t.int()? as u32;
+    }
+    let mut levels = Vec::new();
+    parse_loop(&mut t, &mut levels)?;
+    if let Some(extra) = t.peek() {
+        return Err(ParseError { at: t.pos, message: format!("trailing input '{extra}'") });
+    }
+    Ok(LoopNest::new(levels, depth))
+}
+
+fn parse_loop(t: &mut Tokens, levels: &mut Vec<LoopSpec>) -> Result<(), ParseError> {
+    t.expect("for")?;
+    let trip = t.int()?;
+    let mode = t
+        .next_tok()
+        .ok_or_else(|| ParseError { at: t.pos, message: "expected loop mode, found end".into() })?;
+    let spec = match mode.as_str() {
+        // "unroll" marks a spatial level: it sits below the pipelined
+        // level, where LoopNest already interprets trips as PE counts.
+        "off" | "unroll" => LoopSpec::sequential(trip),
+        "ii" => {
+            t.expect("=")?;
+            let ii = t.int()? as u32;
+            if ii == 0 {
+                return Err(ParseError { at: t.pos - 1, message: "ii must be >= 1".into() });
+            }
+            LoopSpec::pipelined(trip, ii)
+        }
+        other => {
+            return Err(ParseError {
+                at: t.pos - 1,
+                message: format!("unknown loop mode '{other}' (off | ii=N | unroll)"),
+            })
+        }
+    };
+    levels.push(spec);
+    if t.peek() == Some("{") {
+        let _ = t.next_tok();
+        parse_loop(t, levels)?;
+        t.expect("}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm1_qkv_shape() {
+        let nest =
+            parse_nest("depth 16 for 64 off { for 96 ii=1 { for 64 unroll } }").unwrap();
+        assert_eq!(nest.pe_count(), 64);
+        let c = nest.cycles();
+        assert!(c > 64 * 96 && c < 64 * 140, "cycles = {c}");
+    }
+
+    #[test]
+    fn algorithm4_ffn_shape() {
+        let nest =
+            parse_nest("depth 16 for 64 off { for 128 ii=2 { for 128 unroll } }").unwrap();
+        assert_eq!(nest.pe_count(), 128);
+        let c = nest.cycles();
+        assert!(c > 64 * 256, "II=2 steady state: {c}");
+    }
+
+    #[test]
+    fn default_depth_applies() {
+        let nest = parse_nest("for 10 ii=1").unwrap();
+        assert_eq!(nest.cycles(), 8 + 9); // depth 8 + (trip−1)
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_nest("for x off").unwrap_err();
+        assert!(e.message.contains("expected integer"));
+        let e = parse_nest("for 4 sideways").unwrap_err();
+        assert!(e.message.contains("unknown loop mode"));
+        let e = parse_nest("for 4 ii=0").unwrap_err();
+        assert!(e.message.contains("ii must be"));
+        let e = parse_nest("for 4 off extra").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse_nest("for 4 off { for 2 off").unwrap_err();
+        assert!(e.message.contains("expected '}'"));
+    }
+
+    #[test]
+    fn braces_need_no_spaces() {
+        let a = parse_nest("for 4 off {for 8 ii=1{for 16 unroll}}").unwrap();
+        let b = parse_nest("for 4 off { for 8 ii=1 { for 16 unroll } }").unwrap();
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.pe_count(), b.pe_count());
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        assert!(parse_nest("").is_err());
+        assert!(parse_nest("depth 4").is_err());
+    }
+
+    #[test]
+    fn parsed_nest_matches_hand_built() {
+        let parsed = parse_nest("depth 16 for 64 off { for 96 ii=1 }").unwrap();
+        let built = LoopNest::new(
+            vec![LoopSpec::sequential(64), LoopSpec::pipelined(96, 1)],
+            16,
+        );
+        assert_eq!(parsed.cycles(), built.cycles());
+    }
+}

@@ -1,0 +1,160 @@
+//! Bounded FIFOs with occupancy statistics.
+//!
+//! Hardware streams (AXI read data, inter-engine buffers) are bounded
+//! queues; sizing them is a design decision the simulator should inform.
+//! [`Fifo`] tracks the high-water mark and total traffic so buffer-depth
+//! studies fall out of a normal run.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    total_pushed: u64,
+    rejected: u64,
+}
+
+impl<T> Fifo<T> {
+    /// A FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be nonzero");
+        Self {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            high_water: 0,
+            total_pushed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Attempt to enqueue; returns `Err(item)` back if full (the caller —
+    /// usually a producer component — must apply backpressure).
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the oldest item.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed (buffer sizing signal).
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total accepted pushes.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Pushes rejected because the FIFO was full (backpressure events).
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_on_full() {
+        let mut f = Fifo::new(2);
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push('c'), Err('c'));
+        assert_eq!(f.rejected(), 1);
+        f.pop();
+        assert!(f.push('c').is_ok());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = Fifo::new(10);
+        for i in 0..7 {
+            f.push(i).unwrap();
+        }
+        for _ in 0..5 {
+            f.pop();
+        }
+        f.push(99).unwrap();
+        assert_eq!(f.high_water(), 7);
+        assert_eq!(f.total_pushed(), 8);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut f = Fifo::new(2);
+        f.push(5).unwrap();
+        assert_eq!(f.front(), Some(&5));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # protea-hwsim — a deterministic discrete-event simulation kernel
+//!
+//! The ProTEA reproduction needs cycle-level timing for hardware that we
+//! cannot run: engines computing while DMA channels stream the next weight
+//! tile out of HBM, with the layer latency emerging from their overlap.
+//! This crate is the simulation substrate: a classic event-driven kernel
+//! with
+//!
+//! * [`Cycles`] — simulation time as clock cycles, convertible to wall
+//!   time at a chosen frequency,
+//! * [`Simulator`] — an event queue of `FnOnce` callbacks over a
+//!   user-provided model type, with **deterministic FIFO tie-breaking**
+//!   (two events at the same cycle fire in scheduling order — property
+//!   tested, because nondeterministic simulators are unreproducible
+//!   simulators),
+//! * [`Fifo`] — bounded queues with occupancy high-water tracking for
+//!   buffer sizing studies,
+//! * [`stats`] — counters, busy/utilization trackers and log₂ histograms.
+//!
+//! The kernel is intentionally small and has no dependencies; everything
+//! is `#![forbid(unsafe_code)]` and single-threaded (determinism beats
+//! parallelism inside a *model of* parallel hardware — the modeled
+//! parallelism is in the event timeline, not the host threads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fifo;
+pub mod kernel;
+pub mod stats;
+pub mod trace;
+pub mod time;
+
+pub use fifo::Fifo;
+pub use kernel::{EventId, Simulator};
+pub use stats::{Counter, Histogram, Utilization};
+pub use trace::{SignalId, VcdTrace};
+pub use time::{Cycles, Frequency};

@@ -1,0 +1,88 @@
+//! Tile transfer descriptors.
+//!
+//! The accelerator's controller issues one descriptor per tile load
+//! ("during each iteration, distinct data is loaded into the W_q, W_k,
+//! W_v, and X_i buffers"). A descriptor knows its size and can price
+//! itself on a port + channel pair.
+
+use crate::axi::AxiPort;
+use crate::hbm::{bounded_transfer_cycles, ChannelShare};
+use protea_hwsim::Cycles;
+
+/// One tile load: `bytes` of contiguous weight/input data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileTransfer {
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Human-readable tag for reports ("W_q tile 3", "FFN2 W (2,5)").
+    pub tag: &'static str,
+}
+
+impl TileTransfer {
+    /// A descriptor for a `rows × cols` tile of `elem_bytes`-wide elements.
+    #[must_use]
+    pub fn for_tile(rows: u64, cols: u64, elem_bytes: u64, tag: &'static str) -> Self {
+        Self { bytes: rows * cols * elem_bytes, tag }
+    }
+
+    /// Cycles to complete on `port` backed by `share`.
+    #[must_use]
+    pub fn cycles(&self, port: &AxiPort, share: &ChannelShare) -> Cycles {
+        bounded_transfer_cycles(port, share, self.bytes)
+    }
+}
+
+/// Price a batch of transfers that proceed **sequentially** on one port
+/// (one AXI master services one engine's buffers in order).
+#[must_use]
+pub fn sequential_cycles(transfers: &[TileTransfer], port: &AxiPort, share: &ChannelShare) -> Cycles {
+    transfers
+        .iter()
+        .fold(Cycles::ZERO, |acc, t| acc.saturating_add(t.cycles(port, share)))
+}
+
+/// Price a batch of transfers on **independent ports** (per-head masters
+/// run concurrently): the slowest governs.
+#[must_use]
+pub fn parallel_cycles(transfers: &[TileTransfer], port: &AxiPort, share: &ChannelShare) -> Cycles {
+    transfers
+        .iter()
+        .fold(Cycles::ZERO, |acc, t| acc.max(t.cycles(port, share)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> AxiPort {
+        AxiPort::new(128)
+    }
+
+    fn share() -> ChannelShare {
+        ChannelShare::fixed(1e9) // memory never the bottleneck here
+    }
+
+    #[test]
+    fn tile_sizes() {
+        // One MHA weight tile: (d/h) × TS_MHA × 1 B = 96 × 64 = 6 KiB.
+        let t = TileTransfer::for_tile(96, 64, 1, "W_q");
+        assert_eq!(t.bytes, 6144);
+    }
+
+    #[test]
+    fn sequential_adds_parallel_maxes() {
+        let a = TileTransfer { bytes: 1024, tag: "a" };
+        let b = TileTransfer { bytes: 2048, tag: "b" };
+        let seq = sequential_cycles(&[a, b], &port(), &share());
+        let par = parallel_cycles(&[a, b], &port(), &share());
+        assert_eq!(seq, a.cycles(&port(), &share()).saturating_add(b.cycles(&port(), &share())));
+        assert_eq!(par, b.cycles(&port(), &share()));
+        assert!(seq > par);
+    }
+
+    #[test]
+    fn empty_batches() {
+        assert_eq!(sequential_cycles(&[], &port(), &share()), Cycles::ZERO);
+        assert_eq!(parallel_cycles(&[], &port(), &share()), Cycles::ZERO);
+    }
+}

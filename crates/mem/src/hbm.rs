@@ -1,0 +1,100 @@
+//! Memory-side bandwidth: channel sharing between AXI masters.
+//!
+//! An AXI port can only stream as fast as the memory channel behind it.
+//! When several masters (e.g. the per-head weight DMAs) share one HBM
+//! pseudo-channel, each gets an equal share. The effective transfer rate
+//! is `min(port width, channel share)` — whichever is the bottleneck.
+
+use crate::axi::AxiPort;
+use protea_hwsim::Cycles;
+use protea_platform::ExternalMemory;
+
+/// The share of one memory channel available to one master.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelShare {
+    /// Memory-side bytes per accelerator cycle available to this master.
+    pub bytes_per_cycle: f64,
+}
+
+impl ChannelShare {
+    /// Compute the share of `memory`'s single channel split between
+    /// `sharers` masters, at kernel frequency `freq_hz`.
+    ///
+    /// # Panics
+    /// Panics if `sharers == 0`.
+    #[must_use]
+    pub fn of(memory: &ExternalMemory, sharers: u32, freq_hz: f64) -> Self {
+        assert!(sharers > 0, "at least one master must share the channel");
+        Self {
+            bytes_per_cycle: memory.bytes_per_cycle_per_channel(freq_hz) / f64::from(sharers),
+        }
+    }
+
+    /// An unshared channel with explicit bytes/cycle (for tests/presets).
+    #[must_use]
+    pub fn fixed(bytes_per_cycle: f64) -> Self {
+        assert!(bytes_per_cycle > 0.0);
+        Self { bytes_per_cycle }
+    }
+
+    /// Cycles for `bytes` through this channel share alone.
+    #[must_use]
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycles {
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles((bytes as f64 / self.bytes_per_cycle).ceil() as u64)
+    }
+}
+
+/// Cycles to move `bytes` through `port` backed by `share`: the slower of
+/// the two paths governs (they overlap, they don't add).
+#[must_use]
+pub fn bounded_transfer_cycles(port: &AxiPort, share: &ChannelShare, bytes: u64) -> Cycles {
+    port.transfer_cycles(bytes).max(share.transfer_cycles(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_splits_evenly() {
+        let mem = ExternalMemory::hbm2_u55c();
+        let solo = ChannelShare::of(&mem, 1, 200.0e6);
+        let duo = ChannelShare::of(&mem, 2, 200.0e6);
+        assert!((solo.bytes_per_cycle / duo.bytes_per_cycle - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn port_is_bottleneck_on_hbm() {
+        // 128-bit AXI (16 B/cyc) on an unshared U55C HBM channel
+        // (~61 B/cyc): the port governs.
+        let port = AxiPort::new(128);
+        let share = ChannelShare::of(&ExternalMemory::hbm2_u55c(), 1, 200.0e6);
+        let t = bounded_transfer_cycles(&port, &share, 64 * 1024);
+        assert_eq!(t, port.transfer_cycles(64 * 1024));
+    }
+
+    #[test]
+    fn memory_is_bottleneck_when_heavily_shared() {
+        // 32 masters on one channel: share ≈ 1.9 B/cyc < 16 B/cyc port.
+        let port = AxiPort::new(128);
+        let share = ChannelShare::of(&ExternalMemory::hbm2_u55c(), 32, 200.0e6);
+        let t = bounded_transfer_cycles(&port, &share, 64 * 1024);
+        assert_eq!(t, share.transfer_cycles(64 * 1024));
+        assert!(t > port.transfer_cycles(64 * 1024));
+    }
+
+    #[test]
+    fn zero_bytes_free() {
+        let share = ChannelShare::fixed(8.0);
+        assert_eq!(share.transfer_cycles(0), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn zero_sharers_rejected() {
+        let _ = ChannelShare::of(&ExternalMemory::hbm2_u55c(), 0, 200.0e6);
+    }
+}

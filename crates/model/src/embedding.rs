@@ -1,0 +1,281 @@
+//! Embeddings, positional encoding, and the output head — the parts of
+//! Fig. 1 that surround the encoder/decoder stacks.
+//!
+//! The paper's accelerator consumes pre-embedded sequences ("an input
+//! sequence of tokens is first converted into embeddings; the positional
+//! encoder adds positional information"), with the embedding done on the
+//! host. This module is that host-side stage plus the generator head
+//! (`Linear + Softmax` in Fig. 1), so the repository runs true
+//! token-in/token-out pipelines.
+
+use crate::config::EncoderConfig;
+use protea_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A token-embedding table with sinusoidal positional encoding.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Matrix<f32>,
+    d_model: usize,
+}
+
+impl Embedding {
+    /// Random-initialized table for `vocab` tokens (fan-in scaled).
+    #[must_use]
+    pub fn random(vocab: usize, d_model: usize, seed: u64) -> Self {
+        assert!(vocab > 0 && d_model > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 1.0 / (d_model as f32).sqrt();
+        Self {
+            table: Matrix::from_fn(vocab, d_model, |_, _| rng.gen_range(-bound..bound)),
+            d_model,
+        }
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// The classic sinusoidal positional encoding value for `(pos, i)`.
+    #[must_use]
+    pub fn positional(pos: usize, i: usize, d_model: usize) -> f32 {
+        let exponent = (2 * (i / 2)) as f32 / d_model as f32;
+        let angle = pos as f32 / 10_000f32.powf(exponent);
+        if i % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    }
+
+    /// Embed a token sequence: table lookup + positional encoding.
+    ///
+    /// # Panics
+    /// Panics on out-of-vocabulary token ids.
+    #[must_use]
+    pub fn embed(&self, tokens: &[u32]) -> Matrix<f32> {
+        Matrix::from_fn(tokens.len(), self.d_model, |r, c| {
+            let id = tokens[r] as usize;
+            assert!(id < self.table.rows(), "token {id} out of vocabulary");
+            self.table[(id, c)] + Self::positional(r, c, self.d_model)
+        })
+    }
+}
+
+/// Patch embedding for vision transformers (the paper's intro motivates
+/// CV workloads; ViT-style models are encoders over image patches).
+/// Non-overlapping `patch × patch` windows of a single-channel image are
+/// flattened and linearly projected to `d_model`, with the positional
+/// encoding added.
+#[derive(Debug, Clone)]
+pub struct PatchEmbedding {
+    proj: Matrix<f32>,
+    patch: usize,
+    d_model: usize,
+}
+
+impl PatchEmbedding {
+    /// Random-initialized projection from `patch²` pixels to `d_model`.
+    #[must_use]
+    pub fn random(patch: usize, d_model: usize, seed: u64) -> Self {
+        assert!(patch > 0 && d_model > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 1.0 / (patch as f32);
+        Self {
+            proj: Matrix::from_fn(patch * patch, d_model, |_, _| rng.gen_range(-bound..bound)),
+            patch,
+            d_model,
+        }
+    }
+
+    /// Patch side length.
+    #[must_use]
+    pub fn patch(&self) -> usize {
+        self.patch
+    }
+
+    /// Number of patches (sequence length) an `h × w` image produces.
+    ///
+    /// # Panics
+    /// Panics unless `patch` divides both dimensions.
+    #[must_use]
+    pub fn seq_len(&self, h: usize, w: usize) -> usize {
+        assert!(
+            h % self.patch == 0 && w % self.patch == 0,
+            "image {h}x{w} not divisible into {}-pixel patches",
+            self.patch
+        );
+        (h / self.patch) * (w / self.patch)
+    }
+
+    /// Embed a row-major `h × w` single-channel image into a
+    /// `(num_patches × d_model)` sequence.
+    #[must_use]
+    pub fn embed(&self, image: &Matrix<f32>) -> Matrix<f32> {
+        let (h, w) = image.shape();
+        let n = self.seq_len(h, w);
+        let p = self.patch;
+        let cols_of_patches = w / p;
+        let mut out = Matrix::<f32>::zeros(n, self.d_model);
+        for idx in 0..n {
+            let pr = (idx / cols_of_patches) * p;
+            let pc = (idx % cols_of_patches) * p;
+            // flatten the patch and project
+            for d in 0..self.d_model {
+                let mut acc = 0f32;
+                for dy in 0..p {
+                    for dx in 0..p {
+                        acc += image[(pr + dy, pc + dx)] * self.proj[(dy * p + dx, d)];
+                    }
+                }
+                out[(idx, d)] = acc + Embedding::positional(idx, d, self.d_model);
+            }
+        }
+        out
+    }
+}
+
+/// The generator head: project hidden states onto the vocabulary and
+/// pick tokens (greedy argmax — sufficient for pipeline exercises).
+#[derive(Debug, Clone)]
+pub struct GeneratorHead {
+    w: Matrix<f32>,
+    vocab: usize,
+}
+
+impl GeneratorHead {
+    /// Random-initialized head.
+    #[must_use]
+    pub fn random(cfg: &EncoderConfig, vocab: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 1.0 / (cfg.d_model as f32).sqrt();
+        Self {
+            w: Matrix::from_fn(cfg.d_model, vocab, |_, _| rng.gen_range(-bound..bound)),
+            vocab,
+        }
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Logits over the vocabulary for each position.
+    #[must_use]
+    pub fn logits(&self, hidden: &Matrix<f32>) -> Matrix<f32> {
+        protea_tensor::matmul_naive(hidden, &self.w)
+    }
+
+    /// Greedy decode: the argmax token per position (ties → lowest id).
+    #[must_use]
+    pub fn greedy(&self, hidden: &Matrix<f32>) -> Vec<u32> {
+        let l = self.logits(hidden);
+        (0..l.rows())
+            .map(|r| {
+                let row = l.row(r);
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_shapes_and_determinism() {
+        let e = Embedding::random(100, 32, 9);
+        let a = e.embed(&[1, 5, 99]);
+        let b = e.embed(&[1, 5, 99]);
+        assert_eq!(a.shape(), (3, 32));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn positions_distinguish_repeated_tokens() {
+        let e = Embedding::random(10, 16, 1);
+        let m = e.embed(&[3, 3, 3]);
+        assert_ne!(m.row(0), m.row(1), "positional encoding must differ by position");
+    }
+
+    #[test]
+    fn positional_encoding_reference_values() {
+        // pos 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        assert_eq!(Embedding::positional(0, 0, 64), 0.0);
+        assert_eq!(Embedding::positional(0, 1, 64), 1.0);
+        // bounded in [-1, 1]
+        for pos in 0..50 {
+            for i in 0..16 {
+                let v = Embedding::positional(pos, i, 16);
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_panics() {
+        let e = Embedding::random(10, 8, 1);
+        let _ = e.embed(&[10]);
+    }
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let cfg = EncoderConfig::new(8, 2, 1, 2);
+        let head = GeneratorHead {
+            w: Matrix::from_fn(8, 4, |r, c| if r == 0 && c == 2 { 5.0 } else { 0.1 }),
+            vocab: 4,
+        };
+        // hidden row with large first component → token 2 wins
+        let hidden = Matrix::from_fn(1, 8, |_, c| if c == 0 { 3.0 } else { 0.0 });
+        assert_eq!(head.greedy(&hidden), vec![2]);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn patch_embedding_geometry() {
+        let pe = PatchEmbedding::random(4, 32, 5);
+        assert_eq!(pe.seq_len(16, 16), 16);
+        let img = Matrix::from_fn(16, 16, |r, c| (r * 16 + c) as f32 / 256.0);
+        let seq = pe.embed(&img);
+        assert_eq!(seq.shape(), (16, 32));
+        assert!(seq.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn distinct_patches_embed_distinctly() {
+        let pe = PatchEmbedding::random(2, 16, 7);
+        let img = Matrix::from_fn(4, 4, |r, c| if r < 2 && c < 2 { 1.0 } else { 0.0 });
+        let seq = pe.embed(&img);
+        // patch 0 carries signal; patch 3 is all-zero pixels + positional
+        assert_ne!(seq.row(0), seq.row(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_image_rejected() {
+        let pe = PatchEmbedding::random(4, 8, 1);
+        let _ = pe.seq_len(10, 16);
+    }
+
+    #[test]
+    fn head_logits_shape() {
+        let cfg = EncoderConfig::new(16, 2, 1, 4);
+        let head = GeneratorHead::random(&cfg, 50, 3);
+        let hidden = Matrix::from_fn(4, 16, |r, c| (r + c) as f32 * 0.1);
+        assert_eq!(head.logits(&hidden).shape(), (4, 50));
+        assert_eq!(head.greedy(&hidden).len(), 4);
+        assert!(head.greedy(&hidden).iter().all(|&t| t < 50));
+    }
+}

@@ -1,0 +1,163 @@
+//! Operation counting — the GOPS denominators.
+//!
+//! Throughput tables report "giga operations per second"; the op count is
+//! a convention. We use the standard one (a MAC is two operations:
+//! multiply + add) over every arithmetic stage of the encoder, with a
+//! full breakdown so alternative conventions can be recomputed from the
+//! parts. EXPERIMENTS.md discusses how this compares with the paper's
+//! (unstated) convention.
+
+use crate::config::EncoderConfig;
+
+/// Operation-count breakdown for one forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCount {
+    /// Q/K/V projections (`3 · 2 · SL · d²` per layer) + bias adds.
+    pub qkv: u64,
+    /// `Q·Kᵀ` across heads (`2 · SL² · d` per layer), incl. scaling.
+    pub qk: u64,
+    /// Softmax (exp + sum + normalize per element).
+    pub softmax: u64,
+    /// `S·V` across heads (`2 · SL² · d` per layer).
+    pub sv: u64,
+    /// Attention output projection (`2 · SL · d²` per layer).
+    pub out_proj: u64,
+    /// FFN both transformations (`2 · 2 · SL · d · d_ffn` per layer).
+    pub ffn: u64,
+    /// Residual adds and layer norms.
+    pub norm_residual: u64,
+}
+
+impl OpCount {
+    /// Count operations for `cfg` (all layers).
+    #[must_use]
+    pub fn for_config(cfg: &EncoderConfig) -> Self {
+        let sl = cfg.seq_len as u64;
+        let d = cfg.d_model as u64;
+        let df = cfg.d_ffn() as u64;
+        let n = cfg.layers as u64;
+        let qkv = n * (3 * 2 * sl * d * d + 3 * sl * d);
+        let qk = n * (2 * sl * sl * d + sl * sl); // + scaling divides
+        let softmax = n * (cfg.heads as u64) * sl * sl * 5;
+        let sv = n * 2 * sl * sl * d;
+        let out_proj = n * (2 * sl * d * d + sl * d);
+        let ffn = n * (2 * sl * d * df + sl * df + 2 * sl * df * d + sl * d + sl * df);
+        let norm_residual = n * (2 * sl * d + 2 * 8 * sl * d);
+        Self { qkv, qk, softmax, sv, out_proj, ffn, norm_residual }
+    }
+
+    /// Total operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.qkv + self.qk + self.softmax + self.sv + self.out_proj + self.ffn
+            + self.norm_residual
+    }
+
+    /// Only the matrix-multiply operations (the convention that excludes
+    /// softmax/LN bookkeeping).
+    #[must_use]
+    pub fn matmul_only(&self) -> u64 {
+        self.qkv + self.qk + self.sv + self.out_proj + self.ffn
+    }
+
+    /// Throughput in GOPS given a latency in milliseconds.
+    #[must_use]
+    pub fn gops(&self, latency_ms: f64) -> f64 {
+        assert!(latency_ms > 0.0);
+        self.total() as f64 / (latency_ms * 1e-3) / 1e9
+    }
+
+    /// The paper's (reverse-engineered) op-count convention.
+    ///
+    /// Working backwards from Table I (`GOPS × latency`), the published
+    /// numbers are consistent — to within 2 % on every test — with a
+    /// convention that (a) counts the attention output projection
+    /// (`FFN1`) at `4·d²` MACs like the other FFN matrices (matching the
+    /// paper's description of the `W_o` array as `d/TS × 4d/TS`), and
+    /// (b) for the layer-count tests (#4, #5) keeps the *full 12-layer*
+    /// op total while dividing by the shorter measured latency. This
+    /// function reproduces (a); (b) is applied by the Table I harness.
+    #[must_use]
+    pub fn paper_convention(cfg: &EncoderConfig) -> u64 {
+        let sl = cfg.seq_len as u64;
+        let d = cfg.d_model as u64;
+        let n = cfg.layers as u64;
+        // 3 (QKV) + 1 (output projection) + 3 × 4 (three FFN engines each
+        // counted at 4·d², matching the paper's description of the FFN
+        // weight array as d/TS × 4d/TS) = 16 dense d² blocks. This fits
+        // every Table I GOPS·latency product within 2 %.
+        let dense = 2 * sl * d * d * 16;
+        let attn = 2 * 2 * sl * sl * d;
+        n * (dense + attn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_test1_magnitude() {
+        // Table I #1 reports 53 GOPS at 279 ms → ~14.8 G "paper ops".
+        // The standard convention counts ~11.5 G for the same config; the
+        // tables report both (EXPERIMENTS.md discusses the gap).
+        let ops = OpCount::for_config(&EncoderConfig::paper_test1());
+        let g = ops.total() as f64 / 1e9;
+        assert!((10.0..13.0).contains(&g), "total = {g} Gops");
+    }
+
+    #[test]
+    fn ffn_dominates_at_small_sl() {
+        // SL ≪ d: the FFN (and projections) dwarf the attention maps —
+        // the structural fact behind Table I's weak h-dependence.
+        let ops = OpCount::for_config(&EncoderConfig::paper_test1());
+        assert!(ops.ffn > 10 * (ops.qk + ops.sv + ops.softmax));
+    }
+
+    #[test]
+    fn scaling_in_each_dimension() {
+        let base = OpCount::for_config(&EncoderConfig::new(256, 4, 4, 32)).total();
+        let more_layers = OpCount::for_config(&EncoderConfig::new(256, 4, 8, 32)).total();
+        assert_eq!(more_layers, 2 * base);
+        let longer = OpCount::for_config(&EncoderConfig::new(256, 4, 4, 64)).total();
+        assert!(longer > 2 * base / 10 * 19 / 2); // ≥ ~1.9× (quadratic terms grow faster)
+        assert!(longer >= 2 * base - base / 10);
+    }
+
+    #[test]
+    fn head_count_does_not_change_matmul_ops() {
+        let a = OpCount::for_config(&EncoderConfig::new(256, 4, 2, 32));
+        let b = OpCount::for_config(&EncoderConfig::new(256, 8, 2, 32));
+        assert_eq!(a.matmul_only(), b.matmul_only());
+        assert_ne!(a.softmax, b.softmax);
+    }
+
+    #[test]
+    fn gops_arithmetic() {
+        let ops = OpCount::for_config(&EncoderConfig::new(256, 4, 2, 32));
+        // gops = total / (10 ms) / 1e9 = total / 1e7
+        let g = ops.gops(10.0);
+        let expect = ops.total() as f64 / 1e7;
+        assert!((g - expect).abs() < expect * 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_latency_rejected() {
+        let _ = OpCount::for_config(&EncoderConfig::new(256, 4, 2, 32)).gops(0.0);
+    }
+
+    #[test]
+    fn paper_convention_matches_table1_products() {
+        // Test #1: 53 GOPS × 279 ms ⇒ ≈ 14.8 Gop.
+        let g = OpCount::paper_convention(&EncoderConfig::paper_test1()) as f64 / 1e9;
+        assert!((14.0..15.5).contains(&g), "paper-convention total = {g} Gop");
+        // Test #8 (SL=128): 54 × 560 ms ⇒ ≈ 30.2 Gop.
+        let g8 =
+            OpCount::paper_convention(&EncoderConfig::new(768, 8, 12, 128)) as f64 / 1e9;
+        assert!((29.0..31.5).contains(&g8), "SL=128 total = {g8} Gop");
+        // Test #6 (d=512): 36 × 186 ms ⇒ ≈ 6.7 Gop.
+        let g6 = OpCount::paper_convention(&EncoderConfig::new(512, 8, 12, 64)) as f64 / 1e9;
+        assert!((6.2..7.2).contains(&g6), "d=512 total = {g6} Gop");
+    }
+}

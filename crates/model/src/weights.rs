@@ -1,0 +1,172 @@
+//! Encoder weights: layout, random initialization.
+
+use crate::config::EncoderConfig;
+use protea_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weights of one encoder layer.
+///
+/// Projections are stored full-width (`d × d`); the per-head slices the
+/// hardware loads are column ranges `[i·d_k, (i+1)·d_k)`.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection `W_q` (`d × d`).
+    pub wq: Matrix<f32>,
+    /// Key projection `W_k` (`d × d`).
+    pub wk: Matrix<f32>,
+    /// Value projection `W_v` (`d × d`).
+    pub wv: Matrix<f32>,
+    /// Query bias (`d`).
+    pub bq: Vec<f32>,
+    /// Key bias (`d`).
+    pub bk: Vec<f32>,
+    /// Value bias (`d`).
+    pub bv: Vec<f32>,
+    /// Attention output projection (`d × d`) — computed by `FFN1_CE`.
+    pub wo: Matrix<f32>,
+    /// Output projection bias (`d`).
+    pub bo: Vec<f32>,
+    /// First FFN transformation (`d × d_ffn`) — `FFN2_CE`.
+    pub w1: Matrix<f32>,
+    /// First FFN bias (`d_ffn`).
+    pub b1: Vec<f32>,
+    /// Second FFN transformation (`d_ffn × d`) — `FFN3_CE`.
+    pub w2: Matrix<f32>,
+    /// Second FFN bias (`d`).
+    pub b2: Vec<f32>,
+    /// Post-attention LayerNorm gain (`d`).
+    pub ln1_gamma: Vec<f32>,
+    /// Post-attention LayerNorm bias (`d`).
+    pub ln1_beta: Vec<f32>,
+    /// Post-FFN LayerNorm gain (`d`).
+    pub ln2_gamma: Vec<f32>,
+    /// Post-FFN LayerNorm bias (`d`).
+    pub ln2_beta: Vec<f32>,
+}
+
+impl LayerWeights {
+    /// Randomly initialized layer (uniform ±1/√d, the usual fan-in
+    /// scaling, with γ=1 and β=0) from a seeded RNG.
+    #[must_use]
+    pub fn random(cfg: &EncoderConfig, rng: &mut StdRng) -> Self {
+        let d = cfg.d_model;
+        let f = cfg.d_ffn();
+        let bound = 1.0 / (d as f32).sqrt();
+        let mat = |rows: usize, cols: usize, rng: &mut StdRng| {
+            Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
+        };
+        let vect = |n: usize, rng: &mut StdRng| -> Vec<f32> {
+            (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+        };
+        Self {
+            wq: mat(d, d, rng),
+            wk: mat(d, d, rng),
+            wv: mat(d, d, rng),
+            bq: vect(d, rng),
+            bk: vect(d, rng),
+            bv: vect(d, rng),
+            wo: mat(d, d, rng),
+            bo: vect(d, rng),
+            w1: mat(d, f, rng),
+            b1: vect(f, rng),
+            w2: mat(f, d, rng),
+            b2: vect(d, rng),
+            ln1_gamma: vec![1.0; d],
+            ln1_beta: vec![0.0; d],
+            ln2_gamma: vec![1.0; d],
+            ln2_beta: vec![0.0; d],
+        }
+    }
+
+    /// Total parameter count of this layer.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.wq.len()
+            + self.wk.len()
+            + self.wv.len()
+            + self.wo.len()
+            + self.w1.len()
+            + self.w2.len()
+            + self.bq.len()
+            + self.bk.len()
+            + self.bv.len()
+            + self.bo.len()
+            + self.b1.len()
+            + self.b2.len()
+            + self.ln1_gamma.len()
+            + self.ln1_beta.len()
+            + self.ln2_gamma.len()
+            + self.ln2_beta.len()
+    }
+}
+
+/// The whole encoder stack's weights.
+#[derive(Debug, Clone)]
+pub struct EncoderWeights {
+    /// The configuration these weights were built for.
+    pub config: EncoderConfig,
+    /// One entry per layer.
+    pub layers: Vec<LayerWeights>,
+}
+
+impl EncoderWeights {
+    /// Seeded random initialization (deterministic across runs/platforms
+    /// — `StdRng` is a portable PRNG).
+    #[must_use]
+    pub fn random(cfg: EncoderConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = (0..cfg.layers).map(|_| LayerWeights::random(&cfg, &mut rng)).collect();
+        Self { config: cfg, layers }
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(LayerWeights::param_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_follow_config() {
+        let cfg = EncoderConfig::new(64, 4, 2, 8);
+        let w = EncoderWeights::random(cfg, 7);
+        assert_eq!(w.layers.len(), 2);
+        let l = &w.layers[0];
+        assert_eq!(l.wq.shape(), (64, 64));
+        assert_eq!(l.w1.shape(), (64, 256));
+        assert_eq!(l.w2.shape(), (256, 64));
+        assert_eq!(l.b1.len(), 256);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let cfg = EncoderConfig::new(32, 2, 1, 4);
+        let a = EncoderWeights::random(cfg, 42);
+        let b = EncoderWeights::random(cfg, 42);
+        assert_eq!(a.layers[0].wq.as_slice(), b.layers[0].wq.as_slice());
+        let c = EncoderWeights::random(cfg, 43);
+        assert_ne!(a.layers[0].wq.as_slice(), c.layers[0].wq.as_slice());
+    }
+
+    #[test]
+    fn bert_base_param_count_plausible() {
+        // BERT-base encoder stack ≈ 85 M parameters (without embeddings).
+        let w = EncoderWeights::random(EncoderConfig::bert_base(64), 1);
+        let m = w.param_count() as f64 / 1e6;
+        assert!((84.0..87.0).contains(&m), "params = {m} M");
+    }
+
+    #[test]
+    fn init_is_bounded() {
+        let cfg = EncoderConfig::new(64, 4, 1, 4);
+        let w = EncoderWeights::random(cfg, 3);
+        let bound = 1.0 / 8.0;
+        assert!(w.layers[0].wq.as_slice().iter().all(|&x| x.abs() <= bound));
+        assert!(w.layers[0].ln1_gamma.iter().all(|&g| g == 1.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! The FPGA device database.
+//!
+//! Resource totals are the public Xilinx/AMD datasheet numbers for the
+//! parts used in the paper's Tables I–II. Table I's utilization
+//! percentages cross-check them: 3612 DSP / 40 % and 993107 LUT / 76 %
+//! imply exactly the XCU55C's 9024 DSPs and 1.304 M LUTs.
+
+use crate::membw::ExternalMemory;
+use crate::resources::ResourceVector;
+
+/// External memory technology attached to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryKind {
+    /// High-bandwidth memory stacks (Alveo U55C/U280).
+    Hbm2,
+    /// Discrete DDR4 banks.
+    Ddr4,
+}
+
+/// One FPGA device/card.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaDevice {
+    /// Card name as the paper spells it.
+    pub name: &'static str,
+    /// Part resources.
+    pub budget: ResourceVector,
+    /// Memory technology.
+    pub memory_kind: MemoryKind,
+    /// External memory model.
+    pub memory: ExternalMemory,
+    /// Nominal kernel clock ceiling for HLS designs on this part (MHz) —
+    /// the no-congestion asymptote of the Fmax model.
+    pub fmax_ceiling_mhz: f64,
+}
+
+impl FpgaDevice {
+    /// Xilinx Alveo U55C — the paper's platform.
+    /// XCU55C: 1,303,680 LUTs; 2,607,360 FFs; 9,024 DSPs; 2,016 BRAM36
+    /// (= 4,032 BRAM18); 960 URAM; 16 GB HBM2 @ 460 GB/s.
+    #[must_use]
+    pub const fn alveo_u55c() -> Self {
+        Self {
+            name: "Alveo U55C",
+            budget: ResourceVector::new(1_303_680, 2_607_360, 9_024, 4_032, 960),
+            memory_kind: MemoryKind::Hbm2,
+            memory: ExternalMemory::hbm2_u55c(),
+            fmax_ceiling_mhz: 300.0,
+        }
+    }
+
+    /// Xilinx Alveo U200 (used by Peng et al. [21] and Qi et al. [28]).
+    #[must_use]
+    pub const fn alveo_u200() -> Self {
+        Self {
+            name: "Alveo U200",
+            budget: ResourceVector::new(1_182_240, 2_364_480, 6_840, 4_320, 960),
+            memory_kind: MemoryKind::Ddr4,
+            memory: ExternalMemory::ddr4_alveo(),
+            fmax_ceiling_mhz: 300.0,
+        }
+    }
+
+    /// Xilinx Alveo U250 (used by Wojcicki et al. [23]).
+    #[must_use]
+    pub const fn alveo_u250() -> Self {
+        Self {
+            name: "Alveo U250",
+            budget: ResourceVector::new(1_728_000, 3_456_000, 12_288, 5_376, 1_280),
+            memory_kind: MemoryKind::Ddr4,
+            memory: ExternalMemory::ddr4_alveo(),
+            fmax_ceiling_mhz: 300.0,
+        }
+    }
+
+    /// Xilinx ZCU102 (ZU9EG; used by EFA-Trans [25]).
+    #[must_use]
+    pub const fn zcu102() -> Self {
+        Self {
+            name: "ZCU102",
+            budget: ResourceVector::new(274_080, 548_160, 2_520, 1_824, 0),
+            memory_kind: MemoryKind::Ddr4,
+            memory: ExternalMemory::ddr4_zcu102(),
+            fmax_ceiling_mhz: 350.0,
+        }
+    }
+
+    /// Xilinx VCU118 (VU9P; used by FTRANS [29]).
+    #[must_use]
+    pub const fn vcu118() -> Self {
+        Self {
+            name: "VCU118",
+            budget: ResourceVector::new(1_182_240, 2_364_480, 6_840, 4_320, 960),
+            memory_kind: MemoryKind::Ddr4,
+            memory: ExternalMemory::ddr4_alveo(),
+            fmax_ceiling_mhz: 300.0,
+        }
+    }
+
+    /// All devices in the database.
+    #[must_use]
+    pub fn all() -> Vec<FpgaDevice> {
+        vec![
+            Self::alveo_u55c(),
+            Self::alveo_u200(),
+            Self::alveo_u250(),
+            Self::zcu102(),
+            Self::vcu118(),
+        ]
+    }
+
+    /// Look a device up by (case-insensitive) name substring.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<FpgaDevice> {
+        let needle = name.to_ascii_lowercase();
+        Self::all().into_iter().find(|d| d.name.to_ascii_lowercase().contains(&needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u55c_matches_paper_percentages() {
+        let d = FpgaDevice::alveo_u55c();
+        // Table I: 3612 DSPs = 40 %, 993107 LUTs = 76 %, 704115 FFs = 27 %.
+        assert_eq!((3612.0 / d.budget.dsps as f64 * 100.0).round() as i64, 40);
+        assert_eq!((993_107.0 / d.budget.luts as f64 * 100.0).round() as i64, 76);
+        assert_eq!((704_115.0 / d.budget.ffs as f64 * 100.0).round() as i64, 27);
+    }
+
+    #[test]
+    fn database_has_all_paper_devices() {
+        let names: Vec<_> = FpgaDevice::all().iter().map(|d| d.name).collect();
+        for expect in ["Alveo U55C", "Alveo U200", "Alveo U250", "ZCU102", "VCU118"] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_substring() {
+        assert_eq!(FpgaDevice::by_name("u55c").unwrap().name, "Alveo U55C");
+        assert_eq!(FpgaDevice::by_name("ZCU102").unwrap().name, "ZCU102");
+        assert!(FpgaDevice::by_name("virtex-4").is_none());
+    }
+
+    #[test]
+    fn zcu102_is_smallest() {
+        let z = FpgaDevice::zcu102();
+        for d in FpgaDevice::all() {
+            assert!(z.budget.dsps <= d.budget.dsps);
+            assert!(z.budget.luts <= d.budget.luts);
+        }
+    }
+
+    #[test]
+    fn hbm_only_on_u55c() {
+        for d in FpgaDevice::all() {
+            let is_hbm = d.memory_kind == MemoryKind::Hbm2;
+            assert_eq!(is_hbm, d.name == "Alveo U55C");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Achievable clock frequency vs congestion — the Fig. 7 substitute.
+//!
+//! The paper sweeps the synthesis-time tile sizes and reports the post-
+//! route clock: the optimum is 12 MHA tiles × 6 FFN tiles at 200 MHz, with
+//! frequency falling off in *both* directions. We cannot run Vivado, so
+//! this module provides an empirical congestion model with three terms,
+//! each tied to a physical effect reported in the FPGA placement
+//! literature:
+//!
+//! 1. **Routing pressure** — quadratic penalty above ~50 % LUT
+//!    utilization (dense designs route slowly and long).
+//! 2. **Unroll width** — the widest unrolled reduction (PE row) sets the
+//!    adder-tree span and register fanout; penalty strongly super-linear
+//!    in width (wide trees span clock regions).
+//! 3. **Control fanout** — more tiles mean more loop iterations, address
+//!    muxing and FSM states touching every bank; penalty linear in the
+//!    tile-count product.
+//!
+//! The coefficients in [`CongestionModel::paper_calibrated`] are fitted so
+//! that the published optimum is the model's optimum and the published
+//! frequency (200 MHz) is hit there. The *shape* is the claim being
+//! reproduced, not absolute MHz elsewhere — see DESIGN.md.
+
+use crate::device::FpgaDevice;
+
+/// Inputs the Fmax model needs about a synthesized design point.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPoint {
+    /// Fraction of device LUTs consumed (may exceed 1.0 — infeasible).
+    pub lut_frac: f64,
+    /// Widest fully-unrolled reduction in the design (PEs in one row).
+    pub max_unroll_width: u64,
+    /// Product of tile counts across the design's tiled loops
+    /// (`tiles_MHA × tiles_FFN` for ProTEA).
+    pub tile_product: u64,
+}
+
+/// Result of an Fmax estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct FmaxEstimate {
+    /// Achievable frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Whether the design fits the device at all (`lut_frac <= 1`).
+    pub feasible: bool,
+    /// The three penalty terms, for ablation reporting.
+    pub route_penalty: f64,
+    /// See [`FmaxEstimate::route_penalty`].
+    pub width_penalty: f64,
+    /// See [`FmaxEstimate::route_penalty`].
+    pub fanout_penalty: f64,
+}
+
+/// The congestion model: `fmax = ceiling / (1 + Σ penalties)`.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionModel {
+    /// Utilization knee above which routing pressure accrues.
+    pub route_knee: f64,
+    /// Routing pressure coefficient (per squared excess utilization).
+    pub route_coeff: f64,
+    /// Width penalty at the reference width.
+    pub width_coeff: f64,
+    /// Reference unroll width for the width penalty.
+    pub width_ref: f64,
+    /// Exponent of the width penalty (super-linear: a 2× wider adder
+    /// tree routes far worse than 2× as slowly — it spans more clock
+    /// regions and multiplies register fanout).
+    pub width_exp: f64,
+    /// Fanout penalty at the reference tile product, growing linearly.
+    pub fanout_coeff: f64,
+    /// Reference tile product for the fanout penalty.
+    pub fanout_ref: f64,
+    /// Floor frequency (MHz) below which the model clamps — even terrible
+    /// designs close at *some* clock.
+    pub floor_mhz: f64,
+}
+
+impl CongestionModel {
+    /// Coefficients fitted to Fig. 7 (see module docs).
+    #[must_use]
+    pub const fn paper_calibrated() -> Self {
+        Self {
+            route_knee: 0.5,
+            route_coeff: 1.2,
+            width_coeff: 0.175,
+            width_ref: 512.0,
+            width_exp: 4.0,
+            fanout_coeff: 0.28,
+            fanout_ref: 72.0,
+            floor_mhz: 50.0,
+        }
+    }
+
+    /// Estimate achievable frequency for `point` on `device`.
+    #[must_use]
+    pub fn estimate(&self, device: &FpgaDevice, point: &DesignPoint) -> FmaxEstimate {
+        let excess = (point.lut_frac - self.route_knee).max(0.0);
+        let route_penalty = self.route_coeff * excess * excess;
+        let wn = point.max_unroll_width as f64 / self.width_ref;
+        let width_penalty = self.width_coeff * wn.powf(self.width_exp);
+        let fanout_penalty = self.fanout_coeff * point.tile_product as f64 / self.fanout_ref;
+        let raw = device.fmax_ceiling_mhz / (1.0 + route_penalty + width_penalty + fanout_penalty);
+        FmaxEstimate {
+            fmax_mhz: raw.max(self.floor_mhz),
+            feasible: point.lut_frac <= 1.0,
+            route_penalty,
+            width_penalty,
+            fanout_penalty,
+        }
+    }
+}
+
+impl Default for CongestionModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u55c() -> FpgaDevice {
+        FpgaDevice::alveo_u55c()
+    }
+
+    /// The published optimum design point: 12 MHA tiles (TS=64), 6 FFN
+    /// tiles (TS=128) → 76 % LUTs, widest reduction 4·TS_FFN = 512 PEs.
+    fn optimum() -> DesignPoint {
+        DesignPoint { lut_frac: 0.76, max_unroll_width: 512, tile_product: 72 }
+    }
+
+    #[test]
+    fn published_optimum_hits_200mhz() {
+        let m = CongestionModel::paper_calibrated();
+        let est = m.estimate(&u55c(), &optimum());
+        assert!(est.feasible);
+        assert!((est.fmax_mhz - 200.0).abs() < 10.0, "fmax = {:.1}", est.fmax_mhz);
+    }
+
+    #[test]
+    fn more_luts_lower_fmax() {
+        let m = CongestionModel::paper_calibrated();
+        let lo = m.estimate(&u55c(), &DesignPoint { lut_frac: 0.55, ..optimum() });
+        let hi = m.estimate(&u55c(), &DesignPoint { lut_frac: 0.95, ..optimum() });
+        assert!(lo.fmax_mhz > hi.fmax_mhz);
+    }
+
+    #[test]
+    fn wider_unroll_lower_fmax() {
+        let m = CongestionModel::paper_calibrated();
+        let lo = m.estimate(&u55c(), &DesignPoint { max_unroll_width: 256, ..optimum() });
+        let hi = m.estimate(&u55c(), &DesignPoint { max_unroll_width: 1536, ..optimum() });
+        assert!(lo.fmax_mhz > hi.fmax_mhz);
+    }
+
+    #[test]
+    fn more_tiles_lower_fmax() {
+        let m = CongestionModel::paper_calibrated();
+        let lo = m.estimate(&u55c(), &DesignPoint { tile_product: 36, ..optimum() });
+        let hi = m.estimate(&u55c(), &DesignPoint { tile_product: 288, ..optimum() });
+        assert!(lo.fmax_mhz > hi.fmax_mhz);
+    }
+
+    #[test]
+    fn overfull_design_is_infeasible_but_reports() {
+        let m = CongestionModel::paper_calibrated();
+        let est = m.estimate(&u55c(), &DesignPoint { lut_frac: 1.1, ..optimum() });
+        assert!(!est.feasible);
+        assert!(est.fmax_mhz >= m.floor_mhz);
+    }
+
+    #[test]
+    fn floor_clamps_pathological_points() {
+        let m = CongestionModel::paper_calibrated();
+        let est = m.estimate(
+            &u55c(),
+            &DesignPoint { lut_frac: 3.0, max_unroll_width: 100_000, tile_product: 100_000 },
+        );
+        assert_eq!(est.fmax_mhz, m.floor_mhz);
+    }
+
+    #[test]
+    fn penalties_are_reported_and_nonnegative() {
+        let m = CongestionModel::paper_calibrated();
+        let est = m.estimate(&u55c(), &optimum());
+        assert!(est.route_penalty >= 0.0);
+        assert!(est.width_penalty > 0.0);
+        assert!(est.fanout_penalty > 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # protea-platform — FPGA device database and physical models
+//!
+//! The paper synthesizes one bitstream for a Xilinx **Alveo U55C** and
+//! compares against accelerators on U200, U250, ZCU102 and VCU118 parts.
+//! This crate holds the per-device facts every other layer consumes:
+//!
+//! * [`FpgaDevice`] — resource budgets (LUT/FF/DSP/BRAM/URAM) and external
+//!   memory characteristics for the five devices in the paper's tables,
+//! * [`ResourceVector`] / [`ResourceReport`] — typed resource accounting
+//!   with utilization fractions (the `40 % DSP / 76 % LUT / 27 % FF` row
+//!   of Table I),
+//! * [`fmax`] — the achievable-frequency model substituting for Vivado
+//!   place & route in the Fig. 7 tile-size sweep: frequency degrades with
+//!   routing congestion (LUT pressure from wide unrolls) and with BRAM
+//!   multiplexing depth (many small tiles). The curve is calibrated so the
+//!   published optimum (12 MHA tiles × 6 FFN tiles → 200 MHz) is the
+//!   model's optimum; see `DESIGN.md` for the substitution rationale.
+//! * [`membw`] — external memory (HBM2 / DDR4) bandwidth figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod fmax;
+pub mod membw;
+pub mod resources;
+
+pub use device::{FpgaDevice, MemoryKind};
+pub use fmax::{CongestionModel, FmaxEstimate};
+pub use membw::ExternalMemory;
+pub use resources::{ResourceReport, ResourceVector};

@@ -1,0 +1,29 @@
+//! # protea-tensor — dense matrices, tiling, and matmul kernels
+//!
+//! The ProTEA accelerator is, at heart, a machine for tiled dense
+//! matrix-matrix products. This crate provides the host-side substrate:
+//!
+//! * [`Matrix`] — row-major dense matrices generic over the element type
+//!   (`f32` for references, `i8` for quantized data, `i32` accumulators).
+//! * [`tile`] — tiling geometry: how a large matrix is partitioned into
+//!   the sub-matrices that fit on-chip BRAM (Figs. 5 and 6 of the paper).
+//!   The iterators are exhaustively tested to cover every element exactly
+//!   once, including ragged edges.
+//! * [`matmul`] — reference kernels: naive, cache-blocked and
+//!   rayon-parallel floating point, plus the exact i8→i32 quantized kernel
+//!   the hardware implements.
+//! * [`ops`] — elementwise and broadcast helpers (bias add, residual add,
+//!   transpose, max-abs reduction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matmul;
+pub mod matrix;
+pub mod ops;
+pub mod tile;
+
+pub use matmul::{matmul_blocked, matmul_i8_i32, matmul_i8_i32_parallel, matmul_naive, matmul_parallel};
+pub use matrix::Matrix;
+pub use ops::{add_bias_row, max_abs, residual_add, transpose};
+pub use tile::{Tile, TileGrid};

@@ -1,0 +1,92 @@
+//! Property-based tests of the tensor layer.
+
+use proptest::prelude::*;
+use protea_tensor::ops::{residual_add_i8, transpose};
+use protea_tensor::{matmul_i8_i32, matmul_naive, Matrix, TileGrid};
+
+fn arb_matrix(max: usize) -> impl Strategy<Value = Matrix<i8>> {
+    (1..=max, 1..=max, any::<u64>()).prop_map(|(r, c, seed)| {
+        Matrix::from_fn(r, c, |i, j| {
+            (seed.wrapping_mul(i as u64 + 3).wrapping_add(j as u64 * 7) % 255) as i8
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_an_involution(m in arb_matrix(16)) {
+        let back = transpose(&transpose(&m));
+        prop_assert_eq!(back.as_slice(), m.as_slice());
+        prop_assert_eq!(back.shape(), m.shape());
+    }
+
+    #[test]
+    fn submatrix_write_read_inverse(
+        m in arb_matrix(12), r0 in 0usize..6, c0 in 0usize..6
+    ) {
+        let r0 = r0.min(m.rows() - 1);
+        let c0 = c0.min(m.cols() - 1);
+        let h = m.rows() - r0;
+        let w = m.cols() - c0;
+        let tile = m.submatrix(r0, c0, h, w);
+        let mut dst = Matrix::<i8>::zeros(m.rows(), m.cols());
+        dst.write_submatrix(r0, c0, &tile);
+        let read_back = dst.submatrix(r0, c0, h, w);
+        prop_assert_eq!(read_back.as_slice(), tile.as_slice());
+    }
+
+    #[test]
+    fn transpose_reverses_multiplication(
+        a in arb_matrix(8), seed in any::<u64>()
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ — exact in integer arithmetic.
+        let b = Matrix::from_fn(a.cols(), 5, |i, j| {
+            (seed.wrapping_mul(i as u64 + 11).wrapping_add(j as u64) % 255) as i8
+        });
+        let left = transpose(&matmul_i8_i32(&a, &b));
+        let right_t = matmul_naive(
+            &transpose(&b).map(|x| f32::from(x)),
+            &transpose(&a).map(|x| f32::from(x)),
+        );
+        for i in 0..left.rows() {
+            for j in 0..left.cols() {
+                prop_assert_eq!(left[(i, j)], right_t[(i, j)] as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_add_is_commutative(a in arb_matrix(10), seed in any::<u64>()) {
+        let b = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+            (seed.wrapping_add(i as u64 * 5 + j as u64) % 255) as i8
+        });
+        let ab = residual_add_i8(&a, &b);
+        let ba = residual_add_i8(&b, &a);
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    #[test]
+    fn tile_grid_count_matches_iteration(
+        rows in 1usize..50, cols in 1usize..50, th in 1usize..9, tw in 1usize..9
+    ) {
+        let g = TileGrid::new(rows, cols, th, tw);
+        prop_assert_eq!(g.tile_count(), g.iter().count());
+        prop_assert_eq!(g.tile_count(), g.iter_col_major().count());
+        // every tile index round-trips through tile()
+        for t in g.iter() {
+            let again = g.tile(t.tr, t.tc);
+            prop_assert_eq!(t, again);
+        }
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity(m in arb_matrix(10)) {
+        let eye = Matrix::from_fn(m.cols(), m.cols(), |i, j| i8::from(i == j));
+        let out = matmul_i8_i32(&m, &eye);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert_eq!(out[(i, j)], i32::from(m[(i, j)]));
+            }
+        }
+    }
+}

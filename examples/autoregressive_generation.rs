@@ -1,0 +1,76 @@
+//! Autoregressive generation with a KV cache: decode a sequence one
+//! position at a time on the simulated accelerator's timing model, with
+//! the functional path verified bit-exact against the full forward pass.
+//!
+//! This is the deployment profile a decoder actually runs in (the
+//! paper's future-work direction), and it exposes the structural truth
+//! of single-token inference: every step still streams every weight
+//! tile, so generation is bandwidth-bound and per-step latency barely
+//! grows with position.
+//!
+//! ```text
+//! cargo run --release --example autoregressive_generation
+//! ```
+
+use protea::model::decoder::{DecoderKvCache, DecoderWeights, QuantizedDecoder};
+use protea::prelude::*;
+
+fn main() {
+    let syn = SynthesisConfig::paper_default();
+    let accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+
+    let cfg = EncoderConfig::new(256, 8, 2, 1);
+    let dec = QuantizedDecoder::from_float(
+        &DecoderWeights::random(cfg, 7),
+        QuantSchedule::paper(),
+    );
+
+    // Encoder memory for a 32-token source (stands in for an encoded
+    // sentence).
+    let memory = Matrix::from_fn(32, 256, |r, c| (((r * 17 + c * 5) % 120) as i32 - 60) as i8);
+    let steps = 12usize;
+
+    // Generate step by step. The "next token" here is a deterministic
+    // function of the previous output row (greedy-decoding stand-in).
+    let mut cache = DecoderKvCache::new(&dec, &memory);
+    let mut row = Matrix::from_fn(1, 256, |_, c| ((c * 3) % 90) as i8);
+    let mut rows: Vec<Matrix<i8>> = vec![row.clone()];
+    let mut total_ms = 0.0;
+    println!("step  kv_len  latency (ms)   cumulative (ms)");
+    for pos in 0..steps {
+        let out = dec.decode_step(&mut cache, &row);
+        let t = accel.decode_step_timing(&dec, pos, memory.rows());
+        total_ms += t.latency_ms();
+        println!(
+            "{pos:>4}  {:>6}  {:>12.4}  {:>14.4}",
+            pos + 1,
+            t.latency_ms(),
+            total_ms
+        );
+        // feed the output back as the next input position
+        row = out.map(|v| v.saturating_add(1));
+        rows.push(row.clone());
+    }
+
+    // Verify: replaying the same input rows through a full forward pass
+    // reproduces each step's output exactly.
+    let mut x_full = Matrix::<i8>::zeros(steps, 256);
+    for (r, m) in rows.iter().take(steps).enumerate() {
+        x_full.write_submatrix(r, 0, m);
+    }
+    let full = dec.forward(&x_full, &memory);
+    let mut replay_cache = DecoderKvCache::new(&dec, &memory);
+    for r in 0..steps {
+        let row_in = x_full.submatrix(r, 0, 1, 256);
+        let out = dec.decode_step(&mut replay_cache, &row_in);
+        assert_eq!(out.row(0), full.row(r), "step {r} diverged from full forward");
+    }
+    println!("\n✓ {steps} incremental steps are bit-identical to the full forward pass");
+
+    let batch = accel.decoder_timing_report(&dec, steps, memory.rows());
+    println!(
+        "\nFull-sequence decode of the same {steps} positions in one pass: {:.3} ms \
+         (vs {total_ms:.3} ms token-by-token — the per-step weight streaming tax)",
+        batch.latency_ms()
+    );
+}

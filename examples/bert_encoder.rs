@@ -1,0 +1,54 @@
+//! The headline workload: the paper's Table I test #1 — a BERT-variant
+//! encoder (d_model=768, 8 heads, 12 layers, SL=64) on the simulated
+//! Alveo U55C, with the full per-engine cycle breakdown and the
+//! comparison against the published row.
+//!
+//! ```text
+//! cargo run --release --example bert_encoder
+//! ```
+
+use protea::prelude::*;
+
+fn main() {
+    let syn = SynthesisConfig::paper_default();
+    let device = FpgaDevice::alveo_u55c();
+    let mut accel = Accelerator::new(syn, &device);
+
+    let cfg = EncoderConfig::paper_test1();
+    accel
+        .program(RuntimeConfig::from_model(&cfg, &syn).expect("test #1 fits"))
+        .expect("register write");
+
+    println!("ProTEA @ {} — BERT-variant encoder (Table I test #1)", device.name);
+    println!("  d_model=768, heads=8, layers=12, SL=64, 8-bit fixed point\n");
+
+    let report = accel.timing_report();
+    println!("{report}");
+
+    let ops = OpCount::for_config(&cfg);
+    println!("Latency: {:.1} ms (paper: 279 ms)", report.latency_ms());
+    println!(
+        "Throughput: {:.1} GOPS standard convention / {:.1} GOPS paper convention (paper: 53)",
+        report.gops(&ops),
+        protea::model::OpCount::paper_convention(&cfg) as f64 / (report.latency_ms() * 1e-3) / 1e9
+    );
+    println!(
+        "Resources: {} (paper: 3612 DSP / 993107 LUT / 704115 FF)",
+        accel.design().report
+    );
+    println!(
+        "Load-stall cycles hidden by double buffering: {} of {} total ({:.2}%)",
+        report.total_stall().get(),
+        report.total.get(),
+        report.total_stall().get() as f64 / report.total.get() as f64 * 100.0
+    );
+
+    // Where the time goes — the FFN engines dominate, which is why the
+    // paper's head-count tests (#2, #3) barely move the total.
+    println!("\nFFN share of cycles: {:.1}%", {
+        let f = report.phase_fraction("FFN1_CE")
+            + report.phase_fraction("FFN2_CE")
+            + report.phase_fraction("FFN3_CE");
+        f * 100.0
+    });
+}

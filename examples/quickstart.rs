@@ -1,0 +1,54 @@
+//! Quickstart: synthesize once, deploy a model, run an inference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use protea::prelude::*;
+
+fn main() {
+    // Synthesize the paper's design point (TS_MHA=64, TS_FFN=128, 8 head
+    // engines) onto an Alveo U55C. This is the step that would take
+    // Vitis ~36 hours; here it binds resources and estimates Fmax.
+    let syn = SynthesisConfig::paper_default();
+    let device = FpgaDevice::alveo_u55c();
+    let mut accel = Accelerator::new(syn, &device);
+    println!("Synthesized ProTEA on {}:", device.name);
+    println!("  {}", accel.design().report);
+    println!("  Fmax = {:.1} MHz\n", accel.design().fmax_mhz);
+
+    // "Train" a model (random weights stand in for a .pth file), save it
+    // to the binary format, and deploy: the driver extracts the
+    // hyperparameters from the header, programs the registers, and
+    // quantizes + loads the weights.
+    let cfg = EncoderConfig::new(256, 4, 2, 16);
+    let weights = EncoderWeights::random(cfg, 42);
+    let blob = protea::model::serialize::encode(&weights);
+    println!(
+        "Deploying a {}-layer encoder (d_model={}, {} heads, SL={}) — {:.1} MB of weights",
+        cfg.layers,
+        cfg.d_model,
+        cfg.heads,
+        cfg.seq_len,
+        blob.len() as f64 / 1e6
+    );
+    let program = Driver::new(syn)
+        .deploy(&mut accel, &blob, QuantSchedule::paper())
+        .expect("model fits the synthesized capacity");
+    println!("  driver issued {} instructions\n", program.len());
+
+    // Run one inference: functional output (bit-exact int8) + timing.
+    let x = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| {
+        (((r * 31 + c * 7) % 120) as i32 - 60) as i8
+    });
+    let result = accel.run(&x);
+    println!("Inference complete:");
+    println!("  latency: {:.4} ms  ({:.1} GOPS)", result.latency_ms, result.gops);
+    println!("  output shape: {:?}", result.output.shape());
+    println!("\nPer-engine cycle breakdown:\n{}", result.report);
+
+    // Cross-check against the software golden model: must be identical.
+    let golden = QuantizedEncoder::from_float(&weights, QuantSchedule::paper());
+    assert_eq!(result.output.as_slice(), golden.forward(&x).as_slice());
+    println!("✓ accelerator output is bit-identical to the quantized reference");
+}

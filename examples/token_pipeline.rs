@@ -1,0 +1,65 @@
+//! The complete Fig. 1 pipeline, tokens in → tokens out: host-side
+//! embedding + positional encoding, the encoder stack on the simulated
+//! accelerator, and the generator head (linear + argmax) back on the
+//! host — the deployment shape the paper's system slots into.
+//!
+//! ```text
+//! cargo run --release --example token_pipeline
+//! ```
+
+use protea::model::{Embedding, GeneratorHead};
+use protea::prelude::*;
+
+fn main() {
+    const VOCAB: usize = 512;
+    let cfg = EncoderConfig::new(128, 4, 2, 24);
+
+    // Host-side stages.
+    let embedding = Embedding::random(VOCAB, cfg.d_model, 100);
+    let head = GeneratorHead::random(&cfg, VOCAB, 101);
+
+    // Accelerator-side encoder.
+    let syn = SynthesisConfig::paper_default();
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let weights = EncoderWeights::random(cfg, 102);
+    let quantized = QuantizedEncoder::from_float(&weights, QuantSchedule::paper());
+    accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+    accel.load_weights(quantized.clone());
+
+    // A token sequence (deterministic pseudo-text).
+    let tokens: Vec<u32> = (0..cfg.seq_len as u32).map(|i| (i * 37 + 11) % VOCAB as u32).collect();
+    println!("input tokens:  {:?} …", &tokens[..8]);
+
+    // 1. Embed + positionally encode (host, f32).
+    let embedded = embedding.embed(&tokens);
+
+    // 2. Quantize and run the encoder on the accelerator.
+    let x_q = quantized.quantize_input(&embedded);
+    let result = accel.run(&x_q);
+    println!(
+        "encoder: {} layers on the accelerator in {:.4} ms ({:.1} GOPS)",
+        cfg.layers, result.latency_ms, result.gops
+    );
+
+    // 3. Dequantize and decode through the generator head (host).
+    let hidden = quantized.dequantize(&result.output);
+    let out_tokens = head.greedy(&hidden);
+    println!("output tokens: {:?} …", &out_tokens[..8]);
+
+    // Pipeline sanity: deterministic end to end, and the quantized
+    // encoder's head decisions mostly agree with a pure-f32 pipeline.
+    let float_hidden = FloatEncoder::new(weights).forward(&embedded);
+    let float_tokens = head.greedy(&float_hidden);
+    let agree = out_tokens.iter().zip(&float_tokens).filter(|(a, b)| a == b).count();
+    println!(
+        "agreement with the f32 pipeline: {}/{} positions ({:.0}%)",
+        agree,
+        out_tokens.len(),
+        agree as f64 / out_tokens.len() as f64 * 100.0
+    );
+    assert_eq!(out_tokens, head.greedy(&hidden), "pipeline must be deterministic");
+    assert!(
+        agree * 2 >= out_tokens.len(),
+        "8-bit pipeline should agree with f32 on most positions"
+    );
+}

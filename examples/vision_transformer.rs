@@ -1,0 +1,77 @@
+//! A ViT-style vision workload on ProTEA — the computer-vision use case
+//! the paper's introduction motivates ("image processing", Swin/ViT
+//! accelerators among the cited related work).
+//!
+//! A 32×32 single-channel image is split into 4×4 patches (64 patches =
+//! the sequence), patch-embedded, run through the encoder on the
+//! simulated accelerator, mean-pooled, and classified by a linear head.
+//!
+//! ```text
+//! cargo run --release --example vision_transformer
+//! ```
+
+use protea::model::embedding::PatchEmbedding;
+use protea::model::GeneratorHead;
+use protea::prelude::*;
+
+fn synthetic_image(kind: usize) -> Matrix<f32> {
+    // Three synthetic classes: vertical stripes, horizontal stripes,
+    // checkerboard.
+    Matrix::from_fn(32, 32, |r, c| match kind {
+        0 => ((c / 4) % 2) as f32,
+        1 => ((r / 4) % 2) as f32,
+        _ => (((r / 4) + (c / 4)) % 2) as f32,
+    })
+}
+
+fn main() {
+    const CLASSES: usize = 8;
+    let cfg = EncoderConfig::new(192, 4, 4, 64); // 64 patches, compact ViT
+
+    let patches = PatchEmbedding::random(4, cfg.d_model, 31);
+    let head = GeneratorHead::random(&cfg, CLASSES, 32);
+
+    let syn = SynthesisConfig::paper_default();
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let weights = EncoderWeights::random(cfg, 33);
+    let quantized = QuantizedEncoder::from_float(&weights, QuantSchedule::paper());
+    accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+    accel.load_weights(quantized.clone());
+
+    println!("ViT-style classifier: 32x32 image → 64 patches → {}-layer encoder\n", cfg.layers);
+    let mut latency = 0.0;
+    let mut votes = Vec::new();
+    for kind in 0..3 {
+        let image = synthetic_image(kind);
+        let seq = patches.embed(&image);
+        let x_q = quantized.quantize_input(&seq);
+        let run = accel.run(&x_q);
+        latency = run.latency_ms;
+        // mean-pool over patches (the usual no-class-token variant)
+        let hidden = quantized.dequantize(&run.output);
+        let pooled = Matrix::from_fn(1, cfg.d_model, |_, d| {
+            (0..hidden.rows()).map(|r| hidden[(r, d)]).sum::<f32>() / hidden.rows() as f32
+        });
+        let class = head.greedy(&pooled)[0];
+        votes.push(class);
+        println!(
+            "  image class {kind} (pattern) → encoder {:.3} ms → predicted bucket {class}",
+            run.latency_ms
+        );
+    }
+    println!("\nper-image encoder latency: {latency:.3} ms ({} GOPS-class workload)", {
+        let ops = OpCount::for_config(&cfg);
+        format!("{:.1}", ops.gops(latency))
+    });
+
+    // With random weights the classes are arbitrary buckets; the claim
+    // worth asserting is structural: distinct input patterns reach the
+    // head as distinct representations often enough to vote differently
+    // at least once across three very different inputs.
+    let all_same = votes.iter().all(|&v| v == votes[0]);
+    println!(
+        "distinct patterns produced {} bucket assignments: {:?}",
+        if all_same { "identical (random-weight collapse is possible)" } else { "distinct" },
+        votes
+    );
+}

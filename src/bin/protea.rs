@@ -1,0 +1,185 @@
+//! `protea` — command-line front end to the simulator.
+//!
+//! ```text
+//! protea synth [--device u55c] [--tiles-mha 12] [--tiles-ffn 6]
+//! protea run   [--device u55c] [--d 768] [--heads 8] [--layers 12] [--sl 64] [--batch 1]
+//! protea fit   [--device zcu102] [--d 256] [--heads 2] [--layers 2] [--sl 64]
+//! protea sweep [--device u55c]
+//! ```
+
+use protea::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let val = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), val.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+    }
+}
+
+fn device_of(flags: &HashMap<String, String>) -> Result<FpgaDevice, String> {
+    let name = flags.get("device").map_or("u55c", String::as_str);
+    FpgaDevice::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown device '{name}' (known: {})",
+            FpgaDevice::all().iter().map(|d| d.name).collect::<Vec<_>>().join(", ")
+        )
+    })
+}
+
+fn workload_of(flags: &HashMap<String, String>) -> Result<EncoderConfig, String> {
+    let d = flag(flags, "d", 768usize)?;
+    let h = flag(flags, "heads", 8usize)?;
+    let n = flag(flags, "layers", 12usize)?;
+    let sl = flag(flags, "sl", 64usize)?;
+    if d == 0 || h == 0 || n == 0 || sl == 0 || d % h != 0 {
+        return Err(format!("invalid workload: d={d} heads={h} layers={n} sl={sl}"));
+    }
+    Ok(EncoderConfig::new(d, h, n, sl))
+}
+
+fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), String> {
+    let device = device_of(flags)?;
+    let tm = flag(flags, "tiles-mha", 12usize)?;
+    let tf = flag(flags, "tiles-ffn", 6usize)?;
+    if 768 % tm != 0 || 768 % tf != 0 {
+        return Err("tile counts must divide 768".into());
+    }
+    let design = SynthesisConfig::with_tile_counts(tm, tf).synthesize(&device);
+    println!("{}", design.report_text());
+    println!("feasible: {}", if design.feasible { "yes" } else { "NO" });
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let device = device_of(flags)?;
+    let cfg = workload_of(flags)?;
+    let seed = flag(flags, "seed", 42u64)?;
+    let batch = flag(flags, "batch", 1usize)?.max(1);
+    let syn = SynthesisConfig::paper_default();
+    let design = syn.synthesize(&device);
+    if !design.feasible {
+        return Err(format!("paper design point does not fit {} — try `protea fit`", device.name));
+    }
+    let mut accel = Accelerator::new(syn, &device);
+    accel
+        .program(RuntimeConfig::from_model(&cfg, &syn).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    accel.load_weights(QuantizedEncoder::from_float(
+        &EncoderWeights::random(cfg, seed),
+        QuantSchedule::paper(),
+    ));
+    let x = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| {
+        (seed.wrapping_add((r * 31 + c * 7) as u64) % 200) as i64 as i8
+    });
+    let result = accel.run(&x);
+    println!(
+        "workload: d={} heads={} layers={} SL={} (seed {seed})",
+        cfg.d_model, cfg.heads, cfg.layers, cfg.seq_len
+    );
+    println!("latency: {:.4} ms @ {:.1} MHz", result.latency_ms, result.report.fmax_mhz);
+    println!("throughput: {:.2} GOPS", result.gops);
+    if batch > 1 {
+        let b = accel.timing_report_batched(batch);
+        println!(
+            "batched x{batch}: {:.4} ms total, {:.4} ms/sequence",
+            b.latency_ms(),
+            b.latency_ms() / batch as f64
+        );
+    }
+    println!("\n{}", result.report.gantt(56));
+    Ok(())
+}
+
+fn cmd_fit(flags: &HashMap<String, String>) -> Result<(), String> {
+    let device = device_of(flags)?;
+    let cfg = workload_of(flags)?;
+    match SynthesisConfig::fit_to_device(&device, &cfg) {
+        None => Err(format!("no feasible ProTEA configuration on {} for this workload", device.name)),
+        Some(design) => {
+            println!("fitted design for {}:", device.name);
+            println!(
+                "  d_max={} heads={} TS_MHA={} TS_FFN={} sl_unroll={}",
+                design.config.d_max,
+                design.config.heads,
+                design.config.ts_mha,
+                design.config.ts_ffn,
+                design.config.sl_unroll
+            );
+            println!("  resources: {}", design.report);
+            println!("  fmax: {:.1} MHz", design.fmax_mhz);
+            Ok(())
+        }
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let device = device_of(flags)?;
+    let workload = EncoderConfig::paper_test1();
+    println!("tile sweep on {} (test #1 workload):", device.name);
+    for tm in [6usize, 8, 12, 16, 24, 48] {
+        for tf in [2usize, 3, 4, 6] {
+            let syn = SynthesisConfig::with_tile_counts(tm, tf);
+            let design = syn.synthesize(&device);
+            if design.feasible {
+                let mut accel = Accelerator::new(syn, &device);
+                accel
+                    .program(RuntimeConfig::from_model(&workload, &syn).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "  {tm:>2} x {tf}: {:>6.1} MHz  {:>7.1} ms",
+                    design.fmax_mhz,
+                    accel.timing_report().latency_ms()
+                );
+            } else {
+                println!("  {tm:>2} x {tf}: infeasible");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: protea <synth|run|fit|sweep> [--flag value]...\n  see source header for flags";
+    let Some(cmd) = args.first() else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let result = match parse_flags(&args[1..]) {
+        Err(e) => Err(e),
+        Ok(flags) => match cmd.as_str() {
+            "synth" => cmd_synth(&flags),
+            "run" => cmd_run(&flags),
+            "fit" => cmd_fit(&flags),
+            "sweep" => cmd_sweep(&flags),
+            other => Err(format!("unknown command '{other}'\n{usage}")),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

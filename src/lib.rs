@@ -1,0 +1,76 @@
+//! # protea — a simulation-based reproduction of ProTEA
+//!
+//! ProTEA ("Programmable Transformer Encoder Acceleration on FPGA",
+//! SC24-W) is an HLS-built FPGA accelerator for dense transformer
+//! encoders whose hyperparameters — attention heads, layers, embedding
+//! dimension, sequence length — are **runtime-programmable** without
+//! re-synthesis. This workspace reproduces the system end-to-end in
+//! Rust: a bit-exact 8-bit fixed-point datapath, a cycle-calibrated
+//! model of the HLS engines, a device/Fmax model standing in for Vivado,
+//! and a harness that regenerates every table and figure of the paper's
+//! evaluation (see `EXPERIMENTS.md`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use protea::prelude::*;
+//!
+//! // 1. Synthesize the paper's design point onto an Alveo U55C.
+//! let syn = SynthesisConfig::paper_default();
+//! let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+//!
+//! // 2. "Train" a model (random weights here), save it, and let the
+//! //    driver extract hyperparameters + program the registers.
+//! let cfg = EncoderConfig::new(256, 4, 2, 16);
+//! let blob = protea::model::serialize::encode(&EncoderWeights::random(cfg, 42));
+//! Driver::new(syn).deploy(&mut accel, &blob, QuantSchedule::paper()).unwrap();
+//!
+//! // 3. Run an input through the simulated hardware.
+//! let x = Matrix::from_fn(16, 256, |r, c| ((r + c) % 64) as i8);
+//! let result = accel.run(&x);
+//! assert_eq!(result.output.shape(), (16, 256));
+//! assert!(result.latency_ms > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | arithmetic | [`fixed`] | Q-format fixed point, MAC, requantize, LUT softmax/GELU, integer LN |
+//! | tensors | [`tensor`] | matrices, tiling grids, matmul kernels |
+//! | workload | [`model`] | encoder config/weights, f32 + bit-exact int8 references, op counts |
+//! | simulation | [`hwsim`] | deterministic discrete-event kernel |
+//! | scheduling | [`hls`] | HLS loop/pragma latency + resource binding |
+//! | devices | [`platform`] | FPGA database, Fmax congestion model |
+//! | memory | [`mem`] | AXI bursts, HBM channels, double-buffer overlap |
+//! | **the paper** | [`core`] | engines, tiling schedules, registers, driver, co-simulation |
+//! | comparisons | [`baselines`] | published results, rooflines, native CPU engine |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use protea_baselines as baselines;
+pub use protea_core as core;
+pub use protea_fixed as fixed;
+pub use protea_hls as hls;
+pub use protea_hwsim as hwsim;
+pub use protea_mem as mem;
+pub use protea_model as model;
+pub use protea_platform as platform;
+pub use protea_tensor as tensor;
+
+/// The types most programs need, in one import.
+pub mod prelude {
+    pub use protea_baselines::{NativeCpuEngine, PowerModel};
+    pub use protea_core::{
+        Accelerator, CycleReport, Driver, RunResult, RuntimeConfig, SparseMode, SynthesisConfig,
+        TimingPreset,
+    };
+    pub use protea_fixed::{QFormat, Quantizer, Rounding};
+    pub use protea_model::{
+        AttnScaling, EncoderConfig, EncoderWeights, FloatEncoder, OpCount, QuantSchedule,
+        QuantizedEncoder,
+    };
+    pub use protea_platform::FpgaDevice;
+    pub use protea_tensor::Matrix;
+}

@@ -1,0 +1,105 @@
+//! End-to-end driver flow: save model → parse → program → run, plus the
+//! failure paths a deployment tool hits.
+
+use protea::core::driver::DriverError;
+use protea::core::registers::Reg;
+use protea::core::Instruction;
+use protea::prelude::*;
+
+fn blob(cfg: EncoderConfig, seed: u64) -> Vec<u8> {
+    protea::model::serialize::encode(&EncoderWeights::random(cfg, seed)).to_vec()
+}
+
+#[test]
+fn full_deploy_and_run() {
+    let syn = SynthesisConfig::paper_default();
+    let driver = Driver::new(syn);
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let cfg = EncoderConfig::new(128, 4, 2, 16);
+    let program = driver
+        .deploy(&mut accel, &blob(cfg, 11), QuantSchedule::paper())
+        .expect("deploy");
+    // instruction stream: 5 register writes (safe ordering through
+    // heads=1), N weight loads, start, read
+    assert_eq!(program.len(), 5 + cfg.layers + 2);
+    assert!(matches!(program[0], Instruction::WriteReg(Reg::Heads, 1)));
+    assert!(matches!(program[4], Instruction::WriteReg(Reg::Heads, 4)));
+    assert!(matches!(program[3], Instruction::WriteReg(Reg::Layers, 2)));
+
+    let x = Matrix::from_fn(16, 128, |r, c| ((r * 3 + c * 5) % 90) as i8);
+    let out = accel.run(&x);
+    assert_eq!(out.output.shape(), (16, 128));
+    assert!(out.latency_ms > 0.0 && out.gops > 0.0);
+    assert_eq!(out.report.layers, 2);
+}
+
+#[test]
+fn sequential_model_swaps_preserve_bitstream() {
+    let syn = SynthesisConfig::paper_default();
+    let driver = Driver::new(syn);
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let boot = accel.design().resources;
+    for (i, cfg) in [
+        EncoderConfig::new(64, 2, 1, 8),
+        EncoderConfig::new(768, 8, 1, 8),
+        EncoderConfig::new(256, 8, 3, 32),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        driver
+            .deploy(&mut accel, &blob(cfg, i as u64), QuantSchedule::paper())
+            .expect("deploy");
+        let x = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| ((r + c) % 64) as i8);
+        let out = accel.run(&x);
+        assert_eq!(out.output.shape(), (cfg.seq_len, cfg.d_model));
+        assert_eq!(accel.design().resources, boot, "model {i} changed the bitstream");
+    }
+}
+
+#[test]
+fn capacity_violations_are_driver_errors() {
+    let syn = SynthesisConfig::paper_default();
+    let driver = Driver::new(syn);
+    // d_model beyond synthesized capacity
+    let too_wide = blob(EncoderConfig::new(1024, 8, 1, 8), 1);
+    assert!(matches!(driver.compile(&too_wide), Err(DriverError::Register(_))));
+    // too many heads
+    let too_many_heads = blob(EncoderConfig::new(768, 12, 1, 8), 1);
+    assert!(matches!(driver.compile(&too_many_heads), Err(DriverError::Register(_))));
+    // sequence too long
+    let too_long = blob(EncoderConfig::new(768, 8, 1, 256), 1);
+    assert!(matches!(driver.compile(&too_long), Err(DriverError::Register(_))));
+    // garbage blob
+    assert!(matches!(driver.compile(b"not a model"), Err(DriverError::Decode(_))));
+}
+
+#[test]
+fn peeked_config_matches_decoded_weights() {
+    let cfg = EncoderConfig::new(96, 4, 3, 24);
+    let b = blob(cfg, 3);
+    let peeked = protea::model::serialize::peek_config(&b).unwrap();
+    let full = protea::model::serialize::decode(&b).unwrap();
+    assert_eq!(peeked, full.config);
+    assert_eq!(full.layers.len(), 3);
+}
+
+#[test]
+fn deployed_output_matches_direct_quantization() {
+    // Driver-mediated deployment must produce the same accelerator state
+    // (and outputs) as quantizing manually.
+    let syn = SynthesisConfig::paper_default();
+    let cfg = EncoderConfig::new(64, 4, 1, 8);
+    let weights = EncoderWeights::random(cfg, 55);
+    let b = protea::model::serialize::encode(&weights).to_vec();
+
+    let mut via_driver = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    Driver::new(syn).deploy(&mut via_driver, &b, QuantSchedule::paper()).unwrap();
+
+    let mut manual = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    manual.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+    manual.load_weights(QuantizedEncoder::from_float(&weights, QuantSchedule::paper()));
+
+    let x = Matrix::from_fn(8, 64, |r, c| ((r * 9 + c) % 77) as i8);
+    assert_eq!(via_driver.run(&x).output.as_slice(), manual.run(&x).output.as_slice());
+}

@@ -1,0 +1,93 @@
+//! The central correctness contract: the accelerator's tiled, engine-
+//! structured datapath must produce **bit-identical** outputs to the
+//! software golden model, for every shape and schedule — and so must the
+//! rayon-parallel native CPU engine.
+
+use protea::prelude::*;
+
+fn input(sl: usize, d: usize, seed: usize) -> Matrix<i8> {
+    Matrix::from_fn(sl, d, |r, c| {
+        (((r * 31 + c * 17 + seed * 7) % 200) as i32 - 100) as i8
+    })
+}
+
+fn check_equivalence(cfg: EncoderConfig, schedule: QuantSchedule, seed: u64) {
+    let syn = SynthesisConfig::paper_default();
+    let weights = EncoderWeights::random(cfg, seed);
+    let golden = QuantizedEncoder::from_float(&weights, schedule);
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    accel
+        .program(RuntimeConfig::from_model(&cfg, &syn).expect("fits"))
+        .expect("register write");
+    accel.load_weights(golden.clone());
+    let x = input(cfg.seq_len, cfg.d_model, seed as usize);
+    let hw = accel.run(&x).output;
+    let sw = golden.forward(&x);
+    assert_eq!(
+        hw.as_slice(),
+        sw.as_slice(),
+        "accelerator != golden model for {cfg:?}"
+    );
+    // The native rayon engine must also agree.
+    let native = NativeCpuEngine::new(&golden).forward(&x);
+    assert_eq!(native.as_slice(), sw.as_slice(), "native engine != golden for {cfg:?}");
+}
+
+#[test]
+fn equivalence_across_shape_grid() {
+    for (d, h) in [(32usize, 2usize), (96, 4), (128, 8), (256, 8)] {
+        for sl in [1usize, 4, 16] {
+            for layers in [1usize, 2] {
+                check_equivalence(
+                    EncoderConfig::new(d, h, layers, sl),
+                    QuantSchedule::paper(),
+                    (d + h * 100 + sl) as u64,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_under_standard_scaling() {
+    for (d, h, sl) in [(64usize, 4usize, 8usize), (128, 8, 12)] {
+        let cfg = EncoderConfig::new(d, h, 1, sl).with_scaling(AttnScaling::InvSqrtDk);
+        check_equivalence(cfg, QuantSchedule::standard_scaling(), 9);
+    }
+}
+
+#[test]
+fn equivalence_with_gelu_activation() {
+    let cfg = EncoderConfig::new(64, 4, 2, 8).with_activation(protea::fixed::Activation::Gelu);
+    check_equivalence(cfg, QuantSchedule::paper(), 5);
+}
+
+#[test]
+fn equivalence_at_paper_scale_single_layer() {
+    // The full d_model=768 path through real tile geometry (12 MHA tiles,
+    // 6 FFN tiles) — expensive, so one layer and a short sequence.
+    check_equivalence(EncoderConfig::new(768, 8, 1, 8), QuantSchedule::paper(), 21);
+}
+
+#[test]
+fn equivalence_with_ragged_runtime_tiles() {
+    // d_model=512 on the tiles-of-768 synthesis exercises ceil-division
+    // tile widths (43 and 86) and a short final tile.
+    check_equivalence(EncoderConfig::new(512, 8, 1, 8), QuantSchedule::paper(), 33);
+    // d_model=320: width ceil(320/12)=27, last tile ragged.
+    check_equivalence(EncoderConfig::new(320, 8, 1, 4), QuantSchedule::paper(), 34);
+}
+
+#[test]
+fn quantized_output_tracks_float_reference() {
+    // End-to-end sanity: the int8 pipeline approximates the f32 encoder.
+    let cfg = EncoderConfig::new(96, 4, 2, 12);
+    let weights = EncoderWeights::random(cfg, 77);
+    let float_enc = FloatEncoder::new(weights.clone());
+    let golden = QuantizedEncoder::from_float(&weights, QuantSchedule::paper());
+    let xf = Matrix::from_fn(12, 96, |r, c| ((r * 13 + c) % 50) as f32 / 25.0 - 1.0);
+    let yf = float_enc.forward(&xf);
+    let yq = golden.dequantize(&golden.forward(&golden.quantize_input(&xf)));
+    let err = protea::tensor::ops::mse(&yf, &yq);
+    assert!(err < 0.5, "quantized output diverged from float reference: mse = {err}");
+}

@@ -1,0 +1,168 @@
+//! Extended property-based suites: decoder causality and incremental
+//! equivalence, pruning invariants, arbitration fairness, masked
+//! softmax, and trace-format validity on random inputs.
+
+use proptest::prelude::*;
+use protea::fixed::{QFormat, SoftmaxUnit};
+use protea::hwsim::{Cycles, VcdTrace};
+use protea::mem::arbiter::arbitrate_round_robin;
+use protea::mem::{AxiPort, ChannelShare};
+use protea::model::decoder::{DecoderKvCache, DecoderWeights, QuantizedDecoder};
+use protea::model::pruning::{
+    prune_column_balanced, prune_magnitude, sparsity_of, PruningScheme,
+};
+use protea::prelude::*;
+
+fn mat_i8(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        (seed.wrapping_mul(r as u64 + 7).wrapping_add(c as u64 * 13) % 200) as i64 as i8
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn decoder_incremental_equals_full(
+        sl in 1usize..8, src in 1usize..8, seed in any::<u64>()
+    ) {
+        let cfg = EncoderConfig::new(32, 4, 1, sl);
+        let dec = QuantizedDecoder::from_float(
+            &DecoderWeights::random(cfg, seed),
+            QuantSchedule::paper(),
+        );
+        let mem = mat_i8(src, 32, seed ^ 0xABCD);
+        let x = mat_i8(sl, 32, seed ^ 0x1234);
+        let full = dec.forward(&x, &mem);
+        let mut cache = DecoderKvCache::new(&dec, &mem);
+        for r in 0..sl {
+            let out = dec.decode_step(&mut cache, &x.submatrix(r, 0, 1, 32));
+            prop_assert_eq!(out.row(0), full.row(r), "row {}", r);
+        }
+    }
+
+    #[test]
+    fn decoder_causality_random_perturbations(
+        sl in 2usize..8, perturb_at in 1usize..8, seed in any::<u64>()
+    ) {
+        let perturb_at = perturb_at.min(sl - 1).max(1);
+        let cfg = EncoderConfig::new(32, 2, 1, sl);
+        let dec = QuantizedDecoder::from_float(
+            &DecoderWeights::random(cfg, seed),
+            QuantSchedule::paper(),
+        );
+        let mem = mat_i8(4, 32, seed);
+        let x1 = mat_i8(sl, 32, seed ^ 0x77);
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(perturb_at) {
+            *v = v.saturating_add(17);
+        }
+        let y1 = dec.forward(&x1, &mem);
+        let y2 = dec.forward(&x2, &mem);
+        for r in 0..perturb_at {
+            prop_assert_eq!(y1.row(r), y2.row(r), "future leak at row {}", r);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn pruning_never_increases_magnitudes(
+        rows in 1usize..12, cols in 1usize..12, s in 0.0f64..1.0
+    ) {
+        let orig = Matrix::from_fn(rows, cols, |r, c| ((r * 7 + c * 3) as f32).sin());
+        let mut m = orig.clone();
+        prune_magnitude(&mut m, s);
+        for (a, b) in m.as_slice().iter().zip(orig.as_slice()) {
+            prop_assert!(*a == 0.0 || a == b, "pruning must only zero entries");
+        }
+        prop_assert!(sparsity_of(&m) + 1e-9 >= s - 1.0 / (rows * cols) as f64);
+    }
+
+    #[test]
+    fn column_balance_holds_for_any_fraction(
+        rows in 2usize..16, cols in 1usize..8, k_frac in 0.0f64..1.0
+    ) {
+        let mut m = Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 17 + 1) as f32).cos());
+        prune_column_balanced(&mut m, k_frac);
+        let expect_zeros = (rows as f64 * k_frac).round() as usize;
+        for c in 0..cols {
+            let zeros = (0..rows).filter(|&r| m[(r, c)] == 0.0).count();
+            prop_assert_eq!(zeros, expect_zeros.min(rows), "column {}", c);
+        }
+    }
+
+    #[test]
+    fn arbiter_conserves_and_bounds(
+        requests in prop::collection::vec(0u64..100_000, 1..9)
+    ) {
+        let port = AxiPort::new(256);
+        let share = ChannelShare::fixed(64.0);
+        let r = arbitrate_round_robin(&requests, &port, &share);
+        // every master finishes by the total
+        for f in &r.master_finish {
+            prop_assert!(*f <= r.total);
+        }
+        // total at least the single-channel drain lower bound
+        let sum: u64 = requests.iter().sum();
+        let lower = sum.div_ceil(port.bytes_per_beat());
+        prop_assert!(r.total.get() >= lower);
+        // and no worse than fully serialized individual transfers + slack
+        let serial: u64 = requests
+            .iter()
+            .map(|&b| protea::mem::hbm::bounded_transfer_cycles(&port, &share, b).get())
+            .sum();
+        prop_assert!(r.total.get() <= serial + requests.len() as u64 * 64);
+    }
+
+    #[test]
+    fn masked_softmax_prefix_matches_unmasked(
+        row in prop::collection::vec(any::<i8>(), 1..32), valid in 1usize..32
+    ) {
+        let valid = valid.min(row.len());
+        let unit = SoftmaxUnit::new(QFormat::new(8, 5));
+        let mut masked = vec![0i8; row.len()];
+        unit.forward_row_masked(&row, valid, &mut masked);
+        let mut prefix = vec![0i8; valid];
+        unit.forward_row(&row[..valid], &mut prefix);
+        prop_assert_eq!(&masked[..valid], &prefix[..]);
+        prop_assert!(masked[valid..].iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn vcd_render_never_panics_and_stays_ordered(
+        events in prop::collection::vec((0u64..1000, 0usize..4, 0u64..2), 0..50)
+    ) {
+        let mut t = VcdTrace::new("fuzz");
+        let sigs: Vec<_> = (0..4).map(|i| t.add_signal(&format!("s{i}"), 1)).collect();
+        for &(time, sig, val) in &events {
+            t.change(Cycles(time), sigs[sig], val);
+        }
+        let doc = t.render();
+        // timestamps must be non-decreasing in the document
+        let mut last = 0u64;
+        for line in doc.lines() {
+            if let Some(ts) = line.strip_prefix('#') {
+                let v: u64 = ts.parse().unwrap();
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_models_stay_bit_exact_on_the_accelerator() {
+    // Pruning changes weights, not the datapath: the accelerator must
+    // still agree with the golden model bit for bit.
+    let cfg = EncoderConfig::new(96, 4, 1, 8);
+    let mut w = EncoderWeights::random(cfg, 61);
+    w.prune(PruningScheme::ColumnBalanced, 0.9);
+    let golden = QuantizedEncoder::from_float(&w, QuantSchedule::paper());
+    let syn = SynthesisConfig::paper_default();
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
+    accel.load_weights(golden.clone());
+    let x = mat_i8(8, 96, 5);
+    assert_eq!(accel.run(&x).output.as_slice(), golden.forward(&x).as_slice());
+}

@@ -1,0 +1,92 @@
+//! Integration tests of the Table I qualitative claims through the
+//! public API: one synthesis, nine register configurations, the
+//! published latency *shapes*.
+
+use protea::prelude::*;
+
+fn latency_of(cfg: &EncoderConfig) -> f64 {
+    let syn = SynthesisConfig::paper_default();
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    accel
+        .program(RuntimeConfig::from_model(cfg, &syn).expect("fits"))
+        .expect("register write");
+    accel.timing_report().latency_ms()
+}
+
+#[test]
+fn latency_linear_in_layers() {
+    // Tests #1/#4/#5.
+    let n12 = latency_of(&EncoderConfig::new(768, 8, 12, 64));
+    let n8 = latency_of(&EncoderConfig::new(768, 8, 8, 64));
+    let n4 = latency_of(&EncoderConfig::new(768, 8, 4, 64));
+    assert!((n8 / n12 - 8.0 / 12.0).abs() < 1e-6);
+    assert!((n4 / n12 - 4.0 / 12.0).abs() < 1e-6);
+}
+
+#[test]
+fn latency_approximately_linear_in_d_model() {
+    // Tests #1/#6/#7: frozen tile counts + runtime-scaled widths give the
+    // paper's linear (not quadratic) d_model scaling.
+    let d768 = latency_of(&EncoderConfig::new(768, 8, 12, 64));
+    let d512 = latency_of(&EncoderConfig::new(512, 8, 12, 64));
+    let d256 = latency_of(&EncoderConfig::new(256, 8, 12, 64));
+    let r512 = d512 / d768;
+    let r256 = d256 / d768;
+    assert!((r512 - 2.0 / 3.0).abs() < 0.06, "d=512 ratio {r512:.3} (linear expects 0.667)");
+    assert!((r256 - 1.0 / 3.0).abs() < 0.08, "d=256 ratio {r256:.3} (linear expects 0.333)");
+    // decisively NOT quadratic (which would be 0.44 and 0.11)
+    assert!(r512 > 0.55);
+    assert!(r256 > 0.25);
+}
+
+#[test]
+fn latency_weakly_dependent_on_heads() {
+    // Tests #1/#2/#3: halving heads adds only a few percent, because the
+    // FFN engines dominate.
+    let h8 = latency_of(&EncoderConfig::new(768, 8, 12, 64));
+    let h4 = latency_of(&EncoderConfig::new(768, 4, 12, 64));
+    let h2 = latency_of(&EncoderConfig::new(768, 2, 12, 64));
+    assert!(h4 > h8 && h2 > h4, "fewer heads must be slower");
+    assert!(h2 / h8 < 1.10, "h=2 is only {:.1}% slower", (h2 / h8 - 1.0) * 100.0);
+}
+
+#[test]
+fn sequence_length_scaling_with_floor() {
+    // Tests #1/#8/#9: SL=128 ≈ 2×; SL=32 sits above half (weight-load
+    // floor that compute no longer hides).
+    let s64 = latency_of(&EncoderConfig::new(768, 8, 12, 64));
+    let s128 = latency_of(&EncoderConfig::new(768, 8, 12, 128));
+    let s32 = latency_of(&EncoderConfig::new(768, 8, 12, 32));
+    assert!((s128 / s64 - 2.0).abs() < 0.15, "SL=128 ratio {:.2}", s128 / s64);
+    assert!(s32 / s64 > 0.45, "SL=32 ratio {:.2} shows the load floor", s32 / s64);
+}
+
+#[test]
+fn one_synthesis_serves_all_nine_tests() {
+    let syn = SynthesisConfig::paper_default();
+    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let resources = accel.design().resources;
+    for (name, cfg) in EncoderConfig::table1_tests() {
+        let rt = RuntimeConfig::from_model(&cfg, &syn)
+            .unwrap_or_else(|e| panic!("{name} must fit the synthesis: {e}"));
+        accel.program(rt).unwrap();
+        assert_eq!(accel.design().resources, resources, "{name} changed resources");
+        assert!(accel.timing_report().latency_ms() > 0.0);
+    }
+}
+
+#[test]
+fn fmax_close_to_paper() {
+    let syn = SynthesisConfig::paper_default();
+    let accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let fmax = accel.design().fmax_mhz;
+    assert!((fmax - 200.0).abs() < 15.0, "fmax = {fmax:.1} (paper: 200 MHz)");
+}
+
+#[test]
+fn dsp_count_is_exactly_table1() {
+    let syn = SynthesisConfig::paper_default();
+    let accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    assert_eq!(accel.design().resources.dsps, 3612);
+    assert_eq!(accel.design().resources.ffs, 704_115);
+}
