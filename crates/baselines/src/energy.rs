@@ -36,7 +36,12 @@ impl PowerModel {
     /// launch-bound, so the dynamic envelope is barely touched.
     #[must_use]
     pub const fn titan_xp_smallbatch() -> Self {
-        Self { name: "Titan XP (small batch)", static_w: 55.0, dynamic_full_w: 195.0, activity: 0.15 }
+        Self {
+            name: "Titan XP (small batch)",
+            static_w: 55.0,
+            dynamic_full_w: 195.0,
+            activity: 0.15,
+        }
     }
 
     /// Jetson TX2: 7.5–15 W module.

@@ -11,7 +11,7 @@
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::Requantizer;
 use protea_model::quantized::{add_norm, requant_logits, QuantMatrix, QuantizedLayer};
-use protea_model::{QuantizedEncoder, QuantSchedule};
+use protea_model::{QuantSchedule, QuantizedEncoder};
 use protea_tensor::{matmul_i8_i32_parallel, transpose, Matrix};
 
 /// The native engine: borrowed quantized weights + parallel kernels.
@@ -89,11 +89,7 @@ fn par_project(x: &Matrix<i8>, w: &QuantMatrix, bias: &[i32], s: &QuantSchedule)
             *a = a.saturating_add(b);
         }
     }
-    let rq = Requantizer::new(
-        s.act_fmt.frac_bits() + w.fmt.frac_bits(),
-        s.act_fmt,
-        s.rounding,
-    );
+    let rq = Requantizer::new(s.act_fmt.frac_bits() + w.fmt.frac_bits(), s.act_fmt, s.rounding);
     acc.map(|a| rq.apply(a))
 }
 

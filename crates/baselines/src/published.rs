@@ -125,12 +125,54 @@ impl PublishedBaseline {
     #[must_use]
     pub fn table3() -> Vec<PublishedBaseline> {
         vec![
-            PublishedBaseline { model: 1, cite: "[21]", platform: "Intel i5-5257U CPU", freq_ghz: 2.7, latency_ms: 3.54, is_base: true },
-            PublishedBaseline { model: 1, cite: "[21]", platform: "Jetson TX2 GPU", freq_ghz: 1.3, latency_ms: 0.673, is_base: false },
-            PublishedBaseline { model: 2, cite: "[23]", platform: "NVIDIA Titan XP GPU", freq_ghz: 1.4, latency_ms: 1.062, is_base: true },
-            PublishedBaseline { model: 3, cite: "[25]", platform: "Intel i5-4460 CPU", freq_ghz: 3.2, latency_ms: 4.66, is_base: true },
-            PublishedBaseline { model: 3, cite: "[25]", platform: "NVIDIA RTX 3060 GPU", freq_ghz: 1.3, latency_ms: 0.71, is_base: false },
-            PublishedBaseline { model: 4, cite: "[28]", platform: "NVIDIA Titan XP GPU", freq_ghz: 1.4, latency_ms: 147.0, is_base: true },
+            PublishedBaseline {
+                model: 1,
+                cite: "[21]",
+                platform: "Intel i5-5257U CPU",
+                freq_ghz: 2.7,
+                latency_ms: 3.54,
+                is_base: true,
+            },
+            PublishedBaseline {
+                model: 1,
+                cite: "[21]",
+                platform: "Jetson TX2 GPU",
+                freq_ghz: 1.3,
+                latency_ms: 0.673,
+                is_base: false,
+            },
+            PublishedBaseline {
+                model: 2,
+                cite: "[23]",
+                platform: "NVIDIA Titan XP GPU",
+                freq_ghz: 1.4,
+                latency_ms: 1.062,
+                is_base: true,
+            },
+            PublishedBaseline {
+                model: 3,
+                cite: "[25]",
+                platform: "Intel i5-4460 CPU",
+                freq_ghz: 3.2,
+                latency_ms: 4.66,
+                is_base: true,
+            },
+            PublishedBaseline {
+                model: 3,
+                cite: "[25]",
+                platform: "NVIDIA RTX 3060 GPU",
+                freq_ghz: 1.3,
+                latency_ms: 0.71,
+                is_base: false,
+            },
+            PublishedBaseline {
+                model: 4,
+                cite: "[28]",
+                platform: "NVIDIA Titan XP GPU",
+                freq_ghz: 1.4,
+                latency_ms: 147.0,
+                is_base: true,
+            },
         ]
     }
 }

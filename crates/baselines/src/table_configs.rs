@@ -10,8 +10,8 @@
 //! synthesis lands on the published value. EXPERIMENTS.md records the
 //! residuals.
 
-use protea_model::EncoderConfig;
 use crate::published::{PublishedAccelerator, PublishedBaseline};
+use protea_model::EncoderConfig;
 
 /// One Table II row pair: a comparator + the matched ProTEA config.
 #[derive(Debug, Clone)]

@@ -2,8 +2,8 @@
 //! (i8 MAC reductions), the matmul variants, and the nonlinear units.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use protea_fixed::{dot_i8, dot_i8_unrolled, softmax_fixed, QFormat};
 use protea_fixed::layernorm::LayerNormUnit;
+use protea_fixed::{dot_i8, dot_i8_unrolled, softmax_fixed, QFormat};
 use protea_tensor::{
     matmul_blocked, matmul_i8_i32, matmul_i8_i32_parallel, matmul_naive, matmul_parallel, Matrix,
 };
@@ -69,9 +69,7 @@ fn bench_nonlinear(c: &mut Criterion) {
     let mut g = c.benchmark_group("nonlinear");
     let fmt = QFormat::new(8, 5);
     let row = i8_vec(128, 91);
-    g.bench_function("softmax_row128", |bch| {
-        bch.iter(|| softmax_fixed(black_box(&row), fmt))
-    });
+    g.bench_function("softmax_row128", |bch| bch.iter(|| softmax_fixed(black_box(&row), fmt)));
     let ln = LayerNormUnit::identity(768, fmt);
     let data = i8_vec(768, 13);
     let mut out = vec![0i8; 768];

@@ -18,10 +18,8 @@ fn bench_forward(c: &mut Criterion) {
         (768, 8, 1, 12, "model1_bertslice"),
     ] {
         let cfg = EncoderConfig::new(d, h, n, sl);
-        let enc = QuantizedEncoder::from_float(
-            &EncoderWeights::random(cfg, 5),
-            QuantSchedule::paper(),
-        );
+        let enc =
+            QuantizedEncoder::from_float(&EncoderWeights::random(cfg, 5), QuantSchedule::paper());
         let x = Matrix::from_fn(sl, d, |r, cc| ((r * 31 + cc * 7) % 127) as i8);
         g.bench_with_input(BenchmarkId::new("golden_serial", tag), &d, |b, _| {
             b.iter(|| black_box(enc.forward(&x)))

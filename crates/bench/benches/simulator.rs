@@ -13,14 +13,10 @@ use protea_tensor::Matrix;
 
 fn bench_timing_report(c: &mut Criterion) {
     let syn = SynthesisConfig::paper_default();
-    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
-    acc.program(
-        RuntimeConfig::from_model(&EncoderConfig::paper_test1(), &syn).unwrap(),
-    )
-    .unwrap();
-    c.bench_function("timing_report_test1", |b| {
-        b.iter(|| black_box(acc.timing_report()).total)
-    });
+    let mut acc =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
+    acc.program(RuntimeConfig::from_model(&EncoderConfig::paper_test1(), &syn).unwrap()).unwrap();
+    c.bench_function("timing_report_test1", |b| b.iter(|| black_box(acc.timing_report()).total));
 }
 
 fn bench_synthesize(c: &mut Criterion) {
@@ -36,12 +32,14 @@ fn bench_functional_cosim(c: &mut Criterion) {
     for &(d, h, sl) in &[(64usize, 4usize, 8usize), (128, 8, 16)] {
         let cfg = EncoderConfig::new(d, h, 1, sl);
         let syn = SynthesisConfig::paper_default();
-        let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        let mut acc = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c())
+            .expect("design must fit the device");
         acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-        acc.load_weights(QuantizedEncoder::from_float(
+        acc.try_load_weights(QuantizedEncoder::from_float(
             &EncoderWeights::random(cfg, 1),
             QuantSchedule::paper(),
-        ));
+        ))
+        .expect("weights must match the programmed registers");
         let x = Matrix::from_fn(sl, d, |r, cc| ((r * 3 + cc) % 100) as i8);
         g.bench_with_input(BenchmarkId::new("run", format!("d{d}_sl{sl}")), &d, |b, _| {
             b.iter(|| black_box(acc.run(&x)).latency_ms)

@@ -37,7 +37,8 @@ pub fn tiling() -> Vec<TilingAblation> {
             let syn = SynthesisConfig::with_tile_counts(tm, tf);
             let design = syn.synthesize(&device);
             let latency_ms = design.feasible.then(|| {
-                let mut acc = Accelerator::new(syn, &device);
+                let mut acc =
+                    Accelerator::try_new(syn, &device).expect("design must fit the device");
                 acc.program(RuntimeConfig::from_model(&workload, &syn).unwrap()).unwrap();
                 acc.timing_report().latency_ms()
             });
@@ -55,7 +56,8 @@ pub fn tiling() -> Vec<TilingAblation> {
 #[must_use]
 pub fn overlap(cfg: &EncoderConfig) -> (f64, f64) {
     let syn = SynthesisConfig::paper_default();
-    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut acc =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     acc.program(RuntimeConfig::from_model(cfg, &syn).unwrap()).unwrap();
     let with = acc.timing_report().latency_ms();
     acc.set_overlap(false);
@@ -83,16 +85,12 @@ pub fn heads() -> Vec<HeadsAblation> {
     let device = FpgaDevice::alveo_u55c();
     let syn = SynthesisConfig::paper_default();
     let cfg = EncoderConfig::paper_test1();
-    let mut acc = Accelerator::new(syn, &device);
+    let mut acc = Accelerator::try_new(syn, &device).expect("design must fit the device");
     acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
     let report = acc.timing_report();
     let mha_phases = ["QKV_CE", "QK_CE", "Softmax", "SV_CE"];
-    let mha: u64 = report
-        .phases
-        .iter()
-        .filter(|p| mha_phases.contains(&p.name))
-        .map(|p| p.cycles.get())
-        .sum();
+    let mha: u64 =
+        report.phases.iter().filter(|p| mha_phases.contains(&p.name)).map(|p| p.cycles.get()).sum();
     let rest = report.total.get() - mha;
     // Per-head engine DSP cost (QKV + QK + SV PEs for one head).
     let per_head_dsps: u64 =
@@ -105,11 +103,7 @@ pub fn heads() -> Vec<HeadsAblation> {
             let cycles = rest + mha * rounds;
             let ms = protea_hwsim::Cycles(cycles)
                 .to_millis(protea_hwsim::Frequency::mhz(report.fmax_mhz));
-            HeadsAblation {
-                heads: e,
-                dsps: base_dsps + per_head_dsps * e as u64,
-                latency_ms: ms,
-            }
+            HeadsAblation { heads: e, dsps: base_dsps + per_head_dsps * e as u64, latency_ms: ms }
         })
         .collect()
 }
@@ -131,8 +125,7 @@ pub fn channel_sharing() -> (u64, u64) {
     // per head, per tile: 3 weight strips (96×64) + input strip (64×64)
     let per_head_bytes = 3 * 96 * 64 + 64 * 64;
     let dedicated = bounded_transfer_cycles(&port, &share, per_head_bytes).get();
-    let shared =
-        arbitrate_round_robin(&vec![per_head_bytes; syn.heads], &port, &share).total.get();
+    let shared = arbitrate_round_robin(&vec![per_head_bytes; syn.heads], &port, &share).total.get();
     (dedicated, shared)
 }
 
@@ -142,11 +135,10 @@ pub fn channel_sharing() -> (u64, u64) {
 #[must_use]
 pub fn batching() -> Vec<(usize, f64)> {
     let syn = SynthesisConfig::paper_default();
-    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
-    acc.program(
-        RuntimeConfig::from_model(&EncoderConfig::new(768, 8, 12, 32), &syn).unwrap(),
-    )
-    .unwrap();
+    let mut acc =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
+    acc.program(RuntimeConfig::from_model(&EncoderConfig::new(768, 8, 12, 32), &syn).unwrap())
+        .unwrap();
     [1usize, 2, 4, 8, 16]
         .into_iter()
         .map(|b| (b, acc.timing_report_batched(b).latency_ms() / b as f64))
@@ -170,7 +162,8 @@ pub fn bitwidth() -> Vec<(u32, u64, u64, Option<f64>, bool)> {
             let design = syn.synthesize(&device);
             let mem_luts: u64 = syn.arrays().iter().map(|a| a.bind().lutram_luts).sum();
             let latency = design.feasible.then(|| {
-                let mut acc = Accelerator::new(syn, &device);
+                let mut acc =
+                    Accelerator::try_new(syn, &device).expect("design must fit the device");
                 acc.program(RuntimeConfig::from_model(&workload, &syn).unwrap()).unwrap();
                 acc.timing_report().latency_ms()
             });
@@ -199,9 +192,11 @@ pub fn sparsity_exploitation(target: f64) -> Vec<(&'static str, f64, f64, f64)> 
     .map(|(name, scheme)| {
         let mut w = EncoderWeights::random(cfg, 17);
         let measured = w.prune(scheme, target);
-        let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        let mut acc = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c())
+            .expect("design must fit the device");
         acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-        acc.load_weights(QuantizedEncoder::from_float(&w, QuantSchedule::paper()));
+        acc.try_load_weights(QuantizedEncoder::from_float(&w, QuantSchedule::paper()))
+            .expect("weights must match the programmed registers");
         let saving = |mode: SparseMode| {
             let (dense, sparse) = acc.sparse_speedup(mode);
             1.0 - sparse.get() as f64 / dense.get().max(1) as f64
@@ -218,7 +213,7 @@ pub fn initiation_intervals() -> (f64, f64) {
     let cfg = EncoderConfig::paper_test1();
     let run = |timing: TimingPreset| -> f64 {
         let syn = SynthesisConfig { timing, ..SynthesisConfig::paper_default() };
-        let mut acc = Accelerator::new(syn, &device);
+        let mut acc = Accelerator::try_new(syn, &device).expect("design must fit the device");
         acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
         acc.timing_report().latency_ms()
     };
@@ -312,10 +307,7 @@ mod tests {
         // memory roughly doubles (BRAM + LUTRAM combined)
         let mem8 = b8.1 * 18 * 1024 + b8.2 * 64;
         let mem16 = b16.1 * 18 * 1024 + b16.2 * 64;
-        assert!(
-            mem16 as f64 / mem8 as f64 > 1.6,
-            "16-bit memory {mem16} vs 8-bit {mem8}"
-        );
+        assert!(mem16 as f64 / mem8 as f64 > 1.6, "16-bit memory {mem16} vs 8-bit {mem8}");
         // if both fit, the 16-bit build is never faster
         if let (Some(l8), Some(l16)) = (b8.3, b16.3) {
             assert!(l16 >= l8);

@@ -52,9 +52,7 @@ fn main() {
     let rows = ablation::heads();
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.heads.to_string(), r.dsps.to_string(), num(r.latency_ms)]
-        })
+        .map(|r| vec![r.heads.to_string(), r.dsps.to_string(), num(r.latency_ms)])
         .collect();
     println!("{}", render_table(&["Head engines", "DSP", "Latency (ms)"], &body));
 
@@ -75,7 +73,9 @@ fn main() {
     let rows = ablation::batching();
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|(b, ms)| vec![b.to_string(), num(*ms), format!("{:.2}%", (1.0 - ms / rows[0].1) * 100.0)])
+        .map(|(b, ms)| {
+            vec![b.to_string(), num(*ms), format!("{:.2}%", (1.0 - ms / rows[0].1) * 100.0)]
+        })
         .collect();
     println!(
         "{}",
@@ -98,10 +98,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(
-            &["Precision", "BRAM18", "LUTRAM LUTs", "Latency (ms)", "Fits U55C"],
-            &body
-        )
+        render_table(&["Precision", "BRAM18", "LUTRAM LUTs", "Latency (ms)", "Fits U55C"], &body)
     );
 
     println!("\nABLATION 8 — WHAT SPARSITY SUPPORT WOULD BUY (90% target, FFN stages)\n");
@@ -121,7 +118,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Pruning scheme", "Sparsity", "Tile-skip saving", "Balanced-HW saving", "Paper arithmetic"],
+            &[
+                "Pruning scheme",
+                "Sparsity",
+                "Tile-skip saving",
+                "Balanced-HW saving",
+                "Paper arithmetic"
+            ],
             &body
         )
     );

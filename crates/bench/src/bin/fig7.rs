@@ -27,11 +27,7 @@ fn main() {
                 (768 / p.tiles_ffn).to_string(),
                 num(p.fmax_mhz),
                 if p.feasible { num(p.latency_ms) } else { "-".into() },
-                if p.feasible {
-                    format!("{:.2}", sweep.normalized_latency(p))
-                } else {
-                    "-".into()
-                },
+                if p.feasible { format!("{:.2}", sweep.normalized_latency(p)) } else { "-".into() },
                 if p.feasible { "yes" } else { "NO (over budget)" }.to_string(),
             ]
         })

@@ -12,7 +12,7 @@ fn main() {
     // the single source of truth; fall back to in-process if spawning
     // fails (e.g. when invoked from a context without the sibling
     // binaries built).
-    let bins = ["table1", "table2", "table3", "fig7", "ablations"];
+    let bins = ["table1", "table2", "table3", "fig7", "ablations", "serving"];
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("bin dir");
     for (i, bin) in bins.iter().enumerate() {
@@ -21,10 +21,7 @@ fn main() {
         }
         let candidate = dir.join(bin);
         let ran = candidate.exists()
-            && Command::new(&candidate)
-                .status()
-                .map(|s| s.success())
-                .unwrap_or(false);
+            && Command::new(&candidate).status().map(|s| s.success()).unwrap_or(false);
         if !ran {
             // In-process fallback: print a compact summary from the lib.
             match *bin {
@@ -33,7 +30,10 @@ fn main() {
                     for r in protea_bench::table1::run() {
                         println!(
                             "  {}: sim {:.1} ms (paper {:.0}, ratio {:.2})",
-                            r.test, r.sim_latency_ms, r.paper.latency_ms, r.latency_ratio()
+                            r.test,
+                            r.sim_latency_ms,
+                            r.paper.latency_ms,
+                            r.latency_ratio()
                         );
                     }
                 }
@@ -42,7 +42,9 @@ fn main() {
                     for r in protea_bench::table2::run() {
                         println!(
                             "  vs {}: sim {:.3} ms (reported {:.3})",
-                            r.row.comparator.cite, r.sim_latency_ms, r.row.protea_reported_latency_ms
+                            r.row.comparator.cite,
+                            r.sim_latency_ms,
+                            r.row.protea_reported_latency_ms
                         );
                     }
                 }
@@ -64,11 +66,22 @@ fn main() {
                     );
                 }
                 "ablations" => {
-                    let (with, without) =
-                        protea_bench::ablation::overlap(&protea_model::EncoderConfig::paper_test1());
+                    let (with, without) = protea_bench::ablation::overlap(
+                        &protea_model::EncoderConfig::paper_test1(),
+                    );
                     println!(
                         "ABLATIONS (compact fallback): overlap {with:.1} vs serial {without:.1} ms"
                     );
+                }
+                "serving" => {
+                    let w = protea_bench::serving::standard_workload();
+                    match protea_bench::serving::run_sweep(&w, &[4]) {
+                        Ok(rows) => println!(
+                            "SERVING (compact fallback): 4 cards {:.1} inf/s, {:.2}x vs serial",
+                            rows[0].report.throughput_rps, rows[0].speedup_vs_serial
+                        ),
+                        Err(e) => println!("SERVING (compact fallback): error: {e}"),
+                    }
                 }
                 _ => unreachable!(),
             }

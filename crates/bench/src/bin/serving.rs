@@ -1,0 +1,56 @@
+//! Batched multi-card serving scenario (extension beyond the paper).
+
+use protea_bench::fmt::render_table;
+use protea_bench::serving;
+
+fn main() {
+    println!("SERVING — batched fleet vs serial single-card replay\n");
+    let workload = serving::standard_workload();
+    println!(
+        "workload: {} Poisson requests (d=96, 4 heads, 2 layers, SL 8-32), {:.1} ms of arrivals\n",
+        workload.requests.len(),
+        workload.span_s() * 1e3
+    );
+    let serial = match serving::serial_baseline(&workload) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows = match serving::run_sweep(&workload, &[1, 2, 4, 8]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut body = vec![vec![
+        "serial (1 card, batch=1)".to_string(),
+        format!("{:.1}", serial.throughput_rps),
+        format!("{:.1}", serial.gops),
+        format!("{:.2}", serial.latency_ms.p50),
+        format!("{:.2}", serial.latency_ms.p99),
+        "1.00x".to_string(),
+    ]];
+    for r in &rows {
+        body.push(vec![
+            format!("batched, {} card(s)", r.cards),
+            format!("{:.1}", r.report.throughput_rps),
+            format!("{:.1}", r.report.gops),
+            format!("{:.2}", r.report.latency_ms.p50),
+            format!("{:.2}", r.report.latency_ms.p99),
+            format!("{:.2}x", r.speedup_vs_serial),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Configuration", "inf/s", "GOPS", "p50 (ms)", "p99 (ms)", "Speedup"], &body)
+    );
+    if let Some(best) = rows.last() {
+        println!(
+            "\nbatching detail at {} cards: {} batches, mean size {:.2}, {} weight reloads",
+            best.cards, best.report.batches, best.report.mean_batch, best.report.reprograms
+        );
+    }
+}

@@ -34,8 +34,11 @@ fn main() {
             format!("{:.0}%", c.sparsity * 100.0),
         ]);
         body.push(vec![
-            format!("ProTEA sim (paper: {} / {})", num(r.row.protea_reported_latency_ms),
-                num(r.row.protea_reported_gops)),
+            format!(
+                "ProTEA sim (paper: {} / {})",
+                num(r.row.protea_reported_latency_ms),
+                num(r.row.protea_reported_gops)
+            ),
             "Fix8".into(),
             "Alveo U55C".into(),
             "3612".into(),

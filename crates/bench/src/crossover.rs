@@ -55,15 +55,16 @@ pub fn published_calibrated(
 #[must_use]
 pub fn run(cfg: &EncoderConfig, gpu: &PlatformModel) -> CrossoverResult {
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     accel
         .program(RuntimeConfig::from_model(cfg, &syn).expect("config fits"))
         .expect("register write");
     let ops = OpCount::for_config(cfg).total();
     // bytes touched per sequence ≈ weights once (amortized over batch on
     // the GPU too) + activations; simplify to weights/batch + activations.
-    let weight_bytes = (cfg.layers * (4 * cfg.d_model * cfg.d_model
-        + 2 * cfg.d_model * cfg.d_ffn())) as u64;
+    let weight_bytes =
+        (cfg.layers * (4 * cfg.d_model * cfg.d_model + 2 * cfg.d_model * cfg.d_ffn())) as u64;
     let act_bytes = (cfg.seq_len * cfg.d_model * 4) as u64;
 
     let mut points = Vec::new();
@@ -72,14 +73,12 @@ pub fn run(cfg: &EncoderConfig, gpu: &PlatformModel) -> CrossoverResult {
         let protea_ms = accel.timing_report_batched(batch).latency_ms() / batch as f64;
         // GPU: one launch per layer-ish amortized over the batch; compute
         // and weight traffic scale with batch, weights stream once.
-        let gpu_total = gpu.overhead_ms
-            + {
-                let compute_s =
-                    (ops as f64 * batch as f64) / (gpu.peak_gops * 1e9 * gpu.efficiency);
-                let mem_s = (weight_bytes as f64 + act_bytes as f64 * batch as f64)
-                    / (gpu.mem_gbps * 1e9);
-                compute_s.max(mem_s) * 1e3
-            };
+        let gpu_total = gpu.overhead_ms + {
+            let compute_s = (ops as f64 * batch as f64) / (gpu.peak_gops * 1e9 * gpu.efficiency);
+            let mem_s =
+                (weight_bytes as f64 + act_bytes as f64 * batch as f64) / (gpu.mem_gbps * 1e9);
+            compute_s.max(mem_s) * 1e3
+        };
         let gpu_ms = gpu_total / batch as f64;
         if crossover_batch.is_none() && gpu_ms < protea_ms {
             crossover_batch = Some(batch);

@@ -87,7 +87,8 @@ pub fn run() -> Fig7Sweep {
             let syn = SynthesisConfig::with_tile_counts(tm, tf);
             let design = syn.synthesize(&device);
             let latency_ms = if design.feasible {
-                let mut acc = Accelerator::new(syn, &device);
+                let mut acc =
+                    Accelerator::try_new(syn, &device).expect("design must fit the device");
                 let rt = RuntimeConfig::from_model(&workload, &syn).expect("workload fits");
                 acc.program(rt).expect("register write");
                 acc.timing_report().latency_ms()

@@ -12,6 +12,7 @@
 //! | Fig. 7 (tile-size sweep)                     | [`fig7`]   | `fig7`   |
 //! | Design-choice ablations (DESIGN.md §4)       | [`ablation`] | `ablations` |
 //! | GPU batch-crossover analysis (extension)     | [`crossover`] | `crossover` |
+//! | Batched multi-card serving (extension)       | [`serving`] | `serving` |
 //! | Everything above in sequence                 | —          | `repro_all` |
 
 #![forbid(unsafe_code)]
@@ -21,6 +22,7 @@ pub mod ablation;
 pub mod crossover;
 pub mod fig7;
 pub mod fmt;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,95 @@
+//! Serving scenario: batched multi-card throughput under a live stream.
+//!
+//! This extends the paper's single-request latency evaluation to the
+//! deployment question: how does a fleet of ProTEA cards behave under a
+//! Poisson request stream when a batch scheduler amortizes register
+//! programming and weight reloads? The scenario sweeps fleet sizes on a
+//! fixed workload and reports throughput, tail latency, and the speedup
+//! over an unbatched single-card replay of the same trace.
+
+use protea_serve::{BatchPolicy, Fleet, FleetConfig, ServeError, ServeReport, Workload};
+
+/// One fleet-size measurement.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Cards in the fleet.
+    pub cards: usize,
+    /// The batched fleet's report.
+    pub report: ServeReport,
+    /// Throughput speedup over the serial single-card baseline.
+    pub speedup_vs_serial: f64,
+}
+
+/// The standard scenario workload: a bursty Poisson stream of BERT-tiny
+/// shaped requests (d=96, 4 heads, 2 layers) with mixed sequence
+/// lengths, dense enough that batching opportunities exist.
+#[must_use]
+pub fn standard_workload() -> Workload {
+    Workload::poisson(96, 60_000.0, &[(96, 4, 2)], (8, 32), 2024)
+}
+
+/// Sweep fleet sizes over `workload`, comparing each against the serial
+/// single-card baseline of the *same* trace.
+///
+/// # Errors
+/// Propagates any [`ServeError`] from fleet construction or serving
+/// (none are expected for the standard workload).
+pub fn run_sweep(
+    workload: &Workload,
+    card_counts: &[usize],
+) -> Result<Vec<ServingRow>, ServeError> {
+    let policy = BatchPolicy { max_batch: 8, ..BatchPolicy::default() };
+    let serial =
+        Fleet::try_new(FleetConfig { cards: 1, policy: policy.clone(), ..FleetConfig::default() })?
+            .serve_serial_baseline(workload)?;
+    card_counts
+        .iter()
+        .map(|&cards| {
+            let fleet = Fleet::try_new(FleetConfig {
+                cards,
+                policy: policy.clone(),
+                ..FleetConfig::default()
+            })?;
+            let report = fleet.serve(workload)?;
+            let speedup = report.throughput_rps / serial.throughput_rps;
+            Ok(ServingRow { cards, report, speedup_vs_serial: speedup })
+        })
+        .collect()
+}
+
+/// The serial baseline's report for `workload` (single card, batch=1,
+/// arrival order), for printing alongside the sweep.
+///
+/// # Errors
+/// Propagates any [`ServeError`] from fleet construction or serving.
+pub fn serial_baseline(workload: &Workload) -> Result<ServeReport, ServeError> {
+    Fleet::try_new(FleetConfig { cards: 1, ..FleetConfig::default() })?
+        .serve_serial_baseline(workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_monotone_and_beats_serial() {
+        let w = standard_workload();
+        let rows = run_sweep(&w, &[1, 2, 4]).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.report.completed, w.requests.len());
+            assert!(r.speedup_vs_serial > 1.0, "{} cards: {:.2}x", r.cards, r.speedup_vs_serial);
+        }
+        assert!(
+            rows[2].report.throughput_rps >= rows[0].report.throughput_rps,
+            "4 cards must not be slower than 1"
+        );
+    }
+
+    #[test]
+    fn tail_latency_ordering_holds() {
+        let rows = run_sweep(&standard_workload(), &[2]).unwrap();
+        let p = &rows[0].report.latency_ms;
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max);
+    }
+}

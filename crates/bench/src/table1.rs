@@ -66,7 +66,8 @@ pub fn paper_rows() -> [PaperRow; 9] {
 #[must_use]
 pub fn run() -> Vec<Table1Result> {
     let syn = SynthesisConfig::paper_default();
-    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut acc =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let res = acc.design().resources;
     let paper = paper_rows();
     EncoderConfig::table1_tests()
@@ -81,11 +82,9 @@ pub fn run() -> Vec<Table1Result> {
             // divide the full 12-layer op total by the shorter latency.
             let ops_cfg =
                 EncoderConfig::new(cfg.d_model, cfg.heads, 12.max(cfg.layers), cfg.seq_len);
-            let paper_ops = OpCount::paper_convention(&if matches!(test, "#4" | "#5") {
-                ops_cfg
-            } else {
-                cfg
-            }) as f64;
+            let paper_ops =
+                OpCount::paper_convention(&if matches!(test, "#4" | "#5") { ops_cfg } else { cfg })
+                    as f64;
             Table1Result {
                 test,
                 config: cfg,

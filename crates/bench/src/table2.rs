@@ -28,7 +28,8 @@ pub struct Table2Result {
 #[must_use]
 pub fn run() -> Vec<Table2Result> {
     let syn = SynthesisConfig::paper_default();
-    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut acc =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let dsps = acc.design().resources.dsps as f64;
     table2_rows()
         .into_iter()
@@ -45,7 +46,7 @@ pub fn run() -> Vec<Table2Result> {
                 sim_gops: gops,
                 sim_gops_per_dsp_x1000: gops / dsps * 1000.0,
                 comparator_speedup_over_sim: lat / row.comparator.latency_ms,
-                sim_sparsity_adjusted_ms: (sparsity > 0.0).then(|| lat * (1.0 - sparsity)),
+                sim_sparsity_adjusted_ms: (sparsity > 0.0).then_some(lat * (1.0 - sparsity)),
                 row,
             }
         })

@@ -46,7 +46,8 @@ fn platform_model(name: &str) -> Option<PlatformModel> {
 #[must_use]
 pub fn run() -> Vec<Table3Result> {
     let syn = SynthesisConfig::paper_default();
-    let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut acc =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     table3_rows()
         .into_iter()
         .map(|row| {
@@ -92,7 +93,11 @@ mod tests {
         let rows = run();
         // Model #2: 2.5× faster than the Titan XP (the abstract's claim).
         assert!((rows[1].reported_speedup_vs_base - 2.5).abs() < 0.05);
-        assert!(rows[1].sim_speedup_vs_base > 2.0, "sim speedup {:.2}", rows[1].sim_speedup_vs_base);
+        assert!(
+            rows[1].sim_speedup_vs_base > 2.0,
+            "sim speedup {:.2}",
+            rows[1].sim_speedup_vs_base
+        );
         // Model #4: 16× faster than the Titan XP.
         assert!((rows[3].reported_speedup_vs_base - 16.1).abs() < 0.3);
         assert!(rows[3].sim_speedup_vs_base > 13.0);
@@ -106,11 +111,7 @@ mod tests {
     #[test]
     fn jetson_column_matches_paper() {
         let rows = run();
-        let jetson = rows[0]
-            .baselines
-            .iter()
-            .find(|b| b.platform.contains("Jetson"))
-            .unwrap();
+        let jetson = rows[0].baselines.iter().find(|b| b.platform.contains("Jetson")).unwrap();
         assert!((jetson.speedup_vs_base - 5.26).abs() < 0.05, "paper reports 5.3×");
     }
 

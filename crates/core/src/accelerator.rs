@@ -7,6 +7,7 @@ use crate::engines::qkv::QkvEngine;
 use crate::engines::softmax::SoftmaxEngine;
 use crate::engines::sv::SvEngine;
 use crate::engines::Access;
+use crate::error::CoreError;
 use crate::registers::{RegisterError, RuntimeConfig};
 use crate::report::{CycleReport, EnginePhase};
 use crate::synthesis::{SynthesisConfig, SynthesizedDesign};
@@ -48,23 +49,37 @@ impl Accelerator {
     /// Synthesize `config` onto `device` and power on with a default
     /// register file (the paper's test #1 shape, clamped to capacity).
     ///
-    /// # Panics
-    /// Panics if the design does not fit the device.
-    #[must_use]
-    pub fn new(config: SynthesisConfig, device: &FpgaDevice) -> Self {
+    /// # Errors
+    /// [`CoreError::Infeasible`] if the design does not fit the device.
+    pub fn try_new(config: SynthesisConfig, device: &FpgaDevice) -> Result<Self, CoreError> {
         let design = config.synthesize(device);
-        assert!(
-            design.feasible,
-            "design does not fit {}: {}",
-            device.name, design.resources
-        );
+        if !design.feasible {
+            return Err(CoreError::Infeasible {
+                device: device.name.to_string(),
+                resources: design.resources.to_string(),
+            });
+        }
         let runtime = RuntimeConfig {
             heads: config.heads,
-            layers: 12.min(64),
+            layers: 12,
             d_model: config.d_max,
             seq_len: 64.min(config.sl_max),
         };
-        Self { design, runtime, weights: None, overlap_enabled: true }
+        Ok(Self { design, runtime, weights: None, overlap_enabled: true })
+    }
+
+    /// Panicking form of [`try_new`](Self::try_new), kept for source
+    /// compatibility.
+    ///
+    /// # Panics
+    /// Panics if the design does not fit the device.
+    #[deprecated(since = "0.2.0", note = "use `try_new`; it reports infeasibility as `CoreError`")]
+    #[must_use]
+    pub fn new(config: SynthesisConfig, device: &FpgaDevice) -> Self {
+        match Self::try_new(config, device) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The synthesized design (resources, Fmax).
@@ -113,20 +128,41 @@ impl Accelerator {
         }
     }
 
-    /// Load quantized weights (the DDR-resident model image).
+    /// Load quantized weights (the DDR-resident model image), checking
+    /// them against the programmed register file.
+    ///
+    /// # Errors
+    /// [`CoreError::WeightShape`] if the image's `d_model` differs from
+    /// the programmed register or the image has fewer layers than
+    /// programmed.
+    pub fn try_load_weights(&mut self, weights: QuantizedEncoder) -> Result<(), CoreError> {
+        if weights.config.d_model != self.runtime.d_model
+            || weights.config.layers < self.runtime.layers
+        {
+            return Err(CoreError::WeightShape {
+                weights_d_model: weights.config.d_model,
+                programmed_d_model: self.runtime.d_model,
+                weights_layers: weights.config.layers,
+                programmed_layers: self.runtime.layers,
+            });
+        }
+        self.weights = Some(weights);
+        Ok(())
+    }
+
+    /// Panicking form of [`try_load_weights`](Self::try_load_weights),
+    /// kept for source compatibility.
     ///
     /// # Panics
     /// Panics if the weight dimensions disagree with the register file.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_load_weights`; it reports shape mismatches as `CoreError`"
+    )]
     pub fn load_weights(&mut self, weights: QuantizedEncoder) {
-        assert_eq!(
-            weights.config.d_model, self.runtime.d_model,
-            "weights d_model must match the programmed register"
-        );
-        assert!(
-            weights.config.layers >= self.runtime.layers,
-            "model has fewer layers than programmed"
-        );
-        self.weights = Some(weights);
+        if let Err(e) = self.try_load_weights(weights) {
+            panic!("{e}");
+        }
     }
 
     /// Disable/enable load-compute overlap (ablation).
@@ -137,23 +173,37 @@ impl Accelerator {
     /// Run the encoder on a quantized input. Produces both the bit-exact
     /// output and the cycle report.
     ///
-    /// # Panics
-    /// Panics if weights are not loaded or the input shape mismatches the
+    /// # Errors
+    /// [`CoreError::WeightsNotLoaded`] before any successful
+    /// [`try_load_weights`](Self::try_load_weights);
+    /// [`CoreError::InputShape`] if `x` is not `SL × d_model` per the
     /// register file.
-    #[must_use]
-    pub fn run(&self, x: &Matrix<i8>) -> RunResult {
-        let weights = self.weights.as_ref().expect("load_weights before run");
-        assert_eq!(
-            x.shape(),
-            (self.runtime.seq_len, self.runtime.d_model),
-            "input must be SL × d_model per the register file"
-        );
+    pub fn try_run(&self, x: &Matrix<i8>) -> Result<RunResult, CoreError> {
+        let weights = self.weights.as_ref().ok_or(CoreError::WeightsNotLoaded)?;
+        let expected = (self.runtime.seq_len, self.runtime.d_model);
+        if x.shape() != expected {
+            return Err(CoreError::InputShape { expected, got: x.shape() });
+        }
         let output = self.forward_functional(x, weights);
         let report = self.timing_report();
         let latency_ms = report.latency_ms();
         let ops = OpCount::for_config(&self.runtime.to_model_config());
         let gops = report.gops(&ops);
-        RunResult { output, report, latency_ms, gops }
+        Ok(RunResult { output, report, latency_ms, gops })
+    }
+
+    /// Panicking form of [`try_run`](Self::try_run).
+    ///
+    /// # Panics
+    /// Panics if weights are not loaded or the input shape mismatches the
+    /// register file.
+    #[must_use]
+    pub fn run(&self, x: &Matrix<i8>) -> RunResult {
+        match self.try_run(x) {
+            Ok(r) => r,
+            Err(CoreError::WeightsNotLoaded) => panic!("load_weights before run"),
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Timing only (no data needed): what Table I measures.
@@ -162,7 +212,8 @@ impl Accelerator {
         let syn = &self.design.config;
         let rt = &self.runtime;
         let freq_hz = self.design.fmax_mhz * 1e6;
-        let share = ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
+        let share =
+            ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
 
         let price = |plan: &[Access]| -> (Cycles, Cycles) {
             let schedule: Vec<(Cycles, Cycles)> = plan
@@ -226,7 +277,8 @@ impl Accelerator {
         let syn = &self.design.config;
         let rt = &self.runtime;
         let freq_hz = self.design.fmax_mhz * 1e6;
-        let share = ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
+        let share =
+            ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
         let b = batch as u64;
 
         let price = |plan: &[Access]| -> (Cycles, Cycles) {
@@ -271,15 +323,43 @@ impl Accelerator {
     }
 
     /// Run a batch functionally (each sequence independent) with the
-    /// batched timing. Outputs equal per-sequence [`run`](Self::run)
+    /// batched timing. Outputs equal per-sequence [`try_run`](Self::try_run)
     /// outputs exactly.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyBatch`] for a zero-length batch,
+    /// [`CoreError::WeightsNotLoaded`] before weights are loaded, and
+    /// [`CoreError::InputShape`] if any sequence mismatches the register
+    /// file.
+    pub fn try_run_batch(
+        &self,
+        xs: &[Matrix<i8>],
+    ) -> Result<(Vec<Matrix<i8>>, CycleReport), CoreError> {
+        if xs.is_empty() {
+            return Err(CoreError::EmptyBatch);
+        }
+        let weights = self.weights.as_ref().ok_or(CoreError::WeightsNotLoaded)?;
+        let expected = (self.runtime.seq_len, self.runtime.d_model);
+        for x in xs {
+            if x.shape() != expected {
+                return Err(CoreError::InputShape { expected, got: x.shape() });
+            }
+        }
+        let outputs = xs.iter().map(|x| self.forward_functional(x, weights)).collect();
+        Ok((outputs, self.timing_report_batched(xs.len())))
+    }
+
+    /// Panicking form of [`try_run_batch`](Self::try_run_batch).
+    ///
+    /// # Panics
+    /// Panics on an empty batch, missing weights, or a shape mismatch.
     #[must_use]
     pub fn run_batch(&self, xs: &[Matrix<i8>]) -> (Vec<Matrix<i8>>, CycleReport) {
-        assert!(!xs.is_empty(), "batch must be nonempty");
-        let weights = self.weights.as_ref().expect("load_weights before run");
-        let outputs =
-            xs.iter().map(|x| self.forward_functional(x, weights)).collect();
-        (outputs, self.timing_report_batched(xs.len()))
+        match self.try_run_batch(xs) {
+            Ok(r) => r,
+            Err(CoreError::WeightsNotLoaded) => panic!("load_weights before run"),
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Built-in self-test (the BIST a deployment runs after loading
@@ -304,11 +384,7 @@ impl Accelerator {
             }
             h
         };
-        hw.as_slice()
-            .iter()
-            .zip(sw.as_slice())
-            .position(|(a, b)| a != b)
-            .map_or(Ok(()), Err)
+        hw.as_slice().iter().zip(sw.as_slice()).position(|(a, b)| a != b).map_or(Ok(()), Err)
     }
 
     /// Steady-state sequence interval under inter-sequence **dataflow
@@ -358,8 +434,7 @@ impl Accelerator {
             let attn = FfnEngine::compute(&sv_concat, &layer.wo, &layer.bo, rt, syn, s, None);
             let x1 = LnEngine::compute(&h, &attn, &layer.ln1, s);
             // --- FFN2 (+activation) and FFN3 + add&norm --------------------
-            let hidden =
-                FfnEngine::compute(&x1, &layer.w1, &layer.b1, rt, syn, s, Some(&act));
+            let hidden = FfnEngine::compute(&x1, &layer.w1, &layer.b1, rt, syn, s, Some(&act));
             let ffn_out = FfnEngine::compute(&hidden, &layer.w2, &layer.b2, rt, syn, s, None);
             h = LnEngine::compute(&x1, &ffn_out, &layer.ln2, s);
         }
@@ -377,10 +452,11 @@ mod tests {
         let fw = EncoderWeights::random(cfg, 31);
         let qw = QuantizedEncoder::from_float(&fw, QuantSchedule::paper());
         let mut acc =
-            Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+            Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+                .expect("design must fit the device");
         acc.program(RuntimeConfig::from_model(&cfg, &SynthesisConfig::paper_default()).unwrap())
             .unwrap();
-        acc.load_weights(qw.clone());
+        acc.try_load_weights(qw.clone()).expect("weights must match the programmed registers");
         let x = Matrix::from_fn(8, 96, |r, c| (((r * 41 + c * 13) % 200) as i32 - 100) as i8);
         (acc, x, qw)
     }
@@ -434,9 +510,8 @@ mod tests {
         let (mut acc, _, _) = small_accel();
         acc.program(RuntimeConfig { heads: 8, layers: 12, d_model: 768, seq_len: 64 }).unwrap();
         let r = acc.timing_report();
-        let ffn = r.phase_fraction("FFN1_CE")
-            + r.phase_fraction("FFN2_CE")
-            + r.phase_fraction("FFN3_CE");
+        let ffn =
+            r.phase_fraction("FFN1_CE") + r.phase_fraction("FFN2_CE") + r.phase_fraction("FFN3_CE");
         assert!(ffn > 0.7, "FFN fraction = {ffn:.2}");
     }
 
@@ -464,13 +539,14 @@ mod tests {
         let cfg = RuntimeConfig { heads: 8, layers: 12, d_model: 768, seq_len: 32 };
         let device = FpgaDevice::alveo_u55c();
         let dedicated = {
-            let mut a = Accelerator::new(SynthesisConfig::paper_default(), &device);
+            let mut a = Accelerator::try_new(SynthesisConfig::paper_default(), &device)
+                .expect("design must fit the device");
             a.program(cfg).unwrap();
             a.timing_report().total
         };
         let shared = {
             let syn = SynthesisConfig { dma_sharing: 8, ..SynthesisConfig::paper_default() };
-            let mut a = Accelerator::new(syn, &device);
+            let mut a = Accelerator::try_new(syn, &device).expect("design must fit the device");
             a.program(cfg).unwrap();
             a.timing_report().total
         };
@@ -525,9 +601,82 @@ mod tests {
     #[test]
     #[should_panic(expected = "load_weights")]
     fn run_without_weights_panics() {
-        let acc =
-            Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+        let acc = Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+            .expect("design must fit the device");
         let x = Matrix::<i8>::zeros(64, 768);
         let _ = acc.run(&x);
+    }
+
+    #[test]
+    fn try_new_reports_infeasible() {
+        let err = Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::zcu102())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }), "{err:?}");
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn try_load_weights_reports_shape_mismatch() {
+        let (mut acc, _, _) = small_accel();
+        // registers say d_model = 96; offer a d_model = 64 image
+        let wrong = QuantizedEncoder::from_float(
+            &EncoderWeights::random(EncoderConfig::new(64, 4, 2, 8), 7),
+            QuantSchedule::paper(),
+        );
+        let err = acc.try_load_weights(wrong).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::WeightShape { weights_d_model: 64, programmed_d_model: 96, .. }
+            ),
+            "{err:?}"
+        );
+        // fewer layers than programmed is the other rejection
+        let shallow = QuantizedEncoder::from_float(
+            &EncoderWeights::random(EncoderConfig::new(96, 4, 1, 8), 7),
+            QuantSchedule::paper(),
+        );
+        assert!(matches!(
+            acc.try_load_weights(shallow).unwrap_err(),
+            CoreError::WeightShape { weights_layers: 1, programmed_layers: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn try_run_reports_missing_weights_and_bad_shape() {
+        let acc = Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+            .unwrap();
+        let x = Matrix::<i8>::zeros(64, 768);
+        assert_eq!(acc.try_run(&x).unwrap_err(), CoreError::WeightsNotLoaded);
+        let (acc, _, _) = small_accel();
+        let bad = Matrix::<i8>::zeros(3, 96);
+        assert!(matches!(
+            acc.try_run(&bad).unwrap_err(),
+            CoreError::InputShape { expected: (8, 96), got: (3, 96) }
+        ));
+    }
+
+    #[test]
+    fn try_run_batch_rejects_empty_and_ragged() {
+        let (acc, x, _) = small_accel();
+        assert_eq!(acc.try_run_batch(&[]).unwrap_err(), CoreError::EmptyBatch);
+        let bad = Matrix::<i8>::zeros(4, 96);
+        assert!(matches!(acc.try_run_batch(&[x, bad]).unwrap_err(), CoreError::InputShape { .. }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        // The panicking constructors must keep working for old callers.
+        let mut acc = Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+        let cfg = EncoderConfig::new(96, 4, 2, 8);
+        acc.program(RuntimeConfig::from_model(&cfg, &SynthesisConfig::paper_default()).unwrap())
+            .unwrap();
+        acc.load_weights(QuantizedEncoder::from_float(
+            &EncoderWeights::random(cfg, 31),
+            QuantSchedule::paper(),
+        ));
+        let x = Matrix::<i8>::zeros(8, 96);
+        assert_eq!(acc.run(&x).output.shape(), (8, 96));
     }
 }

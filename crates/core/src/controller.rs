@@ -278,10 +278,7 @@ mod tests {
             let _ = decode(w); // Err or Ok, never panic
         }
         assert_eq!(decode(0xFF00_0000_0000_0000), Err(IsaError::BadOpcode(0xFF)));
-        assert_eq!(
-            decode((0x01u64 << 56) | (0x55u64 << 32)),
-            Err(IsaError::BadRegister(0x55))
-        );
+        assert_eq!(decode((0x01u64 << 56) | (0x55u64 << 32)), Err(IsaError::BadRegister(0x55)));
     }
 
     #[test]

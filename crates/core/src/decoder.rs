@@ -11,12 +11,12 @@
 //! unchanged. Timing uses the identical calibrated engine formulas over
 //! the rectangular (target × source) iteration spaces.
 
+use crate::accelerator::Accelerator;
 use crate::engines::ffn::{FfnEngine, FfnStage};
 use crate::engines::{accumulate_tiled, finish_projection, Access};
 use crate::registers::{RegisterError, RuntimeConfig};
 use crate::report::{CycleReport, EnginePhase};
 use crate::synthesis::SynthesisConfig;
-use crate::accelerator::Accelerator;
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::{Requantizer, SoftmaxUnit};
 use protea_hwsim::Cycles;
@@ -157,7 +157,11 @@ impl Accelerator {
         let kv = (position + 1) as u64;
         let sl_s = src_len as u64;
         let freq_hz = self.design().fmax_mhz * 1e6;
-        let share = ChannelShare::of(&self.design().device.memory, self.design().config.dma_sharing, freq_hz);
+        let share = ChannelShare::of(
+            &self.design().device.memory,
+            self.design().config.dma_sharing,
+            freq_hz,
+        );
         let compute_only = |cycles: u64| vec![Access { load_bytes: 0, compute_cycles: cycles }];
         let proj_plan = |rows: u64| -> Vec<Access> {
             let tiles = syn.tiles_mha() as u64;
@@ -230,7 +234,11 @@ impl Accelerator {
         let sl_t = tgt_len as u64;
         let sl_s = src_len as u64;
         let freq_hz = self.design().fmax_mhz * 1e6;
-        let share = ChannelShare::of(&self.design().device.memory, self.design().config.dma_sharing, freq_hz);
+        let share = ChannelShare::of(
+            &self.design().device.memory,
+            self.design().config.dma_sharing,
+            freq_hz,
+        );
 
         // QKV-style projection phase: `rows` activation rows, the weight
         // strips tiled `tiles_mha` times.
@@ -326,8 +334,21 @@ fn decoder_layer(
     );
     let x1 = add_norm(x, &sa, &w.ln[0], s);
     let ca = tiled_attention(
-        &syn, &rt, dec, &x1, memory, &w.cross_wq, &w.cross_wk, &w.cross_wv, &w.cross_bq,
-        &w.cross_bk, &w.cross_bv, &w.cross_wo, &w.cross_bo, false, s,
+        &syn,
+        &rt,
+        dec,
+        &x1,
+        memory,
+        &w.cross_wq,
+        &w.cross_wk,
+        &w.cross_wv,
+        &w.cross_bq,
+        &w.cross_bk,
+        &w.cross_bv,
+        &w.cross_wo,
+        &w.cross_bo,
+        false,
+        s,
     );
     let x2 = add_norm(&x1, &ca, &w.ln[1], s);
     let hidden = FfnEngine::compute(&x2, &w.w1, &w.b1, &rt, &syn, s, Some(act));
@@ -370,11 +391,8 @@ fn tiled_attention(
     let v = proj(kv_src, wv, bv);
 
     let softmax = SoftmaxUnit::new(s.logit_fmt);
-    let rq = Requantizer::new(
-        s.logit_fmt.frac_bits() + s.act_fmt.frac_bits(),
-        s.act_fmt,
-        s.rounding,
-    );
+    let rq =
+        Requantizer::new(s.logit_fmt.frac_bits() + s.act_fmt.frac_bits(), s.act_fmt, s.rounding);
     let mut concat = Matrix::<i8>::zeros(sl_q, d);
     for head in 0..rt.heads {
         let c0 = head * dk;
@@ -403,9 +421,13 @@ mod tests {
     use protea_platform::FpgaDevice;
 
     fn setup(cfg: EncoderConfig, seed: u64) -> (Accelerator, QuantizedDecoder) {
-        let accel = Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
-        let dec =
-            QuantizedDecoder::from_float(&DecoderWeights::random(cfg, seed), QuantSchedule::paper());
+        let accel =
+            Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+                .expect("design must fit the device");
+        let dec = QuantizedDecoder::from_float(
+            &DecoderWeights::random(cfg, seed),
+            QuantSchedule::paper(),
+        );
         (accel, dec)
     }
 
@@ -434,9 +456,7 @@ mod tests {
         // Same dims: a decoder layer adds a whole cross-attention block.
         let cfg = EncoderConfig::new(768, 8, 1, 64);
         let (mut accel, dec) = setup(cfg, 2);
-        accel
-            .program(RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 })
-            .unwrap();
+        accel.program(RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 }).unwrap();
         let enc_cycles = accel.timing_report().total;
         let dec_cycles = accel.decoder_timing_report(&dec, 64, 64).total;
         assert!(dec_cycles.get() > enc_cycles.get());
@@ -466,16 +486,15 @@ mod tests {
         let cfg = EncoderConfig::new(64, 4, 1, 8);
         let t = protea_model::QuantizedTransformer::random(cfg, QuantSchedule::paper(), 77);
         let accel =
-            Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
+            Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+                .expect("design must fit the device");
         let src = Matrix::from_fn(8, 64, |r, c| ((r * 3 + c) % 90) as i8);
         let tgt = Matrix::from_fn(4, 64, |r, c| ((r * 7 + c * 2) % 90) as i8);
         let out = accel.run_transformer(&t, &src, &tgt);
         // bit-exact vs the software transformer
         assert_eq!(out.output.as_slice(), t.forward(&src, &tgt).as_slice());
         // combined latency exceeds the decoder-only report
-        let dec_only = accel
-            .decoder_timing_report(&t.decoder, 4, 8)
-            .total;
+        let dec_only = accel.decoder_timing_report(&t.decoder, 4, 8).total;
         assert!(out.report.total > dec_only);
     }
 

@@ -99,14 +99,12 @@ pub fn simulate_layer_des(accel: &Accelerator) -> (Cycles, f64) {
     let syn = &accel.design().config;
     let rt = accel.runtime();
     let freq_hz = accel.design().fmax_mhz * 1e6;
-    let share = ChannelShare::of(&accel.design().device.memory, accel.design().config.dma_sharing, freq_hz);
+    let share =
+        ChannelShare::of(&accel.design().device.memory, accel.design().config.dma_sharing, freq_hz);
     let to_cycles = |plan: Vec<Access>| -> Vec<(Cycles, Cycles)> {
         plan.into_iter()
             .map(|a| {
-                (
-                    bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
-                    Cycles(a.compute_cycles),
-                )
+                (bounded_transfer_cycles(&syn.axi, &share, a.load_bytes), Cycles(a.compute_cycles))
             })
             .collect()
     };
@@ -134,7 +132,7 @@ pub fn simulate_layer_des(accel: &Accelerator) -> (Cycles, f64) {
         finished: false,
     };
     let mut sim = Simulator::new();
-    sim.schedule_at(Cycles(0), |sim, m| advance(sim, m));
+    sim.schedule_at(Cycles(0), advance);
     // Re-attempt progress after every event (the kernel is hookless, so
     // `advance` is re-entered from each completion callback above; the
     // initial event kicks it off).
@@ -154,7 +152,8 @@ mod tests {
 
     fn accel_for(cfg: &EncoderConfig) -> Accelerator {
         let syn = SynthesisConfig::paper_default();
-        let mut a = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        let mut a = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c())
+            .expect("design must fit the device");
         a.program(RuntimeConfig::from_model(cfg, &syn).unwrap()).unwrap();
         a
     }

@@ -107,7 +107,9 @@ impl Driver {
         let (rt, prog) = self.compile(blob)?;
         let weights = decode(blob).map_err(DriverError::Decode)?;
         accel.program(rt).map_err(DriverError::Register)?;
-        accel.load_weights(QuantizedEncoder::from_float(&weights, schedule));
+        accel
+            .try_load_weights(QuantizedEncoder::from_float(&weights, schedule))
+            .map_err(|e| DriverError::Register(RegisterError::Invalid(e.to_string())))?;
         Ok(prog)
     }
 }
@@ -132,7 +134,8 @@ mod tests {
         assert_eq!(rt.d_model, 256);
         assert!(matches!(prog[0], Instruction::WriteReg(Reg::Heads, 1)));
         assert!(matches!(prog[4], Instruction::WriteReg(Reg::Heads, 4)));
-        let dma_count = prog.iter().filter(|i| matches!(i, Instruction::LoadWeights { .. })).count();
+        let dma_count =
+            prog.iter().filter(|i| matches!(i, Instruction::LoadWeights { .. })).count();
         assert_eq!(dma_count, 3);
         assert_eq!(prog[prog.len() - 2], Instruction::Start);
         assert_eq!(prog[prog.len() - 1], Instruction::ReadOutput);
@@ -155,7 +158,8 @@ mod tests {
     fn deploy_end_to_end() {
         let syn = SynthesisConfig::paper_default();
         let driver = Driver::new(syn);
-        let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        let mut accel = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c())
+            .expect("design must fit the device");
         let cfg = EncoderConfig::new(96, 4, 1, 8);
         driver.deploy(&mut accel, &blob(cfg, 9), QuantSchedule::paper()).unwrap();
         let x = Matrix::from_fn(8, 96, |r, c| ((r + c) % 50) as i8);
@@ -168,7 +172,8 @@ mod tests {
     fn redeploy_swaps_models_without_resynthesis() {
         let syn = SynthesisConfig::paper_default();
         let driver = Driver::new(syn);
-        let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        let mut accel = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c())
+            .expect("design must fit the device");
         driver
             .deploy(&mut accel, &blob(EncoderConfig::new(96, 4, 1, 8), 1), QuantSchedule::paper())
             .unwrap();

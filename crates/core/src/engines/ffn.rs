@@ -151,7 +151,7 @@ mod tests {
             data: Matrix::from_fn(768, 768, |r, c| (((r * 7 + c * 13) % 200) as i32 - 100) as i8),
             fmt: QFormat::new(8, 6),
         };
-        let bias: Vec<i32> = (0..768).map(|i| (i as i32 % 64) - 32).collect();
+        let bias: Vec<i32> = (0..768).map(|i| (i % 64) - 32).collect();
         let golden = project(&x, &w, &bias, &s);
         let tiled = FfnEngine::compute(&x, &w, &bias, &rt, &syn, &s, None);
         assert_eq!(tiled.as_slice(), golden.as_slice());

@@ -42,11 +42,10 @@ mod tests {
     #[test]
     fn plan_scales_with_rows_and_d() {
         let syn = SynthesisConfig::paper_default();
-        let mk = |d, sl| LnEngine::plan(
-            &RuntimeConfig { heads: 8, layers: 1, d_model: d, seq_len: sl },
-            &syn,
-        )[0]
-        .compute_cycles;
+        let mk = |d, sl| {
+            LnEngine::plan(&RuntimeConfig { heads: 8, layers: 1, d_model: d, seq_len: sl }, &syn)[0]
+                .compute_cycles
+        };
         assert!(mk(768, 64) > mk(512, 64));
         assert!(mk(768, 128) > mk(768, 64));
     }
@@ -60,8 +59,7 @@ mod tests {
         let out = LnEngine::compute(&x, &zero, &unit, &s);
         // normalized rows: mean near zero
         for r in 0..2 {
-            let mean: f64 =
-                out.row(r).iter().map(|&v| f64::from(v)).sum::<f64>() / 16.0;
+            let mean: f64 = out.row(r).iter().map(|&v| f64::from(v)).sum::<f64>() / 16.0;
             assert!(mean.abs() < 4.0);
         }
     }

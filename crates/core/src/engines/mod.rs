@@ -49,11 +49,8 @@ pub fn finish_projection(
             *a = a.saturating_add(b);
         }
     }
-    let rq = Requantizer::new(
-        s.act_fmt.frac_bits() + weight_fmt.frac_bits(),
-        s.act_fmt,
-        s.rounding,
-    );
+    let rq =
+        Requantizer::new(s.act_fmt.frac_bits() + weight_fmt.frac_bits(), s.act_fmt, s.rounding);
     acc.map(|a| rq.apply(a))
 }
 
@@ -72,6 +69,9 @@ pub fn accumulate_tiled(
     for t in grid.iter() {
         for i in 0..x.rows() {
             let x_row = x.row(i);
+            // `k` strides both the input row and the weight rows; the
+            // explicit index keeps the two walks visibly in lockstep.
+            #[allow(clippy::needless_range_loop)]
             for k in t.r0..t.r0 + t.h {
                 let xv = i32::from(x_row[k]);
                 if xv == 0 {
@@ -111,7 +111,7 @@ mod tests {
         let x = Matrix::from_fn(4, 8, |r, c| ((r * 11 + c * 3) % 120) as i8 - 60);
         let wm = Matrix::from_fn(8, 6, |r, c| ((r * 7 + c * 19) % 120) as i8 - 60);
         let w = QuantMatrix { data: wm.clone(), fmt: QFormat::new(8, 6) };
-        let bias: Vec<i32> = (0..6).map(|i| (i as i32 - 3) * 100).collect();
+        let bias: Vec<i32> = (0..6).map(|i| (i - 3) * 100).collect();
         let golden = project(&x, &w, &bias, &s);
         let mut acc = Matrix::<i32>::zeros(4, 6);
         accumulate_tiled(&mut acc, &x, &wm, &TileGrid::new(8, 6, 3, 2));

@@ -21,11 +21,7 @@ impl QkEngine {
     /// no weight streaming (operands live on chip).
     #[must_use]
     pub fn plan(rt: &RuntimeConfig, syn: &SynthesisConfig) -> Vec<Access> {
-        let compute = syn.timing.qk_cycles(
-            rt.seq_len as u64,
-            rt.dk() as u64,
-            syn.dk_max() as u64,
-        );
+        let compute = syn.timing.qk_cycles(rt.seq_len as u64, rt.dk() as u64, syn.dk_max() as u64);
         vec![Access { load_bytes: 0, compute_cycles: compute }]
     }
 
@@ -59,11 +55,11 @@ mod tests {
     #[test]
     fn fewer_heads_cost_more_cycles() {
         let syn = SynthesisConfig::paper_default();
-        let mk = |h| QkEngine::plan(
-            &RuntimeConfig { heads: h, layers: 1, d_model: 768, seq_len: 64 },
-            &syn,
-        )[0]
-        .compute_cycles;
+        let mk = |h| {
+            QkEngine::plan(&RuntimeConfig { heads: h, layers: 1, d_model: 768, seq_len: 64 }, &syn)
+                [0]
+            .compute_cycles
+        };
         assert!(mk(2) > mk(4));
         assert!(mk(4) > mk(8));
     }

@@ -105,7 +105,9 @@ mod tests {
         let syn = SynthesisConfig::paper_default();
         let big = RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 };
         let small = RuntimeConfig { heads: 8, layers: 1, d_model: 256, seq_len: 64 };
-        assert!(QkvEngine::plan(&big, &syn)[0].load_bytes > QkvEngine::plan(&small, &syn)[0].load_bytes);
+        assert!(
+            QkvEngine::plan(&big, &syn)[0].load_bytes > QkvEngine::plan(&small, &syn)[0].load_bytes
+        );
     }
 
     #[test]

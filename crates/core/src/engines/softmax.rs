@@ -23,18 +23,14 @@ impl SoftmaxEngine {
     /// Access plan: one compute-only access per layer.
     #[must_use]
     pub fn plan(rt: &RuntimeConfig, syn: &SynthesisConfig) -> Vec<Access> {
-        vec![Access {
-            load_bytes: 0,
-            compute_cycles: syn.timing.softmax_cycles(rt.seq_len as u64),
-        }]
+        vec![Access { load_bytes: 0, compute_cycles: syn.timing.softmax_cycles(rt.seq_len as u64) }]
     }
 
     /// Row-softmax of one head's logit matrix.
     #[must_use]
     pub fn compute_head(&self, logits: &Matrix<i8>) -> Matrix<i8> {
         let mut out = Matrix::<i8>::zeros(logits.rows(), logits.cols());
-        self.unit
-            .forward_matrix(logits.as_slice(), logits.cols(), out.as_mut_slice());
+        self.unit.forward_matrix(logits.as_slice(), logits.cols(), out.as_mut_slice());
         out
     }
 }
@@ -58,11 +54,13 @@ mod tests {
     #[test]
     fn plan_scales_quadratically_with_sl() {
         let syn = SynthesisConfig::paper_default();
-        let mk = |sl| SoftmaxEngine::plan(
-            &RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: sl },
-            &syn,
-        )[0]
-        .compute_cycles;
+        let mk = |sl| {
+            SoftmaxEngine::plan(
+                &RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: sl },
+                &syn,
+            )[0]
+            .compute_cycles
+        };
         let a = mk(32);
         let b = mk(64);
         let c = mk(128);

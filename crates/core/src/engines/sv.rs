@@ -20,11 +20,7 @@ impl SvEngine {
     /// Access plan: one untiled access, operands on chip.
     #[must_use]
     pub fn plan(rt: &RuntimeConfig, syn: &SynthesisConfig) -> Vec<Access> {
-        let compute = syn.timing.sv_cycles(
-            rt.seq_len as u64,
-            rt.dk() as u64,
-            syn.sl_unroll as u64,
-        );
+        let compute = syn.timing.sv_cycles(rt.seq_len as u64, rt.dk() as u64, syn.sl_unroll as u64);
         vec![Access { load_bytes: 0, compute_cycles: compute }]
     }
 
@@ -64,11 +60,11 @@ mod tests {
     #[test]
     fn plan_ii_inflates_beyond_unroll() {
         let syn = SynthesisConfig::paper_default();
-        let mk = |sl| SvEngine::plan(
-            &RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: sl },
-            &syn,
-        )[0]
-        .compute_cycles;
+        let mk = |sl| {
+            SvEngine::plan(&RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: sl }, &syn)
+                [0]
+            .compute_cycles
+        };
         // 64 → within unroll (II=1); 128 → II=2 and rows double: ≈ 4×.
         let a = mk(64);
         let b = mk(128);

@@ -1,0 +1,151 @@
+//! The unified error type of the fallible public API.
+//!
+//! Every failure a host can trigger through the request path — a bad
+//! model blob, a register write beyond the synthesized capacity, weights
+//! that disagree with the programmed registers, an input of the wrong
+//! shape, a design that does not fit the device — surfaces as one
+//! [`CoreError`]. The `From` impls let `?` lift the layer-specific
+//! errors ([`RegisterError`], [`DecodeError`], [`DriverError`]) without
+//! call-site ceremony.
+
+use crate::driver::DriverError;
+use crate::registers::RegisterError;
+use core::fmt;
+use protea_model::serialize::DecodeError;
+
+/// Any error reachable through the accelerator's fallible API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A register write was rejected (over capacity or structurally
+    /// invalid).
+    Register(RegisterError),
+    /// A serialized model blob failed to parse.
+    Decode(DecodeError),
+    /// The synthesized design does not fit the target device.
+    Infeasible {
+        /// Device name.
+        device: String,
+        /// Human-readable resource summary of the overflowing design.
+        resources: String,
+    },
+    /// Loaded weights disagree with the programmed register file.
+    WeightShape {
+        /// `d_model` of the weight image.
+        weights_d_model: usize,
+        /// `d_model` in the register file.
+        programmed_d_model: usize,
+        /// Layer count of the weight image.
+        weights_layers: usize,
+        /// Layer count in the register file.
+        programmed_layers: usize,
+    },
+    /// `run` was requested before any weights were loaded.
+    WeightsNotLoaded,
+    /// The input matrix does not match `SL × d_model`.
+    InputShape {
+        /// Shape the register file demands.
+        expected: (usize, usize),
+        /// Shape that was supplied.
+        got: (usize, usize),
+    },
+    /// A batched call received zero sequences.
+    EmptyBatch,
+    /// A synthesis-time configuration is structurally invalid (zero
+    /// field, non-divisor tile size, …) — caught by
+    /// [`SynthesisConfigBuilder::build`](crate::synthesis::SynthesisConfigBuilder::build).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Register(e) => write!(f, "register programming rejected: {e}"),
+            CoreError::Decode(e) => write!(f, "model blob rejected: {e}"),
+            CoreError::Infeasible { device, resources } => {
+                write!(f, "design does not fit {device}: {resources}")
+            }
+            CoreError::WeightShape {
+                weights_d_model,
+                programmed_d_model,
+                weights_layers,
+                programmed_layers,
+            } => write!(
+                f,
+                "weight image (d_model={weights_d_model}, layers={weights_layers}) \
+                 incompatible with register file (d_model={programmed_d_model}, \
+                 layers={programmed_layers})"
+            ),
+            CoreError::WeightsNotLoaded => {
+                write!(f, "no weights loaded (call try_load_weights first)")
+            }
+            CoreError::InputShape { expected, got } => write!(
+                f,
+                "input shape {}×{} does not match programmed SL×d_model {}×{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            CoreError::EmptyBatch => write!(f, "batch must contain at least one sequence"),
+            CoreError::InvalidConfig(m) => write!(f, "invalid synthesis configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Register(e) => Some(e),
+            CoreError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegisterError> for CoreError {
+    fn from(e: RegisterError) -> Self {
+        CoreError::Register(e)
+    }
+}
+
+impl From<DecodeError> for CoreError {
+    fn from(e: DecodeError) -> Self {
+        CoreError::Decode(e)
+    }
+}
+
+impl From<DriverError> for CoreError {
+    fn from(e: DriverError) -> Self {
+        match e {
+            DriverError::Decode(d) => CoreError::Decode(d),
+            DriverError::Register(r) => CoreError::Register(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_register_error() {
+        let e = RegisterError::Invalid("x".into());
+        let c: CoreError = e.clone().into();
+        assert_eq!(c, CoreError::Register(e));
+    }
+
+    #[test]
+    fn from_driver_error_flattens() {
+        let r = RegisterError::ExceedsCapacity { reg: "heads", requested: 9, max: 8 };
+        let c: CoreError = DriverError::Register(r.clone()).into();
+        assert_eq!(c, CoreError::Register(r));
+        let d = DecodeError::BadMagic;
+        let c: CoreError = DriverError::Decode(d.clone()).into();
+        assert_eq!(c, CoreError::Decode(d));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InputShape { expected: (64, 768), got: (8, 96) };
+        let s = e.to_string();
+        assert!(s.contains("8×96") && s.contains("64×768"), "{s}");
+        assert!(CoreError::WeightsNotLoaded.to_string().contains("try_load_weights"));
+    }
+}

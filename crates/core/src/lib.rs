@@ -42,6 +42,7 @@ pub mod decoder;
 pub mod desched;
 pub mod driver;
 pub mod engines;
+pub mod error;
 pub mod registers;
 pub mod report;
 pub mod sparse;
@@ -53,9 +54,10 @@ pub use bus::{AxiLiteBus, BusResponse};
 pub use controller::Controller;
 pub use decoder::DecoderRunResult;
 pub use desched::simulate_layer_des;
-pub use driver::{Driver, Instruction};
+pub use driver::{Driver, DriverError, Instruction};
+pub use error::CoreError;
 pub use registers::{RegisterError, RuntimeConfig};
 pub use report::{CycleReport, EnginePhase};
 pub use sparse::{SparseMode, SparsePhase};
-pub use synthesis::{SynthesisConfig, SynthesizedDesign};
+pub use synthesis::{SynthesisConfig, SynthesisConfigBuilder, SynthesizedDesign};
 pub use timing::TimingPreset;

@@ -44,7 +44,10 @@ impl fmt::Display for RegisterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegisterError::ExceedsCapacity { reg, requested, max } => {
-                write!(f, "{reg} = {requested} exceeds synthesized capacity {max} (resynthesis required)")
+                write!(
+                    f,
+                    "{reg} = {requested} exceeds synthesized capacity {max} (resynthesis required)"
+                )
             }
             RegisterError::Invalid(m) => write!(f, "invalid register state: {m}"),
         }
@@ -100,7 +103,7 @@ impl RuntimeConfig {
         if self.layers == 0 {
             return Err(RegisterError::Invalid("layers must be nonzero".into()));
         }
-        if self.d_model % self.heads != 0 {
+        if !self.d_model.is_multiple_of(self.heads) {
             return Err(RegisterError::Invalid(format!(
                 "heads ({}) must divide d_model ({})",
                 self.heads, self.d_model

@@ -48,11 +48,7 @@ impl CycleReport {
         if self.total.get() == 0 {
             return 0.0;
         }
-        self.phases
-            .iter()
-            .filter(|p| p.name == name)
-            .map(|p| p.cycles.get())
-            .sum::<u64>() as f64
+        self.phases.iter().filter(|p| p.name == name).map(|p| p.cycles.get()).sum::<u64>() as f64
             / self.total.get() as f64
     }
 
@@ -88,11 +84,8 @@ impl CycleReport {
     pub fn to_vcd(&self) -> String {
         let mut trace = protea_hwsim::VcdTrace::new("protea");
         let phase_bus = trace.add_signal("phase_idx", 8);
-        let wires: Vec<_> = self
-            .phases
-            .iter()
-            .map(|p| trace.add_signal(&format!("{}_busy", p.name), 1))
-            .collect();
+        let wires: Vec<_> =
+            self.phases.iter().map(|p| trace.add_signal(&format!("{}_busy", p.name), 1)).collect();
         let name_index: std::collections::HashMap<&str, usize> =
             self.phases.iter().enumerate().map(|(i, p)| (p.name, i)).collect();
         // all idle at time zero
@@ -121,9 +114,8 @@ impl CycleReport {
             let start_col = (t * width as u64 / layer_cycles) as usize;
             let end_col =
                 (((t + per_layer) * width as u64).div_ceil(layer_cycles) as usize).min(width);
-            let bar: String = (0..width)
-                .map(|c| if c >= start_col && c < end_col { '█' } else { '·' })
-                .collect();
+            let bar: String =
+                (0..width).map(|c| if c >= start_col && c < end_col { '█' } else { '·' }).collect();
             out.push_str(&format!(
                 "{:<12} {bar} {:>5.1}%\n",
                 p.name,
@@ -202,7 +194,7 @@ mod tests {
         let r = report();
         let spans = r.timeline();
         assert_eq!(spans.len(), 2 * 2); // phases × layers
-        // contiguous: each span starts where the previous ended
+                                        // contiguous: each span starts where the previous ended
         for pair in spans.windows(2) {
             assert_eq!(pair[0].2, pair[1].1);
         }

@@ -71,10 +71,7 @@ pub fn tile_occupancy(w: &QuantMatrix, tile: usize) -> Vec<f64> {
         .collect()
 }
 
-fn stage_weight<'a>(
-    layer: &'a protea_model::quantized::QuantizedLayer,
-    stage: FfnStage,
-) -> &'a QuantMatrix {
+fn stage_weight(layer: &protea_model::quantized::QuantizedLayer, stage: FfnStage) -> &QuantMatrix {
     match stage {
         FfnStage::Ffn1 => &layer.wo,
         FfnStage::Ffn2 => &layer.w1,
@@ -134,15 +131,13 @@ impl Accelerator {
                 })
                 .sum(),
         };
-        let zero_tiles =
-            occupancy.iter().take(accesses).filter(|&&o| o == 0.0).count() as f64;
+        let zero_tiles = occupancy.iter().take(accesses).filter(|&&o| o == 0.0).count() as f64;
         SparsePhase {
             stage,
             dense_cycles: dense,
             sparse_cycles: sparse,
             zero_tile_fraction: zero_tiles / accesses.max(1) as f64,
-            mean_occupancy: occupancy.iter().take(accesses).sum::<f64>()
-                / accesses.max(1) as f64,
+            mean_occupancy: occupancy.iter().take(accesses).sum::<f64>() / accesses.max(1) as f64,
         }
     }
 
@@ -165,9 +160,7 @@ mod tests {
     use protea_model::{EncoderConfig, EncoderWeights, QuantSchedule, QuantizedEncoder};
     use protea_platform::FpgaDevice;
 
-    fn accel_with(
-        scheme: Option<(PruningScheme, f64)>,
-    ) -> Accelerator {
+    fn accel_with(scheme: Option<(PruningScheme, f64)>) -> Accelerator {
         let cfg = EncoderConfig::new(768, 8, 1, 16);
         let mut w = EncoderWeights::random(cfg, 13);
         if let Some((s, frac)) = scheme {
@@ -175,9 +168,10 @@ mod tests {
         }
         let q = QuantizedEncoder::from_float(&w, QuantSchedule::paper());
         let syn = SynthesisConfig::paper_default();
-        let mut acc = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        let mut acc = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c())
+            .expect("design must fit the device");
         acc.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-        acc.load_weights(q);
+        acc.try_load_weights(q).expect("weights must match the programmed registers");
         acc
     }
 

@@ -43,6 +43,18 @@ pub struct SynthesisConfig {
 }
 
 impl SynthesisConfig {
+    /// Start a validated builder seeded with the paper's design point.
+    ///
+    /// ```
+    /// use protea_core::SynthesisConfig;
+    /// let syn = SynthesisConfig::builder().heads(8).d_max(512).sl_max(128).build().unwrap();
+    /// assert_eq!(syn.dk_max(), 64);
+    /// ```
+    #[must_use]
+    pub fn builder() -> SynthesisConfigBuilder {
+        SynthesisConfigBuilder { cfg: Self::paper_default() }
+    }
+
     /// The paper's synthesized design point.
     #[must_use]
     pub fn paper_default() -> Self {
@@ -69,12 +81,12 @@ impl SynthesisConfig {
     pub fn with_tile_counts(tiles_mha: usize, tiles_ffn: usize) -> Self {
         let base = Self::paper_default();
         assert!(
-            tiles_mha > 0 && base.d_max % tiles_mha == 0,
+            tiles_mha > 0 && base.d_max.is_multiple_of(tiles_mha),
             "tiles_mha ({tiles_mha}) must divide d_max ({})",
             base.d_max
         );
         assert!(
-            tiles_ffn > 0 && base.d_max % tiles_ffn == 0,
+            tiles_ffn > 0 && base.d_max.is_multiple_of(tiles_ffn),
             "tiles_ffn ({tiles_ffn}) must divide d_max ({})",
             base.d_max
         );
@@ -140,6 +152,9 @@ impl SynthesisConfig {
     /// activation buffers, FFN weight tiles, intermediate buffers. All
     /// streamed buffers are double-buffered.
     #[must_use]
+    // The buffer list reads as a build-up of named pushes, one per
+    // hardware array; a vec![] literal would bury the structure.
+    #[allow(clippy::vec_init_then_push)]
     pub fn arrays(&self) -> Vec<ArraySpec> {
         let eb = u64::from(self.data_bits);
         let h = self.heads as u64;
@@ -272,7 +287,7 @@ impl SynthesisConfig {
                             };
                             let cycles = estimate_workload_cycles(&cand, &rt);
                             let ms = cycles as f64 / (design.fmax_mhz * 1e3);
-                            if best.as_ref().map_or(true, |(b, _)| ms < *b) {
+                            if best.as_ref().is_none_or(|(b, _)| ms < *b) {
                                 best = Some((ms, design));
                             }
                         }
@@ -305,13 +320,121 @@ impl SynthesisConfig {
     }
 }
 
+/// Builds a [`SynthesisConfig`] with structural validation at
+/// [`build`](Self::build) time, so a bad tile size or head count is an
+/// error value instead of a downstream panic. Unset fields keep the
+/// paper design point's values.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfigBuilder {
+    cfg: SynthesisConfig,
+}
+
+impl SynthesisConfigBuilder {
+    /// MHA tile size (`TS_MHA`).
+    #[must_use]
+    pub fn ts_mha(mut self, v: usize) -> Self {
+        self.cfg.ts_mha = v;
+        self
+    }
+
+    /// FFN tile size (`TS_FFN`).
+    #[must_use]
+    pub fn ts_ffn(mut self, v: usize) -> Self {
+        self.cfg.ts_ffn = v;
+        self
+    }
+
+    /// Number of head engines.
+    #[must_use]
+    pub fn heads(mut self, v: usize) -> Self {
+        self.cfg.heads = v;
+        self
+    }
+
+    /// Maximum embedding dimension.
+    #[must_use]
+    pub fn d_max(mut self, v: usize) -> Self {
+        self.cfg.d_max = v;
+        self
+    }
+
+    /// Maximum sequence length.
+    #[must_use]
+    pub fn sl_max(mut self, v: usize) -> Self {
+        self.cfg.sl_max = v;
+        self
+    }
+
+    /// `SV_CE` sequence-reduction unroll width.
+    #[must_use]
+    pub fn sl_unroll(mut self, v: usize) -> Self {
+        self.cfg.sl_unroll = v;
+        self
+    }
+
+    /// Engine timing parameters.
+    #[must_use]
+    pub fn timing(mut self, v: TimingPreset) -> Self {
+        self.cfg.timing = v;
+        self
+    }
+
+    /// AXI master port for weight/input streaming.
+    #[must_use]
+    pub fn axi(mut self, v: AxiPort) -> Self {
+        self.cfg.axi = v;
+        self
+    }
+
+    /// DMA masters sharing each HBM channel.
+    #[must_use]
+    pub fn dma_sharing(mut self, v: u32) -> Self {
+        self.cfg.dma_sharing = v;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] when any field is zero, the head
+    /// count does not divide `d_max`, or a tile size does not divide
+    /// `d_max` (the frozen loop counts would misprice a ragged final
+    /// tile).
+    pub fn build(self) -> Result<SynthesisConfig, crate::error::CoreError> {
+        let c = self.cfg;
+        let invalid = |m: String| Err(crate::error::CoreError::InvalidConfig(m));
+        for (name, v) in [
+            ("ts_mha", c.ts_mha),
+            ("ts_ffn", c.ts_ffn),
+            ("heads", c.heads),
+            ("d_max", c.d_max),
+            ("sl_max", c.sl_max),
+            ("sl_unroll", c.sl_unroll),
+        ] {
+            if v == 0 {
+                return invalid(format!("{name} must be nonzero"));
+            }
+        }
+        if c.data_bits == 0 || c.dma_sharing == 0 {
+            return invalid("data_bits and dma_sharing must be nonzero".into());
+        }
+        if !c.d_max.is_multiple_of(c.heads) {
+            return invalid(format!("heads ({}) must divide d_max ({})", c.heads, c.d_max));
+        }
+        if c.ts_mha > c.d_max || !c.d_max.is_multiple_of(c.ts_mha) {
+            return invalid(format!("ts_mha ({}) must divide d_max ({})", c.ts_mha, c.d_max));
+        }
+        if c.ts_ffn > c.d_max || !c.d_max.is_multiple_of(c.ts_ffn) {
+            return invalid(format!("ts_ffn ({}) must divide d_max ({})", c.ts_ffn, c.d_max));
+        }
+        Ok(c)
+    }
+}
+
 /// Rough per-inference cycle estimate used by the design-space search
 /// (compute terms only — ranking, not reporting; the full co-simulation
 /// prices the chosen point).
-fn estimate_workload_cycles(
-    syn: &SynthesisConfig,
-    rt: &crate::registers::RuntimeConfig,
-) -> u64 {
+fn estimate_workload_cycles(syn: &SynthesisConfig, rt: &crate::registers::RuntimeConfig) -> u64 {
     let t = &syn.timing;
     let sl = rt.seq_len as u64;
     let dk = rt.dk() as u64;
@@ -341,12 +464,42 @@ impl SynthesizedDesign {
         let sl = 64.min(syn.sl_max) as u64; // representative row count
         let dk = syn.dk_max() as u64;
         let rows: [(&str, u64, u32, u64, usize); 6] = [
-            ("QKV_CE (x heads)", 3 * syn.ts_mha as u64, t.ii_mha, t.qkv_tile_cycles(sl, dk), syn.tiles_mha()),
+            (
+                "QKV_CE (x heads)",
+                3 * syn.ts_mha as u64,
+                t.ii_mha,
+                t.qkv_tile_cycles(sl, dk),
+                syn.tiles_mha(),
+            ),
             ("QK_CE  (x heads)", dk, t.ii_mha, t.qk_cycles(sl, dk, dk), 1),
-            ("SV_CE  (x heads)", syn.sl_unroll as u64, t.ii_mha, t.sv_cycles(sl, dk, syn.sl_unroll as u64), 1),
-            ("FFN1_CE", syn.ts_ffn as u64, t.ii_ffn, t.ffn_access_cycles(sl, syn.ts_ffn as u64), syn.tiles_ffn().pow(2)),
-            ("FFN2_CE", syn.ts_ffn as u64, t.ii_ffn, t.ffn_access_cycles(sl, syn.ts_ffn as u64), 4 * syn.tiles_ffn().pow(2)),
-            ("FFN3_CE", 4 * syn.ts_ffn as u64, t.ii_ffn, t.ffn_access_cycles(sl, syn.ts_ffn as u64 / 4), 4 * syn.tiles_ffn().pow(2)),
+            (
+                "SV_CE  (x heads)",
+                syn.sl_unroll as u64,
+                t.ii_mha,
+                t.sv_cycles(sl, dk, syn.sl_unroll as u64),
+                1,
+            ),
+            (
+                "FFN1_CE",
+                syn.ts_ffn as u64,
+                t.ii_ffn,
+                t.ffn_access_cycles(sl, syn.ts_ffn as u64),
+                syn.tiles_ffn().pow(2),
+            ),
+            (
+                "FFN2_CE",
+                syn.ts_ffn as u64,
+                t.ii_ffn,
+                t.ffn_access_cycles(sl, syn.ts_ffn as u64),
+                4 * syn.tiles_ffn().pow(2),
+            ),
+            (
+                "FFN3_CE",
+                4 * syn.ts_ffn as u64,
+                t.ii_ffn,
+                t.ffn_access_cycles(sl, syn.ts_ffn as u64 / 4),
+                4 * syn.tiles_ffn().pow(2),
+            ),
         ];
         let mut out = String::new();
         let _ = writeln!(out, "== Synthesis report: ProTEA on {} ==", self.device.name);
@@ -507,6 +660,37 @@ mod tests {
         // A workload larger than every candidate capacity.
         let huge = protea_model::EncoderConfig::new(1536, 8, 1, 64);
         assert!(SynthesisConfig::fit_to_device(&FpgaDevice::zcu102(), &huge).is_none());
+    }
+
+    #[test]
+    fn builder_defaults_to_paper_point() {
+        let built = SynthesisConfig::builder().build().unwrap();
+        assert_eq!(built, SynthesisConfig::paper_default());
+    }
+
+    #[test]
+    fn builder_applies_setters() {
+        let s = SynthesisConfig::builder().heads(4).d_max(512).sl_max(256).build().unwrap();
+        assert_eq!((s.heads, s.d_max, s.sl_max), (4, 512, 256));
+        assert_eq!(s.dk_max(), 128);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        use crate::error::CoreError;
+        let cases: [(&str, super::SynthesisConfigBuilder); 4] = [
+            ("zero heads", SynthesisConfig::builder().heads(0)),
+            ("heads not dividing d_max", SynthesisConfig::builder().heads(7)),
+            ("non-divisor ts_mha", SynthesisConfig::builder().ts_mha(100)),
+            (
+                "ts_ffn wider than d_max",
+                SynthesisConfig::builder().d_max(96).ts_mha(96).ts_ffn(96).sl_unroll(0),
+            ),
+        ];
+        for (what, b) in cases {
+            let err = b.build().expect_err(what);
+            assert!(matches!(err, CoreError::InvalidConfig(_)), "{what}: {err:?}");
+        }
     }
 
     #[test]

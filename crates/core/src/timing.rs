@@ -137,8 +137,7 @@ impl TimingPreset {
     /// + normalize pass (divider II).
     #[must_use]
     pub fn ln_cycles(&self, rows: u64, d: u64) -> u64 {
-        let per_row =
-            2 * self.engine(1, d, 1) + self.engine(1, d, self.ln_div_ii);
+        let per_row = 2 * self.engine(1, d, 1) + self.engine(1, d, self.ln_div_ii);
         rows * per_row
     }
 }

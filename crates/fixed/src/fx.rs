@@ -227,9 +227,9 @@ mod tests {
     #[test]
     fn narrow_rounds_and_saturates() {
         let acc_fmt = QFormat::acc32(10);
-        let acc = Fx32::from_real(3.14159, acc_fmt);
+        let acc = Fx32::from_real(3.515625, acc_fmt);
         let n = acc.narrow_to_8(q85(), Rounding::NearestEven);
-        assert!((n.to_real() - 3.14159).abs() <= q85().lsb() / 2.0 + 1e-9);
+        assert!((n.to_real() - 3.515625).abs() <= q85().lsb() / 2.0 + 1e-9);
         let big = Fx32::from_real(500.0, acc_fmt);
         assert_eq!(big.narrow_to_8(q85(), Rounding::NearestEven).raw(), 127);
     }

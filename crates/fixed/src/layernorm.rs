@@ -23,7 +23,7 @@ pub fn isqrt_u64(x: u64) -> u64 {
     // Initial guess from float sqrt, then correct — float sqrt of u64 can
     // be off by a few ULP, so settle with exact integer steps.
     let mut s = (x as f64).sqrt() as u64;
-    while s.checked_mul(s).map_or(true, |sq| sq > x) {
+    while s.checked_mul(s).is_none_or(|sq| sq > x) {
         s -= 1;
     }
     while (s + 1).checked_mul(s + 1).is_some_and(|sq| sq <= x) {
@@ -126,7 +126,7 @@ impl LayerNormUnit {
     /// Normalize a row-major `rows × cols` matrix.
     pub fn forward_matrix(&self, data: &[i8], cols: usize, in_fmt: QFormat, out: &mut [i8]) {
         assert_eq!(data.len(), out.len());
-        assert!(cols > 0 && data.len() % cols == 0);
+        assert!(cols > 0 && data.len().is_multiple_of(cols));
         for (ri, ro) in data.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
             self.forward_row(ri, in_fmt, ro);
         }
@@ -184,7 +184,7 @@ mod tests {
         for &x in &[u64::MAX, u64::MAX - 1, 1u64 << 62, (1u64 << 32) - 1] {
             let s = isqrt_u64(x);
             assert!(s.checked_mul(s).is_some_and(|sq| sq <= x));
-            assert!((s + 1).checked_mul(s + 1).map_or(true, |sq| sq > x));
+            assert!((s + 1).checked_mul(s + 1).is_none_or(|sq| sq > x));
         }
     }
 
@@ -222,10 +222,7 @@ mod tests {
         for i in 0..32 {
             let expect = (xs[i] - m) / s;
             let got = unit.output_format().raw_to_real(i64::from(out[i]));
-            assert!(
-                (got - expect).abs() < 0.15,
-                "i={i} got={got} expect={expect}"
-            );
+            assert!((got - expect).abs() < 0.15, "i={i} got={got} expect={expect}");
         }
     }
 

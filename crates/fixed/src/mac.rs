@@ -16,10 +16,7 @@
 pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     assert_eq!(a.len(), b.len(), "dot operands must have equal length");
     debug_assert!(a.len() < (1 << 17), "dot length {} risks i32 overflow", a.len());
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| i32::from(x) * i32::from(y))
-        .sum()
+    a.iter().zip(b.iter()).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum()
 }
 
 /// Dot product with an explicit unroll factor, mirroring how the HLS

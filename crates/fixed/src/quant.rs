@@ -79,10 +79,8 @@ impl Quantizer {
     /// Choose the best-precision format that covers `data`'s range.
     #[must_use]
     pub fn calibrate(&self, data: &[f32]) -> QuantParams {
-        let max_abs = data
-            .iter()
-            .filter(|x| x.is_finite())
-            .fold(0f64, |m, &x| m.max(f64::from(x).abs()));
+        let max_abs =
+            data.iter().filter(|x| x.is_finite()).fold(0f64, |m, &x| m.max(f64::from(x).abs()));
         QuantParams::with_format(QFormat::fit(self.storage_bits, max_abs * self.coverage))
     }
 

@@ -135,7 +135,7 @@ impl SoftmaxUnit {
     /// Softmax over a row-major `rows × cols` matrix in place.
     pub fn forward_matrix(&self, data: &[i8], cols: usize, out: &mut [i8]) {
         assert_eq!(data.len(), out.len());
-        assert!(cols > 0 && data.len() % cols == 0, "matrix shape mismatch");
+        assert!(cols > 0 && data.len().is_multiple_of(cols), "matrix shape mismatch");
         for (r_in, r_out) in data.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
             self.forward_row(r_in, r_out);
         }
@@ -189,10 +189,7 @@ mod tests {
         unit.forward_row(&row, &mut out);
         let total: i32 = out.iter().map(|&p| i32::from(p)).sum();
         // Q0.7: 1.0 == 128. Flooring division loses < 1 LSB per element.
-        assert!(
-            (total - 128).unsigned_abs() as usize <= row.len(),
-            "sum = {total}"
-        );
+        assert!((total - 128).unsigned_abs() as usize <= row.len(), "sum = {total}");
         assert!(out.iter().all(|&p| p >= 0));
     }
 
@@ -231,7 +228,7 @@ mod tests {
         let mut out = vec![0i8; 16];
         unit.forward_row(&row, &mut out);
         let rest_max = out.iter().enumerate().filter(|&(i, _)| i != 3).map(|(_, &p)| p).max();
-        assert!(out[3] >= 10 * i8::from(rest_max.unwrap_or(0)).max(1));
+        assert!(out[3] >= 10 * rest_max.unwrap_or(0).max(1));
     }
 
     #[test]

@@ -88,7 +88,7 @@ proptest! {
     fn isqrt_is_exact_floor_sqrt(x in any::<u64>()) {
         let s = isqrt_u64(x);
         prop_assert!(s.checked_mul(s).is_some_and(|sq| sq <= x));
-        prop_assert!((s + 1).checked_mul(s + 1).map_or(true, |sq| sq > x));
+        prop_assert!((s + 1).checked_mul(s + 1).is_none_or(|sq| sq > x));
     }
 
     #[test]

@@ -45,7 +45,13 @@ impl PeCost {
     /// Resources of `n` PEs.
     #[must_use]
     pub fn times(&self, n: u64) -> ResourceVector {
-        ResourceVector { luts: self.luts * n, ffs: self.ffs * n, dsps: self.dsps * n, bram18: 0, uram: 0 }
+        ResourceVector {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            dsps: self.dsps * n,
+            bram18: 0,
+            uram: 0,
+        }
     }
 }
 

@@ -23,15 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod array;
-pub mod ii;
 pub mod cost;
+pub mod ii;
 pub mod parse;
 pub mod pragma;
 pub mod sched;
 
 pub use array::{ArraySpec, MemBinding};
-pub use ii::{IiAnalysis, MemAccess, Recurrence};
 pub use cost::{FunctionalUnitCost, PeCost};
+pub use ii::{IiAnalysis, MemAccess, Recurrence};
 pub use parse::{parse_nest, ParseError};
 pub use pragma::{ArrayPartition, Pipeline};
 pub use sched::{pipelined_loop_cycles, sequential_loop_cycles, LoopNest, LoopSpec};

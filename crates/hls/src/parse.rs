@@ -142,8 +142,7 @@ mod tests {
 
     #[test]
     fn algorithm1_qkv_shape() {
-        let nest =
-            parse_nest("depth 16 for 64 off { for 96 ii=1 { for 64 unroll } }").unwrap();
+        let nest = parse_nest("depth 16 for 64 off { for 96 ii=1 { for 64 unroll } }").unwrap();
         assert_eq!(nest.pe_count(), 64);
         let c = nest.cycles();
         assert!(c > 64 * 96 && c < 64 * 140, "cycles = {c}");
@@ -151,8 +150,7 @@ mod tests {
 
     #[test]
     fn algorithm4_ffn_shape() {
-        let nest =
-            parse_nest("depth 16 for 64 off { for 128 ii=2 { for 128 unroll } }").unwrap();
+        let nest = parse_nest("depth 16 for 64 off { for 128 ii=2 { for 128 unroll } }").unwrap();
         assert_eq!(nest.pe_count(), 128);
         let c = nest.cycles();
         assert!(c > 64 * 256, "II=2 steady state: {c}");
@@ -195,10 +193,7 @@ mod tests {
     #[test]
     fn parsed_nest_matches_hand_built() {
         let parsed = parse_nest("depth 16 for 64 off { for 96 ii=1 }").unwrap();
-        let built = LoopNest::new(
-            vec![LoopSpec::sequential(64), LoopSpec::pipelined(96, 1)],
-            16,
-        );
+        let built = LoopNest::new(vec![LoopSpec::sequential(64), LoopSpec::pipelined(96, 1)], 16);
         assert_eq!(parsed.cycles(), built.cycles());
     }
 }

@@ -198,8 +198,7 @@ mod tests {
 
     #[test]
     fn no_pipelined_level_means_one_pe() {
-        let nest =
-            LoopNest::new(vec![LoopSpec::sequential(10), LoopSpec::sequential(10)], 5);
+        let nest = LoopNest::new(vec![LoopSpec::sequential(10), LoopSpec::sequential(10)], 5);
         assert_eq!(nest.pe_count(), 1);
         // fully sequential: 10 · (10·(5+2)+2 + 2) + 2
         assert_eq!(nest.cycles(), 10 * (10 * 7 + 2 + 2) + 2);
@@ -208,11 +207,7 @@ mod tests {
     #[test]
     fn runtime_trip_scaling_is_linear_in_pipelined_trip() {
         let mk = |trip| {
-            LoopNest::new(
-                vec![LoopSpec::sequential(64), LoopSpec::pipelined(trip, 1)],
-                16,
-            )
-            .cycles()
+            LoopNest::new(vec![LoopSpec::sequential(64), LoopSpec::pipelined(trip, 1)], 16).cycles()
         };
         let a = mk(96);
         let b = mk(192);
@@ -222,9 +217,7 @@ mod tests {
 
     #[test]
     fn ii2_doubles_steady_state() {
-        let mk = |ii| {
-            LoopNest::new(vec![LoopSpec::pipelined(1000, ii)], 10).cycles()
-        };
+        let mk = |ii| LoopNest::new(vec![LoopSpec::pipelined(1000, ii)], 10).cycles();
         assert_eq!(mk(2) - mk(1), 999);
     }
 

@@ -28,11 +28,11 @@
 pub mod fifo;
 pub mod kernel;
 pub mod stats;
-pub mod trace;
 pub mod time;
+pub mod trace;
 
 pub use fifo::Fifo;
 pub use kernel::{EventId, Simulator};
 pub use stats::{Counter, Histogram, Utilization};
-pub use trace::{SignalId, VcdTrace};
 pub use time::{Cycles, Frequency};
+pub use trace::{SignalId, VcdTrace};

@@ -171,8 +171,7 @@ mod tests {
     #[test]
     fn identifiers_are_unique_at_scale() {
         let mut t = VcdTrace::new("m");
-        let ids: Vec<String> =
-            (0..300).map(|i| VcdTrace::ident_for(i)).collect();
+        let ids: Vec<String> = (0..300).map(VcdTrace::ident_for).collect();
         let mut dedup = ids.clone();
         dedup.sort();
         dedup.dedup();

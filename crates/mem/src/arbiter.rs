@@ -52,8 +52,8 @@ pub fn arbitrate_round_robin(
             let chunk = remaining[idx].min(burst_bytes);
             // One burst: port beats + per-burst overhead, floored by the
             // channel's byte rate.
-            let port_cycles = chunk.div_ceil(port.bytes_per_beat())
-                + u64::from(port.burst_overhead);
+            let port_cycles =
+                chunk.div_ceil(port.bytes_per_beat()) + u64::from(port.burst_overhead);
             let mem_cycles = share.transfer_cycles(chunk).get();
             now += port_cycles.max(mem_cycles);
             bursts += 1;
@@ -113,7 +113,11 @@ mod tests {
         // total ≈ 3× a single transfer (modulo burst rounding)
         let single = port().transfer_cycles(4096).get();
         let total = r.total.get();
-        assert!((total as f64 / (3 * single) as f64 - 1.0).abs() < 0.2, "{total} vs {}", 3 * single);
+        assert!(
+            (total as f64 / (3 * single) as f64 - 1.0).abs() < 0.2,
+            "{total} vs {}",
+            3 * single
+        );
     }
 
     #[test]

@@ -35,19 +35,19 @@ impl TileTransfer {
 /// Price a batch of transfers that proceed **sequentially** on one port
 /// (one AXI master services one engine's buffers in order).
 #[must_use]
-pub fn sequential_cycles(transfers: &[TileTransfer], port: &AxiPort, share: &ChannelShare) -> Cycles {
-    transfers
-        .iter()
-        .fold(Cycles::ZERO, |acc, t| acc.saturating_add(t.cycles(port, share)))
+pub fn sequential_cycles(
+    transfers: &[TileTransfer],
+    port: &AxiPort,
+    share: &ChannelShare,
+) -> Cycles {
+    transfers.iter().fold(Cycles::ZERO, |acc, t| acc.saturating_add(t.cycles(port, share)))
 }
 
 /// Price a batch of transfers on **independent ports** (per-head masters
 /// run concurrently): the slowest governs.
 #[must_use]
 pub fn parallel_cycles(transfers: &[TileTransfer], port: &AxiPort, share: &ChannelShare) -> Cycles {
-    transfers
-        .iter()
-        .fold(Cycles::ZERO, |acc, t| acc.max(t.cycles(port, share)))
+    transfers.iter().fold(Cycles::ZERO, |acc, t| acc.max(t.cycles(port, share)))
 }
 
 #[cfg(test)]

@@ -25,9 +25,7 @@ impl ChannelShare {
     #[must_use]
     pub fn of(memory: &ExternalMemory, sharers: u32, freq_hz: f64) -> Self {
         assert!(sharers > 0, "at least one master must share the channel");
-        Self {
-            bytes_per_cycle: memory.bytes_per_cycle_per_channel(freq_hz) / f64::from(sharers),
-        }
+        Self { bytes_per_cycle: memory.bytes_per_cycle_per_channel(freq_hz) / f64::from(sharers) }
     }
 
     /// An unshared channel with explicit bytes/cycle (for tests/presets).

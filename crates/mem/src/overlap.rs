@@ -73,11 +73,8 @@ pub fn simulate_double_buffered(accesses: &[(Cycles, Cycles)]) -> OverlapReport 
         };
     }
     let accesses: Vec<(Cycles, Cycles)> = accesses.to_vec();
-    let mut st = State {
-        load_done: vec![false; n],
-        compute_done: vec![false; n],
-        ..State::default()
-    };
+    let mut st =
+        State { load_done: vec![false; n], compute_done: vec![false; n], ..State::default() };
     let mut sim = Simulator::<State>::new();
 
     // Try to start the next load / compute if their dependencies hold.
@@ -129,12 +126,7 @@ pub fn simulate_double_buffered(accesses: &[(Cycles, Cycles)]) -> OverlapReport 
     let total = sim.now();
     let load_busy = st.load_util.busy_cycles();
     let compute_busy = st.compute_util.busy_cycles();
-    OverlapReport {
-        total,
-        load_busy,
-        compute_busy,
-        compute_stall: total - compute_busy,
-    }
+    OverlapReport { total, load_busy, compute_busy, compute_stall: total - compute_busy }
 }
 
 /// The closed-form recurrence (documentation + cross-check oracle).

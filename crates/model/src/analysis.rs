@@ -48,7 +48,7 @@ impl ErrorProfile {
     #[must_use]
     pub fn is_stable(&self, factor: f64) -> bool {
         let worst = self.layers.iter().map(|l| l.mse).fold(0.0, f64::max);
-        self.layers.last().map_or(true, |l| l.mse <= worst * factor.max(1.0))
+        self.layers.last().is_none_or(|l| l.mse <= worst * factor.max(1.0))
     }
 }
 
@@ -94,9 +94,7 @@ mod tests {
         let cfg = EncoderConfig::new(64, 4, layers, 16);
         let w = EncoderWeights::random(cfg, 321);
         let q = QuantizedEncoder::from_float(&w, QuantSchedule::paper());
-        let x = Matrix::from_fn(16, 64, |r, c| {
-            (((r * 19 + c * 7) % 53) as f32 / 53.0 - 0.5) * 2.0
-        });
+        let x = Matrix::from_fn(16, 64, |r, c| (((r * 19 + c * 7) % 53) as f32 / 53.0 - 0.5) * 2.0);
         (w, q, x)
     }
 

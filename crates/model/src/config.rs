@@ -63,7 +63,7 @@ impl EncoderConfig {
     pub fn validate(&self) {
         assert!(self.d_model > 0 && self.heads > 0 && self.layers > 0 && self.seq_len > 0);
         assert!(
-            self.d_model % self.heads == 0,
+            self.d_model.is_multiple_of(self.heads),
             "heads ({}) must divide d_model ({})",
             self.heads,
             self.d_model

@@ -21,9 +21,7 @@
 
 use crate::config::{AttnScaling, EncoderConfig};
 use crate::float::{layer_norm, softmax_rows};
-use crate::quantized::{
-    add_norm, project, requant_logits, QuantMatrix, QuantSchedule,
-};
+use crate::quantized::{add_norm, project, requant_logits, QuantMatrix, QuantSchedule};
 use crate::weights::EncoderWeights;
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::layernorm::LayerNormUnit;
@@ -178,6 +176,8 @@ impl FloatDecoder {
         h
     }
 
+    // The argument list mirrors the per-matrix weight layout on purpose.
+    #[allow(clippy::too_many_arguments)]
     fn attention(
         &self,
         q_src: &Matrix<f32>,
@@ -247,8 +247,17 @@ impl FloatDecoder {
         let x1 = layer_norm(&residual_add(x, &sa), &w.ln[0].0, &w.ln[0].1);
         // 2. cross-attention over the encoder memory
         let ca = self.attention(
-            &x1, memory, &w.cross_wq, &w.cross_wk, &w.cross_wv, &w.cross_bq, &w.cross_bk,
-            &w.cross_bv, &w.cross_wo, &w.cross_bo, false,
+            &x1,
+            memory,
+            &w.cross_wq,
+            &w.cross_wk,
+            &w.cross_wv,
+            &w.cross_bq,
+            &w.cross_bk,
+            &w.cross_bv,
+            &w.cross_wo,
+            &w.cross_bo,
+            false,
         );
         let x2 = layer_norm(&residual_add(&x1, &ca), &w.ln[1].0, &w.ln[1].1);
         // 3. FFN
@@ -258,7 +267,9 @@ impl FloatDecoder {
         for v in hidden.as_mut_slice() {
             *v = match cfg.activation {
                 Activation::Relu => v.max(0.0),
-                Activation::Gelu => 0.5 * *v * (1.0 + (0.797_884_6 * (*v + 0.044715 * *v * *v * *v)).tanh()),
+                Activation::Gelu => {
+                    0.5 * *v * (1.0 + (0.797_884_6 * (*v + 0.044715 * *v * *v * *v)).tanh())
+                }
                 Activation::Identity => *v,
             };
         }
@@ -338,19 +349,15 @@ impl QuantizedDecoder {
         let q = Quantizer::default();
         let qm = |m: &Matrix<f32>| -> QuantMatrix {
             let (raw, params) = q.quantize(m.as_slice());
-            QuantMatrix {
-                data: Matrix::from_vec(m.rows(), m.cols(), raw),
-                fmt: params.format(),
-            }
+            QuantMatrix { data: Matrix::from_vec(m.rows(), m.cols(), raw), fmt: params.format() }
         };
         let bias32 = |b: &[f32], wfmt: QFormat| -> Vec<i32> {
             let frac = u32::from(schedule.act_fmt.frac_bits()) + u32::from(wfmt.frac_bits());
             let scale = 2f64.powi(frac as i32);
             b.iter()
                 .map(|&x| {
-                    (f64::from(x) * scale)
-                        .round()
-                        .clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
+                    (f64::from(x) * scale).round().clamp(f64::from(i32::MIN), f64::from(i32::MAX))
+                        as i32
                 })
                 .collect()
         };
@@ -430,6 +437,8 @@ impl QuantizedDecoder {
     /// masks future positions (requires `q_src` and `kv_src` to be the
     /// same sequence).
     #[must_use]
+    // The argument list mirrors the per-matrix weight layout on purpose.
+    #[allow(clippy::too_many_arguments)]
     pub fn attention(
         &self,
         q_src: &Matrix<i8>,
@@ -491,8 +500,17 @@ impl QuantizedDecoder {
         );
         let x1 = add_norm(x, &sa, &w.ln[0], s);
         let ca = self.attention(
-            &x1, memory, &w.cross_wq, &w.cross_wk, &w.cross_wv, &w.cross_bq, &w.cross_bk,
-            &w.cross_bv, &w.cross_wo, &w.cross_bo, false,
+            &x1,
+            memory,
+            &w.cross_wq,
+            &w.cross_wk,
+            &w.cross_wv,
+            &w.cross_bq,
+            &w.cross_bk,
+            &w.cross_bv,
+            &w.cross_wo,
+            &w.cross_bo,
+            false,
         );
         let x2 = add_norm(&x1, &ca, &w.ln[1], s);
         let mut hidden = project(&x2, &w.w1, &w.b1, s);
@@ -595,10 +613,8 @@ impl QuantizedDecoder {
             cache.self_k[li].extend_from_slice(k_new.row(0));
             cache.self_v[li].extend_from_slice(v_new.row(0));
             let kv_len = pos + 1;
-            let k_all =
-                Matrix::from_vec(kv_len, cache.d_model, cache.self_k[li].clone());
-            let v_all =
-                Matrix::from_vec(kv_len, cache.d_model, cache.self_v[li].clone());
+            let k_all = Matrix::from_vec(kv_len, cache.d_model, cache.self_k[li].clone());
+            let v_all = Matrix::from_vec(kv_len, cache.d_model, cache.self_v[li].clone());
             let mut concat = Matrix::<i8>::zeros(1, cache.d_model);
             for head in 0..self.config.heads {
                 let c0 = head * dk;

@@ -44,7 +44,7 @@ impl Embedding {
     pub fn positional(pos: usize, i: usize, d_model: usize) -> f32 {
         let exponent = (2 * (i / 2)) as f32 / d_model as f32;
         let angle = pos as f32 / 10_000f32.powf(exponent);
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             angle.sin()
         } else {
             angle.cos()
@@ -104,7 +104,7 @@ impl PatchEmbedding {
     #[must_use]
     pub fn seq_len(&self, h: usize, w: usize) -> usize {
         assert!(
-            h % self.patch == 0 && w % self.patch == 0,
+            h.is_multiple_of(self.patch) && w.is_multiple_of(self.patch),
             "image {h}x{w} not divisible into {}-pixel patches",
             self.patch
         );
@@ -152,10 +152,7 @@ impl GeneratorHead {
     pub fn random(cfg: &EncoderConfig, vocab: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = 1.0 / (cfg.d_model as f32).sqrt();
-        Self {
-            w: Matrix::from_fn(cfg.d_model, vocab, |_, _| rng.gen_range(-bound..bound)),
-            vocab,
-        }
+        Self { w: Matrix::from_fn(cfg.d_model, vocab, |_, _| rng.gen_range(-bound..bound)), vocab }
     }
 
     /// Vocabulary size.

@@ -35,11 +35,7 @@ impl FloatEncoder {
     #[must_use]
     pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
         let cfg = self.weights.config;
-        assert_eq!(
-            x.shape(),
-            (cfg.seq_len, cfg.d_model),
-            "input must be SL × d_model"
-        );
+        assert_eq!(x.shape(), (cfg.seq_len, cfg.d_model), "input must be SL × d_model");
         let mut h = x.clone();
         for layer in &self.weights.layers {
             h = self.forward_layer(&h, layer);

@@ -37,7 +37,9 @@ pub mod workload;
 
 pub use analysis::{error_profile, ErrorProfile, LayerError};
 pub use config::{AttnScaling, EncoderConfig};
-pub use decoder::{DecoderKvCache, DecoderWeights, FloatDecoder, QuantizedDecoder, QuantizedTransformer};
+pub use decoder::{
+    DecoderKvCache, DecoderWeights, FloatDecoder, QuantizedDecoder, QuantizedTransformer,
+};
 pub use embedding::{Embedding, GeneratorHead};
 pub use float::FloatEncoder;
 pub use opcount::OpCount;

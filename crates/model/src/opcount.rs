@@ -49,8 +49,7 @@ impl OpCount {
     /// Total operations.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.qkv + self.qk + self.softmax + self.sv + self.out_proj + self.ffn
-            + self.norm_residual
+        self.qkv + self.qk + self.softmax + self.sv + self.out_proj + self.ffn + self.norm_residual
     }
 
     /// Only the matrix-multiply operations (the convention that excludes
@@ -153,8 +152,7 @@ mod tests {
         let g = OpCount::paper_convention(&EncoderConfig::paper_test1()) as f64 / 1e9;
         assert!((14.0..15.5).contains(&g), "paper-convention total = {g} Gop");
         // Test #8 (SL=128): 54 × 560 ms ⇒ ≈ 30.2 Gop.
-        let g8 =
-            OpCount::paper_convention(&EncoderConfig::new(768, 8, 12, 128)) as f64 / 1e9;
+        let g8 = OpCount::paper_convention(&EncoderConfig::new(768, 8, 12, 128)) as f64 / 1e9;
         assert!((29.0..31.5).contains(&g8), "SL=128 total = {g8} Gop");
         // Test #6 (d=512): 36 × 186 ms ⇒ ≈ 6.7 Gop.
         let g6 = OpCount::paper_convention(&EncoderConfig::new(512, 8, 12, 64)) as f64 / 1e9;

@@ -47,9 +47,7 @@ pub fn prune_magnitude(m: &mut Matrix<f32>, sparsity: f64) {
     }
     let mut idx: Vec<usize> = (0..n).collect();
     let data = m.as_mut_slice();
-    idx.sort_by(|&a, &b| {
-        data[a].abs().total_cmp(&data[b].abs()).then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| data[a].abs().total_cmp(&data[b].abs()).then(a.cmp(&b)));
     for &i in &idx[..k] {
         data[i] = 0.0;
     }
@@ -155,7 +153,9 @@ mod tests {
     use crate::config::EncoderConfig;
 
     fn mat() -> Matrix<f32> {
-        Matrix::from_fn(16, 12, |r, c| ((r * 12 + c + 1) as f32) * if (r + c) % 2 == 0 { 1.0 } else { -1.0 })
+        Matrix::from_fn(16, 12, |r, c| {
+            ((r * 12 + c + 1) as f32) * if (r + c) % 2 == 0 { 1.0 } else { -1.0 }
+        })
     }
 
     #[test]
@@ -175,7 +175,8 @@ mod tests {
         let max_orig = mat().as_slice().iter().fold(0f32, |a, &x| a.max(x.abs()));
         assert!(m.as_slice().iter().any(|&x| x.abs() == max_orig));
         // surviving minimum ≥ pruned maximum in magnitude
-        let survive_min = m.as_slice().iter().filter(|&&x| x != 0.0).fold(f32::MAX, |a, &x| a.min(x.abs()));
+        let survive_min =
+            m.as_slice().iter().filter(|&&x| x != 0.0).fold(f32::MAX, |a, &x| a.min(x.abs()));
         let orig = mat();
         let pruned_max = orig
             .as_slice()

@@ -259,12 +259,7 @@ impl QuantizedEncoder {
 /// Linear projection: `requant(x·W + b)`. Shared with the accelerator's
 /// functional path so the two cannot diverge.
 #[must_use]
-pub fn project(
-    x: &Matrix<i8>,
-    w: &QuantMatrix,
-    bias: &[i32],
-    s: &QuantSchedule,
-) -> Matrix<i8> {
+pub fn project(x: &Matrix<i8>, w: &QuantMatrix, bias: &[i32], s: &QuantSchedule) -> Matrix<i8> {
     let mut acc = matmul_i8_i32(x, &w.data);
     assert_eq!(acc.cols(), bias.len(), "bias length mismatch");
     for r in 0..acc.rows() {
@@ -272,11 +267,7 @@ pub fn project(
             *a = a.saturating_add(b);
         }
     }
-    let rq = Requantizer::new(
-        s.act_fmt.frac_bits() + w.fmt.frac_bits(),
-        s.act_fmt,
-        s.rounding,
-    );
+    let rq = Requantizer::new(s.act_fmt.frac_bits() + w.fmt.frac_bits(), s.act_fmt, s.rounding);
     acc.map(|a| rq.apply(a))
 }
 

@@ -106,7 +106,7 @@ pub fn peek_config(blob: &[u8]) -> Result<EncoderConfig, DecodeError> {
     if d_model == 0 || heads == 0 || layers == 0 || seq_len == 0 || ffn_mult == 0 {
         return Err(DecodeError::BadConfig("zero dimension".into()));
     }
-    if d_model % heads != 0 {
+    if !d_model.is_multiple_of(heads) {
         return Err(DecodeError::BadConfig(format!(
             "heads ({heads}) must divide d_model ({d_model})"
         )));
@@ -195,16 +195,32 @@ pub fn encode_decoder(weights: &crate::decoder::DecoderWeights) -> Bytes {
     buf.put_u32_le(cfg.ffn_mult as u32);
     for l in &weights.layers {
         for m in [
-            &l.self_wq, &l.self_wk, &l.self_wv, &l.self_wo, &l.cross_wq, &l.cross_wk,
-            &l.cross_wv, &l.cross_wo, &l.w1, &l.w2,
+            &l.self_wq,
+            &l.self_wk,
+            &l.self_wv,
+            &l.self_wo,
+            &l.cross_wq,
+            &l.cross_wk,
+            &l.cross_wv,
+            &l.cross_wo,
+            &l.w1,
+            &l.w2,
         ] {
             for &v in m.as_slice() {
                 buf.put_f32_le(v);
             }
         }
         for v in [
-            &l.self_bq, &l.self_bk, &l.self_bv, &l.self_bo, &l.cross_bq, &l.cross_bk,
-            &l.cross_bv, &l.cross_bo, &l.b1, &l.b2,
+            &l.self_bq,
+            &l.self_bk,
+            &l.self_bv,
+            &l.self_bo,
+            &l.cross_bq,
+            &l.cross_bk,
+            &l.cross_bv,
+            &l.cross_bo,
+            &l.b1,
+            &l.b2,
         ] {
             for &x in v.iter() {
                 buf.put_f32_le(x);
@@ -242,7 +258,7 @@ pub fn decode_decoder(blob: &[u8]) -> Result<crate::decoder::DecoderWeights, Dec
     if d_model == 0 || heads == 0 || layers_n == 0 || seq_len == 0 || ffn_mult == 0 {
         return Err(DecodeError::BadConfig("zero dimension".into()));
     }
-    if d_model % heads != 0 {
+    if !d_model.is_multiple_of(heads) {
         return Err(DecodeError::BadConfig("heads must divide d_model".into()));
     }
     let cfg = EncoderConfig::new(d_model, heads, layers_n, seq_len).with_ffn_mult(ffn_mult);
@@ -289,12 +305,29 @@ pub fn decode_decoder(blob: &[u8]) -> Result<crate::decoder::DecoderWeights, Dec
             let beta = read_vec(d, &mut b)?;
             ln.push((g, beta));
         }
-        let ln: [(Vec<f32>, Vec<f32>); 3] =
-            ln.try_into().map_err(|_| DecodeError::Truncated)?;
+        let ln: [(Vec<f32>, Vec<f32>); 3] = ln.try_into().map_err(|_| DecodeError::Truncated)?;
         layers.push(crate::decoder::DecoderLayerWeights {
-            self_wq, self_wk, self_wv, self_bq, self_bk, self_bv, self_wo, self_bo,
-            cross_wq, cross_wk, cross_wv, cross_bq, cross_bk, cross_bv, cross_wo, cross_bo,
-            w1, b1, w2, b2, ln,
+            self_wq,
+            self_wk,
+            self_wv,
+            self_bq,
+            self_bk,
+            self_bv,
+            self_wo,
+            self_bo,
+            cross_wq,
+            cross_wk,
+            cross_wv,
+            cross_bq,
+            cross_bk,
+            cross_bv,
+            cross_wo,
+            cross_bo,
+            w1,
+            b1,
+            w2,
+            b2,
+            ln,
         });
     }
     Ok(crate::decoder::DecoderWeights { config: cfg, layers })
@@ -331,10 +364,7 @@ mod tests {
     fn decoder_truncation_detected() {
         let cfg = EncoderConfig::new(16, 2, 1, 4);
         let blob = encode_decoder(&crate::decoder::DecoderWeights::random(cfg, 2));
-        assert!(matches!(
-            decode_decoder(&blob[..blob.len() - 4]),
-            Err(DecodeError::Truncated)
-        ));
+        assert!(matches!(decode_decoder(&blob[..blob.len() - 4]), Err(DecodeError::Truncated)));
     }
 
     #[test]

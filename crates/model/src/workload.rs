@@ -93,8 +93,8 @@ mod tests {
         let toks = zipf_tokens(20_000, 1000, 1.1, 3);
         assert!(toks.iter().all(|&t| t < 1000));
         let top10 = toks.iter().filter(|&&t| t < 10).count() as f64 / toks.len() as f64;
-        let mid = toks.iter().filter(|&&t| (500..510).contains(&t)).count() as f64
-            / toks.len() as f64;
+        let mid =
+            toks.iter().filter(|&&t| (500..510).contains(&t)).count() as f64 / toks.len() as f64;
         assert!(top10 > 0.3, "top-10 share = {top10}");
         assert!(top10 > 20.0 * mid.max(1e-6), "zipf head must dominate");
     }
@@ -104,15 +104,9 @@ mod tests {
         let cfg = EncoderConfig::new(64, 4, 1, 16);
         let (m, pos) = needle_sequence(&cfg, 8, 5);
         // the needle row has by far the largest L2 norm
-        let norms: Vec<f32> = (0..16)
-            .map(|r| m.row(r).iter().map(|&x| x * x).sum::<f32>())
-            .collect();
-        let argmax = norms
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let norms: Vec<f32> =
+            (0..16).map(|r| m.row(r).iter().map(|&x| x * x).sum::<f32>()).collect();
+        let argmax = norms.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(argmax, pos);
     }
 

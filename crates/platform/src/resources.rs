@@ -81,8 +81,7 @@ impl ResourceVector {
             ("BRAM", r.bram_frac),
             ("URAM", r.uram_frac),
         ];
-        axes.into_iter()
-            .fold(("none", 0.0), |acc, x| if x.1 > acc.1 { x } else { acc })
+        axes.into_iter().fold(("none", 0.0), |acc, x| if x.1 > acc.1 { x } else { acc })
     }
 }
 
@@ -197,7 +196,8 @@ mod tests {
     fn utilization_paper_row() {
         // Table I: 3612 DSP = 40 %, 993107 LUT = 76 %, 704115 FF = 27 % on U55C.
         let u55c = ResourceVector::new(1_303_680, 2_607_360, 9_024, 4_032, 960);
-        let design = ResourceVector { luts: 993_107, ffs: 704_115, dsps: 3_612, bram18: 1_000, uram: 0 };
+        let design =
+            ResourceVector { luts: 993_107, ffs: 704_115, dsps: 3_612, bram18: 1_000, uram: 0 };
         let r = design.utilization_of(&u55c);
         assert!((r.dsp_frac - 0.40).abs() < 0.005, "dsp {:.3}", r.dsp_frac);
         assert!((r.lut_frac - 0.76).abs() < 0.005, "lut {:.3}", r.lut_frac);
@@ -208,7 +208,8 @@ mod tests {
     #[test]
     fn binding_constraint_is_lut_for_protea() {
         let u55c = ResourceVector::new(1_303_680, 2_607_360, 9_024, 4_032, 960);
-        let design = ResourceVector { luts: 993_107, ffs: 704_115, dsps: 3_612, bram18: 1_000, uram: 0 };
+        let design =
+            ResourceVector { luts: 993_107, ffs: 704_115, dsps: 3_612, bram18: 1_000, uram: 0 };
         let (axis, frac) = design.binding_constraint(&u55c);
         assert_eq!(axis, "LUT");
         assert!(frac > 0.7);

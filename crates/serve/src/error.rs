@@ -1,0 +1,84 @@
+//! Serving-layer errors.
+//!
+//! Everything a caller can trigger — a malformed trace file, a request
+//! no synthesized card can serve, a hardware-layer rejection — comes
+//! back as a [`ServeError`] value. The simulation never panics on user
+//! input; `CoreError`s from the accelerator lift in via `From`.
+
+use core::fmt;
+use protea_core::CoreError;
+
+/// Any error surfaced by the serving subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The accelerator layer rejected a configuration, weight image, or
+    /// input on the request path.
+    Core(CoreError),
+    /// A workload trace failed to parse; `at` is a byte offset into the
+    /// input.
+    Trace {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A request's shape cannot be served by the fleet's synthesized
+    /// capacity (caught at admission, before any card is touched).
+    Unservable {
+        /// The request id.
+        id: u64,
+        /// Why the capacity check failed.
+        why: String,
+    },
+    /// The workload contains no requests.
+    EmptyTrace,
+    /// The fleet was built with zero cards.
+    NoCards,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "accelerator error: {e}"),
+            ServeError::Trace { at, msg } => write!(f, "trace parse error at byte {at}: {msg}"),
+            ServeError::Unservable { id, why } => {
+                write!(f, "request {id} cannot be served by this fleet: {why}")
+            }
+            ServeError::EmptyTrace => write!(f, "workload trace contains no requests"),
+            ServeError::NoCards => write!(f, "fleet must have at least one card"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_error_lifts() {
+        let e: ServeError = CoreError::EmptyBatch.into();
+        assert_eq!(e, ServeError::Core(CoreError::EmptyBatch));
+        assert!(e.to_string().contains("accelerator error"));
+    }
+
+    #[test]
+    fn trace_error_reports_offset() {
+        let e = ServeError::Trace { at: 17, msg: "expected ','".into() };
+        assert!(e.to_string().contains("byte 17"));
+    }
+}

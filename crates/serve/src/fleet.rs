@@ -1,0 +1,453 @@
+//! The card fleet and the discrete-event queueing simulation.
+//!
+//! A [`Fleet`] models N identical ProTEA cards, each one a
+//! `protea_core::Accelerator` synthesized from the same bitstream. The
+//! serving loop is a discrete-event simulation on `protea_hwsim`'s
+//! kernel with **nanoseconds** as the tick unit:
+//!
+//! * an *arrival* event admits a request to the [`BatchScheduler`];
+//! * a *dispatch* programs a free card (register writes, plus a weight
+//!   reload when the card was last serving a different capacity class),
+//!   runs the batch through the fallible request path
+//!   (`program → try_load_weights → try_run_batch`), and converts the
+//!   resulting report latency to a service interval;
+//! * a *completion* frees the card and greedily re-dispatches.
+//!
+//! Everything user-supplied (trace shapes, arrival times) flows through
+//! `Result` — a hostile trace can be rejected, never panic.
+
+use crate::error::ServeError;
+use crate::report::ServeReport;
+use crate::request::{CapacityClass, ServeResponse};
+use crate::scheduler::{Batch, BatchPolicy, BatchScheduler};
+use crate::trace::Workload;
+use protea_core::{Accelerator, CoreError, SynthesisConfig};
+use protea_hwsim::{Cycles, Simulator};
+use protea_model::{EncoderConfig, EncoderWeights, OpCount, QuantSchedule, QuantizedEncoder};
+use protea_platform::FpgaDevice;
+use protea_tensor::Matrix;
+use std::collections::BTreeMap;
+
+/// Fleet construction parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of cards (each gets the same bitstream).
+    pub cards: usize,
+    /// The bitstream all cards are synthesized from.
+    pub synthesis: SynthesisConfig,
+    /// The device every card is built on.
+    pub device: FpgaDevice,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// When `true`, every batch also executes the bit-exact functional
+    /// datapath (slow; service time is identical either way because the
+    /// timing model is deterministic).
+    pub functional: bool,
+    /// Host→card weight-reload bandwidth in GB/s (1 GB/s = 1 byte/ns),
+    /// pricing the reprogram penalty a batch pays when its card was
+    /// serving a different capacity class.
+    pub reload_gbps: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            cards: 2,
+            synthesis: SynthesisConfig::paper_default(),
+            device: FpgaDevice::alveo_u55c(),
+            policy: BatchPolicy::default(),
+            functional: false,
+            reload_gbps: 12.0,
+        }
+    }
+}
+
+/// A fleet of simulated ProTEA cards behind one batch scheduler.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Validate the configuration and build the fleet.
+    ///
+    /// # Errors
+    /// [`ServeError::NoCards`] for an empty fleet;
+    /// [`ServeError::Core`] (`Infeasible`) when the bitstream does not
+    /// fit the device.
+    pub fn try_new(config: FleetConfig) -> Result<Self, ServeError> {
+        if config.cards == 0 {
+            return Err(ServeError::NoCards);
+        }
+        if config.reload_gbps.is_nan() || config.reload_gbps <= 0.0 {
+            return Err(ServeError::Core(CoreError::InvalidConfig(
+                "reload_gbps must be positive".into(),
+            )));
+        }
+        // Fail now, not at dispatch time, if the design cannot exist.
+        Accelerator::try_new(config.synthesis, &config.device)?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Serve `workload` with batching across all cards. Returns the
+    /// aggregate report.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptyTrace`] for an empty workload;
+    /// [`ServeError::Unservable`] when a request exceeds the synthesized
+    /// capacity; [`ServeError::Core`] if the hardware layer rejects a
+    /// dispatch (unreachable for admitted requests, but surfaced rather
+    /// than unwrapped).
+    pub fn serve(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
+        if workload.requests.is_empty() {
+            return Err(ServeError::EmptyTrace);
+        }
+        let mut model = SimModel::build(&self.config)?;
+        let mut sim = Simulator::<SimModel>::new();
+        for req in workload.requests.iter().copied() {
+            sim.schedule_at(Cycles(req.arrival_ns), move |sim, m: &mut SimModel| {
+                if m.error.is_some() {
+                    return;
+                }
+                if let Err(e) = m.scheduler.push(req) {
+                    m.error = Some(e);
+                    return;
+                }
+                dispatch_all(sim, m);
+            });
+        }
+        sim.run(&mut model);
+        if let Some(e) = model.error {
+            return Err(e);
+        }
+        Ok(model.into_report())
+    }
+
+    /// The baseline the batched fleet is judged against: one card, no
+    /// batching — every request runs alone (still padded to its bucket),
+    /// in arrival order.
+    ///
+    /// # Errors
+    /// Same conditions as [`serve`](Self::serve).
+    pub fn serve_serial_baseline(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
+        if workload.requests.is_empty() {
+            return Err(ServeError::EmptyTrace);
+        }
+        let single = FleetConfig { cards: 1, ..self.config.clone() };
+        let mut m = SimModel::build(&single)?;
+        let mut free_at = 0u64;
+        for req in &workload.requests {
+            // admission check through the same scheduler validation
+            let mut probe = BatchScheduler::new(single.policy.clone(), single.synthesis);
+            probe.push(*req)?;
+            let batch = probe.pop_any().ok_or(ServeError::EmptyTrace)?;
+            let start = free_at.max(req.arrival_ns);
+            let finish = m.dispatch(0, &batch, start)?;
+            free_at = finish;
+        }
+        Ok(m.into_report())
+    }
+}
+
+/// All mutable simulation state (the DES model type).
+struct SimModel {
+    scheduler: BatchScheduler,
+    cards: Vec<Card>,
+    responses: Vec<ServeResponse>,
+    weights: BTreeMap<CapacityClass, QuantizedEncoder>,
+    functional: bool,
+    reload_gbps: f64,
+    ops_total: u64,
+    batches: u64,
+    reprograms: u64,
+    next_flush: Option<u64>,
+    error: Option<ServeError>,
+}
+
+struct Card {
+    accel: Accelerator,
+    loaded_class: Option<CapacityClass>,
+    busy: bool,
+    busy_ns: u64,
+}
+
+impl SimModel {
+    fn build(config: &FleetConfig) -> Result<Self, ServeError> {
+        let mut cards = Vec::with_capacity(config.cards);
+        for _ in 0..config.cards {
+            cards.push(Card {
+                accel: Accelerator::try_new(config.synthesis, &config.device)?,
+                loaded_class: None,
+                busy: false,
+                busy_ns: 0,
+            });
+        }
+        Ok(Self {
+            scheduler: BatchScheduler::new(config.policy.clone(), config.synthesis),
+            cards,
+            responses: Vec::new(),
+            weights: BTreeMap::new(),
+            functional: config.functional,
+            reload_gbps: config.reload_gbps,
+            ops_total: 0,
+            batches: 0,
+            reprograms: 0,
+            next_flush: None,
+            error: None,
+        })
+    }
+
+    /// Deterministic per-class weight image (cached; the simulation
+    /// models weight *movement*, so contents only matter for the
+    /// functional mode's bit-exactness).
+    fn weights_for(&mut self, class: CapacityClass) -> &QuantizedEncoder {
+        self.weights.entry(class).or_insert_with(|| {
+            let cfg = EncoderConfig::new(class.d_model, class.heads, class.layers, 8);
+            let seed = 0x5eed
+                ^ (class.d_model as u64) << 32
+                ^ (class.heads as u64) << 16
+                ^ class.layers as u64;
+            QuantizedEncoder::from_float(&EncoderWeights::random(cfg, seed), QuantSchedule::paper())
+        })
+    }
+
+    /// DMA time to re-image a card with `class`'s weights.
+    fn reload_ns(&self, class: CapacityClass) -> u64 {
+        let d = class.d_model as u64;
+        let f = 4 * d; // ffn_mult = 4 throughout the serving model
+        let per_layer = 4 * d * d + 2 * d * f + (3 * d + d + f + d) * 4;
+        let bytes = per_layer * class.layers as u64;
+        (bytes as f64 / self.reload_gbps) as u64
+    }
+
+    /// Program `card` for `batch`, pay any reload, run, and record the
+    /// member responses. Returns the completion time.
+    fn dispatch(&mut self, card: usize, batch: &Batch, now_ns: u64) -> Result<u64, ServeError> {
+        let class = batch.requests[0].class();
+        let reload_ns = if self.cards[card].loaded_class == Some(class) {
+            0
+        } else {
+            self.reprograms += 1;
+            self.reload_ns(class)
+        };
+        let weights = if self.cards[card].loaded_class == Some(class) {
+            None
+        } else {
+            Some(self.weights_for(class).clone())
+        };
+        let c = &mut self.cards[card];
+        c.accel.program(batch.runtime).map_err(CoreError::from)?;
+        if let Some(w) = weights {
+            c.accel.try_load_weights(w)?;
+            c.loaded_class = Some(class);
+        }
+        let report = if self.functional {
+            let inputs: Vec<Matrix<i8>> = batch
+                .requests
+                .iter()
+                .map(|r| {
+                    let live_rows = r.seq_len;
+                    Matrix::from_fn(
+                        batch.runtime.seq_len,
+                        batch.runtime.d_model,
+                        move |row, col| {
+                            if row < live_rows {
+                                (((r.id as usize).wrapping_mul(31) + row * 17 + col * 7) % 199)
+                                    as i8
+                            } else {
+                                0 // padding
+                            }
+                        },
+                    )
+                })
+                .collect();
+            let (_outputs, report) = c.accel.try_run_batch(&inputs)?;
+            report
+        } else {
+            c.accel.timing_report_batched(batch.len())
+        };
+        let service_ns = (report.latency_ms() * 1e6).ceil() as u64;
+        let finish_ns = now_ns.saturating_add(reload_ns).saturating_add(service_ns);
+        c.busy = true;
+        c.busy_ns = c.busy_ns.saturating_add(reload_ns + service_ns);
+        self.batches += 1;
+        for r in &batch.requests {
+            // useful work is counted at the *actual* request shape
+            let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
+            self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
+            self.responses.push(ServeResponse {
+                id: r.id,
+                arrival_ns: r.arrival_ns,
+                start_ns: now_ns,
+                finish_ns,
+                card,
+                batch_size: batch.len(),
+                padded_seq_len: batch.runtime.seq_len,
+            });
+        }
+        Ok(finish_ns)
+    }
+
+    fn into_report(self) -> ServeReport {
+        let busy: Vec<u64> = self.cards.iter().map(|c| c.busy_ns).collect();
+        ServeReport::from_responses(
+            &self.responses,
+            self.ops_total,
+            self.batches,
+            self.reprograms,
+            &busy,
+        )
+    }
+}
+
+/// Greedy dispatch: while a card is free and a batch is ready, pair
+/// them; then arm the flush timer for the earliest waiting partial.
+fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
+    if m.error.is_some() {
+        return;
+    }
+    let now = sim.now().get();
+    while let Some(card) = m.cards.iter().position(|c| !c.busy) {
+        let Some(batch) = m.scheduler.pop_ready(now) else { break };
+        match m.dispatch(card, &batch, now) {
+            Ok(finish_ns) => {
+                sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
+                    m.cards[card].busy = false;
+                    dispatch_all(sim, m);
+                });
+            }
+            Err(e) => {
+                m.error = Some(e);
+                return;
+            }
+        }
+    }
+    // A partial batch left waiting needs a wake-up at its deadline; one
+    // already overdue (deadline ≤ now with every card busy) is picked up
+    // by the next completion's dispatch_all.
+    if let Some(deadline) = m.scheduler.next_flush_deadline_ns() {
+        let stale = m.next_flush.is_none_or(|t| t <= now || deadline < t);
+        if deadline > now && stale {
+            m.next_flush = Some(deadline);
+            sim.schedule_at(Cycles(deadline), |sim, m: &mut SimModel| dispatch_all(sim, m));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServeRequest;
+
+    fn small_fleet(cards: usize) -> Fleet {
+        Fleet::try_new(FleetConfig {
+            cards,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_wait_ns: 100_000,
+                seq_buckets: vec![16, 32, 64, 128],
+            },
+            ..FleetConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn dense_workload(n: usize) -> Workload {
+        Workload::poisson(n, 100_000.0, &[(96, 4, 2)], (8, 16), 11)
+    }
+
+    #[test]
+    fn zero_cards_rejected() {
+        let err = Fleet::try_new(FleetConfig { cards: 0, ..FleetConfig::default() }).unwrap_err();
+        assert_eq!(err, ServeError::NoCards);
+    }
+
+    #[test]
+    fn infeasible_bitstream_rejected() {
+        let err =
+            Fleet::try_new(FleetConfig { device: FpgaDevice::zcu102(), ..FleetConfig::default() })
+                .unwrap_err();
+        assert!(matches!(err, ServeError::Core(CoreError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let fleet = small_fleet(2);
+        assert_eq!(fleet.serve(&Workload::default()).unwrap_err(), ServeError::EmptyTrace);
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let fleet = small_fleet(2);
+        let w = dense_workload(32);
+        let report = fleet.serve(&w).unwrap();
+        assert_eq!(report.completed, 32);
+        assert!(report.mean_batch > 1.0, "dense arrivals must batch: {}", report.mean_batch);
+        assert!(report.latency_ms.p50 > 0.0);
+        assert!(report.latency_ms.p99 >= report.latency_ms.p95);
+        assert!(report.latency_ms.p95 >= report.latency_ms.p50);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let fleet = small_fleet(3);
+        let w = dense_workload(24);
+        assert_eq!(fleet.serve(&w).unwrap(), fleet.serve(&w).unwrap());
+    }
+
+    #[test]
+    fn unservable_request_surfaces_as_error() {
+        let fleet = small_fleet(1);
+        let w = Workload {
+            requests: vec![ServeRequest {
+                id: 0,
+                arrival_ns: 0,
+                d_model: 4_096,
+                heads: 4,
+                layers: 2,
+                seq_len: 8,
+            }],
+        };
+        assert!(matches!(fleet.serve(&w).unwrap_err(), ServeError::Unservable { id: 0, .. }));
+    }
+
+    #[test]
+    fn functional_mode_matches_timing_mode_schedule() {
+        let base = small_fleet(2);
+        let functional =
+            Fleet::try_new(FleetConfig { functional: true, ..base.config().clone() }).unwrap();
+        let w = dense_workload(8);
+        let a = base.serve(&w).unwrap();
+        let b = functional.serve(&w).unwrap();
+        assert_eq!(a, b, "functional execution must not change the timing");
+    }
+
+    #[test]
+    fn reprograms_counted_across_classes() {
+        let fleet = small_fleet(1);
+        let w = Workload::poisson(12, 50_000.0, &[(96, 4, 2), (128, 4, 2)], (8, 16), 3);
+        let report = fleet.serve(&w).unwrap();
+        assert!(report.reprograms >= 2, "two classes on one card must reload: {report:?}");
+    }
+
+    #[test]
+    fn serial_baseline_is_slower_than_batched_fleet() {
+        let fleet = small_fleet(4);
+        let w = dense_workload(40);
+        let batched = fleet.serve(&w).unwrap();
+        let serial = fleet.serve_serial_baseline(&w).unwrap();
+        assert_eq!(serial.completed, batched.completed);
+        assert!(
+            batched.throughput_rps > serial.throughput_rps,
+            "batched {} vs serial {}",
+            batched.throughput_rps,
+            serial.throughput_rps
+        );
+    }
+}

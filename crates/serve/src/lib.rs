@@ -1,0 +1,51 @@
+//! # protea-serve — batched multi-accelerator serving simulation
+//!
+//! This crate answers the deployment question the single-request
+//! co-simulation in `protea-core` cannot: *what throughput and tail
+//! latency does a fleet of ProTEA cards sustain under a live request
+//! stream?* It layers a queueing simulation on top of the cycle-level
+//! model:
+//!
+//! 1. a [`Workload`] — a trace of [`ServeRequest`]s (parsed from JSON or
+//!    synthesized as a Poisson process);
+//! 2. a [`BatchScheduler`] grouping compatible requests (same
+//!    [`CapacityClass`], same padded sequence-length bucket) so one card
+//!    program amortizes register writes and weight loads across a batch;
+//! 3. a [`Fleet`] of N simulated cards dispatching batches in a
+//!    discrete-event simulation (nanosecond ticks on `protea-hwsim`'s
+//!    kernel), with per-class weight-reload costs charged when a card
+//!    switches classes;
+//! 4. a [`ServeReport`] with throughput (inferences/s and useful GOPS)
+//!    plus p50/p95/p99 queueing and end-to-end latency.
+//!
+//! The entire request path is fallible: hostile traces, oversized
+//! shapes, and infeasible fleet configurations come back as
+//! [`ServeError`] values — no panic is reachable from user input.
+//!
+//! ```
+//! use protea_serve::{Fleet, FleetConfig, Workload};
+//!
+//! let workload = Workload::poisson(16, 50_000.0, &[(96, 4, 2)], (8, 16), 7);
+//! let fleet = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() })?;
+//! let report = fleet.serve(&workload)?;
+//! assert_eq!(report.completed, 16);
+//! println!("{report}");
+//! # Ok::<(), protea_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fleet;
+mod report;
+mod request;
+mod scheduler;
+mod trace;
+
+pub use error::ServeError;
+pub use fleet::{Fleet, FleetConfig};
+pub use report::{Percentiles, ServeReport};
+pub use request::{CapacityClass, ServeRequest, ServeResponse};
+pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
+pub use trace::Workload;

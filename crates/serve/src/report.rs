@@ -1,0 +1,189 @@
+//! Aggregate serving metrics: throughput and tail latency.
+
+use crate::request::ServeResponse;
+use core::fmt;
+
+/// p50/p95/p99/max of a latency distribution, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst case observed.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `values` (empty input is all-zero).
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let at = |q: f64| -> f64 {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Self { p50: at(0.50), p95: at(0.95), p99: at(0.99), max: *sorted.last().unwrap_or(&0.0) }
+    }
+}
+
+/// The outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests completed.
+    pub completed: usize,
+    /// Cards in the fleet.
+    pub cards: usize,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Weight reloads (card reprogrammed to a different capacity class).
+    pub reprograms: u64,
+    /// Simulated span from first arrival to last completion, seconds.
+    pub makespan_s: f64,
+    /// Sustained throughput, inferences per second.
+    pub throughput_rps: f64,
+    /// Useful (unpadded) throughput in GOPS across the fleet.
+    pub gops: f64,
+    /// End-to-end latency distribution (queueing + service), ms.
+    pub latency_ms: Percentiles,
+    /// Queueing-delay distribution (arrival → dispatch), ms.
+    pub queue_ms: Percentiles,
+    /// Mean requests per dispatched batch.
+    pub mean_batch: f64,
+    /// Per-card busy fraction over the makespan.
+    pub card_utilization: Vec<f64>,
+}
+
+impl ServeReport {
+    /// Assemble a report from completion records.
+    ///
+    /// `ops_total` is the summed (unpadded) op count of all completed
+    /// requests; `busy_ns[i]` is card *i*'s total service time.
+    #[must_use]
+    pub fn from_responses(
+        responses: &[ServeResponse],
+        ops_total: u64,
+        batches: u64,
+        reprograms: u64,
+        busy_ns: &[u64],
+    ) -> Self {
+        let completed = responses.len();
+        let makespan_ns = responses.iter().map(|r| r.finish_ns).max().unwrap_or(0);
+        let makespan_s = makespan_ns as f64 / 1e9;
+        let span = if makespan_s > 0.0 { makespan_s } else { f64::MIN_POSITIVE };
+        let latency: Vec<f64> = responses.iter().map(ServeResponse::latency_ms).collect();
+        let queue: Vec<f64> = responses.iter().map(ServeResponse::queue_ms).collect();
+        Self {
+            completed,
+            cards: busy_ns.len(),
+            batches,
+            reprograms,
+            makespan_s,
+            throughput_rps: completed as f64 / span,
+            gops: ops_total as f64 / 1e9 / span,
+            latency_ms: Percentiles::of(&latency),
+            queue_ms: Percentiles::of(&queue),
+            mean_batch: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            card_utilization: busy_ns.iter().map(|&b| (b as f64 / 1e9 / span).min(1.0)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ServeReport: {} inferences on {} card(s) in {:.3} s",
+            self.completed, self.cards, self.makespan_s
+        )?;
+        writeln!(
+            f,
+            "  throughput   {:>10.1} inf/s   {:>8.1} GOPS",
+            self.throughput_rps, self.gops
+        )?;
+        writeln!(
+            f,
+            "  latency ms   p50 {:>8.3}  p95 {:>8.3}  p99 {:>8.3}  max {:>8.3}",
+            self.latency_ms.p50, self.latency_ms.p95, self.latency_ms.p99, self.latency_ms.max
+        )?;
+        writeln!(
+            f,
+            "  queueing ms  p50 {:>8.3}  p95 {:>8.3}  p99 {:>8.3}  max {:>8.3}",
+            self.queue_ms.p50, self.queue_ms.p95, self.queue_ms.p99, self.queue_ms.max
+        )?;
+        writeln!(
+            f,
+            "  batching     {} batches, mean size {:.2}, {} weight reloads",
+            self.batches, self.mean_batch, self.reprograms
+        )?;
+        let util: Vec<String> =
+            self.card_utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
+        writeln!(f, "  card busy    [{}]", util.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(id: u64, arrival: u64, start: u64, finish: u64) -> ServeResponse {
+        ServeResponse {
+            id,
+            arrival_ns: arrival,
+            start_ns: start,
+            finish_ns: finish,
+            card: 0,
+            batch_size: 1,
+            padded_seq_len: 16,
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::of(&v);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+        let single = Percentiles::of(&[7.0]);
+        assert_eq!((single.p50, single.p99), (7.0, 7.0));
+        let empty = Percentiles::of(&[]);
+        assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        // two requests, 1 s makespan
+        let responses = [resp(0, 0, 100_000, 500_000_000), resp(1, 0, 200_000, 1_000_000_000)];
+        let r = ServeReport::from_responses(&responses, 2_000_000_000, 2, 1, &[600_000_000]);
+        assert_eq!(r.completed, 2);
+        assert!((r.makespan_s - 1.0).abs() < 1e-9);
+        assert!((r.throughput_rps - 2.0).abs() < 1e-9);
+        assert!((r.gops - 2.0).abs() < 1e-9);
+        assert!((r.mean_batch - 1.0).abs() < 1e-9);
+        assert!((r.card_utilization[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_all_sections() {
+        let r = ServeReport::from_responses(&[resp(0, 0, 1, 2_000_000)], 1_000, 1, 1, &[2_000_000]);
+        let text = r.to_string();
+        for needle in ["throughput", "latency ms", "queueing ms", "p99", "card busy"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn empty_responses_do_not_divide_by_zero() {
+        let r = ServeReport::from_responses(&[], 0, 0, 0, &[0]);
+        assert_eq!(r.completed, 0);
+        assert!(r.throughput_rps.is_finite());
+    }
+}

@@ -1,0 +1,131 @@
+//! Request and response types of the serving API.
+
+use protea_core::RuntimeConfig;
+
+/// One inference request in a workload trace.
+///
+/// A request names the model shape it was issued against (the register
+/// file a card must be programmed with) plus its actual sequence length,
+/// which may be shorter than the shape's `seq_len` capacity — the
+/// scheduler pads it up to a bucket boundary so compatible requests can
+/// share a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Caller-assigned id, echoed in the response.
+    pub id: u64,
+    /// Arrival time, nanoseconds from trace start.
+    pub arrival_ns: u64,
+    /// Embedding dimension of the requested model.
+    pub d_model: usize,
+    /// Attention heads of the requested model.
+    pub heads: usize,
+    /// Encoder layers of the requested model.
+    pub layers: usize,
+    /// Actual (unpadded) sequence length of this request.
+    pub seq_len: usize,
+}
+
+impl ServeRequest {
+    /// The capacity class this request batches under: everything the
+    /// register file freezes for a batch except the (padded) sequence
+    /// length.
+    #[must_use]
+    pub fn class(&self) -> CapacityClass {
+        CapacityClass { d_model: self.d_model, heads: self.heads, layers: self.layers }
+    }
+
+    /// The register file for this request at a padded sequence length.
+    #[must_use]
+    pub fn runtime_at(&self, padded_seq_len: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            heads: self.heads,
+            layers: self.layers,
+            d_model: self.d_model,
+            seq_len: padded_seq_len,
+        }
+    }
+}
+
+/// The batching-compatibility key: requests with equal classes can share
+/// a card program (and therefore a batch) once padded to a common
+/// sequence length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CapacityClass {
+    /// Embedding dimension.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub layers: usize,
+}
+
+/// The completion record for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeResponse {
+    /// The request id.
+    pub id: u64,
+    /// When the request arrived (ns).
+    pub arrival_ns: u64,
+    /// When its batch started service on a card (ns).
+    pub start_ns: u64,
+    /// When its batch completed (ns).
+    pub finish_ns: u64,
+    /// Which card served it.
+    pub card: usize,
+    /// How many requests shared the batch.
+    pub batch_size: usize,
+    /// The sequence length the batch was padded to.
+    pub padded_seq_len: usize,
+}
+
+impl ServeResponse {
+    /// Time spent queued before service, in milliseconds.
+    #[must_use]
+    pub fn queue_ms(&self) -> f64 {
+        (self.start_ns.saturating_sub(self.arrival_ns)) as f64 / 1e6
+    }
+
+    /// Total latency (queueing + service), in milliseconds.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        (self.finish_ns.saturating_sub(self.arrival_ns)) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ignores_seq_len() {
+        let a = ServeRequest { id: 0, arrival_ns: 0, d_model: 96, heads: 4, layers: 2, seq_len: 7 };
+        let b =
+            ServeRequest { id: 1, arrival_ns: 9, d_model: 96, heads: 4, layers: 2, seq_len: 31 };
+        assert_eq!(a.class(), b.class());
+        let c = ServeRequest { d_model: 128, ..a };
+        assert_ne!(a.class(), c.class());
+    }
+
+    #[test]
+    fn runtime_at_pads_seq_len() {
+        let r = ServeRequest { id: 0, arrival_ns: 0, d_model: 96, heads: 4, layers: 2, seq_len: 7 };
+        let rt = r.runtime_at(16);
+        assert_eq!(rt.seq_len, 16);
+        assert_eq!(rt.d_model, 96);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let resp = ServeResponse {
+            id: 0,
+            arrival_ns: 1_000_000,
+            start_ns: 3_000_000,
+            finish_ns: 7_000_000,
+            card: 0,
+            batch_size: 4,
+            padded_seq_len: 32,
+        };
+        assert!((resp.queue_ms() - 2.0).abs() < 1e-12);
+        assert!((resp.latency_ms() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,318 @@
+//! Batching: group compatible requests so one card program serves many
+//! inferences, amortizing weight loads and reprogramming.
+//!
+//! Two requests are batchable when their [`CapacityClass`]es match (the
+//! register file would be identical apart from `SL`) and their sequence
+//! lengths fall in the same bucket; the batch runs at the bucket's upper
+//! bound, padding shorter sequences. A batch dispatches when it reaches
+//! [`BatchPolicy::max_batch`] or its oldest request has waited
+//! [`BatchPolicy::max_wait_ns`].
+
+use crate::error::ServeError;
+use crate::request::{CapacityClass, ServeRequest};
+use protea_core::{RuntimeConfig, SynthesisConfig};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch a card accepts (weight-stationary sharing degree).
+    pub max_batch: usize,
+    /// Longest a request may sit unbatched before a partial batch is
+    /// flushed (nanoseconds).
+    pub max_wait_ns: u64,
+    /// Sequence-length bucket upper bounds, ascending. A request with
+    /// `seq_len` ≤ `buckets[i]` (and > `buckets[i-1]`) pads to
+    /// `buckets[i]`.
+    pub seq_buckets: Vec<usize>,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self { max_batch: 8, max_wait_ns: 2_000_000, seq_buckets: vec![16, 32, 64, 128] }
+    }
+}
+
+impl BatchPolicy {
+    /// The bucket a sequence length pads to, or `None` if it exceeds the
+    /// largest bucket.
+    #[must_use]
+    pub fn bucket_for(&self, seq_len: usize) -> Option<usize> {
+        self.seq_buckets.iter().copied().find(|&b| seq_len <= b)
+    }
+}
+
+/// The key one pending queue forms under: capacity class + padded SL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct BatchKey {
+    class: CapacityClass,
+    padded_seq_len: usize,
+}
+
+/// A dispatched group of compatible requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The member requests (at most `max_batch`).
+    pub requests: Vec<ServeRequest>,
+    /// The register file the card runs the whole batch under.
+    pub runtime: RuntimeConfig,
+}
+
+impl Batch {
+    /// Number of member requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty (never true for dispatched batches).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Earliest member arrival (ns).
+    #[must_use]
+    pub fn oldest_arrival_ns(&self) -> u64 {
+        self.requests.iter().map(|r| r.arrival_ns).min().unwrap_or(0)
+    }
+}
+
+/// Groups admitted requests into dispatchable batches.
+///
+/// Admission ([`push`](Self::push)) validates each request against the
+/// fleet's synthesized capacity, so a request that no card could ever
+/// serve is rejected up front as a [`ServeError::Unservable`] value
+/// instead of failing (or panicking) deep in the dispatch path.
+#[derive(Debug, Clone)]
+pub struct BatchScheduler {
+    policy: BatchPolicy,
+    capacity: SynthesisConfig,
+    queues: BTreeMap<BatchKey, VecDeque<ServeRequest>>,
+    pending: usize,
+}
+
+impl BatchScheduler {
+    /// A scheduler for a fleet synthesized at `capacity`.
+    #[must_use]
+    pub fn new(policy: BatchPolicy, capacity: SynthesisConfig) -> Self {
+        Self { policy, capacity, queues: BTreeMap::new(), pending: 0 }
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Requests currently queued.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Admit a request.
+    ///
+    /// # Errors
+    /// [`ServeError::Unservable`] when the request's padded register
+    /// file would be rejected by the synthesized capacity (too-long
+    /// sequence, oversized `d_model`, indivisible heads, zero field).
+    pub fn push(&mut self, req: ServeRequest) -> Result<(), ServeError> {
+        if req.seq_len == 0 {
+            return Err(ServeError::Unservable {
+                id: req.id,
+                why: "seq_len must be nonzero".into(),
+            });
+        }
+        let padded = self.policy.bucket_for(req.seq_len).ok_or_else(|| ServeError::Unservable {
+            id: req.id,
+            why: format!(
+                "seq_len {} exceeds largest bucket {}",
+                req.seq_len,
+                self.policy.seq_buckets.last().copied().unwrap_or(0)
+            ),
+        })?;
+        let runtime = req.runtime_at(padded);
+        runtime
+            .validate(&self.capacity)
+            .map_err(|e| ServeError::Unservable { id: req.id, why: e.to_string() })?;
+        let key = BatchKey { class: req.class(), padded_seq_len: padded };
+        self.queues.entry(key).or_default().push_back(req);
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Earliest deadline at which a currently queued partial batch must
+    /// flush, if any.
+    #[must_use]
+    pub fn next_flush_deadline_ns(&self) -> Option<u64> {
+        self.queues
+            .values()
+            .filter_map(|q| q.front())
+            .map(|r| r.arrival_ns.saturating_add(self.policy.max_wait_ns))
+            .min()
+    }
+
+    /// Take the best dispatchable batch at time `now_ns`: a full batch
+    /// if one exists (oldest head first among full queues), otherwise a
+    /// partial batch whose head has exceeded `max_wait_ns`. Returns
+    /// `None` when nothing should dispatch yet.
+    pub fn pop_ready(&mut self, now_ns: u64) -> Option<Batch> {
+        let full = self
+            .queues
+            .iter()
+            .filter(|(_, q)| q.len() >= self.policy.max_batch)
+            .min_by_key(|(k, q)| (q.front().map_or(u64::MAX, |r| r.arrival_ns), **k))
+            .map(|(k, _)| *k);
+        let key = full.or_else(|| {
+            self.queues
+                .iter()
+                .filter(|(_, q)| {
+                    q.front().is_some_and(|r| {
+                        now_ns >= r.arrival_ns.saturating_add(self.policy.max_wait_ns)
+                    })
+                })
+                .min_by_key(|(k, q)| (q.front().map_or(u64::MAX, |r| r.arrival_ns), **k))
+                .map(|(k, _)| *k)
+        })?;
+        Some(self.take(key))
+    }
+
+    /// Take the oldest pending batch regardless of fill or age (used to
+    /// drain the queue once arrivals stop). `None` when empty.
+    pub fn pop_any(&mut self) -> Option<Batch> {
+        let key = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by_key(|(k, q)| (q.front().map_or(u64::MAX, |r| r.arrival_ns), **k))
+            .map(|(k, _)| *k)?;
+        Some(self.take(key))
+    }
+
+    fn take(&mut self, key: BatchKey) -> Batch {
+        let q = self.queues.get_mut(&key).expect("key exists by construction");
+        let n = q.len().min(self.policy.max_batch);
+        let requests: Vec<ServeRequest> = q.drain(..n).collect();
+        if q.is_empty() {
+            self.queues.remove(&key);
+        }
+        self.pending -= requests.len();
+        let runtime = requests[0].runtime_at(key.padded_seq_len);
+        Batch { requests, runtime }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival_ns: u64, seq_len: usize) -> ServeRequest {
+        ServeRequest { id, arrival_ns, d_model: 96, heads: 4, layers: 2, seq_len }
+    }
+
+    fn sched() -> BatchScheduler {
+        BatchScheduler::new(
+            BatchPolicy { max_batch: 4, max_wait_ns: 1_000, seq_buckets: vec![16, 32, 64, 128] },
+            SynthesisConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately() {
+        let mut s = sched();
+        for i in 0..4 {
+            s.push(req(i, i * 10, 12)).unwrap();
+        }
+        let b = s.pop_ready(35).expect("full batch ready");
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.runtime.seq_len, 16, "padded to the bucket bound");
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn partial_batch_waits_for_deadline() {
+        let mut s = sched();
+        s.push(req(0, 100, 12)).unwrap();
+        assert!(s.pop_ready(500).is_none(), "not full, not timed out");
+        assert_eq!(s.next_flush_deadline_ns(), Some(1_100));
+        let b = s.pop_ready(1_100).expect("flush after max_wait");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn buckets_separate_and_pad() {
+        let mut s = sched();
+        s.push(req(0, 0, 12)).unwrap(); // bucket 16
+        s.push(req(1, 0, 20)).unwrap(); // bucket 32
+        s.push(req(2, 0, 16)).unwrap(); // bucket 16 (exact bound)
+        let b = s.pop_ready(u64::MAX).unwrap();
+        assert_eq!(b.runtime.seq_len, 16);
+        assert_eq!(b.len(), 2, "12 and 16 share the 16-bucket");
+        let b2 = s.pop_ready(u64::MAX).unwrap();
+        assert_eq!(b2.runtime.seq_len, 32);
+    }
+
+    #[test]
+    fn classes_never_mix() {
+        let mut s = sched();
+        s.push(req(0, 0, 12)).unwrap();
+        s.push(ServeRequest {
+            id: 1,
+            arrival_ns: 0,
+            d_model: 128,
+            heads: 4,
+            layers: 2,
+            seq_len: 12,
+        })
+        .unwrap();
+        let b = s.pop_ready(u64::MAX).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn unservable_requests_rejected_at_admission() {
+        let mut s = sched();
+        // over the largest bucket
+        assert!(matches!(s.push(req(0, 0, 4_000)), Err(ServeError::Unservable { id: 0, .. })));
+        // d_model over synthesized capacity
+        let too_wide =
+            ServeRequest { id: 1, arrival_ns: 0, d_model: 4_096, heads: 4, layers: 2, seq_len: 8 };
+        assert!(matches!(s.push(too_wide), Err(ServeError::Unservable { id: 1, .. })));
+        // heads must divide d_model
+        let ragged =
+            ServeRequest { id: 2, arrival_ns: 0, d_model: 96, heads: 5, layers: 2, seq_len: 8 };
+        assert!(s.push(ragged).is_err());
+        // zero layers
+        let zero =
+            ServeRequest { id: 3, arrival_ns: 0, d_model: 96, heads: 4, layers: 0, seq_len: 8 };
+        assert!(s.push(zero).is_err());
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn pop_any_drains_everything() {
+        let mut s = sched();
+        for i in 0..6 {
+            s.push(req(i, i, 12)).unwrap();
+        }
+        let first = s.pop_any().unwrap();
+        assert_eq!(first.len(), 4, "capped at max_batch");
+        let rest = s.pop_any().unwrap();
+        assert_eq!(rest.len(), 2);
+        assert!(s.pop_any().is_none());
+    }
+
+    #[test]
+    fn fifo_within_a_queue() {
+        let mut s = sched();
+        for i in 0..4 {
+            s.push(req(i, i * 7, 12)).unwrap();
+        }
+        let b = s.pop_ready(100).unwrap();
+        let ids: Vec<u64> = b.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

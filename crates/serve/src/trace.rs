@@ -1,0 +1,434 @@
+//! Workload traces: a timestamped request stream, loadable from a small
+//! JSON dialect or generated synthetically (Poisson arrivals).
+//!
+//! The parser is hand-rolled and total: any byte sequence either yields
+//! a [`Workload`] or a [`ServeError::Trace`] with an offset — corrupt or
+//! adversarial input cannot panic the process (nesting is depth-capped,
+//! numbers are range-checked, duplicate keys take the last value).
+//!
+//! Format:
+//!
+//! ```json
+//! { "requests": [
+//!   { "arrival_us": 0,  "d_model": 96, "heads": 4, "layers": 2, "seq_len": 17 },
+//!   { "arrival_us": 40, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 61 }
+//! ] }
+//! ```
+
+use crate::error::ServeError;
+use crate::request::ServeRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A finite request stream, sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Workload {
+    /// The requests, ascending by `arrival_ns`.
+    pub requests: Vec<ServeRequest>,
+}
+
+impl Workload {
+    /// Parse the JSON trace dialect documented at the module level.
+    ///
+    /// # Errors
+    /// [`ServeError::Trace`] with a byte offset on any malformed input;
+    /// [`ServeError::EmptyTrace`] when the file parses but holds no
+    /// requests.
+    pub fn from_json(text: &str) -> Result<Self, ServeError> {
+        let value = json::parse(text)?;
+        let top = value.as_object(0, "top level")?;
+        let requests_val = top
+            .iter()
+            .rev()
+            .find(|(k, _)| k == "requests")
+            .map(|(_, v)| v)
+            .ok_or_else(|| trace_err(0, "missing \"requests\" key"))?;
+        let items = requests_val.as_array(0, "\"requests\"")?;
+        let mut requests = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let obj = item.as_object(0, "request")?;
+            let field = |name: &str| -> Result<u64, ServeError> {
+                obj.iter()
+                    .rev()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v.as_u64(0, name))
+                    .ok_or_else(|| trace_err(0, format!("request {i} missing \"{name}\"")))?
+            };
+            requests.push(ServeRequest {
+                id: i as u64,
+                arrival_ns: field("arrival_us")?.saturating_mul(1_000),
+                d_model: field("d_model")? as usize,
+                heads: field("heads")? as usize,
+                layers: field("layers")? as usize,
+                seq_len: field("seq_len")? as usize,
+            });
+        }
+        if requests.is_empty() {
+            return Err(ServeError::EmptyTrace);
+        }
+        requests.sort_by_key(|r| (r.arrival_ns, r.id));
+        Ok(Self { requests })
+    }
+
+    /// Render back to the JSON trace dialect (round-trips through
+    /// [`from_json`](Self::from_json) up to request ids).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{ \"requests\": [\n");
+        for (i, r) in self.requests.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{ \"arrival_us\": {}, \"d_model\": {}, \"heads\": {}, \"layers\": {}, \"seq_len\": {} }}{}\n",
+                r.arrival_ns / 1_000,
+                r.d_model,
+                r.heads,
+                r.layers,
+                r.seq_len,
+                if i + 1 == self.requests.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("] }\n");
+        out
+    }
+
+    /// Generate a Poisson-arrival workload: `n` requests at `rate_per_s`
+    /// mean arrival rate, shapes drawn uniformly from `classes` (each a
+    /// `(d_model, heads, layers)` triple) with sequence lengths uniform
+    /// in `seq_range`. Deterministic in `seed`.
+    #[must_use]
+    pub fn poisson(
+        n: usize,
+        rate_per_s: f64,
+        classes: &[(usize, usize, usize)],
+        seq_range: (usize, usize),
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rate = if rate_per_s > 0.0 { rate_per_s } else { 1.0 };
+        let classes: &[(usize, usize, usize)] =
+            if classes.is_empty() { &[(96, 4, 2)] } else { classes };
+        let (lo, hi) = (seq_range.0.max(1), seq_range.1.max(seq_range.0.max(1)));
+        let mut t_ns = 0u64;
+        let mut requests = Vec::with_capacity(n);
+        for id in 0..n as u64 {
+            // exponential interarrival via inverse transform
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap_s = -u.ln() / rate;
+            t_ns = t_ns.saturating_add((gap_s * 1e9) as u64);
+            let (d_model, heads, layers) = classes[rng.gen_range(0..classes.len())];
+            let seq_len = rng.gen_range(lo..=hi);
+            requests.push(ServeRequest { id, arrival_ns: t_ns, d_model, heads, layers, seq_len });
+        }
+        Self { requests }
+    }
+
+    /// Total trace span in seconds (first arrival is relative to zero).
+    #[must_use]
+    pub fn span_s(&self) -> f64 {
+        self.requests.last().map_or(0.0, |r| r.arrival_ns as f64 / 1e9)
+    }
+}
+
+fn trace_err(at: usize, msg: impl Into<String>) -> ServeError {
+    ServeError::Trace { at, msg: msg.into() }
+}
+
+/// A minimal total JSON reader: just enough for the trace dialect, with
+/// a nesting cap so deeply nested adversarial input errors out instead
+/// of overflowing the stack.
+mod json {
+    use super::{trace_err, ServeError};
+
+    const MAX_DEPTH: usize = 32;
+
+    /// A parsed JSON value (numbers restricted to unsigned integers —
+    /// all the trace format needs).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Unsigned integer.
+        UInt(u64),
+        /// String.
+        Str(String),
+        /// `true` / `false`.
+        Bool(bool),
+        /// `null`.
+        Null,
+        /// Array.
+        Array(Vec<Value>),
+        /// Object as an ordered key-value list.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self, at: usize, what: &str) -> Result<&[(String, Value)], ServeError> {
+            match self {
+                Value::Object(kv) => Ok(kv),
+                other => Err(trace_err(at, format!("{what} must be an object, got {other:?}"))),
+            }
+        }
+
+        pub fn as_array(&self, at: usize, what: &str) -> Result<&[Value], ServeError> {
+            match self {
+                Value::Array(v) => Ok(v),
+                other => Err(trace_err(at, format!("{what} must be an array, got {other:?}"))),
+            }
+        }
+
+        pub fn as_u64(&self, at: usize, what: &str) -> Result<u64, ServeError> {
+            match self {
+                Value::UInt(n) => Ok(*n),
+                other => Err(trace_err(
+                    at,
+                    format!("{what} must be a non-negative integer, got {other:?}"),
+                )),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, ServeError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(trace_err(p.pos, "trailing data after JSON value"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), ServeError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(trace_err(self.pos, format!("expected '{}'", b as char)))
+            }
+        }
+
+        fn value(&mut self, depth: usize) -> Result<Value, ServeError> {
+            if depth > MAX_DEPTH {
+                return Err(trace_err(self.pos, "nesting too deep"));
+            }
+            match self.peek() {
+                Some(b'{') => self.object(depth),
+                Some(b'[') => self.array(depth),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'0'..=b'9') => self.number(),
+                Some(b't') => self.keyword("true", Value::Bool(true)),
+                Some(b'f') => self.keyword("false", Value::Bool(false)),
+                Some(b'n') => self.keyword("null", Value::Null),
+                Some(c) => Err(trace_err(self.pos, format!("unexpected byte '{}'", c as char))),
+                None => Err(trace_err(self.pos, "unexpected end of input")),
+            }
+        }
+
+        fn keyword(&mut self, word: &str, v: Value) -> Result<Value, ServeError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(trace_err(self.pos, format!("expected '{word}'")))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, ServeError> {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+                return Err(trace_err(self.pos, "only unsigned integers are supported"));
+            }
+            let text = core::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| trace_err(start, "invalid number"))?;
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| trace_err(start, "integer out of range"))
+        }
+
+        fn string(&mut self) -> Result<String, ServeError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(c @ (b'"' | b'\\' | b'/')) => {
+                                out.push(c as char);
+                                self.pos += 1;
+                            }
+                            Some(b'n') => {
+                                out.push('\n');
+                                self.pos += 1;
+                            }
+                            Some(b't') => {
+                                out.push('\t');
+                                self.pos += 1;
+                            }
+                            _ => return Err(trace_err(self.pos, "unsupported escape")),
+                        }
+                    }
+                    Some(_) => {
+                        // consume one UTF-8 scalar, not one byte
+                        let rest = core::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| trace_err(self.pos, "invalid UTF-8 in string"))?;
+                        let ch = rest
+                            .chars()
+                            .next()
+                            .ok_or_else(|| trace_err(self.pos, "unterminated string"))?;
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    }
+                    None => return Err(trace_err(self.pos, "unterminated string")),
+                }
+            }
+        }
+
+        fn array(&mut self, depth: usize) -> Result<Value, ServeError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value(depth + 1)?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(trace_err(self.pos, "expected ',' or ']'")),
+                }
+            }
+        }
+
+        fn object(&mut self, depth: usize) -> Result<Value, ServeError> {
+            self.expect(b'{')?;
+            let mut kv = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(kv));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value(depth + 1)?;
+                kv.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(kv));
+                    }
+                    _ => return Err(trace_err(self.pos, "expected ',' or '}'")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_json() {
+        let w = Workload::poisson(20, 5_000.0, &[(96, 4, 2), (128, 4, 2)], (8, 64), 7);
+        let back = Workload::from_json(&w.to_json()).unwrap();
+        assert_eq!(back.requests.len(), 20);
+        for (a, b) in w.requests.iter().zip(&back.requests) {
+            assert_eq!(
+                (a.d_model, a.heads, a.layers, a.seq_len),
+                (b.d_model, b.heads, b.layers, b.seq_len)
+            );
+            // to_json rounds to whole microseconds
+            assert_eq!(a.arrival_ns / 1_000, b.arrival_ns / 1_000);
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_sorted() {
+        let a = Workload::poisson(50, 1_000.0, &[(96, 4, 2)], (8, 32), 42);
+        let b = Workload::poisson(50, 1_000.0, &[(96, 4, 2)], (8, 32), 42);
+        assert_eq!(a, b);
+        assert!(a.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert!(a.requests.iter().all(|r| (8..=32).contains(&r.seq_len)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_without_panicking() {
+        for bad in [
+            "",
+            "garbage",
+            "{",
+            "{ \"requests\": }",
+            "{ \"requests\": [ { \"arrival_us\": -4 } ] }",
+            "{ \"requests\": [ { \"arrival_us\": 1e9 } ] }",
+            "{ \"requests\": [ {} ] }",
+            "{ \"requests\": [] }",
+            "{ \"requests\": [ 3 ] }",
+            "{\"requests\":[{\"arrival_us\":0,\"d_model\":96,\"heads\":4,\"layers\":2,\"seq_len\":8}]} x",
+            &("[".repeat(100) + &"]".repeat(100)),
+            "{ \"requests\": [ { \"arrival_us\": 99999999999999999999 } ] }",
+        ] {
+            let r = Workload::from_json(bad);
+            assert!(r.is_err(), "{bad:?} should be rejected, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_extra_keys() {
+        let text = r#"
+        {
+          "comment": "extra keys are ignored",
+          "requests": [
+            { "seq_len": 8, "layers": 2, "heads": 4, "d_model": 96, "arrival_us": 10 }
+          ]
+        }"#;
+        let w = Workload::from_json(text).unwrap();
+        assert_eq!(w.requests.len(), 1);
+        assert_eq!(w.requests[0].arrival_ns, 10_000);
+        assert_eq!(w.requests[0].seq_len, 8);
+    }
+
+    #[test]
+    fn unsorted_arrivals_get_sorted() {
+        let text = r#"{ "requests": [
+            { "arrival_us": 50, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 8 },
+            { "arrival_us": 10, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 9 }
+        ] }"#;
+        let w = Workload::from_json(text).unwrap();
+        assert_eq!(w.requests[0].seq_len, 9);
+        assert!(w.requests[0].arrival_ns < w.requests[1].arrival_ns);
+    }
+}

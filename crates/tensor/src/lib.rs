@@ -23,7 +23,9 @@ pub mod matrix;
 pub mod ops;
 pub mod tile;
 
-pub use matmul::{matmul_blocked, matmul_i8_i32, matmul_i8_i32_parallel, matmul_naive, matmul_parallel};
+pub use matmul::{
+    matmul_blocked, matmul_i8_i32, matmul_i8_i32_parallel, matmul_naive, matmul_parallel,
+};
 pub use matrix::Matrix;
 pub use ops::{add_bias_row, max_abs, residual_add, transpose};
 pub use tile::{Tile, TileGrid};

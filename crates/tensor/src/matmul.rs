@@ -13,6 +13,11 @@
 //! * [`matmul_i8_i32`] — the hardware kernel: exact i8×i8→i32, the one the
 //!   accelerator model must agree with bit-for-bit.
 
+// The kernels below use indexed `p` loops on purpose: `p` strides two
+// matrices at once, and the explicit index mirrors the k-ordering
+// contract the doc comments promise.
+#![allow(clippy::needless_range_loop)]
+
 use crate::matrix::Matrix;
 use rayon::prelude::*;
 
@@ -186,8 +191,7 @@ mod tests {
         let c = matmul_i8_i32(&a, &b);
         for i in 0..4 {
             for j in 0..3 {
-                let expect: i32 =
-                    (0..6).map(|p| i32::from(a[(i, p)]) * i32::from(b[(p, j)])).sum();
+                let expect: i32 = (0..6).map(|p| i32::from(a[(i, p)]) * i32::from(b[(p, j)])).sum();
                 assert_eq!(c[(i, j)], expect);
             }
         }
@@ -205,10 +209,7 @@ mod tests {
     fn i8_parallel_matches_serial_bitwise() {
         let a = Matrix::from_fn(17, 23, |r, c| ((r * 47 + c * 31) % 255) as i8);
         let b = Matrix::from_fn(23, 13, |r, c| ((r * 29 + c * 13) % 255) as i8);
-        assert_eq!(
-            matmul_i8_i32_parallel(&a, &b).as_slice(),
-            matmul_i8_i32(&a, &b).as_slice()
-        );
+        assert_eq!(matmul_i8_i32_parallel(&a, &b).as_slice(), matmul_i8_i32(&a, &b).as_slice());
     }
 
     #[test]

@@ -114,11 +114,7 @@ impl<T: Copy + Default> Matrix<T> {
     /// Elementwise map into a possibly different element type.
     #[must_use]
     pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Extract the sub-matrix `[r0 .. r0+h) × [c0 .. c0+w)` into a new

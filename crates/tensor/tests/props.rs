@@ -45,8 +45,8 @@ proptest! {
         });
         let left = transpose(&matmul_i8_i32(&a, &b));
         let right_t = matmul_naive(
-            &transpose(&b).map(|x| f32::from(x)),
-            &transpose(&a).map(|x| f32::from(x)),
+            &transpose(&b).map(f32::from),
+            &transpose(&a).map(f32::from),
         );
         for i in 0..left.rows() {
             for j in 0..left.cols() {

@@ -17,13 +17,11 @@ use protea::prelude::*;
 
 fn main() {
     let syn = SynthesisConfig::paper_default();
-    let accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
 
     let cfg = EncoderConfig::new(256, 8, 2, 1);
-    let dec = QuantizedDecoder::from_float(
-        &DecoderWeights::random(cfg, 7),
-        QuantSchedule::paper(),
-    );
+    let dec = QuantizedDecoder::from_float(&DecoderWeights::random(cfg, 7), QuantSchedule::paper());
 
     // Encoder memory for a 32-token source (stands in for an encoded
     // sentence).
@@ -41,12 +39,7 @@ fn main() {
         let out = dec.decode_step(&mut cache, &row);
         let t = accel.decode_step_timing(&dec, pos, memory.rows());
         total_ms += t.latency_ms();
-        println!(
-            "{pos:>4}  {:>6}  {:>12.4}  {:>14.4}",
-            pos + 1,
-            t.latency_ms(),
-            total_ms
-        );
+        println!("{pos:>4}  {:>6}  {:>12.4}  {:>14.4}", pos + 1, t.latency_ms(), total_ms);
         // feed the output back as the next input position
         row = out.map(|v| v.saturating_add(1));
         rows.push(row.clone());

@@ -12,7 +12,7 @@ use protea::prelude::*;
 fn main() {
     let syn = SynthesisConfig::paper_default();
     let device = FpgaDevice::alveo_u55c();
-    let mut accel = Accelerator::new(syn, &device);
+    let mut accel = Accelerator::try_new(syn, &device).expect("design must fit the device");
 
     let cfg = EncoderConfig::paper_test1();
     accel
@@ -32,10 +32,7 @@ fn main() {
         report.gops(&ops),
         protea::model::OpCount::paper_convention(&cfg) as f64 / (report.latency_ms() * 1e-3) / 1e9
     );
-    println!(
-        "Resources: {} (paper: 3612 DSP / 993107 LUT / 704115 FF)",
-        accel.design().report
-    );
+    println!("Resources: {} (paper: 3612 DSP / 993107 LUT / 704115 FF)", accel.design().report);
     println!(
         "Load-stall cycles hidden by double buffering: {} of {} total ({:.2}%)",
         report.total_stall().get(),

@@ -11,10 +11,7 @@ use protea::prelude::*;
 fn main() {
     let device = FpgaDevice::alveo_u55c();
     let workload = EncoderConfig::paper_test1();
-    println!(
-        "Design-space exploration on {} (workload: d=768, h=8, N=12, SL=64)\n",
-        device.name
-    );
+    println!("Design-space exploration on {} (workload: d=768, h=8, N=12, SL=64)\n", device.name);
     println!(
         "{:>9} {:>9} {:>7} {:>7} {:>10} {:>12} {:>9}",
         "tiles_MHA", "tiles_FFN", "TS_MHA", "TS_FFN", "Fmax(MHz)", "latency(ms)", "feasible"
@@ -26,12 +23,11 @@ fn main() {
             let syn = SynthesisConfig::with_tile_counts(tiles_mha, tiles_ffn);
             let design = syn.synthesize(&device);
             let latency = if design.feasible {
-                let mut accel = Accelerator::new(syn, &device);
-                accel
-                    .program(RuntimeConfig::from_model(&workload, &syn).unwrap())
-                    .unwrap();
+                let mut accel =
+                    Accelerator::try_new(syn, &device).expect("design must fit the device");
+                accel.program(RuntimeConfig::from_model(&workload, &syn).unwrap()).unwrap();
                 let ms = accel.timing_report().latency_ms();
-                if best.map_or(true, |(b, _, _)| ms < b) {
+                if best.is_none_or(|(b, _, _)| ms < b) {
                     best = Some((ms, tiles_mha, tiles_ffn));
                 }
                 format!("{ms:.1}")

@@ -23,7 +23,8 @@ fn main() {
     for device in FpgaDevice::all() {
         match SynthesisConfig::fit_to_device(&device, &workload) {
             Some(design) => {
-                let mut accel = Accelerator::new(design.config, &device);
+                let mut accel = Accelerator::try_new(design.config, &device)
+                    .expect("design must fit the device");
                 accel
                     .program(RuntimeConfig::from_model(&workload, &design.config).unwrap())
                     .unwrap();

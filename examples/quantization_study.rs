@@ -21,12 +21,19 @@ fn main() {
     });
     let y_float = float_enc.forward(&x);
 
-    println!("Quantization fidelity, d_model={}, {} layers, SL={}\n", cfg.d_model, cfg.layers, cfg.seq_len);
+    println!(
+        "Quantization fidelity, d_model={}, {} layers, SL={}\n",
+        cfg.d_model, cfg.layers, cfg.seq_len
+    );
     println!("{:<38} {:>10} {:>12}", "schedule", "MSE", "SQNR (dB)");
 
     for (name, schedule, scaling) in [
         ("paper (1/d_model logits, Q0.7)", QuantSchedule::paper(), AttnScaling::InvDmodel),
-        ("standard (1/sqrt(dk) logits, Q2.5)", QuantSchedule::standard_scaling(), AttnScaling::InvSqrtDk),
+        (
+            "standard (1/sqrt(dk) logits, Q2.5)",
+            QuantSchedule::standard_scaling(),
+            AttnScaling::InvSqrtDk,
+        ),
     ] {
         // The float reference must use the matching scaling convention
         // for an apples-to-apples error measurement.
@@ -60,9 +67,8 @@ fn main() {
     let deep_cfg = EncoderConfig::new(128, 8, 8, 32);
     let deep_w = EncoderWeights::random(deep_cfg, 777);
     let deep_q = QuantizedEncoder::from_float(&deep_w, QuantSchedule::paper());
-    let deep_x = Matrix::from_fn(32, 128, |r, c| {
-        (((r * 23 + c * 3) % 97) as f32 / 97.0 - 0.5) * 2.0
-    });
+    let deep_x =
+        Matrix::from_fn(32, 128, |r, c| (((r * 23 + c * 3) % 97) as f32 / 97.0 - 0.5) * 2.0);
     let profile = protea::model::error_profile(&deep_w, &deep_q, &deep_x);
     println!("\nError propagation through an 8-layer stack:");
     println!("{:>6} {:>12} {:>10} {:>12}", "layer", "MSE", "SQNR (dB)", "max |err|");

@@ -12,7 +12,7 @@ fn main() {
     // Vitis ~36 hours; here it binds resources and estimates Fmax.
     let syn = SynthesisConfig::paper_default();
     let device = FpgaDevice::alveo_u55c();
-    let mut accel = Accelerator::new(syn, &device);
+    let mut accel = Accelerator::try_new(syn, &device).expect("design must fit the device");
     println!("Synthesized ProTEA on {}:", device.name);
     println!("  {}", accel.design().report);
     println!("  Fmax = {:.1} MHz\n", accel.design().fmax_mhz);

@@ -15,7 +15,7 @@ use protea::prelude::*;
 fn main() {
     let syn = SynthesisConfig::paper_default();
     let device = FpgaDevice::alveo_u55c();
-    let mut accel = Accelerator::new(syn, &device);
+    let mut accel = Accelerator::try_new(syn, &device).expect("design must fit the device");
     let driver = Driver::new(syn);
     let dsps_at_boot = accel.design().resources.dsps;
     println!(

@@ -13,7 +13,7 @@ use protea::prelude::*;
 fn main() {
     let syn = SynthesisConfig::paper_default();
     let device = FpgaDevice::alveo_u55c();
-    let mut accel = Accelerator::new(syn, &device);
+    let mut accel = Accelerator::try_new(syn, &device).expect("design must fit the device");
 
     // A compact translation-style model: 3 encoder + 3 decoder layers.
     let cfg = EncoderConfig::new(256, 8, 3, 48);
@@ -22,10 +22,8 @@ fn main() {
     let encoder = QuantizedEncoder::from_float(&enc_weights, QuantSchedule::paper());
     let decoder = QuantizedDecoder::from_float(&dec_weights, QuantSchedule::paper());
 
-    accel
-        .program(RuntimeConfig::from_model(&cfg, &syn).expect("fits"))
-        .expect("register write");
-    accel.load_weights(encoder.clone());
+    accel.program(RuntimeConfig::from_model(&cfg, &syn).expect("fits")).expect("register write");
+    accel.try_load_weights(encoder.clone()).expect("weights must match the programmed registers");
 
     // Source sequence (48 tokens) and a shorter target prefix (16).
     let source = Matrix::from_fn(48, 256, |r, c| (((r * 13 + c * 7) % 120) as i32 - 60) as i8);

@@ -27,7 +27,8 @@ fn main() {
 
     // ProTEA's dense latency for this model (unchanged by pruning).
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
     let dense_ms = accel.timing_report().latency_ms();
     println!("Dense ProTEA latency for (d=128, h=8, N=2, SL=32): {dense_ms:.3} ms\n");

@@ -20,11 +20,12 @@ fn main() {
 
     // Accelerator-side encoder.
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let weights = EncoderWeights::random(cfg, 102);
     let quantized = QuantizedEncoder::from_float(&weights, QuantSchedule::paper());
     accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-    accel.load_weights(quantized.clone());
+    accel.try_load_weights(quantized.clone()).expect("weights must match the programmed registers");
 
     // A token sequence (deterministic pseudo-text).
     let tokens: Vec<u32> = (0..cfg.seq_len as u32).map(|i| (i * 37 + 11) % VOCAB as u32).collect();

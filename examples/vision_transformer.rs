@@ -32,11 +32,12 @@ fn main() {
     let head = GeneratorHead::random(&cfg, CLASSES, 32);
 
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let weights = EncoderWeights::random(cfg, 33);
     let quantized = QuantizedEncoder::from_float(&weights, QuantSchedule::paper());
     accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-    accel.load_weights(quantized.clone());
+    accel.try_load_weights(quantized.clone()).expect("weights must match the programmed registers");
 
     println!("ViT-style classifier: 32x32 image → 64 patches → {}-layer encoder\n", cfg.layers);
     let mut latency = 0.0;

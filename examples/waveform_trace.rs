@@ -12,7 +12,8 @@ use std::fs;
 
 fn main() {
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     // One layer of the headline config keeps the waveform readable.
     accel
         .program(RuntimeConfig { heads: 8, layers: 1, d_model: 768, seq_len: 64 })

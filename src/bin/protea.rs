@@ -1,10 +1,14 @@
 //! `protea` — command-line front end to the simulator.
 //!
 //! ```text
-//! protea synth [--device u55c] [--tiles-mha 12] [--tiles-ffn 6]
-//! protea run   [--device u55c] [--d 768] [--heads 8] [--layers 12] [--sl 64] [--batch 1]
-//! protea fit   [--device zcu102] [--d 256] [--heads 2] [--layers 2] [--sl 64]
-//! protea sweep [--device u55c]
+//! protea synth     [--device u55c] [--tiles-mha 12] [--tiles-ffn 6]
+//! protea run       [--device u55c] [--d 768] [--heads 8] [--layers 12] [--sl 64] [--batch 1]
+//! protea fit       [--device zcu102] [--d 256] [--heads 2] [--layers 2] [--sl 64]
+//! protea sweep     [--device u55c]
+//! protea serve-sim [--cards 2] [--arrival-rate 50000] [--trace workload.json]
+//!                  [--requests 64] [--d 96] [--heads 4] [--layers 2]
+//!                  [--sl-min 8] [--sl-max 64] [--max-batch 8] [--seed 42]
+//!                  [--emit-trace out.json]
 //! ```
 
 use protea::prelude::*;
@@ -80,18 +84,20 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if !design.feasible {
         return Err(format!("paper design point does not fit {} — try `protea fit`", device.name));
     }
-    let mut accel = Accelerator::new(syn, &device);
+    let mut accel = Accelerator::try_new(syn, &device).map_err(|e| e.to_string())?;
     accel
         .program(RuntimeConfig::from_model(&cfg, &syn).map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
-    accel.load_weights(QuantizedEncoder::from_float(
-        &EncoderWeights::random(cfg, seed),
-        QuantSchedule::paper(),
-    ));
+    accel
+        .try_load_weights(QuantizedEncoder::from_float(
+            &EncoderWeights::random(cfg, seed),
+            QuantSchedule::paper(),
+        ))
+        .map_err(|e| e.to_string())?;
     let x = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| {
         (seed.wrapping_add((r * 31 + c * 7) as u64) % 200) as i64 as i8
     });
-    let result = accel.run(&x);
+    let result = accel.try_run(&x).map_err(|e| e.to_string())?;
     println!(
         "workload: d={} heads={} layers={} SL={} (seed {seed})",
         cfg.d_model, cfg.heads, cfg.layers, cfg.seq_len
@@ -114,7 +120,9 @@ fn cmd_fit(flags: &HashMap<String, String>) -> Result<(), String> {
     let device = device_of(flags)?;
     let cfg = workload_of(flags)?;
     match SynthesisConfig::fit_to_device(&device, &cfg) {
-        None => Err(format!("no feasible ProTEA configuration on {} for this workload", device.name)),
+        None => {
+            Err(format!("no feasible ProTEA configuration on {} for this workload", device.name))
+        }
         Some(design) => {
             println!("fitted design for {}:", device.name);
             println!(
@@ -141,7 +149,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
             let syn = SynthesisConfig::with_tile_counts(tm, tf);
             let design = syn.synthesize(&device);
             if design.feasible {
-                let mut accel = Accelerator::new(syn, &device);
+                let mut accel = Accelerator::try_new(syn, &device).map_err(|e| e.to_string())?;
                 accel
                     .program(RuntimeConfig::from_model(&workload, &syn).map_err(|e| e.to_string())?)
                     .map_err(|e| e.to_string())?;
@@ -158,9 +166,61 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), String> {
+    let device = device_of(flags)?;
+    let cards = flag(flags, "cards", 2usize)?;
+    let workload = match flags.get("trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+            Workload::from_json(&text).map_err(|e| e.to_string())?
+        }
+        None => {
+            let n = flag(flags, "requests", 64usize)?;
+            let rate = flag(flags, "arrival-rate", 50_000.0f64)?;
+            let d = flag(flags, "d", 96usize)?;
+            let h = flag(flags, "heads", 4usize)?;
+            let l = flag(flags, "layers", 2usize)?;
+            let sl_min = flag(flags, "sl-min", 8usize)?;
+            let sl_max = flag(flags, "sl-max", 64usize)?;
+            let seed = flag(flags, "seed", 42u64)?;
+            if rate.is_nan() || rate <= 0.0 {
+                return Err("--arrival-rate must be positive".into());
+            }
+            Workload::poisson(n, rate, &[(d, h, l)], (sl_min, sl_max), seed)
+        }
+    };
+    if let Some(path) = flags.get("emit-trace") {
+        std::fs::write(path, workload.to_json())
+            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("trace written to {path} ({} requests)", workload.requests.len());
+    }
+    let policy =
+        BatchPolicy { max_batch: flag(flags, "max-batch", 8usize)?, ..BatchPolicy::default() };
+    let fleet = Fleet::try_new(FleetConfig { cards, device, policy, ..FleetConfig::default() })
+        .map_err(|e| e.to_string())?;
+    let report = fleet.serve(&workload).map_err(|e| e.to_string())?;
+    println!(
+        "workload: {} requests over {:.3} s of arrivals, {} card(s)",
+        workload.requests.len(),
+        workload.span_s(),
+        cards
+    );
+    println!("{report}");
+    let serial = fleet.serve_serial_baseline(&workload).map_err(|e| e.to_string())?;
+    println!(
+        "serial 1-card baseline: {:.1} inf/s, p99 {:.3} ms  (batched fleet speedup {:.2}x)",
+        serial.throughput_rps,
+        serial.latency_ms.p99,
+        report.throughput_rps / serial.throughput_rps
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: protea <synth|run|fit|sweep> [--flag value]...\n  see source header for flags";
+    let usage =
+        "usage: protea <synth|run|fit|sweep|serve-sim> [--flag value]...\n  see source header for flags";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -172,6 +232,7 @@ fn main() -> ExitCode {
             "run" => cmd_run(&flags),
             "fit" => cmd_fit(&flags),
             "sweep" => cmd_sweep(&flags),
+            "serve-sim" => cmd_serve_sim(&flags),
             other => Err(format!("unknown command '{other}'\n{usage}")),
         },
     };

@@ -12,24 +12,59 @@
 //!
 //! ## Quick start
 //!
+//! The whole request path — synthesize, program, load weights, run — is
+//! fallible: every step returns `Result`, so invalid configurations and
+//! mismatched weight blobs surface as typed [`CoreError`] values rather
+//! than panics.
+//!
+//! [`CoreError`]: protea_core::CoreError
+//!
 //! ```
 //! use protea::prelude::*;
 //!
-//! // 1. Synthesize the paper's design point onto an Alveo U55C.
-//! let syn = SynthesisConfig::paper_default();
-//! let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+//! // 1. Describe the bitstream and synthesize it onto an Alveo U55C.
+//! //    The builder starts from the paper's design point and validates
+//! //    divisibility and capacity constraints at `build()`.
+//! let syn = SynthesisConfig::builder().heads(8).d_max(768).sl_max(128).build()?;
+//! let mut accel = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c())?;
 //!
 //! // 2. "Train" a model (random weights here), save it, and let the
 //! //    driver extract hyperparameters + program the registers.
 //! let cfg = EncoderConfig::new(256, 4, 2, 16);
 //! let blob = protea::model::serialize::encode(&EncoderWeights::random(cfg, 42));
-//! Driver::new(syn).deploy(&mut accel, &blob, QuantSchedule::paper()).unwrap();
+//! Driver::new(syn).deploy(&mut accel, &blob, QuantSchedule::paper())?;
 //!
 //! // 3. Run an input through the simulated hardware.
 //! let x = Matrix::from_fn(16, 256, |r, c| ((r + c) % 64) as i8);
-//! let result = accel.run(&x);
+//! let result = accel.try_run(&x)?;
 //! assert_eq!(result.output.shape(), (16, 256));
 //! assert!(result.latency_ms > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The pre-0.2 panicking constructors (`Accelerator::new`,
+//! `Accelerator::load_weights`) still exist as `#[deprecated]` wrappers
+//! over the `try_` forms; new code should not use them.
+//!
+//! ## Serving simulation
+//!
+//! Beyond single requests, [`serve`] simulates a *fleet* of ProTEA
+//! cards under a live request stream: a batch scheduler groups
+//! compatible requests (same capacity class, padded into a shared
+//! sequence-length bucket) to amortize register programming and weight
+//! reloads, and a discrete-event simulation reports throughput and
+//! p50/p95/p99 latency. The `protea serve-sim` subcommand exposes the
+//! same simulation from the command line:
+//!
+//! ```
+//! use protea::prelude::*;
+//!
+//! let workload = Workload::poisson(32, 50_000.0, &[(96, 4, 2)], (8, 16), 7);
+//! let fleet = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() })?;
+//! let report = fleet.serve(&workload)?;
+//! assert_eq!(report.completed, 32);
+//! assert!(report.latency_ms.p99 >= report.latency_ms.p50);
+//! # Ok::<(), protea::serve::ServeError>(())
 //! ```
 //!
 //! ## Crate map
@@ -45,6 +80,7 @@
 //! | memory | [`mem`] | AXI bursts, HBM channels, double-buffer overlap |
 //! | **the paper** | [`core`] | engines, tiling schedules, registers, driver, co-simulation |
 //! | comparisons | [`baselines`] | published results, rooflines, native CPU engine |
+//! | deployment | [`serve`] | batched multi-card serving: scheduler, fleet DES, tail-latency report |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,14 +93,15 @@ pub use protea_hwsim as hwsim;
 pub use protea_mem as mem;
 pub use protea_model as model;
 pub use protea_platform as platform;
+pub use protea_serve as serve;
 pub use protea_tensor as tensor;
 
 /// The types most programs need, in one import.
 pub mod prelude {
     pub use protea_baselines::{NativeCpuEngine, PowerModel};
     pub use protea_core::{
-        Accelerator, CycleReport, Driver, RunResult, RuntimeConfig, SparseMode, SynthesisConfig,
-        TimingPreset,
+        Accelerator, CoreError, CycleReport, Driver, RunResult, RuntimeConfig, SparseMode,
+        SynthesisConfig, SynthesisConfigBuilder, TimingPreset,
     };
     pub use protea_fixed::{QFormat, Quantizer, Rounding};
     pub use protea_model::{
@@ -72,5 +109,9 @@ pub mod prelude {
         QuantizedEncoder,
     };
     pub use protea_platform::FpgaDevice;
+    pub use protea_serve::{
+        BatchPolicy, Fleet, FleetConfig, Percentiles, ServeError, ServeReport, ServeRequest,
+        ServeResponse, Workload,
+    };
     pub use protea_tensor::Matrix;
 }

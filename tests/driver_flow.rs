@@ -14,11 +14,11 @@ fn blob(cfg: EncoderConfig, seed: u64) -> Vec<u8> {
 fn full_deploy_and_run() {
     let syn = SynthesisConfig::paper_default();
     let driver = Driver::new(syn);
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let cfg = EncoderConfig::new(128, 4, 2, 16);
-    let program = driver
-        .deploy(&mut accel, &blob(cfg, 11), QuantSchedule::paper())
-        .expect("deploy");
+    let program =
+        driver.deploy(&mut accel, &blob(cfg, 11), QuantSchedule::paper()).expect("deploy");
     // instruction stream: 5 register writes (safe ordering through
     // heads=1), N weight loads, start, read
     assert_eq!(program.len(), 5 + cfg.layers + 2);
@@ -37,7 +37,8 @@ fn full_deploy_and_run() {
 fn sequential_model_swaps_preserve_bitstream() {
     let syn = SynthesisConfig::paper_default();
     let driver = Driver::new(syn);
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let boot = accel.design().resources;
     for (i, cfg) in [
         EncoderConfig::new(64, 2, 1, 8),
@@ -47,9 +48,7 @@ fn sequential_model_swaps_preserve_bitstream() {
     .into_iter()
     .enumerate()
     {
-        driver
-            .deploy(&mut accel, &blob(cfg, i as u64), QuantSchedule::paper())
-            .expect("deploy");
+        driver.deploy(&mut accel, &blob(cfg, i as u64), QuantSchedule::paper()).expect("deploy");
         let x = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| ((r + c) % 64) as i8);
         let out = accel.run(&x);
         assert_eq!(out.output.shape(), (cfg.seq_len, cfg.d_model));
@@ -93,12 +92,16 @@ fn deployed_output_matches_direct_quantization() {
     let weights = EncoderWeights::random(cfg, 55);
     let b = protea::model::serialize::encode(&weights).to_vec();
 
-    let mut via_driver = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut via_driver =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     Driver::new(syn).deploy(&mut via_driver, &b, QuantSchedule::paper()).unwrap();
 
-    let mut manual = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut manual =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     manual.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-    manual.load_weights(QuantizedEncoder::from_float(&weights, QuantSchedule::paper()));
+    manual
+        .try_load_weights(QuantizedEncoder::from_float(&weights, QuantSchedule::paper()))
+        .expect("weights must match the programmed registers");
 
     let x = Matrix::from_fn(8, 64, |r, c| ((r * 9 + c) % 77) as i8);
     assert_eq!(via_driver.run(&x).output.as_slice(), manual.run(&x).output.as_slice());

@@ -6,28 +6,21 @@
 use protea::prelude::*;
 
 fn input(sl: usize, d: usize, seed: usize) -> Matrix<i8> {
-    Matrix::from_fn(sl, d, |r, c| {
-        (((r * 31 + c * 17 + seed * 7) % 200) as i32 - 100) as i8
-    })
+    Matrix::from_fn(sl, d, |r, c| (((r * 31 + c * 17 + seed * 7) % 200) as i32 - 100) as i8)
 }
 
 fn check_equivalence(cfg: EncoderConfig, schedule: QuantSchedule, seed: u64) {
     let syn = SynthesisConfig::paper_default();
     let weights = EncoderWeights::random(cfg, seed);
     let golden = QuantizedEncoder::from_float(&weights, schedule);
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
-    accel
-        .program(RuntimeConfig::from_model(&cfg, &syn).expect("fits"))
-        .expect("register write");
-    accel.load_weights(golden.clone());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
+    accel.program(RuntimeConfig::from_model(&cfg, &syn).expect("fits")).expect("register write");
+    accel.try_load_weights(golden.clone()).expect("weights must match the programmed registers");
     let x = input(cfg.seq_len, cfg.d_model, seed as usize);
     let hw = accel.run(&x).output;
     let sw = golden.forward(&x);
-    assert_eq!(
-        hw.as_slice(),
-        sw.as_slice(),
-        "accelerator != golden model for {cfg:?}"
-    );
+    assert_eq!(hw.as_slice(), sw.as_slice(), "accelerator != golden model for {cfg:?}");
     // The native rayon engine must also agree.
     let native = NativeCpuEngine::new(&golden).forward(&x);
     assert_eq!(native.as_slice(), sw.as_slice(), "native engine != golden for {cfg:?}");

@@ -9,7 +9,8 @@ use protea::prelude::*;
 
 fn accel_for(cfg: &EncoderConfig) -> Accelerator {
     let syn = SynthesisConfig::paper_default();
-    let mut a = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut a =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     a.program(RuntimeConfig::from_model(cfg, &syn).unwrap()).unwrap();
     a
 }
@@ -23,7 +24,7 @@ fn encoder_decoder_chain_on_the_accelerator() {
     let dec_q = QuantizedDecoder::from_float(&dec_w, QuantSchedule::paper());
 
     let mut accel = accel_for(&cfg);
-    accel.load_weights(enc_q.clone());
+    accel.try_load_weights(enc_q.clone()).expect("weights must match the programmed registers");
 
     let src = enc_q.quantize_input(&workload::uniform_activations(&cfg, 1.5, 10));
     let tgt_f = workload::uniform_activations(&EncoderConfig::new(96, 4, 2, 8), 1.5, 11);
@@ -44,10 +45,8 @@ fn encoder_decoder_chain_on_the_accelerator() {
 #[test]
 fn kv_cached_generation_matches_accelerator_full_pass() {
     let cfg = EncoderConfig::new(64, 4, 1, 6);
-    let dec_q = QuantizedDecoder::from_float(
-        &DecoderWeights::random(cfg, 3),
-        QuantSchedule::paper(),
-    );
+    let dec_q =
+        QuantizedDecoder::from_float(&DecoderWeights::random(cfg, 3), QuantSchedule::paper());
     let accel = accel_for(&cfg);
     let mem = Matrix::from_fn(10, 64, |r, c| ((r * 7 + c * 3) % 120) as i8);
     let x = Matrix::from_fn(6, 64, |r, c| ((r * 11 + c * 5) % 120) as i8);
@@ -65,10 +64,12 @@ fn kv_cached_generation_matches_accelerator_full_pass() {
 fn self_test_guards_deployments() {
     let cfg = EncoderConfig::new(96, 4, 1, 8);
     let mut accel = accel_for(&cfg);
-    accel.load_weights(QuantizedEncoder::from_float(
-        &EncoderWeights::random(cfg, 4),
-        QuantSchedule::paper(),
-    ));
+    accel
+        .try_load_weights(QuantizedEncoder::from_float(
+            &EncoderWeights::random(cfg, 4),
+            QuantSchedule::paper(),
+        ))
+        .expect("weights must match the programmed registers");
     assert_eq!(accel.self_test(), Ok(()));
 }
 
@@ -77,12 +78,10 @@ fn workload_generators_feed_the_accelerator() {
     let cfg = EncoderConfig::new(96, 4, 1, 16);
     let mut accel = accel_for(&cfg);
     let q = QuantizedEncoder::from_float(&EncoderWeights::random(cfg, 5), QuantSchedule::paper());
-    accel.load_weights(q.clone());
+    accel.try_load_weights(q.clone()).expect("weights must match the programmed registers");
     // a batch of generated inputs
-    let inputs: Vec<Matrix<i8>> = workload::batch(&cfg, 3, 2.0, 77)
-        .iter()
-        .map(|x| q.quantize_input(x))
-        .collect();
+    let inputs: Vec<Matrix<i8>> =
+        workload::batch(&cfg, 3, 2.0, 77).iter().map(|x| q.quantize_input(x)).collect();
     let (outs, report) = accel.run_batch(&inputs);
     assert_eq!(outs.len(), 3);
     assert!(report.total.get() > 0);

@@ -162,9 +162,9 @@ proptest! {
         let syn = SynthesisConfig::paper_default();
         let weights = EncoderWeights::random(cfg, seed);
         let golden = QuantizedEncoder::from_float(&weights, QuantSchedule::paper());
-        let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+        let mut accel = Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
         accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-        accel.load_weights(golden.clone());
+        accel.try_load_weights(golden.clone()).expect("weights must match the programmed registers");
         let x = Matrix::from_fn(sl, d, |r, c| {
             (seed.wrapping_mul(r as u64 + 3).wrapping_add(c as u64 * 11) % 200) as i64 as i8
         });

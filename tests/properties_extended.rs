@@ -8,9 +8,7 @@ use protea::hwsim::{Cycles, VcdTrace};
 use protea::mem::arbiter::arbitrate_round_robin;
 use protea::mem::{AxiPort, ChannelShare};
 use protea::model::decoder::{DecoderKvCache, DecoderWeights, QuantizedDecoder};
-use protea::model::pruning::{
-    prune_column_balanced, prune_magnitude, sparsity_of, PruningScheme,
-};
+use protea::model::pruning::{prune_column_balanced, prune_magnitude, sparsity_of, PruningScheme};
 use protea::prelude::*;
 
 fn mat_i8(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
@@ -160,9 +158,10 @@ fn pruned_models_stay_bit_exact_on_the_accelerator() {
     w.prune(PruningScheme::ColumnBalanced, 0.9);
     let golden = QuantizedEncoder::from_float(&w, QuantSchedule::paper());
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     accel.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-    accel.load_weights(golden.clone());
+    accel.try_load_weights(golden.clone()).expect("weights must match the programmed registers");
     let x = mat_i8(8, 96, 5);
     assert_eq!(accel.run(&x).output.as_slice(), golden.forward(&x).as_slice());
 }

@@ -1,0 +1,82 @@
+//! Property: the driver's compiled register-write ordering keeps every
+//! intermediate AXI-Lite bus state valid.
+//!
+//! `Driver::compile` emits register writes in a deliberate order (transit
+//! through `heads = 1`, dimensions, then the final head count) so that no
+//! prefix of the stream ever leaves the slave's shadow registers in a
+//! state its capacity validation would reject. This test replays every
+//! `WriteReg` prefix of the compiled stream through the [`AxiLiteBus`]
+//! BFM — which validates the *resulting* register file on each write —
+//! and asserts every response is `Okay`.
+
+use proptest::prelude::*;
+use protea::core::bus::{AxiLiteBus, BusResponse};
+use protea::core::driver::Instruction;
+use protea::model::serialize::encode;
+use protea::prelude::*;
+
+/// Replay the `WriteReg` instructions of `prog` through a fresh bus,
+/// returning each write's response in order.
+fn replay_writes(syn: SynthesisConfig, prog: &[Instruction]) -> Vec<BusResponse> {
+    let mut bus = AxiLiteBus::new(syn);
+    prog.iter()
+        .filter_map(|instr| match instr {
+            Instruction::WriteReg(reg, value) => Some(bus.write(*reg as u32, *value)),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn compiled_write_order_keeps_every_bus_prefix_valid(
+        heads_pow in 0u32..4,       // 1, 2, 4, 8 head models
+        d_mult in 1usize..8,        // d_model = heads * d_mult * 8, capped at 768
+        layers in 1usize..3,
+        seq_len in 1usize..129,
+    ) {
+        let heads = 1usize << heads_pow;
+        // heads * d_mult * 8 is always a multiple of heads, and the cap
+        // (768 = lcm-compatible with 1/2/4/8 heads) preserves that.
+        let d_model = (heads * d_mult * 8).min(768);
+        let syn = SynthesisConfig::paper_default();
+        let cfg = EncoderConfig::new(d_model, heads, layers, seq_len);
+        let blob = encode(&EncoderWeights::random(cfg, 7));
+        let (rt, prog) = Driver::new(syn).compile(&blob).expect("in-capacity model compiles");
+        prop_assert_eq!(rt, RuntimeConfig::from_model(&cfg, &syn).unwrap());
+
+        let responses = replay_writes(syn, &prog);
+        prop_assert_eq!(responses.len(), 5, "compile emits exactly five register writes");
+        for (i, r) in responses.iter().enumerate() {
+            prop_assert_eq!(*r, BusResponse::Okay, "write {} rejected for {:?}", i, cfg);
+        }
+
+        // The final bus state is exactly the compiled register file.
+        let mut bus = AxiLiteBus::new(syn);
+        for instr in &prog {
+            if let Instruction::WriteReg(reg, value) = instr {
+                bus.write(*reg as u32, *value);
+            }
+        }
+        prop_assert_eq!(bus.config(), rt);
+    }
+}
+
+/// The naive order (heads first, then dimensions) is *not* always safe —
+/// this is the hazard the driver's ordering exists to avoid, so pin it.
+#[test]
+fn naive_write_order_can_transit_invalid_states() {
+    let syn = SynthesisConfig::paper_default();
+    let mut bus = AxiLiteBus::new(syn);
+    // Reset state is d_model = 768, heads = 8. Programming a 5-head
+    // model by writing heads first transits heads=5 with d_model=768,
+    // which 5 does not divide; the slave must reject it.
+    let r = bus.write(0x00, 5);
+    assert_eq!(r, BusResponse::SlvErr, "5 ∤ 768 must be rejected mid-sequence");
+    // The driver's order (heads=1 transit) reaches the same target fine.
+    let cfg = EncoderConfig::new(640, 5, 1, 16);
+    let blob = encode(&EncoderWeights::random(cfg, 3));
+    let (_, prog) = Driver::new(syn).compile(&blob).unwrap();
+    let responses = replay_writes(syn, &prog);
+    assert!(responses.iter().all(|&r| r == BusResponse::Okay), "{responses:?}");
+}

@@ -8,14 +8,18 @@
 use protea::prelude::*;
 
 fn accel() -> Accelerator {
-    Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+    Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+        .expect("design must fit the device")
 }
 
 #[test]
 fn pin_table1_test1_cycles() {
     let mut a = accel();
-    a.program(RuntimeConfig::from_model(&EncoderConfig::paper_test1(), &SynthesisConfig::paper_default()).unwrap())
-        .unwrap();
+    a.program(
+        RuntimeConfig::from_model(&EncoderConfig::paper_test1(), &SynthesisConfig::paper_default())
+            .unwrap(),
+    )
+    .unwrap();
     let total = a.timing_report().total.get();
     // 287.3 ms at 190.9 MHz. Pin the exact integer.
     assert_eq!(total, 54_839_472, "timing model drifted: {total} cycles");
@@ -40,8 +44,11 @@ fn pin_resources_at_paper_point() {
 #[test]
 fn pin_phase_breakdown_shape() {
     let mut a = accel();
-    a.program(RuntimeConfig::from_model(&EncoderConfig::paper_test1(), &SynthesisConfig::paper_default()).unwrap())
-        .unwrap();
+    a.program(
+        RuntimeConfig::from_model(&EncoderConfig::paper_test1(), &SynthesisConfig::paper_default())
+            .unwrap(),
+    )
+    .unwrap();
     let report = a.timing_report();
     // FFN2 dominance is the load-bearing qualitative fact.
     let ffn2 = report.phase_fraction("FFN2_CE");
@@ -64,14 +71,13 @@ fn pin_functional_output_checksum() {
     let syn = SynthesisConfig::paper_default();
     let mut a = accel();
     a.program(RuntimeConfig::from_model(&cfg, &syn).unwrap()).unwrap();
-    a.load_weights(q);
+    a.try_load_weights(q).expect("weights must match the programmed registers");
     let x = Matrix::from_fn(8, 96, |r, c| (((r * 29 + c * 13) % 190) as i32 - 95) as i8);
     let out = a.run(&x).output;
-    let checksum: i64 = out
-        .as_slice()
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| i64::from(v) * (i as i64 % 251 + 1))
-        .sum();
-    assert_eq!(checksum, 26_986, "functional datapath drifted: checksum {checksum}");
+    let checksum: i64 =
+        out.as_slice().iter().enumerate().map(|(i, &v)| i64::from(v) * (i as i64 % 251 + 1)).sum();
+    // Re-pinned after the workspace switched to the vendored deterministic
+    // RNG (the original pin was derived from upstream rand's ChaCha-based
+    // StdRng stream; the datapath itself is unchanged and hw==sw holds).
+    assert_eq!(checksum, 35_073, "functional datapath drifted: checksum {checksum}");
 }

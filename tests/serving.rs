@@ -1,0 +1,125 @@
+//! Integration: the batched multi-card serving simulation end to end.
+//!
+//! The headline claim: a batched fleet achieves strictly higher
+//! simulated throughput than a serial single-card replay of the *same*
+//! trace, while reporting p50/p95/p99 latency — and the whole request
+//! path is fallible, so hostile traces and configs surface as errors,
+//! never panics.
+
+use protea::prelude::*;
+use protea::serve::ServeError;
+
+fn dense_trace() -> Workload {
+    // 64 requests at 80k req/s: arrivals far faster than service, so the
+    // scheduler has real batching opportunities.
+    Workload::poisson(64, 80_000.0, &[(96, 4, 2)], (8, 32), 99)
+}
+
+#[test]
+fn batched_fleet_beats_serial_single_card_on_the_same_trace() {
+    let trace = dense_trace();
+    let fleet = Fleet::try_new(FleetConfig { cards: 4, ..FleetConfig::default() }).unwrap();
+    let batched = fleet.serve(&trace).unwrap();
+    let serial = fleet.serve_serial_baseline(&trace).unwrap();
+
+    assert_eq!(batched.completed, trace.requests.len());
+    assert_eq!(serial.completed, trace.requests.len());
+    assert!(
+        batched.throughput_rps > serial.throughput_rps,
+        "batched {} inf/s must strictly beat serial {} inf/s",
+        batched.throughput_rps,
+        serial.throughput_rps
+    );
+    // Percentile reporting is present and ordered for both runs.
+    for report in [&batched, &serial] {
+        let p = &report.latency_ms;
+        assert!(p.p50 > 0.0);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max, "{p:?}");
+        let q = &report.queue_ms;
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99, "{q:?}");
+    }
+    // Batching actually happened, and it amortized weight loads: fewer
+    // reloads than the serial replay's per-request worst case.
+    assert!(batched.mean_batch > 1.0, "mean batch {}", batched.mean_batch);
+    assert!(batched.batches < trace.requests.len() as u64);
+}
+
+#[test]
+fn serving_round_trips_a_json_trace() {
+    // The JSON format stores arrivals in microseconds, so one encode
+    // quantizes sub-µs detail; after that the round trip must be exact.
+    let quantized = Workload::from_json(&dense_trace().to_json()).unwrap();
+    let back = Workload::from_json(&quantized.to_json()).unwrap();
+    assert_eq!(quantized, back);
+
+    let fleet = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() }).unwrap();
+    assert_eq!(fleet.serve(&quantized).unwrap(), fleet.serve(&back).unwrap());
+}
+
+#[test]
+fn hostile_inputs_error_instead_of_panicking() {
+    let fleet = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() }).unwrap();
+
+    // Malformed JSON of several shapes.
+    for bad in [
+        "",
+        "{",
+        "[1,2,3]",
+        "{\"requests\": 5}",
+        &"[".repeat(10_000),
+        "{\"requests\":[{\"arrival_us\":0}]}",
+        "{\"requests\":[{\"arrival_us\":-1,\"d_model\":96,\"heads\":4,\"layers\":2,\"seq_len\":8}]}",
+    ] {
+        assert!(Workload::from_json(bad).is_err(), "accepted: {bad:.40}");
+    }
+
+    // Structurally valid trace, unservable shapes: zero and oversized.
+    for (d, h, l, sl) in [
+        (0usize, 4usize, 2usize, 8usize),
+        (96, 0, 2, 8),
+        (96, 4, 0, 8),
+        (96, 4, 2, 0),
+        (96, 4, 2, 100_000),
+        (1 << 20, 4, 2, 8),
+        (96, 5, 2, 8),
+    ] {
+        let w = Workload {
+            requests: vec![ServeRequest {
+                id: 7,
+                arrival_ns: 0,
+                d_model: d,
+                heads: h,
+                layers: l,
+                seq_len: sl,
+            }],
+        };
+        match fleet.serve(&w) {
+            Err(ServeError::Unservable { id: 7, .. }) => {}
+            other => panic!("({d},{h},{l},{sl}) gave {other:?}"),
+        }
+    }
+
+    // Degenerate fleet configurations.
+    assert!(matches!(
+        Fleet::try_new(FleetConfig { cards: 0, ..FleetConfig::default() }),
+        Err(ServeError::NoCards)
+    ));
+    assert!(Fleet::try_new(FleetConfig { reload_gbps: 0.0, ..FleetConfig::default() }).is_err());
+
+    // Empty trace.
+    assert!(matches!(fleet.serve(&Workload::default()), Err(ServeError::EmptyTrace)));
+}
+
+#[test]
+fn functional_mode_is_bit_consistent_with_timing_mode() {
+    let trace = Workload::poisson(12, 60_000.0, &[(64, 4, 1)], (8, 16), 5);
+    let timing = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() }).unwrap();
+    let functional =
+        Fleet::try_new(FleetConfig { cards: 2, functional: true, ..FleetConfig::default() })
+            .unwrap();
+    assert_eq!(
+        timing.serve(&trace).unwrap(),
+        functional.serve(&trace).unwrap(),
+        "running the real datapath must not perturb the schedule"
+    );
+}

@@ -6,10 +6,9 @@ use protea::prelude::*;
 
 fn latency_of(cfg: &EncoderConfig) -> f64 {
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
-    accel
-        .program(RuntimeConfig::from_model(cfg, &syn).expect("fits"))
-        .expect("register write");
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
+    accel.program(RuntimeConfig::from_model(cfg, &syn).expect("fits")).expect("register write");
     accel.timing_report().latency_ms()
 }
 
@@ -64,7 +63,8 @@ fn sequence_length_scaling_with_floor() {
 #[test]
 fn one_synthesis_serves_all_nine_tests() {
     let syn = SynthesisConfig::paper_default();
-    let mut accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let mut accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let resources = accel.design().resources;
     for (name, cfg) in EncoderConfig::table1_tests() {
         let rt = RuntimeConfig::from_model(&cfg, &syn)
@@ -78,7 +78,8 @@ fn one_synthesis_serves_all_nine_tests() {
 #[test]
 fn fmax_close_to_paper() {
     let syn = SynthesisConfig::paper_default();
-    let accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     let fmax = accel.design().fmax_mhz;
     assert!((fmax - 200.0).abs() < 15.0, "fmax = {fmax:.1} (paper: 200 MHz)");
 }
@@ -86,7 +87,8 @@ fn fmax_close_to_paper() {
 #[test]
 fn dsp_count_is_exactly_table1() {
     let syn = SynthesisConfig::paper_default();
-    let accel = Accelerator::new(syn, &FpgaDevice::alveo_u55c());
+    let accel =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
     assert_eq!(accel.design().resources.dsps, 3612);
     assert_eq!(accel.design().resources.ffs, 704_115);
 }

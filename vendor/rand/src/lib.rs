@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This build environment has no crates.io access, so the workspace
+//! vendors the exact API subset it uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
+//! and float ranges. The generator is SplitMix64 — deterministic,
+//! portable, and statistically adequate for seeded test-weight
+//! initialization (the only consumer). It is **not** the upstream
+//! ChaCha-based `StdRng` and must not be used for cryptography.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Minimal core RNG interface: a 64-bit output stream.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed (the only constructor the workspace
+/// uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from `state`; equal seeds give equal streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to draw a uniform sample from itself.
+pub trait SampleRange<T> {
+    /// Draw one sample using `rng`.
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<G: RngCore>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's seeded generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..8).any(|_| c.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: i8 = rng.gen_range(-60i8..60);
+            assert!((-60..60).contains(&v));
+            let u: usize = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f: f32 = rng.gen_range(-2.5f32..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let d: f64 = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&d));
+            let i: u64 = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_range_hits_both_halves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<i8> = (0..256).map(|_| rng.gen_range(-128i8..=127)).collect();
+        assert!(samples.iter().any(|&v| v < 0));
+        assert!(samples.iter().any(|&v| v >= 0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace parallelizes matmul kernels over independent output
+//! rows via `par_chunks_exact_mut`. This shim provides the same method
+//! names backed by the serial `std` iterators, so every caller compiles
+//! and produces bit-identical results — it simply runs on one thread.
+//! (Determinism is the property the equivalence tests actually rely on;
+//! host-thread parallelism is an optimization this environment forgoes.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits callers import via `use rayon::prelude::*`.
+pub mod prelude {
+    /// Parallel chunk iteration over mutable slices (serial here).
+    pub trait ParallelSliceMut<T> {
+        /// Exact-size chunks of `chunk_size`, like `chunks_exact_mut`.
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize)
+            -> core::slice::ChunksExactMut<'_, T>;
+
+        /// Chunks of at most `chunk_size`, like `chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_exact_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> core::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(chunk_size)
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_exact_mut_matches_serial() {
+        let mut a = [1u32, 2, 3, 4, 5, 6];
+        a.par_chunks_exact_mut(2).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v += i as u32 * 10;
+            }
+        });
+        assert_eq!(a, [1, 2, 13, 14, 25, 26]);
+    }
+}
