@@ -1,0 +1,134 @@
+//! Availability scenario: serving under deterministic fault injection.
+//!
+//! Extends the serving scenario with the robustness question: how much
+//! throughput, tail latency, and availability does a fleet retain when
+//! its cards suffer ECC flips, AXI stalls/timeouts, and crashes? The
+//! sweep crosses per-transfer fault rates with fleet sizes on one fixed
+//! workload and compares every cell against the fault-free run of the
+//! same fleet, asserting the zero-drop invariant along the way:
+//! `completed + failed == submitted` in every cell.
+
+use protea_core::FaultRates;
+use protea_serve::{
+    BatchPolicy, FaultConfig, Fleet, FleetConfig, ServeError, ServeReport, Workload,
+};
+
+/// One (fault rate, fleet size) measurement.
+#[derive(Debug, Clone)]
+pub struct AvailabilityRow {
+    /// Per-transfer fault rate fed to [`FaultRates::scaled`].
+    pub fault_rate: f64,
+    /// Cards in the fleet.
+    pub cards: usize,
+    /// The faulted run's report (availability, fault tally, health).
+    pub report: ServeReport,
+    /// Throughput as a fraction of the same fleet's fault-free run.
+    pub throughput_vs_clean: f64,
+    /// p99 latency as a multiple of the same fleet's fault-free run.
+    pub p99_vs_clean: f64,
+}
+
+/// The scenario workload: the serving scenario's Poisson stream, reused
+/// so fault-free cells here cross-check the serving sweep's numbers.
+#[must_use]
+pub fn standard_workload() -> Workload {
+    crate::serving::standard_workload()
+}
+
+/// Seed for the fault streams; fixed so every run of the harness
+/// reproduces the same tables.
+pub const SEED: u64 = 0xC4A0;
+
+/// Cross `fault_rates` with `card_counts` over `workload`. Each cell
+/// serves the trace under seeded faults and is normalized against the
+/// fault-free run of the same fleet size.
+///
+/// # Errors
+/// Propagates any [`ServeError`] from fleet construction or serving;
+/// also surfaces a broken conservation invariant (a dropped request) as
+/// a [`ServeError::Core`] serving error, so the harness fails loudly
+/// rather than printing a corrupt table.
+pub fn run_sweep(
+    workload: &Workload,
+    fault_rates: &[f64],
+    card_counts: &[usize],
+) -> Result<Vec<AvailabilityRow>, ServeError> {
+    let policy = BatchPolicy { max_batch: 8, ..BatchPolicy::default() };
+    let mut rows = Vec::with_capacity(fault_rates.len() * card_counts.len());
+    for &cards in card_counts {
+        let base = FleetConfig { cards, policy: policy.clone(), ..FleetConfig::default() };
+        let clean = Fleet::try_new(base.clone())?.serve(workload)?;
+        for &rate in fault_rates {
+            let faults =
+                FaultConfig { rates: FaultRates::scaled(rate), ..FaultConfig::seeded(SEED, rate) };
+            let report = Fleet::try_new(FleetConfig { faults: Some(faults), ..base.clone() })?
+                .serve(workload)?;
+            let accounted = report.completed + report.failed.len();
+            if accounted != report.submitted {
+                return Err(ServeError::Core(protea_core::CoreError::Serving(format!(
+                    "dropped request at rate {rate} x {cards} cards: \
+                     {accounted} accounted vs {} submitted",
+                    report.submitted
+                ))));
+            }
+            rows.push(AvailabilityRow {
+                fault_rate: rate,
+                cards,
+                throughput_vs_clean: report.throughput_rps / clean.throughput_rps,
+                p99_vs_clean: report.latency_ms.p99 / clean.latency_ms.p99.max(f64::MIN_POSITIVE),
+                report,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload() -> Workload {
+        Workload::poisson(32, 60_000.0, &[(96, 4, 2)], (8, 32), 2024)
+    }
+
+    #[test]
+    fn zero_rate_cell_is_the_clean_run() {
+        let w = small_workload();
+        let rows = run_sweep(&w, &[0.0], &[2]).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.report.completed, w.requests.len());
+        assert!(r.report.failed.is_empty());
+        assert!((r.throughput_vs_clean - 1.0).abs() < 1e-12);
+        assert!((r.p99_vs_clean - 1.0).abs() < 1e-12);
+        assert!((r.report.availability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nothing_dropped_anywhere_in_the_grid() {
+        let w = small_workload();
+        let rows = run_sweep(&w, &[0.0, 0.02, 0.08], &[1, 2]).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(
+                r.report.completed + r.report.failed.len(),
+                w.requests.len(),
+                "rate {} x {} cards dropped a request",
+                r.fault_rate,
+                r.cards
+            );
+            assert!((0.0..=1.0).contains(&r.report.availability));
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let w = small_workload();
+        let a = run_sweep(&w, &[0.05], &[2]).unwrap();
+        let b = run_sweep(&w, &[0.05], &[2]).unwrap();
+        assert_eq!(a[0].report.completed, b[0].report.completed);
+        assert_eq!(a[0].report.failed, b[0].report.failed);
+        assert_eq!(a[0].report.faults, b[0].report.faults);
+        assert!((a[0].report.throughput_rps - b[0].report.throughput_rps).abs() < 1e-12);
+    }
+}

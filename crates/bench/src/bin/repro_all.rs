@@ -12,7 +12,7 @@ fn main() {
     // the single source of truth; fall back to in-process if spawning
     // fails (e.g. when invoked from a context without the sibling
     // binaries built).
-    let bins = ["table1", "table2", "table3", "fig7", "ablations", "serving"];
+    let bins = ["table1", "table2", "table3", "fig7", "ablations", "serving", "availability"];
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("bin dir");
     for (i, bin) in bins.iter().enumerate() {
@@ -81,6 +81,18 @@ fn main() {
                             rows[0].report.throughput_rps, rows[0].speedup_vs_serial
                         ),
                         Err(e) => println!("SERVING (compact fallback): error: {e}"),
+                    }
+                }
+                "availability" => {
+                    let w = protea_bench::availability::standard_workload();
+                    match protea_bench::availability::run_sweep(&w, &[0.05], &[2]) {
+                        Ok(rows) => println!(
+                            "AVAILABILITY (compact fallback): rate 0.05 x 2 cards \
+                             {:.1}% available, throughput {:.1}% of clean",
+                            100.0 * rows[0].report.availability,
+                            100.0 * rows[0].throughput_vs_clean
+                        ),
+                        Err(e) => println!("AVAILABILITY (compact fallback): error: {e}"),
                     }
                 }
                 _ => unreachable!(),

@@ -13,12 +13,14 @@
 //! | Design-choice ablations (DESIGN.md §4)       | [`ablation`] | `ablations` |
 //! | GPU batch-crossover analysis (extension)     | [`crossover`] | `crossover` |
 //! | Batched multi-card serving (extension)       | [`serving`] | `serving` |
+//! | Availability under fault injection (extension) | [`availability`] | `availability` |
 //! | Everything above in sequence                 | —          | `repro_all` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod availability;
 pub mod crossover;
 pub mod fig7;
 pub mod fmt;

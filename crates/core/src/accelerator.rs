@@ -8,11 +8,13 @@ use crate::engines::softmax::SoftmaxEngine;
 use crate::engines::sv::SvEngine;
 use crate::engines::Access;
 use crate::error::CoreError;
+use crate::fault::{FaultStats, FaultStream, RetryPolicy, Watchdog};
 use crate::registers::{RegisterError, RuntimeConfig};
 use crate::report::{CycleReport, EnginePhase};
 use crate::synthesis::{SynthesisConfig, SynthesizedDesign};
 use protea_fixed::activation::ActivationLut;
 use protea_hwsim::Cycles;
+use protea_mem::fault::{FaultKind, TransferFault};
 use protea_mem::hbm::{bounded_transfer_cycles, ChannelShare};
 use protea_mem::overlap::{simulate_double_buffered, simulate_serial};
 use protea_model::{OpCount, QuantizedEncoder};
@@ -66,20 +68,6 @@ impl Accelerator {
             seq_len: 64.min(config.sl_max),
         };
         Ok(Self { design, runtime, weights: None, overlap_enabled: true })
-    }
-
-    /// Panicking form of [`try_new`](Self::try_new), kept for source
-    /// compatibility.
-    ///
-    /// # Panics
-    /// Panics if the design does not fit the device.
-    #[deprecated(since = "0.2.0", note = "use `try_new`; it reports infeasibility as `CoreError`")]
-    #[must_use]
-    pub fn new(config: SynthesisConfig, device: &FpgaDevice) -> Self {
-        match Self::try_new(config, device) {
-            Ok(a) => a,
-            Err(e) => panic!("{e}"),
-        }
     }
 
     /// The synthesized design (resources, Fmax).
@@ -150,21 +138,6 @@ impl Accelerator {
         Ok(())
     }
 
-    /// Panicking form of [`try_load_weights`](Self::try_load_weights),
-    /// kept for source compatibility.
-    ///
-    /// # Panics
-    /// Panics if the weight dimensions disagree with the register file.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_load_weights`; it reports shape mismatches as `CoreError`"
-    )]
-    pub fn load_weights(&mut self, weights: QuantizedEncoder) {
-        if let Err(e) = self.try_load_weights(weights) {
-            panic!("{e}");
-        }
-    }
-
     /// Disable/enable load-compute overlap (ablation).
     pub fn set_overlap(&mut self, enabled: bool) {
         self.overlap_enabled = enabled;
@@ -233,7 +206,25 @@ impl Accelerator {
             (r.total, r.compute_stall)
         };
 
-        let phase_plans: [(&'static str, Vec<Access>); 9] = [
+        let layers = rt.layers as u64;
+        let mut phases = Vec::new();
+        let mut total = Cycles::ZERO;
+        for (name, plan) in self.phase_plans() {
+            let (per_layer, stall) = price(&plan);
+            let cycles = Cycles(per_layer.get() * layers);
+            let load_stall = Cycles(stall.get() * layers);
+            total = total.saturating_add(cycles);
+            phases.push(EnginePhase { name, cycles, load_stall });
+        }
+        CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }
+    }
+
+    /// The nine engine phases of one encoder layer, in execution order,
+    /// each with its tile-access plan under the current register file.
+    fn phase_plans(&self) -> [(&'static str, Vec<Access>); 9] {
+        let syn = &self.design.config;
+        let rt = &self.runtime;
+        [
             ("QKV_CE", QkvEngine::plan(rt, syn)),
             ("QK_CE", QkEngine::plan(rt, syn)),
             ("Softmax", SoftmaxEngine::plan(rt, syn)),
@@ -243,19 +234,7 @@ impl Accelerator {
             ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, rt, syn)),
             ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, rt, syn)),
             ("AddNorm2", LnEngine::plan(rt, syn)),
-        ];
-
-        let layers = rt.layers as u64;
-        let mut phases = Vec::with_capacity(phase_plans.len());
-        let mut total = Cycles::ZERO;
-        for (name, plan) in phase_plans {
-            let (per_layer, stall) = price(&plan);
-            let cycles = Cycles(per_layer.get() * layers);
-            let load_stall = Cycles(stall.get() * layers);
-            total = total.saturating_add(cycles);
-            phases.push(EnginePhase { name, cycles, load_stall });
-        }
-        CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }
+        ]
     }
 
     /// Timing for a **batch** of `batch` sequences processed
@@ -299,27 +278,104 @@ impl Accelerator {
             (r.total, r.compute_stall)
         };
 
-        let phase_plans: [(&'static str, Vec<Access>); 9] = [
-            ("QKV_CE", QkvEngine::plan(rt, syn)),
-            ("QK_CE", QkEngine::plan(rt, syn)),
-            ("Softmax", SoftmaxEngine::plan(rt, syn)),
-            ("SV_CE", SvEngine::plan(rt, syn)),
-            ("FFN1_CE", FfnEngine::plan(FfnStage::Ffn1, rt, syn)),
-            ("AddNorm1", LnEngine::plan(rt, syn)),
-            ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, rt, syn)),
-            ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, rt, syn)),
-            ("AddNorm2", LnEngine::plan(rt, syn)),
-        ];
         let layers = rt.layers as u64;
-        let mut phases = Vec::with_capacity(phase_plans.len());
+        let mut phases = Vec::new();
         let mut total = Cycles::ZERO;
-        for (name, plan) in phase_plans {
+        for (name, plan) in self.phase_plans() {
             let (per_layer, stall) = price(&plan);
             let cycles = Cycles(per_layer.get() * layers);
             total = total.saturating_add(cycles);
             phases.push(EnginePhase { name, cycles, load_stall: Cycles(stall.get() * layers) });
         }
         CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }
+    }
+
+    /// Batched timing under **fault injection**: the same schedule as
+    /// [`timing_report_batched`](Self::timing_report_batched), but every
+    /// tile load draws from `stream` and the driver's watchdog/retry
+    /// machinery responds:
+    ///
+    /// * an AXI stall extends that load by the stalled cycles;
+    /// * a correctable (single-bit) ECC event scrubs and replays the
+    ///   transfer after exponential backoff;
+    /// * a hung transfer costs `watchdog.timeout_cycles` to detect, then
+    ///   replays like an ECC event;
+    /// * a double-bit ECC event — or a transfer whose retry budget is
+    ///   exhausted — aborts the run with
+    ///   [`CoreError::Fault`](crate::error::CoreError::Fault).
+    ///
+    /// Layers are priced individually (faults land in specific layers),
+    /// so with a zero-rate stream the result equals
+    /// `timing_report_batched` exactly. Returns the per-class
+    /// [`FaultStats`] alongside the outcome; on abort,
+    /// `stats.abort_cycles` records how many cycles into the run the
+    /// fatal fault was detected, so a serving layer can price how long
+    /// the card was occupied before failing over.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn timing_report_faulty(
+        &self,
+        batch: usize,
+        stream: &mut FaultStream,
+        watchdog: Watchdog,
+        retry: RetryPolicy,
+        now_ns: u64,
+    ) -> (Result<CycleReport, CoreError>, FaultStats) {
+        assert!(batch > 0, "batch must be nonzero");
+        let syn = &self.design.config;
+        let rt = &self.runtime;
+        let freq_hz = self.design.fmax_mhz * 1e6;
+        let share =
+            ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
+        let b = batch as u64;
+        let mut stats = FaultStats::default();
+
+        let layers = rt.layers as u64;
+        let mut phases = Vec::new();
+        let mut total = Cycles::ZERO;
+        for (name, plan) in self.phase_plans() {
+            let mut phase_cycles: u64 = 0;
+            let mut phase_stall: u64 = 0;
+            for layer in 0..layers {
+                let mut schedule: Vec<(Cycles, Cycles)> = Vec::with_capacity(plan.len());
+                for a in &plan {
+                    let clean = bounded_transfer_cycles(&syn.axi, &share, a.load_bytes).get();
+                    match faulty_load(clean, stream, watchdog, retry, now_ns, &mut stats) {
+                        Ok(load) => {
+                            schedule.push((Cycles(load), Cycles(a.compute_cycles * b)));
+                        }
+                        Err((kind, spent)) => {
+                            let issued: u64 = schedule.iter().map(|(l, _)| l.get()).sum();
+                            stats.abort_cycles = total
+                                .get()
+                                .saturating_add(phase_cycles)
+                                .saturating_add(issued)
+                                .saturating_add(spent);
+                            let context = format!("{name} tile load, layer {layer}, batch {batch}");
+                            return (Err(CoreError::Fault { kind, context }), stats);
+                        }
+                    }
+                }
+                let r = if self.overlap_enabled {
+                    simulate_double_buffered(&schedule)
+                } else {
+                    simulate_serial(&schedule)
+                };
+                phase_cycles = phase_cycles.saturating_add(r.total.get());
+                phase_stall = phase_stall.saturating_add(r.compute_stall.get());
+            }
+            total = total.saturating_add(Cycles(phase_cycles));
+            phases.push(EnginePhase {
+                name,
+                cycles: Cycles(phase_cycles),
+                load_stall: Cycles(phase_stall),
+            });
+        }
+        (
+            Ok(CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }),
+            stats,
+        )
     }
 
     /// Run a batch functionally (each sequence independent) with the
@@ -440,6 +496,58 @@ impl Accelerator {
         }
         h
     }
+}
+
+/// One tile load under the driver's fault-handling loop: sample a fault
+/// per attempt, fold stalls into the transfer time, replay recoverable
+/// faults with backoff, and give up on unrecoverable ones. Returns the
+/// total cycles the load occupied the port, or on abort the fault kind
+/// plus the cycles spent before the driver gave up.
+fn faulty_load(
+    clean_cycles: u64,
+    stream: &mut FaultStream,
+    watchdog: Watchdog,
+    retry: RetryPolicy,
+    now_ns: u64,
+    stats: &mut FaultStats,
+) -> Result<u64, (FaultKind, u64)> {
+    let mut spent: u64 = 0;
+    let mut last_kind = FaultKind::AxiTimeout;
+    for attempt in 0..retry.max_attempts.max(1) {
+        match stream.sample_transfer(now_ns) {
+            None => return Ok(spent.saturating_add(clean_cycles)),
+            Some(TransferFault::Stall { extra_cycles }) => {
+                stats.stalls += 1;
+                stats.stall_cycles = stats.stall_cycles.saturating_add(extra_cycles);
+                return Ok(spent.saturating_add(clean_cycles).saturating_add(extra_cycles));
+            }
+            Some(TransferFault::EccSingle) => {
+                stats.ecc_single += 1;
+                stats.retries += 1;
+                last_kind = FaultKind::EccSingle;
+                // The corrupted transfer completed (scrub detected it at
+                // the end), then the driver backs off and replays.
+                let wasted = clean_cycles.saturating_add(retry.backoff_cycles(attempt));
+                stats.recovery_cycles = stats.recovery_cycles.saturating_add(wasted);
+                spent = spent.saturating_add(wasted);
+            }
+            Some(TransferFault::Timeout) => {
+                stats.watchdog_trips += 1;
+                stats.retries += 1;
+                last_kind = FaultKind::AxiTimeout;
+                // The watchdog waits its full budget before declaring the
+                // transfer hung, then the driver backs off and replays.
+                let wasted = watchdog.timeout_cycles.saturating_add(retry.backoff_cycles(attempt));
+                stats.recovery_cycles = stats.recovery_cycles.saturating_add(wasted);
+                spent = spent.saturating_add(wasted);
+            }
+            Some(TransferFault::EccDouble) => {
+                stats.ecc_double += 1;
+                return Err((FaultKind::EccDouble, spent.saturating_add(clean_cycles)));
+            }
+        }
+    }
+    Err((last_kind, spent))
 }
 
 #[cfg(test)]
@@ -665,18 +773,88 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        // The panicking constructors must keep working for old callers.
-        let mut acc = Accelerator::new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c());
-        let cfg = EncoderConfig::new(96, 4, 2, 8);
-        acc.program(RuntimeConfig::from_model(&cfg, &SynthesisConfig::paper_default()).unwrap())
-            .unwrap();
-        acc.load_weights(QuantizedEncoder::from_float(
-            &EncoderWeights::random(cfg, 31),
-            QuantSchedule::paper(),
-        ));
-        let x = Matrix::<i8>::zeros(8, 96);
-        assert_eq!(acc.run(&x).output.shape(), (8, 96));
+    fn faulty_timing_with_zero_rates_matches_batched_exactly() {
+        use crate::fault::FaultRates;
+        let (mut acc, _, _) = small_accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 4, d_model: 768, seq_len: 32 }).unwrap();
+        let clean = acc.timing_report_batched(4);
+        let mut quiet = FaultStream::seeded(7, 0, FaultRates::ZERO);
+        let (r, stats) =
+            acc.timing_report_faulty(4, &mut quiet, Watchdog::default(), RetryPolicy::default(), 0);
+        let r = r.expect("zero-rate stream must never abort");
+        assert_eq!(r.total, clean.total, "fault-free path must be bit-identical");
+        assert_eq!(r.phases.len(), clean.phases.len());
+        for (a, b) in r.phases.iter().zip(&clean.phases) {
+            assert_eq!((a.name, a.cycles, a.load_stall), (b.name, b.cycles, b.load_stall));
+        }
+        assert!(!stats.any());
+    }
+
+    #[test]
+    fn recoverable_faults_cost_cycles_and_are_counted() {
+        use crate::fault::{FaultKind, FaultRates};
+        let (mut acc, _, _) = small_accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 2, d_model: 768, seq_len: 32 }).unwrap();
+        let clean = acc.timing_report_batched(2).total;
+        // One stall, one correctable ECC, one hung transfer — all at the
+        // very first tile loads of the run.
+        let mut noisy = FaultStream::seeded(7, 0, FaultRates::ZERO).with_events([
+            (0, FaultKind::AxiStall),
+            (1, FaultKind::EccSingle),
+            (2, FaultKind::AxiTimeout),
+        ]);
+        let wd = Watchdog { timeout_cycles: 5_000 };
+        let (r, stats) = acc.timing_report_faulty(2, &mut noisy, wd, RetryPolicy::default(), 5);
+        let r = r.expect("recoverable faults must not abort");
+        assert!(r.total > clean, "faults must cost cycles: {} vs {clean}", r.total);
+        assert_eq!(stats.stalls, 1);
+        assert_eq!(stats.ecc_single, 1);
+        assert_eq!(stats.watchdog_trips, 1);
+        assert_eq!(stats.retries, 2);
+        assert!(stats.stall_cycles > 0);
+        assert!(stats.recovery_cycles >= wd.timeout_cycles, "watchdog wait must be priced");
+        assert_eq!(stats.abort_cycles, 0, "completed runs record no abort position");
+    }
+
+    #[test]
+    fn double_bit_ecc_aborts_with_fault_error() {
+        use crate::fault::{FaultKind, FaultRates};
+        let (acc, _, _) = small_accel();
+        let mut lethal =
+            FaultStream::seeded(7, 0, FaultRates::ZERO).with_events([(0, FaultKind::EccDouble)]);
+        let (r, stats) = acc.timing_report_faulty(
+            1,
+            &mut lethal,
+            Watchdog::default(),
+            RetryPolicy::default(),
+            0,
+        );
+        let err = r.expect_err("double-bit ECC must abort");
+        assert!(
+            matches!(&err, CoreError::Fault { kind: FaultKind::EccDouble, context }
+                if context.contains("QKV_CE")),
+            "{err:?}"
+        );
+        assert_eq!(stats.ecc_double, 1);
+        assert!(stats.abort_cycles > 0, "abort position must be recorded");
+    }
+
+    #[test]
+    fn exhausted_retries_abort() {
+        use crate::fault::{FaultKind, FaultRates};
+        let (acc, _, _) = small_accel();
+        // Four timeouts in a row exhaust the default 4-attempt budget.
+        let mut hung = FaultStream::seeded(7, 0, FaultRates::ZERO).with_events([
+            (0, FaultKind::AxiTimeout),
+            (1, FaultKind::AxiTimeout),
+            (2, FaultKind::AxiTimeout),
+            (3, FaultKind::AxiTimeout),
+        ]);
+        let (r, stats) =
+            acc.timing_report_faulty(1, &mut hung, Watchdog::default(), RetryPolicy::default(), 5);
+        let err = r.expect_err("retry exhaustion must abort");
+        assert!(matches!(err, CoreError::Fault { kind: FaultKind::AxiTimeout, .. }), "{err:?}");
+        assert_eq!(stats.watchdog_trips, 4);
+        assert!(stats.abort_cycles >= 4 * Watchdog::default().timeout_cycles);
     }
 }

@@ -11,6 +11,7 @@
 use crate::driver::DriverError;
 use crate::registers::RegisterError;
 use core::fmt;
+use protea_mem::fault::FaultKind;
 use protea_model::serialize::DecodeError;
 
 /// Any error reachable through the accelerator's fallible API.
@@ -54,6 +55,23 @@ pub enum CoreError {
     /// field, non-divisor tile size, …) — caught by
     /// [`SynthesisConfigBuilder::build`](crate::synthesis::SynthesisConfigBuilder::build).
     InvalidConfig(String),
+    /// A hardware fault the driver could not recover from: an
+    /// uncorrectable ECC event, a transfer whose retry budget was
+    /// exhausted, or a card that dropped off the bus mid-run. Emitted by
+    /// the fault-injected timing path
+    /// ([`Accelerator::timing_report_faulty`](crate::accelerator::Accelerator::timing_report_faulty));
+    /// the layer above decides whether to fail over.
+    Fault {
+        /// The fault class that ended the run.
+        kind: FaultKind,
+        /// What the driver was doing when it gave up.
+        context: String,
+    },
+    /// An error from the serving layer above `protea-core`, funneled
+    /// into the unified error type (via `From<ServeError>` in
+    /// `protea-serve`) so CLI surfaces map every failure to one exit
+    /// code table.
+    Serving(String),
 }
 
 impl fmt::Display for CoreError {
@@ -85,6 +103,32 @@ impl fmt::Display for CoreError {
             ),
             CoreError::EmptyBatch => write!(f, "batch must contain at least one sequence"),
             CoreError::InvalidConfig(m) => write!(f, "invalid synthesis configuration: {m}"),
+            CoreError::Fault { kind, context } => {
+                write!(f, "unrecoverable hardware fault ({kind}): {context}")
+            }
+            CoreError::Serving(m) => write!(f, "serving error: {m}"),
+        }
+    }
+}
+
+impl CoreError {
+    /// The stable process exit code CLI front ends use for this error,
+    /// uniform across subcommands: 2 = invalid configuration or register
+    /// programming, 3 = model blob rejected, 4 = design infeasible,
+    /// 5 = weight/input/batch mismatch on the request path, 6 =
+    /// unrecoverable hardware fault, 7 = serving-layer rejection.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CoreError::Register(_) | CoreError::InvalidConfig(_) => 2,
+            CoreError::Decode(_) => 3,
+            CoreError::Infeasible { .. } => 4,
+            CoreError::WeightShape { .. }
+            | CoreError::WeightsNotLoaded
+            | CoreError::InputShape { .. }
+            | CoreError::EmptyBatch => 5,
+            CoreError::Fault { .. } => 6,
+            CoreError::Serving(_) => 7,
         }
     }
 }
@@ -147,5 +191,48 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("8×96") && s.contains("64×768"), "{s}");
         assert!(CoreError::WeightsNotLoaded.to_string().contains("try_load_weights"));
+        let f = CoreError::Fault { kind: FaultKind::EccDouble, context: "FFN2 tile load".into() };
+        assert!(f.to_string().contains("double-bit ECC"), "{f}");
+    }
+
+    /// One value of every variant, used by the audit tests below.
+    fn every_variant() -> Vec<CoreError> {
+        vec![
+            CoreError::Register(RegisterError::Invalid("x".into())),
+            CoreError::Decode(DecodeError::BadMagic),
+            CoreError::Infeasible { device: "zcu102".into(), resources: "DSP 120%".into() },
+            CoreError::WeightShape {
+                weights_d_model: 64,
+                programmed_d_model: 96,
+                weights_layers: 1,
+                programmed_layers: 2,
+            },
+            CoreError::WeightsNotLoaded,
+            CoreError::InputShape { expected: (8, 96), got: (4, 96) },
+            CoreError::EmptyBatch,
+            CoreError::InvalidConfig("zero heads".into()),
+            CoreError::Fault { kind: FaultKind::AxiTimeout, context: "QKV tile load".into() },
+            CoreError::Serving("trace rejected".into()),
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_a_nonempty_display() {
+        for e in every_variant() {
+            assert!(!e.to_string().trim().is_empty(), "{e:?} renders empty");
+        }
+    }
+
+    #[test]
+    fn exit_codes_are_stable_and_nonzero() {
+        for e in every_variant() {
+            assert!(e.exit_code() >= 2, "{e:?} must not collide with success/usage codes");
+            assert!(e.exit_code() <= 7);
+        }
+        assert_eq!(
+            CoreError::Fault { kind: FaultKind::CardCrash, context: String::new() }.exit_code(),
+            6
+        );
+        assert_eq!(CoreError::Serving(String::new()).exit_code(), 7);
     }
 }

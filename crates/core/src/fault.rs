@@ -1,0 +1,160 @@
+//! Driver-side fault handling: watchdog, retry with exponential
+//! backoff, and per-fault-class accounting.
+//!
+//! `protea-mem`'s [`FaultStream`] *produces* faults; this module is the
+//! host driver's response to them, mirroring what the MicroBlaze
+//! firmware would do on real hardware:
+//!
+//! * a [`Watchdog`] bounds how long the driver waits on any one tile
+//!   transfer — a hung AXI transaction ([`TransferFault::Timeout`]) is
+//!   detected after `timeout_cycles`, never waited on forever;
+//! * a [`RetryPolicy`] prices re-issued transfers: recoverable faults
+//!   (correctable ECC, watchdog-detected hangs) are replayed with
+//!   exponential backoff until `max_attempts` is exhausted;
+//! * [`FaultStats`] counts every fault by class, plus the cycles the
+//!   recovery machinery spent, so run reports can show *where* time
+//!   under faults went;
+//! * unrecoverable faults (double-bit ECC, exhausted retries) surface
+//!   as [`CoreError::Fault`](crate::error::CoreError::Fault) — the
+//!   driver gives up on the run and the layer above decides what card
+//!   to fail over to.
+
+pub use protea_mem::fault::{FaultEvent, FaultKind, FaultRates, FaultStream, TransferFault};
+
+/// The driver's transfer watchdog: a hung AXI transaction is declared
+/// dead after `timeout_cycles` and handed to the retry path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Cycles the driver waits on one transfer before declaring it hung.
+    pub timeout_cycles: u64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        // Generous against the largest legitimate tile transfer in the
+        // paper's design point (tens of thousands of cycles), tight
+        // enough that a hang costs well under a batch's service time.
+        Self { timeout_cycles: 100_000 }
+    }
+}
+
+/// Exponential-backoff retry policy for recoverable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per transfer (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in cycles.
+    pub base_backoff_cycles: u64,
+    /// Backoff growth factor per retry.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 4, base_backoff_cycles: 1_000, multiplier: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry number `retry` (0-based):
+    /// `base · multiplier^retry`, saturating.
+    #[must_use]
+    pub fn backoff_cycles(&self, retry: u32) -> u64 {
+        u64::from(self.multiplier).saturating_pow(retry).saturating_mul(self.base_backoff_cycles)
+    }
+}
+
+/// Per-fault-class accounting for one run (or one serving simulation,
+/// when merged across dispatches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Correctable single-bit ECC events (scrubbed and replayed).
+    pub ecc_single: u64,
+    /// Uncorrectable double-bit ECC events (run abandoned).
+    pub ecc_double: u64,
+    /// Transient AXI stalls (transfer completed late).
+    pub stalls: u64,
+    /// Hung transfers detected by the watchdog.
+    pub watchdog_trips: u64,
+    /// Transfer re-issues (each recoverable fault costs one retry).
+    pub retries: u64,
+    /// Extra cycles lost to stalls.
+    pub stall_cycles: u64,
+    /// Cycles spent in watchdog waits and retry backoff.
+    pub recovery_cycles: u64,
+    /// Cycles into the run at which an unrecoverable fault was detected
+    /// (zero when the run completed).
+    pub abort_cycles: u64,
+}
+
+impl FaultStats {
+    /// Total fault events across every class.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.ecc_single + self.ecc_double + self.stalls + self.watchdog_trips
+    }
+
+    /// Whether any fault was observed.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.total_faults() > 0
+    }
+
+    /// Fold another run's counters into this one (abort position keeps
+    /// the latest nonzero value).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.ecc_single += other.ecc_single;
+        self.ecc_double += other.ecc_double;
+        self.stalls += other.stalls;
+        self.watchdog_trips += other.watchdog_trips;
+        self.retries += other.retries;
+        self.stall_cycles += other.stall_cycles;
+        self.recovery_cycles += other.recovery_cycles;
+        if other.abort_cycles != 0 {
+            self.abort_cycles = other.abort_cycles;
+        }
+    }
+}
+
+impl core::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ecc1 {}  ecc2 {}  stalls {}  watchdog {}  retries {}",
+            self.ecc_single, self.ecc_double, self.stalls, self.watchdog_trips, self.retries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let p = RetryPolicy { max_attempts: 8, base_backoff_cycles: 100, multiplier: 2 };
+        assert_eq!(p.backoff_cycles(0), 100);
+        assert_eq!(p.backoff_cycles(1), 200);
+        assert_eq!(p.backoff_cycles(3), 800);
+        let huge = RetryPolicy { max_attempts: 8, base_backoff_cycles: u64::MAX, multiplier: 2 };
+        assert_eq!(huge.backoff_cycles(5), u64::MAX, "must saturate, not overflow");
+    }
+
+    #[test]
+    fn stats_merge_and_totals() {
+        let mut a = FaultStats { ecc_single: 1, stalls: 2, retries: 1, ..FaultStats::default() };
+        let b = FaultStats {
+            ecc_double: 1,
+            watchdog_trips: 3,
+            recovery_cycles: 500,
+            abort_cycles: 42,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_faults(), 7);
+        assert!(a.any());
+        assert_eq!(a.abort_cycles, 42);
+        assert!(!FaultStats::default().any());
+        assert!(a.to_string().contains("watchdog 3"));
+    }
+}

@@ -26,6 +26,11 @@
 //! * [`driver`] — the host-software analogue of the paper's MicroBlaze
 //!   program: extract hyperparameters from a serialized model, emit the
 //!   register/instruction stream, reprogram at runtime.
+//! * [`fault`] — the driver's response to injected hardware faults
+//!   (`protea-mem`'s [`FaultStream`](fault::FaultStream)): a transfer
+//!   [`Watchdog`], exponential-backoff [`RetryPolicy`], per-class
+//!   [`FaultStats`], and the fault-injected timing path
+//!   [`Accelerator::timing_report_faulty`].
 //!
 //! The equivalence contract: for any weights and input,
 //! `Accelerator::run(...).output` equals
@@ -43,6 +48,7 @@ pub mod desched;
 pub mod driver;
 pub mod engines;
 pub mod error;
+pub mod fault;
 pub mod registers;
 pub mod report;
 pub mod sparse;
@@ -56,6 +62,9 @@ pub use decoder::DecoderRunResult;
 pub use desched::simulate_layer_des;
 pub use driver::{Driver, DriverError, Instruction};
 pub use error::CoreError;
+pub use fault::{
+    FaultEvent, FaultKind, FaultRates, FaultStats, FaultStream, RetryPolicy, Watchdog,
+};
 pub use registers::{RegisterError, RuntimeConfig};
 pub use report::{CycleReport, EnginePhase};
 pub use sparse::{SparseMode, SparsePhase};

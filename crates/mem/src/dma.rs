@@ -6,6 +6,7 @@
 //! itself on a port + channel pair.
 
 use crate::axi::AxiPort;
+use crate::fault::{FaultStream, TransferFault};
 use crate::hbm::{bounded_transfer_cycles, ChannelShare};
 use protea_hwsim::Cycles;
 
@@ -29,6 +30,29 @@ impl TileTransfer {
     #[must_use]
     pub fn cycles(&self, port: &AxiPort, share: &ChannelShare) -> Cycles {
         bounded_transfer_cycles(port, share, self.bytes)
+    }
+
+    /// One **attempt** at this transfer under fault injection at
+    /// simulated time `now_ns`: the clean transfer time plus whatever
+    /// fault (if any) `stream` deals this attempt. A
+    /// [`TransferFault::Stall`] is already folded into the returned
+    /// cycle count; ECC and timeout faults are returned for the caller's
+    /// watchdog/retry policy to price (`protea-core`'s driver layer).
+    pub fn attempt(
+        &self,
+        port: &AxiPort,
+        share: &ChannelShare,
+        stream: &mut FaultStream,
+        now_ns: u64,
+    ) -> (Cycles, Option<TransferFault>) {
+        let clean = self.cycles(port, share);
+        match stream.sample_transfer(now_ns) {
+            Some(TransferFault::Stall { extra_cycles }) => (
+                clean.saturating_add(Cycles(extra_cycles)),
+                Some(TransferFault::Stall { extra_cycles }),
+            ),
+            other => (clean, other),
+        }
     }
 }
 
@@ -84,5 +108,22 @@ mod tests {
     fn empty_batches() {
         assert_eq!(sequential_cycles(&[], &port(), &share()), Cycles::ZERO);
         assert_eq!(parallel_cycles(&[], &port(), &share()), Cycles::ZERO);
+    }
+
+    #[test]
+    fn faulty_attempt_prices_stalls_and_reports_the_rest() {
+        use crate::fault::{FaultKind, FaultRates, FaultStream, TransferFault};
+        let t = TileTransfer { bytes: 1024, tag: "w" };
+        let clean = t.cycles(&port(), &share());
+        let mut quiet = FaultStream::seeded(1, 0, FaultRates::ZERO);
+        assert_eq!(t.attempt(&port(), &share(), &mut quiet, 0), (clean, None));
+        let mut noisy = FaultStream::seeded(1, 0, FaultRates::ZERO)
+            .with_events([(0, FaultKind::AxiStall), (1, FaultKind::EccDouble)]);
+        let (stalled, fault) = t.attempt(&port(), &share(), &mut noisy, 0);
+        assert!(stalled > clean, "stall must extend the transfer");
+        assert!(matches!(fault, Some(TransferFault::Stall { .. })));
+        let (cycles, fault) = t.attempt(&port(), &share(), &mut noisy, 1);
+        assert_eq!(cycles, clean, "non-stall faults do not change the attempt time");
+        assert_eq!(fault, Some(TransferFault::EccDouble));
     }
 }

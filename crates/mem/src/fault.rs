@@ -1,0 +1,404 @@
+//! Deterministic fault injection for the memory system.
+//!
+//! The paper's latency model assumes a fault-free card: every HBM burst
+//! completes and every AXI transaction returns. Production fleets see
+//! correctable ECC events, stalled channels, hung transactions, and the
+//! occasional card dropping off the bus. This module is the single
+//! source of injected faults for every layer above it:
+//!
+//! * a [`FaultStream`] is a **seeded, per-card** fault source — two
+//!   streams built from the same `(seed, card)` pair produce identical
+//!   fault sequences, so whole-fleet simulations replay bit-identically;
+//! * faults can also be **scripted** as explicit [`FaultEvent`]s at
+//!   simulated timestamps (used by tests to stage precise scenarios);
+//! * transfer-level faults ([`TransferFault`]) afflict one tile load on
+//!   an [`AxiPort`](crate::axi::AxiPort); card-level crashes are
+//!   timestamps the fleet layer turns into card-death events.
+//!
+//! The stream only *produces* faults; detection latency, watchdogs,
+//! retries, and backoff live in `protea-core`'s driver layer.
+
+use core::fmt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The classes of hardware fault the injector models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Correctable single-bit ECC error in an HBM burst: the data is
+    /// recovered after a scrub-and-replay of the transfer.
+    EccSingle,
+    /// Uncorrectable double-bit ECC error: the burst's data is lost.
+    EccDouble,
+    /// Transient AXI stall: the transfer completes after extra cycles.
+    AxiStall,
+    /// The AXI transaction hangs and never completes; only a watchdog
+    /// can detect it.
+    AxiTimeout,
+    /// The whole card drops off the bus.
+    CardCrash,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultKind::EccSingle => "correctable single-bit ECC",
+            FaultKind::EccDouble => "uncorrectable double-bit ECC",
+            FaultKind::AxiStall => "AXI stall",
+            FaultKind::AxiTimeout => "AXI timeout",
+            FaultKind::CardCrash => "card crash",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Fault probabilities: per-tile-transfer for the memory-path classes,
+/// per simulated second for whole-card crashes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a tile transfer suffers a correctable ECC flip.
+    pub ecc_single: f64,
+    /// Probability a tile transfer suffers an uncorrectable ECC flip.
+    pub ecc_double: f64,
+    /// Probability a tile transfer stalls (completes late).
+    pub stall: f64,
+    /// Probability a tile transfer hangs until the watchdog fires.
+    pub timeout: f64,
+    /// Card crash rate in crashes per simulated second.
+    pub crash_per_s: f64,
+}
+
+impl FaultRates {
+    /// No faults at all — the paper's fault-free assumption.
+    pub const ZERO: Self =
+        Self { ecc_single: 0.0, ecc_double: 0.0, stall: 0.0, timeout: 0.0, crash_per_s: 0.0 };
+
+    /// A canonical fault mix scaled by one knob: `rate` is the total
+    /// per-transfer fault probability, split 50 % stalls, 35 %
+    /// correctable ECC, 10 % timeouts, 5 % uncorrectable ECC. Crash rate
+    /// stays zero (set it separately).
+    #[must_use]
+    pub fn scaled(rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self {
+            ecc_single: 0.35 * rate,
+            ecc_double: 0.05 * rate,
+            stall: 0.50 * rate,
+            timeout: 0.10 * rate,
+            crash_per_s: 0.0,
+        }
+    }
+
+    /// Set the crash rate (crashes per simulated second).
+    #[must_use]
+    pub fn with_crash_rate(mut self, crash_per_s: f64) -> Self {
+        self.crash_per_s = crash_per_s;
+        self
+    }
+
+    /// Whether every rate is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.ecc_single == 0.0
+            && self.ecc_double == 0.0
+            && self.stall == 0.0
+            && self.timeout == 0.0
+            && self.crash_per_s == 0.0
+    }
+
+    /// Validate the rates: probabilities in `[0, 1]` summing to at most
+    /// 1, crash rate finite and non-negative.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [self.ecc_single, self.ecc_double, self.stall, self.timeout];
+        for (name, p) in ["ecc_single", "ecc_double", "stall", "timeout"].iter().zip(probs) {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} rate must be in [0, 1], got {p}"));
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if sum > 1.0 {
+            return Err(format!("per-transfer fault rates sum to {sum} > 1"));
+        }
+        if !self.crash_per_s.is_finite() || self.crash_per_s < 0.0 {
+            return Err(format!("crash_per_s must be finite and >= 0, got {}", self.crash_per_s));
+        }
+        Ok(())
+    }
+}
+
+/// A fault drawn against a single tile transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFault {
+    /// Correctable ECC flip: recoverable by scrubbing and replaying.
+    EccSingle,
+    /// Uncorrectable ECC flip: the transfer's data is lost.
+    EccDouble,
+    /// The transfer completes `extra_cycles` late.
+    Stall {
+        /// Additional cycles beyond the clean transfer time.
+        extra_cycles: u64,
+    },
+    /// The transfer hangs; the caller's watchdog must detect it.
+    Timeout,
+}
+
+impl TransferFault {
+    /// The fault class this transfer fault belongs to.
+    #[must_use]
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            TransferFault::EccSingle => FaultKind::EccSingle,
+            TransferFault::EccDouble => FaultKind::EccDouble,
+            TransferFault::Stall { .. } => FaultKind::AxiStall,
+            TransferFault::Timeout => FaultKind::AxiTimeout,
+        }
+    }
+}
+
+/// One explicitly scripted fault at a simulated timestamp.
+///
+/// Transfer-level kinds afflict the first tile transfer issued at or
+/// after `at_ns` on the targeted card; [`FaultKind::CardCrash`] kills
+/// the card at exactly `at_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulated time the fault becomes active (nanoseconds).
+    pub at_ns: u64,
+    /// The card the fault targets.
+    pub card: usize,
+    /// The fault class.
+    pub kind: FaultKind,
+}
+
+/// The deterministic fault source for **one card**.
+///
+/// Seeded construction decorrelates cards by hashing the card index into
+/// the stream seed; scripted [`FaultEvent`]s (already filtered to this
+/// card) are consumed in timestamp order before any random draw.
+#[derive(Debug, Clone)]
+pub struct FaultStream {
+    rng: StdRng,
+    rates: FaultRates,
+    /// Scripted `(at_ns, kind)` pairs for this card, ascending by time.
+    scripted: Vec<(u64, FaultKind)>,
+    next_scripted: usize,
+    /// Upper bound on the extra cycles a stall adds (exclusive).
+    stall_span: u64,
+}
+
+impl FaultStream {
+    /// A stream for `card` drawing from `rates`, decorrelated from other
+    /// cards but fully determined by `(seed, card, rates)`.
+    #[must_use]
+    pub fn seeded(seed: u64, card: usize, rates: FaultRates) -> Self {
+        // SplitMix-style index hash so adjacent cards get unrelated streams.
+        let mixed = seed
+            ^ (card as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+            ^ 0xC2B2_AE3D_27D4_EB4F;
+        Self {
+            rng: StdRng::seed_from_u64(mixed),
+            rates,
+            scripted: Vec::new(),
+            next_scripted: 0,
+            stall_span: 4096,
+        }
+    }
+
+    /// Attach scripted events (those targeting this card); they are
+    /// sorted by timestamp and consumed before random draws.
+    #[must_use]
+    pub fn with_events(mut self, events: impl IntoIterator<Item = (u64, FaultKind)>) -> Self {
+        self.scripted.extend(events);
+        self.scripted.sort_unstable();
+        self
+    }
+
+    /// The rates this stream draws from.
+    #[must_use]
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Draw the fault (if any) afflicting the next tile transfer issued
+    /// at simulated time `now_ns`.
+    ///
+    /// Scripted transfer-level events whose timestamp has passed fire
+    /// first (in order); otherwise a single uniform draw is compared
+    /// against the cumulative rate thresholds. With all-zero rates and
+    /// no scripted events this is free: no RNG state is consumed, so a
+    /// fault-free stream never perturbs determinism.
+    pub fn sample_transfer(&mut self, now_ns: u64) -> Option<TransferFault> {
+        while let Some(&(at, kind)) = self.scripted.get(self.next_scripted) {
+            if at > now_ns {
+                break;
+            }
+            self.next_scripted += 1;
+            match kind {
+                FaultKind::EccSingle => return Some(TransferFault::EccSingle),
+                FaultKind::EccDouble => return Some(TransferFault::EccDouble),
+                FaultKind::AxiStall => {
+                    return Some(TransferFault::Stall { extra_cycles: self.draw_stall() })
+                }
+                FaultKind::AxiTimeout => return Some(TransferFault::Timeout),
+                // Crashes are card-level; the fleet layer schedules them
+                // via `crash_at_ns` — skip here.
+                FaultKind::CardCrash => continue,
+            }
+        }
+        let r = &self.rates;
+        if r.ecc_single == 0.0 && r.ecc_double == 0.0 && r.stall == 0.0 && r.timeout == 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let mut acc = r.stall;
+        if u < acc {
+            return Some(TransferFault::Stall { extra_cycles: self.draw_stall() });
+        }
+        acc += r.ecc_single;
+        if u < acc {
+            return Some(TransferFault::EccSingle);
+        }
+        acc += r.timeout;
+        if u < acc {
+            return Some(TransferFault::Timeout);
+        }
+        acc += r.ecc_double;
+        if u < acc {
+            return Some(TransferFault::EccDouble);
+        }
+        None
+    }
+
+    /// The timestamp at which this card crashes, if the schedule holds a
+    /// crash: the earliest scripted [`FaultKind::CardCrash`] wins,
+    /// otherwise an exponential sample at `crash_per_s`. Call exactly
+    /// once, at simulation start, so the draw order stays deterministic.
+    pub fn crash_at_ns(&mut self) -> Option<u64> {
+        if let Some(&(at, _)) = self.scripted.iter().find(|(_, kind)| *kind == FaultKind::CardCrash)
+        {
+            return Some(at);
+        }
+        if self.rates.crash_per_s <= 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap_s = -u.ln() / self.rates.crash_per_s;
+        Some((gap_s * 1e9) as u64)
+    }
+
+    fn draw_stall(&mut self) -> u64 {
+        1 + self.rng.gen_range(0..self.stall_span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_draw_nothing_and_consume_no_rng() {
+        let mut a = FaultStream::seeded(7, 0, FaultRates::ZERO);
+        for t in 0..1000 {
+            assert_eq!(a.sample_transfer(t), None);
+        }
+        assert_eq!(a.crash_at_ns(), None);
+        // The RNG was never touched: a fresh stream with nonzero rates
+        // from the same seed draws the same first fault either way.
+        let mut warm = FaultStream::seeded(7, 0, FaultRates::scaled(1.0));
+        let mut cold = FaultStream::seeded(7, 0, FaultRates::scaled(1.0));
+        assert_eq!(warm.sample_transfer(0), cold.sample_transfer(0));
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let draw = |seed: u64, card: usize| -> Vec<Option<TransferFault>> {
+            let mut s = FaultStream::seeded(seed, card, FaultRates::scaled(0.3));
+            (0..64).map(|t| s.sample_transfer(t)).collect()
+        };
+        assert_eq!(draw(42, 1), draw(42, 1));
+        assert_ne!(draw(42, 1), draw(43, 1), "different seeds must decorrelate");
+        assert_ne!(draw(42, 1), draw(42, 2), "different cards must decorrelate");
+    }
+
+    #[test]
+    fn rates_govern_fault_mix() {
+        let rates = FaultRates::scaled(1.0); // every transfer faults
+        let mut s = FaultStream::seeded(11, 0, rates);
+        let mut counts = [0u32; 4];
+        for t in 0..4000 {
+            match s.sample_transfer(t) {
+                Some(TransferFault::Stall { extra_cycles }) => {
+                    assert!(extra_cycles >= 1);
+                    counts[0] += 1;
+                }
+                Some(TransferFault::EccSingle) => counts[1] += 1,
+                Some(TransferFault::Timeout) => counts[2] += 1,
+                Some(TransferFault::EccDouble) => counts[3] += 1,
+                None => panic!("rate 1.0 must always fault"),
+            }
+        }
+        // 50/35/10/5 split, loose bounds
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+        assert!(counts[3] > 0, "rare class must still occur over 4000 draws");
+    }
+
+    #[test]
+    fn scripted_events_fire_in_order_before_rng() {
+        let mut s = FaultStream::seeded(5, 0, FaultRates::ZERO)
+            .with_events([(200, FaultKind::AxiTimeout), (100, FaultKind::EccSingle)]);
+        assert_eq!(s.sample_transfer(50), None, "nothing scheduled yet");
+        assert_eq!(s.sample_transfer(150), Some(TransferFault::EccSingle));
+        assert_eq!(s.sample_transfer(150), None, "event consumed");
+        assert_eq!(s.sample_transfer(250), Some(TransferFault::Timeout));
+    }
+
+    #[test]
+    fn scripted_crash_wins_over_sampled() {
+        let mut scripted = FaultStream::seeded(5, 0, FaultRates::ZERO.with_crash_rate(10.0))
+            .with_events([(77, FaultKind::CardCrash)]);
+        assert_eq!(scripted.crash_at_ns(), Some(77));
+        let mut sampled = FaultStream::seeded(5, 0, FaultRates::ZERO.with_crash_rate(10.0));
+        let at = sampled.crash_at_ns().expect("nonzero crash rate must crash eventually");
+        assert!(at > 0);
+        let mut replay = FaultStream::seeded(5, 0, FaultRates::ZERO.with_crash_rate(10.0));
+        assert_eq!(replay.crash_at_ns(), Some(at), "crash draw must be deterministic");
+    }
+
+    #[test]
+    fn crash_events_do_not_leak_into_transfers() {
+        let mut s = FaultStream::seeded(5, 0, FaultRates::ZERO)
+            .with_events([(10, FaultKind::CardCrash), (20, FaultKind::AxiStall)]);
+        // The crash entry is skipped by the transfer sampler.
+        assert!(matches!(s.sample_transfer(30), Some(TransferFault::Stall { .. })));
+        assert_eq!(s.sample_transfer(30), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(FaultRates::ZERO.validate().is_ok());
+        assert!(FaultRates::scaled(0.5).validate().is_ok());
+        assert!(FaultRates { ecc_single: -0.1, ..FaultRates::ZERO }.validate().is_err());
+        assert!(FaultRates { stall: 1.5, ..FaultRates::ZERO }.validate().is_err());
+        assert!(FaultRates { stall: 0.6, timeout: 0.6, ..FaultRates::ZERO }.validate().is_err());
+        assert!(FaultRates::ZERO.with_crash_rate(f64::NAN).validate().is_err());
+        assert!(FaultRates::ZERO.with_crash_rate(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn kind_mapping_and_display() {
+        assert_eq!(TransferFault::EccSingle.kind(), FaultKind::EccSingle);
+        assert_eq!(TransferFault::Stall { extra_cycles: 3 }.kind(), FaultKind::AxiStall);
+        for kind in [
+            FaultKind::EccSingle,
+            FaultKind::EccDouble,
+            FaultKind::AxiStall,
+            FaultKind::AxiTimeout,
+            FaultKind::CardCrash,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

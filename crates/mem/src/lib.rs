@@ -16,6 +16,9 @@
 //!   tile *t*, the DMA prefetches tile *t+1*; built on the
 //!   `protea-hwsim` event kernel and cross-checked against the analytic
 //!   recurrence `total = L₀ + Σ max(Lᵢ₊₁, Cᵢ) + Cₙ₋₁` in tests.
+//! * [`fault`] — deterministic, seeded fault injection: ECC flips, AXI
+//!   stalls/timeouts on tile transfers, and card-crash timestamps, all
+//!   replayable bit-identically from a seed or an explicit event list.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,11 +26,13 @@
 pub mod arbiter;
 pub mod axi;
 pub mod dma;
+pub mod fault;
 pub mod hbm;
 pub mod overlap;
 
 pub use arbiter::{arbitrate_round_robin, ArbitrationResult};
 pub use axi::AxiPort;
 pub use dma::TileTransfer;
+pub use fault::{FaultEvent, FaultKind, FaultRates, FaultStream, TransferFault};
 pub use hbm::ChannelShare;
 pub use overlap::{simulate_double_buffered, simulate_serial, OverlapReport};

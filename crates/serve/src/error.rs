@@ -65,6 +65,20 @@ impl From<CoreError> for ServeError {
     }
 }
 
+/// The reverse lift, so CLI front ends can funnel every failure —
+/// accelerator- or serving-layer — through one [`CoreError`] and its
+/// uniform [`exit_code`](CoreError::exit_code) table. A wrapped core
+/// error unwraps losslessly; serving-specific variants become
+/// [`CoreError::Serving`] with their full rendered message.
+impl From<ServeError> for CoreError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Core(c) => c,
+            other => CoreError::Serving(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +94,41 @@ mod tests {
     fn trace_error_reports_offset() {
         let e = ServeError::Trace { at: 17, msg: "expected ','".into() };
         assert!(e.to_string().contains("byte 17"));
+    }
+
+    /// One value of every variant, for the audit tests below.
+    fn every_variant() -> Vec<ServeError> {
+        vec![
+            ServeError::Core(CoreError::EmptyBatch),
+            ServeError::Trace { at: 3, msg: "bad".into() },
+            ServeError::Unservable { id: 7, why: "too wide".into() },
+            ServeError::EmptyTrace,
+            ServeError::NoCards,
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_a_nonempty_display() {
+        for e in every_variant() {
+            assert!(!e.to_string().trim().is_empty(), "{e:?} renders empty");
+        }
+    }
+
+    #[test]
+    fn lifts_to_core_error_for_uniform_exit_codes() {
+        // a wrapped CoreError round-trips losslessly
+        let c: CoreError = ServeError::Core(CoreError::EmptyBatch).into();
+        assert_eq!(c, CoreError::EmptyBatch);
+        // serving-specific variants keep their message and land on the
+        // serving exit code
+        for e in every_variant() {
+            let msg = e.to_string();
+            let c: CoreError = e.into();
+            assert!(c.exit_code() >= 2);
+            if let CoreError::Serving(m) = &c {
+                assert_eq!(*m, msg, "message must survive the lift");
+                assert_eq!(c.exit_code(), 7);
+            }
+        }
     }
 }

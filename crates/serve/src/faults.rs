@@ -1,0 +1,129 @@
+//! Fleet-level fault-injection configuration and failure records.
+//!
+//! [`FaultConfig`] is the one knob block a chaos experiment turns:
+//! which faults to inject (seeded rates and/or scripted events) and how
+//! the fleet responds (watchdog, retry budget, circuit breaker,
+//! per-request attempt cap). Requests the fleet could not serve despite
+//! retries come back as [`FailedRequest`]s in the report — **never**
+//! silently dropped: every submitted request ends in exactly one of
+//! `completed` or `failed`.
+
+use crate::health::CircuitBreaker;
+use core::fmt;
+use protea_core::{FaultEvent, FaultKind, FaultRates, RetryPolicy, Watchdog};
+
+/// Everything a fault-injected serving simulation needs beyond the
+/// fault-free [`FleetConfig`](crate::FleetConfig) fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the per-card fault streams (two runs with the same seed
+    /// replay bit-identically).
+    pub seed: u64,
+    /// Random fault probabilities (see [`FaultRates`]).
+    pub rates: FaultRates,
+    /// Explicitly scripted faults, routed to their target cards.
+    pub events: Vec<FaultEvent>,
+    /// The driver's hung-transfer watchdog.
+    pub watchdog: Watchdog,
+    /// The driver's in-run retry policy for recoverable faults.
+    pub retry: RetryPolicy,
+    /// Fleet-level circuit-breaker thresholds.
+    pub breaker: CircuitBreaker,
+    /// Times one request may be dispatched (first try included) before
+    /// it is failed with [`FailReason::RetriesExhausted`]. At least 1.
+    pub max_request_attempts: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            rates: FaultRates::ZERO,
+            events: Vec::new(),
+            watchdog: Watchdog::default(),
+            retry: RetryPolicy::default(),
+            breaker: CircuitBreaker::default(),
+            max_request_attempts: 5,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A seeded configuration at the canonical fault mix
+    /// ([`FaultRates::scaled`]), default response policies.
+    #[must_use]
+    pub fn seeded(seed: u64, rate: f64) -> Self {
+        Self { seed, rates: FaultRates::scaled(rate), ..Self::default() }
+    }
+}
+
+/// Why a request ultimately failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// Every dispatch attempt ended in an unrecoverable card fault.
+    RetriesExhausted {
+        /// The fault class of the last failed attempt.
+        last: FaultKind,
+    },
+    /// No live card remained to serve it.
+    AllCardsDead,
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::RetriesExhausted { last } => {
+                write!(f, "retry budget exhausted (last fault: {last})")
+            }
+            FailReason::AllCardsDead => write!(f, "every card in the fleet is dead"),
+        }
+    }
+}
+
+/// One request the fleet could not serve, with its typed reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailedRequest {
+    /// The request id from the workload trace.
+    pub id: u64,
+    /// Why it failed.
+    pub reason: FailReason,
+}
+
+impl fmt::Display for FailedRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request {}: {}", self.id, self.reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_fault_free_but_armed() {
+        let c = FaultConfig::default();
+        assert!(c.rates.is_zero());
+        assert!(c.max_request_attempts >= 1);
+        assert!(c.rates.validate().is_ok());
+    }
+
+    #[test]
+    fn seeded_scales_the_canonical_mix() {
+        let c = FaultConfig::seeded(9, 0.2);
+        assert_eq!(c.seed, 9);
+        assert!(!c.rates.is_zero());
+        assert!(c.rates.validate().is_ok());
+    }
+
+    #[test]
+    fn failure_displays_name_the_reason() {
+        let a = FailedRequest {
+            id: 3,
+            reason: FailReason::RetriesExhausted { last: FaultKind::EccDouble },
+        };
+        assert!(a.to_string().contains("request 3"));
+        assert!(a.to_string().contains("double-bit ECC"));
+        let b = FailedRequest { id: 4, reason: FailReason::AllCardsDead };
+        assert!(b.to_string().contains("dead"));
+    }
+}

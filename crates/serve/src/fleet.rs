@@ -13,15 +13,27 @@
 //!   resulting report latency to a service interval;
 //! * a *completion* frees the card and greedily re-dispatches.
 //!
+//! With a [`FaultConfig`] attached, the same simulation runs under
+//! deterministic fault injection: per-card seeded [`FaultStream`]s feed
+//! the driver's fault-aware timing path, unrecoverable faults and card
+//! crashes requeue the in-flight batch onto surviving cards (bounded by
+//! a per-request attempt budget), and a per-card circuit breaker rests
+//! failing cards. Every submitted request ends in exactly one of
+//! `completed` or `failed` — none is ever silently dropped. Without a
+//! `FaultConfig` the code path is byte-for-byte the fault-free one, so
+//! fault-free reports are bit-identical to earlier releases.
+//!
 //! Everything user-supplied (trace shapes, arrival times) flows through
 //! `Result` — a hostile trace can be rejected, never panic.
 
 use crate::error::ServeError;
-use crate::report::ServeReport;
+use crate::faults::{FailReason, FailedRequest, FaultConfig};
+use crate::health::CardMonitor;
+use crate::report::{FaultOutcome, ServeReport};
 use crate::request::{CapacityClass, ServeResponse};
 use crate::scheduler::{Batch, BatchPolicy, BatchScheduler};
 use crate::trace::Workload;
-use protea_core::{Accelerator, CoreError, SynthesisConfig};
+use protea_core::{Accelerator, CoreError, FaultKind, FaultStats, FaultStream, SynthesisConfig};
 use protea_hwsim::{Cycles, Simulator};
 use protea_model::{EncoderConfig, EncoderWeights, OpCount, QuantSchedule, QuantizedEncoder};
 use protea_platform::FpgaDevice;
@@ -47,6 +59,9 @@ pub struct FleetConfig {
     /// pricing the reprogram penalty a batch pays when its card was
     /// serving a different capacity class.
     pub reload_gbps: f64,
+    /// Fault injection and graceful-degradation policy. `None` (the
+    /// default) is the exact fault-free simulation of earlier releases.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for FleetConfig {
@@ -58,6 +73,7 @@ impl Default for FleetConfig {
             policy: BatchPolicy::default(),
             functional: false,
             reload_gbps: 12.0,
+            faults: None,
         }
     }
 }
@@ -83,6 +99,14 @@ impl Fleet {
             return Err(ServeError::Core(CoreError::InvalidConfig(
                 "reload_gbps must be positive".into(),
             )));
+        }
+        if let Some(f) = &config.faults {
+            f.rates.validate().map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
+            if f.max_request_attempts == 0 {
+                return Err(ServeError::Core(CoreError::InvalidConfig(
+                    "max_request_attempts must be at least 1".into(),
+                )));
+            }
         }
         // Fail now, not at dispatch time, if the design cannot exist.
         Accelerator::try_new(config.synthesis, &config.device)?;
@@ -115,12 +139,42 @@ impl Fleet {
                 if m.error.is_some() {
                     return;
                 }
+                if m.all_cards_dead() {
+                    // Nothing can ever serve this request — fail it with
+                    // a typed reason rather than queueing it forever.
+                    if let Some(f) = m.faulty.as_mut() {
+                        f.failed
+                            .push(FailedRequest { id: req.id, reason: FailReason::AllCardsDead });
+                    }
+                    return;
+                }
                 if let Err(e) = m.scheduler.push(req) {
                     m.error = Some(e);
                     return;
                 }
                 dispatch_all(sim, m);
             });
+        }
+        // Card-crash events: each card's crash timestamp is drawn once,
+        // up front, so the draw order (and thus the whole run) is
+        // deterministic in the seed.
+        if let Some(f) = model.faulty.as_mut() {
+            f.submitted = workload.requests.len();
+            let crashes: Vec<(usize, u64)> = f
+                .streams
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(card, s)| s.crash_at_ns().map(|at| (card, at)))
+                .collect();
+            for (card, at) in crashes {
+                sim.schedule_at(Cycles(at), move |sim, m: &mut SimModel| {
+                    if m.error.is_some() {
+                        return;
+                    }
+                    m.crash_card(card, sim.now().get());
+                    dispatch_all(sim, m);
+                });
+            }
         }
         sim.run(&mut model);
         if let Some(e) = model.error {
@@ -168,6 +222,8 @@ struct SimModel {
     reprograms: u64,
     next_flush: Option<u64>,
     error: Option<ServeError>,
+    /// Fault-injection state; `None` keeps the exact fault-free path.
+    faulty: Option<FaultState>,
 }
 
 struct Card {
@@ -175,6 +231,46 @@ struct Card {
     loaded_class: Option<CapacityClass>,
     busy: bool,
     busy_ns: u64,
+}
+
+/// Everything the fault-injected simulation tracks on top of the
+/// fault-free model.
+struct FaultState {
+    watchdog: protea_core::Watchdog,
+    retry: protea_core::RetryPolicy,
+    max_request_attempts: u32,
+    /// One seeded fault source per card.
+    streams: Vec<FaultStream>,
+    /// Per-card health + circuit breaker.
+    monitors: Vec<CardMonitor>,
+    /// Per-card dispatch epoch. The DES kernel cannot cancel scheduled
+    /// events, so a crash bumps the card's epoch and any in-flight
+    /// completion/failure event that captured the old epoch no-ops.
+    epochs: Vec<u64>,
+    /// The batch currently running on each card, held so a crash or
+    /// failure can requeue it.
+    inflight: Vec<Option<Inflight>>,
+    /// Failed dispatch attempts per request id (bounds requeues).
+    attempts: BTreeMap<u64, u32>,
+    failed: Vec<FailedRequest>,
+    retried: u64,
+    crashes: u64,
+    stats: FaultStats,
+    submitted: usize,
+    /// Dedup for scheduled circuit-breaker cooldown wake-ups.
+    breaker_wake: Option<u64>,
+}
+
+struct Inflight {
+    batch: Batch,
+}
+
+/// How a fault-injected dispatch resolved at dispatch time.
+enum FaultyDispatch {
+    /// The batch will complete cleanly at `finish_ns`.
+    Done { finish_ns: u64 },
+    /// An unrecoverable fault will be detected at `at_ns`.
+    Failed { at_ns: u64, kind: FaultKind },
 }
 
 impl SimModel {
@@ -188,6 +284,28 @@ impl SimModel {
                 busy_ns: 0,
             });
         }
+        let faulty = config.faults.as_ref().map(|f| FaultState {
+            watchdog: f.watchdog,
+            retry: f.retry,
+            max_request_attempts: f.max_request_attempts,
+            streams: (0..config.cards)
+                .map(|card| {
+                    FaultStream::seeded(f.seed, card, f.rates).with_events(
+                        f.events.iter().filter(|e| e.card == card).map(|e| (e.at_ns, e.kind)),
+                    )
+                })
+                .collect(),
+            monitors: vec![CardMonitor::new(f.breaker); config.cards],
+            epochs: vec![0; config.cards],
+            inflight: (0..config.cards).map(|_| None).collect(),
+            attempts: BTreeMap::new(),
+            failed: Vec::new(),
+            retried: 0,
+            crashes: 0,
+            stats: FaultStats::default(),
+            submitted: 0,
+            breaker_wake: None,
+        });
         Ok(Self {
             scheduler: BatchScheduler::new(config.policy.clone(), config.synthesis),
             cards,
@@ -200,6 +318,23 @@ impl SimModel {
             reprograms: 0,
             next_flush: None,
             error: None,
+            faulty,
+        })
+    }
+
+    /// Whether every card in the fleet is dead (vacuously false without
+    /// fault injection).
+    fn all_cards_dead(&self) -> bool {
+        self.faulty.as_ref().is_some_and(|f| {
+            f.monitors.iter().all(|m| m.health() == crate::health::CardHealth::Dead)
+        })
+    }
+
+    /// First card that is idle and (under fault injection) alive with a
+    /// closed or cooled-down circuit.
+    fn free_card(&self, now_ns: u64) -> Option<usize> {
+        self.cards.iter().enumerate().position(|(i, c)| {
+            !c.busy && self.faulty.as_ref().is_none_or(|f| f.monitors[i].available(now_ns))
         })
     }
 
@@ -294,37 +429,238 @@ impl SimModel {
         Ok(finish_ns)
     }
 
+    /// Program `card` for `batch` under fault injection. Unlike the
+    /// fault-free [`dispatch`](Self::dispatch), responses are **not**
+    /// recorded here — the batch is parked in `inflight` and either the
+    /// completion event records it or a failure/crash requeues it.
+    fn dispatch_faulty(
+        &mut self,
+        card: usize,
+        batch: &Batch,
+        now_ns: u64,
+    ) -> Result<FaultyDispatch, ServeError> {
+        let class = batch.requests[0].class();
+        let reload_ns = if self.cards[card].loaded_class == Some(class) {
+            0
+        } else {
+            self.reprograms += 1;
+            self.reload_ns(class)
+        };
+        let weights = if self.cards[card].loaded_class == Some(class) {
+            None
+        } else {
+            Some(self.weights_for(class).clone())
+        };
+        let f = self.faulty.as_mut().expect("dispatch_faulty requires fault state");
+        let c = &mut self.cards[card];
+        c.accel.program(batch.runtime).map_err(CoreError::from)?;
+        if let Some(w) = weights {
+            c.accel.try_load_weights(w)?;
+            c.loaded_class = Some(class);
+        }
+        let fmax_mhz = c.accel.design().fmax_mhz;
+        let cycles_to_ns = |cycles: u64| (cycles as f64 * 1e3 / fmax_mhz).ceil() as u64;
+        let (outcome, stats) = c.accel.timing_report_faulty(
+            batch.len(),
+            &mut f.streams[card],
+            f.watchdog,
+            f.retry,
+            now_ns,
+        );
+        f.stats.merge(&stats);
+        let dispatched = match outcome {
+            Ok(report) => {
+                let service_ns = (report.latency_ms() * 1e6).ceil() as u64;
+                let finish_ns = now_ns.saturating_add(reload_ns).saturating_add(service_ns);
+                c.busy_ns = c.busy_ns.saturating_add(reload_ns + service_ns);
+                FaultyDispatch::Done { finish_ns }
+            }
+            Err(CoreError::Fault { kind, .. }) => {
+                // The card is occupied until the driver detects the
+                // fatal fault and gives up.
+                let abort_ns = cycles_to_ns(stats.abort_cycles);
+                let at_ns = now_ns.saturating_add(reload_ns).saturating_add(abort_ns);
+                c.busy_ns = c.busy_ns.saturating_add(reload_ns + abort_ns);
+                FaultyDispatch::Failed { at_ns, kind }
+            }
+            Err(other) => return Err(other.into()),
+        };
+        c.busy = true;
+        f.inflight[card] = Some(Inflight { batch: batch.clone() });
+        Ok(dispatched)
+    }
+
+    /// A fault-injected batch completed: free the card, record the
+    /// member responses, and credit the card's health. No-op if the
+    /// card crashed while the batch was in flight (stale epoch).
+    fn complete_faulty(&mut self, card: usize, epoch: u64, start_ns: u64, finish_ns: u64) {
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.epochs[card] != epoch {
+            return;
+        }
+        let Some(inflight) = f.inflight[card].take() else { return };
+        f.monitors[card].record_success();
+        self.cards[card].busy = false;
+        self.batches += 1;
+        let batch = inflight.batch;
+        for r in &batch.requests {
+            let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
+            self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
+            self.responses.push(ServeResponse {
+                id: r.id,
+                arrival_ns: r.arrival_ns,
+                start_ns,
+                finish_ns,
+                card,
+                batch_size: batch.len(),
+                padded_seq_len: batch.runtime.seq_len,
+            });
+        }
+    }
+
+    /// The driver gave up on a batch at `now_ns`: free the card, trip
+    /// its breaker, and requeue the batch onto survivors. No-op on a
+    /// stale epoch (the card crashed first and already requeued it).
+    fn fail_faulty(&mut self, card: usize, epoch: u64, now_ns: u64, kind: FaultKind) {
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.epochs[card] != epoch {
+            return;
+        }
+        let Some(inflight) = f.inflight[card].take() else { return };
+        f.monitors[card].record_failure(now_ns);
+        self.cards[card].busy = false;
+        self.requeue_or_fail(inflight.batch, kind);
+        self.fail_all_pending_if_dead();
+    }
+
+    /// Card `card` dropped off the bus at `now_ns`: kill it, invalidate
+    /// any in-flight completion/failure events, and requeue its batch.
+    fn crash_card(&mut self, card: usize, _now_ns: u64) {
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.monitors[card].health() == crate::health::CardHealth::Dead {
+            return;
+        }
+        f.crashes += 1;
+        f.epochs[card] += 1;
+        f.monitors[card].kill();
+        self.cards[card].busy = false;
+        if let Some(inflight) = f.inflight[card].take() {
+            self.requeue_or_fail(inflight.batch, FaultKind::CardCrash);
+        }
+        self.fail_all_pending_if_dead();
+    }
+
+    /// Requeue a failed batch's requests, failing any whose attempt
+    /// budget is spent. Counted per request so no request retries
+    /// unboundedly.
+    fn requeue_or_fail(&mut self, batch: Batch, kind: FaultKind) {
+        let f = self.faulty.as_mut().expect("fault state");
+        let mut survivors = Vec::with_capacity(batch.requests.len());
+        for r in batch.requests {
+            let attempts = f.attempts.entry(r.id).or_insert(0);
+            *attempts += 1;
+            if *attempts >= f.max_request_attempts {
+                f.failed.push(FailedRequest {
+                    id: r.id,
+                    reason: FailReason::RetriesExhausted { last: kind },
+                });
+            } else {
+                survivors.push(r);
+            }
+        }
+        f.retried += survivors.len() as u64;
+        if !survivors.is_empty() {
+            self.scheduler.requeue(&Batch { requests: survivors, runtime: batch.runtime });
+        }
+    }
+
+    /// Once the last card dies, drain everything still queued into
+    /// typed failures — queued requests must never be stranded.
+    fn fail_all_pending_if_dead(&mut self) {
+        if !self.all_cards_dead() {
+            return;
+        }
+        while let Some(batch) = self.scheduler.pop_any() {
+            let f = self.faulty.as_mut().expect("fault state");
+            for r in batch.requests {
+                f.failed.push(FailedRequest { id: r.id, reason: FailReason::AllCardsDead });
+            }
+        }
+    }
+
     fn into_report(self) -> ServeReport {
         let busy: Vec<u64> = self.cards.iter().map(|c| c.busy_ns).collect();
-        ServeReport::from_responses(
+        let report = ServeReport::from_responses(
             &self.responses,
             self.ops_total,
             self.batches,
             self.reprograms,
             &busy,
-        )
+        );
+        match self.faulty {
+            None => report,
+            Some(f) => report.with_faults(FaultOutcome {
+                submitted: f.submitted,
+                failed: f.failed,
+                retried: f.retried,
+                crashes: f.crashes,
+                faults: f.stats,
+                card_health: f.monitors.iter().map(CardMonitor::health).collect(),
+            }),
+        }
     }
 }
 
-/// Greedy dispatch: while a card is free and a batch is ready, pair
-/// them; then arm the flush timer for the earliest waiting partial.
+/// Greedy dispatch: while a card is free (and, under fault injection,
+/// alive with a closed circuit) and a batch is ready, pair them; then
+/// arm wake-ups for the earliest waiting partial batch and the earliest
+/// circuit cooldown.
 fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
     if m.error.is_some() {
         return;
     }
     let now = sim.now().get();
-    while let Some(card) = m.cards.iter().position(|c| !c.busy) {
+    while let Some(card) = m.free_card(now) {
         let Some(batch) = m.scheduler.pop_ready(now) else { break };
-        match m.dispatch(card, &batch, now) {
-            Ok(finish_ns) => {
-                sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
-                    m.cards[card].busy = false;
-                    dispatch_all(sim, m);
-                });
+        if m.faulty.is_some() {
+            match m.dispatch_faulty(card, &batch, now) {
+                Ok(FaultyDispatch::Done { finish_ns }) => {
+                    let epoch = m.faulty.as_ref().expect("fault state").epochs[card];
+                    sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
+                        if m.error.is_some() {
+                            return;
+                        }
+                        m.complete_faulty(card, epoch, now, finish_ns);
+                        dispatch_all(sim, m);
+                    });
+                }
+                Ok(FaultyDispatch::Failed { at_ns, kind }) => {
+                    let epoch = m.faulty.as_ref().expect("fault state").epochs[card];
+                    sim.schedule_at(Cycles(at_ns), move |sim, m: &mut SimModel| {
+                        if m.error.is_some() {
+                            return;
+                        }
+                        m.fail_faulty(card, epoch, at_ns, kind);
+                        dispatch_all(sim, m);
+                    });
+                }
+                Err(e) => {
+                    m.error = Some(e);
+                    return;
+                }
             }
-            Err(e) => {
-                m.error = Some(e);
-                return;
+        } else {
+            match m.dispatch(card, &batch, now) {
+                Ok(finish_ns) => {
+                    sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
+                        m.cards[card].busy = false;
+                        dispatch_all(sim, m);
+                    });
+                }
+                Err(e) => {
+                    m.error = Some(e);
+                    return;
+                }
             }
         }
     }
@@ -336,6 +672,28 @@ fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
         if deadline > now && stale {
             m.next_flush = Some(deadline);
             sim.schedule_at(Cycles(deadline), |sim, m: &mut SimModel| dispatch_all(sim, m));
+        }
+    }
+    // If work is pending and some idle card is only blocked by an open
+    // circuit, wake up when the earliest cooldown expires — otherwise a
+    // fleet of tripped-but-alive cards would hang.
+    if m.scheduler.pending() > 0 {
+        if let Some(f) = m.faulty.as_ref() {
+            let wake = m
+                .cards
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.busy)
+                .filter_map(|(i, _)| f.monitors[i].open_until_ns())
+                .filter(|&t| t > now)
+                .min();
+            if let Some(t) = wake {
+                let stale = f.breaker_wake.is_none_or(|w| w <= now || t < w);
+                if stale {
+                    m.faulty.as_mut().expect("fault state").breaker_wake = Some(t);
+                    sim.schedule_at(Cycles(t), |sim, m: &mut SimModel| dispatch_all(sim, m));
+                }
+            }
         }
     }
 }
@@ -434,6 +792,151 @@ mod tests {
         let w = Workload::poisson(12, 50_000.0, &[(96, 4, 2), (128, 4, 2)], (8, 16), 3);
         let report = fleet.serve(&w).unwrap();
         assert!(report.reprograms >= 2, "two classes on one card must reload: {report:?}");
+    }
+
+    #[test]
+    fn zero_rate_fault_config_reproduces_the_fault_free_schedule() {
+        let base = small_fleet(2);
+        let faulty = Fleet::try_new(FleetConfig {
+            faults: Some(FaultConfig::default()),
+            ..base.config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(24);
+        let a = base.serve(&w).unwrap();
+        let b = faulty.serve(&w).unwrap();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency_ms, b.latency_ms, "zero-rate injection must not perturb timing");
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(b.availability, 1.0);
+        assert!(b.failed.is_empty());
+        assert!(!b.degraded());
+    }
+
+    #[test]
+    fn faulty_replay_is_deterministic() {
+        let fleet = Fleet::try_new(FleetConfig {
+            faults: Some(FaultConfig::seeded(42, 0.05)),
+            ..small_fleet(3).config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(24);
+        assert_eq!(fleet.serve(&w).unwrap(), fleet.serve(&w).unwrap());
+    }
+
+    #[test]
+    fn no_request_is_ever_dropped_under_faults() {
+        for seed in [1u64, 7, 42] {
+            let fleet = Fleet::try_new(FleetConfig {
+                faults: Some(FaultConfig::seeded(seed, 0.08)),
+                ..small_fleet(2).config().clone()
+            })
+            .unwrap();
+            let w = dense_workload(32);
+            let r = fleet.serve(&w).unwrap();
+            assert_eq!(r.submitted, 32);
+            assert_eq!(
+                r.completed + r.failed.len(),
+                32,
+                "seed {seed}: every request must complete or fail with a reason: {r:?}"
+            );
+            assert!((0.0..=1.0).contains(&r.availability) && r.availability.is_finite());
+        }
+    }
+
+    #[test]
+    fn unrecoverable_faults_fail_over_to_the_surviving_card() {
+        use protea_core::{FaultEvent, FaultKind};
+        let fleet = Fleet::try_new(FleetConfig {
+            faults: Some(FaultConfig {
+                events: vec![
+                    FaultEvent { at_ns: 0, card: 0, kind: FaultKind::EccDouble },
+                    FaultEvent { at_ns: 1, card: 0, kind: FaultKind::EccDouble },
+                ],
+                ..FaultConfig::default()
+            }),
+            ..small_fleet(2).config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(8);
+        let r = fleet.serve(&w).unwrap();
+        assert_eq!(r.completed, 8, "all requests must survive via requeue: {r:?}");
+        assert!(r.failed.is_empty());
+        assert!(r.retried > 0, "the failed batch must have been requeued");
+        assert_eq!(r.faults.ecc_double, 2);
+        assert_eq!(r.availability, 1.0);
+        // Card 0 took both hits but may have recovered (circuit cooled
+        // down, later batch succeeded) — it must not be dead.
+        assert_ne!(r.card_health[0], crate::health::CardHealth::Dead);
+        assert_eq!(r.card_health[1], crate::health::CardHealth::Healthy);
+    }
+
+    #[test]
+    fn single_card_fleet_with_dead_card_fails_typed_not_hangs() {
+        use protea_core::{FaultEvent, FaultKind};
+        let fleet = Fleet::try_new(FleetConfig {
+            cards: 1,
+            faults: Some(FaultConfig {
+                events: vec![FaultEvent { at_ns: 0, card: 0, kind: FaultKind::CardCrash }],
+                ..FaultConfig::default()
+            }),
+            ..small_fleet(1).config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(6);
+        let r = fleet.serve(&w).unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.failed.len(), 6, "every request fails with a typed reason: {r:?}");
+        assert!(r
+            .failed
+            .iter()
+            .all(|fr| matches!(fr.reason, crate::faults::FailReason::AllCardsDead)));
+        assert_eq!(r.availability, 0.0);
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.card_health[0], crate::health::CardHealth::Dead);
+        assert!(r.throughput_rps.is_finite(), "no degenerate division: {r:?}");
+    }
+
+    #[test]
+    fn crash_mid_run_requeues_inflight_onto_survivor() {
+        use protea_core::{FaultEvent, FaultKind};
+        // Crash card 0 shortly after serving begins: whatever it was
+        // running must finish elsewhere.
+        let fleet = Fleet::try_new(FleetConfig {
+            faults: Some(FaultConfig {
+                events: vec![FaultEvent { at_ns: 150_000, card: 0, kind: FaultKind::CardCrash }],
+                ..FaultConfig::default()
+            }),
+            ..small_fleet(2).config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(24);
+        let r = fleet.serve(&w).unwrap();
+        assert_eq!(r.completed + r.failed.len(), 24, "no drops: {r:?}");
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.card_health[0], crate::health::CardHealth::Dead);
+        assert_eq!(r.completed, 24, "one surviving card must absorb the work");
+    }
+
+    #[test]
+    fn invalid_fault_config_rejected_up_front() {
+        use protea_core::FaultRates;
+        let bad_rates = FleetConfig {
+            faults: Some(FaultConfig {
+                rates: FaultRates { stall: 1.5, ..FaultRates::ZERO },
+                ..FaultConfig::default()
+            }),
+            ..FleetConfig::default()
+        };
+        assert!(matches!(
+            Fleet::try_new(bad_rates).unwrap_err(),
+            ServeError::Core(CoreError::InvalidConfig(_))
+        ));
+        let zero_attempts = FleetConfig {
+            faults: Some(FaultConfig { max_request_attempts: 0, ..FaultConfig::default() }),
+            ..FleetConfig::default()
+        };
+        assert!(Fleet::try_new(zero_attempts).is_err());
     }
 
     #[test]

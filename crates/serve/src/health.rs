@@ -1,0 +1,193 @@
+//! Per-card health tracking and the dispatch circuit breaker.
+//!
+//! The fleet watches every card's fault history and degrades
+//! gracefully instead of hammering a failing card:
+//!
+//! * a card moves `Healthy → Degraded` on its first unrecoverable
+//!   fault and `→ Dead` after [`CircuitBreaker::dead_threshold`] total
+//!   failures (or immediately on a crash);
+//! * [`CircuitBreaker::trip_threshold`] *consecutive* failures open the
+//!   card's circuit: dispatch skips it for
+//!   [`CircuitBreaker::cooldown_ns`], then probes it again;
+//! * a success closes the circuit and restores `Healthy`.
+//!
+//! The monitor is pure bookkeeping — deterministic, no clocks of its
+//! own — so fleet simulations containing it replay bit-identically.
+
+use core::fmt;
+
+/// A card's position on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CardHealth {
+    /// Serving normally.
+    Healthy,
+    /// Has failed at least once since its last success; still dispatchable.
+    Degraded,
+    /// Crashed or exceeded the failure budget; never dispatched again.
+    Dead,
+}
+
+impl fmt::Display for CardHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CardHealth::Healthy => "healthy",
+            CardHealth::Degraded => "degraded",
+            CardHealth::Dead => "dead",
+        })
+    }
+}
+
+/// Circuit-breaker thresholds governing when a failing card is rested
+/// and when it is abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    /// Consecutive unrecoverable failures that open the circuit.
+    pub trip_threshold: u32,
+    /// How long an open circuit blocks dispatch to the card (ns).
+    pub cooldown_ns: u64,
+    /// Total failures after which the card is declared dead.
+    pub dead_threshold: u32,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self { trip_threshold: 2, cooldown_ns: 5_000_000, dead_threshold: 6 }
+    }
+}
+
+/// The fleet's health record for one card.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CardMonitor {
+    breaker: CircuitBreaker,
+    health: CardHealth,
+    consecutive_failures: u32,
+    total_failures: u32,
+    open_until_ns: Option<u64>,
+}
+
+impl CardMonitor {
+    /// A fresh (healthy, circuit closed) monitor under `breaker`.
+    #[must_use]
+    pub fn new(breaker: CircuitBreaker) -> Self {
+        Self {
+            breaker,
+            health: CardHealth::Healthy,
+            consecutive_failures: 0,
+            total_failures: 0,
+            open_until_ns: None,
+        }
+    }
+
+    /// Current health.
+    #[must_use]
+    pub fn health(&self) -> CardHealth {
+        self.health
+    }
+
+    /// Total unrecoverable failures recorded.
+    #[must_use]
+    pub fn total_failures(&self) -> u32 {
+        self.total_failures
+    }
+
+    /// Whether the card may receive a dispatch at `now_ns`: alive and
+    /// its circuit (if open) has cooled down.
+    #[must_use]
+    pub fn available(&self, now_ns: u64) -> bool {
+        self.health != CardHealth::Dead && self.open_until_ns.is_none_or(|t| now_ns >= t)
+    }
+
+    /// When the open circuit admits dispatch again, if it is currently
+    /// blocking a live card.
+    #[must_use]
+    pub fn open_until_ns(&self) -> Option<u64> {
+        if self.health == CardHealth::Dead {
+            None
+        } else {
+            self.open_until_ns
+        }
+    }
+
+    /// A batch completed: close the circuit and restore health.
+    pub fn record_success(&mut self) {
+        if self.health == CardHealth::Dead {
+            return;
+        }
+        self.health = CardHealth::Healthy;
+        self.consecutive_failures = 0;
+        self.open_until_ns = None;
+    }
+
+    /// An unrecoverable fault ended a batch at `now_ns`: degrade, and
+    /// trip the breaker or declare the card dead per the thresholds.
+    pub fn record_failure(&mut self, now_ns: u64) {
+        if self.health == CardHealth::Dead {
+            return;
+        }
+        self.total_failures += 1;
+        self.consecutive_failures += 1;
+        if self.total_failures >= self.breaker.dead_threshold {
+            self.health = CardHealth::Dead;
+            return;
+        }
+        self.health = CardHealth::Degraded;
+        if self.consecutive_failures >= self.breaker.trip_threshold {
+            self.open_until_ns = Some(now_ns.saturating_add(self.breaker.cooldown_ns));
+        }
+    }
+
+    /// The card dropped off the bus: dead, immediately and permanently.
+    pub fn kill(&mut self) {
+        self.health = CardHealth::Dead;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_ladder() {
+        let b = CircuitBreaker { trip_threshold: 2, cooldown_ns: 1_000, dead_threshold: 3 };
+        let mut m = CardMonitor::new(b);
+        assert_eq!(m.health(), CardHealth::Healthy);
+        assert!(m.available(0));
+
+        m.record_failure(100);
+        assert_eq!(m.health(), CardHealth::Degraded);
+        assert!(m.available(100), "one failure does not trip the breaker");
+
+        m.record_failure(200);
+        assert!(!m.available(200), "second consecutive failure opens the circuit");
+        assert_eq!(m.open_until_ns(), Some(1_200));
+        assert!(m.available(1_200), "cooldown elapsed");
+
+        m.record_success();
+        assert_eq!(m.health(), CardHealth::Healthy);
+        assert!(m.available(1_300));
+
+        // Success reset the consecutive counter, but total failures
+        // accumulate toward death.
+        m.record_failure(2_000);
+        assert_eq!(m.health(), CardHealth::Dead, "third total failure is fatal");
+        assert!(!m.available(u64::MAX));
+        assert_eq!(m.open_until_ns(), None, "dead cards report no cooldown");
+    }
+
+    #[test]
+    fn kill_is_immediate_and_sticky() {
+        let mut m = CardMonitor::new(CircuitBreaker::default());
+        m.kill();
+        assert_eq!(m.health(), CardHealth::Dead);
+        m.record_success();
+        assert_eq!(m.health(), CardHealth::Dead, "success cannot resurrect a crashed card");
+        assert!(!m.available(0));
+    }
+
+    #[test]
+    fn health_displays() {
+        for h in [CardHealth::Healthy, CardHealth::Degraded, CardHealth::Dead] {
+            assert!(!h.to_string().is_empty());
+        }
+    }
+}

@@ -22,6 +22,16 @@
 //! shapes, and infeasible fleet configurations come back as
 //! [`ServeError`] values — no panic is reachable from user input.
 //!
+//! Attaching a [`FaultConfig`] to the [`FleetConfig`] runs the same
+//! simulation under deterministic fault injection: seeded per-card
+//! fault streams (ECC flips, AXI stalls/timeouts, card crashes) drive
+//! the driver's watchdog/retry machinery, per-card health tracking and
+//! a circuit breaker steer dispatch away from failing cards, and
+//! in-flight batches are requeued onto survivors. Every submitted
+//! request ends in exactly one of `completed` or [`FailedRequest`] —
+//! none is ever silently dropped — and the whole run replays
+//! bit-identically from its seed.
+//!
 //! ```
 //! use protea_serve::{Fleet, FleetConfig, Workload};
 //!
@@ -37,15 +47,19 @@
 #![warn(missing_docs)]
 
 mod error;
+mod faults;
 mod fleet;
+mod health;
 mod report;
 mod request;
 mod scheduler;
 mod trace;
 
 pub use error::ServeError;
+pub use faults::{FailReason, FailedRequest, FaultConfig};
 pub use fleet::{Fleet, FleetConfig};
-pub use report::{Percentiles, ServeReport};
+pub use health::{CardHealth, CardMonitor, CircuitBreaker};
+pub use report::{FaultOutcome, Percentiles, ServeReport};
 pub use request::{CapacityClass, ServeRequest, ServeResponse};
 pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
 pub use trace::Workload;

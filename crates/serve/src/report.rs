@@ -1,7 +1,11 @@
-//! Aggregate serving metrics: throughput and tail latency.
+//! Aggregate serving metrics: throughput, tail latency, and — under
+//! fault injection — availability and failure accounting.
 
+use crate::faults::FailedRequest;
+use crate::health::CardHealth;
 use crate::request::ServeResponse;
 use core::fmt;
+use protea_core::FaultStats;
 
 /// p50/p95/p99/max of a latency distribution, in milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +62,40 @@ pub struct ServeReport {
     pub mean_batch: f64,
     /// Per-card busy fraction over the makespan.
     pub card_utilization: Vec<f64>,
+    /// Requests submitted (completed + failed; equals `completed` in a
+    /// fault-free run).
+    pub submitted: usize,
+    /// Fraction of submitted requests served: `completed / submitted`
+    /// (1.0 for an empty or fault-free run).
+    pub availability: f64,
+    /// Requests re-queued after a card failure (counted per requeue).
+    pub retried: u64,
+    /// Cards that crashed during the run.
+    pub crashes: u64,
+    /// Requests the fleet could not serve, each with a typed reason.
+    pub failed: Vec<FailedRequest>,
+    /// Fleet-wide fault accounting from the driver layer.
+    pub faults: FaultStats,
+    /// Each card's health at the end of the run.
+    pub card_health: Vec<CardHealth>,
+}
+
+/// The fault-side outcome of a serving simulation, folded into a
+/// [`ServeReport`] via [`ServeReport::with_faults`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultOutcome {
+    /// Requests submitted over the run.
+    pub submitted: usize,
+    /// Requests that ultimately failed.
+    pub failed: Vec<FailedRequest>,
+    /// Requeue events (requests sent back to the scheduler).
+    pub retried: u64,
+    /// Card crashes.
+    pub crashes: u64,
+    /// Merged per-class fault counters.
+    pub faults: FaultStats,
+    /// Final per-card health.
+    pub card_health: Vec<CardHealth>,
 }
 
 impl ServeReport {
@@ -91,7 +129,46 @@ impl ServeReport {
             queue_ms: Percentiles::of(&queue),
             mean_batch: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
             card_utilization: busy_ns.iter().map(|&b| (b as f64 / 1e9 / span).min(1.0)).collect(),
+            submitted: completed,
+            availability: 1.0,
+            retried: 0,
+            crashes: 0,
+            failed: Vec::new(),
+            faults: FaultStats::default(),
+            card_health: vec![CardHealth::Healthy; busy_ns.len()],
         }
+    }
+
+    /// Fold a fault-injected run's outcome into the report, recomputing
+    /// availability as `completed / submitted` (1.0 when nothing was
+    /// submitted, so an empty run never divides by zero).
+    #[must_use]
+    pub fn with_faults(mut self, outcome: FaultOutcome) -> Self {
+        self.submitted = outcome.submitted;
+        self.availability = if outcome.submitted == 0 {
+            1.0
+        } else {
+            self.completed as f64 / outcome.submitted as f64
+        };
+        self.retried = outcome.retried;
+        self.crashes = outcome.crashes;
+        self.failed = outcome.failed;
+        self.faults = outcome.faults;
+        if !outcome.card_health.is_empty() {
+            self.card_health = outcome.card_health;
+        }
+        self
+    }
+
+    /// Whether the run saw any fault, failure, crash, or retry — i.e.
+    /// whether the fault section of [`Display`](fmt::Display) prints.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.faults.any()
+            || !self.failed.is_empty()
+            || self.crashes > 0
+            || self.retried > 0
+            || self.submitted != self.completed
     }
 }
 
@@ -124,7 +201,28 @@ impl fmt::Display for ServeReport {
         )?;
         let util: Vec<String> =
             self.card_utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
-        writeln!(f, "  card busy    [{}]", util.join(", "))
+        writeln!(f, "  card busy    [{}]", util.join(", "))?;
+        // The fault section prints only when something actually went
+        // wrong, so fault-free reports render exactly as before.
+        if self.degraded() {
+            writeln!(
+                f,
+                "  availability {:.2}%  ({}/{} served, {} failed, {} requeued, {} crash(es))",
+                self.availability * 100.0,
+                self.completed,
+                self.submitted,
+                self.failed.len(),
+                self.retried,
+                self.crashes
+            )?;
+            writeln!(f, "  faults       {}", self.faults)?;
+            let health: Vec<String> = self.card_health.iter().map(CardHealth::to_string).collect();
+            writeln!(f, "  card health  [{}]", health.join(", "))?;
+            for fr in &self.failed {
+                writeln!(f, "  failed       {fr}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -185,5 +283,32 @@ mod tests {
         let r = ServeReport::from_responses(&[], 0, 0, 0, &[0]);
         assert_eq!(r.completed, 0);
         assert!(r.throughput_rps.is_finite());
+        assert_eq!(r.availability, 1.0);
+        assert!(!r.degraded());
+    }
+
+    #[test]
+    fn fault_outcome_sets_availability_and_display_section() {
+        use crate::faults::{FailReason, FailedRequest};
+        let clean = ServeReport::from_responses(&[resp(0, 0, 1, 2_000_000)], 1_000, 1, 0, &[1]);
+        assert!(!clean.to_string().contains("availability"), "fault-free text unchanged");
+        let r = clean.with_faults(FaultOutcome {
+            submitted: 2,
+            failed: vec![FailedRequest { id: 1, reason: FailReason::AllCardsDead }],
+            retried: 3,
+            crashes: 1,
+            faults: FaultStats { ecc_single: 2, ..FaultStats::default() },
+            card_health: vec![CardHealth::Dead],
+        });
+        assert!((r.availability - 0.5).abs() < 1e-12);
+        assert!(r.degraded());
+        let text = r.to_string();
+        for needle in ["availability", "faults", "card health", "dead", "request 1"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        // zero submitted never divides by zero
+        let empty =
+            ServeReport::from_responses(&[], 0, 0, 0, &[0]).with_faults(FaultOutcome::default());
+        assert_eq!(empty.availability, 1.0);
     }
 }

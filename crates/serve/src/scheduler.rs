@@ -191,6 +191,24 @@ impl BatchScheduler {
         Some(self.take(key))
     }
 
+    /// Return a dispatched batch's requests to the **front** of their
+    /// queue (the card failed or crashed mid-run). The requests were
+    /// already admitted, so there is no re-validation, and FIFO order
+    /// within the batch is preserved — a requeued request keeps its
+    /// place ahead of later arrivals.
+    pub fn requeue(&mut self, batch: &Batch) {
+        if batch.requests.is_empty() {
+            return;
+        }
+        let key =
+            BatchKey { class: batch.requests[0].class(), padded_seq_len: batch.runtime.seq_len };
+        let q = self.queues.entry(key).or_default();
+        for r in batch.requests.iter().rev() {
+            q.push_front(*r);
+        }
+        self.pending += batch.requests.len();
+    }
+
     fn take(&mut self, key: BatchKey) -> Batch {
         let q = self.queues.get_mut(&key).expect("key exists by construction");
         let n = q.len().min(self.policy.max_batch);
@@ -303,6 +321,25 @@ mod tests {
         let rest = s.pop_any().unwrap();
         assert_eq!(rest.len(), 2);
         assert!(s.pop_any().is_none());
+    }
+
+    #[test]
+    fn requeue_restores_requests_at_the_front() {
+        let mut s = sched();
+        for i in 0..4 {
+            s.push(req(i, i * 7, 12)).unwrap();
+        }
+        let b = s.pop_ready(100).unwrap();
+        assert_eq!(s.pending(), 0);
+        // a later arrival lands behind the requeued batch
+        s.push(req(9, 200, 12)).unwrap();
+        s.requeue(&b);
+        assert_eq!(s.pending(), 5);
+        let again = s.pop_ready(u64::MAX).unwrap();
+        let ids: Vec<u64> = again.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "requeued requests keep FIFO order at the front");
+        let rest = s.pop_ready(u64::MAX).unwrap();
+        assert_eq!(rest.requests[0].id, 9);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property tests for the batch scheduler's conservation invariant.
+//!
+//! Whatever the arrival order, sequence-length mix, and interleaving of
+//! dispatches with faulty-card requeues, every pushed request must end
+//! up in **exactly one** completed batch — no drops, no duplicates.
+//! This is the scheduler-level half of the fleet's zero-drop guarantee.
+
+use proptest::prelude::*;
+use protea_core::SynthesisConfig;
+use protea_serve::{BatchPolicy, BatchScheduler, ServeRequest};
+
+fn scheduler() -> BatchScheduler {
+    BatchScheduler::new(
+        BatchPolicy { max_batch: 4, max_wait_ns: 1_000, seq_buckets: vec![16, 32, 64, 128] },
+        SynthesisConfig::paper_default(),
+    )
+}
+
+fn request(id: u64, arrival_ns: u64, seq_len: usize) -> ServeRequest {
+    ServeRequest { id, arrival_ns, d_model: 96, heads: 4, layers: 2, seq_len }
+}
+
+proptest! {
+    /// Push requests with arbitrary arrival times and lengths, pop with
+    /// `pop_ready` at advancing clocks and `pop_any` to drain, and
+    /// requeue an arbitrary subset of popped batches (bounded so the
+    /// loop terminates, as the fleet's per-request attempt budget does).
+    /// Exactly-once delivery must hold at the end.
+    #[test]
+    fn every_request_lands_in_exactly_one_completed_batch(
+        arrivals in prop::collection::vec((0u64..50_000, 1usize..=128), 1..48),
+        requeue_bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let mut s = scheduler();
+        for (i, &(at, seq)) in arrivals.iter().enumerate() {
+            s.push(request(i as u64, at, seq)).expect("all shapes fit the paper bitstream");
+        }
+        prop_assert_eq!(s.pending(), arrivals.len());
+
+        let mut completed: Vec<u64> = Vec::new();
+        let mut decisions = requeue_bits.into_iter();
+        let mut requeue_budget = arrivals.len();
+
+        // Phase 1: serve with a clock, as the fleet's dispatcher does.
+        let mut now = 0u64;
+        while now <= 60_000 {
+            while let Some(batch) = s.pop_ready(now) {
+                if requeue_budget > 0 && decisions.next().unwrap_or(false) {
+                    requeue_budget -= 1;
+                    s.requeue(&batch);
+                    break; // a requeued batch is immediately poppable again
+                }
+                completed.extend(batch.requests.iter().map(|r| r.id));
+            }
+            now += 7_919; // coprime stride so flush deadlines interleave
+        }
+        // Phase 2: drain whatever is left, still interleaving requeues.
+        while let Some(batch) = s.pop_any() {
+            if requeue_budget > 0 && decisions.next().unwrap_or(false) {
+                requeue_budget -= 1;
+                s.requeue(&batch);
+                continue;
+            }
+            completed.extend(batch.requests.iter().map(|r| r.id));
+        }
+
+        prop_assert_eq!(s.pending(), 0, "nothing may remain queued");
+        let mut unique = completed.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), completed.len(), "no request may complete twice");
+        prop_assert_eq!(completed.len(), arrivals.len(), "no request may be dropped");
+    }
+
+    /// Requeue preserves FIFO order: a requeued batch pops again ahead
+    /// of anything that arrived after its members.
+    #[test]
+    fn requeued_batches_keep_their_place_at_the_head(
+        n in 1usize..8,
+        later_arrival in 100_000u64..200_000,
+    ) {
+        let mut s = scheduler();
+        for i in 0..n {
+            s.push(request(i as u64, i as u64, 8)).unwrap();
+        }
+        let batch = s.pop_any().expect("n >= 1");
+        s.push(request(99, later_arrival, 8)).unwrap();
+        s.requeue(&batch);
+        let again = s.pop_any().expect("requeued batch is pending");
+        let ids: Vec<u64> = again.requests.iter().map(|r| r.id).collect();
+        // The later arrival may legally top up a non-full batch, but the
+        // requeued members must lead, in their original order.
+        let expect: Vec<u64> = (0..batch.len() as u64).collect();
+        prop_assert_eq!(&ids[..batch.len()], &expect[..], "requeued members pop first, in order");
+    }
+}

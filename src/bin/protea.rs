@@ -9,11 +9,71 @@
 //!                  [--requests 64] [--d 96] [--heads 4] [--layers 2]
 //!                  [--sl-min 8] [--sl-max 64] [--max-batch 8] [--seed 42]
 //!                  [--emit-trace out.json]
+//! protea chaos-sim [--cards 2] [--fault-rate 0.02] [--crash-rate 0]
+//!                  [--max-attempts 5] [--seed 42] [--requests 64]
+//!                  [--arrival-rate 50000] [--d 96] [--heads 4] [--layers 2]
+//!                  [--sl-min 8] [--sl-max 64] [--max-batch 8]
 //! ```
+//!
+//! Exit codes are uniform across subcommands: 0 success, 1 usage error,
+//! then [`CoreError::exit_code`] (2 = invalid configuration, 3 = bad
+//! model blob, 4 = infeasible design, 5 = request-path mismatch, 6 =
+//! unrecoverable hardware fault, 7 = serving-layer rejection).
 
 use protea::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Every way a CLI invocation can fail, mapped onto the uniform exit
+/// code table (usage errors exit 1; everything else defers to
+/// [`CoreError::exit_code`]).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Core(CoreError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Core(e) => e.exit_code(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => f.write_str(m),
+            CliError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.to_string())
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Core(e.into())
+    }
+}
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -61,7 +121,32 @@ fn workload_of(flags: &HashMap<String, String>) -> Result<EncoderConfig, String>
     Ok(EncoderConfig::new(d, h, n, sl))
 }
 
-fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Assemble the serving workload shared by `serve-sim` and `chaos-sim`.
+fn serving_workload(flags: &HashMap<String, String>) -> Result<Workload, CliError> {
+    match flags.get("trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+            Ok(Workload::from_json(&text)?)
+        }
+        None => {
+            let n = flag(flags, "requests", 64usize)?;
+            let rate = flag(flags, "arrival-rate", 50_000.0f64)?;
+            let d = flag(flags, "d", 96usize)?;
+            let h = flag(flags, "heads", 4usize)?;
+            let l = flag(flags, "layers", 2usize)?;
+            let sl_min = flag(flags, "sl-min", 8usize)?;
+            let sl_max = flag(flags, "sl-max", 64usize)?;
+            let seed = flag(flags, "seed", 42u64)?;
+            if rate.is_nan() || rate <= 0.0 {
+                return Err("--arrival-rate must be positive".into());
+            }
+            Ok(Workload::poisson(n, rate, &[(d, h, l)], (sl_min, sl_max), seed))
+        }
+    }
+}
+
+fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let device = device_of(flags)?;
     let tm = flag(flags, "tiles-mha", 12usize)?;
     let tf = flag(flags, "tiles-ffn", 6usize)?;
@@ -74,7 +159,7 @@ fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let device = device_of(flags)?;
     let cfg = workload_of(flags)?;
     let seed = flag(flags, "seed", 42u64)?;
@@ -82,22 +167,22 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let syn = SynthesisConfig::paper_default();
     let design = syn.synthesize(&device);
     if !design.feasible {
-        return Err(format!("paper design point does not fit {} — try `protea fit`", device.name));
+        return Err(
+            format!("paper design point does not fit {} — try `protea fit`", device.name).into()
+        );
     }
-    let mut accel = Accelerator::try_new(syn, &device).map_err(|e| e.to_string())?;
+    let mut accel = Accelerator::try_new(syn, &device)?;
     accel
-        .program(RuntimeConfig::from_model(&cfg, &syn).map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    accel
-        .try_load_weights(QuantizedEncoder::from_float(
-            &EncoderWeights::random(cfg, seed),
-            QuantSchedule::paper(),
-        ))
-        .map_err(|e| e.to_string())?;
+        .program(RuntimeConfig::from_model(&cfg, &syn).map_err(CoreError::from)?)
+        .map_err(CoreError::from)?;
+    accel.try_load_weights(QuantizedEncoder::from_float(
+        &EncoderWeights::random(cfg, seed),
+        QuantSchedule::paper(),
+    ))?;
     let x = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| {
         (seed.wrapping_add((r * 31 + c * 7) as u64) % 200) as i64 as i8
     });
-    let result = accel.try_run(&x).map_err(|e| e.to_string())?;
+    let result = accel.try_run(&x)?;
     println!(
         "workload: d={} heads={} layers={} SL={} (seed {seed})",
         cfg.d_model, cfg.heads, cfg.layers, cfg.seq_len
@@ -116,12 +201,13 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fit(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_fit(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let device = device_of(flags)?;
     let cfg = workload_of(flags)?;
     match SynthesisConfig::fit_to_device(&device, &cfg) {
         None => {
-            Err(format!("no feasible ProTEA configuration on {} for this workload", device.name))
+            Err(format!("no feasible ProTEA configuration on {} for this workload", device.name)
+                .into())
         }
         Some(design) => {
             println!("fitted design for {}:", device.name);
@@ -140,7 +226,7 @@ fn cmd_fit(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
-fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let device = device_of(flags)?;
     let workload = EncoderConfig::paper_test1();
     println!("tile sweep on {} (test #1 workload):", device.name);
@@ -149,10 +235,10 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
             let syn = SynthesisConfig::with_tile_counts(tm, tf);
             let design = syn.synthesize(&device);
             if design.feasible {
-                let mut accel = Accelerator::try_new(syn, &device).map_err(|e| e.to_string())?;
+                let mut accel = Accelerator::try_new(syn, &device)?;
                 accel
-                    .program(RuntimeConfig::from_model(&workload, &syn).map_err(|e| e.to_string())?)
-                    .map_err(|e| e.to_string())?;
+                    .program(RuntimeConfig::from_model(&workload, &syn).map_err(CoreError::from)?)
+                    .map_err(CoreError::from)?;
                 println!(
                     "  {tm:>2} x {tf}: {:>6.1} MHz  {:>7.1} ms",
                     design.fmax_mhz,
@@ -166,30 +252,10 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let device = device_of(flags)?;
     let cards = flag(flags, "cards", 2usize)?;
-    let workload = match flags.get("trace") {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
-            Workload::from_json(&text).map_err(|e| e.to_string())?
-        }
-        None => {
-            let n = flag(flags, "requests", 64usize)?;
-            let rate = flag(flags, "arrival-rate", 50_000.0f64)?;
-            let d = flag(flags, "d", 96usize)?;
-            let h = flag(flags, "heads", 4usize)?;
-            let l = flag(flags, "layers", 2usize)?;
-            let sl_min = flag(flags, "sl-min", 8usize)?;
-            let sl_max = flag(flags, "sl-max", 64usize)?;
-            let seed = flag(flags, "seed", 42u64)?;
-            if rate.is_nan() || rate <= 0.0 {
-                return Err("--arrival-rate must be positive".into());
-            }
-            Workload::poisson(n, rate, &[(d, h, l)], (sl_min, sl_max), seed)
-        }
-    };
+    let workload = serving_workload(flags)?;
     if let Some(path) = flags.get("emit-trace") {
         std::fs::write(path, workload.to_json())
             .map_err(|e| format!("cannot write '{path}': {e}"))?;
@@ -197,9 +263,8 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let policy =
         BatchPolicy { max_batch: flag(flags, "max-batch", 8usize)?, ..BatchPolicy::default() };
-    let fleet = Fleet::try_new(FleetConfig { cards, device, policy, ..FleetConfig::default() })
-        .map_err(|e| e.to_string())?;
-    let report = fleet.serve(&workload).map_err(|e| e.to_string())?;
+    let fleet = Fleet::try_new(FleetConfig { cards, device, policy, ..FleetConfig::default() })?;
+    let report = fleet.serve(&workload)?;
     println!(
         "workload: {} requests over {:.3} s of arrivals, {} card(s)",
         workload.requests.len(),
@@ -207,7 +272,7 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), String> {
         cards
     );
     println!("{report}");
-    let serial = fleet.serve_serial_baseline(&workload).map_err(|e| e.to_string())?;
+    let serial = fleet.serve_serial_baseline(&workload)?;
     println!(
         "serial 1-card baseline: {:.1} inf/s, p99 {:.3} ms  (batched fleet speedup {:.2}x)",
         serial.throughput_rps,
@@ -217,30 +282,92 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_chaos_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let device = device_of(flags)?;
+    let cards = flag(flags, "cards", 2usize)?;
+    let seed = flag(flags, "seed", 42u64)?;
+    let fault_rate = flag(flags, "fault-rate", 0.02f64)?;
+    let crash_rate = flag(flags, "crash-rate", 0.0f64)?;
+    let max_attempts = flag(flags, "max-attempts", 5u32)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {fault_rate}").into());
+    }
+    if !crash_rate.is_finite() || crash_rate < 0.0 {
+        return Err(format!("--crash-rate must be finite and >= 0, got {crash_rate}").into());
+    }
+    let workload = serving_workload(flags)?;
+    let policy =
+        BatchPolicy { max_batch: flag(flags, "max-batch", 8usize)?, ..BatchPolicy::default() };
+    let faults = FaultConfig {
+        rates: FaultRates::scaled(fault_rate).with_crash_rate(crash_rate),
+        max_request_attempts: max_attempts,
+        ..FaultConfig::seeded(seed, fault_rate)
+    };
+    let base = FleetConfig { cards, device, policy, ..FleetConfig::default() };
+    let clean_fleet = Fleet::try_new(base.clone())?;
+    let chaos_fleet = Fleet::try_new(FleetConfig { faults: Some(faults), ..base })?;
+
+    println!(
+        "chaos-sim: {} requests over {:.3} s of arrivals, {} card(s), \
+         fault rate {fault_rate}, crash rate {crash_rate}/s, seed {seed}",
+        workload.requests.len(),
+        workload.span_s(),
+        cards
+    );
+    let clean = clean_fleet.serve(&workload)?;
+    let chaos = chaos_fleet.serve(&workload)?;
+    println!("{chaos}");
+    println!(
+        "fault-free baseline: {:.1} inf/s, p99 {:.3} ms",
+        clean.throughput_rps, clean.latency_ms.p99
+    );
+    println!(
+        "under faults: throughput {:.1}% of baseline, p99 {:.2}x baseline",
+        100.0 * chaos.throughput_rps / clean.throughput_rps,
+        chaos.latency_ms.p99 / clean.latency_ms.p99.max(f64::MIN_POSITIVE)
+    );
+    let accounted = chaos.completed + chaos.failed.len();
+    println!(
+        "dropped requests: {} ({} completed + {} failed = {} submitted)",
+        chaos.submitted.saturating_sub(accounted),
+        chaos.completed,
+        chaos.failed.len(),
+        chaos.submitted
+    );
+    if accounted != chaos.submitted {
+        return Err(CoreError::Serving(format!(
+            "request accounting broken: {accounted} accounted vs {} submitted",
+            chaos.submitted
+        ))
+        .into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage =
-        "usage: protea <synth|run|fit|sweep|serve-sim> [--flag value]...\n  see source header for flags";
+    let usage = "usage: protea <synth|run|fit|sweep|serve-sim|chaos-sim> [--flag value]...\n  see source header for flags";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
     };
     let result = match parse_flags(&args[1..]) {
-        Err(e) => Err(e),
+        Err(e) => Err(CliError::Usage(e)),
         Ok(flags) => match cmd.as_str() {
             "synth" => cmd_synth(&flags),
             "run" => cmd_run(&flags),
             "fit" => cmd_fit(&flags),
             "sweep" => cmd_sweep(&flags),
             "serve-sim" => cmd_serve_sim(&flags),
-            other => Err(format!("unknown command '{other}'\n{usage}")),
+            "chaos-sim" => cmd_chaos_sim(&flags),
+            other => Err(CliError::Usage(format!("unknown command '{other}'\n{usage}"))),
         },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -42,10 +42,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! The pre-0.2 panicking constructors (`Accelerator::new`,
-//! `Accelerator::load_weights`) still exist as `#[deprecated]` wrappers
-//! over the `try_` forms; new code should not use them.
-//!
 //! ## Serving simulation
 //!
 //! Beyond single requests, [`serve`] simulates a *fleet* of ProTEA
@@ -54,7 +50,10 @@
 //! sequence-length bucket) to amortize register programming and weight
 //! reloads, and a discrete-event simulation reports throughput and
 //! p50/p95/p99 latency. The `protea serve-sim` subcommand exposes the
-//! same simulation from the command line:
+//! same simulation from the command line, and `protea chaos-sim` runs
+//! it under deterministic fault injection (seeded ECC flips, AXI
+//! stalls/timeouts, and card crashes with watchdog/retry/circuit-breaker
+//! recovery — see [`serve::FaultConfig`]):
 //!
 //! ```
 //! use protea::prelude::*;
@@ -100,8 +99,9 @@ pub use protea_tensor as tensor;
 pub mod prelude {
     pub use protea_baselines::{NativeCpuEngine, PowerModel};
     pub use protea_core::{
-        Accelerator, CoreError, CycleReport, Driver, RunResult, RuntimeConfig, SparseMode,
-        SynthesisConfig, SynthesisConfigBuilder, TimingPreset,
+        Accelerator, CoreError, CycleReport, Driver, FaultEvent, FaultKind, FaultRates, FaultStats,
+        RetryPolicy, RunResult, RuntimeConfig, SparseMode, SynthesisConfig, SynthesisConfigBuilder,
+        TimingPreset, Watchdog,
     };
     pub use protea_fixed::{QFormat, Quantizer, Rounding};
     pub use protea_model::{
@@ -110,8 +110,8 @@ pub mod prelude {
     };
     pub use protea_platform::FpgaDevice;
     pub use protea_serve::{
-        BatchPolicy, Fleet, FleetConfig, Percentiles, ServeError, ServeReport, ServeRequest,
-        ServeResponse, Workload,
+        BatchPolicy, CardHealth, FailReason, FailedRequest, FaultConfig, Fleet, FleetConfig,
+        Percentiles, ServeError, ServeReport, ServeRequest, ServeResponse, Workload,
     };
     pub use protea_tensor::Matrix;
 }

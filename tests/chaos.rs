@@ -1,0 +1,98 @@
+//! Integration: fault injection and graceful degradation end to end.
+//!
+//! The headline claims: a faulted serving run (1) replays bit-identically
+//! from its seed, (2) never silently drops a request — every submitted
+//! request ends in exactly one of `completed` or `failed` — and (3) with
+//! all fault rates at zero reproduces the fault-free schedule exactly,
+//! so attaching the fault machinery costs nothing when it is idle.
+
+use protea::prelude::*;
+
+fn dense_trace() -> Workload {
+    Workload::poisson(48, 80_000.0, &[(96, 4, 2)], (8, 32), 99)
+}
+
+fn fleet(cards: usize, faults: Option<FaultConfig>) -> Fleet {
+    Fleet::try_new(FleetConfig { cards, faults, ..FleetConfig::default() }).unwrap()
+}
+
+#[test]
+fn same_seed_replays_bit_identically() {
+    let trace = dense_trace();
+    let cfg = FaultConfig::seeded(0xFA11, 0.04);
+    let a = fleet(3, Some(cfg.clone())).serve(&trace).unwrap();
+    let b = fleet(3, Some(cfg)).serve(&trace).unwrap();
+    assert_eq!(a, b, "two runs from one seed must be indistinguishable");
+    // And a different seed genuinely changes the fault pattern.
+    let c = fleet(3, Some(FaultConfig::seeded(0xFA12, 0.04))).serve(&trace).unwrap();
+    assert_ne!(a.faults, c.faults, "a different seed must perturb the run");
+}
+
+#[test]
+fn no_request_dropped_across_seeds_rates_and_fleet_sizes() {
+    let trace = dense_trace();
+    for cards in [2usize, 4] {
+        for (seed, rate) in [(1u64, 0.02), (7, 0.05), (42, 0.10)] {
+            let r = fleet(cards, Some(FaultConfig::seeded(seed, rate))).serve(&trace).unwrap();
+            assert_eq!(r.submitted, trace.requests.len());
+            assert_eq!(
+                r.completed + r.failed.len(),
+                r.submitted,
+                "seed {seed} rate {rate} x {cards} cards dropped a request"
+            );
+            assert!((0.0..=1.0).contains(&r.availability) && r.availability.is_finite());
+            assert!(r.throughput_rps.is_finite());
+        }
+    }
+}
+
+#[test]
+fn zero_rates_reproduce_the_fault_free_run_exactly() {
+    let trace = dense_trace();
+    let clean = fleet(2, None).serve(&trace).unwrap();
+    let armed = fleet(2, Some(FaultConfig::default())).serve(&trace).unwrap();
+    assert_eq!(clean.completed, armed.completed);
+    assert_eq!(clean.throughput_rps, armed.throughput_rps, "bit-equal, not just close");
+    assert_eq!(clean.latency_ms, armed.latency_ms);
+    assert_eq!(clean.batches, armed.batches);
+    assert!(armed.failed.is_empty() && !armed.faults.any());
+    assert_eq!(armed.availability, 1.0);
+}
+
+#[test]
+fn scripted_crash_fails_over_to_the_survivors() {
+    let trace = dense_trace();
+    let cfg = FaultConfig {
+        events: vec![FaultEvent { at_ns: 200_000, card: 0, kind: FaultKind::CardCrash }],
+        ..FaultConfig::default()
+    };
+    let r = fleet(2, Some(cfg)).serve(&trace).unwrap();
+    assert_eq!(r.crashes, 1);
+    assert_eq!(r.card_health[0], CardHealth::Dead);
+    assert_eq!(r.card_health[1], CardHealth::Healthy);
+    // The survivor absorbs everything: no request is lost to the crash.
+    assert_eq!(r.completed, trace.requests.len());
+    assert!(r.failed.is_empty());
+    assert_eq!(r.availability, 1.0);
+}
+
+#[test]
+fn fault_errors_carry_uniform_exit_codes() {
+    // An unservable trace surfaces as a ServeError; lifting it to
+    // CoreError must land on the dedicated serving exit code, distinct
+    // from success and usage failures.
+    let w = Workload {
+        requests: vec![ServeRequest {
+            id: 1,
+            arrival_ns: 0,
+            d_model: 96,
+            heads: 5,
+            layers: 2,
+            seq_len: 8,
+        }],
+    };
+    let err = fleet(2, None).serve(&w).unwrap_err();
+    let core: CoreError = err.into();
+    assert_eq!(core.exit_code(), 7);
+    assert!(core.to_string().contains("request 1"));
+}
