@@ -1,0 +1,84 @@
+//! Goodput vs offered load under deadlines (extension).
+
+use protea_bench::fmt::render_table;
+use protea_bench::overload;
+
+fn main() {
+    println!("OVERLOAD — goodput vs offered load under deadlines (seed {:#x})\n", overload::SEED);
+    // Deadlines are a few multiples of the ~30 ms worst-case batch
+    // service time: short enough that unbounded queueing would zero out
+    // goodput, long enough that admission control has authority (a
+    // deadline under ~2x the service time is lost before any policy
+    // can act, and is exercised by the serve-layer tests instead).
+    let rates = [100.0, 250.0, 500.0, 1_000.0, 2_000.0];
+    let deadlines = [100_000_000u64, 200_000_000];
+    let cards = [1, 2];
+    println!(
+        "workload: {} Poisson requests per cell (d=96, 4 heads, 2 layers, SL 8-32), \
+         bounded queues (cap 32) + AIMD admission + retry budget\n",
+        overload::REQUESTS
+    );
+    let rows = match overload::run_sweep(&rates, &deadlines, &cards) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let slo = r.report.slo.iter().map(|s| s.attainment()).fold(f64::INFINITY, f64::min);
+            vec![
+                format!("{}", r.cards),
+                format!("{:.0}", r.deadline_ns as f64 / 1e6),
+                format!("{:.0}", r.offered_rps),
+                format!("{:.1}", r.report.throughput_rps),
+                format!("{:.1}", r.report.goodput_rps),
+                format!("{}", r.report.shed.len()),
+                format!("{}", r.report.expired.len()),
+                if slo.is_finite() { format!("{:.1}%", 100.0 * slo) } else { "100.0%".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Cards",
+                "Deadline (ms)",
+                "Offered req/s",
+                "inf/s",
+                "good inf/s",
+                "Shed",
+                "Expired",
+                "SLO",
+            ],
+            &body
+        )
+    );
+    let mut all_ok = true;
+    for &c in &cards {
+        for &d in &deadlines {
+            let Some((peak, floor)) = overload::knee(&rows, d, c) else { continue };
+            let ok = peak > 0.0 && floor >= 0.5 * peak;
+            all_ok &= ok;
+            println!(
+                "knee [{c} card(s), {:.0} ms deadline]: peak goodput {peak:.1} inf/s, \
+                 floor past knee {floor:.1} inf/s — {}",
+                d as f64 / 1e6,
+                if ok { "plateau holds" } else { "COLLAPSED" }
+            );
+        }
+    }
+    println!(
+        "\nEvery cell preserved the conservation invariant: completed + shed + expired + failed \
+         == submitted (checked by the sweep; a violation aborts the run)."
+    );
+    if all_ok {
+        println!("knee check: OK");
+    } else {
+        eprintln!("knee check: FAILED — goodput collapsed past the knee");
+        std::process::exit(1);
+    }
+}

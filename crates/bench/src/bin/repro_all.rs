@@ -12,7 +12,8 @@ fn main() {
     // the single source of truth; fall back to in-process if spawning
     // fails (e.g. when invoked from a context without the sibling
     // binaries built).
-    let bins = ["table1", "table2", "table3", "fig7", "ablations", "serving", "availability"];
+    let bins =
+        ["table1", "table2", "table3", "fig7", "ablations", "serving", "availability", "overload"];
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("bin dir");
     for (i, bin) in bins.iter().enumerate() {
@@ -93,6 +94,20 @@ fn main() {
                             100.0 * rows[0].throughput_vs_clean
                         ),
                         Err(e) => println!("AVAILABILITY (compact fallback): error: {e}"),
+                    }
+                }
+                "overload" => {
+                    match protea_bench::overload::run_sweep(&[250.0, 1_000.0], &[100_000_000], &[2])
+                    {
+                        Ok(rows) => {
+                            let (peak, floor) = protea_bench::overload::knee(&rows, 100_000_000, 2)
+                                .expect("non-empty sweep");
+                            println!(
+                                "OVERLOAD (compact fallback): peak goodput {peak:.1} inf/s, \
+                                 floor past knee {floor:.1} inf/s"
+                            );
+                        }
+                        Err(e) => println!("OVERLOAD (compact fallback): error: {e}"),
                     }
                 }
                 _ => unreachable!(),

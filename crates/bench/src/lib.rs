@@ -14,6 +14,7 @@
 //! | GPU batch-crossover analysis (extension)     | [`crossover`] | `crossover` |
 //! | Batched multi-card serving (extension)       | [`serving`] | `serving` |
 //! | Availability under fault injection (extension) | [`availability`] | `availability` |
+//! | Goodput knee under overload (extension)      | [`overload`] | `overload` |
 //! | Everything above in sequence                 | —          | `repro_all` |
 
 #![forbid(unsafe_code)]
@@ -24,6 +25,7 @@ pub mod availability;
 pub mod crossover;
 pub mod fig7;
 pub mod fmt;
+pub mod overload;
 pub mod serving;
 pub mod table1;
 pub mod table2;

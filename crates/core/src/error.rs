@@ -72,6 +72,12 @@ pub enum CoreError {
     /// `protea-serve`) so CLI surfaces map every failure to one exit
     /// code table.
     Serving(String),
+    /// The serving layer refused admission under overload (bounded
+    /// queue full, no sheddable lower-priority work). Distinct from
+    /// [`CoreError::Serving`] because the correct caller response
+    /// differs: an overloaded rejection is retryable elsewhere or
+    /// later, a serving failure is not.
+    Overloaded(String),
 }
 
 impl fmt::Display for CoreError {
@@ -107,6 +113,7 @@ impl fmt::Display for CoreError {
                 write!(f, "unrecoverable hardware fault ({kind}): {context}")
             }
             CoreError::Serving(m) => write!(f, "serving error: {m}"),
+            CoreError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -116,7 +123,8 @@ impl CoreError {
     /// uniform across subcommands: 2 = invalid configuration or register
     /// programming, 3 = model blob rejected, 4 = design infeasible,
     /// 5 = weight/input/batch mismatch on the request path, 6 =
-    /// unrecoverable hardware fault, 7 = serving-layer rejection.
+    /// unrecoverable hardware fault, 7 = serving-layer rejection, 8 =
+    /// overloaded (admission refused; retryable elsewhere or later).
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -129,6 +137,7 @@ impl CoreError {
             | CoreError::EmptyBatch => 5,
             CoreError::Fault { .. } => 6,
             CoreError::Serving(_) => 7,
+            CoreError::Overloaded(_) => 8,
         }
     }
 }
@@ -213,6 +222,7 @@ mod tests {
             CoreError::InvalidConfig("zero heads".into()),
             CoreError::Fault { kind: FaultKind::AxiTimeout, context: "QKV tile load".into() },
             CoreError::Serving("trace rejected".into()),
+            CoreError::Overloaded("queue full (32 pending, limit 32)".into()),
         ]
     }
 
@@ -227,12 +237,13 @@ mod tests {
     fn exit_codes_are_stable_and_nonzero() {
         for e in every_variant() {
             assert!(e.exit_code() >= 2, "{e:?} must not collide with success/usage codes");
-            assert!(e.exit_code() <= 7);
+            assert!(e.exit_code() <= 8);
         }
         assert_eq!(
             CoreError::Fault { kind: FaultKind::CardCrash, context: String::new() }.exit_code(),
             6
         );
         assert_eq!(CoreError::Serving(String::new()).exit_code(), 7);
+        assert_eq!(CoreError::Overloaded(String::new()).exit_code(), 8);
     }
 }

@@ -34,6 +34,20 @@ pub enum ServeError {
     EmptyTrace,
     /// The fleet was built with zero cards.
     NoCards,
+    /// Admission refused under overload: the request's bucket queue is
+    /// at its configured cap and no lower-priority request could be
+    /// shed in its place. Inside the fleet simulation this becomes a
+    /// *shed* record in the report; callers driving a
+    /// [`BatchScheduler`](crate::BatchScheduler) directly see it as a
+    /// typed backpressure signal.
+    Overloaded {
+        /// The rejected request's id.
+        id: u64,
+        /// Requests queued in the target bucket at rejection time.
+        pending: usize,
+        /// The configured per-bucket queue cap.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -46,6 +60,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::EmptyTrace => write!(f, "workload trace contains no requests"),
             ServeError::NoCards => write!(f, "fleet must have at least one card"),
+            ServeError::Overloaded { id, pending, limit } => {
+                write!(f, "request {id} rejected: queue full ({pending} pending, limit {limit})")
+            }
         }
     }
 }
@@ -68,12 +85,18 @@ impl From<CoreError> for ServeError {
 /// The reverse lift, so CLI front ends can funnel every failure —
 /// accelerator- or serving-layer — through one [`CoreError`] and its
 /// uniform [`exit_code`](CoreError::exit_code) table. A wrapped core
-/// error unwraps losslessly; serving-specific variants become
-/// [`CoreError::Serving`] with their full rendered message.
+/// error unwraps losslessly; an admission rejection keeps its identity
+/// as [`CoreError::Overloaded`] (its exit code tells a load balancer
+/// "retry elsewhere/later", unlike a hard serving failure); every other
+/// serving-specific variant becomes [`CoreError::Serving`] with its
+/// full rendered message.
 impl From<ServeError> for CoreError {
     fn from(e: ServeError) -> Self {
         match e {
             ServeError::Core(c) => c,
+            overloaded @ ServeError::Overloaded { .. } => {
+                CoreError::Overloaded(overloaded.to_string())
+            }
             other => CoreError::Serving(other.to_string()),
         }
     }
@@ -104,6 +127,7 @@ mod tests {
             ServeError::Unservable { id: 7, why: "too wide".into() },
             ServeError::EmptyTrace,
             ServeError::NoCards,
+            ServeError::Overloaded { id: 9, pending: 32, limit: 32 },
         ]
     }
 
@@ -130,5 +154,18 @@ mod tests {
                 assert_eq!(c.exit_code(), 7);
             }
         }
+    }
+
+    #[test]
+    fn overloaded_lifts_to_its_own_exit_code() {
+        let e = ServeError::Overloaded { id: 5, pending: 16, limit: 16 };
+        let msg = e.to_string();
+        assert!(msg.contains("queue full") && msg.contains("16"));
+        let c: CoreError = e.into();
+        match &c {
+            CoreError::Overloaded(m) => assert_eq!(*m, msg),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(c.exit_code(), 8);
     }
 }

@@ -57,7 +57,8 @@ impl FaultConfig {
     }
 }
 
-/// Why a request ultimately failed.
+/// Why a request ultimately failed (or, for the overload reasons, was
+/// deliberately not served).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailReason {
     /// Every dispatch attempt ended in an unrecoverable card fault.
@@ -67,6 +68,19 @@ pub enum FailReason {
     },
     /// No live card remained to serve it.
     AllCardsDead,
+    /// Shed at admission under overload: its bucket queue was at the
+    /// configured cap (possibly displaced by a higher-priority arrival)
+    /// or the AIMD concurrency limit was reached.
+    Shed,
+    /// Its completion deadline passed while it was still queued, so it
+    /// was dropped before dispatch rather than burned on a card.
+    DeadlineExpired,
+    /// A card fault would have requeued it, but the fleet's retry
+    /// budget was empty — requeue storms must not amplify overload.
+    RetryBudgetExhausted {
+        /// The fault class of the attempt that wanted the retry.
+        last: FaultKind,
+    },
 }
 
 impl fmt::Display for FailReason {
@@ -76,6 +90,11 @@ impl fmt::Display for FailReason {
                 write!(f, "retry budget exhausted (last fault: {last})")
             }
             FailReason::AllCardsDead => write!(f, "every card in the fleet is dead"),
+            FailReason::Shed => write!(f, "shed at admission (queue full or over limit)"),
+            FailReason::DeadlineExpired => write!(f, "deadline expired while queued"),
+            FailReason::RetryBudgetExhausted { last } => {
+                write!(f, "fleet retry budget empty (last fault: {last})")
+            }
         }
     }
 }

@@ -23,14 +23,24 @@
 //! `FaultConfig` the code path is byte-for-byte the fault-free one, so
 //! fault-free reports are bit-identical to earlier releases.
 //!
+//! The overload-control layer rides the same managed simulation: a
+//! bounded [`BatchPolicy::max_queue`] plus an optional
+//! [`OverloadConfig`] (AIMD concurrency limit, retry budget, hedged
+//! dispatch) and per-request deadlines/priorities turn unbounded
+//! queueing into *load shedding* with typed accounting — every
+//! submitted request ends in exactly one of `completed`, `shed`,
+//! `expired`, or `failed`. With none of those knobs set (and no
+//! deadlines in the trace) the fault-free fast path is untouched.
+//!
 //! Everything user-supplied (trace shapes, arrival times) flows through
 //! `Result` — a hostile trace can be rejected, never panic.
 
 use crate::error::ServeError;
 use crate::faults::{FailReason, FailedRequest, FaultConfig};
 use crate::health::CardMonitor;
-use crate::report::{FaultOutcome, ServeReport};
-use crate::request::{CapacityClass, ServeResponse};
+use crate::overload::{AimdLimiter, HedgeConfig, OverloadConfig, RetryBudget, ServiceTimeTracker};
+use crate::report::{FaultOutcome, PrioritySlo, ServeReport};
+use crate::request::{CapacityClass, Priority, ServeRequest, ServeResponse};
 use crate::scheduler::{Batch, BatchPolicy, BatchScheduler};
 use crate::trace::Workload;
 use protea_core::{Accelerator, CoreError, FaultKind, FaultStats, FaultStream, SynthesisConfig};
@@ -62,6 +72,9 @@ pub struct FleetConfig {
     /// Fault injection and graceful-degradation policy. `None` (the
     /// default) is the exact fault-free simulation of earlier releases.
     pub faults: Option<FaultConfig>,
+    /// Overload controls (AIMD admission, retry budget, hedging).
+    /// `None` — or a config with every knob off — changes nothing.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for FleetConfig {
@@ -74,6 +87,7 @@ impl Default for FleetConfig {
             functional: false,
             reload_gbps: 12.0,
             faults: None,
+            overload: None,
         }
     }
 }
@@ -108,6 +122,14 @@ impl Fleet {
                 )));
             }
         }
+        if let Some(o) = &config.overload {
+            o.validate().map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
+        }
+        if config.policy.max_queue == Some(0) {
+            return Err(ServeError::Core(CoreError::InvalidConfig(
+                "policy.max_queue must be at least 1 when set".into(),
+            )));
+        }
         // Fail now, not at dispatch time, if the design cannot exist.
         Accelerator::try_new(config.synthesis, &config.device)?;
         Ok(Self { config })
@@ -129,26 +151,46 @@ impl Fleet {
     /// dispatch (unreachable for admitted requests, but surfaced rather
     /// than unwrapped).
     pub fn serve(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
+        Ok(self.run_sim(workload)?.into_report())
+    }
+
+    /// Like [`serve`](Self::serve), but also returns the individual
+    /// completion records, so callers (property tests, traces) can audit
+    /// per-request outcomes — e.g. that hedging never records a request
+    /// twice.
+    ///
+    /// # Errors
+    /// Same conditions as [`serve`](Self::serve).
+    pub fn serve_with_responses(
+        &self,
+        workload: &Workload,
+    ) -> Result<(ServeReport, Vec<ServeResponse>), ServeError> {
+        let model = self.run_sim(workload)?;
+        let responses = model.responses.clone();
+        Ok((model.into_report(), responses))
+    }
+
+    fn run_sim(&self, workload: &Workload) -> Result<SimModel, ServeError> {
         if workload.requests.is_empty() {
             return Err(ServeError::EmptyTrace);
         }
-        let mut model = SimModel::build(&self.config)?;
+        // The managed path carries fault *and* overload machinery; it is
+        // entered only when some knob needs it, so a plain fleet keeps
+        // the historical fault-free fast path byte-for-byte.
+        let managed = self.config.faults.is_some()
+            || self.config.overload.as_ref().is_some_and(OverloadConfig::any)
+            || self.config.policy.max_queue.is_some()
+            || workload.requests.iter().any(|r| r.deadline_ns.is_some());
+        let mut model = SimModel::build(&self.config, managed)?;
         let mut sim = Simulator::<SimModel>::new();
         for req in workload.requests.iter().copied() {
             sim.schedule_at(Cycles(req.arrival_ns), move |sim, m: &mut SimModel| {
                 if m.error.is_some() {
                     return;
                 }
-                if m.all_cards_dead() {
-                    // Nothing can ever serve this request — fail it with
-                    // a typed reason rather than queueing it forever.
-                    if let Some(f) = m.faulty.as_mut() {
-                        f.failed
-                            .push(FailedRequest { id: req.id, reason: FailReason::AllCardsDead });
-                    }
-                    return;
-                }
-                if let Err(e) = m.scheduler.push(req) {
+                if m.faulty.is_some() {
+                    m.admit(req, sim.now().get());
+                } else if let Err(e) = m.scheduler.push(req) {
                     m.error = Some(e);
                     return;
                 }
@@ -160,6 +202,7 @@ impl Fleet {
         // deterministic in the seed.
         if let Some(f) = model.faulty.as_mut() {
             f.submitted = workload.requests.len();
+            f.track_deadlines = workload.requests.iter().any(|r| r.deadline_ns.is_some());
             let crashes: Vec<(usize, u64)> = f
                 .streams
                 .iter_mut()
@@ -180,7 +223,7 @@ impl Fleet {
         if let Some(e) = model.error {
             return Err(e);
         }
-        Ok(model.into_report())
+        Ok(model)
     }
 
     /// The baseline the batched fleet is judged against: one card, no
@@ -194,7 +237,7 @@ impl Fleet {
             return Err(ServeError::EmptyTrace);
         }
         let single = FleetConfig { cards: 1, ..self.config.clone() };
-        let mut m = SimModel::build(&single)?;
+        let mut m = SimModel::build(&single, false)?;
         let mut free_at = 0u64;
         for req in &workload.requests {
             // admission check through the same scheduler validation
@@ -259,10 +302,49 @@ struct FaultState {
     submitted: usize,
     /// Dedup for scheduled circuit-breaker cooldown wake-ups.
     breaker_wake: Option<u64>,
+    // --- overload control (all optional; defaults change nothing) ---
+    /// AIMD concurrency limiter over requests in the system.
+    limiter: Option<AimdLimiter>,
+    /// Fleet-wide token bucket bounding post-fault requeues.
+    retry_budget: Option<RetryBudget>,
+    /// Hedged-dispatch policy.
+    hedge: Option<HedgeConfig>,
+    /// Observed batch service times, feeding the p99 hedge delay.
+    svc: ServiceTimeTracker,
+    /// Requests shed at admission (queue cap / concurrency limit).
+    shed: Vec<FailedRequest>,
+    /// Requests dropped in queue at their deadline.
+    expired: Vec<FailedRequest>,
+    /// Per-priority submitted/completed/deadline-met counters, indexed
+    /// by [`Priority::index`].
+    prio_submitted: [usize; 3],
+    prio_completed: [usize; 3],
+    prio_good: [usize; 3],
+    /// Completions that met their deadline.
+    good_completions: usize,
+    /// Whether any request in the workload carries a deadline (gates
+    /// expiry sweeps and goodput-vs-throughput reporting).
+    track_deadlines: bool,
+    /// Monotone dispatch id; a hedge leg shares its primary's seq.
+    batch_seq: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    hedge_cancels: u64,
+    /// Dedup for scheduled request-deadline wake-ups.
+    deadline_wake: Option<u64>,
 }
 
 struct Inflight {
     batch: Batch,
+    /// Dispatch id, shared by the two legs of a hedged pair.
+    seq: u64,
+    /// When the scheduled completion/failure event will fire — the
+    /// busy time refunded if this leg is cancelled by a hedge win.
+    resolve_ns: u64,
+    /// Whether this leg is the hedge (second) dispatch of its seq.
+    is_hedge: bool,
+    /// The card running the other leg of this seq, if hedged.
+    partner: Option<usize>,
 }
 
 /// How a fault-injected dispatch resolved at dispatch time.
@@ -274,7 +356,7 @@ enum FaultyDispatch {
 }
 
 impl SimModel {
-    fn build(config: &FleetConfig) -> Result<Self, ServeError> {
+    fn build(config: &FleetConfig, managed: bool) -> Result<Self, ServeError> {
         let mut cards = Vec::with_capacity(config.cards);
         for _ in 0..config.cards {
             cards.push(Card {
@@ -284,7 +366,13 @@ impl SimModel {
                 busy_ns: 0,
             });
         }
-        let faulty = config.faults.as_ref().map(|f| FaultState {
+        // A managed run without an explicit `FaultConfig` uses the
+        // zero-rate default, which is proven to reproduce the fault-free
+        // schedule bit-exactly — overload control never perturbs timing.
+        let fault_default = FaultConfig::default();
+        let f = config.faults.as_ref().unwrap_or(&fault_default);
+        let ov = config.overload.unwrap_or_default();
+        let faulty = managed.then(|| FaultState {
             watchdog: f.watchdog,
             retry: f.retry,
             max_request_attempts: f.max_request_attempts,
@@ -305,6 +393,22 @@ impl SimModel {
             stats: FaultStats::default(),
             submitted: 0,
             breaker_wake: None,
+            limiter: ov.aimd.map(AimdLimiter::new),
+            retry_budget: ov.retry_budget.map(RetryBudget::new),
+            hedge: ov.hedge,
+            svc: ServiceTimeTracker::default(),
+            shed: Vec::new(),
+            expired: Vec::new(),
+            prio_submitted: [0; 3],
+            prio_completed: [0; 3],
+            prio_good: [0; 3],
+            good_completions: 0,
+            track_deadlines: false,
+            batch_seq: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            hedge_cancels: 0,
+            deadline_wake: None,
         });
         Ok(Self {
             scheduler: BatchScheduler::new(config.policy.clone(), config.synthesis),
@@ -429,6 +533,92 @@ impl SimModel {
         Ok(finish_ns)
     }
 
+    /// Count of requests queued or in flight (hedge legs are duplicate
+    /// work, not extra requests, so they do not count).
+    fn in_system(&self) -> usize {
+        let inflight: usize = self.faulty.as_ref().map_or(0, |f| {
+            f.inflight.iter().flatten().filter(|i| !i.is_hedge).map(|i| i.batch.len()).sum()
+        });
+        self.scheduler.pending() + inflight
+    }
+
+    /// Managed admission: per-priority accounting, dead-fleet and
+    /// arrival-past-deadline checks, the AIMD concurrency gate, then the
+    /// (possibly bounded) scheduler push. Every rejected request is
+    /// recorded with a typed reason — nothing is silently dropped.
+    fn admit(&mut self, req: ServeRequest, now_ns: u64) {
+        let prio = req.priority.index();
+        self.faulty.as_mut().expect("managed admission requires fault state").prio_submitted
+            [prio] += 1;
+        if self.all_cards_dead() {
+            // Nothing can ever serve this request — fail it with a
+            // typed reason rather than queueing it forever.
+            let f = self.faulty.as_mut().expect("fault state");
+            f.failed.push(FailedRequest { id: req.id, reason: FailReason::AllCardsDead });
+            return;
+        }
+        if req.expired_at(now_ns) {
+            // Already dead on arrival: never let it touch a queue.
+            let f = self.faulty.as_mut().expect("fault state");
+            f.expired.push(FailedRequest { id: req.id, reason: FailReason::DeadlineExpired });
+            return;
+        }
+        let in_system = self.in_system();
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.limiter.as_ref().is_some_and(|l| !l.admits(in_system)) {
+            // Priority-ordered shedding: before bouncing the newcomer,
+            // displace a queued request of strictly lower priority (the
+            // youngest of the lowest class) — net requests in system
+            // stays within the limit either way.
+            match self.scheduler.evict_lower_priority(req.priority) {
+                Some(victim) => {
+                    let f = self.faulty.as_mut().expect("fault state");
+                    f.shed.push(FailedRequest { id: victim.id, reason: FailReason::Shed });
+                }
+                None => {
+                    f.shed.push(FailedRequest { id: req.id, reason: FailReason::Shed });
+                    return;
+                }
+            }
+        }
+        match self.scheduler.push(req) {
+            Ok(victim) => {
+                let f = self.faulty.as_mut().expect("fault state");
+                if let Some(b) = f.retry_budget.as_mut() {
+                    b.on_admission();
+                }
+                if let Some(v) = victim {
+                    f.shed.push(FailedRequest { id: v.id, reason: FailReason::Shed });
+                }
+            }
+            Err(ServeError::Overloaded { id, .. }) => {
+                let f = self.faulty.as_mut().expect("fault state");
+                f.shed.push(FailedRequest { id, reason: FailReason::Shed });
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Drop every queued request whose deadline has passed, recording
+    /// each as expired. Expiries are the queue-congestion signal the
+    /// AIMD limiter backs off on (once per sweep that shed anything).
+    fn shed_expired(&mut self, now_ns: u64) {
+        if self.faulty.as_ref().is_none_or(|f| !f.track_deadlines) {
+            return;
+        }
+        let expired = self.scheduler.take_expired(now_ns);
+        if expired.is_empty() {
+            return;
+        }
+        let f = self.faulty.as_mut().expect("fault state");
+        for r in &expired {
+            f.expired.push(FailedRequest { id: r.id, reason: FailReason::DeadlineExpired });
+        }
+        if let Some(l) = f.limiter.as_mut() {
+            l.on_overload();
+        }
+    }
+
     /// Program `card` for `batch` under fault injection. Unlike the
     /// fault-free [`dispatch`](Self::dispatch), responses are **not**
     /// recorded here — the batch is parked in `inflight` and either the
@@ -438,6 +628,8 @@ impl SimModel {
         card: usize,
         batch: &Batch,
         now_ns: u64,
+        seq: u64,
+        is_hedge: bool,
     ) -> Result<FaultyDispatch, ServeError> {
         let class = batch.requests[0].class();
         let reload_ns = if self.cards[card].loaded_class == Some(class) {
@@ -485,8 +677,13 @@ impl SimModel {
             }
             Err(other) => return Err(other.into()),
         };
+        let resolve_ns = match &dispatched {
+            FaultyDispatch::Done { finish_ns } => *finish_ns,
+            FaultyDispatch::Failed { at_ns, .. } => *at_ns,
+        };
         c.busy = true;
-        f.inflight[card] = Some(Inflight { batch: batch.clone() });
+        f.inflight[card] =
+            Some(Inflight { batch: batch.clone(), seq, resolve_ns, is_hedge, partner: None });
         Ok(dispatched)
     }
 
@@ -499,11 +696,38 @@ impl SimModel {
             return;
         }
         let Some(inflight) = f.inflight[card].take() else { return };
+        // First completion of a hedged pair wins: cancel the loser by
+        // bumping its epoch (its pending completion/failure event goes
+        // stale) and refund the busy time it will no longer spend. The
+        // responses below are recorded exactly once, by this winner.
+        if let Some(p) = inflight.partner {
+            if f.inflight[p].as_ref().is_some_and(|l| l.seq == inflight.seq) {
+                let loser = f.inflight[p].take().expect("pair checked above");
+                f.epochs[p] += 1;
+                f.hedge_cancels += 1;
+                if inflight.is_hedge {
+                    f.hedge_wins += 1;
+                }
+                self.cards[p].busy = false;
+                self.cards[p].busy_ns = self.cards[p]
+                    .busy_ns
+                    .saturating_sub(loser.resolve_ns.saturating_sub(finish_ns));
+            }
+        }
         f.monitors[card].record_success();
+        f.svc.record(finish_ns.saturating_sub(start_ns));
+        if let Some(l) = f.limiter.as_mut() {
+            l.on_success();
+        }
         self.cards[card].busy = false;
         self.batches += 1;
         let batch = inflight.batch;
         for r in &batch.requests {
+            f.prio_completed[r.priority.index()] += 1;
+            if r.within_deadline(finish_ns) {
+                f.good_completions += 1;
+                f.prio_good[r.priority.index()] += 1;
+            }
             let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
             self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
             self.responses.push(ServeResponse {
@@ -528,7 +752,21 @@ impl SimModel {
         }
         let Some(inflight) = f.inflight[card].take() else { return };
         f.monitors[card].record_failure(now_ns);
+        if let Some(l) = f.limiter.as_mut() {
+            l.on_overload();
+        }
         self.cards[card].busy = false;
+        // A leg of a hedged pair that fails while its partner still runs
+        // dissolves the pair: the survivor keeps sole responsibility,
+        // nothing requeues, nothing is double-counted.
+        if let Some(p) = inflight.partner {
+            if let Some(other) = f.inflight[p].as_mut() {
+                if other.seq == inflight.seq {
+                    other.partner = None;
+                    return;
+                }
+            }
+        }
         self.requeue_or_fail(inflight.batch, kind);
         self.fail_all_pending_if_dead();
     }
@@ -545,14 +783,27 @@ impl SimModel {
         f.monitors[card].kill();
         self.cards[card].busy = false;
         if let Some(inflight) = f.inflight[card].take() {
-            self.requeue_or_fail(inflight.batch, FaultKind::CardCrash);
+            // If the crashed card was one leg of a hedged pair and the
+            // other leg is still running, that survivor owns the batch —
+            // requeueing here would serve it twice.
+            let partner_alive = inflight.partner.is_some_and(|p| {
+                f.inflight[p].as_ref().is_some_and(|other| other.seq == inflight.seq)
+            });
+            if partner_alive {
+                let p = inflight.partner.expect("checked above");
+                f.inflight[p].as_mut().expect("checked above").partner = None;
+            } else {
+                self.requeue_or_fail(inflight.batch, FaultKind::CardCrash);
+            }
         }
         self.fail_all_pending_if_dead();
     }
 
     /// Requeue a failed batch's requests, failing any whose attempt
-    /// budget is spent. Counted per request so no request retries
-    /// unboundedly.
+    /// budget is spent or (with a retry budget armed) for which the
+    /// fleet-wide token bucket is empty — a requeue storm after mass
+    /// card death must not amplify an overload. Counted per request so
+    /// no request retries unboundedly.
     fn requeue_or_fail(&mut self, batch: Batch, kind: FaultKind) {
         let f = self.faulty.as_mut().expect("fault state");
         let mut survivors = Vec::with_capacity(batch.requests.len());
@@ -564,6 +815,11 @@ impl SimModel {
                     id: r.id,
                     reason: FailReason::RetriesExhausted { last: kind },
                 });
+            } else if f.retry_budget.as_mut().is_some_and(|b| !b.try_withdraw()) {
+                f.failed.push(FailedRequest {
+                    id: r.id,
+                    reason: FailReason::RetryBudgetExhausted { last: kind },
+                });
             } else {
                 survivors.push(r);
             }
@@ -572,6 +828,37 @@ impl SimModel {
         if !survivors.is_empty() {
             self.scheduler.requeue(&Batch { requests: survivors, runtime: batch.runtime });
         }
+    }
+
+    /// Hedge the batch dispatched as `seq` on `card`, if it is still in
+    /// flight, un-hedged, and a second healthy card sits idle: re-issue
+    /// it there and link the two legs. Returns the new leg's
+    /// `(card, epoch, outcome)` for event scheduling, or `None` when
+    /// hedging is moot (already resolved, already hedged, no free card).
+    fn start_hedge(
+        &mut self,
+        card: usize,
+        seq: u64,
+        now_ns: u64,
+    ) -> Result<Option<(usize, u64, FaultyDispatch)>, ServeError> {
+        let f = self.faulty.as_ref().expect("fault state");
+        let still_running =
+            f.inflight[card].as_ref().is_some_and(|i| i.seq == seq && i.partner.is_none());
+        if !still_running {
+            return Ok(None);
+        }
+        let Some(hedge_card) = self.free_card(now_ns) else { return Ok(None) };
+        let batch = self.faulty.as_ref().expect("fault state").inflight[card]
+            .as_ref()
+            .expect("still running")
+            .batch
+            .clone();
+        let outcome = self.dispatch_faulty(hedge_card, &batch, now_ns, seq, true)?;
+        let f = self.faulty.as_mut().expect("fault state");
+        f.hedges += 1;
+        f.inflight[hedge_card].as_mut().expect("just dispatched").partner = Some(card);
+        f.inflight[card].as_mut().expect("still running").partner = Some(hedge_card);
+        Ok(Some((hedge_card, f.epochs[hedge_card], outcome)))
     }
 
     /// Once the last card dies, drain everything still queued into
@@ -599,14 +886,33 @@ impl SimModel {
         );
         match self.faulty {
             None => report,
-            Some(f) => report.with_faults(FaultOutcome {
-                submitted: f.submitted,
-                failed: f.failed,
-                retried: f.retried,
-                crashes: f.crashes,
-                faults: f.stats,
-                card_health: f.monitors.iter().map(CardMonitor::health).collect(),
-            }),
+            Some(f) => {
+                let slo: Vec<PrioritySlo> = Priority::ALL
+                    .iter()
+                    .map(|&p| PrioritySlo {
+                        priority: p,
+                        submitted: f.prio_submitted[p.index()],
+                        completed: f.prio_completed[p.index()],
+                        within_deadline: f.prio_good[p.index()],
+                    })
+                    .filter(|s| s.submitted > 0)
+                    .collect();
+                report.with_faults(FaultOutcome {
+                    submitted: f.submitted,
+                    failed: f.failed,
+                    retried: f.retried,
+                    crashes: f.crashes,
+                    faults: f.stats,
+                    card_health: f.monitors.iter().map(CardMonitor::health).collect(),
+                    shed: f.shed,
+                    expired: f.expired,
+                    completed_in_deadline: f.track_deadlines.then_some(f.good_completions),
+                    hedges: f.hedges,
+                    hedge_wins: f.hedge_wins,
+                    hedge_cancels: f.hedge_cancels,
+                    slo,
+                })
+            }
         }
     }
 }
@@ -620,29 +926,32 @@ fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
         return;
     }
     let now = sim.now().get();
+    // Deadline-aware flush: expired requests are shed *before* the
+    // dispatch loop below can pair them with a card.
+    m.shed_expired(now);
     while let Some(card) = m.free_card(now) {
-        let Some(batch) = m.scheduler.pop_ready(now) else { break };
+        let mut ready = m.scheduler.pop_ready(now);
+        if ready.is_none() {
+            // Deadline-aware flush, part two: a partial batch whose
+            // deadline is closer than the observed p99 service time
+            // dispatches now — waiting out the generic batching window
+            // would guarantee it expires in queue.
+            if let Some(f) = m.faulty.as_ref().filter(|f| f.track_deadlines) {
+                ready = m.scheduler.pop_urgent(now, f.svc.p99_ns());
+            }
+        }
+        let Some(batch) = ready else { break };
         if m.faulty.is_some() {
-            match m.dispatch_faulty(card, &batch, now) {
-                Ok(FaultyDispatch::Done { finish_ns }) => {
+            let seq = {
+                let f = m.faulty.as_mut().expect("fault state");
+                f.batch_seq += 1;
+                f.batch_seq
+            };
+            match m.dispatch_faulty(card, &batch, now, seq, false) {
+                Ok(outcome) => {
                     let epoch = m.faulty.as_ref().expect("fault state").epochs[card];
-                    sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
-                        if m.error.is_some() {
-                            return;
-                        }
-                        m.complete_faulty(card, epoch, now, finish_ns);
-                        dispatch_all(sim, m);
-                    });
-                }
-                Ok(FaultyDispatch::Failed { at_ns, kind }) => {
-                    let epoch = m.faulty.as_ref().expect("fault state").epochs[card];
-                    sim.schedule_at(Cycles(at_ns), move |sim, m: &mut SimModel| {
-                        if m.error.is_some() {
-                            return;
-                        }
-                        m.fail_faulty(card, epoch, at_ns, kind);
-                        dispatch_all(sim, m);
-                    });
+                    schedule_leg(sim, card, epoch, now, outcome);
+                    arm_hedge(sim, m, card, seq, now);
                 }
                 Err(e) => {
                     m.error = Some(e);
@@ -674,6 +983,22 @@ fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
             sim.schedule_at(Cycles(deadline), |sim, m: &mut SimModel| dispatch_all(sim, m));
         }
     }
+    // A queued request with a deadline needs a wake-up: early enough to
+    // flush its batch while it can still complete in time (deadline
+    // minus the p99 service estimate), or at the deadline itself so it
+    // is shed promptly rather than only at the next arrival or
+    // completion event.
+    if m.faulty.as_ref().is_some_and(|f| f.track_deadlines) {
+        let headroom = m.faulty.as_ref().and_then(|f| f.svc.p99_ns());
+        if let Some(d) = m.scheduler.next_deadline_wake_ns(now, headroom) {
+            let f = m.faulty.as_mut().expect("fault state");
+            let stale = f.deadline_wake.is_none_or(|t| t <= now || d < t);
+            if d > now && stale {
+                f.deadline_wake = Some(d);
+                sim.schedule_at(Cycles(d), |sim, m: &mut SimModel| dispatch_all(sim, m));
+            }
+        }
+    }
     // If work is pending and some idle card is only blocked by an open
     // circuit, wake up when the earliest cooldown expires — otherwise a
     // fleet of tripped-but-alive cards would hang.
@@ -698,10 +1023,75 @@ fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
     }
 }
 
+/// Schedule the completion or failure event for one dispatched leg
+/// (primary or hedge). The captured epoch makes the event a no-op if the
+/// card crashed — or the leg was cancelled by a hedge win — first.
+fn schedule_leg(
+    sim: &mut Simulator<SimModel>,
+    card: usize,
+    epoch: u64,
+    start_ns: u64,
+    outcome: FaultyDispatch,
+) {
+    match outcome {
+        FaultyDispatch::Done { finish_ns } => {
+            sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
+                if m.error.is_some() {
+                    return;
+                }
+                m.complete_faulty(card, epoch, start_ns, finish_ns);
+                dispatch_all(sim, m);
+            });
+        }
+        FaultyDispatch::Failed { at_ns, kind } => {
+            sim.schedule_at(Cycles(at_ns), move |sim, m: &mut SimModel| {
+                if m.error.is_some() {
+                    return;
+                }
+                m.fail_faulty(card, epoch, at_ns, kind);
+                dispatch_all(sim, m);
+            });
+        }
+    }
+}
+
+/// Arm a hedge check for the batch just dispatched as `seq` on `card`:
+/// after the p99-derived delay, if the leg is still in flight, re-issue
+/// it on a second healthy idle card (the check itself decides — the
+/// batch may long since have completed, failed, or crashed away).
+fn arm_hedge(sim: &mut Simulator<SimModel>, m: &mut SimModel, card: usize, seq: u64, now: u64) {
+    if m.cards.len() < 2 {
+        return;
+    }
+    let f = m.faulty.as_ref().expect("fault state");
+    let Some(h) = f.hedge else { return };
+    let hedge_at = now.saturating_add(f.svc.hedge_delay_ns(&h));
+    let resolve_ns = f.inflight[card].as_ref().map_or(0, |i| i.resolve_ns);
+    // The simulation already knows when this leg resolves; a hedge that
+    // could only fire afterwards is pointless, so skip the event. (A
+    // real fleet schedules the timer unconditionally and finds the work
+    // gone — same outcome, fewer events.)
+    if hedge_at >= resolve_ns {
+        return;
+    }
+    sim.schedule_at(Cycles(hedge_at), move |sim, m: &mut SimModel| {
+        if m.error.is_some() {
+            return;
+        }
+        match m.start_hedge(card, seq, hedge_at) {
+            Ok(Some((hedge_card, epoch, outcome))) => {
+                schedule_leg(sim, hedge_card, epoch, hedge_at, outcome);
+            }
+            Ok(None) => {}
+            Err(e) => m.error = Some(e),
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::ServeRequest;
+    use crate::overload::{AimdConfig, RetryBudgetConfig};
 
     fn small_fleet(cards: usize) -> Fleet {
         Fleet::try_new(FleetConfig {
@@ -710,6 +1100,7 @@ mod tests {
                 max_batch: 4,
                 max_wait_ns: 100_000,
                 seq_buckets: vec![16, 32, 64, 128],
+                max_queue: None,
             },
             ..FleetConfig::default()
         })
@@ -770,6 +1161,7 @@ mod tests {
                 heads: 4,
                 layers: 2,
                 seq_len: 8,
+                ..ServeRequest::default()
             }],
         };
         assert!(matches!(fleet.serve(&w).unwrap_err(), ServeError::Unservable { id: 0, .. }));
@@ -952,5 +1344,223 @@ mod tests {
             batched.throughput_rps,
             serial.throughput_rps
         );
+    }
+
+    // ------------------------- overload layer -------------------------
+
+    /// `dense_workload` with a relative deadline stamped on every
+    /// request.
+    fn deadline_workload(n: usize, rel_ns: u64) -> Workload {
+        let mut w = dense_workload(n);
+        for r in &mut w.requests {
+            r.deadline_ns = Some(r.arrival_ns + rel_ns);
+        }
+        w
+    }
+
+    #[test]
+    fn unarmed_overload_config_changes_nothing() {
+        // Zero-overhead-when-off: an OverloadConfig with every knob off
+        // (and no caps/deadlines anywhere) must yield a bit-identical
+        // report through the untouched fault-free path.
+        let base = small_fleet(2);
+        let off = Fleet::try_new(FleetConfig {
+            overload: Some(OverloadConfig::default()),
+            ..base.config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(24);
+        assert_eq!(base.serve(&w).unwrap(), off.serve(&w).unwrap());
+    }
+
+    #[test]
+    fn managed_path_without_pressure_keeps_fault_free_timing() {
+        // Arm a limiter far above the offered load: the managed path is
+        // taken, but timing must match the fault-free schedule exactly.
+        let base = small_fleet(2);
+        let armed = Fleet::try_new(FleetConfig {
+            overload: Some(OverloadConfig {
+                aimd: Some(AimdConfig { initial: 4_096, ..AimdConfig::default() }),
+                ..OverloadConfig::default()
+            }),
+            ..base.config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(24);
+        let a = base.serve(&w).unwrap();
+        let b = armed.serve(&w).unwrap();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency_ms, b.latency_ms, "idle overload controls must not perturb timing");
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert!(b.shed.is_empty() && b.expired.is_empty());
+        assert!(b.accounted(), "{b:?}");
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_exact_accounting() {
+        let fleet = Fleet::try_new(FleetConfig {
+            cards: 1,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_wait_ns: 100_000,
+                seq_buckets: vec![16, 32, 64, 128],
+                max_queue: Some(2),
+            },
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        // Arrival rate far above one card's service rate forces the cap.
+        let w = Workload::poisson(64, 1_000_000.0, &[(96, 4, 2)], (8, 16), 5);
+        let r = fleet.serve(&w).unwrap();
+        assert!(!r.shed.is_empty(), "a 2-deep queue under this burst must shed: {r:?}");
+        assert!(r.shed.iter().all(|s| s.reason == FailReason::Shed));
+        assert_eq!(r.submitted, 64);
+        assert!(r.accounted(), "conservation must hold: {r:?}");
+        assert!(r.overloaded());
+        // Determinism under shedding.
+        assert_eq!(fleet.serve(&w).unwrap(), r);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_before_dispatch() {
+        let fleet = small_fleet(1);
+        // Deadlines shorter than the queueing delay this burst builds up.
+        let w = deadline_workload(48, 400_000);
+        let r = fleet.serve(&w).unwrap();
+        assert!(!r.expired.is_empty(), "tight deadlines under a burst must expire: {r:?}");
+        assert!(r.expired.iter().all(|e| e.reason == FailReason::DeadlineExpired));
+        assert!(r.accounted(), "{r:?}");
+        assert!(r.completed_in_deadline <= r.completed);
+        assert!(r.goodput_rps <= r.throughput_rps);
+        // Expired requests were never burned on a card: every completion
+        // belongs to a non-expired request.
+        assert_eq!(r.completed + r.expired.len() + r.failed.len() + r.shed.len(), 48);
+        // Per-priority SLO rows exist and cover all submissions.
+        let slo_submitted: usize = r.slo.iter().map(|s| s.submitted).sum();
+        assert_eq!(slo_submitted, 48);
+    }
+
+    #[test]
+    fn priority_displaces_best_effort_under_full_queue() {
+        let fleet = Fleet::try_new(FleetConfig {
+            cards: 1,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_wait_ns: 100_000,
+                seq_buckets: vec![16, 32, 64, 128],
+                max_queue: Some(2),
+            },
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let mut w = Workload::poisson(60, 1_500_000.0, &[(96, 4, 2)], (8, 16), 9);
+        for (i, r) in w.requests.iter_mut().enumerate() {
+            r.priority = if i % 2 == 0 { Priority::BestEffort } else { Priority::Interactive };
+        }
+        let r = fleet.serve(&w).unwrap();
+        assert!(r.accounted(), "{r:?}");
+        let shed_ids: std::collections::BTreeSet<u64> = r.shed.iter().map(|s| s.id).collect();
+        let best_effort_shed = w
+            .requests
+            .iter()
+            .filter(|q| q.priority == Priority::BestEffort && shed_ids.contains(&q.id))
+            .count();
+        let interactive_shed = shed_ids.len() - best_effort_shed;
+        assert!(
+            best_effort_shed >= interactive_shed,
+            "shedding must prefer best-effort: {best_effort_shed} vs {interactive_shed}"
+        );
+    }
+
+    #[test]
+    fn hedging_completes_every_request_exactly_once() {
+        let fleet = Fleet::try_new(FleetConfig {
+            overload: Some(OverloadConfig {
+                // An aggressive hedge: fire almost immediately.
+                hedge: Some(HedgeConfig { factor: 0.5, min_delay_ns: 10_000, min_samples: 4 }),
+                ..OverloadConfig::default()
+            }),
+            ..small_fleet(3).config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(32);
+        let (r, responses) = fleet.serve_with_responses(&w).unwrap();
+        assert_eq!(r.completed, 32);
+        assert!(r.hedges > 0, "an aggressive hedge policy must fire: {r:?}");
+        assert!(r.hedge_wins <= r.hedges && r.hedge_cancels <= r.hedges);
+        let mut ids: Vec<u64> = responses.iter().map(|resp| resp.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 32, "no request may complete twice under hedging");
+        assert!(r.accounted(), "{r:?}");
+        // Deterministic replay with hedging on.
+        assert_eq!(fleet.serve(&w).unwrap(), r);
+    }
+
+    #[test]
+    fn retry_budget_bounds_requeue_storms() {
+        use protea_core::{FaultEvent, FaultKind};
+        // Endless ECC faults on card 0 of 1: without a budget every
+        // request would burn its full attempt cap; with an empty budget
+        // each failed batch dies on its first fault.
+        let events: Vec<FaultEvent> = (0..200)
+            .map(|i| FaultEvent { at_ns: i, card: 0, kind: FaultKind::EccDouble })
+            .collect();
+        let fleet = Fleet::try_new(FleetConfig {
+            cards: 1,
+            faults: Some(FaultConfig { events, ..FaultConfig::default() }),
+            overload: Some(OverloadConfig {
+                retry_budget: Some(RetryBudgetConfig { initial: 0, per_admission: 0.0, cap: 1 }),
+                ..OverloadConfig::default()
+            }),
+            ..small_fleet(1).config().clone()
+        })
+        .unwrap();
+        let w = dense_workload(8);
+        let r = fleet.serve(&w).unwrap();
+        assert_eq!(r.retried, 0, "an empty budget must forbid every requeue: {r:?}");
+        assert!(r
+            .failed
+            .iter()
+            .any(|fr| matches!(fr.reason, FailReason::RetryBudgetExhausted { .. })));
+        assert!(r.accounted(), "{r:?}");
+    }
+
+    #[test]
+    fn aimd_limiter_sheds_past_its_limit() {
+        let fleet = Fleet::try_new(FleetConfig {
+            cards: 1,
+            overload: Some(OverloadConfig {
+                aimd: Some(AimdConfig { initial: 4, min: 2, max: 8, increase: 1.0, decrease: 0.5 }),
+                ..OverloadConfig::default()
+            }),
+            ..small_fleet(1).config().clone()
+        })
+        .unwrap();
+        let w = Workload::poisson(64, 2_000_000.0, &[(96, 4, 2)], (8, 16), 13);
+        let r = fleet.serve(&w).unwrap();
+        assert!(!r.shed.is_empty(), "a limit of ~4-8 under 64 rushed arrivals must shed: {r:?}");
+        assert!(r.accounted(), "{r:?}");
+        assert_eq!(fleet.serve(&w).unwrap(), r, "AIMD state must replay deterministically");
+    }
+
+    #[test]
+    fn invalid_overload_config_rejected_up_front() {
+        let bad = FleetConfig {
+            overload: Some(OverloadConfig {
+                aimd: Some(AimdConfig { min: 0, ..AimdConfig::default() }),
+                ..OverloadConfig::default()
+            }),
+            ..FleetConfig::default()
+        };
+        assert!(matches!(
+            Fleet::try_new(bad).unwrap_err(),
+            ServeError::Core(CoreError::InvalidConfig(_))
+        ));
+        let zero_cap = FleetConfig {
+            policy: BatchPolicy { max_queue: Some(0), ..BatchPolicy::default() },
+            ..FleetConfig::default()
+        };
+        assert!(Fleet::try_new(zero_cap).is_err());
     }
 }

@@ -175,6 +175,61 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probe_failure_reopens_for_a_fresh_cooldown() {
+        let b = CircuitBreaker { trip_threshold: 2, cooldown_ns: 1_000, dead_threshold: 100 };
+        let mut m = CardMonitor::new(b);
+        m.record_failure(0);
+        m.record_failure(10);
+        assert_eq!(m.open_until_ns(), Some(1_010));
+        assert!(!m.available(500), "cooldown still running");
+        assert!(m.available(1_010), "half-open: exactly one probe dispatch is admitted");
+
+        // The probe fails: the circuit re-opens for a full fresh
+        // cooldown window measured from the *probe's* failure time, not
+        // the original trip.
+        m.record_failure(1_500);
+        assert!(!m.available(1_500));
+        assert_eq!(m.open_until_ns(), Some(2_500));
+        assert!(!m.available(2_499));
+        assert!(m.available(2_500), "second probe window opens after the fresh cooldown");
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_the_circuit() {
+        let b = CircuitBreaker { trip_threshold: 2, cooldown_ns: 1_000, dead_threshold: 100 };
+        let mut m = CardMonitor::new(b);
+        m.record_failure(0);
+        m.record_failure(10);
+        assert_eq!(m.health(), CardHealth::Degraded);
+        assert!(m.available(1_010), "cooled down: probe admitted");
+
+        // The probe succeeds: circuit closes, health restores, and the
+        // consecutive counter resets — the next single failure degrades
+        // but does NOT re-trip.
+        m.record_success();
+        assert_eq!(m.health(), CardHealth::Healthy);
+        assert_eq!(m.open_until_ns(), None);
+        assert!(m.available(1_011));
+        m.record_failure(2_000);
+        assert_eq!(m.health(), CardHealth::Degraded);
+        assert!(m.available(2_000), "one failure after a probe success does not re-trip");
+        m.record_failure(2_100);
+        assert!(!m.available(2_100), "two consecutive failures re-trip as from scratch");
+    }
+
+    #[test]
+    fn probe_failure_still_counts_toward_death() {
+        let b = CircuitBreaker { trip_threshold: 2, cooldown_ns: 1_000, dead_threshold: 3 };
+        let mut m = CardMonitor::new(b);
+        m.record_failure(0);
+        m.record_failure(10); // trips
+        assert!(m.available(1_010));
+        m.record_failure(1_010); // probe fails: third total failure
+        assert_eq!(m.health(), CardHealth::Dead, "probe failures accumulate toward the budget");
+        assert!(!m.available(u64::MAX));
+    }
+
+    #[test]
     fn kill_is_immediate_and_sticky() {
         let mut m = CardMonitor::new(CircuitBreaker::default());
         m.kill();

@@ -32,6 +32,17 @@
 //! none is ever silently dropped — and the whole run replays
 //! bit-identically from its seed.
 //!
+//! The overload-control layer keeps the fleet useful when offered load
+//! exceeds capacity: a bounded [`BatchPolicy::max_queue`] plus an
+//! [`OverloadConfig`] (AIMD concurrency limiting, a fleet-wide
+//! [`RetryBudget`] against requeue storms, hedged dispatch of
+//! stragglers) and per-request deadlines/priorities turn unbounded
+//! queueing into priority-aware load shedding. The report then
+//! separates *goodput* (deadline-meeting completions) from raw
+//! throughput and accounts every request into exactly one of
+//! `completed`, `shed`, `expired`, or `failed`. Every knob defaults to
+//! off, reproducing the historical schedule bit-exactly.
+//!
 //! ```
 //! use protea_serve::{Fleet, FleetConfig, Workload};
 //!
@@ -50,6 +61,7 @@ mod error;
 mod faults;
 mod fleet;
 mod health;
+mod overload;
 mod report;
 mod request;
 mod scheduler;
@@ -59,7 +71,11 @@ pub use error::ServeError;
 pub use faults::{FailReason, FailedRequest, FaultConfig};
 pub use fleet::{Fleet, FleetConfig};
 pub use health::{CardHealth, CardMonitor, CircuitBreaker};
-pub use report::{FaultOutcome, Percentiles, ServeReport};
-pub use request::{CapacityClass, ServeRequest, ServeResponse};
+pub use overload::{
+    AimdConfig, AimdLimiter, HedgeConfig, OverloadConfig, RetryBudget, RetryBudgetConfig,
+    ServiceTimeTracker,
+};
+pub use report::{FaultOutcome, Percentiles, PrioritySlo, ServeReport};
+pub use request::{CapacityClass, Priority, ServeRequest, ServeResponse};
 pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
 pub use trace::Workload;

@@ -1,0 +1,415 @@
+//! Overload control: bounded admission, retry budgets, and hedging.
+//!
+//! A fleet that admits every arrival into unbounded queues models a
+//! system that silently melts down under a traffic spike: queues (and
+//! queueing delay) grow without bound, every request eventually misses
+//! its deadline, and *goodput* — completions that still matter —
+//! collapses to zero even though raw throughput looks healthy. The
+//! controls here keep the simulated fleet on the goodput plateau
+//! instead:
+//!
+//! * **bounded admission** — a per-bucket queue cap (on
+//!   [`BatchPolicy`](crate::BatchPolicy)) plus an optional [`AimdLimiter`]
+//!   capping requests in the system; excess arrivals are *shed* with a
+//!   typed reason instead of queued forever;
+//! * **retry budgets** — a [`RetryBudget`] token bucket bounds how much
+//!   extra load requeue storms (after card faults/crashes) may inject;
+//! * **hedged dispatch** — a [`HedgeConfig`] re-issues a straggling
+//!   batch on a second healthy card after a p99-derived delay, first
+//!   completion wins, the loser is cancelled.
+//!
+//! Every knob defaults to *off*: a [`FleetConfig`](crate::FleetConfig)
+//! without an [`OverloadConfig`] (or with `OverloadConfig::default()`)
+//! reproduces the unbounded, deadline-free schedule bit-exactly. All
+//! state here is pure bookkeeping — integer token arithmetic, no clocks
+//! or RNG of its own — so overloaded runs replay deterministically.
+
+/// Everything the overload-control layer needs beyond the base
+/// [`FleetConfig`](crate::FleetConfig) fields. All fields default off.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverloadConfig {
+    /// Adaptive concurrency limit on requests in the system (queued +
+    /// in flight). `None` disables the limiter.
+    pub aimd: Option<AimdConfig>,
+    /// Fleet-wide retry budget for post-fault requeues. `None` leaves
+    /// retries bounded only by the per-request attempt cap.
+    pub retry_budget: Option<RetryBudgetConfig>,
+    /// Hedged dispatch of straggling batches. `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+}
+
+impl OverloadConfig {
+    /// Whether any control is actually armed.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.aimd.is_some() || self.retry_budget.is_some() || self.hedge.is_some()
+    }
+
+    /// Validate every armed sub-config.
+    ///
+    /// # Errors
+    /// A human-readable message naming the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(a) = &self.aimd {
+            a.validate()?;
+        }
+        if let Some(r) = &self.retry_budget {
+            r.validate()?;
+        }
+        if let Some(h) = &self.hedge {
+            h.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Tuning for the additive-increase / multiplicative-decrease
+/// concurrency limiter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdConfig {
+    /// Starting limit on requests in the system.
+    pub initial: usize,
+    /// Floor the limit never decreases below (≥ 1).
+    pub min: usize,
+    /// Ceiling the limit never increases above.
+    pub max: usize,
+    /// Added to the limit on every successfully completed batch.
+    pub increase: f64,
+    /// The limit is multiplied by this on every overload signal
+    /// (deadline expiry in queue, batch failure). In `(0, 1)`.
+    pub decrease: f64,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        Self { initial: 64, min: 4, max: 4_096, increase: 1.0, decrease: 0.7 }
+    }
+}
+
+impl AimdConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.min == 0 {
+            return Err("aimd.min must be at least 1".into());
+        }
+        if self.min > self.max || self.initial < self.min || self.initial > self.max {
+            return Err(format!(
+                "aimd limits must satisfy min <= initial <= max, got {} <= {} <= {}",
+                self.min, self.initial, self.max
+            ));
+        }
+        if !self.increase.is_finite() || self.increase < 0.0 {
+            return Err("aimd.increase must be finite and >= 0".into());
+        }
+        if !(self.decrease > 0.0 && self.decrease < 1.0) {
+            return Err("aimd.decrease must be in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// The AIMD limiter's live state: a fractional limit that creeps up on
+/// success and backs off multiplicatively on overload, exactly as TCP
+/// congestion control treats its window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AimdLimiter {
+    config: AimdConfig,
+    limit: f64,
+}
+
+impl AimdLimiter {
+    /// A limiter starting at `config.initial`.
+    #[must_use]
+    pub fn new(config: AimdConfig) -> Self {
+        Self { config, limit: config.initial as f64 }
+    }
+
+    /// The current integer admission limit.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.limit as usize
+    }
+
+    /// Whether one more request may enter with `in_system` already
+    /// queued or in flight.
+    #[must_use]
+    pub fn admits(&self, in_system: usize) -> bool {
+        in_system < self.limit()
+    }
+
+    /// A batch completed cleanly: additive increase.
+    pub fn on_success(&mut self) {
+        self.limit = (self.limit + self.config.increase).min(self.config.max as f64);
+    }
+
+    /// An overload signal (expiry, failure): multiplicative decrease.
+    pub fn on_overload(&mut self) {
+        self.limit = (self.limit * self.config.decrease).max(self.config.min as f64);
+    }
+}
+
+/// Tuning for the fleet-wide retry token bucket (the classic
+/// retry-budget design: retries may only ever be a bounded fraction of
+/// admitted work, so a requeue storm cannot amplify an overload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Tokens in the bucket at the start of the run.
+    pub initial: u32,
+    /// Tokens deposited per *admitted* request (fractional: 0.1 lets
+    /// roughly one request in ten be retried in steady state).
+    pub per_admission: f64,
+    /// Bucket capacity.
+    pub cap: u32,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        Self { initial: 10, per_admission: 0.2, cap: 100 }
+    }
+}
+
+impl RetryBudgetConfig {
+    fn validate(&self) -> Result<(), String> {
+        if !self.per_admission.is_finite() || self.per_admission < 0.0 {
+            return Err("retry_budget.per_admission must be finite and >= 0".into());
+        }
+        if self.cap == 0 {
+            return Err("retry_budget.cap must be at least 1".into());
+        }
+        if self.initial > self.cap {
+            return Err("retry_budget.initial must not exceed cap".into());
+        }
+        Ok(())
+    }
+}
+
+/// The retry bucket's live state. Token arithmetic is in integer
+/// milli-tokens so replays are bit-exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryBudget {
+    milli: u64,
+    cap_milli: u64,
+    deposit_milli: u64,
+}
+
+impl RetryBudget {
+    /// A bucket holding `config.initial` tokens.
+    #[must_use]
+    pub fn new(config: RetryBudgetConfig) -> Self {
+        Self {
+            milli: u64::from(config.initial).saturating_mul(1_000),
+            cap_milli: u64::from(config.cap).saturating_mul(1_000),
+            deposit_milli: (config.per_admission * 1_000.0) as u64,
+        }
+    }
+
+    /// Whole tokens currently available.
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.milli / 1_000
+    }
+
+    /// One request was admitted: deposit the fractional earn.
+    pub fn on_admission(&mut self) {
+        self.milli = self.milli.saturating_add(self.deposit_milli).min(self.cap_milli);
+    }
+
+    /// Try to spend one token for one requeued request. Returns whether
+    /// the retry is within budget.
+    pub fn try_withdraw(&mut self) -> bool {
+        if self.milli >= 1_000 {
+            self.milli -= 1_000;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Tuning for hedged dispatch: when a dispatched batch has been running
+/// longer than `factor ×` the observed p99 batch service time, re-issue
+/// it on a second healthy idle card; the first completion wins and the
+/// loser is cancelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Multiple of the observed p99 batch service time after which a
+    /// still-running batch is hedged.
+    pub factor: f64,
+    /// Hedge delay used before `min_samples` completions exist, and the
+    /// floor below which the derived delay never drops (ns).
+    pub min_delay_ns: u64,
+    /// Completed batches required before the p99 estimate is trusted.
+    pub min_samples: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self { factor: 1.0, min_delay_ns: 2_000_000, min_samples: 8 }
+    }
+}
+
+impl HedgeConfig {
+    fn validate(&self) -> Result<(), String> {
+        if !self.factor.is_finite() || self.factor <= 0.0 {
+            return Err("hedge.factor must be finite and > 0".into());
+        }
+        if self.min_delay_ns == 0 {
+            return Err("hedge.min_delay_ns must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+/// Streaming nearest-rank p99 tracker over observed batch service
+/// times, feeding the hedge delay. Keeps a sorted history; insertion is
+/// O(n) which is fine at simulation scale (one entry per batch).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceTimeTracker {
+    sorted_ns: Vec<u64>,
+}
+
+impl ServiceTimeTracker {
+    /// Record one completed batch's service time.
+    pub fn record(&mut self, service_ns: u64) {
+        let at = self.sorted_ns.partition_point(|&x| x <= service_ns);
+        self.sorted_ns.insert(at, service_ns);
+    }
+
+    /// Completions observed so far.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.sorted_ns.len()
+    }
+
+    /// Nearest-rank p99 of the recorded service times, if any.
+    #[must_use]
+    pub fn p99_ns(&self) -> Option<u64> {
+        if self.sorted_ns.is_empty() {
+            return None;
+        }
+        let rank =
+            ((0.99 * self.sorted_ns.len() as f64).ceil() as usize).clamp(1, self.sorted_ns.len());
+        Some(self.sorted_ns[rank - 1])
+    }
+
+    /// The hedge delay `config` derives from the history: `factor × p99`
+    /// once `min_samples` completions exist, else (and never below)
+    /// `min_delay_ns`.
+    #[must_use]
+    pub fn hedge_delay_ns(&self, config: &HedgeConfig) -> u64 {
+        match self.p99_ns() {
+            Some(p99) if self.samples() >= config.min_samples => {
+                ((p99 as f64 * config.factor) as u64).max(config.min_delay_ns)
+            }
+            _ => config.min_delay_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_fully_off_and_valid() {
+        let c = OverloadConfig::default();
+        assert!(!c.any());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_knobs() {
+        let bad_aimd = OverloadConfig {
+            aimd: Some(AimdConfig { min: 0, ..AimdConfig::default() }),
+            ..OverloadConfig::default()
+        };
+        assert!(bad_aimd.validate().is_err());
+        let inverted = OverloadConfig {
+            aimd: Some(AimdConfig { min: 10, max: 5, initial: 7, ..AimdConfig::default() }),
+            ..OverloadConfig::default()
+        };
+        assert!(inverted.validate().is_err());
+        let bad_decrease = OverloadConfig {
+            aimd: Some(AimdConfig { decrease: 1.0, ..AimdConfig::default() }),
+            ..OverloadConfig::default()
+        };
+        assert!(bad_decrease.validate().is_err());
+        let bad_budget = OverloadConfig {
+            retry_budget: Some(RetryBudgetConfig {
+                per_admission: f64::NAN,
+                ..RetryBudgetConfig::default()
+            }),
+            ..OverloadConfig::default()
+        };
+        assert!(bad_budget.validate().is_err());
+        let bad_hedge = OverloadConfig {
+            hedge: Some(HedgeConfig { factor: 0.0, ..HedgeConfig::default() }),
+            ..OverloadConfig::default()
+        };
+        assert!(bad_hedge.validate().is_err());
+    }
+
+    #[test]
+    fn aimd_rises_additively_and_falls_multiplicatively() {
+        let mut l = AimdLimiter::new(AimdConfig {
+            initial: 10,
+            min: 2,
+            max: 12,
+            increase: 1.0,
+            decrease: 0.5,
+        });
+        assert!(l.admits(9));
+        assert!(!l.admits(10));
+        l.on_success();
+        l.on_success();
+        l.on_success();
+        assert_eq!(l.limit(), 12, "additive increase saturates at max");
+        l.on_overload();
+        assert_eq!(l.limit(), 6);
+        for _ in 0..10 {
+            l.on_overload();
+        }
+        assert_eq!(l.limit(), 2, "multiplicative decrease floors at min");
+    }
+
+    #[test]
+    fn retry_budget_earns_fractionally_and_spends_whole_tokens() {
+        let mut b = RetryBudget::new(RetryBudgetConfig { initial: 1, per_admission: 0.5, cap: 2 });
+        assert_eq!(b.tokens(), 1);
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "bucket empty");
+        b.on_admission();
+        assert!(!b.try_withdraw(), "half a token is not a token");
+        b.on_admission();
+        assert!(b.try_withdraw());
+        for _ in 0..100 {
+            b.on_admission();
+        }
+        assert_eq!(b.tokens(), 2, "deposits cap at the bucket size");
+    }
+
+    #[test]
+    fn hedge_delay_tracks_p99_with_floor_and_warmup() {
+        let cfg = HedgeConfig { factor: 2.0, min_delay_ns: 1_000, min_samples: 3 };
+        let mut t = ServiceTimeTracker::default();
+        assert_eq!(t.hedge_delay_ns(&cfg), 1_000, "no samples: fallback");
+        t.record(5_000);
+        t.record(2_000);
+        assert_eq!(t.hedge_delay_ns(&cfg), 1_000, "below min_samples: fallback");
+        t.record(3_000);
+        assert_eq!(t.p99_ns(), Some(5_000));
+        assert_eq!(t.hedge_delay_ns(&cfg), 10_000, "factor x p99");
+        let tiny = HedgeConfig { factor: 0.01, ..cfg };
+        assert_eq!(t.hedge_delay_ns(&tiny), 1_000, "floor applies to derived delay");
+    }
+
+    #[test]
+    fn tracker_keeps_history_sorted() {
+        let mut t = ServiceTimeTracker::default();
+        for v in [9u64, 1, 5, 5, 2, 8] {
+            t.record(v);
+        }
+        assert_eq!(t.samples(), 6);
+        assert_eq!(t.sorted_ns, vec![1, 2, 5, 5, 8, 9]);
+        assert_eq!(t.p99_ns(), Some(9));
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::faults::FailedRequest;
 use crate::health::CardHealth;
-use crate::request::ServeResponse;
+use crate::request::{Priority, ServeResponse};
 use core::fmt;
 use protea_core::FaultStats;
 
@@ -78,6 +78,54 @@ pub struct ServeReport {
     pub faults: FaultStats,
     /// Each card's health at the end of the run.
     pub card_health: Vec<CardHealth>,
+    /// Requests shed at admission under overload (queue cap or
+    /// concurrency limit), each with a typed reason.
+    pub shed: Vec<FailedRequest>,
+    /// Requests dropped in queue at their deadline, each typed.
+    pub expired: Vec<FailedRequest>,
+    /// Completions that met their deadline (equals `completed` when no
+    /// request carries one).
+    pub completed_in_deadline: usize,
+    /// *Goodput*: deadline-meeting completions per second. Equals
+    /// `throughput_rps` when no request carries a deadline; under
+    /// overload this is the number that matters — raw throughput stays
+    /// flattering while every answer arrives too late.
+    pub goodput_rps: f64,
+    /// Hedge dispatches issued (straggling batch re-run on a second card).
+    pub hedges: u64,
+    /// Hedges whose second leg finished first.
+    pub hedge_wins: u64,
+    /// Hedge legs cancelled because the other leg completed first.
+    pub hedge_cancels: u64,
+    /// Per-priority SLO attainment, ascending priority. Empty for runs
+    /// without the overload layer.
+    pub slo: Vec<PrioritySlo>,
+}
+
+/// SLO attainment for one priority class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrioritySlo {
+    /// The class.
+    pub priority: Priority,
+    /// Requests of this class submitted.
+    pub submitted: usize,
+    /// Of those, completed at all.
+    pub completed: usize,
+    /// Of those, completed within their deadline.
+    pub within_deadline: usize,
+}
+
+impl PrioritySlo {
+    /// Fraction of submitted requests served within deadline (1.0 when
+    /// the class saw no traffic).
+    #[must_use]
+    pub fn attainment(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.within_deadline as f64 / self.submitted as f64
+        }
+    }
 }
 
 /// The fault-side outcome of a serving simulation, folded into a
@@ -96,6 +144,21 @@ pub struct FaultOutcome {
     pub faults: FaultStats,
     /// Final per-card health.
     pub card_health: Vec<CardHealth>,
+    /// Requests shed at admission.
+    pub shed: Vec<FailedRequest>,
+    /// Requests expired in queue.
+    pub expired: Vec<FailedRequest>,
+    /// Deadline-meeting completions, when the run tracked deadlines
+    /// (`None` means every completion counts as good).
+    pub completed_in_deadline: Option<usize>,
+    /// Hedge dispatches issued.
+    pub hedges: u64,
+    /// Hedges won by the second leg.
+    pub hedge_wins: u64,
+    /// Hedge legs cancelled.
+    pub hedge_cancels: u64,
+    /// Per-priority SLO rows (empty without the overload layer).
+    pub slo: Vec<PrioritySlo>,
 }
 
 impl ServeReport {
@@ -136,12 +199,22 @@ impl ServeReport {
             failed: Vec::new(),
             faults: FaultStats::default(),
             card_health: vec![CardHealth::Healthy; busy_ns.len()],
+            shed: Vec::new(),
+            expired: Vec::new(),
+            completed_in_deadline: completed,
+            goodput_rps: completed as f64 / span,
+            hedges: 0,
+            hedge_wins: 0,
+            hedge_cancels: 0,
+            slo: Vec::new(),
         }
     }
 
-    /// Fold a fault-injected run's outcome into the report, recomputing
-    /// availability as `completed / submitted` (1.0 when nothing was
-    /// submitted, so an empty run never divides by zero).
+    /// Fold a fault-injected (or overload-controlled) run's outcome
+    /// into the report, recomputing availability as
+    /// `completed / submitted` (1.0 when nothing was submitted, so an
+    /// empty run never divides by zero) and goodput from the
+    /// deadline-meeting completion count when the run tracked one.
     #[must_use]
     pub fn with_faults(mut self, outcome: FaultOutcome) -> Self {
         self.submitted = outcome.submitted;
@@ -157,6 +230,17 @@ impl ServeReport {
         if !outcome.card_health.is_empty() {
             self.card_health = outcome.card_health;
         }
+        self.shed = outcome.shed;
+        self.expired = outcome.expired;
+        if let Some(good) = outcome.completed_in_deadline {
+            let span = if self.makespan_s > 0.0 { self.makespan_s } else { f64::MIN_POSITIVE };
+            self.completed_in_deadline = good;
+            self.goodput_rps = good as f64 / span;
+        }
+        self.hedges = outcome.hedges;
+        self.hedge_wins = outcome.hedge_wins;
+        self.hedge_cancels = outcome.hedge_cancels;
+        self.slo = outcome.slo;
         self
     }
 
@@ -169,6 +253,26 @@ impl ServeReport {
             || self.crashes > 0
             || self.retried > 0
             || self.submitted != self.completed
+    }
+
+    /// Whether the overload layer left any visible trace — sheds,
+    /// deadline expiries, deadline-missing completions, or hedges —
+    /// i.e. whether the overload section of [`Display`](fmt::Display)
+    /// prints. Always false for pre-overload-era runs, so their
+    /// rendered reports are unchanged.
+    #[must_use]
+    pub fn overloaded(&self) -> bool {
+        !self.shed.is_empty()
+            || !self.expired.is_empty()
+            || self.completed_in_deadline != self.completed
+            || self.hedges > 0
+    }
+
+    /// Conservation check: every submitted request counted exactly once
+    /// across {completed, shed, expired, failed}.
+    #[must_use]
+    pub fn accounted(&self) -> bool {
+        self.completed + self.shed.len() + self.expired.len() + self.failed.len() == self.submitted
     }
 }
 
@@ -202,6 +306,39 @@ impl fmt::Display for ServeReport {
         let util: Vec<String> =
             self.card_utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
         writeln!(f, "  card busy    [{}]", util.join(", "))?;
+        // The overload section prints only when the overload layer did
+        // something, so pre-overload reports render exactly as before.
+        if self.overloaded() {
+            writeln!(
+                f,
+                "  goodput      {:>10.1} good inf/s ({}/{} completions met their deadline)",
+                self.goodput_rps, self.completed_in_deadline, self.completed
+            )?;
+            writeln!(
+                f,
+                "  overload     {} shed at admission, {} expired in queue",
+                self.shed.len(),
+                self.expired.len()
+            )?;
+            if self.hedges > 0 {
+                writeln!(
+                    f,
+                    "  hedging      {} issued, {} won, {} cancelled",
+                    self.hedges, self.hedge_wins, self.hedge_cancels
+                )?;
+            }
+            if !self.slo.is_empty() {
+                let rows: Vec<String> = self
+                    .slo
+                    .iter()
+                    .filter(|s| s.submitted > 0)
+                    .map(|s| {
+                        format!("{} {:.1}% ({})", s.priority, 100.0 * s.attainment(), s.submitted)
+                    })
+                    .collect();
+                writeln!(f, "  slo          [{}]", rows.join(", "))?;
+            }
+        }
         // The fault section prints only when something actually went
         // wrong, so fault-free reports render exactly as before.
         if self.degraded() {
@@ -257,6 +394,41 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_edge_cases() {
+        // Empty input: every field is exactly zero, not NaN.
+        let empty = Percentiles::of(&[]);
+        assert_eq!((empty.p50, empty.p95, empty.p99, empty.max), (0.0, 0.0, 0.0, 0.0));
+
+        // Single element: every percentile IS that element.
+        let one = Percentiles::of(&[3.25]);
+        assert_eq!((one.p50, one.p95, one.p99, one.max), (3.25, 3.25, 3.25, 3.25));
+
+        // Two elements: nearest-rank p50 is the lower, p95/p99 the upper.
+        let two = Percentiles::of(&[10.0, 2.0]);
+        assert_eq!((two.p50, two.p95, two.p99, two.max), (2.0, 10.0, 10.0, 10.0));
+
+        // Input order must not matter.
+        let fwd = Percentiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let rev = Percentiles::of(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!((fwd.p50, fwd.p95, fwd.p99, fwd.max), (rev.p50, rev.p95, rev.p99, rev.max));
+
+        // Duplicates: ranks land inside the run of equal values.
+        let dup = Percentiles::of(&[4.0; 9]);
+        assert_eq!((dup.p50, dup.p99, dup.max), (4.0, 4.0, 4.0));
+
+        // NaN poisons nothing: total_cmp sorts NaN to the end, and the
+        // finite ranks still read finite values.
+        let with_nan = Percentiles::of(&[1.0, 2.0, f64::NAN, 3.0]);
+        assert_eq!(with_nan.p50, 2.0);
+        assert!(with_nan.max.is_nan(), "max faithfully reports the NaN sorted last");
+
+        // Negative and zero values survive (latencies never are, but
+        // the helper must not assume it).
+        let neg = Percentiles::of(&[-5.0, 0.0, 5.0]);
+        assert_eq!((neg.p50, neg.max), (0.0, 5.0));
+    }
+
+    #[test]
     fn report_arithmetic() {
         // two requests, 1 s makespan
         let responses = [resp(0, 0, 100_000, 500_000_000), resp(1, 0, 200_000, 1_000_000_000)];
@@ -299,6 +471,7 @@ mod tests {
             crashes: 1,
             faults: FaultStats { ecc_single: 2, ..FaultStats::default() },
             card_health: vec![CardHealth::Dead],
+            ..FaultOutcome::default()
         });
         assert!((r.availability - 0.5).abs() < 1e-12);
         assert!(r.degraded());

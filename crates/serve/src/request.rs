@@ -1,6 +1,60 @@
 //! Request and response types of the serving API.
 
+use core::fmt;
 use protea_core::RuntimeConfig;
+
+/// A request's service class, ordered from most to least sheddable.
+///
+/// Priorities matter only under overload: when a bounded queue is full,
+/// admission sheds the lowest-priority (then youngest) request first,
+/// and the report breaks SLO attainment out per class. A trace that
+/// never sets priorities runs entirely at [`Priority::Normal`] and
+/// behaves exactly as before priorities existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: first to be shed.
+    BestEffort,
+    /// The default class.
+    Normal,
+    /// Latency-critical work: shed only when nothing lower remains.
+    Interactive,
+}
+
+impl Priority {
+    /// Every priority, ascending (shed order).
+    pub const ALL: [Priority; 3] = [Priority::BestEffort, Priority::Normal, Priority::Interactive];
+
+    /// Dense index for per-priority accounting tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Priority::BestEffort => 0,
+            Priority::Normal => 1,
+            Priority::Interactive => 2,
+        }
+    }
+
+    /// Parse the CLI/JSON spelling (`best-effort` | `normal` | `interactive`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "best-effort" => Some(Priority::BestEffort),
+            "normal" => Some(Priority::Normal),
+            "interactive" => Some(Priority::Interactive),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priority::BestEffort => "best-effort",
+            Priority::Normal => "normal",
+            Priority::Interactive => "interactive",
+        })
+    }
+}
 
 /// One inference request in a workload trace.
 ///
@@ -23,6 +77,31 @@ pub struct ServeRequest {
     pub layers: usize,
     /// Actual (unpadded) sequence length of this request.
     pub seq_len: usize,
+    /// Service class; decides shed order under overload.
+    pub priority: Priority,
+    /// Absolute completion deadline (ns from trace start), or `None`
+    /// for no deadline. A request still queued at its deadline is shed
+    /// before dispatch rather than burned on a card; one that completes
+    /// after it counts against goodput and SLO attainment.
+    pub deadline_ns: Option<u64>,
+}
+
+impl Default for ServeRequest {
+    /// A zero-shaped placeholder, useful as a functional-update base in
+    /// tests (`ServeRequest { id: 3, ..Default::default() }`). Not
+    /// servable as-is (`seq_len` is zero).
+    fn default() -> Self {
+        Self {
+            id: 0,
+            arrival_ns: 0,
+            d_model: 0,
+            heads: 0,
+            layers: 0,
+            seq_len: 0,
+            priority: Priority::Normal,
+            deadline_ns: None,
+        }
+    }
 }
 
 impl ServeRequest {
@@ -43,6 +122,20 @@ impl ServeRequest {
             d_model: self.d_model,
             seq_len: padded_seq_len,
         }
+    }
+
+    /// Whether the request's deadline has already passed at `now_ns`
+    /// (vacuously false without a deadline).
+    #[must_use]
+    pub fn expired_at(&self, now_ns: u64) -> bool {
+        self.deadline_ns.is_some_and(|d| now_ns >= d)
+    }
+
+    /// Whether a completion at `finish_ns` meets the deadline
+    /// (vacuously true without one).
+    #[must_use]
+    pub fn within_deadline(&self, finish_ns: u64) -> bool {
+        self.deadline_ns.is_none_or(|d| finish_ns <= d)
     }
 }
 
@@ -96,11 +189,22 @@ impl ServeResponse {
 mod tests {
     use super::*;
 
+    fn shaped(id: u64, arrival_ns: u64, seq_len: usize) -> ServeRequest {
+        ServeRequest {
+            id,
+            arrival_ns,
+            d_model: 96,
+            heads: 4,
+            layers: 2,
+            seq_len,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn class_ignores_seq_len() {
-        let a = ServeRequest { id: 0, arrival_ns: 0, d_model: 96, heads: 4, layers: 2, seq_len: 7 };
-        let b =
-            ServeRequest { id: 1, arrival_ns: 9, d_model: 96, heads: 4, layers: 2, seq_len: 31 };
+        let a = shaped(0, 0, 7);
+        let b = shaped(1, 9, 31);
         assert_eq!(a.class(), b.class());
         let c = ServeRequest { d_model: 128, ..a };
         assert_ne!(a.class(), c.class());
@@ -108,10 +212,33 @@ mod tests {
 
     #[test]
     fn runtime_at_pads_seq_len() {
-        let r = ServeRequest { id: 0, arrival_ns: 0, d_model: 96, heads: 4, layers: 2, seq_len: 7 };
-        let rt = r.runtime_at(16);
+        let rt = shaped(0, 0, 7).runtime_at(16);
         assert_eq!(rt.seq_len, 16);
         assert_eq!(rt.d_model, 96);
+    }
+
+    #[test]
+    fn priority_order_and_round_trip() {
+        assert!(Priority::BestEffort < Priority::Normal);
+        assert!(Priority::Normal < Priority::Interactive);
+        for p in Priority::ALL {
+            assert_eq!(Priority::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+        let idx: Vec<usize> = Priority::ALL.iter().map(|p| p.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deadline_predicates() {
+        let none = shaped(0, 0, 8);
+        assert!(!none.expired_at(u64::MAX));
+        assert!(none.within_deadline(u64::MAX));
+        let tight = ServeRequest { deadline_ns: Some(1_000), ..shaped(1, 0, 8) };
+        assert!(!tight.expired_at(999));
+        assert!(tight.expired_at(1_000), "a deadline reached is a deadline missed");
+        assert!(tight.within_deadline(1_000));
+        assert!(!tight.within_deadline(1_001));
     }
 
     #[test]

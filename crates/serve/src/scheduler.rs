@@ -9,7 +9,7 @@
 //! [`BatchPolicy::max_wait_ns`].
 
 use crate::error::ServeError;
-use crate::request::{CapacityClass, ServeRequest};
+use crate::request::{CapacityClass, Priority, ServeRequest};
 use protea_core::{RuntimeConfig, SynthesisConfig};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -26,11 +26,21 @@ pub struct BatchPolicy {
     /// `seq_len` ≤ `buckets[i]` (and > `buckets[i-1]`) pads to
     /// `buckets[i]`.
     pub seq_buckets: Vec<usize>,
+    /// Hard cap on requests queued per (class, bucket) queue. `None`
+    /// keeps the historical unbounded behavior; `Some(n)` makes
+    /// admission shed instead of growing without bound (see
+    /// [`BatchScheduler::push`]).
+    pub max_queue: Option<usize>,
 }
 
 impl Default for BatchPolicy {
     fn default() -> Self {
-        Self { max_batch: 8, max_wait_ns: 2_000_000, seq_buckets: vec![16, 32, 64, 128] }
+        Self {
+            max_batch: 8,
+            max_wait_ns: 2_000_000,
+            seq_buckets: vec![16, 32, 64, 128],
+            max_queue: None,
+        }
     }
 }
 
@@ -114,11 +124,21 @@ impl BatchScheduler {
 
     /// Admit a request.
     ///
+    /// With [`BatchPolicy::max_queue`] unset this always queues the
+    /// request and returns `Ok(None)`. With a cap, a full target queue
+    /// sheds by priority: if some queued request has *lower* priority
+    /// than the newcomer, the youngest such request is evicted and
+    /// returned as `Ok(Some(victim))` (the caller owns recording it as
+    /// shed); otherwise the newcomer itself is rejected with
+    /// [`ServeError::Overloaded`].
+    ///
     /// # Errors
     /// [`ServeError::Unservable`] when the request's padded register
     /// file would be rejected by the synthesized capacity (too-long
-    /// sequence, oversized `d_model`, indivisible heads, zero field).
-    pub fn push(&mut self, req: ServeRequest) -> Result<(), ServeError> {
+    /// sequence, oversized `d_model`, indivisible heads, zero field);
+    /// [`ServeError::Overloaded`] when the bucket queue is full and no
+    /// lower-priority victim exists.
+    pub fn push(&mut self, req: ServeRequest) -> Result<Option<ServeRequest>, ServeError> {
         if req.seq_len == 0 {
             return Err(ServeError::Unservable {
                 id: req.id,
@@ -138,9 +158,40 @@ impl BatchScheduler {
             .validate(&self.capacity)
             .map_err(|e| ServeError::Unservable { id: req.id, why: e.to_string() })?;
         let key = BatchKey { class: req.class(), padded_seq_len: padded };
+        let cap = self.policy.max_queue;
+        let q = self.queues.entry(key).or_default();
+        let mut victim = None;
+        if cap.is_some_and(|cap| q.len() >= cap) {
+            // Shed the *youngest of the lowest-priority* queued request
+            // strictly below the newcomer — it has waited least and
+            // matters least — or, failing that, reject the newcomer.
+            let evict = q
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.priority < req.priority)
+                .min_by_key(|(i, r)| (r.priority, std::cmp::Reverse((r.arrival_ns, *i))))
+                .map(|(i, _)| i);
+            match evict {
+                Some(i) => {
+                    victim = q.remove(i);
+                    self.pending -= 1;
+                }
+                None => {
+                    let pending = q.len();
+                    if q.is_empty() {
+                        self.queues.remove(&key);
+                    }
+                    return Err(ServeError::Overloaded {
+                        id: req.id,
+                        pending,
+                        limit: cap.unwrap_or(usize::MAX),
+                    });
+                }
+            }
+        }
         self.queues.entry(key).or_default().push_back(req);
         self.pending += 1;
-        Ok(())
+        Ok(victim)
     }
 
     /// Earliest deadline at which a currently queued partial batch must
@@ -152,6 +203,86 @@ impl BatchScheduler {
             .filter_map(|q| q.front())
             .map(|r| r.arrival_ns.saturating_add(self.policy.max_wait_ns))
             .min()
+    }
+
+    /// Earliest per-request completion deadline among queued requests,
+    /// if any carries one. The dispatcher arms a wake-up here so an
+    /// expired request is shed promptly, not only at the next arrival
+    /// or completion.
+    #[must_use]
+    pub fn next_request_deadline_ns(&self) -> Option<u64> {
+        self.queues.values().flatten().filter_map(|r| r.deadline_ns).min()
+    }
+
+    /// Remove and return the queued request that matters least among
+    /// those strictly below `than`: the youngest of the lowest priority
+    /// class, searched across every bucket. Used by the admission
+    /// limiter so that shedding under concurrency pressure is
+    /// priority-ordered — an interactive arrival displaces queued
+    /// best-effort work instead of being bounced itself. `None` when
+    /// nothing queued ranks below `than`.
+    pub fn evict_lower_priority(&mut self, than: Priority) -> Option<ServeRequest> {
+        let (key, idx) = self
+            .queues
+            .iter()
+            .flat_map(|(k, q)| q.iter().enumerate().map(move |(i, r)| (k, i, r)))
+            .filter(|(_, _, r)| r.priority < than)
+            .min_by_key(|(k, i, r)| (r.priority, std::cmp::Reverse((r.arrival_ns, **k, *i))))
+            .map(|(k, i, _)| (*k, i))?;
+        let q = self.queues.get_mut(&key).expect("key exists by construction");
+        let victim = q.remove(idx).expect("index exists by construction");
+        if q.is_empty() {
+            self.queues.remove(&key);
+        }
+        self.pending -= 1;
+        Some(victim)
+    }
+
+    /// When the dispatcher should next wake for deadline work: for each
+    /// queued deadline'd request, at `deadline - headroom_ns` (to flush
+    /// its batch early enough to have a chance of completing in time),
+    /// or at the deadline itself when that urgent instant has already
+    /// passed (to shed it promptly). `headroom_ns` is the caller's
+    /// service-time estimate; `None` (no completions observed yet)
+    /// falls back to [`BatchPolicy::max_wait_ns`]. Returns `None` when
+    /// no queued request carries a deadline.
+    #[must_use]
+    pub fn next_deadline_wake_ns(&self, now_ns: u64, headroom_ns: Option<u64>) -> Option<u64> {
+        let h = headroom_ns.unwrap_or(self.policy.max_wait_ns);
+        self.queues
+            .values()
+            .flatten()
+            .filter_map(|r| r.deadline_ns)
+            .map(|d| {
+                let urgent = d.saturating_sub(h);
+                if urgent > now_ns {
+                    urgent
+                } else {
+                    d
+                }
+            })
+            .min()
+    }
+
+    /// Remove and return every queued request whose deadline has passed
+    /// at `now_ns`, preserving queue order among survivors. Expired
+    /// requests are shed *before* dispatch — a card's time is never
+    /// burned on an answer nobody is waiting for.
+    pub fn take_expired(&mut self, now_ns: u64) -> Vec<ServeRequest> {
+        let mut expired = Vec::new();
+        self.queues.retain(|_, q| {
+            q.retain(|r| {
+                let dead = r.expired_at(now_ns);
+                if dead {
+                    expired.push(*r);
+                }
+                !dead
+            });
+            !q.is_empty()
+        });
+        self.pending -= expired.len();
+        expired.sort_by_key(|r| (r.arrival_ns, r.id));
+        expired
     }
 
     /// Take the best dispatchable batch at time `now_ns`: a full batch
@@ -179,6 +310,29 @@ impl BatchScheduler {
         Some(self.take(key))
     }
 
+    /// Deadline-aware flush: take a partial batch whose most imminent
+    /// member deadline is within `headroom_ns` of `now_ns` — waiting for
+    /// the generic [`BatchPolicy::max_wait_ns`] flush would let it
+    /// expire in queue. `headroom_ns` is the caller's service-time
+    /// estimate (`None` falls back to `max_wait_ns`, so before any
+    /// completion statistics exist a deadline'd request flushes as soon
+    /// as its deadline is within one batching window). Returns `None`
+    /// when no queued deadline is that close.
+    pub fn pop_urgent(&mut self, now_ns: u64, headroom_ns: Option<u64>) -> Option<Batch> {
+        let h = headroom_ns.unwrap_or(self.policy.max_wait_ns);
+        let key = self
+            .queues
+            .iter()
+            .filter(|(_, q)| {
+                q.iter().filter_map(|r| r.deadline_ns).any(|d| d.saturating_sub(h) <= now_ns)
+            })
+            .min_by_key(|(k, q)| {
+                (q.iter().filter_map(|r| r.deadline_ns).min().unwrap_or(u64::MAX), **k)
+            })
+            .map(|(k, _)| *k)?;
+        Some(self.take(key))
+    }
+
     /// Take the oldest pending batch regardless of fill or age (used to
     /// drain the queue once arrivals stop). `None` when empty.
     pub fn pop_any(&mut self) -> Option<Batch> {
@@ -193,7 +347,11 @@ impl BatchScheduler {
 
     /// Return a dispatched batch's requests to the **front** of their
     /// queue (the card failed or crashed mid-run). The requests were
-    /// already admitted, so there is no re-validation, and FIFO order
+    /// already admitted, so there is no re-validation — and the
+    /// [`BatchPolicy::max_queue`] cap deliberately does not apply: a
+    /// requeued request was already in the system, so bouncing it here
+    /// would turn a card fault into a silent drop. Requeue *volume* is
+    /// bounded one level up by the fleet's retry budget. FIFO order
     /// within the batch is preserved — a requeued request keeps its
     /// place ahead of later arrivals.
     pub fn requeue(&mut self, batch: &Batch) {
@@ -226,13 +384,40 @@ impl BatchScheduler {
 mod tests {
     use super::*;
 
+    use crate::request::Priority;
+
     fn req(id: u64, arrival_ns: u64, seq_len: usize) -> ServeRequest {
-        ServeRequest { id, arrival_ns, d_model: 96, heads: 4, layers: 2, seq_len }
+        ServeRequest {
+            id,
+            arrival_ns,
+            d_model: 96,
+            heads: 4,
+            layers: 2,
+            seq_len,
+            ..Default::default()
+        }
     }
 
     fn sched() -> BatchScheduler {
         BatchScheduler::new(
-            BatchPolicy { max_batch: 4, max_wait_ns: 1_000, seq_buckets: vec![16, 32, 64, 128] },
+            BatchPolicy {
+                max_batch: 4,
+                max_wait_ns: 1_000,
+                seq_buckets: vec![16, 32, 64, 128],
+                max_queue: None,
+            },
+            SynthesisConfig::paper_default(),
+        )
+    }
+
+    fn capped(max_queue: usize) -> BatchScheduler {
+        BatchScheduler::new(
+            BatchPolicy {
+                max_batch: 4,
+                max_wait_ns: 1_000,
+                seq_buckets: vec![16, 32, 64, 128],
+                max_queue: Some(max_queue),
+            },
             SynthesisConfig::paper_default(),
         )
     }
@@ -283,6 +468,7 @@ mod tests {
             heads: 4,
             layers: 2,
             seq_len: 12,
+            ..Default::default()
         })
         .unwrap();
         let b = s.pop_ready(u64::MAX).unwrap();
@@ -296,16 +482,13 @@ mod tests {
         // over the largest bucket
         assert!(matches!(s.push(req(0, 0, 4_000)), Err(ServeError::Unservable { id: 0, .. })));
         // d_model over synthesized capacity
-        let too_wide =
-            ServeRequest { id: 1, arrival_ns: 0, d_model: 4_096, heads: 4, layers: 2, seq_len: 8 };
+        let too_wide = ServeRequest { d_model: 4_096, ..req(1, 0, 8) };
         assert!(matches!(s.push(too_wide), Err(ServeError::Unservable { id: 1, .. })));
         // heads must divide d_model
-        let ragged =
-            ServeRequest { id: 2, arrival_ns: 0, d_model: 96, heads: 5, layers: 2, seq_len: 8 };
+        let ragged = ServeRequest { heads: 5, ..req(2, 0, 8) };
         assert!(s.push(ragged).is_err());
         // zero layers
-        let zero =
-            ServeRequest { id: 3, arrival_ns: 0, d_model: 96, heads: 4, layers: 0, seq_len: 8 };
+        let zero = ServeRequest { layers: 0, ..req(3, 0, 8) };
         assert!(s.push(zero).is_err());
         assert_eq!(s.pending(), 0);
     }
@@ -351,5 +534,88 @@ mod tests {
         let b = s.pop_ready(100).unwrap();
         let ids: Vec<u64> = b.requests.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unbounded_by_default_bounded_when_capped() {
+        // Historical behavior: no cap, any depth queues.
+        let mut s = sched();
+        for i in 0..100 {
+            assert_eq!(s.push(req(i, i, 12)).unwrap(), None);
+        }
+        assert_eq!(s.pending(), 100);
+        // With a cap, the queue holds exactly `max_queue`.
+        let mut s = capped(3);
+        for i in 0..3 {
+            assert_eq!(s.push(req(i, i, 12)).unwrap(), None);
+        }
+        let err = s.push(req(3, 3, 12)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Overloaded { id: 3, pending: 3, limit: 3 }),
+            "got {err:?}"
+        );
+        assert_eq!(s.pending(), 3, "a rejected push must not change the queue");
+        // A different bucket has its own cap.
+        assert_eq!(s.push(req(4, 4, 20)).unwrap(), None);
+    }
+
+    #[test]
+    fn full_queue_evicts_lowest_priority_youngest_victim() {
+        let mut s = capped(3);
+        s.push(ServeRequest { priority: Priority::BestEffort, ..req(0, 0, 12) }).unwrap();
+        s.push(ServeRequest { priority: Priority::BestEffort, ..req(1, 5, 12) }).unwrap();
+        s.push(ServeRequest { priority: Priority::Normal, ..req(2, 6, 12) }).unwrap();
+        // An interactive arrival displaces the *youngest best-effort*
+        // request (id 1), not the older one and not the normal one.
+        let victim = s
+            .push(ServeRequest { priority: Priority::Interactive, ..req(3, 9, 12) })
+            .unwrap()
+            .expect("must evict");
+        assert_eq!(victim.id, 1);
+        assert_eq!(s.pending(), 3);
+        // An equal-priority arrival cannot displace anyone.
+        let err =
+            s.push(ServeRequest { priority: Priority::BestEffort, ..req(4, 10, 12) }).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { id: 4, .. }));
+        // The surviving queue keeps arrival order among survivors.
+        let b = s.pop_ready(u64::MAX).unwrap();
+        let ids: Vec<u64> = b.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn requeue_is_exempt_from_the_cap() {
+        let mut s = capped(4);
+        for i in 0..4 {
+            s.push(req(i, i, 12)).unwrap();
+        }
+        let b = s.pop_ready(u64::MAX).unwrap();
+        for i in 4..8 {
+            s.push(req(i, i, 12)).unwrap();
+        }
+        // The queue is full again, yet the failed batch must re-enter:
+        // bouncing it would turn a card fault into a silent drop.
+        s.requeue(&b);
+        assert_eq!(s.pending(), 8);
+        let front = s.pop_ready(u64::MAX).unwrap();
+        assert_eq!(front.requests[0].id, 0, "requeued batch keeps its place at the head");
+    }
+
+    #[test]
+    fn take_expired_removes_only_dead_requests() {
+        let mut s = sched();
+        s.push(ServeRequest { deadline_ns: Some(100), ..req(0, 0, 12) }).unwrap();
+        s.push(req(1, 1, 12)).unwrap(); // no deadline
+        s.push(ServeRequest { deadline_ns: Some(500), ..req(2, 2, 40) }).unwrap();
+        assert_eq!(s.next_request_deadline_ns(), Some(100));
+        assert!(s.take_expired(99).is_empty(), "nothing dead yet");
+        let dead = s.take_expired(100);
+        assert_eq!(dead.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.next_request_deadline_ns(), Some(500));
+        let dead = s.take_expired(u64::MAX);
+        assert_eq!(dead.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(s.pending(), 1, "deadline-free requests are never expired");
+        assert_eq!(s.next_request_deadline_ns(), None);
     }
 }

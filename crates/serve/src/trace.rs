@@ -14,9 +14,14 @@
 //!   { "arrival_us": 40, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 61 }
 //! ] }
 //! ```
+//!
+//! Each request may optionally carry `"deadline_us"` (absolute, from
+//! trace start) and `"priority"` (`"best-effort"` | `"normal"` |
+//! `"interactive"`); both default to the pre-overload behavior (no
+//! deadline, normal priority).
 
 use crate::error::ServeError;
-use crate::request::ServeRequest;
+use crate::request::{Priority, ServeRequest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,6 +59,28 @@ impl Workload {
                     .map(|(_, v)| v.as_u64(0, name))
                     .ok_or_else(|| trace_err(0, format!("request {i} missing \"{name}\"")))?
             };
+            let opt_field = |name: &str| -> Option<&json::Value> {
+                obj.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v)
+            };
+            let deadline_ns = match opt_field("deadline_us") {
+                Some(v) => Some(v.as_u64(0, "deadline_us")?.saturating_mul(1_000)),
+                None => None,
+            };
+            let priority = match opt_field("priority") {
+                Some(v) => {
+                    let s = v.as_str(0, "priority")?;
+                    Priority::parse(s).ok_or_else(|| {
+                        trace_err(
+                            0,
+                            format!(
+                                "request {i}: unknown priority {s:?} \
+                                 (want best-effort | normal | interactive)"
+                            ),
+                        )
+                    })?
+                }
+                None => Priority::Normal,
+            };
             requests.push(ServeRequest {
                 id: i as u64,
                 arrival_ns: field("arrival_us")?.saturating_mul(1_000),
@@ -61,6 +88,8 @@ impl Workload {
                 heads: field("heads")? as usize,
                 layers: field("layers")? as usize,
                 seq_len: field("seq_len")? as usize,
+                priority,
+                deadline_ns,
             });
         }
         if requests.is_empty() {
@@ -76,13 +105,21 @@ impl Workload {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{ \"requests\": [\n");
         for (i, r) in self.requests.iter().enumerate() {
+            let mut extra = String::new();
+            if let Some(d) = r.deadline_ns {
+                extra.push_str(&format!(", \"deadline_us\": {}", d / 1_000));
+            }
+            if r.priority != Priority::Normal {
+                extra.push_str(&format!(", \"priority\": \"{}\"", r.priority));
+            }
             out.push_str(&format!(
-                "  {{ \"arrival_us\": {}, \"d_model\": {}, \"heads\": {}, \"layers\": {}, \"seq_len\": {} }}{}\n",
+                "  {{ \"arrival_us\": {}, \"d_model\": {}, \"heads\": {}, \"layers\": {}, \"seq_len\": {}{} }}{}\n",
                 r.arrival_ns / 1_000,
                 r.d_model,
                 r.heads,
                 r.layers,
                 r.seq_len,
+                extra,
                 if i + 1 == self.requests.len() { "" } else { "," }
             ));
         }
@@ -116,9 +153,41 @@ impl Workload {
             t_ns = t_ns.saturating_add((gap_s * 1e9) as u64);
             let (d_model, heads, layers) = classes[rng.gen_range(0..classes.len())];
             let seq_len = rng.gen_range(lo..=hi);
-            requests.push(ServeRequest { id, arrival_ns: t_ns, d_model, heads, layers, seq_len });
+            requests.push(ServeRequest {
+                id,
+                arrival_ns: t_ns,
+                d_model,
+                heads,
+                layers,
+                seq_len,
+                ..ServeRequest::default()
+            });
         }
         Self { requests }
+    }
+
+    /// Stamp every request with a completion deadline `rel_ns` after its
+    /// arrival (builder-style, for overload experiments).
+    #[must_use]
+    pub fn with_deadline(mut self, rel_ns: u64) -> Self {
+        for r in &mut self.requests {
+            r.deadline_ns = Some(r.arrival_ns.saturating_add(rel_ns));
+        }
+        self
+    }
+
+    /// Assign priorities round-robin from `cycle` (builder-style;
+    /// deterministic, so seeded workloads stay replayable). An empty
+    /// cycle leaves priorities untouched.
+    #[must_use]
+    pub fn with_priorities(mut self, cycle: &[Priority]) -> Self {
+        if cycle.is_empty() {
+            return self;
+        }
+        for (i, r) in self.requests.iter_mut().enumerate() {
+            r.priority = cycle[i % cycle.len()];
+        }
+        self
     }
 
     /// Total trace span in seconds (first arrival is relative to zero).
@@ -180,6 +249,13 @@ mod json {
                     at,
                     format!("{what} must be a non-negative integer, got {other:?}"),
                 )),
+            }
+        }
+
+        pub fn as_str(&self, at: usize, what: &str) -> Result<&str, ServeError> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(trace_err(at, format!("{what} must be a string, got {other:?}"))),
             }
         }
     }
@@ -419,6 +495,45 @@ mod tests {
         assert_eq!(w.requests.len(), 1);
         assert_eq!(w.requests[0].arrival_ns, 10_000);
         assert_eq!(w.requests[0].seq_len, 8);
+    }
+
+    #[test]
+    fn deadline_and_priority_round_trip() {
+        let w = Workload::poisson(6, 5_000.0, &[(96, 4, 2)], (8, 16), 3)
+            .with_deadline(2_000_000)
+            .with_priorities(&[Priority::BestEffort, Priority::Normal, Priority::Interactive]);
+        let back = Workload::from_json(&w.to_json()).unwrap();
+        for (a, b) in w.requests.iter().zip(&back.requests) {
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.deadline_ns.map(|d| d / 1_000), b.deadline_ns.map(|d| d / 1_000));
+        }
+    }
+
+    #[test]
+    fn overload_fields_are_optional_and_validated() {
+        let plain = r#"{ "requests": [
+            { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 8 }
+        ] }"#;
+        let w = Workload::from_json(plain).unwrap();
+        assert_eq!(w.requests[0].priority, Priority::Normal);
+        assert_eq!(w.requests[0].deadline_ns, None);
+        let tagged = r#"{ "requests": [
+            { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 8,
+              "deadline_us": 500, "priority": "interactive" }
+        ] }"#;
+        let w = Workload::from_json(tagged).unwrap();
+        assert_eq!(w.requests[0].priority, Priority::Interactive);
+        assert_eq!(w.requests[0].deadline_ns, Some(500_000));
+        for bad in [
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "priority": "urgent" } ] }"#,
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "priority": 3 } ] }"#,
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "deadline_us": "soon" } ] }"#,
+        ] {
+            assert!(Workload::from_json(bad).is_err(), "{bad} must be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property tests for the overload layer's conservation invariant.
+//!
+//! Whatever the arrival pattern, deadline mix, priority mix, fleet
+//! size, fault seed, and overload knobs — every submitted request must
+//! land in **exactly one** of {completed, shed, expired, failed}. This
+//! is the fleet-level half of the zero-drop guarantee, now under
+//! admission control, deadline expiry, priority eviction, retry
+//! budgets, and hedged dispatch with loser cancellation, all at once.
+
+use proptest::prelude::*;
+use protea_core::{FaultRates, RetryPolicy};
+use protea_serve::{
+    AimdConfig, BatchPolicy, FaultConfig, Fleet, FleetConfig, HedgeConfig, OverloadConfig,
+    Priority, RetryBudgetConfig, ServeRequest, Workload,
+};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+struct Arrival {
+    at_ns: u64,
+    seq_len: usize,
+    deadline_rel_ns: Option<u64>,
+    priority: Priority,
+}
+
+fn arrival() -> impl Strategy<Value = Arrival> {
+    (0u64..3_000_000, 1usize..65, (0u8..2, 200_000u64..80_000_000), 0usize..3).prop_map(
+        |(at_ns, seq_len, (has_deadline, rel), p)| Arrival {
+            at_ns,
+            seq_len,
+            deadline_rel_ns: (has_deadline == 1).then_some(rel),
+            priority: Priority::ALL[p],
+        },
+    )
+}
+
+fn workload_of(arrivals: &[Arrival]) -> Workload {
+    let mut requests: Vec<ServeRequest> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, a)| ServeRequest {
+            id: i as u64,
+            arrival_ns: a.at_ns,
+            d_model: 96,
+            heads: 4,
+            layers: 2,
+            seq_len: a.seq_len,
+            deadline_ns: a.deadline_rel_ns.map(|d| a.at_ns.saturating_add(d)),
+            priority: a.priority,
+        })
+        .collect();
+    requests.sort_by_key(|r| (r.arrival_ns, r.id));
+    Workload { requests }
+}
+
+fn overloaded_fleet(cards: usize, seed: u64, fault_rate: f64) -> Fleet {
+    let faults = (fault_rate > 0.0).then(|| FaultConfig {
+        rates: FaultRates::scaled(fault_rate),
+        max_request_attempts: 4,
+        retry: RetryPolicy::default(),
+        ..FaultConfig::seeded(seed, fault_rate)
+    });
+    Fleet::try_new(FleetConfig {
+        cards,
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_wait_ns: 500_000,
+            seq_buckets: vec![16, 32, 64],
+            max_queue: Some(3),
+        },
+        faults,
+        overload: Some(OverloadConfig {
+            aimd: Some(AimdConfig { initial: 8, min: 2, max: 32, ..AimdConfig::default() }),
+            retry_budget: Some(RetryBudgetConfig { initial: 2, per_admission: 0.3, cap: 10 }),
+            hedge: Some(HedgeConfig { factor: 1.0, min_delay_ns: 300_000, min_samples: 3 }),
+        }),
+        ..FleetConfig::default()
+    })
+    .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The conservation invariant under the full overload + fault
+    /// machinery: ids partition exactly across the four terminal
+    /// states, and the whole run replays bit-identically.
+    #[test]
+    fn every_request_ends_in_exactly_one_state(
+        arrivals in prop::collection::vec(arrival(), 1..40),
+        cards in 1usize..=3,
+        seed in any::<u64>(),
+        raw_rate in (0u8..2, 0.001f64..0.03),
+    ) {
+        let fault_rate = if raw_rate.0 == 1 { raw_rate.1 } else { 0.0 };
+        let workload = workload_of(&arrivals);
+        let fleet = overloaded_fleet(cards, seed, fault_rate);
+        let (report, responses) = fleet
+            .serve_with_responses(&workload)
+            .expect("servable shapes with a valid config never error");
+
+        let completed: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        let shed: Vec<u64> = report.shed.iter().map(|f| f.id).collect();
+        let expired: Vec<u64> = report.expired.iter().map(|f| f.id).collect();
+        let failed: Vec<u64> = report.failed.iter().map(|f| f.id).collect();
+
+        prop_assert_eq!(completed.len(), report.completed, "responses match the tally");
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&completed);
+        all.extend(&shed);
+        all.extend(&expired);
+        all.extend(&failed);
+        let unique: BTreeSet<u64> = all.iter().copied().collect();
+        prop_assert_eq!(
+            unique.len(), all.len(),
+            "a request appeared in two terminal states: completed {:?} shed {:?} \
+             expired {:?} failed {:?}",
+            completed, shed, expired, failed
+        );
+        let submitted: BTreeSet<u64> = workload.requests.iter().map(|r| r.id).collect();
+        prop_assert_eq!(unique, submitted, "every id must land in exactly one state");
+        prop_assert!(report.accounted());
+
+        // Goodput can never exceed throughput, and SLO rows cover the
+        // classes actually submitted.
+        prop_assert!(report.goodput_rps <= report.throughput_rps + 1e-9);
+        let slo_submitted: usize = report.slo.iter().map(|s| s.submitted).sum();
+        prop_assert_eq!(slo_submitted, workload.requests.len());
+
+        // Determinism: the identical run replays bit-identically.
+        let (again, responses_again) =
+            fleet.serve_with_responses(&workload).expect("replay");
+        prop_assert_eq!(report, again);
+        prop_assert_eq!(responses, responses_again);
+    }
+
+    /// Hedging specifically must never double-complete: with aggressive
+    /// hedge settings and no faults, every request completes exactly
+    /// once and wins never exceed hedges.
+    #[test]
+    fn hedging_never_double_completes(
+        n in 4usize..32,
+        rate in 20_000f64..500_000.0,
+        seed in any::<u64>(),
+    ) {
+        let workload = Workload::poisson(n, rate, &[(96, 4, 2)], (8, 64), seed);
+        let fleet = Fleet::try_new(FleetConfig {
+            cards: 3,
+            overload: Some(OverloadConfig {
+                hedge: Some(HedgeConfig { factor: 0.5, min_delay_ns: 10_000, min_samples: 2 }),
+                ..OverloadConfig::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        let (report, responses) = fleet.serve_with_responses(&workload).expect("serve");
+        let ids: BTreeSet<u64> = responses.iter().map(|r| r.id).collect();
+        prop_assert_eq!(ids.len(), n, "every request completes exactly once");
+        prop_assert_eq!(report.completed, n);
+        prop_assert!(report.hedge_wins <= report.hedges);
+        prop_assert!(report.hedge_cancels <= report.hedges);
+    }
+}

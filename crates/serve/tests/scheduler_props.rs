@@ -11,13 +11,18 @@ use protea_serve::{BatchPolicy, BatchScheduler, ServeRequest};
 
 fn scheduler() -> BatchScheduler {
     BatchScheduler::new(
-        BatchPolicy { max_batch: 4, max_wait_ns: 1_000, seq_buckets: vec![16, 32, 64, 128] },
+        BatchPolicy {
+            max_batch: 4,
+            max_wait_ns: 1_000,
+            seq_buckets: vec![16, 32, 64, 128],
+            max_queue: None,
+        },
         SynthesisConfig::paper_default(),
     )
 }
 
 fn request(id: u64, arrival_ns: u64, seq_len: usize) -> ServeRequest {
-    ServeRequest { id, arrival_ns, d_model: 96, heads: 4, layers: 2, seq_len }
+    ServeRequest { id, arrival_ns, d_model: 96, heads: 4, layers: 2, seq_len, ..Default::default() }
 }
 
 proptest! {

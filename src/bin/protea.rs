@@ -13,12 +13,20 @@
 //!                  [--max-attempts 5] [--seed 42] [--requests 64]
 //!                  [--arrival-rate 50000] [--d 96] [--heads 4] [--layers 2]
 //!                  [--sl-min 8] [--sl-max 64] [--max-batch 8]
+//! protea overload-sim [--cards 2] [--requests 256] [--arrival-rate 400]
+//!                  [--deadline-us 100000] [--max-queue 32] [--aimd-initial 64]
+//!                  [--hedge-after-p99 0] [--priorities normal]
+//!                  [--max-shed-pct 100] [--seed 42] [--d 96] [--heads 4]
+//!                  [--layers 2] [--sl-min 8] [--sl-max 64] [--max-batch 8]
+//!                  (0 disables a knob: deadline-us, max-queue,
+//!                  aimd-initial, hedge-after-p99)
 //! ```
 //!
 //! Exit codes are uniform across subcommands: 0 success, 1 usage error,
 //! then [`CoreError::exit_code`] (2 = invalid configuration, 3 = bad
 //! model blob, 4 = infeasible design, 5 = request-path mismatch, 6 =
-//! unrecoverable hardware fault, 7 = serving-layer rejection).
+//! unrecoverable hardware fault, 7 = serving-layer rejection, 8 =
+//! overloaded — shed fraction above `--max-shed-pct`).
 
 use protea::prelude::*;
 use std::collections::HashMap;
@@ -344,9 +352,107 @@ fn cmd_chaos_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse `--priorities` as a comma-separated cycle of class names
+/// (`interactive,normal,best-effort`), applied round-robin to the
+/// synthesized workload.
+fn priority_cycle(flags: &HashMap<String, String>) -> Result<Vec<Priority>, CliError> {
+    let Some(spec) = flags.get("priorities") else {
+        return Ok(Vec::new());
+    };
+    spec.split(',')
+        .map(|s| {
+            Priority::parse(s.trim())
+                .ok_or_else(|| format!("unknown priority '{}' in --priorities", s.trim()).into())
+        })
+        .collect()
+}
+
+fn cmd_overload_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let device = device_of(flags)?;
+    let cards = flag(flags, "cards", 2usize)?;
+    let seed = flag(flags, "seed", 42u64)?;
+    let requests = flag(flags, "requests", 256usize)?;
+    let rate = flag(flags, "arrival-rate", 400.0f64)?;
+    let deadline_us = flag(flags, "deadline-us", 100_000u64)?;
+    let max_queue = flag(flags, "max-queue", 32usize)?;
+    let aimd_initial = flag(flags, "aimd-initial", 64usize)?;
+    let hedge_after_p99 = flag(flags, "hedge-after-p99", 0.0f64)?;
+    let max_shed_pct = flag(flags, "max-shed-pct", 100.0f64)?;
+    if rate.is_nan() || rate <= 0.0 {
+        return Err("--arrival-rate must be positive".into());
+    }
+    if !(0.0..=100.0).contains(&max_shed_pct) {
+        return Err(format!("--max-shed-pct must be in [0, 100], got {max_shed_pct}").into());
+    }
+
+    let d = flag(flags, "d", 96usize)?;
+    let h = flag(flags, "heads", 4usize)?;
+    let l = flag(flags, "layers", 2usize)?;
+    let sl_min = flag(flags, "sl-min", 8usize)?;
+    let sl_max = flag(flags, "sl-max", 64usize)?;
+    let mut workload = Workload::poisson(requests, rate, &[(d, h, l)], (sl_min, sl_max), seed);
+    if deadline_us > 0 {
+        workload = workload.with_deadline(deadline_us.saturating_mul(1_000));
+    }
+    workload = workload.with_priorities(&priority_cycle(flags)?);
+
+    let policy = BatchPolicy {
+        max_batch: flag(flags, "max-batch", 8usize)?,
+        max_queue: (max_queue > 0).then_some(max_queue),
+        ..BatchPolicy::default()
+    };
+    let overload = OverloadConfig {
+        aimd: (aimd_initial > 0).then(|| AimdConfig {
+            initial: aimd_initial,
+            min: aimd_initial.min(AimdConfig::default().min),
+            ..AimdConfig::default()
+        }),
+        retry_budget: Some(RetryBudgetConfig::default()),
+        hedge: (hedge_after_p99 > 0.0)
+            .then(|| HedgeConfig { factor: hedge_after_p99, ..HedgeConfig::default() }),
+    };
+    let fleet = Fleet::try_new(FleetConfig {
+        cards,
+        device,
+        policy,
+        overload: Some(overload),
+        ..FleetConfig::default()
+    })?;
+    let report = fleet.serve(&workload)?;
+
+    println!(
+        "overload-sim: {} requests at {:.0} req/s offered, {} card(s), \
+         deadline {deadline_us} us, queue cap {max_queue}, seed {seed}",
+        workload.requests.len(),
+        rate,
+        cards
+    );
+    println!("{report}");
+    println!(
+        "accounting: {} completed + {} shed + {} expired + {} failed = {} submitted",
+        report.completed,
+        report.shed.len(),
+        report.expired.len(),
+        report.failed.len(),
+        report.submitted
+    );
+    if !report.accounted() {
+        return Err(CoreError::Serving("request accounting broken under overload".into()).into());
+    }
+    let shed_pct =
+        100.0 * (report.shed.len() + report.expired.len()) as f64 / report.submitted.max(1) as f64;
+    if shed_pct > max_shed_pct {
+        return Err(CoreError::Overloaded(format!(
+            "{shed_pct:.1}% of requests shed or expired (threshold {max_shed_pct}%)"
+        ))
+        .into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: protea <synth|run|fit|sweep|serve-sim|chaos-sim> [--flag value]...\n  see source header for flags";
+    let usage = "usage: protea <synth|run|fit|sweep|serve-sim|chaos-sim|overload-sim> [--flag value]...\n  see source header for flags";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -360,6 +466,7 @@ fn main() -> ExitCode {
             "sweep" => cmd_sweep(&flags),
             "serve-sim" => cmd_serve_sim(&flags),
             "chaos-sim" => cmd_chaos_sim(&flags),
+            "overload-sim" => cmd_overload_sim(&flags),
             other => Err(CliError::Usage(format!("unknown command '{other}'\n{usage}"))),
         },
     };

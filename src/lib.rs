@@ -110,8 +110,9 @@ pub mod prelude {
     };
     pub use protea_platform::FpgaDevice;
     pub use protea_serve::{
-        BatchPolicy, CardHealth, FailReason, FailedRequest, FaultConfig, Fleet, FleetConfig,
-        Percentiles, ServeError, ServeReport, ServeRequest, ServeResponse, Workload,
+        AimdConfig, BatchPolicy, CardHealth, FailReason, FailedRequest, FaultConfig, Fleet,
+        FleetConfig, HedgeConfig, OverloadConfig, Percentiles, Priority, RetryBudgetConfig,
+        ServeError, ServeReport, ServeRequest, ServeResponse, Workload,
     };
     pub use protea_tensor::Matrix;
 }

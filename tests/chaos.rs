@@ -89,6 +89,7 @@ fn fault_errors_carry_uniform_exit_codes() {
             heads: 5,
             layers: 2,
             seq_len: 8,
+            ..Default::default()
         }],
     };
     let err = fleet(2, None).serve(&w).unwrap_err();

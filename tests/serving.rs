@@ -91,6 +91,7 @@ fn hostile_inputs_error_instead_of_panicking() {
                 heads: h,
                 layers: l,
                 seq_len: sl,
+                ..Default::default()
             }],
         };
         match fleet.serve(&w) {
