@@ -6,6 +6,7 @@ use protea_fixed::layernorm::LayerNormUnit;
 use protea_fixed::{dot_i8, dot_i8_unrolled, softmax_fixed, QFormat};
 use protea_tensor::{
     matmul_blocked, matmul_i8_i32, matmul_i8_i32_parallel, matmul_naive, matmul_parallel, Matrix,
+    PackedWeights,
 };
 
 fn i8_vec(n: usize, seed: u64) -> Vec<i8> {
@@ -60,6 +61,10 @@ fn bench_matmul_i8(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("rayon", n), &n, |bch, _| {
             bch.iter(|| matmul_i8_i32_parallel(black_box(&a), black_box(&b)))
+        });
+        let packed = PackedWeights::pack(&b);
+        g.bench_with_input(BenchmarkId::new("packed", n), &n, |bch, _| {
+            bch.iter(|| protea_tensor::matmul_i8_i32_packed(black_box(&a), black_box(&packed)))
         });
     }
     g.finish();

@@ -1,0 +1,46 @@
+//! Fast-backend kernel benchmark: packed GEMM vs reference, encoder
+//! forward fast vs reference, and the fleet timing memo on vs off.
+//! Writes `BENCH_kernels.json` next to the working directory.
+//!
+//! Flags: `--smoke` shrinks iterations for CI; `--check` additionally
+//! exits nonzero unless the packed kernel is ≥3× the reference on the
+//! 12-head/768-dim gate shape and the memo wins the serving sweep.
+
+use protea_bench::kernels;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let (iters, requests) = if smoke { (3, 600) } else { (5, 2000) };
+
+    println!("KERNELS — fast functional backend vs reference\n");
+    let report = kernels::run(iters, requests);
+    println!("{}", report.render());
+
+    let json = report.to_json();
+    let path = "BENCH_kernels.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+
+    if check {
+        let gate = report.gate();
+        let memo = report.fleet.speedup;
+        println!(
+            "\ncheck: gate (packed vs tiled @128x768x768) = {gate:.2}x (need >= 3), \
+             memo sweep = {memo:.2}x (need > 1)"
+        );
+        if gate < 3.0 {
+            eprintln!("FAIL: packed kernel below 3x on the gate shape");
+            std::process::exit(1);
+        }
+        if memo <= 1.0 {
+            eprintln!("FAIL: timing memo does not speed up the serving sweep");
+            std::process::exit(1);
+        }
+        println!("check passed");
+    }
+}

@@ -15,6 +15,7 @@
 //! | Batched multi-card serving (extension)       | [`serving`] | `serving` |
 //! | Availability under fault injection (extension) | [`availability`] | `availability` |
 //! | Goodput knee under overload (extension)      | [`overload`] | `overload` |
+//! | Fast-backend kernels (extension)             | [`kernels`] | `kernels` |
 //! | Everything above in sequence                 | —          | `repro_all` |
 
 #![forbid(unsafe_code)]
@@ -25,6 +26,7 @@ pub mod availability;
 pub mod crossover;
 pub mod fig7;
 pub mod fmt;
+pub mod kernels;
 pub mod overload;
 pub mod serving;
 pub mod table1;

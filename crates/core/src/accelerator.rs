@@ -1,25 +1,29 @@
 //! The assembled accelerator: functional + timing co-simulation.
 
+use crate::backend::{Backend, PackedEncoder};
 use crate::engines::ffn::{FfnEngine, FfnStage};
 use crate::engines::ln::LnEngine;
 use crate::engines::qk::QkEngine;
 use crate::engines::qkv::QkvEngine;
 use crate::engines::softmax::SoftmaxEngine;
 use crate::engines::sv::SvEngine;
-use crate::engines::Access;
+use crate::engines::{finish_projection, Access};
 use crate::error::CoreError;
 use crate::fault::{FaultStats, FaultStream, RetryPolicy, Watchdog};
 use crate::registers::{RegisterError, RuntimeConfig};
 use crate::report::{CycleReport, EnginePhase};
 use crate::synthesis::{SynthesisConfig, SynthesizedDesign};
 use protea_fixed::activation::ActivationLut;
+use protea_fixed::Requantizer;
 use protea_hwsim::Cycles;
 use protea_mem::fault::{FaultKind, TransferFault};
 use protea_mem::hbm::{bounded_transfer_cycles, ChannelShare};
 use protea_mem::overlap::{simulate_double_buffered, simulate_serial};
+use protea_model::quantized::requant_logits;
 use protea_model::{OpCount, QuantizedEncoder};
 use protea_platform::FpgaDevice;
-use protea_tensor::Matrix;
+use protea_tensor::{matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, Matrix, PackedWeights};
+use std::sync::OnceLock;
 
 /// The full ProTEA instance: one synthesized design, a runtime register
 /// file, and (once loaded) the model weights.
@@ -28,6 +32,14 @@ pub struct Accelerator {
     design: SynthesizedDesign,
     runtime: RuntimeConfig,
     weights: Option<QuantizedEncoder>,
+    /// The weight image repacked for the fast kernel, built lazily on
+    /// the first fast-path run after a weight load. Timing-only users
+    /// (the fleet's default serving mode reloads cards constantly and
+    /// never touches the functional datapath) therefore never pay for
+    /// packing.
+    packed: OnceLock<PackedEncoder>,
+    /// Which functional datapath implementation runs the model.
+    backend: Backend,
     /// When `false`, the double-buffer overlap is disabled (loads and
     /// compute serialize) — the ablation knob for the paper's overlap
     /// claim.
@@ -67,7 +79,14 @@ impl Accelerator {
             d_model: config.d_max,
             seq_len: 64.min(config.sl_max),
         };
-        Ok(Self { design, runtime, weights: None, overlap_enabled: true })
+        Ok(Self {
+            design,
+            runtime,
+            weights: None,
+            packed: OnceLock::new(),
+            backend: Backend::from_env(),
+            overlap_enabled: true,
+        })
     }
 
     /// The synthesized design (resources, Fmax).
@@ -134,6 +153,7 @@ impl Accelerator {
                 programmed_layers: self.runtime.layers,
             });
         }
+        self.packed = OnceLock::new();
         self.weights = Some(weights);
         Ok(())
     }
@@ -141,6 +161,19 @@ impl Accelerator {
     /// Disable/enable load-compute overlap (ablation).
     pub fn set_overlap(&mut self, enabled: bool) {
         self.overlap_enabled = enabled;
+    }
+
+    /// Select the functional datapath implementation. Both backends
+    /// produce byte-identical outputs; [`Backend::Fast`] is the default
+    /// (override with `PROTEA_BACKEND=reference`).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The active functional backend.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Run the encoder on a quantized input. Produces both the bit-exact
@@ -401,7 +434,22 @@ impl Accelerator {
                 return Err(CoreError::InputShape { expected, got: x.shape() });
             }
         }
-        let outputs = xs.iter().map(|x| self.forward_functional(x, weights)).collect();
+        // Batch items are independent sequences; with the fast backend
+        // and threads available, fan them out (each item's forward is
+        // computed whole within one task, so outputs are unchanged).
+        let parallel_batch =
+            self.backend == Backend::Fast && xs.len() > 1 && rayon::current_num_threads() > 1;
+        let outputs: Vec<Matrix<i8>> = if parallel_batch {
+            let mut slots: Vec<Option<Matrix<i8>>> = (0..xs.len()).map(|_| None).collect();
+            rayon::scope(|sc| {
+                for (x, slot) in xs.iter().zip(slots.iter_mut()) {
+                    sc.spawn(move |_| *slot = Some(self.forward_functional(x, weights)));
+                }
+            });
+            slots.into_iter().map(|o| o.expect("every batch item is computed")).collect()
+        } else {
+            xs.iter().map(|x| self.forward_functional(x, weights)).collect()
+        };
         Ok((outputs, self.timing_report_batched(xs.len())))
     }
 
@@ -461,8 +509,122 @@ impl Accelerator {
             .expect("at least one phase")
     }
 
-    /// The bit-exact functional path: tile-accumulated engine compute.
+    /// The bit-exact functional path. Dispatches on the active
+    /// [`Backend`]; both implementations return the same bytes for any
+    /// input (integer accumulation is permutation-invariant), so the
+    /// choice affects wall-clock only.
     fn forward_functional(&self, x: &Matrix<i8>, weights: &QuantizedEncoder) -> Matrix<i8> {
+        match self.backend {
+            Backend::Fast => {
+                let packed = self.packed.get_or_init(|| PackedEncoder::pack(weights));
+                self.forward_fast(x, weights, packed)
+            }
+            Backend::Reference => self.forward_reference(x, weights),
+        }
+    }
+
+    /// Fast functional path: every projection and attention GEMM goes
+    /// through the packed widened-i16 microkernel, with attention heads
+    /// fanned out across threads. The non-GEMM stages (`requant_logits`,
+    /// softmax, the SV requantizer, `finish_projection`, layer norm, the
+    /// activation LUT) are the *same* calls as the reference path, and
+    /// the packed kernel reproduces `matmul_i8_i32` exactly, so the two
+    /// paths cannot diverge — `tests/backend_equiv.rs` pins this.
+    fn forward_fast(
+        &self,
+        x: &Matrix<i8>,
+        weights: &QuantizedEncoder,
+        packed: &PackedEncoder,
+    ) -> Matrix<i8> {
+        let rt = &self.runtime;
+        let s = &weights.schedule;
+        let softmax = SoftmaxEngine::new(s);
+        let act = ActivationLut::new(weights.config.activation, s.act_fmt);
+        let sl = rt.seq_len;
+        let dk = rt.dk();
+        let cfg = rt.to_model_config();
+
+        let mut h = x.clone();
+        for (layer, pl) in weights.layers.iter().zip(&packed.layers).take(rt.layers) {
+            // --- attention -------------------------------------------------
+            let q = finish_projection(
+                matmul_i8_i32_packed_parallel(&h, &pl.wq),
+                &layer.bq,
+                layer.wq.fmt,
+                s,
+            );
+            let k = finish_projection(
+                matmul_i8_i32_packed_parallel(&h, &pl.wk),
+                &layer.bk,
+                layer.wk.fmt,
+                s,
+            );
+            let v = finish_projection(
+                matmul_i8_i32_packed_parallel(&h, &pl.wv),
+                &layer.bv,
+                layer.wv.fmt,
+                s,
+            );
+            let mut head_outs: Vec<Option<Matrix<i8>>> = (0..rt.heads).map(|_| None).collect();
+            rayon::scope(|sc| {
+                for (head, slot) in head_outs.iter_mut().enumerate() {
+                    let (q, k, v, softmax, cfg) = (&q, &k, &v, &softmax, &cfg);
+                    sc.spawn(move |_| {
+                        let c0 = head * dk;
+                        let qi = q.submatrix(0, c0, sl, dk);
+                        let ki = k.submatrix(0, c0, sl, dk);
+                        let vi = v.submatrix(0, c0, sl, dk);
+                        // Packing `kiᵀ` column-major is `ki`'s row-major
+                        // bytes — a straight copy, so Q·Kᵀ runs on the
+                        // packed kernel at negligible packing cost.
+                        let logits_acc =
+                            matmul_i8_i32_packed(&qi, &PackedWeights::from_transpose(&ki));
+                        let logits = requant_logits(&logits_acc, cfg, s);
+                        let probs = softmax.compute_head(&logits);
+                        let sv_acc = matmul_i8_i32_packed(&probs, &PackedWeights::pack(&vi));
+                        let rq = Requantizer::new(
+                            s.logit_fmt.frac_bits() + s.act_fmt.frac_bits(),
+                            s.act_fmt,
+                            s.rounding,
+                        );
+                        *slot = Some(sv_acc.map(|a| rq.apply(a)));
+                    });
+                }
+            });
+            let mut sv_concat = Matrix::<i8>::zeros(sl, rt.d_model);
+            for (head, svi) in head_outs.into_iter().enumerate() {
+                sv_concat.write_submatrix(0, head * dk, &svi.expect("every head is computed"));
+            }
+            // --- FFN1 (output projection) + add&norm -----------------------
+            let attn = finish_projection(
+                matmul_i8_i32_packed_parallel(&sv_concat, &pl.wo),
+                &layer.bo,
+                layer.wo.fmt,
+                s,
+            );
+            let x1 = LnEngine::compute(&h, &attn, &layer.ln1, s);
+            // --- FFN2 (+activation) and FFN3 + add&norm --------------------
+            let mut hidden = finish_projection(
+                matmul_i8_i32_packed_parallel(&x1, &pl.w1),
+                &layer.b1,
+                layer.w1.fmt,
+                s,
+            );
+            act.apply_slice(hidden.as_mut_slice());
+            let ffn_out = finish_projection(
+                matmul_i8_i32_packed_parallel(&hidden, &pl.w2),
+                &layer.b2,
+                layer.w2.fmt,
+                s,
+            );
+            h = LnEngine::compute(&x1, &ffn_out, &layer.ln2, s);
+        }
+        h
+    }
+
+    /// Reference functional path: tile-accumulated engine compute,
+    /// structured exactly like the hardware's tile schedule.
+    fn forward_reference(&self, x: &Matrix<i8>, weights: &QuantizedEncoder) -> Matrix<i8> {
         let syn = &self.design.config;
         let rt = &self.runtime;
         let s = &weights.schedule;

@@ -1,0 +1,110 @@
+//! Execution-backend selection for the functional datapath.
+//!
+//! The accelerator's functional model has two implementations that
+//! produce **byte-identical** outputs:
+//!
+//! * [`Backend::Reference`] — the tile-accumulated engine path
+//!   (`accumulate_tiled` + `finish_projection`), structured exactly like
+//!   the hardware's tile schedule. It is the oracle: slow, obviously
+//!   faithful, and the one the equivalence tests are written against.
+//! * [`Backend::Fast`] — the throughput path: weights packed once at
+//!   load time ([`PackedEncoder`]), every projection and attention GEMM
+//!   routed through the widened-i16 packed microkernel
+//!   (`protea_tensor::pack`), heads and batch items fanned out across
+//!   threads. Integer accumulation is permutation-invariant, so the
+//!   result is the same bytes — a contract pinned by the
+//!   `backend_equiv` property tests, not an approximation.
+//!
+//! The default is [`Backend::Fast`]; set `PROTEA_BACKEND=reference` to
+//! force the oracle (useful when bisecting a miscompare, or as the
+//! control in benchmarks).
+
+use protea_model::QuantizedEncoder;
+use protea_tensor::PackedWeights;
+
+/// Which functional datapath implementation the accelerator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Tile-accumulated engine path — the bit-exactness oracle.
+    Reference,
+    /// Packed-GEMM, thread-parallel path — identical bytes, much faster.
+    #[default]
+    Fast,
+}
+
+impl Backend {
+    /// Resolve the backend from the `PROTEA_BACKEND` environment
+    /// variable: `reference` (case-insensitive) selects the oracle,
+    /// anything else — including unset — selects [`Backend::Fast`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("PROTEA_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") => Self::Reference,
+            _ => Self::Fast,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Reference => write!(f, "reference"),
+            Self::Fast => write!(f, "fast"),
+        }
+    }
+}
+
+/// One layer's weight matrices, transposed/packed for the fast kernel.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedLayer {
+    pub wq: PackedWeights,
+    pub wk: PackedWeights,
+    pub wv: PackedWeights,
+    pub wo: PackedWeights,
+    pub w1: PackedWeights,
+    pub w2: PackedWeights,
+}
+
+/// The whole encoder image packed once at `try_load_weights` — the
+/// host-side analogue of the DMA engine reordering the DDR weight image
+/// into BRAM-friendly strips before inference starts.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedEncoder {
+    pub layers: Vec<PackedLayer>,
+}
+
+impl PackedEncoder {
+    /// Pack every projection matrix of every layer.
+    #[must_use]
+    pub fn pack(weights: &QuantizedEncoder) -> Self {
+        let layers = weights
+            .layers
+            .iter()
+            .map(|l| PackedLayer {
+                wq: PackedWeights::pack(&l.wq.data),
+                wk: PackedWeights::pack(&l.wk.data),
+                wv: PackedWeights::pack(&l.wv.data),
+                wo: PackedWeights::pack(&l.wo.data),
+                w1: PackedWeights::pack(&l.w1.data),
+                w2: PackedWeights::pack(&l.w2.data),
+            })
+            .collect();
+        Self { layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fast() {
+        assert_eq!(Backend::default(), Backend::Fast);
+    }
+
+    #[test]
+    fn display_round_trips_the_env_convention() {
+        assert_eq!(Backend::Reference.to_string(), "reference");
+        assert_eq!(Backend::Fast.to_string(), "fast");
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod accelerator;
+pub mod backend;
 pub mod bus;
 pub mod controller;
 pub mod decoder;
@@ -56,6 +57,7 @@ pub mod synthesis;
 pub mod timing;
 
 pub use accelerator::{Accelerator, RunResult};
+pub use backend::Backend;
 pub use bus::{AxiLiteBus, BusResponse};
 pub use controller::Controller;
 pub use decoder::DecoderRunResult;

@@ -1,0 +1,130 @@
+//! Cross-backend equivalence: the fast packed path must be
+//! byte-identical to the reference tiled path and to the golden
+//! software model, for arbitrary shapes, head counts and batches.
+//!
+//! This is the gate on every fast-path optimization: a kernel or
+//! parallelization change that alters even one output byte fails here.
+
+use proptest::prelude::*;
+use protea_core::{Accelerator, Backend, RuntimeConfig, SynthesisConfig};
+use protea_model::{EncoderConfig, EncoderWeights, QuantSchedule, QuantizedEncoder};
+use protea_platform::FpgaDevice;
+use protea_tensor::Matrix;
+
+/// Build a programmed, weight-loaded accelerator for an arbitrary shape.
+fn accel_for(cfg: &EncoderConfig, seed: u64) -> (Accelerator, QuantizedEncoder) {
+    // Tile sizes must divide d_model, and wide tiles at high head
+    // counts blow the LUT budget: take the largest divisor ≤ 64.
+    let ts = (1..=64.min(cfg.d_model)).rev().find(|t| cfg.d_model.is_multiple_of(*t)).unwrap_or(1);
+    let syn = SynthesisConfig::builder()
+        .heads(cfg.heads)
+        .d_max(cfg.d_model)
+        .sl_max(cfg.seq_len)
+        .ts_mha(ts)
+        .ts_ffn(ts)
+        .build()
+        .expect("synthesis config must be valid");
+    let mut acc =
+        Accelerator::try_new(syn, &FpgaDevice::alveo_u250()).expect("design must fit");
+    acc.program(RuntimeConfig {
+        heads: cfg.heads,
+        layers: cfg.layers,
+        d_model: cfg.d_model,
+        seq_len: cfg.seq_len,
+    })
+    .expect("runtime fits synthesized capacity");
+    let qw =
+        QuantizedEncoder::from_float(&EncoderWeights::random(*cfg, seed), QuantSchedule::paper());
+    acc.try_load_weights(qw.clone()).expect("weights match registers");
+    (acc, qw)
+}
+
+fn input_for(cfg: &EncoderConfig, salt: u64) -> Matrix<i8> {
+    Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| {
+        let v = (r as u64 * 131).wrapping_add(c as u64 * 31).wrapping_add(salt.wrapping_mul(7));
+        ((v % 251) as i64 - 125) as i8
+    })
+}
+
+/// Run one shape through both backends and the golden model; assert all
+/// three agree byte-for-byte.
+fn assert_equiv(cfg: &EncoderConfig, seed: u64) {
+    let (mut acc, golden) = accel_for(cfg, seed);
+    let x = input_for(cfg, seed);
+
+    acc.set_backend(Backend::Fast);
+    assert_eq!(acc.backend(), Backend::Fast);
+    let fast = acc.try_run(&x).expect("fast run succeeds").output;
+
+    acc.set_backend(Backend::Reference);
+    let reference = acc.try_run(&x).expect("reference run succeeds").output;
+
+    assert_eq!(fast.as_slice(), reference.as_slice(), "fast vs reference, cfg={cfg:?}");
+
+    let sw = golden.forward(&x);
+    assert_eq!(fast.as_slice(), sw.as_slice(), "fast vs golden model, cfg={cfg:?}");
+}
+
+#[test]
+fn paper_shape_agrees_across_backends() {
+    assert_equiv(&EncoderConfig::new(96, 4, 2, 8), 31);
+}
+
+#[test]
+fn twelve_heads_agree_across_backends() {
+    // dk = 12: exercises ragged CB blocks inside each head's GEMMs.
+    assert_equiv(&EncoderConfig::new(144, 12, 1, 9), 5);
+}
+
+#[test]
+fn single_head_odd_seq_agrees_across_backends() {
+    assert_equiv(&EncoderConfig::new(40, 1, 2, 7), 77);
+}
+
+#[test]
+fn batch_outputs_identical_across_backends() {
+    let cfg = EncoderConfig::new(64, 4, 2, 8);
+    let (mut acc, _) = accel_for(&cfg, 13);
+    let xs: Vec<Matrix<i8>> = (0..5).map(|i| input_for(&cfg, 100 + i)).collect();
+
+    acc.set_backend(Backend::Fast);
+    let (fast_outs, fast_rep) = acc.try_run_batch(&xs).expect("fast batch");
+    // Batch fan-out must not reorder or alter per-item outputs.
+    for (i, x) in xs.iter().enumerate() {
+        let single = acc.try_run(x).expect("single run").output;
+        assert_eq!(fast_outs[i].as_slice(), single.as_slice(), "item {i}");
+    }
+
+    acc.set_backend(Backend::Reference);
+    let (ref_outs, ref_rep) = acc.try_run_batch(&xs).expect("reference batch");
+    for (i, (f, r)) in fast_outs.iter().zip(&ref_outs).enumerate() {
+        assert_eq!(f.as_slice(), r.as_slice(), "item {i}");
+    }
+    assert_eq!(fast_rep.total, ref_rep.total, "timing model is backend-independent");
+}
+
+#[test]
+fn self_test_passes_on_both_backends() {
+    let cfg = EncoderConfig::new(96, 4, 2, 8);
+    let (mut acc, _) = accel_for(&cfg, 3);
+    acc.set_backend(Backend::Fast);
+    assert_eq!(acc.self_test(), Ok(()));
+    acc.set_backend(Backend::Reference);
+    assert_eq!(acc.self_test(), Ok(()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_shapes_agree_across_backends(
+        heads in 1usize..=6,
+        dk in 1usize..=16,
+        layers in 1usize..=2,
+        sl in 1usize..=12,
+        seed in any::<u64>(),
+    ) {
+        let cfg = EncoderConfig::new(heads * dk, heads, layers, sl);
+        assert_equiv(&cfg, seed);
+    }
+}

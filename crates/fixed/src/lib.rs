@@ -38,7 +38,7 @@ pub mod softmax;
 
 pub use activation::{gelu_i8, relu_i8, Activation};
 pub use fx::{Fx16, Fx32, Fx8};
-pub use mac::{dot_i8, dot_i8_unrolled, Mac};
+pub use mac::{axpy_i8, dot_i8, dot_i8_unrolled, mac_i8, Mac};
 pub use qformat::QFormat;
 pub use quant::{dequantize_slice, quantize_slice, QuantParams, Quantizer};
 pub use requant::{requantize, Requantizer};

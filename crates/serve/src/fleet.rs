@@ -38,6 +38,7 @@
 use crate::error::ServeError;
 use crate::faults::{FailReason, FailedRequest, FaultConfig};
 use crate::health::CardMonitor;
+use crate::memo::TimingMemo;
 use crate::overload::{AimdLimiter, HedgeConfig, OverloadConfig, RetryBudget, ServiceTimeTracker};
 use crate::report::{FaultOutcome, PrioritySlo, ServeReport};
 use crate::request::{CapacityClass, Priority, ServeRequest, ServeResponse};
@@ -75,6 +76,11 @@ pub struct FleetConfig {
     /// Overload controls (AIMD admission, retry budget, hedging).
     /// `None` — or a config with every knob off — changes nothing.
     pub overload: Option<OverloadConfig>,
+    /// Memoize fault-free batch timing per `(runtime, batch)` key
+    /// (see [`TimingMemo`](crate::memo::TimingMemo)). Byte-identical
+    /// reports either way; `true` (the default) makes large serving
+    /// sweeps dramatically cheaper to simulate.
+    pub timing_memo: bool,
 }
 
 impl Default for FleetConfig {
@@ -88,6 +94,7 @@ impl Default for FleetConfig {
             reload_gbps: 12.0,
             faults: None,
             overload: None,
+            timing_memo: true,
         }
     }
 }
@@ -267,6 +274,8 @@ struct SimModel {
     error: Option<ServeError>,
     /// Fault-injection state; `None` keeps the exact fault-free path.
     faulty: Option<FaultState>,
+    /// Timing cache for the fault-free dispatch path (`None` = off).
+    memo: Option<TimingMemo>,
 }
 
 struct Card {
@@ -423,6 +432,7 @@ impl SimModel {
             next_flush: None,
             error: None,
             faulty,
+            memo: config.timing_memo.then(TimingMemo::new),
         })
     }
 
@@ -480,11 +490,13 @@ impl SimModel {
         } else {
             Some(self.weights_for(class).clone())
         };
-        let c = &mut self.cards[card];
-        c.accel.program(batch.runtime).map_err(CoreError::from)?;
-        if let Some(w) = weights {
-            c.accel.try_load_weights(w)?;
-            c.loaded_class = Some(class);
+        {
+            let c = &mut self.cards[card];
+            c.accel.program(batch.runtime).map_err(CoreError::from)?;
+            if let Some(w) = weights {
+                c.accel.try_load_weights(w)?;
+                c.loaded_class = Some(class);
+            }
         }
         let report = if self.functional {
             let inputs: Vec<Matrix<i8>> = batch
@@ -506,13 +518,18 @@ impl SimModel {
                     )
                 })
                 .collect();
-            let (_outputs, report) = c.accel.try_run_batch(&inputs)?;
+            let (_outputs, report) = self.cards[card].accel.try_run_batch(&inputs)?;
             report
+        } else if let Some(memo) = self.memo.as_mut() {
+            // Fault-free timing is a pure function of (runtime, batch):
+            // identical bytes to the direct call, priced once per key.
+            memo.report(&self.cards[card].accel, batch.len())
         } else {
-            c.accel.timing_report_batched(batch.len())
+            self.cards[card].accel.timing_report_batched(batch.len())
         };
         let service_ns = (report.latency_ms() * 1e6).ceil() as u64;
         let finish_ns = now_ns.saturating_add(reload_ns).saturating_add(service_ns);
+        let c = &mut self.cards[card];
         c.busy = true;
         c.busy_ns = c.busy_ns.saturating_add(reload_ns + service_ns);
         self.batches += 1;

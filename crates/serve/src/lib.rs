@@ -61,6 +61,7 @@ mod error;
 mod faults;
 mod fleet;
 mod health;
+mod memo;
 mod overload;
 mod report;
 mod request;
@@ -71,6 +72,7 @@ pub use error::ServeError;
 pub use faults::{FailReason, FailedRequest, FaultConfig};
 pub use fleet::{Fleet, FleetConfig};
 pub use health::{CardHealth, CardMonitor, CircuitBreaker};
+pub use memo::TimingMemo;
 pub use overload::{
     AimdConfig, AimdLimiter, HedgeConfig, OverloadConfig, RetryBudget, RetryBudgetConfig,
     ServiceTimeTracker,

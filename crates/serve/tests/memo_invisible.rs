@@ -1,0 +1,85 @@
+//! The timing memo must be invisible: serving the same workload with
+//! the cache on or off produces byte-identical `ServeReport`s — in the
+//! plain fleet, under overload control, and under fault injection
+//! (where the memo is inert by construction: the faulty path draws
+//! from a stateful fault stream and is never cached).
+
+use protea_core::FaultRates;
+use protea_serve::{
+    AimdConfig, BatchPolicy, FaultConfig, Fleet, FleetConfig, HedgeConfig, OverloadConfig,
+    RetryBudgetConfig, Workload,
+};
+
+fn workload(seed: u64) -> Workload {
+    // Several shape classes and bucketed sequence lengths so the memo
+    // sees repeated keys *and* distinct keys.
+    Workload::poisson(120, 3_000.0, &[(96, 4, 2), (64, 4, 1), (96, 4, 1)], (4, 32), seed)
+}
+
+fn serve_both(
+    config: FleetConfig,
+    wl: &Workload,
+) -> (protea_serve::ServeReport, protea_serve::ServeReport) {
+    let on = Fleet::try_new(FleetConfig { timing_memo: true, ..config.clone() })
+        .expect("valid config")
+        .serve(wl)
+        .expect("servable workload");
+    let off = Fleet::try_new(FleetConfig { timing_memo: false, ..config })
+        .expect("valid config")
+        .serve(wl)
+        .expect("servable workload");
+    (on, off)
+}
+
+#[test]
+fn memo_is_invisible_on_the_plain_fleet() {
+    let (on, off) = serve_both(FleetConfig::default(), &workload(11));
+    assert_eq!(on, off, "memo on vs off must be byte-identical");
+}
+
+#[test]
+fn memo_is_invisible_with_batching_pressure() {
+    let config = FleetConfig {
+        cards: 3,
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_wait_ns: 400_000,
+            seq_buckets: vec![8, 16, 32],
+            max_queue: None,
+        },
+        ..FleetConfig::default()
+    };
+    let (on, off) = serve_both(config, &workload(23));
+    assert_eq!(on, off, "memo on vs off must be byte-identical");
+}
+
+#[test]
+fn memo_is_invisible_under_fault_injection_and_overload() {
+    let config = FleetConfig {
+        cards: 2,
+        faults: Some(FaultConfig {
+            rates: FaultRates::scaled(0.01),
+            max_request_attempts: 4,
+            ..FaultConfig::seeded(7, 0.01)
+        }),
+        overload: Some(OverloadConfig {
+            aimd: Some(AimdConfig { initial: 8, min: 2, max: 32, ..AimdConfig::default() }),
+            retry_budget: Some(RetryBudgetConfig { initial: 2, per_admission: 0.3, cap: 10 }),
+            hedge: Some(HedgeConfig { factor: 1.0, min_delay_ns: 300_000, min_samples: 3 }),
+        }),
+        ..FleetConfig::default()
+    };
+    let wl = workload(42).with_deadline(60_000_000);
+    let (on, off) = serve_both(config, &wl);
+    assert_eq!(on, off, "fault-injected runs must not be affected by the memo");
+}
+
+#[test]
+fn memo_is_invisible_in_functional_mode() {
+    // Functional dispatch bypasses the memo entirely; the knob must
+    // still change nothing.
+    let config = FleetConfig { functional: true, ..FleetConfig::default() };
+    let wl = Workload::poisson(16, 2_000.0, &[(96, 4, 2)], (4, 8), 5);
+    let (on, off) = serve_both(config, &wl);
+    assert_eq!(on, off);
+}

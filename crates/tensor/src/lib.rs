@@ -12,6 +12,10 @@
 //! * [`matmul`] — reference kernels: naive, cache-blocked and
 //!   rayon-parallel floating point, plus the exact i8→i32 quantized kernel
 //!   the hardware implements.
+//! * [`pack`] — the throughput path: weights transposed once into
+//!   column-major strips ([`PackedWeights`]) and a widened-i16,
+//!   row-parallel i8→i32 GEMM microkernel that vectorizes into packed
+//!   multiply-add and is bit-identical to [`matmul_i8_i32`].
 //! * [`ops`] — elementwise and broadcast helpers (bias add, residual add,
 //!   transpose, max-abs reduction).
 
@@ -21,6 +25,7 @@
 pub mod matmul;
 pub mod matrix;
 pub mod ops;
+pub mod pack;
 pub mod tile;
 
 pub use matmul::{
@@ -28,4 +33,5 @@ pub use matmul::{
 };
 pub use matrix::Matrix;
 pub use ops::{add_bias_row, max_abs, residual_add, transpose};
+pub use pack::{matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, PackedWeights};
 pub use tile::{Tile, TileGrid};

@@ -19,6 +19,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::matrix::Matrix;
+use protea_fixed::axpy_i8;
 use rayon::prelude::*;
 
 /// Textbook `m×k · k×n` in f32. Correctness oracle for the other kernels.
@@ -99,21 +100,15 @@ pub fn matmul_parallel(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
 #[must_use]
 pub fn matmul_i8_i32(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
     check_shapes(a.shape(), b.shape());
-    let (m, k) = a.shape();
+    let (m, _) = a.shape();
     let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        for p in 0..k {
-            let av = i32::from(a_row[p]);
-            let b_row = b.row(p);
-            let c_row = c.row_mut(i);
-            for j in 0..n {
-                c_row[j] += av * i32::from(b_row[j]);
-            }
+    let mut out = vec![0i32; m * n];
+    if n > 0 {
+        for (i, c_row) in out.chunks_exact_mut(n).enumerate() {
+            i8_row_product(a, b, i, c_row);
         }
     }
-    c
+    Matrix::from_vec(m, n, out)
 }
 
 /// Rayon-parallel variant of [`matmul_i8_i32`]: identical results (each
@@ -123,23 +118,24 @@ pub fn matmul_i8_i32(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
 #[must_use]
 pub fn matmul_i8_i32_parallel(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
     check_shapes(a.shape(), b.shape());
-    let (m, k) = a.shape();
+    let (m, _) = a.shape();
     let n = b.cols();
     let mut out = vec![0i32; m * n];
-    out.par_chunks_exact_mut(n.max(1)).enumerate().for_each(|(i, c_row)| {
-        let a_row = a.row(i);
-        for p in 0..k {
-            let av = i32::from(a_row[p]);
-            if av == 0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for j in 0..n {
-                c_row[j] += av * i32::from(b_row[j]);
-            }
-        }
-    });
+    if n > 0 {
+        out.par_chunks_exact_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| i8_row_product(a, b, i, c_row));
+    }
     Matrix::from_vec(m, n, out)
+}
+
+/// One output row of the i8 product: `c_row += A[i] · B`. Both i8
+/// kernels run this same loop — with the zero-activation skip living in
+/// [`axpy_i8`] — so serial and parallel cannot drift.
+fn i8_row_product(a: &Matrix<i8>, b: &Matrix<i8>, i: usize, c_row: &mut [i32]) {
+    for (p, &av) in a.row(i).iter().enumerate() {
+        axpy_i8(c_row, av, b.row(p));
+    }
 }
 
 fn check_shapes((m, k): (usize, usize), (k2, n): (usize, usize)) {

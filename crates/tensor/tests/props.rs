@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use protea_tensor::ops::{residual_add_i8, transpose};
-use protea_tensor::{matmul_i8_i32, matmul_naive, Matrix, TileGrid};
+use protea_tensor::{
+    matmul_i8_i32, matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, matmul_naive, Matrix,
+    PackedWeights, TileGrid,
+};
 
 fn arb_matrix(max: usize) -> impl Strategy<Value = Matrix<i8>> {
     (1..=max, 1..=max, any::<u64>()).prop_map(|(r, c, seed)| {
@@ -77,6 +80,40 @@ proptest! {
             let again = g.tile(t.tr, t.tc);
             prop_assert_eq!(t, again);
         }
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive_bitwise(
+        a in arb_matrix(24), n in 1usize..24, seed in any::<u64>()
+    ) {
+        // The fast-backend contract: the widened-i16 packed kernel is
+        // bit-identical to the hardware oracle for arbitrary shapes,
+        // including ragged column blocks and k == 1 edges.
+        let w = Matrix::from_fn(a.cols(), n, |i, j| {
+            (seed.wrapping_mul(i as u64 + 11).wrapping_add(j as u64 * 3) % 255) as i8
+        });
+        let reference = matmul_i8_i32(&a, &w);
+        let packed = PackedWeights::pack(&w);
+        let serial = matmul_i8_i32_packed(&a, &packed);
+        let parallel = matmul_i8_i32_packed_parallel(&a, &packed);
+        prop_assert_eq!(serial.as_slice(), reference.as_slice());
+        prop_assert_eq!(parallel.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn pack_from_transpose_agrees(a in arb_matrix(16), n in 1usize..16, seed in any::<u64>()) {
+        // Packing W and packing Wᵀ-as-transpose reach the same bytes, so
+        // the attention path (which packs Kᵀ straight from K's rows) is
+        // the same kernel as the projection path.
+        let w = Matrix::from_fn(a.cols(), n, |i, j| {
+            (seed.wrapping_mul(i as u64 + 5).wrapping_add(j as u64 * 13) % 255) as i8
+        });
+        let direct = PackedWeights::pack(&w);
+        let via_t = PackedWeights::from_transpose(&transpose(&w));
+        prop_assert_eq!(&direct, &via_t);
+        let fast = matmul_i8_i32_packed(&a, &direct);
+        let oracle = matmul_i8_i32(&a, &w);
+        prop_assert_eq!(fast.as_slice(), oracle.as_slice());
     }
 
     #[test]

@@ -1,33 +1,210 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by `std::thread::scope`.
 //!
-//! The workspace parallelizes matmul kernels over independent output
-//! rows via `par_chunks_exact_mut`. This shim provides the same method
-//! names backed by the serial `std` iterators, so every caller compiles
-//! and produces bit-identical results — it simply runs on one thread.
-//! (Determinism is the property the equivalence tests actually rely on;
-//! host-thread parallelism is an optimization this environment forgoes.)
+//! The workspace parallelizes matmul kernels over independent output rows
+//! (`par_chunks_exact_mut`) and fans engine/batch work out through
+//! [`scope`]/[`join`]. This shim provides those entry points with *real*
+//! host-thread parallelism built on scoped threads — no unsafe, no work
+//! stealing, just disjoint-slice partitioning — and degrades to plain
+//! serial execution when only one hardware thread is available (or
+//! `RAYON_NUM_THREADS=1` is set), so single-core environments pay zero
+//! thread overhead.
+//!
+//! Determinism contract: every parallel entry point hands each closure a
+//! *disjoint* piece of the output, and each output element's reduction is
+//! computed whole within one thread. Integer (and per-element float)
+//! results are therefore bit-identical to the serial schedule — the
+//! property the workspace's equivalence tests rely on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
+
+/// Worker-thread budget: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise the machine's available parallelism. Cached on first use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// A fork-join scope handed to the closure of [`scope`]. With more than
+/// one worker thread, `spawn` runs on a scoped OS thread; with one, it
+/// runs inline immediately (same results — spawned tasks are independent
+/// by construction).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Run `f` as a task of this scope. All tasks complete before
+    /// [`scope`] returns; a panicking task propagates at scope exit.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        match self.inner {
+            Some(s) => {
+                s.spawn(move || f(&Scope { inner: Some(s) }));
+            }
+            None => f(self),
+        }
+    }
+}
+
+/// Create a fork-join scope: every task spawned inside has completed when
+/// this returns (the `rayon::scope` contract).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    if current_num_threads() <= 1 {
+        f(&Scope { inner: None })
+    } else {
+        std::thread::scope(|s| f(&Scope { inner: Some(s) }))
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().expect("joined task panicked");
+            (ra, rb)
+        })
+    }
+}
+
+/// Below this many slice elements a parallel chunk iteration runs
+/// serially — thread spin-up would dominate the work.
+const MIN_PAR_ELEMS: usize = 8 * 1024;
+
+/// Distribute `chunk`-sized exact chunks of `slice` over up to `threads`
+/// workers, calling `f((chunk_index, chunk))` exactly once per chunk.
+/// Each worker owns a contiguous run of chunks; the trailing remainder
+/// (`len % chunk`) is untouched, matching `chunks_exact_mut`.
+fn for_each_chunk_enumerated<T, F>(slice: &mut [T], chunk: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn((usize, &mut [T])) + Sync,
+{
+    assert!(chunk != 0, "chunk size must be non-zero");
+    let n_chunks = slice.len() / chunk;
+    if threads <= 1 || n_chunks <= 1 || slice.len() < MIN_PAR_ELEMS {
+        for (i, c) in slice.chunks_exact_mut(chunk).enumerate() {
+            f((i, c));
+        }
+        return;
+    }
+    let workers = threads.min(n_chunks);
+    let per = n_chunks.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = &mut slice[..n_chunks * chunk];
+        let mut base = 0usize;
+        while base < n_chunks {
+            let take = per.min(n_chunks - base);
+            let (head, tail) = rest.split_at_mut(take * chunk);
+            rest = tail;
+            let start = base;
+            base += take;
+            if base < n_chunks {
+                s.spawn(move || {
+                    for (off, c) in head.chunks_exact_mut(chunk).enumerate() {
+                        f((start + off, c));
+                    }
+                });
+            } else {
+                // Run the final group inline: the calling thread is a
+                // worker too instead of idling at the scope barrier.
+                for (off, c) in head.chunks_exact_mut(chunk).enumerate() {
+                    f((start + off, c));
+                }
+            }
+        }
+    });
+}
+
+/// Parallel exact-chunk iterator returned by `par_chunks_exact_mut`.
+pub struct ParChunksExactMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksExactMut<'a, T> {
+    /// Pair each chunk with its index, as `Iterator::enumerate` would.
+    #[must_use]
+    pub fn enumerate(self) -> ParEnumerateChunks<'a, T> {
+        ParEnumerateChunks(self)
+    }
+
+    /// Apply `f` to every chunk (parallel when profitable).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated form of [`ParChunksExactMut`].
+pub struct ParEnumerateChunks<'a, T>(ParChunksExactMut<'a, T>);
+
+impl<T: Send> ParEnumerateChunks<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair (parallel when
+    /// profitable). Chunk indices are exact; assignment of chunks to
+    /// threads never splits a chunk, so per-chunk results are identical
+    /// to the serial schedule.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let ParChunksExactMut { slice, chunk } = self.0;
+        for_each_chunk_enumerated(slice, chunk, current_num_threads(), f);
+    }
+}
+
 /// The traits callers import via `use rayon::prelude::*`.
 pub mod prelude {
-    /// Parallel chunk iteration over mutable slices (serial here).
-    pub trait ParallelSliceMut<T> {
-        /// Exact-size chunks of `chunk_size`, like `chunks_exact_mut`.
-        fn par_chunks_exact_mut(&mut self, chunk_size: usize)
-            -> core::slice::ChunksExactMut<'_, T>;
+    pub use super::{ParChunksExactMut, ParEnumerateChunks};
 
-        /// Chunks of at most `chunk_size`, like `chunks_mut`.
+    /// Parallel chunk iteration over mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Exact-size chunks of `chunk_size`, like `chunks_exact_mut`,
+        /// distributed over worker threads when the slice is large
+        /// enough to pay for them.
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
+
+        /// Chunks of at most `chunk_size`, like `chunks_mut` (serial —
+        /// no workspace hot path uses the ragged form).
         fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_exact_mut(
-            &mut self,
-            chunk_size: usize,
-        ) -> core::slice::ChunksExactMut<'_, T> {
-            self.chunks_exact_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
+            ParChunksExactMut { slice: self, chunk: chunk_size }
         }
 
         fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T> {
@@ -39,6 +216,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_chunks_exact_mut_matches_serial() {
@@ -49,5 +227,62 @@ mod tests {
             }
         });
         assert_eq!(a, [1, 2, 13, 14, 25, 26]);
+    }
+
+    #[test]
+    fn remainder_left_untouched() {
+        let mut a = [7u32; 7];
+        a.par_chunks_exact_mut(3).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(a, [0, 0, 0, 1, 1, 1, 7]);
+    }
+
+    #[test]
+    fn forced_multithread_partition_is_exact() {
+        // Drive the partitioning logic with an explicit thread budget —
+        // every chunk index must be visited exactly once regardless of
+        // how chunks land on workers.
+        for threads in [2usize, 3, 5, 16] {
+            let mut data = vec![0u64; 40_000];
+            for_each_chunk_enumerated(&mut data, 100, threads, |(i, c)| {
+                for v in c.iter_mut() {
+                    *v += 1 + i as u64;
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, 1 + (i / 100) as u64, "threads={threads} elem={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_slices_run_serially_with_exact_semantics() {
+        let mut data = vec![0u8; 10];
+        for_each_chunk_enumerated(&mut data, 4, 8, |(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u8 + 1;
+            }
+        });
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let mut out = vec![0u32; 8];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 * 3);
+            }
+        });
+        assert_eq!(out, [0, 3, 6, 9, 12, 15, 18, 21]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
     }
 }
