@@ -10,17 +10,15 @@ use crate::engines::sv::SvEngine;
 use crate::engines::{finish_projection, Access};
 use crate::error::CoreError;
 use crate::fault::{FaultStats, FaultStream, RetryPolicy, Watchdog};
+use crate::pipeline::{FaultPlan, RunPlan};
 use crate::registers::{RegisterError, RuntimeConfig};
-use crate::report::{CycleReport, EnginePhase};
+use crate::report::CycleReport;
 use crate::synthesis::{SynthesisConfig, SynthesizedDesign};
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::Requantizer;
 use protea_hwsim::Cycles;
-use protea_mem::fault::{FaultKind, TransferFault};
-use protea_mem::hbm::{bounded_transfer_cycles, ChannelShare};
-use protea_mem::overlap::{simulate_double_buffered, simulate_serial};
 use protea_model::quantized::requant_logits;
-use protea_model::{OpCount, QuantizedEncoder};
+use protea_model::QuantizedEncoder;
 use protea_platform::FpgaDevice;
 use protea_tensor::{matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, Matrix, PackedWeights};
 use std::sync::OnceLock;
@@ -176,8 +174,16 @@ impl Accelerator {
         self.backend
     }
 
+    /// Whether load/compute overlap is enabled (see
+    /// [`set_overlap`](Self::set_overlap)).
+    #[must_use]
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap_enabled
+    }
+
     /// Run the encoder on a quantized input. Produces both the bit-exact
-    /// output and the cycle report.
+    /// output and the cycle report. Shim over
+    /// [`execute`](Self::execute).
     ///
     /// # Errors
     /// [`CoreError::WeightsNotLoaded`] before any successful
@@ -185,17 +191,8 @@ impl Accelerator {
     /// [`CoreError::InputShape`] if `x` is not `SL × d_model` per the
     /// register file.
     pub fn try_run(&self, x: &Matrix<i8>) -> Result<RunResult, CoreError> {
-        let weights = self.weights.as_ref().ok_or(CoreError::WeightsNotLoaded)?;
-        let expected = (self.runtime.seq_len, self.runtime.d_model);
-        if x.shape() != expected {
-            return Err(CoreError::InputShape { expected, got: x.shape() });
-        }
-        let output = self.forward_functional(x, weights);
-        let report = self.timing_report();
-        let latency_ms = report.latency_ms();
-        let ops = OpCount::for_config(&self.runtime.to_model_config());
-        let gops = report.gops(&ops);
-        Ok(RunResult { output, report, latency_ms, gops })
+        let (outcome, _) = self.execute(RunPlan::functional(std::slice::from_ref(x)));
+        Ok(outcome?.into_run_result())
     }
 
     /// Panicking form of [`try_run`](Self::try_run).
@@ -212,49 +209,17 @@ impl Accelerator {
         }
     }
 
-    /// Timing only (no data needed): what Table I measures.
+    /// Timing only (no data needed): what Table I measures. Shim over
+    /// [`execute`](Self::execute).
     #[must_use]
     pub fn timing_report(&self) -> CycleReport {
-        let syn = &self.design.config;
-        let rt = &self.runtime;
-        let freq_hz = self.design.fmax_mhz * 1e6;
-        let share =
-            ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
-
-        let price = |plan: &[Access]| -> (Cycles, Cycles) {
-            let schedule: Vec<(Cycles, Cycles)> = plan
-                .iter()
-                .map(|a| {
-                    (
-                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
-                        Cycles(a.compute_cycles),
-                    )
-                })
-                .collect();
-            let r = if self.overlap_enabled {
-                simulate_double_buffered(&schedule)
-            } else {
-                simulate_serial(&schedule)
-            };
-            (r.total, r.compute_stall)
-        };
-
-        let layers = rt.layers as u64;
-        let mut phases = Vec::new();
-        let mut total = Cycles::ZERO;
-        for (name, plan) in self.phase_plans() {
-            let (per_layer, stall) = price(&plan);
-            let cycles = Cycles(per_layer.get() * layers);
-            let load_stall = Cycles(stall.get() * layers);
-            total = total.saturating_add(cycles);
-            phases.push(EnginePhase { name, cycles, load_stall });
-        }
-        CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }
+        let (outcome, _) = self.execute(RunPlan::timing(1));
+        outcome.expect("fault-free timing cannot fail").report
     }
 
     /// The nine engine phases of one encoder layer, in execution order,
     /// each with its tile-access plan under the current register file.
-    fn phase_plans(&self) -> [(&'static str, Vec<Access>); 9] {
+    pub(crate) fn phase_plans(&self) -> [(&'static str, Vec<Access>); 9] {
         let syn = &self.design.config;
         let rt = &self.runtime;
         [
@@ -281,46 +246,8 @@ impl Accelerator {
     /// Panics if `batch` is zero.
     #[must_use]
     pub fn timing_report_batched(&self, batch: usize) -> CycleReport {
-        assert!(batch > 0, "batch must be nonzero");
-        let single = self.timing_report();
-        if batch == 1 {
-            return single;
-        }
-        let syn = &self.design.config;
-        let rt = &self.runtime;
-        let freq_hz = self.design.fmax_mhz * 1e6;
-        let share =
-            ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
-        let b = batch as u64;
-
-        let price = |plan: &[Access]| -> (Cycles, Cycles) {
-            let schedule: Vec<(Cycles, Cycles)> = plan
-                .iter()
-                .map(|a| {
-                    (
-                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
-                        Cycles(a.compute_cycles * b),
-                    )
-                })
-                .collect();
-            let r = if self.overlap_enabled {
-                simulate_double_buffered(&schedule)
-            } else {
-                simulate_serial(&schedule)
-            };
-            (r.total, r.compute_stall)
-        };
-
-        let layers = rt.layers as u64;
-        let mut phases = Vec::new();
-        let mut total = Cycles::ZERO;
-        for (name, plan) in self.phase_plans() {
-            let (per_layer, stall) = price(&plan);
-            let cycles = Cycles(per_layer.get() * layers);
-            total = total.saturating_add(cycles);
-            phases.push(EnginePhase { name, cycles, load_stall: Cycles(stall.get() * layers) });
-        }
-        CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }
+        let (outcome, _) = self.execute(RunPlan::timing(batch));
+        outcome.expect("fault-free timing cannot fail").report
     }
 
     /// Batched timing under **fault injection**: the same schedule as
@@ -355,60 +282,9 @@ impl Accelerator {
         retry: RetryPolicy,
         now_ns: u64,
     ) -> (Result<CycleReport, CoreError>, FaultStats) {
-        assert!(batch > 0, "batch must be nonzero");
-        let syn = &self.design.config;
-        let rt = &self.runtime;
-        let freq_hz = self.design.fmax_mhz * 1e6;
-        let share =
-            ChannelShare::of(&self.design.device.memory, self.design.config.dma_sharing, freq_hz);
-        let b = batch as u64;
-        let mut stats = FaultStats::default();
-
-        let layers = rt.layers as u64;
-        let mut phases = Vec::new();
-        let mut total = Cycles::ZERO;
-        for (name, plan) in self.phase_plans() {
-            let mut phase_cycles: u64 = 0;
-            let mut phase_stall: u64 = 0;
-            for layer in 0..layers {
-                let mut schedule: Vec<(Cycles, Cycles)> = Vec::with_capacity(plan.len());
-                for a in &plan {
-                    let clean = bounded_transfer_cycles(&syn.axi, &share, a.load_bytes).get();
-                    match faulty_load(clean, stream, watchdog, retry, now_ns, &mut stats) {
-                        Ok(load) => {
-                            schedule.push((Cycles(load), Cycles(a.compute_cycles * b)));
-                        }
-                        Err((kind, spent)) => {
-                            let issued: u64 = schedule.iter().map(|(l, _)| l.get()).sum();
-                            stats.abort_cycles = total
-                                .get()
-                                .saturating_add(phase_cycles)
-                                .saturating_add(issued)
-                                .saturating_add(spent);
-                            let context = format!("{name} tile load, layer {layer}, batch {batch}");
-                            return (Err(CoreError::Fault { kind, context }), stats);
-                        }
-                    }
-                }
-                let r = if self.overlap_enabled {
-                    simulate_double_buffered(&schedule)
-                } else {
-                    simulate_serial(&schedule)
-                };
-                phase_cycles = phase_cycles.saturating_add(r.total.get());
-                phase_stall = phase_stall.saturating_add(r.compute_stall.get());
-            }
-            total = total.saturating_add(Cycles(phase_cycles));
-            phases.push(EnginePhase {
-                name,
-                cycles: Cycles(phase_cycles),
-                load_stall: Cycles(phase_stall),
-            });
-        }
-        (
-            Ok(CycleReport { phases, layers: rt.layers, total, fmax_mhz: self.design.fmax_mhz }),
-            stats,
-        )
+        let faults = FaultPlan { stream, watchdog, retry, now_ns };
+        let (outcome, stats) = self.execute(RunPlan::timing(batch).with_faults(faults));
+        (outcome.map(|o| o.report), stats)
     }
 
     /// Run a batch functionally (each sequence independent) with the
@@ -424,33 +300,8 @@ impl Accelerator {
         &self,
         xs: &[Matrix<i8>],
     ) -> Result<(Vec<Matrix<i8>>, CycleReport), CoreError> {
-        if xs.is_empty() {
-            return Err(CoreError::EmptyBatch);
-        }
-        let weights = self.weights.as_ref().ok_or(CoreError::WeightsNotLoaded)?;
-        let expected = (self.runtime.seq_len, self.runtime.d_model);
-        for x in xs {
-            if x.shape() != expected {
-                return Err(CoreError::InputShape { expected, got: x.shape() });
-            }
-        }
-        // Batch items are independent sequences; with the fast backend
-        // and threads available, fan them out (each item's forward is
-        // computed whole within one task, so outputs are unchanged).
-        let parallel_batch =
-            self.backend == Backend::Fast && xs.len() > 1 && rayon::current_num_threads() > 1;
-        let outputs: Vec<Matrix<i8>> = if parallel_batch {
-            let mut slots: Vec<Option<Matrix<i8>>> = (0..xs.len()).map(|_| None).collect();
-            rayon::scope(|sc| {
-                for (x, slot) in xs.iter().zip(slots.iter_mut()) {
-                    sc.spawn(move |_| *slot = Some(self.forward_functional(x, weights)));
-                }
-            });
-            slots.into_iter().map(|o| o.expect("every batch item is computed")).collect()
-        } else {
-            xs.iter().map(|x| self.forward_functional(x, weights)).collect()
-        };
-        Ok((outputs, self.timing_report_batched(xs.len())))
+        let (outcome, _) = self.execute(RunPlan::functional(xs));
+        outcome.map(|o| (o.outputs, o.report))
     }
 
     /// Panicking form of [`try_run_batch`](Self::try_run_batch).
@@ -513,7 +364,11 @@ impl Accelerator {
     /// [`Backend`]; both implementations return the same bytes for any
     /// input (integer accumulation is permutation-invariant), so the
     /// choice affects wall-clock only.
-    fn forward_functional(&self, x: &Matrix<i8>, weights: &QuantizedEncoder) -> Matrix<i8> {
+    pub(crate) fn forward_functional(
+        &self,
+        x: &Matrix<i8>,
+        weights: &QuantizedEncoder,
+    ) -> Matrix<i8> {
         match self.backend {
             Backend::Fast => {
                 let packed = self.packed.get_or_init(|| PackedEncoder::pack(weights));
@@ -658,58 +513,6 @@ impl Accelerator {
         }
         h
     }
-}
-
-/// One tile load under the driver's fault-handling loop: sample a fault
-/// per attempt, fold stalls into the transfer time, replay recoverable
-/// faults with backoff, and give up on unrecoverable ones. Returns the
-/// total cycles the load occupied the port, or on abort the fault kind
-/// plus the cycles spent before the driver gave up.
-fn faulty_load(
-    clean_cycles: u64,
-    stream: &mut FaultStream,
-    watchdog: Watchdog,
-    retry: RetryPolicy,
-    now_ns: u64,
-    stats: &mut FaultStats,
-) -> Result<u64, (FaultKind, u64)> {
-    let mut spent: u64 = 0;
-    let mut last_kind = FaultKind::AxiTimeout;
-    for attempt in 0..retry.max_attempts.max(1) {
-        match stream.sample_transfer(now_ns) {
-            None => return Ok(spent.saturating_add(clean_cycles)),
-            Some(TransferFault::Stall { extra_cycles }) => {
-                stats.stalls += 1;
-                stats.stall_cycles = stats.stall_cycles.saturating_add(extra_cycles);
-                return Ok(spent.saturating_add(clean_cycles).saturating_add(extra_cycles));
-            }
-            Some(TransferFault::EccSingle) => {
-                stats.ecc_single += 1;
-                stats.retries += 1;
-                last_kind = FaultKind::EccSingle;
-                // The corrupted transfer completed (scrub detected it at
-                // the end), then the driver backs off and replays.
-                let wasted = clean_cycles.saturating_add(retry.backoff_cycles(attempt));
-                stats.recovery_cycles = stats.recovery_cycles.saturating_add(wasted);
-                spent = spent.saturating_add(wasted);
-            }
-            Some(TransferFault::Timeout) => {
-                stats.watchdog_trips += 1;
-                stats.retries += 1;
-                last_kind = FaultKind::AxiTimeout;
-                // The watchdog waits its full budget before declaring the
-                // transfer hung, then the driver backs off and replays.
-                let wasted = watchdog.timeout_cycles.saturating_add(retry.backoff_cycles(attempt));
-                stats.recovery_cycles = stats.recovery_cycles.saturating_add(wasted);
-                spent = spent.saturating_add(wasted);
-            }
-            Some(TransferFault::EccDouble) => {
-                stats.ecc_double += 1;
-                return Err((FaultKind::EccDouble, spent.saturating_add(clean_cycles)));
-            }
-        }
-    }
-    Err((last_kind, spent))
 }
 
 #[cfg(test)]

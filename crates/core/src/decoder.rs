@@ -15,13 +15,11 @@ use crate::accelerator::Accelerator;
 use crate::engines::ffn::{FfnEngine, FfnStage};
 use crate::engines::{accumulate_tiled, finish_projection, Access};
 use crate::registers::{RegisterError, RuntimeConfig};
-use crate::report::{CycleReport, EnginePhase};
+use crate::report::CycleReport;
 use crate::synthesis::SynthesisConfig;
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::{Requantizer, SoftmaxUnit};
 use protea_hwsim::Cycles;
-use protea_mem::hbm::{bounded_transfer_cycles, ChannelShare};
-use protea_mem::overlap::simulate_double_buffered;
 use protea_model::decoder::{QuantizedDecoder, QuantizedDecoderLayer};
 use protea_model::quantized::{add_norm, requant_logits, QuantMatrix};
 use protea_model::QuantSchedule;
@@ -156,12 +154,6 @@ impl Accelerator {
         let dk = rt.dk() as u64;
         let kv = (position + 1) as u64;
         let sl_s = src_len as u64;
-        let freq_hz = self.design().fmax_mhz * 1e6;
-        let share = ChannelShare::of(
-            &self.design().device.memory,
-            self.design().config.dma_sharing,
-            freq_hz,
-        );
         let compute_only = |cycles: u64| vec![Access { load_bytes: 0, compute_cycles: cycles }];
         let proj_plan = |rows: u64| -> Vec<Access> {
             let tiles = syn.tiles_mha() as u64;
@@ -188,29 +180,9 @@ impl Accelerator {
             ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, &rt, syn)),
             ("AddNorm3", compute_only(t.ln_cycles(1, rt.d_model as u64))),
         ];
-        let layers = cfg.layers as u64;
-        let mut phases = Vec::with_capacity(phase_plans.len());
-        let mut total = Cycles::ZERO;
-        for (name, plan) in phase_plans {
-            let schedule: Vec<(Cycles, Cycles)> = plan
-                .iter()
-                .map(|a| {
-                    (
-                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
-                        Cycles(a.compute_cycles),
-                    )
-                })
-                .collect();
-            let r = simulate_double_buffered(&schedule);
-            let cycles = Cycles(r.total.get() * layers);
-            total = total.saturating_add(cycles);
-            phases.push(EnginePhase {
-                name,
-                cycles,
-                load_stall: Cycles(r.compute_stall.get() * layers),
-            });
-        }
-        CycleReport { phases, layers: cfg.layers, total, fmax_mhz: self.design().fmax_mhz }
+        // One decode step always overlaps loads with compute (the
+        // decoder has no serial-ablation knob).
+        self.price_phase_plans(&phase_plans, cfg.layers, 1, true, None)
     }
 
     /// Timing of a decoder stack without data.
@@ -233,12 +205,6 @@ impl Accelerator {
         let dk = rt.dk() as u64;
         let sl_t = tgt_len as u64;
         let sl_s = src_len as u64;
-        let freq_hz = self.design().fmax_mhz * 1e6;
-        let share = ChannelShare::of(
-            &self.design().device.memory,
-            self.design().config.dma_sharing,
-            freq_hz,
-        );
 
         // QKV-style projection phase: `rows` activation rows, the weight
         // strips tiled `tiles_mha` times.
@@ -272,26 +238,7 @@ impl Accelerator {
             ("AddNorm3", compute_only(t.ln_cycles(sl_t, rt.d_model as u64))),
         ];
 
-        let layers = cfg.layers as u64;
-        let mut phases = Vec::with_capacity(phase_plans.len());
-        let mut total = Cycles::ZERO;
-        for (name, plan) in phase_plans {
-            let schedule: Vec<(Cycles, Cycles)> = plan
-                .iter()
-                .map(|a| {
-                    (
-                        bounded_transfer_cycles(&syn.axi, &share, a.load_bytes),
-                        Cycles(a.compute_cycles),
-                    )
-                })
-                .collect();
-            let r = simulate_double_buffered(&schedule);
-            let cycles = Cycles(r.total.get() * layers);
-            let load_stall = Cycles(r.compute_stall.get() * layers);
-            total = total.saturating_add(cycles);
-            phases.push(EnginePhase { name, cycles, load_stall });
-        }
-        CycleReport { phases, layers: cfg.layers, total, fmax_mhz: self.design().fmax_mhz }
+        self.price_phase_plans(&phase_plans, cfg.layers, 1, true, None)
     }
 }
 

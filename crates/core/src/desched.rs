@@ -145,6 +145,7 @@ pub fn simulate_layer_des(accel: &Accelerator) -> (Cycles, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::RunPlan;
     use crate::registers::RuntimeConfig;
     use crate::synthesis::SynthesisConfig;
     use protea_model::EncoderConfig;
@@ -176,6 +177,30 @@ mod tests {
                 cfg.d_model,
                 cfg.seq_len
             );
+
+            // The unified pipeline must agree too — and turning the
+            // span recorder on must not perturb a single cycle.
+            let (plain, _) = a.execute(RunPlan::timing(1));
+            let plain = plain.expect("fault-free timing cannot fail");
+            let (traced, _) = a.execute(RunPlan::timing(1).with_trace());
+            let traced = traced.expect("fault-free timing cannot fail");
+            assert_eq!(
+                plain.report.total, traced.report.total,
+                "tracing changed the cycle total for d={} SL={}",
+                cfg.d_model, cfg.seq_len
+            );
+            assert_eq!(plain.report.phases, traced.report.phases);
+            assert_eq!(plain.report.layers, traced.report.layers);
+            assert_eq!(
+                plain.report.total.get() / cfg.layers as u64,
+                des.get(),
+                "pipeline disagrees with DES for d={} SL={}",
+                cfg.d_model,
+                cfg.seq_len
+            );
+            let trace = traced.trace.expect("traced run records spans");
+            assert!(!trace.is_empty(), "traced run produced no spans");
+            assert!(plain.trace.is_none(), "untraced run must not allocate a trace");
         }
     }
 

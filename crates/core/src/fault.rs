@@ -116,6 +116,62 @@ impl FaultStats {
     }
 }
 
+/// One tile load under the driver's fault-handling loop: sample a fault
+/// per attempt, fold stalls into the transfer time, replay recoverable
+/// faults with backoff, and give up on unrecoverable ones. Returns the
+/// total cycles the load occupied the port, or on abort the fault kind
+/// plus the cycles spent before the driver gave up.
+///
+/// Used by the execution pipeline's fault-injected pricing path
+/// ([`crate::pipeline`]); it lives here because this *is* the driver's
+/// recovery loop, independent of how a run is planned.
+pub(crate) fn faulty_load(
+    clean_cycles: u64,
+    stream: &mut FaultStream,
+    watchdog: Watchdog,
+    retry: RetryPolicy,
+    now_ns: u64,
+    stats: &mut FaultStats,
+) -> Result<u64, (FaultKind, u64)> {
+    let mut spent: u64 = 0;
+    let mut last_kind = FaultKind::AxiTimeout;
+    for attempt in 0..retry.max_attempts.max(1) {
+        match stream.sample_transfer(now_ns) {
+            None => return Ok(spent.saturating_add(clean_cycles)),
+            Some(TransferFault::Stall { extra_cycles }) => {
+                stats.stalls += 1;
+                stats.stall_cycles = stats.stall_cycles.saturating_add(extra_cycles);
+                return Ok(spent.saturating_add(clean_cycles).saturating_add(extra_cycles));
+            }
+            Some(TransferFault::EccSingle) => {
+                stats.ecc_single += 1;
+                stats.retries += 1;
+                last_kind = FaultKind::EccSingle;
+                // The corrupted transfer completed (scrub detected it at
+                // the end), then the driver backs off and replays.
+                let wasted = clean_cycles.saturating_add(retry.backoff_cycles(attempt));
+                stats.recovery_cycles = stats.recovery_cycles.saturating_add(wasted);
+                spent = spent.saturating_add(wasted);
+            }
+            Some(TransferFault::Timeout) => {
+                stats.watchdog_trips += 1;
+                stats.retries += 1;
+                last_kind = FaultKind::AxiTimeout;
+                // The watchdog waits its full budget before declaring the
+                // transfer hung, then the driver backs off and replays.
+                let wasted = watchdog.timeout_cycles.saturating_add(retry.backoff_cycles(attempt));
+                stats.recovery_cycles = stats.recovery_cycles.saturating_add(wasted);
+                spent = spent.saturating_add(wasted);
+            }
+            Some(TransferFault::EccDouble) => {
+                stats.ecc_double += 1;
+                return Err((FaultKind::EccDouble, spent.saturating_add(clean_cycles)));
+            }
+        }
+    }
+    Err((last_kind, spent))
+}
+
 impl core::fmt::Display for FaultStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(

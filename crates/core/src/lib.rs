@@ -50,6 +50,7 @@ pub mod driver;
 pub mod engines;
 pub mod error;
 pub mod fault;
+pub mod pipeline;
 pub mod registers;
 pub mod report;
 pub mod sparse;
@@ -67,6 +68,7 @@ pub use error::CoreError;
 pub use fault::{
     FaultEvent, FaultKind, FaultRates, FaultStats, FaultStream, RetryPolicy, Watchdog,
 };
+pub use pipeline::{FaultPlan, PlanKey, RunOutcome, RunPlan};
 pub use registers::{RegisterError, RuntimeConfig};
 pub use report::{CycleReport, EnginePhase};
 pub use sparse::{SparseMode, SparsePhase};

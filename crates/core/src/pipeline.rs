@@ -1,0 +1,486 @@
+//! The unified execution pipeline: one internal path for every run.
+//!
+//! Historically each scenario grew its own entry point on
+//! [`Accelerator`] — `try_run`, `try_run_batch`, `timing_report`,
+//! `timing_report_batched`, `timing_report_faulty` — each
+//! re-implementing config/weight/fault/batch plumbing. This module
+//! collapses them: a [`RunPlan`] (batch size, optional functional
+//! inputs, optional fault injection, tracing on/off) flows through
+//! [`Accelerator::execute`] and yields a [`RunOutcome`] (outputs,
+//! cycle report, utilization, latency/GOPS, optional trace). Every
+//! public entry point is now a thin shim over `execute`.
+//!
+//! **Bit-exactness contract.** The pipeline preserves the historical
+//! arithmetic exactly:
+//!
+//! * fault-free runs price each phase's tile schedule once and multiply
+//!   by the layer count (layers are identical without faults);
+//! * fault-injected runs price layer by layer, because faults land in
+//!   specific layers; with a zero-rate stream the result equals the
+//!   fault-free report bit-for-bit;
+//! * `batch = 1` reduces exactly to the single-sequence report.
+//!
+//! **Zero overhead when off.** Tracing is observational: a traced run's
+//! report is byte-identical to the untraced run (the report always
+//! comes from the same event-driven simulation; span extraction runs
+//! beside it, never instead of it), and an untraced run allocates
+//! nothing — the same discipline the fault and overload knobs follow.
+//!
+//! Spans land on the `protea-hwsim` clock in a bounded
+//! [`ExecTrace`] ring buffer: one [`SpanKind::Phase`] span per engine
+//! phase per layer, [`SpanKind::Tile`] compute visits nested inside it
+//! on the engine track, and [`SpanKind::Dma`] bursts on the DMA track.
+//! Fault-free traces are laid out layer-major (layer 0's nine phases,
+//! then layer 1's, …); fault-injected traces follow pricing order
+//! (phase-major), since each layer's faulted schedule differs.
+
+use crate::accelerator::{Accelerator, RunResult};
+use crate::engines::Access;
+use crate::error::CoreError;
+use crate::fault::{faulty_load, FaultStats, FaultStream, RetryPolicy, Watchdog};
+use crate::report::{CycleReport, EnginePhase};
+use protea_hwsim::exec_trace::{track, ExecTrace, SpanKind};
+use protea_hwsim::Cycles;
+use protea_mem::hbm::{bounded_transfer_cycles, ChannelShare};
+use protea_mem::overlap::{
+    simulate_double_buffered, simulate_double_buffered_spans, simulate_serial,
+    simulate_serial_spans, AccessSpans, OverlapReport,
+};
+use protea_model::OpCount;
+use protea_tensor::Matrix;
+
+/// Fault-injection arm of a [`RunPlan`]: the seeded stream plus the
+/// driver's recovery machinery.
+#[derive(Debug)]
+pub struct FaultPlan<'a> {
+    /// The per-card fault stream (stateful: each tile load draws).
+    pub stream: &'a mut FaultStream,
+    /// Hung-transfer detection budget.
+    pub watchdog: Watchdog,
+    /// Replay/backoff policy for recoverable faults.
+    pub retry: RetryPolicy,
+    /// Simulation timestamp of the run (fault streams are time-seeded).
+    pub now_ns: u64,
+}
+
+/// Everything one run needs, in one value. Build with
+/// [`RunPlan::timing`] or [`RunPlan::functional`], then arm options.
+///
+/// The shape and backend come from the [`Accelerator`] the plan is
+/// executed on; the plan carries what varies per run.
+#[derive(Debug, Default)]
+pub struct RunPlan<'a> {
+    batch: usize,
+    inputs: Option<&'a [Matrix<i8>]>,
+    faults: Option<FaultPlan<'a>>,
+    trace_capacity: Option<usize>,
+}
+
+impl<'a> RunPlan<'a> {
+    /// A timing-only run of `batch` weight-stationary sequences (no
+    /// functional datapath, no weights required).
+    #[must_use]
+    pub fn timing(batch: usize) -> Self {
+        Self { batch, ..Self::default() }
+    }
+
+    /// A functional run: every input goes through the bit-exact
+    /// datapath, and the timing half prices the batch.
+    #[must_use]
+    pub fn functional(inputs: &'a [Matrix<i8>]) -> Self {
+        Self { batch: inputs.len(), inputs: Some(inputs), ..Self::default() }
+    }
+
+    /// Arm fault injection: every tile load draws from the plan's
+    /// stream and layers are priced individually.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan<'a>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Arm span tracing with the default ring capacity.
+    #[must_use]
+    pub fn with_trace(self) -> Self {
+        self.with_trace_capacity(ExecTrace::DEFAULT_CAPACITY)
+    }
+
+    /// Arm span tracing with an explicit ring capacity.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// The batch size this plan prices.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Whether tracing is armed.
+    #[must_use]
+    pub fn traced(&self) -> bool {
+        self.trace_capacity.is_some()
+    }
+
+    /// Whether the run is deterministic in the registers alone — no
+    /// stateful fault stream — and its timing therefore memoizable.
+    #[must_use]
+    pub fn deterministic(&self) -> bool {
+        self.faults.is_none()
+    }
+
+    /// The memoization key of this plan on `accel`, or `None` when the
+    /// plan draws from a stateful fault stream. Two runs with equal
+    /// keys produce byte-identical [`CycleReport`]s, which is what lets
+    /// a serving layer cache them.
+    #[must_use]
+    pub fn memo_key(&self, accel: &Accelerator) -> Option<PlanKey> {
+        if !self.deterministic() {
+            return None;
+        }
+        let rt = accel.runtime();
+        Some(PlanKey {
+            heads: rt.heads,
+            layers: rt.layers,
+            d_model: rt.d_model,
+            seq_len: rt.seq_len,
+            batch: self.batch,
+            overlap: accel.overlap_enabled(),
+        })
+    }
+}
+
+/// The deterministic-run memo key: the programmed registers, the batch
+/// size, and the overlap knob — everything the timing half of a
+/// deterministic [`RunPlan`] depends on for a given synthesized design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlanKey {
+    /// Programmed attention heads.
+    pub heads: usize,
+    /// Programmed encoder layers.
+    pub layers: usize,
+    /// Programmed embedding dimension.
+    pub d_model: usize,
+    /// Programmed (padded) sequence length.
+    pub seq_len: usize,
+    /// Weight-stationary batch size.
+    pub batch: usize,
+    /// Whether load/compute overlap is enabled.
+    pub overlap: bool,
+}
+
+/// What one [`Accelerator::execute`] call produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Functional outputs, one per input (empty for timing-only plans).
+    pub outputs: Vec<Matrix<i8>>,
+    /// Cycle accounting for the whole batch.
+    pub report: CycleReport,
+    /// Engine-busy fraction of the total, `1 − stall/total`.
+    pub utilization: f64,
+    /// Batch latency in milliseconds at the synthesized clock.
+    pub latency_ms: f64,
+    /// Whole-batch throughput in GOPS.
+    pub gops: f64,
+    /// The recorded spans, when the plan armed tracing.
+    pub trace: Option<ExecTrace>,
+}
+
+impl Accelerator {
+    /// Run `plan` through the unified pipeline. This is *the* execution
+    /// path: every other run/timing entry point is a shim over it.
+    ///
+    /// Returns the outcome alongside the run's [`FaultStats`] (all-zero
+    /// for deterministic plans), mirroring the fault path's historical
+    /// contract: on an aborted run the stats still carry the fault
+    /// counts and the abort position.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyBatch`], [`CoreError::WeightsNotLoaded`] and
+    /// [`CoreError::InputShape`] from the functional half;
+    /// [`CoreError::Fault`] when an armed fault stream aborts the run.
+    ///
+    /// # Panics
+    /// Panics if a timing-only plan has a zero batch (a functional plan
+    /// with no inputs errors with `EmptyBatch` instead).
+    pub fn execute(&self, plan: RunPlan<'_>) -> (Result<RunOutcome, CoreError>, FaultStats) {
+        let outputs = match plan.inputs {
+            Some(xs) => match self.forward_batch(xs) {
+                Ok(outputs) => outputs,
+                Err(e) => return (Err(e), FaultStats::default()),
+            },
+            None => Vec::new(),
+        };
+        assert!(plan.batch > 0, "batch must be nonzero");
+        let mut trace = plan.trace_capacity.map(ExecTrace::bounded);
+        let (report, stats) = match plan.faults {
+            Some(faults) => {
+                let (report, stats) = self.faulty_phase_report(plan.batch, faults, trace.as_mut());
+                match report {
+                    Ok(report) => (report, stats),
+                    Err(e) => return (Err(e), stats),
+                }
+            }
+            None => {
+                let plans = self.phase_plans();
+                let report = self.price_phase_plans(
+                    &plans,
+                    self.runtime().layers,
+                    plan.batch as u64,
+                    self.overlap_enabled(),
+                    trace.as_mut(),
+                );
+                (report, FaultStats::default())
+            }
+        };
+        let ops = OpCount::for_config(&self.runtime().to_model_config());
+        let outcome = RunOutcome {
+            outputs,
+            utilization: report.utilization(),
+            latency_ms: report.latency_ms(),
+            gops: report.gops(&ops) * plan.batch as f64,
+            report,
+            trace,
+        };
+        (Ok(outcome), stats)
+    }
+
+    /// Functional half: validate, then run every input through the
+    /// bit-exact datapath (fanned out across threads on the fast
+    /// backend — each sequence is computed whole in one task, so
+    /// outputs are unchanged by the parallelism).
+    fn forward_batch(&self, xs: &[Matrix<i8>]) -> Result<Vec<Matrix<i8>>, CoreError> {
+        if xs.is_empty() {
+            return Err(CoreError::EmptyBatch);
+        }
+        let weights = self.weights().ok_or(CoreError::WeightsNotLoaded)?;
+        let rt = self.runtime();
+        let expected = (rt.seq_len, rt.d_model);
+        for x in xs {
+            if x.shape() != expected {
+                return Err(CoreError::InputShape { expected, got: x.shape() });
+            }
+        }
+        let parallel_batch = self.backend() == crate::backend::Backend::Fast
+            && xs.len() > 1
+            && rayon::current_num_threads() > 1;
+        if parallel_batch {
+            let mut slots: Vec<Option<Matrix<i8>>> = (0..xs.len()).map(|_| None).collect();
+            rayon::scope(|sc| {
+                for (x, slot) in xs.iter().zip(slots.iter_mut()) {
+                    sc.spawn(move |_| *slot = Some(self.forward_functional(x, weights)));
+                }
+            });
+            Ok(slots.into_iter().map(|o| o.expect("every batch item is computed")).collect())
+        } else {
+            Ok(xs.iter().map(|x| self.forward_functional(x, weights)).collect())
+        }
+    }
+
+    /// Price a sequence of named phase plans: each phase's schedule is
+    /// simulated once (layers are identical without faults) and
+    /// multiplied by `layers`. This is the single fault-free pricing
+    /// loop — the encoder and both decoder timing paths all land here.
+    ///
+    /// `double_buffered` selects the overlap scheduler (the encoder's
+    /// ablation knob; the decoder always overlaps). When `trace` is
+    /// given, spans are laid out layer-major on the engine/DMA tracks.
+    pub(crate) fn price_phase_plans(
+        &self,
+        plans: &[(&'static str, Vec<Access>)],
+        layers: usize,
+        batch: u64,
+        double_buffered: bool,
+        trace: Option<&mut ExecTrace>,
+    ) -> CycleReport {
+        let pricer = Pricer::of(self, batch, double_buffered);
+        let lmul = layers as u64;
+        let mut phases = Vec::with_capacity(plans.len());
+        let mut priced: Vec<(OverlapReport, Vec<AccessSpans>)> = Vec::new();
+        let mut total = Cycles::ZERO;
+        for (name, plan) in plans {
+            let schedule = pricer.schedule(plan);
+            let r = pricer.simulate(&schedule);
+            let cycles = Cycles(r.total.get() * lmul);
+            let load_stall = Cycles(r.compute_stall.get() * lmul);
+            total = total.saturating_add(cycles);
+            phases.push(EnginePhase { name, cycles, load_stall });
+            if trace.is_some() {
+                priced.push((r, pricer.spans(&schedule)));
+            }
+        }
+        if let Some(tr) = trace {
+            emit_layer_major(tr, plans, &priced, lmul);
+        }
+        CycleReport { phases, layers, total, fmax_mhz: self.design().fmax_mhz }
+    }
+
+    /// The fault-injected pricing loop: every tile load draws from the
+    /// stream, layers are priced individually, and an unrecoverable
+    /// fault aborts with the occupied-cycle count in the stats.
+    fn faulty_phase_report(
+        &self,
+        batch: usize,
+        faults: FaultPlan<'_>,
+        mut trace: Option<&mut ExecTrace>,
+    ) -> (Result<CycleReport, CoreError>, FaultStats) {
+        let FaultPlan { stream, watchdog, retry, now_ns } = faults;
+        let pricer = Pricer::of(self, batch as u64, self.overlap_enabled());
+        let mut stats = FaultStats::default();
+        let layers = self.runtime().layers as u64;
+        let mut phases = Vec::new();
+        let mut total = Cycles::ZERO;
+        let mut cursor: u64 = 0;
+        for (name, plan) in self.phase_plans() {
+            let mut phase_cycles: u64 = 0;
+            let mut phase_stall: u64 = 0;
+            for layer in 0..layers {
+                let mut schedule: Vec<(Cycles, Cycles)> = Vec::with_capacity(plan.len());
+                for a in &plan {
+                    let clean = pricer.load_cycles(a.load_bytes).get();
+                    match faulty_load(clean, stream, watchdog, retry, now_ns, &mut stats) {
+                        Ok(load) => {
+                            schedule.push((Cycles(load), Cycles(a.compute_cycles * pricer.batch)));
+                        }
+                        Err((kind, spent)) => {
+                            let issued: u64 = schedule.iter().map(|(l, _)| l.get()).sum();
+                            stats.abort_cycles = total
+                                .get()
+                                .saturating_add(phase_cycles)
+                                .saturating_add(issued)
+                                .saturating_add(spent);
+                            let context = format!("{name} tile load, layer {layer}, batch {batch}");
+                            return (Err(CoreError::Fault { kind, context }), stats);
+                        }
+                    }
+                }
+                let r = pricer.simulate(&schedule);
+                phase_cycles = phase_cycles.saturating_add(r.total.get());
+                phase_stall = phase_stall.saturating_add(r.compute_stall.get());
+                if let Some(tr) = trace.as_deref_mut() {
+                    emit_phase(tr, name, cursor, &r, &pricer.spans(&schedule));
+                    cursor = cursor.saturating_add(r.total.get());
+                }
+            }
+            total = total.saturating_add(Cycles(phase_cycles));
+            phases.push(EnginePhase {
+                name,
+                cycles: Cycles(phase_cycles),
+                load_stall: Cycles(phase_stall),
+            });
+        }
+        let layers = self.runtime().layers;
+        let report = CycleReport { phases, layers, total, fmax_mhz: self.design().fmax_mhz };
+        (Ok(report), stats)
+    }
+}
+
+/// The pricing context every path shares: the AXI/HBM channel model at
+/// the synthesized clock, the batch multiplier, and the overlap knob.
+struct Pricer<'a> {
+    accel: &'a Accelerator,
+    share: ChannelShare,
+    batch: u64,
+    double_buffered: bool,
+}
+
+impl<'a> Pricer<'a> {
+    fn of(accel: &'a Accelerator, batch: u64, double_buffered: bool) -> Self {
+        let design = accel.design();
+        let freq_hz = design.fmax_mhz * 1e6;
+        let share = ChannelShare::of(&design.device.memory, design.config.dma_sharing, freq_hz);
+        Self { accel, share, batch, double_buffered }
+    }
+
+    fn load_cycles(&self, bytes: u64) -> Cycles {
+        bounded_transfer_cycles(&self.accel.design().config.axi, &self.share, bytes)
+    }
+
+    /// An access plan priced into (load, compute) cycle pairs, compute
+    /// scaled by the weight-stationary batch.
+    fn schedule(&self, plan: &[Access]) -> Vec<(Cycles, Cycles)> {
+        plan.iter()
+            .map(|a| (self.load_cycles(a.load_bytes), Cycles(a.compute_cycles * self.batch)))
+            .collect()
+    }
+
+    fn simulate(&self, schedule: &[(Cycles, Cycles)]) -> OverlapReport {
+        if self.double_buffered {
+            simulate_double_buffered(schedule)
+        } else {
+            simulate_serial(schedule)
+        }
+    }
+
+    fn spans(&self, schedule: &[(Cycles, Cycles)]) -> Vec<AccessSpans> {
+        if self.double_buffered {
+            simulate_double_buffered_spans(schedule).1
+        } else {
+            simulate_serial_spans(schedule).1
+        }
+    }
+}
+
+/// Lay a fault-free run out layer-major: layer 0's phases back to back,
+/// then layer 1's, … — each phase's span pattern repeating unchanged.
+fn emit_layer_major(
+    tr: &mut ExecTrace,
+    plans: &[(&'static str, Vec<Access>)],
+    priced: &[(OverlapReport, Vec<AccessSpans>)],
+    layers: u64,
+) {
+    let layer_cycles: u64 = priced.iter().map(|(r, _)| r.total.get()).sum();
+    for layer in 0..layers {
+        let mut base = layer.saturating_mul(layer_cycles);
+        for ((name, _), (r, spans)) in plans.iter().zip(priced) {
+            emit_phase(tr, name, base, r, spans);
+            base = base.saturating_add(r.total.get());
+        }
+    }
+}
+
+/// Emit one phase occurrence at absolute offset `base`: the phase span
+/// on the engine track, tile visits nested inside it, DMA bursts on
+/// the DMA track. Zero-length bursts/visits are skipped.
+fn emit_phase(tr: &mut ExecTrace, name: &str, base: u64, r: &OverlapReport, spans: &[AccessSpans]) {
+    tr.push(name, SpanKind::Phase, track::ENGINE, base, base.saturating_add(r.total.get()));
+    for (i, s) in spans.iter().enumerate() {
+        if s.load_end > s.load_start {
+            tr.push(
+                format!("DMA {name}"),
+                SpanKind::Dma,
+                track::DMA,
+                base.saturating_add(s.load_start.get()),
+                base.saturating_add(s.load_end.get()),
+            );
+        }
+        if s.compute_end > s.compute_start {
+            tr.push(
+                format!("{name} tile {i}"),
+                SpanKind::Tile,
+                track::ENGINE,
+                base.saturating_add(s.compute_start.get()),
+                base.saturating_add(s.compute_end.get()),
+            );
+        }
+    }
+}
+
+impl RunOutcome {
+    /// Convenience view as the historical single-run result (first
+    /// output, whole-batch metrics).
+    ///
+    /// # Panics
+    /// Panics when the outcome has no functional outputs.
+    #[must_use]
+    pub fn into_run_result(mut self) -> RunResult {
+        RunResult {
+            output: self.outputs.pop().expect("functional outcome has an output"),
+            report: self.report,
+            latency_ms: self.latency_ms,
+            gops: self.gops,
+        }
+    }
+}

@@ -58,6 +58,16 @@ impl CycleReport {
         Cycles(self.phases.iter().map(|p| p.load_stall.get()).sum())
     }
 
+    /// Engine-busy fraction of the total: `1 − stall/total` (1.0 for an
+    /// empty report).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.total.get() == 0 {
+            return 1.0;
+        }
+        1.0 - self.total_stall().get() as f64 / self.total.get() as f64
+    }
+
     /// Reconstruct the phase timeline: `(phase name, start, end)` spans
     /// in execution order (phases run sequentially within a layer, layers
     /// back to back).

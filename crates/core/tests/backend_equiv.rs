@@ -24,8 +24,7 @@ fn accel_for(cfg: &EncoderConfig, seed: u64) -> (Accelerator, QuantizedEncoder) 
         .ts_ffn(ts)
         .build()
         .expect("synthesis config must be valid");
-    let mut acc =
-        Accelerator::try_new(syn, &FpgaDevice::alveo_u250()).expect("design must fit");
+    let mut acc = Accelerator::try_new(syn, &FpgaDevice::alveo_u250()).expect("design must fit");
     acc.program(RuntimeConfig {
         heads: cfg.heads,
         layers: cfg.layers,

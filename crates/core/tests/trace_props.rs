@@ -1,0 +1,177 @@
+//! Property coverage for the execution pipeline's span traces.
+//!
+//! The trace is observational: the report must be byte-identical with
+//! tracing on or off, spans on one track must tile without overlap,
+//! tile visits must nest inside their phase span and sum to exactly
+//! the engine-busy cycles, and a Chrome-JSON export must round-trip to
+//! the identical span list (count, order, content).
+
+use proptest::prelude::*;
+use protea_core::{Accelerator, CycleReport, RunPlan, RuntimeConfig, SynthesisConfig};
+use protea_hwsim::exec_trace::track;
+use protea_hwsim::{ExecSpan, ExecTrace, SpanKind};
+use protea_platform::FpgaDevice;
+
+/// Nine engine phases per encoder layer (QKV, QK, Softmax, SV, FFN1,
+/// LN, FFN2, FFN3, LN).
+const PHASES_PER_LAYER: usize = 9;
+
+/// A programmed timing-only accelerator for an arbitrary shape (no
+/// weights: `RunPlan::timing` never touches the datapath).
+fn accel_for(heads: usize, d_model: usize, layers: usize, seq_len: usize) -> Accelerator {
+    let ts = (1..=64.min(d_model)).rev().find(|t| d_model.is_multiple_of(*t)).unwrap_or(1);
+    let syn = SynthesisConfig::builder()
+        .heads(heads)
+        .d_max(d_model)
+        .sl_max(seq_len)
+        .ts_mha(ts)
+        .ts_ffn(ts)
+        .build()
+        .expect("synthesis config must be valid");
+    let mut acc = Accelerator::try_new(syn, &FpgaDevice::alveo_u250()).expect("design must fit");
+    acc.program(RuntimeConfig { heads, layers, d_model, seq_len })
+        .expect("runtime fits synthesized capacity");
+    acc
+}
+
+fn assert_reports_identical(a: &CycleReport, b: &CycleReport) {
+    assert_eq!(a.total, b.total, "cycle totals diverge");
+    assert_eq!(a.layers, b.layers);
+    assert_eq!(a.phases, b.phases, "phase breakdowns diverge");
+    assert!((a.fmax_mhz - b.fmax_mhz).abs() < f64::EPSILON);
+}
+
+/// Spans of one `(track, kind)` group, sorted by start, must tile the
+/// timeline without overlap: each resource (engine lane, DMA channel)
+/// is sequential.
+fn assert_no_overlap_per_group(spans: &[ExecSpan]) {
+    let mut groups: std::collections::BTreeMap<(u32, SpanKind), Vec<&ExecSpan>> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        groups.entry((s.track, s.kind)).or_default().push(s);
+    }
+    for ((track, kind), mut group) in groups {
+        group.sort_by_key(|s| (s.start, s.end));
+        for pair in group.windows(2) {
+            assert!(
+                pair[1].start >= pair[0].end,
+                "{kind:?} spans overlap on track {track}: \
+                 [{}, {}) then [{}, {})",
+                pair[0].start,
+                pair[0].end,
+                pair[1].start,
+                pair[1].end,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn traced_runs_obey_span_invariants(
+        heads in 1usize..=6,
+        dk in 1usize..=16,
+        layers in 1usize..=3,
+        sl in 1usize..=12,
+        batch in 1usize..=4,
+    ) {
+        let acc = accel_for(heads, heads * dk, layers, sl);
+
+        let (plain, _) = acc.execute(RunPlan::timing(batch));
+        let plain = plain.expect("fault-free timing cannot fail");
+        prop_assert!(plain.trace.is_none(), "untraced run must not allocate a trace");
+
+        let (traced, _) = acc.execute(RunPlan::timing(batch).with_trace());
+        let traced = traced.expect("fault-free timing cannot fail");
+        assert_reports_identical(&plain.report, &traced.report);
+
+        let trace = traced.trace.expect("traced run records spans");
+        prop_assert_eq!(trace.dropped(), 0, "paper-scale runs fit the default ring");
+        let spans: Vec<ExecSpan> = trace.spans().cloned().collect();
+
+        // Per-resource sequentiality: no two same-kind spans overlap.
+        assert_no_overlap_per_group(&spans);
+
+        // One phase span per engine phase per layer, laid out
+        // layer-major and contiguous: the phase spans tile [0, total).
+        let mut phases: Vec<&ExecSpan> =
+            spans.iter().filter(|s| s.kind == SpanKind::Phase).collect();
+        prop_assert_eq!(phases.len(), PHASES_PER_LAYER * layers);
+        phases.sort_by_key(|s| (s.start, s.end));
+        prop_assert_eq!(phases[0].start, 0);
+        for pair in phases.windows(2) {
+            prop_assert_eq!(pair[1].start, pair[0].end, "phases must abut");
+        }
+        prop_assert_eq!(
+            phases.last().expect("at least one phase").end,
+            traced.report.total.get(),
+            "phase spans must cover the reported total"
+        );
+
+        // Tile visits nest inside a phase span on the engine track and
+        // sum to exactly the engine-busy cycles (total − load stalls).
+        let mut tile_cycles: u64 = 0;
+        for t in spans.iter().filter(|s| s.kind == SpanKind::Tile) {
+            prop_assert_eq!(t.track, track::ENGINE);
+            tile_cycles += t.duration();
+            prop_assert!(
+                phases.iter().any(|p| p.start <= t.start && t.end <= p.end),
+                "tile [{}, {}) escapes every phase span", t.start, t.end
+            );
+        }
+        let stall: u64 = traced.report.phases.iter().map(|p| p.load_stall.get()).sum();
+        prop_assert_eq!(
+            tile_cycles,
+            traced.report.total.get() - stall,
+            "tile visits must cover the busy cycles exactly"
+        );
+
+        // DMA bursts live on the DMA track and never outrun the run.
+        for d in spans.iter().filter(|s| s.kind == SpanKind::Dma) {
+            prop_assert_eq!(d.track, track::DMA);
+            prop_assert!(d.end <= traced.report.total.get());
+        }
+
+        // Export → parse round trip: identical count, order, content.
+        let parsed = ExecTrace::parse_chrome_json(&trace.to_chrome_json())
+            .expect("own export must parse");
+        prop_assert_eq!(parsed, spans);
+    }
+}
+
+#[test]
+fn bounded_capacity_drops_spans_but_never_perturbs_the_report() {
+    let acc = accel_for(4, 64, 2, 8);
+    let (full, _) = acc.execute(RunPlan::timing(2).with_trace());
+    let full = full.unwrap();
+    let (tiny, _) = acc.execute(RunPlan::timing(2).with_trace_capacity(4));
+    let tiny = tiny.unwrap();
+    assert_reports_identical(&full.report, &tiny.report);
+    let tiny_trace = tiny.trace.unwrap();
+    assert_eq!(tiny_trace.len(), 4, "ring keeps exactly its capacity");
+    assert_eq!(
+        tiny_trace.dropped() + 4,
+        full.trace.unwrap().len() as u64,
+        "every span beyond capacity is counted as dropped"
+    );
+}
+
+#[test]
+fn paper_shape_trace_names_every_engine_phase() {
+    let acc = accel_for(8, 768, 1, 64);
+    let (run, _) = acc.execute(RunPlan::timing(1).with_trace());
+    let trace = run.unwrap().trace.unwrap();
+    let names: Vec<String> =
+        trace.spans().filter(|s| s.kind == SpanKind::Phase).map(|s| s.name.clone()).collect();
+    for expected in
+        ["QKV_CE", "QK_CE", "Softmax", "SV_CE", "FFN1_CE", "FFN2_CE", "FFN3_CE", "AddNorm"]
+    {
+        assert!(
+            names.iter().any(|n| n.contains(expected)),
+            "no phase span names {expected}: {names:?}"
+        );
+    }
+    assert!(trace.spans().any(|s| s.kind == SpanKind::Dma), "paper shape must record DMA bursts");
+}

@@ -1,0 +1,474 @@
+//! Structured execution spans and Chrome trace-event export.
+//!
+//! Every run of the unified execution pipeline can record *spans* —
+//! named, categorized intervals on the simulation clock — into a
+//! bounded [`ExecTrace`] ring buffer: engine phases, DMA bursts, tile
+//! visits at the core level; reprogramming, batch service, hedging and
+//! cancellation at the fleet level. The buffer exports the [Chrome
+//! trace-event format] (an array of `"ph": "X"` complete events), which
+//! loads directly in `chrome://tracing` and [Perfetto].
+//!
+//! Like [`VcdTrace`](crate::VcdTrace), the writer — and the minimal
+//! parser used by the round-trip tests — is dependency-free: the subset
+//! of JSON we emit is flat enough that hand-rolling it is cheaper than
+//! growing a serializer dependency.
+//!
+//! Timestamps are raw simulation ticks (cycles in the core pipeline,
+//! nanoseconds in the serving fleet) carried as exact integers, so an
+//! export → parse round trip is lossless. Viewers label the axis "µs";
+//! only the relative layout matters.
+//!
+//! [Chrome trace-event format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+use core::fmt::Write as _;
+
+/// What a span represents; becomes the `cat` field of the export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One engine phase of one layer (QKV_CE, Softmax, …).
+    Phase,
+    /// One tile's compute visit inside a phase.
+    Tile,
+    /// One DMA burst (tile load) on the memory channel.
+    Dma,
+    /// A card being reprogrammed / reloaded with weights.
+    Reprogram,
+    /// A batch occupying a card from dispatch to completion.
+    Batch,
+    /// A hedged second leg of a straggling batch.
+    Hedge,
+    /// A leg cancelled because its partner finished first (zero width).
+    Cancel,
+}
+
+impl SpanKind {
+    /// The `cat` string used in the Chrome export.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Phase => "phase",
+            SpanKind::Tile => "tile",
+            SpanKind::Dma => "dma",
+            SpanKind::Reprogram => "reprogram",
+            SpanKind::Batch => "batch",
+            SpanKind::Hedge => "hedge",
+            SpanKind::Cancel => "cancel",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<SpanKind> {
+        Some(match s {
+            "phase" => SpanKind::Phase,
+            "tile" => SpanKind::Tile,
+            "dma" => SpanKind::Dma,
+            "reprogram" => SpanKind::Reprogram,
+            "batch" => SpanKind::Batch,
+            "hedge" => SpanKind::Hedge,
+            "cancel" => SpanKind::Cancel,
+            _ => return None,
+        })
+    }
+}
+
+/// One completed interval on a named track of the simulation clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecSpan {
+    /// Display name (e.g. `"QKV_CE"`, `"DMA QKV_CE"`, `"reprogram"`).
+    pub name: String,
+    /// Category of work this span covers.
+    pub kind: SpanKind,
+    /// Track (exported as `tid`); spans on one track belong to one
+    /// sequential resource (an engine lane, the DMA channel, a card).
+    pub track: u32,
+    /// Start tick (inclusive).
+    pub start: u64,
+    /// End tick (`end >= start`; `end == start` renders as an instant).
+    pub end: u64,
+}
+
+impl ExecSpan {
+    /// Duration in ticks.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Well-known track ids shared by the core pipeline and the fleet.
+pub mod track {
+    /// Engine phases and their nested tile visits.
+    pub const ENGINE: u32 = 1;
+    /// DMA bursts.
+    pub const DMA: u32 = 2;
+    /// First per-card track in fleet traces (card *i* → `CARD0 + i`).
+    pub const CARD0: u32 = 100;
+}
+
+/// A bounded ring buffer of [`ExecSpan`]s.
+///
+/// Recording never fails and never reallocates past the capacity: once
+/// full, the oldest span is overwritten and [`dropped`](Self::dropped)
+/// counts the loss — a flight recorder, not an unbounded log. The
+/// default capacity ([`ExecTrace::DEFAULT_CAPACITY`]) holds every span
+/// of any single paper-scale run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    spans: std::collections::VecDeque<ExecSpan>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ExecTrace {
+    /// Default ring capacity (spans).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// An empty trace with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::bounded(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty trace holding at most `capacity` spans (min 1).
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { spans: std::collections::VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Record one span; evicts the oldest span when full.
+    pub fn record(&mut self, span: ExecSpan) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Record a span from its parts.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        kind: SpanKind,
+        track: u32,
+        start: u64,
+        end: u64,
+    ) {
+        self.record(ExecSpan { name: name.into(), kind, track, start, end });
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &ExecSpan> {
+        self.spans.iter()
+    }
+
+    /// Number of retained spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing was recorded (or everything was evicted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Merge another trace's spans into this one (ring bound applies).
+    pub fn absorb(&mut self, other: ExecTrace) {
+        self.dropped += other.dropped;
+        for span in other.spans {
+            self.record(span);
+        }
+    }
+
+    /// Export as Chrome trace-event JSON: a `traceEvents` array of
+    /// complete (`"ph": "X"`) events plus `thread_name` metadata for
+    /// each track, loadable in `chrome://tracing` and Perfetto.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 96);
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut tracks: Vec<u32> = self.spans.iter().map(|s| s.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for t in tracks {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{t},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&track_name(t)),
+            );
+        }
+        for s in &self.spans {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{}}}",
+                escape(&s.name),
+                s.kind.as_str(),
+                s.start,
+                s.duration(),
+                s.track,
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parse a trace previously written by [`to_chrome_json`]
+    /// (metadata events are skipped). This is the test half of the
+    /// round-trip contract, not a general JSON parser: it accepts
+    /// exactly the flat object shape this module emits.
+    ///
+    /// [`to_chrome_json`]: Self::to_chrome_json
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed event.
+    pub fn parse_chrome_json(text: &str) -> Result<Vec<ExecSpan>, String> {
+        let mut spans = Vec::new();
+        for (i, obj) in ObjectScanner::new(text).enumerate() {
+            let field = |key: &str| extract_field(obj, key);
+            match field("ph") {
+                Some("M") => continue,
+                Some("X") => {}
+                other => return Err(format!("event {i}: unsupported ph {other:?}")),
+            }
+            let name = field("name").ok_or_else(|| format!("event {i}: missing name"))?;
+            let kind = field("cat")
+                .and_then(SpanKind::from_str)
+                .ok_or_else(|| format!("event {i}: bad cat"))?;
+            let num = |key: &str| -> Result<u64, String> {
+                field(key)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("event {i}: bad {key}"))
+            };
+            let (ts, dur, tid) = (num("ts")?, num("dur")?, num("tid")?);
+            spans.push(ExecSpan {
+                name: unescape(name),
+                kind,
+                track: u32::try_from(tid).map_err(|_| format!("event {i}: tid overflow"))?,
+                start: ts,
+                end: ts + dur,
+            });
+        }
+        Ok(spans)
+    }
+}
+
+/// Human-readable name for a track id.
+#[must_use]
+pub fn track_name(t: u32) -> String {
+    match t {
+        track::ENGINE => "engine".to_string(),
+        track::DMA => "dma".to_string(),
+        t if t >= track::CARD0 => format!("card {}", t - track::CARD0),
+        t => format!("track {t}"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Iterates over the top-level `{...}` objects inside the exported
+/// `traceEvents` array, honoring string quoting (the emitted objects
+/// are flat except for the one-level `args` of metadata events).
+struct ObjectScanner<'a> {
+    rest: &'a str,
+}
+
+impl<'a> ObjectScanner<'a> {
+    fn new(text: &'a str) -> Self {
+        // Skip to the start of the traceEvents array, tolerating a bare
+        // top-level array as well.
+        let rest = match text.find("\"traceEvents\"") {
+            Some(i) => &text[i..],
+            None => text,
+        };
+        Self { rest: rest.trim_start_matches(|c| c != '[') }
+    }
+}
+
+impl<'a> Iterator for ObjectScanner<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let open = self.rest.find('{')?;
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut escaped = false;
+        for (i, c) in self.rest[open..].char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escaped = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => depth += 1,
+                '}' if !in_str => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let obj = &self.rest[open..=open + i];
+                        self.rest = &self.rest[open + i + 1..];
+                        return Some(obj);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Extract the raw value of `"key":` from a flat JSON object: quoted
+/// strings come back without quotes, numbers as their digit run.
+fn extract_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Some(&stripped[..i]);
+            }
+        }
+        None
+    } else {
+        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        (end > 0).then(|| &rest[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, kind: SpanKind, track: u32, start: u64, end: u64) -> ExecSpan {
+        ExecSpan { name: name.to_string(), kind, track, start, end }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let mut t = ExecTrace::bounded(3);
+        for i in 0..5u64 {
+            t.push(format!("s{i}"), SpanKind::Phase, track::ENGINE, i, i + 1);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let names: Vec<&str> = t.spans().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["s2", "s3", "s4"], "oldest spans evicted first");
+    }
+
+    #[test]
+    fn chrome_round_trip_is_lossless() {
+        let mut t = ExecTrace::new();
+        t.record(span("QKV_CE", SpanKind::Phase, track::ENGINE, 0, 128));
+        t.record(span("DMA QKV_CE", SpanKind::Dma, track::DMA, 0, 40));
+        t.record(span("odd \"name\"\\with\nescapes", SpanKind::Tile, track::ENGINE, 5, 5));
+        let json = t.to_chrome_json();
+        let parsed = ExecTrace::parse_chrome_json(&json).expect("own output parses");
+        let original: Vec<ExecSpan> = t.spans().cloned().collect();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn export_emits_thread_names_and_complete_events() {
+        let mut t = ExecTrace::new();
+        t.record(span("FFN1_CE", SpanKind::Phase, track::ENGINE, 10, 20));
+        t.record(span("reprogram", SpanKind::Reprogram, track::CARD0 + 1, 0, 7));
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"name\":\"engine\""));
+        assert!(json.contains("\"name\":\"card 1\""));
+        assert!(json.contains("\"ts\":10,\"dur\":10"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage_fields() {
+        assert!(ExecTrace::parse_chrome_json(
+            "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"cat\":\"nope\",\
+             \"ts\":0,\"dur\":1,\"pid\":0,\"tid\":1}]}"
+        )
+        .is_err());
+        assert!(ExecTrace::parse_chrome_json(
+            "{\"traceEvents\":[{\"ph\":\"B\",\"name\":\"a\",\"cat\":\"phase\",\
+             \"ts\":0,\"dur\":1,\"pid\":0,\"tid\":1}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn absorb_merges_and_keeps_bound() {
+        let mut a = ExecTrace::bounded(2);
+        a.record(span("x", SpanKind::Batch, track::CARD0, 0, 1));
+        let mut b = ExecTrace::bounded(4);
+        b.record(span("y", SpanKind::Hedge, track::CARD0, 1, 2));
+        b.record(span("z", SpanKind::Cancel, track::CARD0, 2, 2));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped(), 1);
+        let names: Vec<&str> = a.spans().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["y", "z"]);
+    }
+}

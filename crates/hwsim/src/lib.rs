@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec_trace;
 pub mod fifo;
 pub mod kernel;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use exec_trace::{ExecSpan, ExecTrace, SpanKind};
 pub use fifo::Fifo;
 pub use kernel::{EventId, Simulator};
 pub use stats::{Counter, Histogram, Utilization};

@@ -35,4 +35,7 @@ pub use axi::AxiPort;
 pub use dma::TileTransfer;
 pub use fault::{FaultEvent, FaultKind, FaultRates, FaultStream, TransferFault};
 pub use hbm::ChannelShare;
-pub use overlap::{simulate_double_buffered, simulate_serial, OverlapReport};
+pub use overlap::{
+    simulate_double_buffered, simulate_double_buffered_spans, simulate_serial,
+    simulate_serial_spans, AccessSpans, OverlapReport,
+};

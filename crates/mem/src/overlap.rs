@@ -129,6 +129,70 @@ pub fn simulate_double_buffered(accesses: &[(Cycles, Cycles)]) -> OverlapReport 
     OverlapReport { total, load_busy, compute_busy, compute_stall: total - compute_busy }
 }
 
+/// The intervals one access occupied on the DMA and engine timelines.
+///
+/// Produced by [`simulate_double_buffered_spans`] /
+/// [`simulate_serial_spans`] for trace export: the load interval is a
+/// DMA-burst span, the compute interval a tile-visit span. Invariants
+/// (tested): per-unit intervals never overlap across accesses, and
+/// `compute_start >= load_end` for each access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSpans {
+    /// DMA burst start.
+    pub load_start: Cycles,
+    /// DMA burst end (`load_start + L`).
+    pub load_end: Cycles,
+    /// Engine visit start (never before `load_end`).
+    pub compute_start: Cycles,
+    /// Engine visit end (`compute_start + C`).
+    pub compute_end: Cycles,
+}
+
+/// [`simulate_double_buffered`] plus the per-access timeline.
+///
+/// The schedule is played out through the same recurrence the event
+/// kernel obeys (cross-checked in tests), so the returned report is
+/// identical to the event-driven one — callers that only want spans for
+/// tracing pay no behavioral difference for asking.
+#[must_use]
+pub fn simulate_double_buffered_spans(
+    accesses: &[(Cycles, Cycles)],
+) -> (OverlapReport, Vec<AccessSpans>) {
+    let n = accesses.len();
+    let mut spans: Vec<AccessSpans> = Vec::with_capacity(n);
+    let mut load_busy = Cycles::ZERO;
+    let mut compute_busy = Cycles::ZERO;
+    for (i, &(l, c)) in accesses.iter().enumerate() {
+        let prev_load = if i > 0 { spans[i - 1].load_end } else { Cycles::ZERO };
+        let buffer_free = if i >= 2 { spans[i - 2].compute_end } else { Cycles::ZERO };
+        let load_start = prev_load.max(buffer_free);
+        let load_end = load_start.saturating_add(l);
+        let prev_compute = if i > 0 { spans[i - 1].compute_end } else { Cycles::ZERO };
+        let compute_start = prev_compute.max(load_end);
+        let compute_end = compute_start.saturating_add(c);
+        spans.push(AccessSpans { load_start, load_end, compute_start, compute_end });
+        load_busy = load_busy.saturating_add(l);
+        compute_busy = compute_busy.saturating_add(c);
+    }
+    let total = spans.last().map_or(Cycles::ZERO, |s| s.compute_end);
+    (OverlapReport { total, load_busy, compute_busy, compute_stall: total - compute_busy }, spans)
+}
+
+/// [`simulate_serial`] plus the per-access timeline.
+#[must_use]
+pub fn simulate_serial_spans(accesses: &[(Cycles, Cycles)]) -> (OverlapReport, Vec<AccessSpans>) {
+    let mut spans = Vec::with_capacity(accesses.len());
+    let mut now = Cycles::ZERO;
+    for &(l, c) in accesses {
+        let load_start = now;
+        let load_end = load_start.saturating_add(l);
+        let compute_end = load_end.saturating_add(c);
+        spans.push(AccessSpans { load_start, load_end, compute_start: load_end, compute_end });
+        now = compute_end;
+    }
+    (simulate_serial(accesses), spans)
+}
+
 /// The closed-form recurrence (documentation + cross-check oracle).
 #[must_use]
 pub fn analytic_double_buffered(accesses: &[(Cycles, Cycles)]) -> Cycles {
@@ -233,6 +297,47 @@ mod tests {
         let sum_l: u64 = acc.iter().map(|a| a.0.get()).sum();
         // lower bounds: all compute, or all loads (single DMA)
         assert!(over.total.get() >= sum_c.max(sum_l));
+    }
+
+    #[test]
+    fn span_timeline_matches_event_sim_and_never_overlaps() {
+        let mut seed = 0xDEADBEEFCAFEF00Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for len in [0usize, 1, 2, 3, 8, 33, 100] {
+            let acc: Vec<(Cycles, Cycles)> =
+                (0..len).map(|_| (cy(next() % 150), cy(next() % 150))).collect();
+            let event = simulate_double_buffered(&acc);
+            let (report, spans) = simulate_double_buffered_spans(&acc);
+            assert_eq!(report, event, "len={len}");
+            assert_eq!(spans.len(), len);
+            for (i, s) in spans.iter().enumerate() {
+                assert_eq!(s.load_end - s.load_start, acc[i].0);
+                assert_eq!(s.compute_end - s.compute_start, acc[i].1);
+                assert!(s.compute_start >= s.load_end, "compute before its load, i={i}");
+                if i > 0 {
+                    assert!(s.load_start >= spans[i - 1].load_end, "DMA overlap, i={i}");
+                    assert!(s.compute_start >= spans[i - 1].compute_end, "engine overlap, i={i}");
+                }
+            }
+            if let Some(last) = spans.last() {
+                assert_eq!(last.compute_end, report.total);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_spans_match_serial_report() {
+        let acc = vec![(cy(3), cy(5)), (cy(0), cy(2)), (cy(7), cy(0))];
+        let (report, spans) = simulate_serial_spans(&acc);
+        assert_eq!(report, simulate_serial(&acc));
+        assert_eq!(spans[0].compute_end, cy(8));
+        assert_eq!(spans[1].load_start, cy(8));
+        assert_eq!(spans.last().unwrap().compute_end, report.total);
     }
 
     #[test]

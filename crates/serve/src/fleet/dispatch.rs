@@ -1,0 +1,508 @@
+//! Dispatch, completion, failure, crash, and hedging event handlers,
+//! plus the greedy dispatch loop.
+//!
+//! Every dispatch flavor runs through the same two steps: the shared
+//! reprogram-and-load (`prepare_card`) and the unified execution
+//! pipeline (`Accelerator::execute` on a [`RunPlan`]) — the only
+//! difference between flavors is which plan they build (functional vs
+//! timing vs fault-armed), not which code path they take.
+
+use super::sim::{record_span, Inflight, SimModel};
+use crate::error::ServeError;
+use crate::request::ServeResponse;
+use crate::scheduler::Batch;
+use protea_core::{CoreError, FaultKind, FaultPlan, RunPlan};
+use protea_hwsim::{Cycles, Simulator, SpanKind};
+use protea_model::{EncoderConfig, OpCount};
+use protea_tensor::Matrix;
+
+/// How a fault-injected dispatch resolved at dispatch time.
+pub(super) enum FaultyDispatch {
+    /// The batch will complete cleanly at `finish_ns`.
+    Done { finish_ns: u64 },
+    /// An unrecoverable fault will be detected at `at_ns`.
+    Failed { at_ns: u64, kind: FaultKind },
+}
+
+/// Deterministic per-request input pattern for the functional mode:
+/// id-seeded bytes over the live rows, zero padding above them.
+fn functional_inputs(batch: &Batch) -> Vec<Matrix<i8>> {
+    batch
+        .requests
+        .iter()
+        .map(|r| {
+            let live_rows = r.seq_len;
+            Matrix::from_fn(batch.runtime.seq_len, batch.runtime.d_model, move |row, col| {
+                if row < live_rows {
+                    (((r.id as usize).wrapping_mul(31) + row * 17 + col * 7) % 199) as i8
+                } else {
+                    0 // padding
+                }
+            })
+        })
+        .collect()
+}
+
+impl SimModel {
+    /// Program `card` for `batch`, pay any reload, run, and record the
+    /// member responses. Returns the completion time.
+    pub(super) fn dispatch(
+        &mut self,
+        card: usize,
+        batch: &Batch,
+        now_ns: u64,
+    ) -> Result<u64, ServeError> {
+        let reload_ns = self.prepare_card(card, batch, now_ns)?;
+        let report = if self.functional {
+            let inputs = functional_inputs(batch);
+            let (outcome, _) = self.cards[card].accel.execute(RunPlan::functional(&inputs));
+            outcome?.report
+        } else if let Some(memo) = self.memo.as_mut() {
+            // Fault-free timing is a pure function of the plan key:
+            // identical bytes to the direct call, priced once per key.
+            memo.report(&self.cards[card].accel, batch.len())
+        } else {
+            let (outcome, _) = self.cards[card].accel.execute(RunPlan::timing(batch.len()));
+            outcome?.report
+        };
+        let service_ns = (report.latency_ms() * 1e6).ceil() as u64;
+        let finish_ns = now_ns.saturating_add(reload_ns).saturating_add(service_ns);
+        let c = &mut self.cards[card];
+        c.busy = true;
+        c.busy_ns = c.busy_ns.saturating_add(reload_ns + service_ns);
+        self.batches += 1;
+        record_span(
+            &mut self.trace,
+            format!(
+                "batch x{} d{} sl{}",
+                batch.len(),
+                batch.runtime.d_model,
+                batch.runtime.seq_len
+            ),
+            SpanKind::Batch,
+            card,
+            now_ns.saturating_add(reload_ns),
+            finish_ns,
+        );
+        for r in &batch.requests {
+            // useful work is counted at the *actual* request shape
+            let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
+            self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
+            self.responses.push(ServeResponse {
+                id: r.id,
+                arrival_ns: r.arrival_ns,
+                start_ns: now_ns,
+                finish_ns,
+                card,
+                batch_size: batch.len(),
+                padded_seq_len: batch.runtime.seq_len,
+            });
+        }
+        Ok(finish_ns)
+    }
+
+    /// Program `card` for `batch` under fault injection. Unlike the
+    /// fault-free [`dispatch`](Self::dispatch), responses are **not**
+    /// recorded here — the batch is parked in `inflight` and either the
+    /// completion event records it or a failure/crash requeues it.
+    pub(super) fn dispatch_faulty(
+        &mut self,
+        card: usize,
+        batch: &Batch,
+        now_ns: u64,
+        seq: u64,
+        is_hedge: bool,
+    ) -> Result<FaultyDispatch, ServeError> {
+        let reload_ns = self.prepare_card(card, batch, now_ns)?;
+        let f = self.faulty.as_mut().expect("dispatch_faulty requires fault state");
+        let c = &mut self.cards[card];
+        let fmax_mhz = c.accel.design().fmax_mhz;
+        let cycles_to_ns = |cycles: u64| (cycles as f64 * 1e3 / fmax_mhz).ceil() as u64;
+        let (outcome, stats) =
+            c.accel.execute(RunPlan::timing(batch.len()).with_faults(FaultPlan {
+                stream: &mut f.streams[card],
+                watchdog: f.watchdog,
+                retry: f.retry,
+                now_ns,
+            }));
+        f.stats.merge(&stats);
+        let dispatched = match outcome {
+            Ok(run) => {
+                let service_ns = (run.report.latency_ms() * 1e6).ceil() as u64;
+                let finish_ns = now_ns.saturating_add(reload_ns).saturating_add(service_ns);
+                c.busy_ns = c.busy_ns.saturating_add(reload_ns + service_ns);
+                FaultyDispatch::Done { finish_ns }
+            }
+            Err(CoreError::Fault { kind, .. }) => {
+                // The card is occupied until the driver detects the
+                // fatal fault and gives up.
+                let abort_ns = cycles_to_ns(stats.abort_cycles);
+                let at_ns = now_ns.saturating_add(reload_ns).saturating_add(abort_ns);
+                c.busy_ns = c.busy_ns.saturating_add(reload_ns + abort_ns);
+                FaultyDispatch::Failed { at_ns, kind }
+            }
+            Err(other) => return Err(other.into()),
+        };
+        let resolve_ns = match &dispatched {
+            FaultyDispatch::Done { finish_ns } => *finish_ns,
+            FaultyDispatch::Failed { at_ns, .. } => *at_ns,
+        };
+        c.busy = true;
+        f.inflight[card] =
+            Some(Inflight { batch: batch.clone(), seq, resolve_ns, is_hedge, partner: None });
+        let (kind, name) = match &dispatched {
+            FaultyDispatch::Done { .. } if is_hedge => {
+                (SpanKind::Hedge, format!("hedge x{} seq{seq}", batch.len()))
+            }
+            FaultyDispatch::Done { .. } => {
+                (SpanKind::Batch, format!("batch x{} seq{seq}", batch.len()))
+            }
+            FaultyDispatch::Failed { kind, .. } => {
+                (SpanKind::Batch, format!("abort {kind:?} seq{seq}"))
+            }
+        };
+        record_span(
+            &mut self.trace,
+            name,
+            kind,
+            card,
+            now_ns.saturating_add(reload_ns),
+            resolve_ns,
+        );
+        Ok(dispatched)
+    }
+
+    /// A fault-injected batch completed: free the card, record the
+    /// member responses, and credit the card's health. No-op if the
+    /// card crashed while the batch was in flight (stale epoch).
+    pub(super) fn complete_faulty(
+        &mut self,
+        card: usize,
+        epoch: u64,
+        start_ns: u64,
+        finish_ns: u64,
+    ) {
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.epochs[card] != epoch {
+            return;
+        }
+        let Some(inflight) = f.inflight[card].take() else { return };
+        // First completion of a hedged pair wins: cancel the loser by
+        // bumping its epoch (its pending completion/failure event goes
+        // stale) and refund the busy time it will no longer spend. The
+        // responses below are recorded exactly once, by this winner.
+        if let Some(p) = inflight.partner {
+            if f.inflight[p].as_ref().is_some_and(|l| l.seq == inflight.seq) {
+                let loser = f.inflight[p].take().expect("pair checked above");
+                f.epochs[p] += 1;
+                f.hedge_cancels += 1;
+                if inflight.is_hedge {
+                    f.hedge_wins += 1;
+                }
+                self.cards[p].busy = false;
+                self.cards[p].busy_ns = self.cards[p]
+                    .busy_ns
+                    .saturating_sub(loser.resolve_ns.saturating_sub(finish_ns));
+                record_span(
+                    &mut self.trace,
+                    format!("hedge cancel seq{}", inflight.seq),
+                    SpanKind::Cancel,
+                    p,
+                    finish_ns,
+                    loser.resolve_ns,
+                );
+            }
+        }
+        f.monitors[card].record_success();
+        f.svc.record(finish_ns.saturating_sub(start_ns));
+        if let Some(l) = f.limiter.as_mut() {
+            l.on_success();
+        }
+        self.cards[card].busy = false;
+        self.batches += 1;
+        let batch = inflight.batch;
+        for r in &batch.requests {
+            f.prio_completed[r.priority.index()] += 1;
+            if r.within_deadline(finish_ns) {
+                f.good_completions += 1;
+                f.prio_good[r.priority.index()] += 1;
+            }
+            let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
+            self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
+            self.responses.push(ServeResponse {
+                id: r.id,
+                arrival_ns: r.arrival_ns,
+                start_ns,
+                finish_ns,
+                card,
+                batch_size: batch.len(),
+                padded_seq_len: batch.runtime.seq_len,
+            });
+        }
+    }
+
+    /// The driver gave up on a batch at `now_ns`: free the card, trip
+    /// its breaker, and requeue the batch onto survivors. No-op on a
+    /// stale epoch (the card crashed first and already requeued it).
+    pub(super) fn fail_faulty(&mut self, card: usize, epoch: u64, now_ns: u64, kind: FaultKind) {
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.epochs[card] != epoch {
+            return;
+        }
+        let Some(inflight) = f.inflight[card].take() else { return };
+        f.monitors[card].record_failure(now_ns);
+        if let Some(l) = f.limiter.as_mut() {
+            l.on_overload();
+        }
+        self.cards[card].busy = false;
+        // A leg of a hedged pair that fails while its partner still runs
+        // dissolves the pair: the survivor keeps sole responsibility,
+        // nothing requeues, nothing is double-counted.
+        if let Some(p) = inflight.partner {
+            if let Some(other) = f.inflight[p].as_mut() {
+                if other.seq == inflight.seq {
+                    other.partner = None;
+                    return;
+                }
+            }
+        }
+        self.requeue_or_fail(inflight.batch, kind);
+        self.fail_all_pending_if_dead();
+    }
+
+    /// Card `card` dropped off the bus at `now_ns`: kill it, invalidate
+    /// any in-flight completion/failure events, and requeue its batch.
+    pub(super) fn crash_card(&mut self, card: usize, _now_ns: u64) {
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.monitors[card].health() == crate::health::CardHealth::Dead {
+            return;
+        }
+        f.crashes += 1;
+        f.epochs[card] += 1;
+        f.monitors[card].kill();
+        self.cards[card].busy = false;
+        if let Some(inflight) = f.inflight[card].take() {
+            // If the crashed card was one leg of a hedged pair and the
+            // other leg is still running, that survivor owns the batch —
+            // requeueing here would serve it twice.
+            let partner_alive = inflight.partner.is_some_and(|p| {
+                f.inflight[p].as_ref().is_some_and(|other| other.seq == inflight.seq)
+            });
+            if partner_alive {
+                let p = inflight.partner.expect("checked above");
+                f.inflight[p].as_mut().expect("checked above").partner = None;
+            } else {
+                self.requeue_or_fail(inflight.batch, FaultKind::CardCrash);
+            }
+        }
+        self.fail_all_pending_if_dead();
+    }
+
+    /// Hedge the batch dispatched as `seq` on `card`, if it is still in
+    /// flight, un-hedged, and a second healthy card sits idle: re-issue
+    /// it there and link the two legs. Returns the new leg's
+    /// `(card, epoch, outcome)` for event scheduling, or `None` when
+    /// hedging is moot (already resolved, already hedged, no free card).
+    pub(super) fn start_hedge(
+        &mut self,
+        card: usize,
+        seq: u64,
+        now_ns: u64,
+    ) -> Result<Option<(usize, u64, FaultyDispatch)>, ServeError> {
+        let f = self.faulty.as_ref().expect("fault state");
+        let still_running =
+            f.inflight[card].as_ref().is_some_and(|i| i.seq == seq && i.partner.is_none());
+        if !still_running {
+            return Ok(None);
+        }
+        let Some(hedge_card) = self.free_card(now_ns) else { return Ok(None) };
+        let batch = self.faulty.as_ref().expect("fault state").inflight[card]
+            .as_ref()
+            .expect("still running")
+            .batch
+            .clone();
+        let outcome = self.dispatch_faulty(hedge_card, &batch, now_ns, seq, true)?;
+        let f = self.faulty.as_mut().expect("fault state");
+        f.hedges += 1;
+        f.inflight[hedge_card].as_mut().expect("just dispatched").partner = Some(card);
+        f.inflight[card].as_mut().expect("still running").partner = Some(hedge_card);
+        Ok(Some((hedge_card, f.epochs[hedge_card], outcome)))
+    }
+}
+
+/// Greedy dispatch: while a card is free (and, under fault injection,
+/// alive with a closed circuit) and a batch is ready, pair them; then
+/// arm wake-ups for the earliest waiting partial batch and the earliest
+/// circuit cooldown.
+pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
+    if m.error.is_some() {
+        return;
+    }
+    let now = sim.now().get();
+    // Deadline-aware flush: expired requests are shed *before* the
+    // dispatch loop below can pair them with a card.
+    m.shed_expired(now);
+    while let Some(card) = m.free_card(now) {
+        let mut ready = m.scheduler.pop_ready(now);
+        if ready.is_none() {
+            // Deadline-aware flush, part two: a partial batch whose
+            // deadline is closer than the observed p99 service time
+            // dispatches now — waiting out the generic batching window
+            // would guarantee it expires in queue.
+            if let Some(f) = m.faulty.as_ref().filter(|f| f.track_deadlines) {
+                ready = m.scheduler.pop_urgent(now, f.svc.p99_ns());
+            }
+        }
+        let Some(batch) = ready else { break };
+        if m.faulty.is_some() {
+            let seq = {
+                let f = m.faulty.as_mut().expect("fault state");
+                f.batch_seq += 1;
+                f.batch_seq
+            };
+            match m.dispatch_faulty(card, &batch, now, seq, false) {
+                Ok(outcome) => {
+                    let epoch = m.faulty.as_ref().expect("fault state").epochs[card];
+                    schedule_leg(sim, card, epoch, now, outcome);
+                    arm_hedge(sim, m, card, seq, now);
+                }
+                Err(e) => {
+                    m.error = Some(e);
+                    return;
+                }
+            }
+        } else {
+            match m.dispatch(card, &batch, now) {
+                Ok(finish_ns) => {
+                    sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
+                        m.cards[card].busy = false;
+                        dispatch_all(sim, m);
+                    });
+                }
+                Err(e) => {
+                    m.error = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+    // A partial batch left waiting needs a wake-up at its deadline; one
+    // already overdue (deadline ≤ now with every card busy) is picked up
+    // by the next completion's dispatch_all.
+    if let Some(deadline) = m.scheduler.next_flush_deadline_ns() {
+        let stale = m.next_flush.is_none_or(|t| t <= now || deadline < t);
+        if deadline > now && stale {
+            m.next_flush = Some(deadline);
+            sim.schedule_at(Cycles(deadline), |sim, m: &mut SimModel| dispatch_all(sim, m));
+        }
+    }
+    // A queued request with a deadline needs a wake-up: early enough to
+    // flush its batch while it can still complete in time (deadline
+    // minus the p99 service estimate), or at the deadline itself so it
+    // is shed promptly rather than only at the next arrival or
+    // completion event.
+    if m.faulty.as_ref().is_some_and(|f| f.track_deadlines) {
+        let headroom = m.faulty.as_ref().and_then(|f| f.svc.p99_ns());
+        if let Some(d) = m.scheduler.next_deadline_wake_ns(now, headroom) {
+            let f = m.faulty.as_mut().expect("fault state");
+            let stale = f.deadline_wake.is_none_or(|t| t <= now || d < t);
+            if d > now && stale {
+                f.deadline_wake = Some(d);
+                sim.schedule_at(Cycles(d), |sim, m: &mut SimModel| dispatch_all(sim, m));
+            }
+        }
+    }
+    // If work is pending and some idle card is only blocked by an open
+    // circuit, wake up when the earliest cooldown expires — otherwise a
+    // fleet of tripped-but-alive cards would hang.
+    if m.scheduler.pending() > 0 {
+        if let Some(f) = m.faulty.as_ref() {
+            let wake = m
+                .cards
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.busy)
+                .filter_map(|(i, _)| f.monitors[i].open_until_ns())
+                .filter(|&t| t > now)
+                .min();
+            if let Some(t) = wake {
+                let stale = f.breaker_wake.is_none_or(|w| w <= now || t < w);
+                if stale {
+                    m.faulty.as_mut().expect("fault state").breaker_wake = Some(t);
+                    sim.schedule_at(Cycles(t), |sim, m: &mut SimModel| dispatch_all(sim, m));
+                }
+            }
+        }
+    }
+}
+
+/// Schedule the completion or failure event for one dispatched leg
+/// (primary or hedge). The captured epoch makes the event a no-op if the
+/// card crashed — or the leg was cancelled by a hedge win — first.
+pub(super) fn schedule_leg(
+    sim: &mut Simulator<SimModel>,
+    card: usize,
+    epoch: u64,
+    start_ns: u64,
+    outcome: FaultyDispatch,
+) {
+    match outcome {
+        FaultyDispatch::Done { finish_ns } => {
+            sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
+                if m.error.is_some() {
+                    return;
+                }
+                m.complete_faulty(card, epoch, start_ns, finish_ns);
+                dispatch_all(sim, m);
+            });
+        }
+        FaultyDispatch::Failed { at_ns, kind } => {
+            sim.schedule_at(Cycles(at_ns), move |sim, m: &mut SimModel| {
+                if m.error.is_some() {
+                    return;
+                }
+                m.fail_faulty(card, epoch, at_ns, kind);
+                dispatch_all(sim, m);
+            });
+        }
+    }
+}
+
+/// Arm a hedge check for the batch just dispatched as `seq` on `card`:
+/// after the p99-derived delay, if the leg is still in flight, re-issue
+/// it on a second healthy idle card (the check itself decides — the
+/// batch may long since have completed, failed, or crashed away).
+pub(super) fn arm_hedge(
+    sim: &mut Simulator<SimModel>,
+    m: &mut SimModel,
+    card: usize,
+    seq: u64,
+    now: u64,
+) {
+    if m.cards.len() < 2 {
+        return;
+    }
+    let f = m.faulty.as_ref().expect("fault state");
+    let Some(h) = f.hedge else { return };
+    let hedge_at = now.saturating_add(f.svc.hedge_delay_ns(&h));
+    let resolve_ns = f.inflight[card].as_ref().map_or(0, |i| i.resolve_ns);
+    // The simulation already knows when this leg resolves; a hedge that
+    // could only fire afterwards is pointless, so skip the event. (A
+    // real fleet schedules the timer unconditionally and finds the work
+    // gone — same outcome, fewer events.)
+    if hedge_at >= resolve_ns {
+        return;
+    }
+    sim.schedule_at(Cycles(hedge_at), move |sim, m: &mut SimModel| {
+        if m.error.is_some() {
+            return;
+        }
+        match m.start_hedge(card, seq, hedge_at) {
+            Ok(Some((hedge_card, epoch, outcome))) => {
+                schedule_leg(sim, hedge_card, epoch, hedge_at, outcome);
+            }
+            Ok(None) => {}
+            Err(e) => m.error = Some(e),
+        }
+    });
+}

@@ -1,0 +1,302 @@
+//! The card fleet and the discrete-event queueing simulation.
+//!
+//! A [`Fleet`] models N identical ProTEA cards, each one a
+//! `protea_core::Accelerator` synthesized from the same bitstream. The
+//! serving loop is a discrete-event simulation on `protea_hwsim`'s
+//! kernel with **nanoseconds** as the tick unit:
+//!
+//! * an *arrival* event admits a request to the [`BatchScheduler`];
+//! * a *dispatch* programs a free card (register writes, plus a weight
+//!   reload when the card was last serving a different capacity class),
+//!   runs the batch through the unified execution pipeline
+//!   (`Accelerator::execute` on a `RunPlan`), and converts the
+//!   resulting report latency to a service interval;
+//! * a *completion* frees the card and greedily re-dispatches.
+//!
+//! With a [`FaultConfig`] attached, the same simulation runs under
+//! deterministic fault injection: per-card seeded `FaultStream`s feed
+//! the driver's fault-aware timing path, unrecoverable faults and card
+//! crashes requeue the in-flight batch onto surviving cards (bounded by
+//! a per-request attempt budget), and a per-card circuit breaker rests
+//! failing cards. Every submitted request ends in exactly one of
+//! `completed` or `failed` — none is ever silently dropped. Without a
+//! `FaultConfig` the code path is byte-for-byte the fault-free one, so
+//! fault-free reports are bit-identical to earlier releases.
+//!
+//! The overload-control layer rides the same managed simulation: a
+//! bounded [`BatchPolicy::max_queue`] plus an optional
+//! [`OverloadConfig`] (AIMD concurrency limit, retry budget, hedged
+//! dispatch) and per-request deadlines/priorities turn unbounded
+//! queueing into *load shedding* with typed accounting — every
+//! submitted request ends in exactly one of `completed`, `shed`,
+//! `expired`, or `failed`. With none of those knobs set (and no
+//! deadlines in the trace) the fault-free fast path is untouched.
+//!
+//! Everything user-supplied (trace shapes, arrival times) flows through
+//! `Result` — a hostile trace can be rejected, never panic.
+//!
+//! ## Module layout
+//!
+//! * [`card`] — per-card state: the accelerator, the loaded weight
+//!   class, and the reprogram-and-load step every dispatch flavor
+//!   shares;
+//! * [`sim`] — the mutable DES model (`SimModel`), fault/overload
+//!   state, and admission control;
+//! * [`dispatch`] — the dispatch, completion, failure, crash, and
+//!   hedging event handlers plus the greedy dispatch loop;
+//! * [`report`] — final [`ServeReport`] assembly.
+//!
+//! ## Tracing
+//!
+//! [`Fleet::serve_traced`] runs the identical simulation with a
+//! fleet-level span recorder armed: every reprogram, batch service
+//! window, hedge leg, and hedge cancellation lands in a bounded
+//! [`ExecTrace`] ring buffer on per-card tracks, exportable as Chrome
+//! trace-event JSON. Tracing is observational — the report of a traced
+//! run is byte-identical to the untraced one.
+
+mod card;
+mod dispatch;
+mod report;
+mod sim;
+#[cfg(test)]
+mod tests;
+
+use crate::error::ServeError;
+use crate::faults::FaultConfig;
+use crate::overload::OverloadConfig;
+use crate::report::ServeReport;
+use crate::request::ServeResponse;
+use crate::scheduler::{BatchPolicy, BatchScheduler};
+use crate::trace::Workload;
+use dispatch::dispatch_all;
+use protea_core::{Accelerator, CoreError, SynthesisConfig};
+use protea_hwsim::{Cycles, ExecTrace, Simulator};
+use protea_platform::FpgaDevice;
+use sim::SimModel;
+
+/// Fleet construction parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of cards (each gets the same bitstream).
+    pub cards: usize,
+    /// The bitstream all cards are synthesized from.
+    pub synthesis: SynthesisConfig,
+    /// The device every card is built on.
+    pub device: FpgaDevice,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// When `true`, every batch also executes the bit-exact functional
+    /// datapath (slow; service time is identical either way because the
+    /// timing model is deterministic).
+    pub functional: bool,
+    /// Host→card weight-reload bandwidth in GB/s (1 GB/s = 1 byte/ns),
+    /// pricing the reprogram penalty a batch pays when its card was
+    /// serving a different capacity class.
+    pub reload_gbps: f64,
+    /// Fault injection and graceful-degradation policy. `None` (the
+    /// default) is the exact fault-free simulation of earlier releases.
+    pub faults: Option<FaultConfig>,
+    /// Overload controls (AIMD admission, retry budget, hedging).
+    /// `None` — or a config with every knob off — changes nothing.
+    pub overload: Option<OverloadConfig>,
+    /// Memoize fault-free batch timing per deterministic-plan key
+    /// (see [`TimingMemo`](crate::memo::TimingMemo)). Byte-identical
+    /// reports either way; `true` (the default) makes large serving
+    /// sweeps dramatically cheaper to simulate.
+    pub timing_memo: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            cards: 2,
+            synthesis: SynthesisConfig::paper_default(),
+            device: FpgaDevice::alveo_u55c(),
+            policy: BatchPolicy::default(),
+            functional: false,
+            reload_gbps: 12.0,
+            faults: None,
+            overload: None,
+            timing_memo: true,
+        }
+    }
+}
+
+/// A fleet of simulated ProTEA cards behind one batch scheduler.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Validate the configuration and build the fleet.
+    ///
+    /// # Errors
+    /// [`ServeError::NoCards`] for an empty fleet;
+    /// [`ServeError::Core`] (`Infeasible`) when the bitstream does not
+    /// fit the device.
+    pub fn try_new(config: FleetConfig) -> Result<Self, ServeError> {
+        if config.cards == 0 {
+            return Err(ServeError::NoCards);
+        }
+        if config.reload_gbps.is_nan() || config.reload_gbps <= 0.0 {
+            return Err(ServeError::Core(CoreError::InvalidConfig(
+                "reload_gbps must be positive".into(),
+            )));
+        }
+        if let Some(f) = &config.faults {
+            f.rates.validate().map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
+            if f.max_request_attempts == 0 {
+                return Err(ServeError::Core(CoreError::InvalidConfig(
+                    "max_request_attempts must be at least 1".into(),
+                )));
+            }
+        }
+        if let Some(o) = &config.overload {
+            o.validate().map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
+        }
+        if config.policy.max_queue == Some(0) {
+            return Err(ServeError::Core(CoreError::InvalidConfig(
+                "policy.max_queue must be at least 1 when set".into(),
+            )));
+        }
+        // Fail now, not at dispatch time, if the design cannot exist.
+        Accelerator::try_new(config.synthesis, &config.device)?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Serve `workload` with batching across all cards. Returns the
+    /// aggregate report.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptyTrace`] for an empty workload;
+    /// [`ServeError::Unservable`] when a request exceeds the synthesized
+    /// capacity; [`ServeError::Core`] if the hardware layer rejects a
+    /// dispatch (unreachable for admitted requests, but surfaced rather
+    /// than unwrapped).
+    pub fn serve(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
+        Ok(self.run_sim(workload, false)?.into_report())
+    }
+
+    /// Like [`serve`](Self::serve), but also returns the individual
+    /// completion records, so callers (property tests, traces) can audit
+    /// per-request outcomes — e.g. that hedging never records a request
+    /// twice.
+    ///
+    /// # Errors
+    /// Same conditions as [`serve`](Self::serve).
+    pub fn serve_with_responses(
+        &self,
+        workload: &Workload,
+    ) -> Result<(ServeReport, Vec<ServeResponse>), ServeError> {
+        let model = self.run_sim(workload, false)?;
+        let responses = model.responses.clone();
+        Ok((model.into_report(), responses))
+    }
+
+    /// Like [`serve`](Self::serve), but with the fleet-level span
+    /// recorder armed: reprograms, batch service windows, hedge legs,
+    /// and hedge cancellations land on per-card tracks in the returned
+    /// [`ExecTrace`] (export with
+    /// [`ExecTrace::to_chrome_json`]). The report is byte-identical to
+    /// the untraced run — tracing never perturbs the schedule.
+    ///
+    /// # Errors
+    /// Same conditions as [`serve`](Self::serve).
+    pub fn serve_traced(
+        &self,
+        workload: &Workload,
+    ) -> Result<(ServeReport, ExecTrace), ServeError> {
+        let mut model = self.run_sim(workload, true)?;
+        let trace = model.trace.take().expect("traced run records a trace");
+        Ok((model.into_report(), trace))
+    }
+
+    fn run_sim(&self, workload: &Workload, traced: bool) -> Result<SimModel, ServeError> {
+        if workload.requests.is_empty() {
+            return Err(ServeError::EmptyTrace);
+        }
+        // The managed path carries fault *and* overload machinery; it is
+        // entered only when some knob needs it, so a plain fleet keeps
+        // the historical fault-free fast path byte-for-byte.
+        let managed = self.config.faults.is_some()
+            || self.config.overload.as_ref().is_some_and(OverloadConfig::any)
+            || self.config.policy.max_queue.is_some()
+            || workload.requests.iter().any(|r| r.deadline_ns.is_some());
+        let mut model = SimModel::build(&self.config, managed, traced)?;
+        let mut sim = Simulator::<SimModel>::new();
+        for req in workload.requests.iter().copied() {
+            sim.schedule_at(Cycles(req.arrival_ns), move |sim, m: &mut SimModel| {
+                if m.error.is_some() {
+                    return;
+                }
+                if m.faulty.is_some() {
+                    m.admit(req, sim.now().get());
+                } else if let Err(e) = m.scheduler.push(req) {
+                    m.error = Some(e);
+                    return;
+                }
+                dispatch_all(sim, m);
+            });
+        }
+        // Card-crash events: each card's crash timestamp is drawn once,
+        // up front, so the draw order (and thus the whole run) is
+        // deterministic in the seed.
+        if let Some(f) = model.faulty.as_mut() {
+            f.submitted = workload.requests.len();
+            f.track_deadlines = workload.requests.iter().any(|r| r.deadline_ns.is_some());
+            let crashes: Vec<(usize, u64)> = f
+                .streams
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(card, s)| s.crash_at_ns().map(|at| (card, at)))
+                .collect();
+            for (card, at) in crashes {
+                sim.schedule_at(Cycles(at), move |sim, m: &mut SimModel| {
+                    if m.error.is_some() {
+                        return;
+                    }
+                    m.crash_card(card, sim.now().get());
+                    dispatch_all(sim, m);
+                });
+            }
+        }
+        sim.run(&mut model);
+        if let Some(e) = model.error {
+            return Err(e);
+        }
+        Ok(model)
+    }
+
+    /// The baseline the batched fleet is judged against: one card, no
+    /// batching — every request runs alone (still padded to its bucket),
+    /// in arrival order.
+    ///
+    /// # Errors
+    /// Same conditions as [`serve`](Self::serve).
+    pub fn serve_serial_baseline(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
+        if workload.requests.is_empty() {
+            return Err(ServeError::EmptyTrace);
+        }
+        let single = FleetConfig { cards: 1, ..self.config.clone() };
+        let mut m = SimModel::build(&single, false, false)?;
+        let mut free_at = 0u64;
+        for req in &workload.requests {
+            // admission check through the same scheduler validation
+            let mut probe = BatchScheduler::new(single.policy.clone(), single.synthesis);
+            probe.push(*req)?;
+            let batch = probe.pop_any().ok_or(ServeError::EmptyTrace)?;
+            let start = free_at.max(req.arrival_ns);
+            let finish = m.dispatch(0, &batch, start)?;
+            free_at = finish;
+        }
+        Ok(m.into_report())
+    }
+}

@@ -1,0 +1,58 @@
+//! Final [`ServeReport`] assembly from the finished simulation model.
+
+use super::sim::SimModel;
+use crate::health::CardMonitor;
+use crate::report::{FaultOutcome, PrioritySlo, ServeReport};
+use crate::request::Priority;
+
+impl SimModel {
+    /// Fold the finished run into its aggregate report. Memo counters
+    /// ride along as observability fields — they never participate in
+    /// report equality, so memoized and unmemoized runs stay
+    /// byte-identical where it matters.
+    pub(super) fn into_report(self) -> ServeReport {
+        let (memo_hits, memo_misses) =
+            self.memo.as_ref().map_or((0, 0), |m| (m.hits(), m.misses()));
+        let busy: Vec<u64> = self.cards.iter().map(|c| c.busy_ns).collect();
+        let report = ServeReport::from_responses(
+            &self.responses,
+            self.ops_total,
+            self.batches,
+            self.reprograms,
+            &busy,
+        );
+        let mut report = match self.faulty {
+            None => report,
+            Some(f) => {
+                let slo: Vec<PrioritySlo> = Priority::ALL
+                    .iter()
+                    .map(|&p| PrioritySlo {
+                        priority: p,
+                        submitted: f.prio_submitted[p.index()],
+                        completed: f.prio_completed[p.index()],
+                        within_deadline: f.prio_good[p.index()],
+                    })
+                    .filter(|s| s.submitted > 0)
+                    .collect();
+                report.with_faults(FaultOutcome {
+                    submitted: f.submitted,
+                    failed: f.failed,
+                    retried: f.retried,
+                    crashes: f.crashes,
+                    faults: f.stats,
+                    card_health: f.monitors.iter().map(CardMonitor::health).collect(),
+                    shed: f.shed,
+                    expired: f.expired,
+                    completed_in_deadline: f.track_deadlines.then_some(f.good_completions),
+                    hedges: f.hedges,
+                    hedge_wins: f.hedge_wins,
+                    hedge_cancels: f.hedge_cancels,
+                    slo,
+                })
+            }
+        };
+        report.memo_hits = memo_hits;
+        report.memo_misses = memo_misses;
+        report
+    }
+}

@@ -1,0 +1,359 @@
+//! The mutable DES model: per-run state, fault/overload bookkeeping,
+//! and admission control.
+//!
+//! [`SimModel`] is the single state value the event kernel mutates.
+//! Construction ([`SimModel::build`]) decides once whether the run is
+//! *managed* (fault injection, overload control, deadlines, or a
+//! bounded queue) — an unmanaged run never allocates any of that
+//! machinery and follows the historical fault-free path byte-for-byte.
+
+use super::card::Card;
+use super::FleetConfig;
+use crate::error::ServeError;
+use crate::faults::{FailReason, FailedRequest, FaultConfig};
+use crate::health::CardMonitor;
+use crate::memo::TimingMemo;
+use crate::overload::{AimdLimiter, HedgeConfig, RetryBudget, ServiceTimeTracker};
+use crate::request::{CapacityClass, ServeRequest, ServeResponse};
+use crate::scheduler::{Batch, BatchScheduler};
+use protea_core::{Accelerator, FaultStats, FaultStream};
+use protea_hwsim::exec_trace::{track, ExecTrace, SpanKind};
+use protea_model::QuantizedEncoder;
+use std::collections::BTreeMap;
+
+/// All mutable simulation state (the DES model type).
+pub(super) struct SimModel {
+    pub(super) scheduler: BatchScheduler,
+    pub(super) cards: Vec<Card>,
+    pub(super) responses: Vec<ServeResponse>,
+    pub(super) weights: BTreeMap<CapacityClass, QuantizedEncoder>,
+    pub(super) functional: bool,
+    pub(super) reload_gbps: f64,
+    pub(super) ops_total: u64,
+    pub(super) batches: u64,
+    pub(super) reprograms: u64,
+    pub(super) next_flush: Option<u64>,
+    pub(super) error: Option<ServeError>,
+    /// Fault-injection state; `None` keeps the exact fault-free path.
+    pub(super) faulty: Option<FaultState>,
+    /// Timing cache for the fault-free dispatch path (`None` = off).
+    pub(super) memo: Option<TimingMemo>,
+    /// Fleet-level span recorder (`None` = untraced; recording is
+    /// observational and never perturbs the schedule).
+    pub(super) trace: Option<ExecTrace>,
+}
+
+/// Everything the fault-injected simulation tracks on top of the
+/// fault-free model.
+pub(super) struct FaultState {
+    pub(super) watchdog: protea_core::Watchdog,
+    pub(super) retry: protea_core::RetryPolicy,
+    pub(super) max_request_attempts: u32,
+    /// One seeded fault source per card.
+    pub(super) streams: Vec<FaultStream>,
+    /// Per-card health + circuit breaker.
+    pub(super) monitors: Vec<CardMonitor>,
+    /// Per-card dispatch epoch. The DES kernel cannot cancel scheduled
+    /// events, so a crash bumps the card's epoch and any in-flight
+    /// completion/failure event that captured the old epoch no-ops.
+    pub(super) epochs: Vec<u64>,
+    /// The batch currently running on each card, held so a crash or
+    /// failure can requeue it.
+    pub(super) inflight: Vec<Option<Inflight>>,
+    /// Failed dispatch attempts per request id (bounds requeues).
+    pub(super) attempts: BTreeMap<u64, u32>,
+    pub(super) failed: Vec<FailedRequest>,
+    pub(super) retried: u64,
+    pub(super) crashes: u64,
+    pub(super) stats: FaultStats,
+    pub(super) submitted: usize,
+    /// Dedup for scheduled circuit-breaker cooldown wake-ups.
+    pub(super) breaker_wake: Option<u64>,
+    // --- overload control (all optional; defaults change nothing) ---
+    /// AIMD concurrency limiter over requests in the system.
+    pub(super) limiter: Option<AimdLimiter>,
+    /// Fleet-wide token bucket bounding post-fault requeues.
+    pub(super) retry_budget: Option<RetryBudget>,
+    /// Hedged-dispatch policy.
+    pub(super) hedge: Option<HedgeConfig>,
+    /// Observed batch service times, feeding the p99 hedge delay.
+    pub(super) svc: ServiceTimeTracker,
+    /// Requests shed at admission (queue cap / concurrency limit).
+    pub(super) shed: Vec<FailedRequest>,
+    /// Requests dropped in queue at their deadline.
+    pub(super) expired: Vec<FailedRequest>,
+    /// Per-priority submitted/completed/deadline-met counters, indexed
+    /// by [`Priority::index`](crate::request::Priority::index).
+    pub(super) prio_submitted: [usize; 3],
+    pub(super) prio_completed: [usize; 3],
+    pub(super) prio_good: [usize; 3],
+    /// Completions that met their deadline.
+    pub(super) good_completions: usize,
+    /// Whether any request in the workload carries a deadline (gates
+    /// expiry sweeps and goodput-vs-throughput reporting).
+    pub(super) track_deadlines: bool,
+    /// Monotone dispatch id; a hedge leg shares its primary's seq.
+    pub(super) batch_seq: u64,
+    pub(super) hedges: u64,
+    pub(super) hedge_wins: u64,
+    pub(super) hedge_cancels: u64,
+    /// Dedup for scheduled request-deadline wake-ups.
+    pub(super) deadline_wake: Option<u64>,
+}
+
+pub(super) struct Inflight {
+    pub(super) batch: Batch,
+    /// Dispatch id, shared by the two legs of a hedged pair.
+    pub(super) seq: u64,
+    /// When the scheduled completion/failure event will fire — the
+    /// busy time refunded if this leg is cancelled by a hedge win.
+    pub(super) resolve_ns: u64,
+    /// Whether this leg is the hedge (second) dispatch of its seq.
+    pub(super) is_hedge: bool,
+    /// The card running the other leg of this seq, if hedged.
+    pub(super) partner: Option<usize>,
+}
+
+/// Record a fleet-level span on `card`'s track, if tracing is armed.
+/// Zero-length spans are skipped (nothing happened). A free function
+/// over the `Option` so callers can record while other `SimModel`
+/// fields are mutably borrowed.
+pub(super) fn record_span(
+    trace: &mut Option<ExecTrace>,
+    name: String,
+    kind: SpanKind,
+    card: usize,
+    start_ns: u64,
+    end_ns: u64,
+) {
+    if let Some(tr) = trace.as_mut() {
+        if end_ns > start_ns {
+            tr.push(name, kind, track::CARD0 + card as u32, start_ns, end_ns);
+        }
+    }
+}
+
+impl SimModel {
+    pub(super) fn build(
+        config: &FleetConfig,
+        managed: bool,
+        traced: bool,
+    ) -> Result<Self, ServeError> {
+        let mut cards = Vec::with_capacity(config.cards);
+        for _ in 0..config.cards {
+            cards.push(Card {
+                accel: Accelerator::try_new(config.synthesis, &config.device)?,
+                loaded_class: None,
+                busy: false,
+                busy_ns: 0,
+            });
+        }
+        // A managed run without an explicit `FaultConfig` uses the
+        // zero-rate default, which is proven to reproduce the fault-free
+        // schedule bit-exactly — overload control never perturbs timing.
+        let fault_default = FaultConfig::default();
+        let f = config.faults.as_ref().unwrap_or(&fault_default);
+        let ov = config.overload.unwrap_or_default();
+        let faulty = managed.then(|| FaultState {
+            watchdog: f.watchdog,
+            retry: f.retry,
+            max_request_attempts: f.max_request_attempts,
+            streams: (0..config.cards)
+                .map(|card| {
+                    FaultStream::seeded(f.seed, card, f.rates).with_events(
+                        f.events.iter().filter(|e| e.card == card).map(|e| (e.at_ns, e.kind)),
+                    )
+                })
+                .collect(),
+            monitors: vec![CardMonitor::new(f.breaker); config.cards],
+            epochs: vec![0; config.cards],
+            inflight: (0..config.cards).map(|_| None).collect(),
+            attempts: BTreeMap::new(),
+            failed: Vec::new(),
+            retried: 0,
+            crashes: 0,
+            stats: FaultStats::default(),
+            submitted: 0,
+            breaker_wake: None,
+            limiter: ov.aimd.map(AimdLimiter::new),
+            retry_budget: ov.retry_budget.map(RetryBudget::new),
+            hedge: ov.hedge,
+            svc: ServiceTimeTracker::default(),
+            shed: Vec::new(),
+            expired: Vec::new(),
+            prio_submitted: [0; 3],
+            prio_completed: [0; 3],
+            prio_good: [0; 3],
+            good_completions: 0,
+            track_deadlines: false,
+            batch_seq: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            hedge_cancels: 0,
+            deadline_wake: None,
+        });
+        Ok(Self {
+            scheduler: BatchScheduler::new(config.policy.clone(), config.synthesis),
+            cards,
+            responses: Vec::new(),
+            weights: BTreeMap::new(),
+            functional: config.functional,
+            reload_gbps: config.reload_gbps,
+            ops_total: 0,
+            batches: 0,
+            reprograms: 0,
+            next_flush: None,
+            error: None,
+            faulty,
+            memo: config.timing_memo.then(TimingMemo::new),
+            trace: traced.then(ExecTrace::new),
+        })
+    }
+
+    /// Whether every card in the fleet is dead (vacuously false without
+    /// fault injection).
+    pub(super) fn all_cards_dead(&self) -> bool {
+        self.faulty.as_ref().is_some_and(|f| {
+            f.monitors.iter().all(|m| m.health() == crate::health::CardHealth::Dead)
+        })
+    }
+
+    /// First card that is idle and (under fault injection) alive with a
+    /// closed or cooled-down circuit.
+    pub(super) fn free_card(&self, now_ns: u64) -> Option<usize> {
+        self.cards.iter().enumerate().position(|(i, c)| {
+            !c.busy && self.faulty.as_ref().is_none_or(|f| f.monitors[i].available(now_ns))
+        })
+    }
+
+    /// Count of requests queued or in flight (hedge legs are duplicate
+    /// work, not extra requests, so they do not count).
+    pub(super) fn in_system(&self) -> usize {
+        let inflight: usize = self.faulty.as_ref().map_or(0, |f| {
+            f.inflight.iter().flatten().filter(|i| !i.is_hedge).map(|i| i.batch.len()).sum()
+        });
+        self.scheduler.pending() + inflight
+    }
+
+    /// Managed admission: per-priority accounting, dead-fleet and
+    /// arrival-past-deadline checks, the AIMD concurrency gate, then the
+    /// (possibly bounded) scheduler push. Every rejected request is
+    /// recorded with a typed reason — nothing is silently dropped.
+    pub(super) fn admit(&mut self, req: ServeRequest, now_ns: u64) {
+        let prio = req.priority.index();
+        self.faulty.as_mut().expect("managed admission requires fault state").prio_submitted
+            [prio] += 1;
+        if self.all_cards_dead() {
+            // Nothing can ever serve this request — fail it with a
+            // typed reason rather than queueing it forever.
+            let f = self.faulty.as_mut().expect("fault state");
+            f.failed.push(FailedRequest { id: req.id, reason: FailReason::AllCardsDead });
+            return;
+        }
+        if req.expired_at(now_ns) {
+            // Already dead on arrival: never let it touch a queue.
+            let f = self.faulty.as_mut().expect("fault state");
+            f.expired.push(FailedRequest { id: req.id, reason: FailReason::DeadlineExpired });
+            return;
+        }
+        let in_system = self.in_system();
+        let f = self.faulty.as_mut().expect("fault state");
+        if f.limiter.as_ref().is_some_and(|l| !l.admits(in_system)) {
+            // Priority-ordered shedding: before bouncing the newcomer,
+            // displace a queued request of strictly lower priority (the
+            // youngest of the lowest class) — net requests in system
+            // stays within the limit either way.
+            match self.scheduler.evict_lower_priority(req.priority) {
+                Some(victim) => {
+                    let f = self.faulty.as_mut().expect("fault state");
+                    f.shed.push(FailedRequest { id: victim.id, reason: FailReason::Shed });
+                }
+                None => {
+                    f.shed.push(FailedRequest { id: req.id, reason: FailReason::Shed });
+                    return;
+                }
+            }
+        }
+        match self.scheduler.push(req) {
+            Ok(victim) => {
+                let f = self.faulty.as_mut().expect("fault state");
+                if let Some(b) = f.retry_budget.as_mut() {
+                    b.on_admission();
+                }
+                if let Some(v) = victim {
+                    f.shed.push(FailedRequest { id: v.id, reason: FailReason::Shed });
+                }
+            }
+            Err(ServeError::Overloaded { id, .. }) => {
+                let f = self.faulty.as_mut().expect("fault state");
+                f.shed.push(FailedRequest { id, reason: FailReason::Shed });
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Drop every queued request whose deadline has passed, recording
+    /// each as expired. Expiries are the queue-congestion signal the
+    /// AIMD limiter backs off on (once per sweep that shed anything).
+    pub(super) fn shed_expired(&mut self, now_ns: u64) {
+        if self.faulty.as_ref().is_none_or(|f| !f.track_deadlines) {
+            return;
+        }
+        let expired = self.scheduler.take_expired(now_ns);
+        if expired.is_empty() {
+            return;
+        }
+        let f = self.faulty.as_mut().expect("fault state");
+        for r in &expired {
+            f.expired.push(FailedRequest { id: r.id, reason: FailReason::DeadlineExpired });
+        }
+        if let Some(l) = f.limiter.as_mut() {
+            l.on_overload();
+        }
+    }
+
+    /// Requeue a failed batch's requests, failing any whose attempt
+    /// budget is spent or (with a retry budget armed) for which the
+    /// fleet-wide token bucket is empty — a requeue storm after mass
+    /// card death must not amplify an overload. Counted per request so
+    /// no request retries unboundedly.
+    pub(super) fn requeue_or_fail(&mut self, batch: Batch, kind: protea_core::FaultKind) {
+        let f = self.faulty.as_mut().expect("fault state");
+        let mut survivors = Vec::with_capacity(batch.requests.len());
+        for r in batch.requests {
+            let attempts = f.attempts.entry(r.id).or_insert(0);
+            *attempts += 1;
+            if *attempts >= f.max_request_attempts {
+                f.failed.push(FailedRequest {
+                    id: r.id,
+                    reason: FailReason::RetriesExhausted { last: kind },
+                });
+            } else if f.retry_budget.as_mut().is_some_and(|b| !b.try_withdraw()) {
+                f.failed.push(FailedRequest {
+                    id: r.id,
+                    reason: FailReason::RetryBudgetExhausted { last: kind },
+                });
+            } else {
+                survivors.push(r);
+            }
+        }
+        f.retried += survivors.len() as u64;
+        if !survivors.is_empty() {
+            self.scheduler.requeue(&Batch { requests: survivors, runtime: batch.runtime });
+        }
+    }
+
+    /// Once the last card dies, drain everything still queued into
+    /// typed failures — queued requests must never be stranded.
+    pub(super) fn fail_all_pending_if_dead(&mut self) {
+        if !self.all_cards_dead() {
+            return;
+        }
+        while let Some(batch) = self.scheduler.pop_any() {
+            let f = self.faulty.as_mut().expect("fault state");
+            for r in batch.requests {
+                f.failed.push(FailedRequest { id: r.id, reason: FailReason::AllCardsDead });
+            }
+        }
+    }
+}

@@ -1,31 +1,29 @@
 //! Memoized batch timing for the fault-free serving path.
 //!
-//! The accelerator's `timing_report_batched` is deterministic: for a
-//! fixed bitstream it depends only on the programmed register file and
-//! the batch size. A serving sweep prices the same few
-//! `(runtime, batch)` combinations thousands of times — once per
-//! dispatched batch — so the fleet caches the report per combination
-//! and replays the stored value on every later hit.
+//! A deterministic (fault-free) timing run is a pure function of its
+//! [`PlanKey`] — the programmed registers, the batch size, and the
+//! overlap knob, as derived by `RunPlan::memo_key`. A serving sweep
+//! prices the same few keys thousands of times — once per dispatched
+//! batch — so the fleet caches the report per key and replays the
+//! stored value on every later hit.
 //!
-//! Validity rests on two fleet invariants: every card is synthesized
+//! Validity rests on one fleet invariant: every card is synthesized
 //! from the **same** bitstream on the same device (`FleetConfig` has a
-//! single `synthesis`/`device` pair), and the serving layer never
-//! toggles a card's overlap ablation. Under those, the report is a pure
-//! function of the key — the memo is *invisible* (byte-identical
-//! `ServeReport`s with the cache on or off), which
-//! `memo_is_invisible_*` tests pin. The fault-injected path draws from
-//! a stateful fault stream and is never memoized.
+//! single `synthesis`/`device` pair), so the key never needs to carry
+//! the design. Under that, the report is a pure function of the key —
+//! the memo is *invisible* (byte-identical `ServeReport`s with the
+//! cache on or off), which `memo_is_invisible_*` tests pin; the memo
+//! hit/miss counters surface on the report but are excluded from its
+//! equality. Fault-armed plans have no key (`memo_key` returns `None`
+//! for them) and are never memoized.
 
-use protea_core::{Accelerator, CycleReport};
+use protea_core::{Accelerator, CycleReport, PlanKey, RunPlan};
 use std::collections::BTreeMap;
 
-/// Memo key: the four runtime registers plus the batch size.
-type Key = (usize, usize, usize, usize, usize);
-
-/// Cache of batched timing reports keyed by `(runtime, batch)`.
+/// Cache of batched timing reports keyed by the deterministic-plan key.
 #[derive(Debug, Clone, Default)]
 pub struct TimingMemo {
-    map: BTreeMap<Key, CycleReport>,
+    map: BTreeMap<PlanKey, CycleReport>,
     hits: u64,
     misses: u64,
 }
@@ -38,17 +36,17 @@ impl TimingMemo {
     }
 
     /// The batched timing report for `accel`'s current register file,
-    /// served from cache when the `(runtime, batch)` pair was priced
-    /// before.
+    /// served from cache when the plan's key was priced before.
     #[must_use]
     pub fn report(&mut self, accel: &Accelerator, batch: usize) -> CycleReport {
-        let rt = accel.runtime();
-        let key = (rt.heads, rt.layers, rt.d_model, rt.seq_len, batch);
+        let plan = RunPlan::timing(batch);
+        let key = plan.memo_key(accel).expect("timing plans are deterministic");
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
             return cached.clone();
         }
-        let report = accel.timing_report_batched(batch);
+        let (outcome, _) = accel.execute(plan);
+        let report = outcome.expect("fault-free timing cannot fail").report;
         self.misses += 1;
         self.map.insert(key, report.clone());
         report
@@ -102,5 +100,17 @@ mod tests {
         acc.program(RuntimeConfig { heads: 8, layers: 2, d_model: 768, seq_len: 64 }).unwrap();
         let _ = memo.report(&acc, 1);
         assert_eq!((memo.hits(), memo.misses()), (0, 3));
+    }
+
+    #[test]
+    fn key_derives_from_the_plan() {
+        let mut acc = accel();
+        acc.program(RuntimeConfig { heads: 8, layers: 2, d_model: 768, seq_len: 32 }).unwrap();
+        let key = RunPlan::timing(4).memo_key(&acc).unwrap();
+        assert_eq!(
+            (key.heads, key.layers, key.d_model, key.seq_len, key.batch),
+            (8, 2, 768, 32, 4)
+        );
+        assert!(key.overlap, "paper-default designs overlap loads with compute");
     }
 }

@@ -38,7 +38,13 @@ impl Percentiles {
 }
 
 /// The outcome of one serving simulation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores the `memo_hits`/`memo_misses`
+/// observability counters (see the manual [`PartialEq`] impl): the
+/// timing memo is invisible in every number that describes the
+/// schedule, and the `memo_is_invisible_*` tests compare whole reports
+/// across memo-on/memo-off runs to pin exactly that.
+#[derive(Debug, Clone)]
 pub struct ServeReport {
     /// Requests completed.
     pub completed: usize,
@@ -100,6 +106,78 @@ pub struct ServeReport {
     /// Per-priority SLO attainment, ascending priority. Empty for runs
     /// without the overload layer.
     pub slo: Vec<PrioritySlo>,
+    /// Timing-memo cache hits (dispatches priced from cache). Zero when
+    /// the memo is off. Excluded from report equality.
+    pub memo_hits: u64,
+    /// Timing-memo cache misses (distinct plan keys priced). Zero when
+    /// the memo is off. Excluded from report equality.
+    pub memo_misses: u64,
+}
+
+impl PartialEq for ServeReport {
+    /// Field-by-field equality, **excluding** the memo counters: a
+    /// memoized run and an unmemoized run of the same workload must
+    /// compare equal, because the memo is pure observability. The
+    /// exhaustive destructuring makes adding a field a compile error
+    /// here, forcing a decision about its equality semantics.
+    fn eq(&self, other: &Self) -> bool {
+        let Self {
+            completed,
+            cards,
+            batches,
+            reprograms,
+            makespan_s,
+            throughput_rps,
+            gops,
+            latency_ms,
+            queue_ms,
+            mean_batch,
+            card_utilization,
+            submitted,
+            availability,
+            retried,
+            crashes,
+            failed,
+            faults,
+            card_health,
+            shed,
+            expired,
+            completed_in_deadline,
+            goodput_rps,
+            hedges,
+            hedge_wins,
+            hedge_cancels,
+            slo,
+            memo_hits: _,
+            memo_misses: _,
+        } = self;
+        *completed == other.completed
+            && *cards == other.cards
+            && *batches == other.batches
+            && *reprograms == other.reprograms
+            && *makespan_s == other.makespan_s
+            && *throughput_rps == other.throughput_rps
+            && *gops == other.gops
+            && *latency_ms == other.latency_ms
+            && *queue_ms == other.queue_ms
+            && *mean_batch == other.mean_batch
+            && *card_utilization == other.card_utilization
+            && *submitted == other.submitted
+            && *availability == other.availability
+            && *retried == other.retried
+            && *crashes == other.crashes
+            && *failed == other.failed
+            && *faults == other.faults
+            && *card_health == other.card_health
+            && *shed == other.shed
+            && *expired == other.expired
+            && *completed_in_deadline == other.completed_in_deadline
+            && *goodput_rps == other.goodput_rps
+            && *hedges == other.hedges
+            && *hedge_wins == other.hedge_wins
+            && *hedge_cancels == other.hedge_cancels
+            && *slo == other.slo
+    }
 }
 
 /// SLO attainment for one priority class.
@@ -207,6 +285,8 @@ impl ServeReport {
             hedge_wins: 0,
             hedge_cancels: 0,
             slo: Vec::new(),
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
@@ -306,6 +386,11 @@ impl fmt::Display for ServeReport {
         let util: Vec<String> =
             self.card_utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
         writeln!(f, "  card busy    [{}]", util.join(", "))?;
+        // The memo line prints only when the cache saw traffic, so
+        // memo-off reports render exactly as before.
+        if self.memo_hits + self.memo_misses > 0 {
+            writeln!(f, "  timing memo  {} hits, {} misses", self.memo_hits, self.memo_misses)?;
+        }
         // The overload section prints only when the overload layer did
         // something, so pre-overload reports render exactly as before.
         if self.overloaded() {
@@ -426,6 +511,17 @@ mod tests {
         // the helper must not assume it).
         let neg = Percentiles::of(&[-5.0, 0.0, 5.0]);
         assert_eq!((neg.p50, neg.max), (0.0, 5.0));
+    }
+
+    #[test]
+    fn memo_counters_do_not_affect_equality() {
+        let a = ServeReport::from_responses(&[resp(0, 0, 1, 2_000_000)], 1_000, 1, 0, &[1]);
+        let mut b = a.clone();
+        b.memo_hits = 99;
+        b.memo_misses = 7;
+        assert_eq!(a, b, "memo counters are observability, not schedule");
+        assert!(b.to_string().contains("timing memo  99 hits, 7 misses"));
+        assert!(!a.to_string().contains("timing memo"), "silent when the cache saw no traffic");
     }
 
     #[test]

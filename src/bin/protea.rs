@@ -3,12 +3,13 @@
 //! ```text
 //! protea synth     [--device u55c] [--tiles-mha 12] [--tiles-ffn 6]
 //! protea run       [--device u55c] [--d 768] [--heads 8] [--layers 12] [--sl 64] [--batch 1]
+//!                  [--trace exec.json]
 //! protea fit       [--device zcu102] [--d 256] [--heads 2] [--layers 2] [--sl 64]
 //! protea sweep     [--device u55c]
 //! protea serve-sim [--cards 2] [--arrival-rate 50000] [--trace workload.json]
 //!                  [--requests 64] [--d 96] [--heads 4] [--layers 2]
 //!                  [--sl-min 8] [--sl-max 64] [--max-batch 8] [--seed 42]
-//!                  [--emit-trace out.json]
+//!                  [--emit-trace out.json] [--exec-trace exec.json]
 //! protea chaos-sim [--cards 2] [--fault-rate 0.02] [--crash-rate 0]
 //!                  [--max-attempts 5] [--seed 42] [--requests 64]
 //!                  [--arrival-rate 50000] [--d 96] [--heads 4] [--layers 2]
@@ -206,6 +207,19 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
         );
     }
     println!("\n{}", result.report.gantt(56));
+    if let Some(path) = flags.get("trace") {
+        let (outcome, _) = accel.execute(RunPlan::timing(batch).with_trace());
+        let trace = outcome
+            .expect("fault-free timing cannot fail")
+            .trace
+            .expect("traced run records spans");
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+        println!(
+            "execution trace: {} spans written to {path} (open in chrome://tracing or Perfetto)",
+            trace.len()
+        );
+    }
     Ok(())
 }
 
@@ -272,7 +286,22 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let policy =
         BatchPolicy { max_batch: flag(flags, "max-batch", 8usize)?, ..BatchPolicy::default() };
     let fleet = Fleet::try_new(FleetConfig { cards, device, policy, ..FleetConfig::default() })?;
-    let report = fleet.serve(&workload)?;
+    // `--exec-trace` records per-card execution spans; the report is
+    // bit-identical to an untraced `serve` (pinned by the fleet tests).
+    let report = match flags.get("exec-trace") {
+        None => fleet.serve(&workload)?,
+        Some(path) => {
+            let (report, trace) = fleet.serve_traced(&workload)?;
+            std::fs::write(path, trace.to_chrome_json())
+                .map_err(|e| format!("cannot write exec trace '{path}': {e}"))?;
+            println!(
+                "execution trace: {} spans written to {path} \
+                 (open in chrome://tracing or Perfetto)",
+                trace.len()
+            );
+            report
+        }
+    };
     println!(
         "workload: {} requests over {:.3} s of arrivals, {} card(s)",
         workload.requests.len(),

@@ -99,11 +99,12 @@ pub use protea_tensor as tensor;
 pub mod prelude {
     pub use protea_baselines::{NativeCpuEngine, PowerModel};
     pub use protea_core::{
-        Accelerator, CoreError, CycleReport, Driver, FaultEvent, FaultKind, FaultRates, FaultStats,
-        RetryPolicy, RunResult, RuntimeConfig, SparseMode, SynthesisConfig, SynthesisConfigBuilder,
-        TimingPreset, Watchdog,
+        Accelerator, CoreError, CycleReport, Driver, FaultEvent, FaultKind, FaultPlan, FaultRates,
+        FaultStats, PlanKey, RetryPolicy, RunOutcome, RunPlan, RunResult, RuntimeConfig,
+        SparseMode, SynthesisConfig, SynthesisConfigBuilder, TimingPreset, Watchdog,
     };
     pub use protea_fixed::{QFormat, Quantizer, Rounding};
+    pub use protea_hwsim::{ExecSpan, ExecTrace, SpanKind};
     pub use protea_model::{
         AttnScaling, EncoderConfig, EncoderWeights, FloatEncoder, OpCount, QuantSchedule,
         QuantizedEncoder,
