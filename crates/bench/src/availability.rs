@@ -10,7 +10,7 @@
 
 use protea_core::FaultRates;
 use protea_serve::{
-    BatchPolicy, FaultConfig, Fleet, FleetConfig, ServeError, ServeReport, Workload,
+    BatchPolicy, FaultConfig, Fleet, FleetConfig, ServeError, ServePlan, ServeReport, Workload,
 };
 
 /// One (fault rate, fleet size) measurement.
@@ -57,12 +57,13 @@ pub fn run_sweep(
     let mut rows = Vec::with_capacity(fault_rates.len() * card_counts.len());
     for &cards in card_counts {
         let base = FleetConfig { cards, policy: policy.clone(), ..FleetConfig::default() };
-        let clean = Fleet::try_new(base.clone())?.serve(workload)?;
+        let clean = Fleet::try_new(base.clone())?.run(ServePlan::workload(workload))?.report;
         for &rate in fault_rates {
             let faults =
                 FaultConfig { rates: FaultRates::scaled(rate), ..FaultConfig::seeded(SEED, rate) };
             let report = Fleet::try_new(FleetConfig { faults: Some(faults), ..base.clone() })?
-                .serve(workload)?;
+                .run(ServePlan::workload(workload))?
+                .report;
             let accounted = report.completed + report.failed.len();
             if accounted != report.submitted {
                 return Err(ServeError::Core(protea_core::CoreError::Serving(format!(

@@ -1,0 +1,155 @@
+//! Streaming serving soak: millions of requests through an 8-card fleet
+//! in O(1) memory.
+//!
+//! The eager path materializes the whole workload (a 10M-request trace
+//! is ~0.7 GB of `ServeRequest`s) and keeps every `ServeResponse` for
+//! exact percentiles (another ~0.6 GB). The streaming path generates
+//! arrivals lazily from a [`PoissonSource`] and folds completions into
+//! the O(1) [`MetricsMode::Sketch`] log-histogram, so the resident set
+//! stays flat no matter how long the run is. This bin *asserts* that:
+//! it pushes `--requests` (default 10M) requests through 8 cards and
+//! fails (exit 1) if the process's peak RSS (`VmHWM`) exceeds
+//! `--max-rss-mb` (default 256 MB — far below what the eager run would
+//! need).
+//!
+//! ```text
+//! soak [--requests 10000000] [--cards 8] [--arrival-rate 2500]
+//!      [--max-rss-mb 256] [--seed 42] [--out BENCH_soak.json]
+//! ```
+//!
+//! Every run is deterministic: the final fleet state hash is printed and
+//! lands in the JSON result, so two soaks of the same parameters must
+//! print bit-identical lines.
+
+use protea_serve::{BatchPolicy, Fleet, FleetConfig, MetricsMode, PoissonSource, ServePlan};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Peak resident set size in kilobytes, from Linux's `/proc`. `None`
+/// where the file does not exist (non-Linux), which downgrades the RSS
+/// ceiling to a warning.
+fn max_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let val = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), val.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args)?;
+    let requests = flag(&flags, "requests", 10_000_000usize)?;
+    let cards = flag(&flags, "cards", 8usize)?;
+    let rate = flag(&flags, "arrival-rate", 2_500.0f64)?;
+    let max_rss_mb = flag(&flags, "max-rss-mb", 256u64)?;
+    let seed = flag(&flags, "seed", 42u64)?;
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_soak.json".into());
+
+    // Three capacity classes and bucketed sequence lengths keep the
+    // scheduler honest. The default arrival rate sits just below the
+    // 8-card fleet's ~3.4k inf/s capacity so queues stay bounded: this
+    // is a memory soak, not an overload test — an over-capacity rate
+    // would legitimately accumulate an unbounded backlog.
+    let mut source =
+        PoissonSource::new(requests, rate, &[(96, 4, 2), (64, 4, 1), (96, 4, 1)], (8, 32), seed);
+    let fleet = Fleet::try_new(FleetConfig {
+        cards,
+        policy: BatchPolicy { max_batch: 8, ..BatchPolicy::default() },
+        ..FleetConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "soak: {requests} requests at {rate:.0} req/s offered, {cards} card(s), \
+         sketch metrics, seed {seed}"
+    );
+    let t = Instant::now();
+    let outcome = fleet
+        .run(
+            ServePlan::stream(&mut source)
+                .metrics(MetricsMode::Sketch)
+                // One snapshot at the very end: pins the final state
+                // hash without paying capture cost along the way.
+                .snapshot_every(requests as u64),
+        )
+        .map_err(|e| e.to_string())?;
+    let wall_s = t.elapsed().as_secs_f64();
+    let report = outcome.report;
+    let hash = outcome.state_hash.ok_or("snapshotting run must produce a state hash")?;
+
+    if report.completed != requests {
+        return Err(format!("lost requests: {} completed of {requests}", report.completed));
+    }
+    println!("{report}");
+    println!(
+        "soak wall: {wall_s:.1} s ({:.0} simulated requests/s of wall time)",
+        requests as f64 / wall_s
+    );
+    println!("final state hash: {hash:016x}");
+
+    let rss_kb = max_rss_kb();
+    match rss_kb {
+        Some(kb) => {
+            println!("peak RSS: {:.1} MB (ceiling {max_rss_mb} MB)", kb as f64 / 1024.0);
+            if kb > max_rss_mb * 1024 {
+                return Err(format!(
+                    "peak RSS {:.1} MB exceeds the {max_rss_mb} MB ceiling — \
+                     the streaming path is buffering something it should not",
+                    kb as f64 / 1024.0
+                ));
+            }
+        }
+        None => println!("peak RSS: unavailable (no /proc/self/status); ceiling not enforced"),
+    }
+
+    let json = format!(
+        "{{\n  \"requests\": {requests},\n  \"cards\": {cards},\n  \"arrival_rate\": {rate},\n  \
+         \"seed\": {seed},\n  \"completed\": {},\n  \"throughput_rps\": {},\n  \
+         \"latency_p50_ms\": {},\n  \"latency_p99_ms\": {},\n  \"wall_s\": {wall_s},\n  \
+         \"peak_rss_kb\": {},\n  \"max_rss_mb\": {max_rss_mb},\n  \"state_hash\": \"{hash:016x}\"\n}}\n",
+        report.completed,
+        report.throughput_rps,
+        report.latency_ms.p50,
+        report.latency_ms.p99,
+        rss_kb.map_or_else(|| "null".into(), |kb| kb.to_string()),
+    );
+    std::fs::write(&out, json).map_err(|e| format!("cannot write '{out}': {e}"))?;
+    println!("results written to {out}");
+    println!("soak check: OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -25,7 +25,7 @@ use protea_core::engines::accumulate_tiled;
 use protea_core::{Accelerator, Backend, RuntimeConfig, SynthesisConfig};
 use protea_model::{EncoderConfig, EncoderWeights, QuantSchedule, QuantizedEncoder};
 use protea_platform::FpgaDevice;
-use protea_serve::{Fleet, FleetConfig, Workload};
+use protea_serve::{Fleet, FleetConfig, ServePlan, Workload};
 use protea_tensor::{
     matmul_i8_i32, matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, Matrix, PackedWeights,
     TileGrid,
@@ -340,7 +340,7 @@ pub fn fleet_sweep(requests: usize) -> FleetRow {
         })
         .expect("fleet construction");
         let t = Instant::now();
-        let report = fleet.serve(&wl).expect("sweep serves");
+        let report = fleet.run(ServePlan::workload(&wl)).expect("sweep serves").report;
         assert_eq!(report.completed, requests, "all requests must complete");
         walls[i] = t.elapsed().as_secs_f64() * 1e3;
     }

@@ -14,7 +14,8 @@
 //! `completed + shed + expired + failed == submitted`.
 
 use protea_serve::{
-    AimdConfig, BatchPolicy, Fleet, FleetConfig, OverloadConfig, ServeError, ServeReport, Workload,
+    AimdConfig, BatchPolicy, Fleet, FleetConfig, OverloadConfig, ServeError, ServePlan,
+    ServeReport, Workload,
 };
 
 /// One (offered load, deadline, fleet size) measurement.
@@ -83,7 +84,7 @@ pub fn run_sweep(
             for &rate in offered_rps {
                 let workload = Workload::poisson(REQUESTS, rate, &[(96, 4, 2)], (8, 32), SEED)
                     .with_deadline(deadline_ns);
-                let report = fleet.serve(&workload)?;
+                let report = fleet.run(ServePlan::workload(&workload))?.report;
                 if !report.accounted() {
                     return Err(ServeError::Core(protea_core::CoreError::Serving(format!(
                         "conservation broken at {rate} req/s x {deadline_ns} ns x {cards} cards: \

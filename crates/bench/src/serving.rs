@@ -7,7 +7,7 @@
 //! fixed workload and reports throughput, tail latency, and the speedup
 //! over an unbatched single-card replay of the same trace.
 
-use protea_serve::{BatchPolicy, Fleet, FleetConfig, ServeError, ServeReport, Workload};
+use protea_serve::{BatchPolicy, Fleet, FleetConfig, ServeError, ServePlan, ServeReport, Workload};
 
 /// One fleet-size measurement.
 #[derive(Debug, Clone)]
@@ -41,7 +41,8 @@ pub fn run_sweep(
     let policy = BatchPolicy { max_batch: 8, ..BatchPolicy::default() };
     let serial =
         Fleet::try_new(FleetConfig { cards: 1, policy: policy.clone(), ..FleetConfig::default() })?
-            .serve_serial_baseline(workload)?;
+            .run(ServePlan::workload(workload).serial_baseline())?
+            .report;
     card_counts
         .iter()
         .map(|&cards| {
@@ -50,7 +51,7 @@ pub fn run_sweep(
                 policy: policy.clone(),
                 ..FleetConfig::default()
             })?;
-            let report = fleet.serve(workload)?;
+            let report = fleet.run(ServePlan::workload(workload))?.report;
             let speedup = report.throughput_rps / serial.throughput_rps;
             Ok(ServingRow { cards, report, speedup_vs_serial: speedup })
         })
@@ -63,8 +64,9 @@ pub fn run_sweep(
 /// # Errors
 /// Propagates any [`ServeError`] from fleet construction or serving.
 pub fn serial_baseline(workload: &Workload) -> Result<ServeReport, ServeError> {
-    Fleet::try_new(FleetConfig { cards: 1, ..FleetConfig::default() })?
-        .serve_serial_baseline(workload)
+    Ok(Fleet::try_new(FleetConfig { cards: 1, ..FleetConfig::default() })?
+        .run(ServePlan::workload(workload).serial_baseline())?
+        .report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! FNV-1a 64-bit hashing for simulation state fingerprints.
+//!
+//! Snapshot/replay needs a cheap, dependency-free, portable digest: a
+//! resumed simulation recomputes the hash of its canonical state bytes
+//! and compares it to the one recorded at snapshot time, so any restore
+//! infidelity (or a desync later in the run) is detected as a hash
+//! mismatch instead of silently wrong results. FNV-1a is not
+//! cryptographic — it guards against *bugs*, not adversaries — which is
+//! exactly the job here.
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: Self::OFFSET_BASIS }
+    }
+
+    /// Absorb `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot digest of `bytes`.
+    #[must_use]
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Self::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv64::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::hash(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), Fnv64::hash(b"foobar"));
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish(), "a state hash must notice reordered state");
+    }
+}

@@ -13,6 +13,11 @@
 //!   (two events at the same cycle fire in scheduling order — property
 //!   tested, because nondeterministic simulators are unreproducible
 //!   simulators),
+//! * [`EventQueue`] — a typed-event (plain data, not closures) queue
+//!   with `(time, rank, seq)` ordering, so models that must snapshot
+//!   and resume can serialize their pending events,
+//! * [`Fnv64`] — FNV-1a 64-bit state fingerprinting for verifying that
+//!   a resumed simulation is bit-identical to an uninterrupted one,
 //! * [`Fifo`] — bounded queues with occupancy high-water tracking for
 //!   buffer sizing studies,
 //! * [`stats`] — counters, busy/utilization trackers and log₂ histograms.
@@ -25,15 +30,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod des;
 pub mod exec_trace;
 pub mod fifo;
+pub mod fnv;
 pub mod kernel;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use des::EventQueue;
 pub use exec_trace::{ExecSpan, ExecTrace, SpanKind};
 pub use fifo::Fifo;
+pub use fnv::Fnv64;
 pub use kernel::{EventId, Simulator};
 pub use stats::{Counter, Histogram, Utilization};
 pub use time::{Cycles, Frequency};

@@ -292,6 +292,24 @@ impl FaultStream {
     fn draw_stall(&mut self) -> u64 {
         1 + self.rng.gen_range(0..self.stall_span)
     }
+
+    /// The stream's resumable state: the RNG state word and the index of
+    /// the next unconsumed scripted event. Everything else
+    /// (`rates`, the scripted table, `stall_span`) is reconstructed from
+    /// configuration, so `(seeded config, state)` fully determines the
+    /// remaining fault sequence.
+    #[must_use]
+    pub fn state(&self) -> (u64, usize) {
+        (self.rng.state(), self.next_scripted)
+    }
+
+    /// Restore a previously captured [`state`](Self::state) onto a
+    /// stream rebuilt from the same configuration. The restored stream
+    /// continues the exact fault sequence of the captured one.
+    pub fn restore(&mut self, rng_state: u64, next_scripted: usize) {
+        self.rng = StdRng::seed_from_u64(rng_state);
+        self.next_scripted = next_scripted.min(self.scripted.len());
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +392,24 @@ mod tests {
         // The crash entry is skipped by the transfer sampler.
         assert!(matches!(s.sample_transfer(30), Some(TransferFault::Stall { .. })));
         assert_eq!(s.sample_transfer(30), None);
+    }
+
+    #[test]
+    fn state_capture_resumes_the_exact_sequence() {
+        let build = || {
+            FaultStream::seeded(21, 3, FaultRates::scaled(0.4))
+                .with_events([(500, FaultKind::EccDouble)])
+        };
+        let mut live = build();
+        for t in 0..40 {
+            live.sample_transfer(t * 20);
+        }
+        let (rng_state, next_scripted) = live.state();
+        let mut resumed = build();
+        resumed.restore(rng_state, next_scripted);
+        for t in 40..120 {
+            assert_eq!(live.sample_transfer(t * 20), resumed.sample_transfer(t * 20));
+        }
     }
 
     #[test]

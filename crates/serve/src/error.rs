@@ -48,6 +48,18 @@ pub enum ServeError {
         /// The configured per-bucket queue cap.
         limit: usize,
     },
+    /// A [`ServePlan`](crate::ServePlan) asked for an impossible
+    /// combination (e.g. execution tracing together with snapshots).
+    Plan {
+        /// Why the plan was rejected.
+        msg: String,
+    },
+    /// A fleet snapshot could not be written, parsed, or applied — or a
+    /// resumed simulation failed its state-hash self-check.
+    Snapshot {
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -63,6 +75,8 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { id, pending, limit } => {
                 write!(f, "request {id} rejected: queue full ({pending} pending, limit {limit})")
             }
+            ServeError::Plan { msg } => write!(f, "invalid serve plan: {msg}"),
+            ServeError::Snapshot { msg } => write!(f, "snapshot error: {msg}"),
         }
     }
 }
@@ -128,6 +142,8 @@ mod tests {
             ServeError::EmptyTrace,
             ServeError::NoCards,
             ServeError::Overloaded { id: 9, pending: 32, limit: 32 },
+            ServeError::Plan { msg: "tracing with snapshots".into() },
+            ServeError::Snapshot { msg: "hash mismatch".into() },
         ]
     }
 

@@ -7,12 +7,13 @@
 //! difference between flavors is which plan they build (functional vs
 //! timing vs fault-armed), not which code path they take.
 
+use super::events::{FleetEvent, RANK_DYN};
 use super::sim::{record_span, Inflight, SimModel};
 use crate::error::ServeError;
 use crate::request::ServeResponse;
 use crate::scheduler::Batch;
 use protea_core::{CoreError, FaultKind, FaultPlan, RunPlan};
-use protea_hwsim::{Cycles, Simulator, SpanKind};
+use protea_hwsim::{Cycles, EventQueue, SpanKind};
 use protea_model::{EncoderConfig, OpCount};
 use protea_tensor::Matrix;
 
@@ -88,7 +89,7 @@ impl SimModel {
             // useful work is counted at the *actual* request shape
             let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
             self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
-            self.responses.push(ServeResponse {
+            self.metrics.record(ServeResponse {
                 id: r.id,
                 arrival_ns: r.arrival_ns,
                 start_ns: now_ns,
@@ -229,7 +230,7 @@ impl SimModel {
             }
             let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
             self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
-            self.responses.push(ServeResponse {
+            self.metrics.record(ServeResponse {
                 id: r.id,
                 arrival_ns: r.arrival_ns,
                 start_ns,
@@ -334,11 +335,11 @@ impl SimModel {
 /// alive with a closed circuit) and a batch is ready, pair them; then
 /// arm wake-ups for the earliest waiting partial batch and the earliest
 /// circuit cooldown.
-pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
+pub(super) fn dispatch_all(q: &mut EventQueue<FleetEvent>, m: &mut SimModel) {
     if m.error.is_some() {
         return;
     }
-    let now = sim.now().get();
+    let now = q.now().get();
     // Deadline-aware flush: expired requests are shed *before* the
     // dispatch loop below can pair them with a card.
     m.shed_expired(now);
@@ -363,8 +364,8 @@ pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
             match m.dispatch_faulty(card, &batch, now, seq, false) {
                 Ok(outcome) => {
                     let epoch = m.faulty.as_ref().expect("fault state").epochs[card];
-                    schedule_leg(sim, card, epoch, now, outcome);
-                    arm_hedge(sim, m, card, seq, now);
+                    schedule_leg(q, card, epoch, now, outcome);
+                    arm_hedge(q, m, card, seq, now);
                 }
                 Err(e) => {
                     m.error = Some(e);
@@ -374,10 +375,7 @@ pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
         } else {
             match m.dispatch(card, &batch, now) {
                 Ok(finish_ns) => {
-                    sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
-                        m.cards[card].busy = false;
-                        dispatch_all(sim, m);
-                    });
+                    q.push(Cycles(finish_ns), RANK_DYN, FleetEvent::Free { card });
                 }
                 Err(e) => {
                     m.error = Some(e);
@@ -393,7 +391,7 @@ pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
         let stale = m.next_flush.is_none_or(|t| t <= now || deadline < t);
         if deadline > now && stale {
             m.next_flush = Some(deadline);
-            sim.schedule_at(Cycles(deadline), |sim, m: &mut SimModel| dispatch_all(sim, m));
+            q.push(Cycles(deadline), RANK_DYN, FleetEvent::Wake);
         }
     }
     // A queued request with a deadline needs a wake-up: early enough to
@@ -408,7 +406,7 @@ pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
             let stale = f.deadline_wake.is_none_or(|t| t <= now || d < t);
             if d > now && stale {
                 f.deadline_wake = Some(d);
-                sim.schedule_at(Cycles(d), |sim, m: &mut SimModel| dispatch_all(sim, m));
+                q.push(Cycles(d), RANK_DYN, FleetEvent::Wake);
             }
         }
     }
@@ -429,7 +427,7 @@ pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
                 let stale = f.breaker_wake.is_none_or(|w| w <= now || t < w);
                 if stale {
                     m.faulty.as_mut().expect("fault state").breaker_wake = Some(t);
-                    sim.schedule_at(Cycles(t), |sim, m: &mut SimModel| dispatch_all(sim, m));
+                    q.push(Cycles(t), RANK_DYN, FleetEvent::Wake);
                 }
             }
         }
@@ -438,9 +436,11 @@ pub(super) fn dispatch_all(sim: &mut Simulator<SimModel>, m: &mut SimModel) {
 
 /// Schedule the completion or failure event for one dispatched leg
 /// (primary or hedge). The captured epoch makes the event a no-op if the
-/// card crashed — or the leg was cancelled by a hedge win — first.
+/// card crashed — or the leg was cancelled by a hedge win — first. The
+/// event's own timestamp carries the resolve time, so the handler can
+/// pass the popped `now` where the old closure captured `finish_ns`.
 pub(super) fn schedule_leg(
-    sim: &mut Simulator<SimModel>,
+    q: &mut EventQueue<FleetEvent>,
     card: usize,
     epoch: u64,
     start_ns: u64,
@@ -448,22 +448,10 @@ pub(super) fn schedule_leg(
 ) {
     match outcome {
         FaultyDispatch::Done { finish_ns } => {
-            sim.schedule_at(Cycles(finish_ns), move |sim, m: &mut SimModel| {
-                if m.error.is_some() {
-                    return;
-                }
-                m.complete_faulty(card, epoch, start_ns, finish_ns);
-                dispatch_all(sim, m);
-            });
+            q.push(Cycles(finish_ns), RANK_DYN, FleetEvent::Complete { card, epoch, start_ns });
         }
         FaultyDispatch::Failed { at_ns, kind } => {
-            sim.schedule_at(Cycles(at_ns), move |sim, m: &mut SimModel| {
-                if m.error.is_some() {
-                    return;
-                }
-                m.fail_faulty(card, epoch, at_ns, kind);
-                dispatch_all(sim, m);
-            });
+            q.push(Cycles(at_ns), RANK_DYN, FleetEvent::Fail { card, epoch, kind });
         }
     }
 }
@@ -473,7 +461,7 @@ pub(super) fn schedule_leg(
 /// it on a second healthy idle card (the check itself decides — the
 /// batch may long since have completed, failed, or crashed away).
 pub(super) fn arm_hedge(
-    sim: &mut Simulator<SimModel>,
+    q: &mut EventQueue<FleetEvent>,
     m: &mut SimModel,
     card: usize,
     seq: u64,
@@ -493,16 +481,5 @@ pub(super) fn arm_hedge(
     if hedge_at >= resolve_ns {
         return;
     }
-    sim.schedule_at(Cycles(hedge_at), move |sim, m: &mut SimModel| {
-        if m.error.is_some() {
-            return;
-        }
-        match m.start_hedge(card, seq, hedge_at) {
-            Ok(Some((hedge_card, epoch, outcome))) => {
-                schedule_leg(sim, hedge_card, epoch, hedge_at, outcome);
-            }
-            Ok(None) => {}
-            Err(e) => m.error = Some(e),
-        }
-    });
+    q.push(Cycles(hedge_at), RANK_DYN, FleetEvent::Hedge { card, seq });
 }

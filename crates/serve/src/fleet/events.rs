@@ -1,0 +1,186 @@
+//! The fleet's typed event vocabulary and the one handler that
+//! interprets it.
+//!
+//! PR 5's fleet scheduled boxed closures on the legacy `Simulator`
+//! kernel; closures cannot be serialized, so that fleet could not
+//! checkpoint. Every closure is now a [`FleetEvent`] variant — plain
+//! data — handled by [`handle_event`], and the pending-event set can be
+//! drained to a snapshot and rebuilt later.
+//!
+//! ## Ordering
+//!
+//! The closure kernel fired same-time events in scheduling order, and
+//! the old driver scheduled every arrival first, then every crash, then
+//! dynamics as the simulation produced them. With lazy arrival chaining
+//! the *insertion* order changes, so the class order is made explicit
+//! through the [`EventQueue`] rank: arrivals ([`RANK_ARRIVAL`]) outrank
+//! crashes ([`RANK_CRASH`]) outrank everything scheduled mid-run
+//! ([`RANK_DYN`]) at equal timestamps — reproducing the historical
+//! firing order exactly (pinned by the `serve_equiv` tests).
+
+use super::dispatch::{dispatch_all, schedule_leg};
+use super::sim::SimModel;
+use crate::error::ServeError;
+use crate::request::ServeRequest;
+use crate::source::WorkloadSource;
+use protea_core::FaultKind;
+use protea_hwsim::{Cycles, EventQueue};
+
+/// Rank for arrival events: first among same-time events.
+pub(super) const RANK_ARRIVAL: u8 = 0;
+/// Rank for card-crash events: after arrivals, before dynamics.
+pub(super) const RANK_CRASH: u8 = 1;
+/// Rank for everything scheduled during the run (completions, failures,
+/// hedge checks, wake-ups).
+pub(super) const RANK_DYN: u8 = 2;
+
+/// One schedulable fleet occurrence. Everything the old closure kernel
+/// captured is now an explicit, serializable payload.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FleetEvent {
+    /// A request reaches the fleet (the handler lazily chains the next
+    /// arrival from the source, so at most one is ever pending).
+    Arrival(ServeRequest),
+    /// A card drops off the bus.
+    Crash {
+        /// The dying card.
+        card: usize,
+    },
+    /// A fault-free batch completes, freeing its card.
+    Free {
+        /// The card to free.
+        card: usize,
+    },
+    /// A fault-armed batch completes (no-op if `epoch` went stale).
+    Complete {
+        /// The card the batch ran on.
+        card: usize,
+        /// Dispatch epoch captured at dispatch; a crash or hedge win
+        /// bumps the card's epoch so this event no-ops.
+        epoch: u64,
+        /// When the batch started service.
+        start_ns: u64,
+    },
+    /// The driver gives up on a fault-armed batch.
+    Fail {
+        /// The card the batch ran on.
+        card: usize,
+        /// Dispatch epoch captured at dispatch.
+        epoch: u64,
+        /// The unrecoverable fault class.
+        kind: FaultKind,
+    },
+    /// Hedge check for the batch dispatched as `seq` on `card`.
+    Hedge {
+        /// The card running the (possibly straggling) primary leg.
+        card: usize,
+        /// The dispatch id to hedge.
+        seq: u64,
+    },
+    /// Bare dispatch wake-up (batch flush window, request deadline, or
+    /// circuit-breaker cooldown).
+    Wake,
+}
+
+/// Pull the next request from `source` and schedule its arrival.
+/// Returns whether an arrival was chained (false on exhaustion or
+/// error; errors land in `m.error`).
+pub(super) fn pull_arrival(
+    q: &mut EventQueue<FleetEvent>,
+    m: &mut SimModel,
+    source: &mut dyn WorkloadSource,
+) -> bool {
+    match source.next_request() {
+        Ok(Some(next)) => {
+            if Cycles(next.arrival_ns) < q.now() {
+                // A hostile source must surface as an error, never as a
+                // causality panic inside the event queue.
+                m.error = Some(ServeError::Trace {
+                    at: 0,
+                    msg: format!(
+                        "source yielded an out-of-order arrival at {} ns (clock is at {} ns)",
+                        next.arrival_ns,
+                        q.now().get()
+                    ),
+                });
+                return false;
+            }
+            q.push(Cycles(next.arrival_ns), RANK_ARRIVAL, FleetEvent::Arrival(next));
+            true
+        }
+        Ok(None) => false,
+        Err(e) => {
+            m.error = Some(e);
+            false
+        }
+    }
+}
+
+/// Interpret one popped event. Each arm mirrors the body of the closure
+/// the old kernel would have run — including which arms check `m.error`
+/// (the fault-free `Free` did not; `dispatch_all` guards itself).
+pub(super) fn handle_event(
+    q: &mut EventQueue<FleetEvent>,
+    m: &mut SimModel,
+    source: &mut dyn WorkloadSource,
+    now: u64,
+    ev: FleetEvent,
+) {
+    match ev {
+        FleetEvent::Arrival(req) => {
+            if m.error.is_some() {
+                return;
+            }
+            pull_arrival(q, m, source);
+            if m.error.is_some() {
+                return;
+            }
+            if m.faulty.is_some() {
+                m.faulty.as_mut().expect("checked above").submitted += 1;
+                m.admit(req, now);
+            } else if let Err(e) = m.scheduler.push(req) {
+                m.error = Some(e);
+                return;
+            }
+            dispatch_all(q, m);
+        }
+        FleetEvent::Crash { card } => {
+            if m.error.is_some() {
+                return;
+            }
+            m.crash_card(card, now);
+            dispatch_all(q, m);
+        }
+        FleetEvent::Free { card } => {
+            m.cards[card].busy = false;
+            dispatch_all(q, m);
+        }
+        FleetEvent::Complete { card, epoch, start_ns } => {
+            if m.error.is_some() {
+                return;
+            }
+            m.complete_faulty(card, epoch, start_ns, now);
+            dispatch_all(q, m);
+        }
+        FleetEvent::Fail { card, epoch, kind } => {
+            if m.error.is_some() {
+                return;
+            }
+            m.fail_faulty(card, epoch, now, kind);
+            dispatch_all(q, m);
+        }
+        FleetEvent::Hedge { card, seq } => {
+            if m.error.is_some() {
+                return;
+            }
+            match m.start_hedge(card, seq, now) {
+                Ok(Some((hedge_card, epoch, outcome))) => {
+                    schedule_leg(q, hedge_card, epoch, now, outcome);
+                }
+                Ok(None) => {}
+                Err(e) => m.error = Some(e),
+            }
+        }
+        FleetEvent::Wake => dispatch_all(q, m),
+    }
+}

@@ -3,15 +3,22 @@
 //! A [`Fleet`] models N identical ProTEA cards, each one a
 //! `protea_core::Accelerator` synthesized from the same bitstream. The
 //! serving loop is a discrete-event simulation on `protea_hwsim`'s
-//! kernel with **nanoseconds** as the tick unit:
+//! [`EventQueue`] with **nanoseconds** as the tick unit:
 //!
-//! * an *arrival* event admits a request to the [`BatchScheduler`];
+//! * an *arrival* event admits a request to the [`BatchScheduler`] and
+//!   lazily chains the next arrival from the [`WorkloadSource`] — at
+//!   most one arrival is ever pending, so a 10M-request trace costs
+//!   O(1) arrival memory;
 //! * a *dispatch* programs a free card (register writes, plus a weight
 //!   reload when the card was last serving a different capacity class),
 //!   runs the batch through the unified execution pipeline
 //!   (`Accelerator::execute` on a `RunPlan`), and converts the
 //!   resulting report latency to a service interval;
 //! * a *completion* frees the card and greedily re-dispatches.
+//!
+//! Every run goes through [`Fleet::run`] on a [`ServePlan`]; the legacy
+//! `serve*` methods are deprecated shims over it, pinned byte-exact by
+//! the `serve_equiv` tests.
 //!
 //! With a [`FaultConfig`] attached, the same simulation runs under
 //! deterministic fault injection: per-card seeded `FaultStream`s feed
@@ -41,39 +48,56 @@
 //!   class, and the reprogram-and-load step every dispatch flavor
 //!   shares;
 //! * [`sim`] — the mutable DES model (`SimModel`), fault/overload
-//!   state, and admission control;
+//!   state, metrics accumulation, and admission control;
+//! * [`events`] — the serializable [`FleetEvent`] vocabulary and its
+//!   handler (what PR 5 expressed as boxed closures);
 //! * [`dispatch`] — the dispatch, completion, failure, crash, and
-//!   hedging event handlers plus the greedy dispatch loop;
+//!   hedging logic plus the greedy dispatch loop;
+//! * [`snapshot`] — versioned [`FleetSnapshot`] capture/restore;
 //! * [`report`] — final [`ServeReport`] assembly.
 //!
 //! ## Tracing
 //!
-//! [`Fleet::serve_traced`] runs the identical simulation with a
+//! [`ServePlan::traced`] runs the identical simulation with a
 //! fleet-level span recorder armed: every reprogram, batch service
 //! window, hedge leg, and hedge cancellation lands in a bounded
 //! [`ExecTrace`] ring buffer on per-card tracks, exportable as Chrome
 //! trace-event JSON. Tracing is observational — the report of a traced
 //! run is byte-identical to the untraced one.
+//!
+//! ## Snapshot / resume
+//!
+//! [`ServePlan::snapshot_every`] captures a versioned [`FleetSnapshot`]
+//! every N arrivals: pending events, scheduler queues, card and
+//! fault/overload state, RNG positions, the metrics accumulator, and
+//! the source cursor. [`ServePlan::resume`] restores one and continues;
+//! the resumed run's remaining snapshots, final state hash, and
+//! [`ServeReport`] are bit-identical to the uninterrupted run's.
 
 mod card;
 mod dispatch;
+mod events;
 mod report;
 mod sim;
+pub(crate) mod snapshot;
 #[cfg(test)]
 mod tests;
 
 use crate::error::ServeError;
 use crate::faults::FaultConfig;
 use crate::overload::OverloadConfig;
+use crate::plan::{MetricsMode, ServeOutcome, ServePlan};
 use crate::report::ServeReport;
 use crate::request::ServeResponse;
 use crate::scheduler::{BatchPolicy, BatchScheduler};
+use crate::source::WorkloadSource;
 use crate::trace::Workload;
-use dispatch::dispatch_all;
+use events::FleetEvent;
 use protea_core::{Accelerator, CoreError, SynthesisConfig};
-use protea_hwsim::{Cycles, ExecTrace, Simulator};
+use protea_hwsim::{Cycles, EventQueue, ExecTrace};
 use protea_platform::FpgaDevice;
-use sim::SimModel;
+use sim::{MetricsAccum, SimModel};
+use snapshot::FleetSnapshot;
 
 /// Fleet construction parameters.
 #[derive(Debug, Clone)]
@@ -172,131 +196,198 @@ impl Fleet {
         &self.config
     }
 
-    /// Serve `workload` with batching across all cards. Returns the
-    /// aggregate report.
+    /// Execute `plan`. This is the single entry point every run flavor
+    /// goes through — batched or serial baseline, exact or sketch
+    /// metrics, traced, snapshotting, or resuming.
     ///
     /// # Errors
-    /// [`ServeError::EmptyTrace`] for an empty workload;
-    /// [`ServeError::Unservable`] when a request exceeds the synthesized
-    /// capacity; [`ServeError::Core`] if the hardware layer rejects a
-    /// dispatch (unreachable for admitted requests, but surfaced rather
-    /// than unwrapped).
-    pub fn serve(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
-        Ok(self.run_sim(workload, false)?.into_report())
-    }
-
-    /// Like [`serve`](Self::serve), but also returns the individual
-    /// completion records, so callers (property tests, traces) can audit
-    /// per-request outcomes — e.g. that hedging never records a request
-    /// twice.
-    ///
-    /// # Errors
-    /// Same conditions as [`serve`](Self::serve).
-    pub fn serve_with_responses(
-        &self,
-        workload: &Workload,
-    ) -> Result<(ServeReport, Vec<ServeResponse>), ServeError> {
-        let model = self.run_sim(workload, false)?;
-        let responses = model.responses.clone();
-        Ok((model.into_report(), responses))
-    }
-
-    /// Like [`serve`](Self::serve), but with the fleet-level span
-    /// recorder armed: reprograms, batch service windows, hedge legs,
-    /// and hedge cancellations land on per-card tracks in the returned
-    /// [`ExecTrace`] (export with
-    /// [`ExecTrace::to_chrome_json`]). The report is byte-identical to
-    /// the untraced run — tracing never perturbs the schedule.
-    ///
-    /// # Errors
-    /// Same conditions as [`serve`](Self::serve).
-    pub fn serve_traced(
-        &self,
-        workload: &Workload,
-    ) -> Result<(ServeReport, ExecTrace), ServeError> {
-        let mut model = self.run_sim(workload, true)?;
-        let trace = model.trace.take().expect("traced run records a trace");
-        Ok((model.into_report(), trace))
-    }
-
-    fn run_sim(&self, workload: &Workload, traced: bool) -> Result<SimModel, ServeError> {
-        if workload.requests.is_empty() {
-            return Err(ServeError::EmptyTrace);
+    /// [`ServeError::Plan`] for contradictory plan flags;
+    /// [`ServeError::EmptyTrace`] when the source yields nothing;
+    /// [`ServeError::Snapshot`] when a resume snapshot does not match
+    /// the fleet config or source; [`ServeError::Unservable`] when a
+    /// request exceeds the synthesized capacity; [`ServeError::Core`]
+    /// if the hardware layer rejects a dispatch (unreachable for
+    /// admitted requests, but surfaced rather than unwrapped).
+    pub fn run(&self, mut plan: ServePlan<'_>) -> Result<ServeOutcome, ServeError> {
+        plan.validate()?;
+        let sketch = plan.metrics == MetricsMode::Sketch;
+        let collect = plan.collect_responses;
+        let traced = plan.traced;
+        let serial = plan.serial;
+        let every = plan.snapshot_every;
+        let resume = plan.resume.take();
+        let source = plan.source_mut();
+        if serial {
+            return self.run_serial(source, sketch, traced, collect);
         }
+        self.run_streaming(source, sketch, collect, traced, every, resume)
+    }
+
+    fn run_streaming(
+        &self,
+        source: &mut dyn WorkloadSource,
+        sketch: bool,
+        collect: bool,
+        traced: bool,
+        every: Option<u64>,
+        resume: Option<FleetSnapshot>,
+    ) -> Result<ServeOutcome, ServeError> {
         // The managed path carries fault *and* overload machinery; it is
         // entered only when some knob needs it, so a plain fleet keeps
         // the historical fault-free fast path byte-for-byte.
         let managed = self.config.faults.is_some()
             || self.config.overload.as_ref().is_some_and(OverloadConfig::any)
             || self.config.policy.max_queue.is_some()
-            || workload.requests.iter().any(|r| r.deadline_ns.is_some());
-        let mut model = SimModel::build(&self.config, managed, traced)?;
-        let mut sim = Simulator::<SimModel>::new();
-        for req in workload.requests.iter().copied() {
-            sim.schedule_at(Cycles(req.arrival_ns), move |sim, m: &mut SimModel| {
-                if m.error.is_some() {
-                    return;
-                }
-                if m.faulty.is_some() {
-                    m.admit(req, sim.now().get());
-                } else if let Err(e) = m.scheduler.push(req) {
-                    m.error = Some(e);
-                    return;
-                }
-                dispatch_all(sim, m);
-            });
-        }
-        // Card-crash events: each card's crash timestamp is drawn once,
-        // up front, so the draw order (and thus the whole run) is
-        // deterministic in the seed.
-        if let Some(f) = model.faulty.as_mut() {
-            f.submitted = workload.requests.len();
-            f.track_deadlines = workload.requests.iter().any(|r| r.deadline_ns.is_some());
-            let crashes: Vec<(usize, u64)> = f
-                .streams
-                .iter_mut()
-                .enumerate()
-                .filter_map(|(card, s)| s.crash_at_ns().map(|at| (card, at)))
-                .collect();
-            for (card, at) in crashes {
-                sim.schedule_at(Cycles(at), move |sim, m: &mut SimModel| {
-                    if m.error.is_some() {
-                        return;
+            || source.has_deadlines();
+        let hashing = every.is_some() || resume.is_some();
+        let (mut q, mut model, mut arrivals_seen) = match resume {
+            Some(snap) => snap.apply(&self.config, managed, sketch, source)?,
+            None => {
+                let mut q = EventQueue::new();
+                let mut model = SimModel::build(&self.config, managed, traced, sketch)?;
+                if let Some(f) = model.faulty.as_mut() {
+                    f.track_deadlines = source.has_deadlines();
+                    // Card-crash events: each card's crash timestamp is
+                    // drawn once, up front, so the draw order (and thus
+                    // the whole run) is deterministic in the seed.
+                    let crashes: Vec<(usize, u64)> = f
+                        .streams
+                        .iter_mut()
+                        .enumerate()
+                        .filter_map(|(card, s)| s.crash_at_ns().map(|at| (card, at)))
+                        .collect();
+                    for (card, at) in crashes {
+                        q.push(Cycles(at), events::RANK_CRASH, FleetEvent::Crash { card });
                     }
-                    m.crash_card(card, sim.now().get());
-                    dispatch_all(sim, m);
-                });
+                }
+                if !events::pull_arrival(&mut q, &mut model, source) {
+                    return Err(model.error.take().unwrap_or(ServeError::EmptyTrace));
+                }
+                (q, model, 0)
+            }
+        };
+        let mut snapshots = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            let is_arrival = matches!(ev, FleetEvent::Arrival(_));
+            events::handle_event(&mut q, &mut model, source, t.get(), ev);
+            if is_arrival {
+                arrivals_seen += 1;
+                if model.error.is_none() && every.is_some_and(|n| arrivals_seen % n == 0) {
+                    snapshots.push(FleetSnapshot::capture(
+                        &self.config,
+                        &q,
+                        &model,
+                        source,
+                        arrivals_seen,
+                        managed,
+                        sketch,
+                    ));
+                }
             }
         }
-        sim.run(&mut model);
         if let Some(e) = model.error {
             return Err(e);
         }
-        Ok(model)
+        let state_hash = hashing.then(|| {
+            FleetSnapshot::capture(&self.config, &q, &model, source, arrivals_seen, managed, sketch)
+                .state_hash()
+        });
+        let trace = traced.then(|| model.trace.take().expect("traced run records a trace"));
+        let responses = collect.then(|| match &model.metrics {
+            MetricsAccum::Exact(v) => v.clone(),
+            MetricsAccum::Sketch(_) => unreachable!("validated: collect requires exact metrics"),
+        });
+        Ok(ServeOutcome { report: model.into_report(), responses, trace, snapshots, state_hash })
     }
 
     /// The baseline the batched fleet is judged against: one card, no
-    /// batching — every request runs alone (still padded to its bucket),
-    /// in arrival order.
-    ///
-    /// # Errors
-    /// Same conditions as [`serve`](Self::serve).
-    pub fn serve_serial_baseline(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
-        if workload.requests.is_empty() {
-            return Err(ServeError::EmptyTrace);
-        }
+    /// batching — every request runs alone (still padded to its
+    /// bucket), in arrival order.
+    fn run_serial(
+        &self,
+        source: &mut dyn WorkloadSource,
+        sketch: bool,
+        traced: bool,
+        collect: bool,
+    ) -> Result<ServeOutcome, ServeError> {
         let single = FleetConfig { cards: 1, ..self.config.clone() };
-        let mut m = SimModel::build(&single, false, false)?;
+        let mut m = SimModel::build(&single, false, traced, sketch)?;
         let mut free_at = 0u64;
-        for req in &workload.requests {
+        let mut any = false;
+        while let Some(req) = source.next_request()? {
+            any = true;
             // admission check through the same scheduler validation
             let mut probe = BatchScheduler::new(single.policy.clone(), single.synthesis);
-            probe.push(*req)?;
+            probe.push(req)?;
             let batch = probe.pop_any().ok_or(ServeError::EmptyTrace)?;
             let start = free_at.max(req.arrival_ns);
             let finish = m.dispatch(0, &batch, start)?;
             free_at = finish;
         }
-        Ok(m.into_report())
+        if !any {
+            return Err(ServeError::EmptyTrace);
+        }
+        let trace = traced.then(|| m.trace.take().expect("traced run records a trace"));
+        let responses = collect.then(|| match &m.metrics {
+            MetricsAccum::Exact(v) => v.clone(),
+            MetricsAccum::Sketch(_) => unreachable!("validated: collect requires exact metrics"),
+        });
+        Ok(ServeOutcome {
+            report: m.into_report(),
+            responses,
+            trace,
+            snapshots: Vec::new(),
+            state_hash: None,
+        })
+    }
+
+    /// Serve `workload` with batching across all cards. Returns the
+    /// aggregate report.
+    ///
+    /// # Errors
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use `Fleet::run` with a `ServePlan`")]
+    pub fn serve(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
+        Ok(self.run(ServePlan::workload(workload))?.report)
+    }
+
+    /// Like `serve`, but also returns the individual completion
+    /// records, so callers (property tests, traces) can audit
+    /// per-request outcomes — e.g. that hedging never records a request
+    /// twice.
+    ///
+    /// # Errors
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use `Fleet::run` with `ServePlan::collect_responses`")]
+    pub fn serve_with_responses(
+        &self,
+        workload: &Workload,
+    ) -> Result<(ServeReport, Vec<ServeResponse>), ServeError> {
+        let out = self.run(ServePlan::workload(workload).collect_responses())?;
+        Ok((out.report, out.responses.expect("exact-mode run collects responses")))
+    }
+
+    /// Like `serve`, but with the fleet-level span recorder armed (see
+    /// the module docs). The report is byte-identical to the untraced
+    /// run — tracing never perturbs the schedule.
+    ///
+    /// # Errors
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use `Fleet::run` with `ServePlan::traced`")]
+    pub fn serve_traced(
+        &self,
+        workload: &Workload,
+    ) -> Result<(ServeReport, ExecTrace), ServeError> {
+        let out = self.run(ServePlan::workload(workload).traced())?;
+        Ok((out.report, out.trace.expect("traced run records a trace")))
+    }
+
+    /// The serial (one card, no batching) baseline report.
+    ///
+    /// # Errors
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use `Fleet::run` with `ServePlan::serial_baseline`")]
+    pub fn serve_serial_baseline(&self, workload: &Workload) -> Result<ServeReport, ServeError> {
+        Ok(self.run(ServePlan::workload(workload).serial_baseline())?.report)
     }
 }

@@ -1,6 +1,6 @@
 //! Final [`ServeReport`] assembly from the finished simulation model.
 
-use super::sim::SimModel;
+use super::sim::{MetricsAccum, SimModel};
 use crate::health::CardMonitor;
 use crate::report::{FaultOutcome, PrioritySlo, ServeReport};
 use crate::request::Priority;
@@ -14,13 +14,22 @@ impl SimModel {
         let (memo_hits, memo_misses) =
             self.memo.as_ref().map_or((0, 0), |m| (m.hits(), m.misses()));
         let busy: Vec<u64> = self.cards.iter().map(|c| c.busy_ns).collect();
-        let report = ServeReport::from_responses(
-            &self.responses,
-            self.ops_total,
-            self.batches,
-            self.reprograms,
-            &busy,
-        );
+        let report = match &self.metrics {
+            MetricsAccum::Exact(responses) => ServeReport::from_responses(
+                responses,
+                self.ops_total,
+                self.batches,
+                self.reprograms,
+                &busy,
+            ),
+            MetricsAccum::Sketch(stream) => ServeReport::from_stream(
+                stream,
+                self.ops_total,
+                self.batches,
+                self.reprograms,
+                &busy,
+            ),
+        };
         let mut report = match self.faulty {
             None => report,
             Some(f) => {

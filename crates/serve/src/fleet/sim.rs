@@ -16,16 +16,36 @@ use crate::memo::TimingMemo;
 use crate::overload::{AimdLimiter, HedgeConfig, RetryBudget, ServiceTimeTracker};
 use crate::request::{CapacityClass, ServeRequest, ServeResponse};
 use crate::scheduler::{Batch, BatchScheduler};
+use crate::sketch::StreamMetrics;
 use protea_core::{Accelerator, FaultStats, FaultStream};
 use protea_hwsim::exec_trace::{track, ExecTrace, SpanKind};
 use protea_model::QuantizedEncoder;
 use std::collections::BTreeMap;
 
+/// How completions accumulate into the final report: exact responses
+/// (O(completed) memory, byte-identical to the historical path) or the
+/// O(1) streaming log-histogram sketch.
+pub(super) enum MetricsAccum {
+    /// Keep every [`ServeResponse`]; percentiles are exact nearest-rank.
+    Exact(Vec<ServeResponse>),
+    /// Fold each response into [`StreamMetrics`] and drop it.
+    Sketch(StreamMetrics),
+}
+
+impl MetricsAccum {
+    pub(super) fn record(&mut self, resp: ServeResponse) {
+        match self {
+            MetricsAccum::Exact(v) => v.push(resp),
+            MetricsAccum::Sketch(s) => s.record(&resp),
+        }
+    }
+}
+
 /// All mutable simulation state (the DES model type).
 pub(super) struct SimModel {
     pub(super) scheduler: BatchScheduler,
     pub(super) cards: Vec<Card>,
-    pub(super) responses: Vec<ServeResponse>,
+    pub(super) metrics: MetricsAccum,
     pub(super) weights: BTreeMap<CapacityClass, QuantizedEncoder>,
     pub(super) functional: bool,
     pub(super) reload_gbps: f64,
@@ -138,6 +158,7 @@ impl SimModel {
         config: &FleetConfig,
         managed: bool,
         traced: bool,
+        sketch: bool,
     ) -> Result<Self, ServeError> {
         let mut cards = Vec::with_capacity(config.cards);
         for _ in 0..config.cards {
@@ -195,7 +216,11 @@ impl SimModel {
         Ok(Self {
             scheduler: BatchScheduler::new(config.policy.clone(), config.synthesis),
             cards,
-            responses: Vec::new(),
+            metrics: if sketch {
+                MetricsAccum::Sketch(StreamMetrics::new())
+            } else {
+                MetricsAccum::Exact(Vec::new())
+            },
             weights: BTreeMap::new(),
             functional: config.functional,
             reload_gbps: config.reload_gbps,

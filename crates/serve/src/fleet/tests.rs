@@ -1,3 +1,11 @@
+//! Fleet unit tests.
+//!
+//! These deliberately keep driving the deprecated `serve*` shims: they
+//! are the regression net proving the shims still reproduce the
+//! historical behavior on top of `Fleet::run`. New-API coverage lives
+//! in `tests/serve_equiv.rs` and `tests/snapshot.rs`.
+#![allow(deprecated)]
+
 use super::{Fleet, FleetConfig};
 use crate::error::ServeError;
 use crate::faults::{FailReason, FaultConfig};

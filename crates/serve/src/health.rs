@@ -140,6 +140,28 @@ impl CardMonitor {
     pub fn kill(&mut self) {
         self.health = CardHealth::Dead;
     }
+
+    /// Raw snapshot form: `(health, consecutive, total, open_until)` —
+    /// unlike [`open_until_ns`](Self::open_until_ns) this does not mask
+    /// a dead card's stored cooldown, so a restore is field-exact.
+    pub(crate) fn export_state(&self) -> (CardHealth, u32, u32, Option<u64>) {
+        (self.health, self.consecutive_failures, self.total_failures, self.open_until_ns)
+    }
+
+    /// Restore from [`export_state`](Self::export_state)ed fields (the
+    /// breaker itself comes from config, not the snapshot).
+    pub(crate) fn restore_state(
+        &mut self,
+        health: CardHealth,
+        consecutive: u32,
+        total: u32,
+        open_until_ns: Option<u64>,
+    ) {
+        self.health = health;
+        self.consecutive_failures = consecutive;
+        self.total_failures = total;
+        self.open_until_ns = open_until_ns;
+    }
 }
 
 #[cfg(test)]

@@ -43,16 +43,26 @@
 //! `completed`, `shed`, `expired`, or `failed`. Every knob defaults to
 //! off, reproducing the historical schedule bit-exactly.
 //!
+//! Every run goes through one entry point: build a [`ServePlan`]
+//! (which workload source, which metrics mode, whether to trace,
+//! snapshot, or resume) and hand it to [`Fleet::run`]:
+//!
 //! ```
-//! use protea_serve::{Fleet, FleetConfig, Workload};
+//! use protea_serve::{Fleet, FleetConfig, ServePlan, Workload};
 //!
 //! let workload = Workload::poisson(16, 50_000.0, &[(96, 4, 2)], (8, 16), 7);
 //! let fleet = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() })?;
-//! let report = fleet.serve(&workload)?;
+//! let report = fleet.run(ServePlan::workload(&workload))?.report;
 //! assert_eq!(report.completed, 16);
 //! println!("{report}");
 //! # Ok::<(), protea_serve::ServeError>(())
 //! ```
+//!
+//! Million-request runs stream instead: a [`WorkloadSource`] (lazy
+//! Poisson generation or a JSON-lines trace file) yields one request at
+//! a time, [`MetricsMode::Sketch`] folds completions into an O(1)
+//! log-histogram [`StreamMetrics`], and `snapshot_every` captures
+//! versioned [`FleetSnapshot`]s a later process resumes bit-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,13 +73,17 @@ mod fleet;
 mod health;
 mod memo;
 mod overload;
+mod plan;
 mod report;
 mod request;
 mod scheduler;
+mod sketch;
+mod source;
 mod trace;
 
 pub use error::ServeError;
 pub use faults::{FailReason, FailedRequest, FaultConfig};
+pub use fleet::snapshot::FleetSnapshot;
 pub use fleet::{Fleet, FleetConfig};
 pub use health::{CardHealth, CardMonitor, CircuitBreaker};
 pub use memo::TimingMemo;
@@ -77,7 +91,10 @@ pub use overload::{
     AimdConfig, AimdLimiter, HedgeConfig, OverloadConfig, RetryBudget, RetryBudgetConfig,
     ServiceTimeTracker,
 };
+pub use plan::{MetricsMode, ServeOutcome, ServePlan};
 pub use report::{FaultOutcome, Percentiles, PrioritySlo, ServeReport};
 pub use request::{CapacityClass, Priority, ServeRequest, ServeResponse};
 pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
+pub use sketch::{LatencySketch, StreamMetrics};
+pub use source::{JsonLinesSource, PoissonSource, SourceState, WorkloadSource, WorkloadStream};
 pub use trace::Workload;

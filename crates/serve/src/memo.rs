@@ -63,6 +63,21 @@ impl TimingMemo {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// The cached plan keys, in `BTreeMap` order. Snapshots serialize
+    /// keys only: a restored fleet reprices each key (the report is a
+    /// pure function of the key) instead of serializing `CycleReport`s.
+    pub(crate) fn keys(&self) -> impl Iterator<Item = &PlanKey> {
+        self.map.keys()
+    }
+
+    /// Overwrite the observability counters (snapshot restore: repricing
+    /// the keys counts as misses, which the true history may not have
+    /// been).
+    pub(crate) fn set_counters(&mut self, hits: u64, misses: u64) {
+        self.hits = hits;
+        self.misses = misses;
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,16 @@ impl AimdLimiter {
     pub fn on_overload(&mut self) {
         self.limit = (self.limit * self.config.decrease).max(self.config.min as f64);
     }
+
+    /// The fractional limit, bit-exact, for snapshots.
+    pub(crate) fn raw_limit(&self) -> f64 {
+        self.limit
+    }
+
+    /// Restore the fractional limit from a snapshot.
+    pub(crate) fn set_raw_limit(&mut self, limit: f64) {
+        self.limit = limit;
+    }
 }
 
 /// Tuning for the fleet-wide retry token bucket (the classic
@@ -223,6 +233,17 @@ impl RetryBudget {
             false
         }
     }
+
+    /// Current balance in milli-tokens, for snapshots (cap and deposit
+    /// rate are config-derived and not serialized).
+    pub(crate) fn milli(&self) -> u64 {
+        self.milli
+    }
+
+    /// Restore the balance from a snapshot.
+    pub(crate) fn set_milli(&mut self, milli: u64) {
+        self.milli = milli;
+    }
 }
 
 /// Tuning for hedged dispatch: when a dispatched batch has been running
@@ -289,6 +310,16 @@ impl ServiceTimeTracker {
         let rank =
             ((0.99 * self.sorted_ns.len() as f64).ceil() as usize).clamp(1, self.sorted_ns.len());
         Some(self.sorted_ns[rank - 1])
+    }
+
+    /// The sorted history, for snapshots.
+    pub(crate) fn export(&self) -> &[u64] {
+        &self.sorted_ns
+    }
+
+    /// Restore the history from a snapshot (already sorted).
+    pub(crate) fn import(&mut self, sorted_ns: Vec<u64>) {
+        self.sorted_ns = sorted_ns;
     }
 
     /// The hedge delay `config` derives from the history: `factor × p99`

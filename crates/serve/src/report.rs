@@ -290,6 +290,54 @@ impl ServeReport {
         }
     }
 
+    /// Assemble a report from streaming metrics, mirroring
+    /// [`from_responses`](Self::from_responses) with sketched
+    /// percentiles in place of exact nearest-rank ones. Everything else
+    /// — throughput, GOPS, utilization, mean batch size — is computed
+    /// from the same counters by the same formulas.
+    #[must_use]
+    pub fn from_stream(
+        metrics: &crate::sketch::StreamMetrics,
+        ops_total: u64,
+        batches: u64,
+        reprograms: u64,
+        busy_ns: &[u64],
+    ) -> Self {
+        let completed = metrics.completed() as usize;
+        let makespan_s = metrics.max_finish_ns() as f64 / 1e9;
+        let span = if makespan_s > 0.0 { makespan_s } else { f64::MIN_POSITIVE };
+        Self {
+            completed,
+            cards: busy_ns.len(),
+            batches,
+            reprograms,
+            makespan_s,
+            throughput_rps: completed as f64 / span,
+            gops: ops_total as f64 / 1e9 / span,
+            latency_ms: metrics.latency_percentiles(),
+            queue_ms: metrics.queue_percentiles(),
+            mean_batch: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            card_utilization: busy_ns.iter().map(|&b| (b as f64 / 1e9 / span).min(1.0)).collect(),
+            submitted: completed,
+            availability: 1.0,
+            retried: 0,
+            crashes: 0,
+            failed: Vec::new(),
+            faults: FaultStats::default(),
+            card_health: vec![CardHealth::Healthy; busy_ns.len()],
+            shed: Vec::new(),
+            expired: Vec::new(),
+            completed_in_deadline: completed,
+            goodput_rps: completed as f64 / span,
+            hedges: 0,
+            hedge_wins: 0,
+            hedge_cancels: 0,
+            slo: Vec::new(),
+            memo_hits: 0,
+            memo_misses: 0,
+        }
+    }
+
     /// Fold a fault-injected (or overload-controlled) run's outcome
     /// into the report, recomputing availability as
     /// `completed / submitted` (1.0 when nothing was submitted, so an

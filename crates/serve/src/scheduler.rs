@@ -367,6 +367,32 @@ impl BatchScheduler {
         self.pending += batch.requests.len();
     }
 
+    /// Canonical snapshot form of the queues: one
+    /// `(class, padded_seq_len, requests)` row per non-empty queue, in
+    /// `BatchKey` order. Pure data — no policy or capacity, which the
+    /// restoring side already has from its config.
+    pub(crate) fn export_queues(&self) -> Vec<(CapacityClass, usize, Vec<ServeRequest>)> {
+        self.queues
+            .iter()
+            .map(|(k, q)| (k.class, k.padded_seq_len, q.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Replace the queues with [`export_queues`](Self::export_queues)ed
+    /// rows (requests were validated at original admission, so none
+    /// re-validates here).
+    pub(crate) fn import_queues(&mut self, rows: Vec<(CapacityClass, usize, Vec<ServeRequest>)>) {
+        self.queues.clear();
+        self.pending = 0;
+        for (class, padded_seq_len, requests) in rows {
+            if requests.is_empty() {
+                continue;
+            }
+            self.pending += requests.len();
+            self.queues.insert(BatchKey { class, padded_seq_len }, requests.into_iter().collect());
+        }
+    }
+
     fn take(&mut self, key: BatchKey) -> Batch {
         let q = self.queues.get_mut(&key).expect("key exists by construction");
         let n = q.len().min(self.policy.max_batch);

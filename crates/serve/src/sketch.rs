@@ -1,0 +1,300 @@
+//! Online latency metrics: a fixed-bin log-histogram sketch.
+//!
+//! [`Percentiles::of`](crate::Percentiles::of) needs every sample in
+//! memory — fine at 2,000 requests, impossible at 10M+. The
+//! [`LatencySketch`] replaces it on the streaming path: a fixed array
+//! of geometric buckets over `[MIN_MS, MIN_MS·γ^NBINS)` with one extra
+//! bucket for zero/underflow. Recording is O(1), memory is O(1)
+//! (independent of the sample count), and any nearest-rank percentile
+//! query is answered by the geometric midpoint of the bucket holding
+//! that rank.
+//!
+//! ## Error bound
+//!
+//! With ratio `γ = 1.02`, a value `v` in bucket `b` satisfies
+//! `MIN·γ^b ≤ v < MIN·γ^(b+1)` and is reported as `MIN·γ^(b+0.5)`, so
+//! the reported quantile is within a factor `√γ` of the exact
+//! nearest-rank value: a **relative error of at most
+//! [`LatencySketch::RELATIVE_ERROR_BOUND`] (≈ 1 %)** for values inside
+//! the covered range (1 ns to ~11 simulated days of latency; zeros are
+//! exact, the maximum is tracked exactly, and a query whose rank is the
+//! last sample returns that exact maximum). The
+//! `sketch_props` property tests pin this bound against adversarial
+//! distributions.
+//!
+//! [`StreamMetrics`] bundles the two sketches a serving run needs
+//! (end-to-end latency and queueing delay) with the completion count
+//! and makespan tracking, so [`ServeReport::from_stream`]
+//! (crate::ServeReport::from_stream) can assemble the full report
+//! without ever materializing a response vector.
+
+use crate::report::Percentiles;
+use crate::request::ServeResponse;
+
+/// Number of geometric buckets (covers 1 ns to ~11.6 days at γ=1.02).
+const NBINS: usize = 1760;
+/// Smallest representable nonzero latency, in milliseconds (= 1 ns).
+const MIN_MS: f64 = 1e-6;
+/// Geometric bucket ratio.
+const GAMMA: f64 = 1.02;
+
+/// A fixed-size log-histogram over non-negative latencies (ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySketch {
+    /// Samples < [`MIN_MS`] (in particular exact zeros).
+    zeros: u64,
+    /// Geometric buckets; values beyond the top clamp into the last.
+    bins: Vec<u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact maximum observed.
+    max: f64,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencySketch {
+    /// Worst-case relative error of a percentile query against the
+    /// exact nearest-rank value, for in-range samples: `√γ − 1`,
+    /// slightly padded for float round-off.
+    pub const RELATIVE_ERROR_BOUND: f64 = 0.0101;
+
+    /// An empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { zeros: 0, bins: vec![0; NBINS], count: 0, max: 0.0 }
+    }
+
+    /// Record one sample (negative or NaN values count as zero —
+    /// latencies are non-negative by construction, but the sketch must
+    /// not misbehave on garbage).
+    pub fn record(&mut self, value_ms: f64) {
+        self.count += 1;
+        if value_ms.is_finite() && value_ms > self.max {
+            self.max = value_ms;
+        }
+        if value_ms.is_nan() || value_ms < MIN_MS {
+            self.zeros += 1;
+            return;
+        }
+        let bin = ((value_ms / MIN_MS).ln() / GAMMA.ln()) as usize;
+        self.bins[bin.min(NBINS - 1)] += 1;
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum observed (0.0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Nearest-rank percentile estimate for quantile `q` in `(0, 1]`.
+    /// Empty sketches answer 0.0; the top rank answers the exact max.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        if rank <= self.zeros {
+            return 0.0;
+        }
+        let mut cum = self.zeros;
+        for (b, &n) in self.bins.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return MIN_MS * GAMMA.powf(b as f64 + 0.5);
+            }
+        }
+        self.max
+    }
+
+    /// The four standard percentiles, mirroring
+    /// [`Percentiles::of`](crate::Percentiles::of).
+    #[must_use]
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+
+    /// Canonical snapshot form: `(zeros, non-empty (bin, count) pairs,
+    /// total count, exact max)`.
+    pub(crate) fn export(&self) -> (u64, Vec<(usize, u64)>, u64, f64) {
+        let nonzero =
+            self.bins.iter().enumerate().filter(|(_, &n)| n > 0).map(|(b, &n)| (b, n)).collect();
+        (self.zeros, nonzero, self.count, self.max)
+    }
+
+    /// Rebuild from [`export`](Self::export)ed state.
+    pub(crate) fn import(zeros: u64, nonzero: &[(usize, u64)], count: u64, max: f64) -> Self {
+        let mut bins = vec![0; NBINS];
+        for &(b, n) in nonzero {
+            if b < NBINS {
+                bins[b] = n;
+            }
+        }
+        Self { zeros, bins, count, max }
+    }
+}
+
+/// Everything the streaming metrics mode accumulates per completion:
+/// the two latency sketches, the completion count, and the makespan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamMetrics {
+    completed: u64,
+    max_finish_ns: u64,
+    latency: LatencySketch,
+    queue: LatencySketch,
+}
+
+impl StreamMetrics {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            completed: 0,
+            max_finish_ns: 0,
+            latency: LatencySketch::new(),
+            queue: LatencySketch::new(),
+        }
+    }
+
+    /// Fold in one completion record.
+    pub fn record(&mut self, resp: &ServeResponse) {
+        self.completed += 1;
+        self.max_finish_ns = self.max_finish_ns.max(resp.finish_ns);
+        self.latency.record(resp.latency_ms());
+        self.queue.record(resp.queue_ms());
+    }
+
+    /// Completions recorded.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Latest completion timestamp (ns); 0 when empty.
+    #[must_use]
+    pub fn max_finish_ns(&self) -> u64 {
+        self.max_finish_ns
+    }
+
+    /// End-to-end latency percentiles (sketched).
+    #[must_use]
+    pub fn latency_percentiles(&self) -> Percentiles {
+        self.latency.percentiles()
+    }
+
+    /// Queueing-delay percentiles (sketched).
+    #[must_use]
+    pub fn queue_percentiles(&self) -> Percentiles {
+        self.queue.percentiles()
+    }
+
+    pub(crate) fn sketches(&self) -> (&LatencySketch, &LatencySketch) {
+        (&self.latency, &self.queue)
+    }
+
+    pub(crate) fn from_parts(
+        completed: u64,
+        max_finish_ns: u64,
+        latency: LatencySketch,
+        queue: LatencySketch,
+    ) -> Self {
+        Self { completed, max_finish_ns, latency, queue }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(values: &[f64]) -> Percentiles {
+        Percentiles::of(values)
+    }
+
+    fn within(sketched: f64, exact: f64) -> bool {
+        if exact == 0.0 {
+            return sketched == 0.0;
+        }
+        ((sketched - exact) / exact).abs() <= LatencySketch::RELATIVE_ERROR_BOUND
+    }
+
+    #[test]
+    fn empty_sketch_is_all_zero() {
+        let s = LatencySketch::new();
+        let p = s.percentiles();
+        assert_eq!((p.p50, p.p95, p.p99, p.max), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn uniform_ramp_tracks_exact_percentiles() {
+        let values: Vec<f64> = (1..=10_000).map(|i| i as f64 / 10.0).collect();
+        let mut s = LatencySketch::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let e = exact(&values);
+        let p = s.percentiles();
+        assert!(within(p.p50, e.p50), "{} vs {}", p.p50, e.p50);
+        assert!(within(p.p95, e.p95), "{} vs {}", p.p95, e.p95);
+        assert!(within(p.p99, e.p99), "{} vs {}", p.p99, e.p99);
+        assert_eq!(p.max, e.max, "max is exact");
+    }
+
+    #[test]
+    fn zeros_are_exact() {
+        let mut s = LatencySketch::new();
+        for _ in 0..100 {
+            s.record(0.0);
+        }
+        s.record(5.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut s = LatencySketch::new();
+        for v in [0.0, 0.5, 1.7, 1.7, 9_000.0, 1e-9] {
+            s.record(v);
+        }
+        let (z, bins, n, max) = s.export();
+        let back = LatencySketch::import(z, &bins, n, max);
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn stream_metrics_accumulate() {
+        let mut m = StreamMetrics::new();
+        m.record(&ServeResponse {
+            id: 0,
+            arrival_ns: 1_000_000,
+            start_ns: 2_000_000,
+            finish_ns: 4_000_000,
+            card: 0,
+            batch_size: 1,
+            padded_seq_len: 16,
+        });
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.max_finish_ns(), 4_000_000);
+        assert_eq!(m.latency_percentiles().max, 3.0);
+        assert_eq!(m.queue_percentiles().max, 1.0);
+    }
+}

@@ -1,0 +1,658 @@
+//! Streaming workload sources: requests on demand, O(1) memory.
+//!
+//! PR 5's fleet walked a fully materialized [`Workload`] — every request
+//! resident before the simulation started, which caps a trace at what
+//! fits in RAM. [`WorkloadSource`] inverts that: the fleet *pulls* one
+//! request at a time, so a 10M-request soak holds exactly one pending
+//! arrival in memory, and a trace file streams line by line instead of
+//! being slurped.
+//!
+//! A source is also a *resumable cursor*: [`WorkloadSource::state`]
+//! captures its position as a few plain words and
+//! [`WorkloadSource::restore`] seeks back, which is what lets a fleet
+//! snapshot record "where the workload was" without recording the
+//! workload itself.
+//!
+//! Implementations:
+//!
+//! * [`PoissonSource`] — generates the exact request sequence of
+//!   [`Workload::poisson`] lazily (bit-identical draws, property
+//!   tested), resumable from `(emitted, rng state, clock)`;
+//! * [`JsonLinesSource`] — streams the **JSON-lines trace dialect**
+//!   (below) from a file, one parsed line in memory at a time;
+//! * [`WorkloadStream`] — borrows an eager [`Workload`] as a source
+//!   (the adapter [`Fleet::run`](crate::Fleet::run) uses for the legacy
+//!   entry points);
+//! * [`Workload`] itself — a consuming source, for callers that want to
+//!   hand the whole workload off.
+//!
+//! ## The JSON-lines trace dialect
+//!
+//! One request object per line, same fields as the array dialect in
+//! [`crate::trace`] (`arrival_us`, `d_model`, `heads`, `layers`,
+//! `seq_len`, optional `deadline_us` and `priority`); blank lines are
+//! ignored; request ids are assigned from the request's ordinal (0-based
+//! count of non-blank lines before it):
+//!
+//! ```text
+//! { "arrival_us": 0,  "d_model": 96, "heads": 4, "layers": 2, "seq_len": 17 }
+//! { "arrival_us": 40, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 61 }
+//! ```
+//!
+//! Unlike the array dialect — which sorts after parsing — a lazy reader
+//! cannot sort, so **arrivals must already be non-decreasing**;
+//! out-of-order lines are rejected at open. (Sort offline or load
+//! eagerly via [`Workload::from_json`] if your trace is unsorted.)
+
+use crate::error::ServeError;
+use crate::request::ServeRequest;
+use crate::trace::{json, request_from_value, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+/// A resumable cursor position, as opaque words. The layout is owned by
+/// the source that produced it; fleet snapshots store the words
+/// verbatim and hand them back on resume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceState {
+    /// Source-defined words (e.g. requests emitted, RNG state, clock).
+    pub words: Vec<u64>,
+}
+
+/// A pull-based request stream with checkpointable position.
+///
+/// The contract mirrors an iterator, with three additions the fleet
+/// needs: errors are first-class (a corrupt trace line surfaces as
+/// `Err`, not a panic mid-simulation), deadline presence is knowable
+/// up front (it selects the managed scheduling path before the first
+/// arrival), and the cursor can be captured/restored for
+/// snapshot/replay.
+///
+/// Requests must be yielded in non-decreasing `arrival_ns` order — the
+/// fleet schedules lazily and cannot travel back in time.
+pub trait WorkloadSource {
+    /// A short tag identifying the source family (recorded in
+    /// snapshots; resuming with a different kind of source is an
+    /// error).
+    fn kind(&self) -> &'static str;
+
+    /// The next request, `Ok(None)` when exhausted.
+    ///
+    /// # Errors
+    /// Source-defined; e.g. a malformed trace line.
+    fn next_request(&mut self) -> Result<Option<ServeRequest>, ServeError>;
+
+    /// Whether any request this source will ever yield carries a
+    /// deadline. Decided before the run starts — it selects the
+    /// managed scheduling path, which cannot change mid-simulation.
+    fn has_deadlines(&self) -> bool;
+
+    /// Capture the cursor.
+    fn state(&self) -> SourceState;
+
+    /// Seek back to a captured cursor.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] when the state does not fit this
+    /// source (wrong word count, position beyond the end, …).
+    fn restore(&mut self, state: &SourceState) -> Result<(), ServeError>;
+}
+
+fn state_err(msg: impl Into<String>) -> ServeError {
+    ServeError::Snapshot { msg: msg.into() }
+}
+
+/// Expect exactly `n` state words.
+fn words<const N: usize>(state: &SourceState, kind: &str) -> Result<[u64; N], ServeError> {
+    <[u64; N]>::try_from(state.words.as_slice()).map_err(|_| {
+        state_err(format!("{kind} source state wants {N} words, got {}", state.words.len()))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Poisson generation
+// ---------------------------------------------------------------------
+
+/// Lazy twin of [`Workload::poisson`]: yields the *bit-identical*
+/// request sequence (same RNG draw order, same arithmetic) without ever
+/// materializing it. Resume state is three words — requests emitted,
+/// RNG position, arrival clock — so a 10M-request soak can checkpoint
+/// in constant space.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    n: u64,
+    emitted: u64,
+    rate: f64,
+    classes: Vec<(usize, usize, usize)>,
+    lo: usize,
+    hi: usize,
+    rng: StdRng,
+    t_ns: u64,
+    deadline_rel_ns: Option<u64>,
+}
+
+impl PoissonSource {
+    /// Mirror of [`Workload::poisson`]'s signature and fallback rules:
+    /// non-positive rates become 1/s, an empty class list becomes
+    /// `[(96, 4, 2)]`, and the sequence range is clamped to `1..`.
+    #[must_use]
+    pub fn new(
+        n: usize,
+        rate_per_s: f64,
+        classes: &[(usize, usize, usize)],
+        seq_range: (usize, usize),
+        seed: u64,
+    ) -> Self {
+        let rate = if rate_per_s > 0.0 { rate_per_s } else { 1.0 };
+        let classes: Vec<(usize, usize, usize)> =
+            if classes.is_empty() { vec![(96, 4, 2)] } else { classes.to_vec() };
+        let lo = seq_range.0.max(1);
+        let hi = seq_range.1.max(lo);
+        Self {
+            n: n as u64,
+            emitted: 0,
+            rate,
+            classes,
+            lo,
+            hi,
+            rng: StdRng::seed_from_u64(seed),
+            t_ns: 0,
+            deadline_rel_ns: None,
+        }
+    }
+
+    /// Stamp every generated request with a deadline `rel_ns` after its
+    /// arrival (the streaming analogue of [`Workload::with_deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, rel_ns: u64) -> Self {
+        self.deadline_rel_ns = Some(rel_ns);
+        self
+    }
+
+    /// Requests this source will yield in total.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+}
+
+impl WorkloadSource for PoissonSource {
+    fn kind(&self) -> &'static str {
+        "poisson"
+    }
+
+    fn next_request(&mut self) -> Result<Option<ServeRequest>, ServeError> {
+        if self.emitted >= self.n {
+            return Ok(None);
+        }
+        // Exactly Workload::poisson's per-request draw order.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap_s = -u.ln() / self.rate;
+        self.t_ns = self.t_ns.saturating_add((gap_s * 1e9) as u64);
+        let (d_model, heads, layers) = self.classes[self.rng.gen_range(0..self.classes.len())];
+        let seq_len = self.rng.gen_range(self.lo..=self.hi);
+        let id = self.emitted;
+        self.emitted += 1;
+        Ok(Some(ServeRequest {
+            id,
+            arrival_ns: self.t_ns,
+            d_model,
+            heads,
+            layers,
+            seq_len,
+            deadline_ns: self.deadline_rel_ns.map(|rel| self.t_ns.saturating_add(rel)),
+            ..ServeRequest::default()
+        }))
+    }
+
+    fn has_deadlines(&self) -> bool {
+        self.deadline_rel_ns.is_some()
+    }
+
+    fn state(&self) -> SourceState {
+        SourceState { words: vec![self.emitted, self.rng.state(), self.t_ns] }
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), ServeError> {
+        let [emitted, rng_state, t_ns] = words::<3>(state, "poisson")?;
+        if emitted > self.n {
+            return Err(state_err(format!("poisson cursor {emitted} beyond total {}", self.n)));
+        }
+        self.emitted = emitted;
+        self.rng = StdRng::seed_from_u64(rng_state);
+        self.t_ns = t_ns;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON-lines trace files
+// ---------------------------------------------------------------------
+
+/// Streams the JSON-lines trace dialect (module docs) from a file.
+///
+/// Opening performs one full validation pass — every line parsed, the
+/// non-decreasing-arrival rule enforced, deadline presence recorded —
+/// in constant memory, then rewinds; serving re-parses lazily. Two
+/// passes over the file buy exact up-front errors (a corrupt line 9
+/// million fails at open, not mid-soak) and an exact
+/// [`has_deadlines`](WorkloadSource::has_deadlines) answer, while the
+/// resident set stays one line.
+#[derive(Debug)]
+pub struct JsonLinesSource {
+    path: PathBuf,
+    reader: BufReader<File>,
+    /// Requests (non-blank lines) emitted so far.
+    emitted: u64,
+    last_arrival_ns: u64,
+    total: u64,
+    deadlines: bool,
+}
+
+impl JsonLinesSource {
+    /// Open and validate `path`.
+    ///
+    /// # Errors
+    /// [`ServeError::Trace`] for I/O failures, malformed lines, or
+    /// out-of-order arrivals (the error names the offending line);
+    /// [`ServeError::EmptyTrace`] when no line holds a request.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref().to_path_buf();
+        let mut reader = buf_open(&path)?;
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        let (mut total, mut deadlines, mut last_arrival) = (0u64, false, 0u64);
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| trace_line_err(lineno + 1, format!("read failed: {e}")))?;
+            if n == 0 {
+                break;
+            }
+            lineno += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = parse_line(&line, total, lineno)?;
+            if req.arrival_ns < last_arrival {
+                return Err(trace_line_err(
+                    lineno,
+                    format!(
+                        "arrival_us went backwards ({} < {}); the JSON-lines dialect \
+                         requires non-decreasing arrivals (sort the trace, or load it \
+                         eagerly with the array dialect)",
+                        req.arrival_ns / 1_000,
+                        last_arrival / 1_000
+                    ),
+                ));
+            }
+            last_arrival = req.arrival_ns;
+            deadlines |= req.deadline_ns.is_some();
+            total += 1;
+        }
+        if total == 0 {
+            return Err(ServeError::EmptyTrace);
+        }
+        Ok(Self {
+            reader: buf_open(&path)?,
+            path,
+            emitted: 0,
+            last_arrival_ns: 0,
+            total,
+            deadlines,
+        })
+    }
+
+    /// Requests in the file (counted during the validation pass).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+fn buf_open(path: &Path) -> Result<BufReader<File>, ServeError> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| trace_line_err(0, format!("cannot open {}: {e}", path.display())))
+}
+
+fn trace_line_err(line: usize, msg: String) -> ServeError {
+    ServeError::Trace { at: line, msg }
+}
+
+fn parse_line(line: &str, id: u64, lineno: usize) -> Result<ServeRequest, ServeError> {
+    let value =
+        json::parse(line.trim()).and_then(|v| request_from_value(&v, id)).map_err(|e| match e {
+            ServeError::Trace { msg, .. } => {
+                trace_line_err(lineno, format!("line {lineno}: {msg}"))
+            }
+            other => other,
+        })?;
+    Ok(value)
+}
+
+impl WorkloadSource for JsonLinesSource {
+    fn kind(&self) -> &'static str {
+        "json-lines"
+    }
+
+    fn next_request(&mut self) -> Result<Option<ServeRequest>, ServeError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| trace_line_err(0, format!("read failed: {e}")))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = parse_line(&line, self.emitted, 0)?;
+            // Already enforced at open; re-checked so a file mutated
+            // between passes cannot smuggle in time travel.
+            if req.arrival_ns < self.last_arrival_ns {
+                return Err(trace_line_err(
+                    0,
+                    "trace changed since open: arrivals out of order".into(),
+                ));
+            }
+            self.last_arrival_ns = req.arrival_ns;
+            self.emitted += 1;
+            return Ok(Some(req));
+        }
+    }
+
+    fn has_deadlines(&self) -> bool {
+        self.deadlines
+    }
+
+    fn state(&self) -> SourceState {
+        SourceState { words: vec![self.emitted, self.last_arrival_ns] }
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), ServeError> {
+        let [emitted, last_arrival_ns] = words::<2>(state, "json-lines")?;
+        if emitted > self.total {
+            return Err(state_err(format!(
+                "json-lines cursor {emitted} beyond total {}",
+                self.total
+            )));
+        }
+        self.reader = buf_open(&self.path)?;
+        let mut skipped = 0u64;
+        let mut line = String::new();
+        while skipped < emitted {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| trace_line_err(0, format!("read failed: {e}")))?;
+            if n == 0 {
+                return Err(state_err("trace file shrank since the snapshot was taken"));
+            }
+            if !line.trim().is_empty() {
+                skipped += 1;
+            }
+        }
+        self.emitted = emitted;
+        self.last_arrival_ns = last_arrival_ns;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eager workloads as sources
+// ---------------------------------------------------------------------
+
+/// Borrows an eager [`Workload`] as a [`WorkloadSource`] — zero copies,
+/// cursor is just an index. This is the adapter the legacy `Fleet`
+/// entry points ride through [`Fleet::run`](crate::Fleet::run).
+#[derive(Debug, Clone)]
+pub struct WorkloadStream<'a> {
+    requests: &'a [ServeRequest],
+    pos: usize,
+    deadlines: bool,
+}
+
+impl<'a> WorkloadStream<'a> {
+    /// Wrap `workload` (which must already be sorted by arrival, as
+    /// [`Workload`] guarantees).
+    #[must_use]
+    pub fn new(workload: &'a Workload) -> Self {
+        Self {
+            requests: &workload.requests,
+            pos: 0,
+            deadlines: workload.requests.iter().any(|r| r.deadline_ns.is_some()),
+        }
+    }
+}
+
+impl WorkloadSource for WorkloadStream<'_> {
+    fn kind(&self) -> &'static str {
+        "workload-stream"
+    }
+
+    fn next_request(&mut self) -> Result<Option<ServeRequest>, ServeError> {
+        let r = self.requests.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        Ok(r)
+    }
+
+    fn has_deadlines(&self) -> bool {
+        self.deadlines
+    }
+
+    fn state(&self) -> SourceState {
+        SourceState { words: vec![self.pos as u64] }
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), ServeError> {
+        let [pos] = words::<1>(state, "workload-stream")?;
+        if pos as usize > self.requests.len() {
+            return Err(state_err(format!(
+                "workload cursor {pos} beyond {} requests",
+                self.requests.len()
+            )));
+        }
+        self.pos = pos as usize;
+        Ok(())
+    }
+}
+
+/// A [`Workload`] is itself a (consuming) source: requests pop off the
+/// front. Note each pop is O(remaining) — for long workloads prefer
+/// [`WorkloadStream`], which cursors without shifting. Resume state is
+/// the remaining-request count, so restoring assumes the same original
+/// workload.
+impl WorkloadSource for Workload {
+    fn kind(&self) -> &'static str {
+        "workload"
+    }
+
+    fn next_request(&mut self) -> Result<Option<ServeRequest>, ServeError> {
+        if self.requests.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(self.requests.remove(0)))
+        }
+    }
+
+    fn has_deadlines(&self) -> bool {
+        self.requests.iter().any(|r| r.deadline_ns.is_some())
+    }
+
+    fn state(&self) -> SourceState {
+        SourceState { words: vec![self.requests.len() as u64] }
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), ServeError> {
+        let [remaining] = words::<1>(state, "workload")?;
+        let have = self.requests.len() as u64;
+        if remaining > have {
+            return Err(state_err(format!(
+                "workload has {have} requests, cursor wants {remaining} left"
+            )));
+        }
+        self.requests.drain(..(have - remaining) as usize);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut dyn WorkloadSource) -> Vec<ServeRequest> {
+        std::iter::from_fn(|| src.next_request().unwrap()).collect()
+    }
+
+    #[test]
+    fn poisson_source_matches_eager_poisson_bit_for_bit() {
+        let classes = [(96, 4, 2), (128, 4, 2), (64, 2, 1)];
+        let eager = Workload::poisson(500, 20_000.0, &classes, (8, 128), 1234);
+        let mut lazy = PoissonSource::new(500, 20_000.0, &classes, (8, 128), 1234);
+        assert_eq!(drain(&mut lazy), eager.requests);
+    }
+
+    #[test]
+    fn poisson_source_honors_eager_fallbacks() {
+        let eager = Workload::poisson(40, -3.0, &[], (0, 0), 9);
+        let mut lazy = PoissonSource::new(40, -3.0, &[], (0, 0), 9);
+        assert_eq!(drain(&mut lazy), eager.requests);
+    }
+
+    #[test]
+    fn poisson_state_round_trips_mid_stream() {
+        let mut a = PoissonSource::new(100, 5_000.0, &[(96, 4, 2)], (8, 64), 7);
+        for _ in 0..37 {
+            a.next_request().unwrap();
+        }
+        let state = a.state();
+        let rest_a = drain(&mut a);
+        let mut b = PoissonSource::new(100, 5_000.0, &[(96, 4, 2)], (8, 64), 7);
+        b.restore(&state).unwrap();
+        assert_eq!(drain(&mut b), rest_a, "restored source continues the exact sequence");
+    }
+
+    #[test]
+    fn poisson_deadline_mirrors_with_deadline() {
+        let eager =
+            Workload::poisson(30, 10_000.0, &[(96, 4, 2)], (8, 16), 5).with_deadline(750_000);
+        let mut lazy =
+            PoissonSource::new(30, 10_000.0, &[(96, 4, 2)], (8, 16), 5).with_deadline(750_000);
+        assert!(lazy.has_deadlines());
+        assert_eq!(drain(&mut lazy), eager.requests);
+    }
+
+    #[test]
+    fn workload_stream_yields_all_and_restores() {
+        let w = Workload::poisson(25, 5_000.0, &[(96, 4, 2)], (8, 16), 3);
+        let mut s = WorkloadStream::new(&w);
+        for _ in 0..10 {
+            s.next_request().unwrap();
+        }
+        let state = s.state();
+        let rest: Vec<_> = drain(&mut s);
+        let mut s2 = WorkloadStream::new(&w);
+        s2.restore(&state).unwrap();
+        assert_eq!(drain(&mut s2), rest);
+        assert_eq!(rest.len(), 15);
+    }
+
+    #[test]
+    fn consuming_workload_source_pops_front() {
+        let w = Workload::poisson(5, 5_000.0, &[(96, 4, 2)], (8, 16), 3);
+        let reference = w.requests.clone();
+        let mut consuming = w;
+        assert_eq!(drain(&mut consuming), reference);
+        assert!(consuming.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn workload_iter_borrows() {
+        let w = Workload::poisson(5, 5_000.0, &[(96, 4, 2)], (8, 16), 3);
+        assert_eq!(w.iter().count(), 5);
+        assert_eq!((&w).into_iter().count(), 5);
+        assert_eq!(w.requests.len(), 5, "iter must not consume");
+    }
+
+    fn temp_trace(name: &str, body: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("protea-{}-{name}", std::process::id()));
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn json_lines_round_trip_and_resume() {
+        let w = Workload::poisson(20, 5_000.0, &[(96, 4, 2), (128, 4, 2)], (8, 64), 11);
+        let body: String =
+            w.requests.iter().map(single_line).collect::<Vec<_>>().join("\n") + "\n\n";
+        let path = temp_trace("jsonl-rt.jsonl", &body);
+        let mut src = JsonLinesSource::open(&path).unwrap();
+        assert_eq!(src.total(), 20);
+        assert!(!src.has_deadlines());
+        for _ in 0..8 {
+            src.next_request().unwrap();
+        }
+        let state = src.state();
+        let rest = drain(&mut src);
+        assert_eq!(rest.len(), 12);
+        src.restore(&state).unwrap();
+        assert_eq!(drain(&mut src), rest);
+        std::fs::remove_file(path).ok();
+    }
+
+    fn single_line(r: &ServeRequest) -> String {
+        format!(
+            "{{ \"arrival_us\": {}, \"d_model\": {}, \"heads\": {}, \"layers\": {}, \"seq_len\": {} }}",
+            r.arrival_ns / 1_000,
+            r.d_model,
+            r.heads,
+            r.layers,
+            r.seq_len
+        )
+    }
+
+    #[test]
+    fn json_lines_detects_deadlines_and_assigns_line_ids() {
+        let body = concat!(
+            "{ \"arrival_us\": 1, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8 }\n",
+            "\n",
+            "{ \"arrival_us\": 2, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8, ",
+            "\"deadline_us\": 900, \"priority\": \"interactive\" }\n",
+        );
+        let path = temp_trace("jsonl-dl.jsonl", body);
+        let mut src = JsonLinesSource::open(&path).unwrap();
+        assert!(src.has_deadlines());
+        let reqs = drain(&mut src);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!((reqs[0].id, reqs[1].id), (0, 1));
+        assert_eq!(reqs[1].deadline_ns, Some(900_000));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_lines_rejects_out_of_order_and_garbage() {
+        let unsorted = concat!(
+            "{ \"arrival_us\": 9, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8 }\n",
+            "{ \"arrival_us\": 3, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8 }\n",
+        );
+        let path = temp_trace("jsonl-bad.jsonl", unsorted);
+        let err = JsonLinesSource::open(&path).unwrap_err();
+        assert!(format!("{err}").contains("non-decreasing"), "got: {err}");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(JsonLinesSource::open(&path).is_err());
+        std::fs::write(&path, "\n\n").unwrap();
+        assert!(matches!(JsonLinesSource::open(&path), Err(ServeError::EmptyTrace)));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -51,46 +51,7 @@ impl Workload {
         let items = requests_val.as_array(0, "\"requests\"")?;
         let mut requests = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
-            let obj = item.as_object(0, "request")?;
-            let field = |name: &str| -> Result<u64, ServeError> {
-                obj.iter()
-                    .rev()
-                    .find(|(k, _)| k == name)
-                    .map(|(_, v)| v.as_u64(0, name))
-                    .ok_or_else(|| trace_err(0, format!("request {i} missing \"{name}\"")))?
-            };
-            let opt_field = |name: &str| -> Option<&json::Value> {
-                obj.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v)
-            };
-            let deadline_ns = match opt_field("deadline_us") {
-                Some(v) => Some(v.as_u64(0, "deadline_us")?.saturating_mul(1_000)),
-                None => None,
-            };
-            let priority = match opt_field("priority") {
-                Some(v) => {
-                    let s = v.as_str(0, "priority")?;
-                    Priority::parse(s).ok_or_else(|| {
-                        trace_err(
-                            0,
-                            format!(
-                                "request {i}: unknown priority {s:?} \
-                                 (want best-effort | normal | interactive)"
-                            ),
-                        )
-                    })?
-                }
-                None => Priority::Normal,
-            };
-            requests.push(ServeRequest {
-                id: i as u64,
-                arrival_ns: field("arrival_us")?.saturating_mul(1_000),
-                d_model: field("d_model")? as usize,
-                heads: field("heads")? as usize,
-                layers: field("layers")? as usize,
-                seq_len: field("seq_len")? as usize,
-                priority,
-                deadline_ns,
-            });
+            requests.push(request_from_value(item, i as u64)?);
         }
         if requests.is_empty() {
             return Err(ServeError::EmptyTrace);
@@ -195,6 +156,72 @@ impl Workload {
     pub fn span_s(&self) -> f64 {
         self.requests.last().map_or(0.0, |r| r.arrival_ns as f64 / 1e9)
     }
+
+    /// Iterate the requests in arrival order without copying them —
+    /// the streaming face of an eager workload. For a source that can
+    /// be handed to [`Fleet::run`](crate::Fleet::run) see
+    /// [`WorkloadStream`](crate::WorkloadStream) (borrowing) or the
+    /// [`WorkloadSource`](crate::WorkloadSource) impl on `Workload`
+    /// itself (consuming).
+    pub fn iter(&self) -> impl Iterator<Item = &ServeRequest> {
+        self.requests.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Workload {
+    type Item = &'a ServeRequest;
+    type IntoIter = std::slice::Iter<'a, ServeRequest>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+/// Parse one request object from the trace dialect (shared by the eager
+/// array parser above and the lazy JSON-lines reader in
+/// [`crate::source`]). `id` is the request's index in its container —
+/// array position or line ordinal.
+pub(crate) fn request_from_value(item: &json::Value, id: u64) -> Result<ServeRequest, ServeError> {
+    let obj = item.as_object(0, "request")?;
+    let field = |name: &str| -> Result<u64, ServeError> {
+        obj.iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_u64(0, name))
+            .ok_or_else(|| trace_err(0, format!("request {id} missing \"{name}\"")))?
+    };
+    let opt_field = |name: &str| -> Option<&json::Value> {
+        obj.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v)
+    };
+    let deadline_ns = match opt_field("deadline_us") {
+        Some(v) => Some(v.as_u64(0, "deadline_us")?.saturating_mul(1_000)),
+        None => None,
+    };
+    let priority = match opt_field("priority") {
+        Some(v) => {
+            let s = v.as_str(0, "priority")?;
+            Priority::parse(s).ok_or_else(|| {
+                trace_err(
+                    0,
+                    format!(
+                        "request {id}: unknown priority {s:?} \
+                         (want best-effort | normal | interactive)"
+                    ),
+                )
+            })?
+        }
+        None => Priority::Normal,
+    };
+    Ok(ServeRequest {
+        id,
+        arrival_ns: field("arrival_us")?.saturating_mul(1_000),
+        d_model: field("d_model")? as usize,
+        heads: field("heads")? as usize,
+        layers: field("layers")? as usize,
+        seq_len: field("seq_len")? as usize,
+        priority,
+        deadline_ns,
+    })
 }
 
 fn trace_err(at: usize, msg: impl Into<String>) -> ServeError {
@@ -203,8 +230,10 @@ fn trace_err(at: usize, msg: impl Into<String>) -> ServeError {
 
 /// A minimal total JSON reader: just enough for the trace dialect, with
 /// a nesting cap so deeply nested adversarial input errors out instead
-/// of overflowing the stack.
-mod json {
+/// of overflowing the stack. Crate-visible so the lazy JSON-lines
+/// source can parse one request object per line through the same
+/// grammar.
+pub(crate) mod json {
     use super::{trace_err, ServeError};
 
     const MAX_DEPTH: usize = 32;

@@ -7,7 +7,7 @@
 use protea_core::FaultRates;
 use protea_serve::{
     AimdConfig, BatchPolicy, FaultConfig, Fleet, FleetConfig, HedgeConfig, OverloadConfig,
-    RetryBudgetConfig, Workload,
+    RetryBudgetConfig, ServePlan, Workload,
 };
 
 fn workload(seed: u64) -> Workload {
@@ -22,12 +22,14 @@ fn serve_both(
 ) -> (protea_serve::ServeReport, protea_serve::ServeReport) {
     let on = Fleet::try_new(FleetConfig { timing_memo: true, ..config.clone() })
         .expect("valid config")
-        .serve(wl)
-        .expect("servable workload");
+        .run(ServePlan::workload(wl))
+        .expect("servable workload")
+        .report;
     let off = Fleet::try_new(FleetConfig { timing_memo: false, ..config })
         .expect("valid config")
-        .serve(wl)
-        .expect("servable workload");
+        .run(ServePlan::workload(wl))
+        .expect("servable workload")
+        .report;
     (on, off)
 }
 

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use protea_core::{FaultRates, RetryPolicy};
 use protea_serve::{
     AimdConfig, BatchPolicy, FaultConfig, Fleet, FleetConfig, HedgeConfig, OverloadConfig,
-    Priority, RetryBudgetConfig, ServeRequest, Workload,
+    Priority, RetryBudgetConfig, ServePlan, ServeRequest, Workload,
 };
 use std::collections::BTreeSet;
 
@@ -95,9 +95,11 @@ proptest! {
         let fault_rate = if raw_rate.0 == 1 { raw_rate.1 } else { 0.0 };
         let workload = workload_of(&arrivals);
         let fleet = overloaded_fleet(cards, seed, fault_rate);
-        let (report, responses) = fleet
-            .serve_with_responses(&workload)
+        let out = fleet
+            .run(ServePlan::workload(&workload).collect_responses())
             .expect("servable shapes with a valid config never error");
+        let (report, responses) =
+            (out.report, out.responses.expect("collect_responses populates responses"));
 
         let completed: Vec<u64> = responses.iter().map(|r| r.id).collect();
         let shed: Vec<u64> = report.shed.iter().map(|f| f.id).collect();
@@ -128,8 +130,11 @@ proptest! {
         prop_assert_eq!(slo_submitted, workload.requests.len());
 
         // Determinism: the identical run replays bit-identically.
+        let out = fleet
+            .run(ServePlan::workload(&workload).collect_responses())
+            .expect("replay");
         let (again, responses_again) =
-            fleet.serve_with_responses(&workload).expect("replay");
+            (out.report, out.responses.expect("collect_responses populates responses"));
         prop_assert_eq!(report, again);
         prop_assert_eq!(responses, responses_again);
     }
@@ -153,7 +158,9 @@ proptest! {
             ..FleetConfig::default()
         })
         .expect("valid config");
-        let (report, responses) = fleet.serve_with_responses(&workload).expect("serve");
+        let out = fleet.run(ServePlan::workload(&workload).collect_responses()).expect("serve");
+        let (report, responses) =
+            (out.report, out.responses.expect("collect_responses populates responses"));
         let ids: BTreeSet<u64> = responses.iter().map(|r| r.id).collect();
         prop_assert_eq!(ids.len(), n, "every request completes exactly once");
         prop_assert_eq!(report.completed, n);

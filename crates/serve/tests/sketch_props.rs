@@ -1,0 +1,168 @@
+//! Property tests for the streaming metrics sketch: every percentile it
+//! reports stays within the documented relative-error bound of the
+//! exact nearest-rank answer, across adversarial distributions —
+//! single-element, constant, heavy-tailed, and arbitrary mixtures.
+//!
+//! Also pins the report-equality contract the sketch rides on:
+//! `ServeReport` equality ignores the memo observability counters, so
+//! memoized and unmemoized runs compare equal wherever it matters.
+
+use proptest::prelude::*;
+use protea_serve::{
+    Fleet, FleetConfig, LatencySketch, Percentiles, ServePlan, StreamMetrics, Workload,
+};
+
+/// |sketch - exact| <= bound * exact, the guarantee LatencySketch
+/// documents for values inside its dynamic range.
+fn within_bound(sketched: f64, exact: f64) -> bool {
+    if exact == 0.0 {
+        return sketched == 0.0;
+    }
+    ((sketched - exact) / exact).abs() <= LatencySketch::RELATIVE_ERROR_BOUND
+}
+
+fn check_all_percentiles(values: &[f64]) {
+    let mut sketch = LatencySketch::new();
+    for &v in values {
+        sketch.record(v);
+    }
+    let exact = Percentiles::of(values);
+    let est = sketch.percentiles();
+    for (q, s, e) in [(50, est.p50, exact.p50), (95, est.p95, exact.p95), (99, est.p99, exact.p99)]
+    {
+        assert!(
+            within_bound(s, e),
+            "p{q}: sketch {s} vs exact {e} over {} values (rel err {})",
+            values.len(),
+            ((s - e) / e).abs()
+        );
+    }
+    // The max is tracked exactly, not binned.
+    assert_eq!(est.max, exact.max, "max must be exact");
+    assert_eq!(sketch.count(), values.len() as u64);
+}
+
+#[test]
+fn single_element_distributions_are_exact_within_bound() {
+    for v in [0.0, 1e-6, 0.001, 1.0, 3.25, 999.75, 1e6] {
+        check_all_percentiles(&[v]);
+    }
+}
+
+#[test]
+fn constant_distributions_hold_the_bound_at_any_length() {
+    for n in [1usize, 2, 3, 7, 100, 999] {
+        check_all_percentiles(&vec![1.7; n]);
+        check_all_percentiles(&vec![0.0; n]);
+    }
+}
+
+#[test]
+fn heavy_tailed_distributions_hold_the_bound() {
+    // A Pareto-ish tail spanning nine decades: most mass at ~0.1 ms,
+    // stragglers out to ~100 s. Exactly the shape that breaks
+    // fixed-width histograms.
+    let mut values = Vec::new();
+    let mut x = 1u64;
+    for i in 0..4096u64 {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let v = 0.1 / (1.0 - u).powf(1.5).max(1e-12);
+        values.push(v.min(1e5) + (i % 7) as f64 * 1e-4);
+    }
+    check_all_percentiles(&values);
+}
+
+#[test]
+fn zeros_mixed_with_values_keep_the_zero_bucket_exact() {
+    let mut values = vec![0.0; 500];
+    values.extend((1..=500).map(|i| i as f64 * 0.01));
+    check_all_percentiles(&values);
+    // With a zero-heavy stream the median is exactly zero.
+    let mut sketch = LatencySketch::new();
+    for &v in &values {
+        sketch.record(v);
+    }
+    assert_eq!(sketch.quantile(0.25), 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary value mixtures across the sketch's dynamic range: each
+    /// draw picks a decade band (including an exact-zero band) and a
+    /// position within it.
+    #[test]
+    fn arbitrary_mixtures_hold_the_bound(
+        draws in prop::collection::vec((0u8..5, 0.0f64..1.0), 1..300)
+    ) {
+        let values: Vec<f64> = draws
+            .iter()
+            .map(|&(band, u)| match band {
+                0 => 0.0,
+                1 => 1e-6 + u * (1e-3 - 1e-6),
+                2 => 1e-3 + u * (1.0 - 1e-3),
+                3 => 1.0 + u * (1e3 - 1.0),
+                _ => 1e3 + u * (1e7 - 1e3),
+            })
+            .collect();
+        check_all_percentiles(&values);
+    }
+
+    /// StreamMetrics agrees with feeding the sketch by hand: same
+    /// percentiles, exact completion count and max finish time.
+    #[test]
+    fn stream_metrics_matches_manual_sketch(
+        latencies in prop::collection::vec(0u64..10_000_000, 1..100),
+    ) {
+        let mut metrics = StreamMetrics::new();
+        let mut manual = LatencySketch::new();
+        let mut max_finish = 0u64;
+        for (i, &lat) in latencies.iter().enumerate() {
+            let arrival = (i as u64) * 1_000;
+            let start = arrival + lat / 2;
+            let finish = arrival + lat;
+            metrics.record(&protea_serve::ServeResponse {
+                id: i as u64,
+                arrival_ns: arrival,
+                start_ns: start,
+                finish_ns: finish,
+                card: 0,
+                batch_size: 1,
+                padded_seq_len: 8,
+            });
+            manual.record(lat as f64 / 1e6);
+            max_finish = max_finish.max(finish);
+        }
+        prop_assert_eq!(metrics.completed(), latencies.len() as u64);
+        prop_assert_eq!(metrics.max_finish_ns(), max_finish);
+        let a = metrics.latency_percentiles();
+        let b = manual.percentiles();
+        prop_assert_eq!(a.p50.to_bits(), b.p50.to_bits());
+        prop_assert_eq!(a.p95.to_bits(), b.p95.to_bits());
+        prop_assert_eq!(a.p99.to_bits(), b.p99.to_bits());
+        prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+    }
+}
+
+#[test]
+fn report_equality_still_ignores_memo_counters() {
+    // The memo counters are observability-only: a memoized and an
+    // unmemoized run of the same workload must compare equal even
+    // though their hit/miss counters differ.
+    let w = Workload::poisson(40, 5_000.0, &[(96, 4, 2), (64, 4, 1)], (4, 32), 31);
+    let on = Fleet::try_new(FleetConfig { timing_memo: true, ..FleetConfig::default() })
+        .unwrap()
+        .run(ServePlan::workload(&w))
+        .unwrap()
+        .report;
+    let off = Fleet::try_new(FleetConfig { timing_memo: false, ..FleetConfig::default() })
+        .unwrap()
+        .run(ServePlan::workload(&w))
+        .unwrap()
+        .report;
+    assert!(on.memo_hits > 0, "memoized run must actually hit the memo");
+    assert_eq!(off.memo_hits, 0);
+    assert_ne!((on.memo_hits, on.memo_misses), (off.memo_hits, off.memo_misses));
+    assert_eq!(on, off, "equality must ignore the memo counters");
+}

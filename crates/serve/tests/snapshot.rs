@@ -1,0 +1,202 @@
+//! Snapshot/resume determinism: a run interrupted at any epoch and
+//! resumed from its `FleetSnapshot` must be *bit-identical* to the
+//! uninterrupted run — same per-epoch state hashes, same final state
+//! hash, same `ServeReport` down to the rendered string — across the
+//! plain fleet, the fully managed (faults + overload + deadlines)
+//! fleet, and the streaming-sketch path.
+
+use protea_serve::{
+    AimdConfig, BatchPolicy, FaultConfig, Fleet, FleetConfig, FleetSnapshot, HedgeConfig,
+    MetricsMode, OverloadConfig, PoissonSource, RetryBudgetConfig, ServeError, ServePlan, Workload,
+};
+
+const EVERY: u64 = 8;
+
+fn trace() -> Workload {
+    Workload::poisson(48, 80_000.0, &[(96, 4, 2), (64, 4, 1)], (8, 32), 4242)
+}
+
+fn plain_fleet() -> Fleet {
+    Fleet::try_new(FleetConfig { cards: 3, ..FleetConfig::default() }).unwrap()
+}
+
+fn managed_fleet() -> Fleet {
+    Fleet::try_new(FleetConfig {
+        cards: 2,
+        policy: BatchPolicy { max_batch: 4, max_queue: Some(64), ..BatchPolicy::default() },
+        faults: Some(FaultConfig::seeded(0xFA11, 0.05)),
+        overload: Some(OverloadConfig {
+            aimd: Some(AimdConfig { initial: 8, min: 2, max: 32, ..AimdConfig::default() }),
+            retry_budget: Some(RetryBudgetConfig::default()),
+            hedge: Some(HedgeConfig { factor: 1.0, min_delay_ns: 300_000, min_samples: 3 }),
+        }),
+        ..FleetConfig::default()
+    })
+    .unwrap()
+}
+
+/// Run uninterrupted with periodic snapshots, then resume from EVERY
+/// captured epoch and demand bit-identity: the resumed run's remaining
+/// snapshots, final state hash, and report must all match the
+/// uninterrupted run's.
+fn assert_resume_bit_identical(fleet: &Fleet, w: &Workload) {
+    let full = fleet.run(ServePlan::workload(w).snapshot_every(EVERY)).unwrap();
+    let full_hash = full.state_hash.unwrap();
+    assert!(!full.snapshots.is_empty(), "the run must have captured snapshots");
+
+    for (i, snap) in full.snapshots.iter().enumerate() {
+        // Round-trip through the canonical text form first: resuming
+        // from a *parsed* snapshot is the cross-process story.
+        let reparsed = FleetSnapshot::parse(&snap.to_string()).unwrap();
+        assert_eq!(&reparsed, snap);
+
+        let resumed =
+            fleet.run(ServePlan::workload(w).snapshot_every(EVERY).resume(reparsed)).unwrap();
+        assert_eq!(
+            resumed.state_hash.unwrap(),
+            full_hash,
+            "final state hash diverged when resuming from epoch {}",
+            snap.arrivals()
+        );
+        assert_eq!(resumed.report, full.report, "report diverged from epoch {}", snap.arrivals());
+        assert_eq!(
+            resumed.report.to_string(),
+            full.report.to_string(),
+            "rendered report diverged from epoch {}",
+            snap.arrivals()
+        );
+        // Every snapshot the resumed run captures after the handoff
+        // must be byte-identical to the uninterrupted run's at the same
+        // epoch.
+        let expected_rest = &full.snapshots[i + 1..];
+        assert_eq!(
+            resumed.snapshots.len(),
+            expected_rest.len(),
+            "snapshot cadence changed after resuming from epoch {}",
+            snap.arrivals()
+        );
+        for (r, e) in resumed.snapshots.iter().zip(expected_rest) {
+            assert_eq!(r.state_hash(), e.state_hash(), "epoch {} hash diverged", e.arrivals());
+            assert_eq!(r.to_string(), e.to_string(), "epoch {} text diverged", e.arrivals());
+        }
+    }
+}
+
+#[test]
+fn plain_fleet_resumes_bit_identically_from_every_epoch() {
+    assert_resume_bit_identical(&plain_fleet(), &trace());
+}
+
+#[test]
+fn managed_fleet_resumes_bit_identically_from_every_epoch() {
+    // Faults, AIMD, retry budget, hedging, deadlines, bounded queue:
+    // every piece of mutable state the snapshot must carry.
+    assert_resume_bit_identical(&managed_fleet(), &trace().with_deadline(50_000_000));
+}
+
+#[test]
+fn streaming_sketch_run_resumes_bit_identically() {
+    let n = 96;
+    let args = (120_000.0, [(96, 4, 2), (64, 4, 1)], (8, 32), 7u64);
+    let fleet = plain_fleet();
+
+    let mut source = PoissonSource::new(n, args.0, &args.1, args.2, args.3);
+    let full = fleet
+        .run(ServePlan::stream(&mut source).metrics(MetricsMode::Sketch).snapshot_every(16))
+        .unwrap();
+    let full_hash = full.state_hash.unwrap();
+
+    let mid = &full.snapshots[full.snapshots.len() / 2];
+    // Resume with a *fresh* source: apply() must seek it to the
+    // captured cursor (emitted count, RNG position, arrival clock).
+    let mut fresh = PoissonSource::new(n, args.0, &args.1, args.2, args.3);
+    let resumed = fleet
+        .run(
+            ServePlan::stream(&mut fresh)
+                .metrics(MetricsMode::Sketch)
+                .snapshot_every(16)
+                .resume(mid.clone()),
+        )
+        .unwrap();
+    assert_eq!(resumed.state_hash.unwrap(), full_hash);
+    assert_eq!(resumed.report, full.report);
+    assert_eq!(resumed.report.to_string(), full.report.to_string());
+}
+
+#[test]
+fn state_hash_is_stable_across_identical_runs_and_sensitive_to_the_seed() {
+    let fleet = managed_fleet();
+    let w = trace();
+    let a = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
+    let b = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
+    assert_eq!(a.state_hash, b.state_hash);
+    let hashes_a: Vec<u64> = a.snapshots.iter().map(FleetSnapshot::state_hash).collect();
+    let hashes_b: Vec<u64> = b.snapshots.iter().map(FleetSnapshot::state_hash).collect();
+    assert_eq!(hashes_a, hashes_b, "per-epoch hashes must replay exactly");
+
+    let other = Workload::poisson(48, 80_000.0, &[(96, 4, 2), (64, 4, 1)], (8, 32), 4243);
+    let c = fleet.run(ServePlan::workload(&other).snapshot_every(EVERY)).unwrap();
+    assert_ne!(a.state_hash, c.state_hash, "a different workload must change the hash");
+}
+
+#[test]
+fn tampered_snapshot_text_is_rejected() {
+    let fleet = plain_fleet();
+    let w = trace();
+    let out = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
+    let text = out.snapshots[0].to_string();
+
+    // Flip one digit in a counter line: the hash trailer must catch it.
+    let tampered = text.replacen("arrivals 8", "arrivals 9", 1);
+    assert_ne!(tampered, text, "the fixture must actually tamper the text");
+    match FleetSnapshot::parse(&tampered) {
+        Err(ServeError::Snapshot { msg }) => assert!(msg.contains("hash mismatch"), "{msg}"),
+        other => panic!("tampered snapshot accepted: {other:?}"),
+    }
+
+    // Truncation loses the trailer.
+    let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+    assert!(FleetSnapshot::parse(&truncated).is_err());
+}
+
+#[test]
+fn resume_under_a_different_config_or_source_is_rejected() {
+    let w = trace();
+    let snap = plain_fleet()
+        .run(ServePlan::workload(&w).snapshot_every(EVERY))
+        .unwrap()
+        .snapshots
+        .remove(0);
+
+    // Different fleet config (4 cards instead of 3): digest mismatch.
+    let other = Fleet::try_new(FleetConfig { cards: 4, ..FleetConfig::default() }).unwrap();
+    match other.run(ServePlan::workload(&w).resume(snap.clone())) {
+        Err(ServeError::Snapshot { msg }) => {
+            assert!(msg.contains("different fleet config"), "{msg}")
+        }
+        other => panic!("config mismatch accepted: {:?}", other.map(|o| o.report)),
+    }
+
+    // Different source kind (snapshot recorded a workload-stream).
+    let mut poisson = PoissonSource::new(48, 80_000.0, &[(96, 4, 2)], (8, 32), 4242);
+    match plain_fleet().run(ServePlan::stream(&mut poisson).resume(snap)) {
+        Err(ServeError::Snapshot { msg }) => assert!(msg.contains("source"), "{msg}"),
+        other => panic!("source-kind mismatch accepted: {:?}", other.map(|o| o.report)),
+    }
+}
+
+#[test]
+fn managed_snapshot_text_survives_a_parse_round_trip() {
+    // The managed snapshot exercises every section of the grammar
+    // (fault streams, monitors, inflight batches, failure lists,
+    // limiter, retry budget, service-time tracker).
+    let fleet = managed_fleet();
+    let w = trace().with_deadline(50_000_000);
+    let out = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
+    for snap in &out.snapshots {
+        let text = snap.to_string();
+        let back = text.parse::<FleetSnapshot>().unwrap();
+        assert_eq!(&back, snap);
+        assert_eq!(back.to_string(), text, "Display must be canonical");
+    }
+}

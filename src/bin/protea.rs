@@ -10,6 +10,8 @@
 //!                  [--requests 64] [--d 96] [--heads 4] [--layers 2]
 //!                  [--sl-min 8] [--sl-max 64] [--max-batch 8] [--seed 42]
 //!                  [--emit-trace out.json] [--exec-trace exec.json]
+//!                  [--metrics exact|sketch] [--snapshot-every N]
+//!                  [--snapshot-out snap.txt] [--resume snap.txt]
 //! protea chaos-sim [--cards 2] [--fault-rate 0.02] [--crash-rate 0]
 //!                  [--max-attempts 5] [--seed 42] [--requests 64]
 //!                  [--arrival-rate 50000] [--d 96] [--heads 4] [--layers 2]
@@ -286,22 +288,58 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let policy =
         BatchPolicy { max_batch: flag(flags, "max-batch", 8usize)?, ..BatchPolicy::default() };
     let fleet = Fleet::try_new(FleetConfig { cards, device, policy, ..FleetConfig::default() })?;
-    // `--exec-trace` records per-card execution spans; the report is
-    // bit-identical to an untraced `serve` (pinned by the fleet tests).
-    let report = match flags.get("exec-trace") {
-        None => fleet.serve(&workload)?,
-        Some(path) => {
-            let (report, trace) = fleet.serve_traced(&workload)?;
-            std::fs::write(path, trace.to_chrome_json())
-                .map_err(|e| format!("cannot write exec trace '{path}': {e}"))?;
-            println!(
-                "execution trace: {} spans written to {path} \
-                 (open in chrome://tracing or Perfetto)",
-                trace.len()
-            );
-            report
+
+    // Assemble the ServePlan: metrics mode, exec tracing, periodic
+    // snapshot capture, and/or resume from a snapshot file. Conflicting
+    // combinations surface as `ServeError::Plan` with the real reason.
+    let mut plan = ServePlan::workload(&workload);
+    match flags.get("metrics").map(String::as_str) {
+        None | Some("exact") => {}
+        Some("sketch") => plan = plan.metrics(MetricsMode::Sketch),
+        Some(other) => {
+            return Err(format!("--metrics must be exact or sketch, got '{other}'").into())
         }
-    };
+    }
+    let exec_trace = flags.get("exec-trace");
+    if exec_trace.is_some() {
+        plan = plan.traced();
+    }
+    if flags.contains_key("snapshot-every") {
+        let snapshot_every = flag(flags, "snapshot-every", 0u64)?;
+        if snapshot_every == 0 {
+            return Err("--snapshot-every must be at least 1 epoch".into());
+        }
+        plan = plan.snapshot_every(snapshot_every);
+    }
+    if let Some(path) = flags.get("resume") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot '{path}': {e}"))?;
+        plan = plan.resume(text.parse::<FleetSnapshot>()?);
+    }
+
+    let outcome = fleet.run(plan)?;
+    if let (Some(path), Some(trace)) = (exec_trace, &outcome.trace) {
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("cannot write exec trace '{path}': {e}"))?;
+        println!(
+            "execution trace: {} spans written to {path} \
+             (open in chrome://tracing or Perfetto)",
+            trace.len()
+        );
+    }
+    if let Some(path) = flags.get("snapshot-out") {
+        let Some(last) = outcome.snapshots.last() else {
+            return Err("--snapshot-out needs --snapshot-every to capture something".into());
+        };
+        std::fs::write(path, last.to_string())
+            .map_err(|e| format!("cannot write snapshot '{path}': {e}"))?;
+        println!(
+            "snapshot: epoch {} (state hash {:016x}) written to {path}",
+            last.arrivals(),
+            last.state_hash()
+        );
+    }
+    let report = outcome.report;
     println!(
         "workload: {} requests over {:.3} s of arrivals, {} card(s)",
         workload.requests.len(),
@@ -309,7 +347,10 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
         cards
     );
     println!("{report}");
-    let serial = fleet.serve_serial_baseline(&workload)?;
+    if let Some(hash) = outcome.state_hash {
+        println!("final state hash: {hash:016x}");
+    }
+    let serial = fleet.run(ServePlan::workload(&workload).serial_baseline())?.report;
     println!(
         "serial 1-card baseline: {:.1} inf/s, p99 {:.3} ms  (batched fleet speedup {:.2}x)",
         serial.throughput_rps,
@@ -351,8 +392,8 @@ fn cmd_chaos_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
         workload.span_s(),
         cards
     );
-    let clean = clean_fleet.serve(&workload)?;
-    let chaos = chaos_fleet.serve(&workload)?;
+    let clean = clean_fleet.run(ServePlan::workload(&workload))?.report;
+    let chaos = chaos_fleet.run(ServePlan::workload(&workload))?.report;
     println!("{chaos}");
     println!(
         "fault-free baseline: {:.1} inf/s, p99 {:.3} ms",
@@ -447,7 +488,7 @@ fn cmd_overload_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
         overload: Some(overload),
         ..FleetConfig::default()
     })?;
-    let report = fleet.serve(&workload)?;
+    let report = fleet.run(ServePlan::workload(&workload))?.report;
 
     println!(
         "overload-sim: {} requests at {:.0} req/s offered, {} card(s), \

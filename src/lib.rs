@@ -60,7 +60,7 @@
 //!
 //! let workload = Workload::poisson(32, 50_000.0, &[(96, 4, 2)], (8, 16), 7);
 //! let fleet = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() })?;
-//! let report = fleet.serve(&workload)?;
+//! let report = fleet.run(ServePlan::workload(&workload))?.report;
 //! assert_eq!(report.completed, 32);
 //! assert!(report.latency_ms.p99 >= report.latency_ms.p50);
 //! # Ok::<(), protea::serve::ServeError>(())
@@ -112,8 +112,10 @@ pub mod prelude {
     pub use protea_platform::FpgaDevice;
     pub use protea_serve::{
         AimdConfig, BatchPolicy, CardHealth, FailReason, FailedRequest, FaultConfig, Fleet,
-        FleetConfig, HedgeConfig, OverloadConfig, Percentiles, Priority, RetryBudgetConfig,
-        ServeError, ServeReport, ServeRequest, ServeResponse, Workload,
+        FleetConfig, FleetSnapshot, HedgeConfig, JsonLinesSource, MetricsMode, OverloadConfig,
+        Percentiles, PoissonSource, Priority, RetryBudgetConfig, ServeError, ServeOutcome,
+        ServePlan, ServeReport, ServeRequest, ServeResponse, StreamMetrics, Workload,
+        WorkloadSource,
     };
     pub use protea_tensor::Matrix;
 }

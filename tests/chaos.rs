@@ -16,15 +16,19 @@ fn fleet(cards: usize, faults: Option<FaultConfig>) -> Fleet {
     Fleet::try_new(FleetConfig { cards, faults, ..FleetConfig::default() }).unwrap()
 }
 
+fn serve(fleet: &Fleet, trace: &Workload) -> Result<ServeReport, ServeError> {
+    Ok(fleet.run(ServePlan::workload(trace))?.report)
+}
+
 #[test]
 fn same_seed_replays_bit_identically() {
     let trace = dense_trace();
     let cfg = FaultConfig::seeded(0xFA11, 0.04);
-    let a = fleet(3, Some(cfg.clone())).serve(&trace).unwrap();
-    let b = fleet(3, Some(cfg)).serve(&trace).unwrap();
+    let a = serve(&fleet(3, Some(cfg.clone())), &trace).unwrap();
+    let b = serve(&fleet(3, Some(cfg)), &trace).unwrap();
     assert_eq!(a, b, "two runs from one seed must be indistinguishable");
     // And a different seed genuinely changes the fault pattern.
-    let c = fleet(3, Some(FaultConfig::seeded(0xFA12, 0.04))).serve(&trace).unwrap();
+    let c = serve(&fleet(3, Some(FaultConfig::seeded(0xFA12, 0.04))), &trace).unwrap();
     assert_ne!(a.faults, c.faults, "a different seed must perturb the run");
 }
 
@@ -33,7 +37,7 @@ fn no_request_dropped_across_seeds_rates_and_fleet_sizes() {
     let trace = dense_trace();
     for cards in [2usize, 4] {
         for (seed, rate) in [(1u64, 0.02), (7, 0.05), (42, 0.10)] {
-            let r = fleet(cards, Some(FaultConfig::seeded(seed, rate))).serve(&trace).unwrap();
+            let r = serve(&fleet(cards, Some(FaultConfig::seeded(seed, rate))), &trace).unwrap();
             assert_eq!(r.submitted, trace.requests.len());
             assert_eq!(
                 r.completed + r.failed.len(),
@@ -49,8 +53,8 @@ fn no_request_dropped_across_seeds_rates_and_fleet_sizes() {
 #[test]
 fn zero_rates_reproduce_the_fault_free_run_exactly() {
     let trace = dense_trace();
-    let clean = fleet(2, None).serve(&trace).unwrap();
-    let armed = fleet(2, Some(FaultConfig::default())).serve(&trace).unwrap();
+    let clean = serve(&fleet(2, None), &trace).unwrap();
+    let armed = serve(&fleet(2, Some(FaultConfig::default())), &trace).unwrap();
     assert_eq!(clean.completed, armed.completed);
     assert_eq!(clean.throughput_rps, armed.throughput_rps, "bit-equal, not just close");
     assert_eq!(clean.latency_ms, armed.latency_ms);
@@ -66,7 +70,7 @@ fn scripted_crash_fails_over_to_the_survivors() {
         events: vec![FaultEvent { at_ns: 200_000, card: 0, kind: FaultKind::CardCrash }],
         ..FaultConfig::default()
     };
-    let r = fleet(2, Some(cfg)).serve(&trace).unwrap();
+    let r = serve(&fleet(2, Some(cfg)), &trace).unwrap();
     assert_eq!(r.crashes, 1);
     assert_eq!(r.card_health[0], CardHealth::Dead);
     assert_eq!(r.card_health[1], CardHealth::Healthy);
@@ -92,7 +96,7 @@ fn fault_errors_carry_uniform_exit_codes() {
             ..Default::default()
         }],
     };
-    let err = fleet(2, None).serve(&w).unwrap_err();
+    let err = serve(&fleet(2, None), &w).unwrap_err();
     let core: CoreError = err.into();
     assert_eq!(core.exit_code(), 7);
     assert!(core.to_string().contains("request 1"));

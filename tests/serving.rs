@@ -19,8 +19,8 @@ fn dense_trace() -> Workload {
 fn batched_fleet_beats_serial_single_card_on_the_same_trace() {
     let trace = dense_trace();
     let fleet = Fleet::try_new(FleetConfig { cards: 4, ..FleetConfig::default() }).unwrap();
-    let batched = fleet.serve(&trace).unwrap();
-    let serial = fleet.serve_serial_baseline(&trace).unwrap();
+    let batched = fleet.run(ServePlan::workload(&trace)).unwrap().report;
+    let serial = fleet.run(ServePlan::workload(&trace).serial_baseline()).unwrap().report;
 
     assert_eq!(batched.completed, trace.requests.len());
     assert_eq!(serial.completed, trace.requests.len());
@@ -53,7 +53,10 @@ fn serving_round_trips_a_json_trace() {
     assert_eq!(quantized, back);
 
     let fleet = Fleet::try_new(FleetConfig { cards: 2, ..FleetConfig::default() }).unwrap();
-    assert_eq!(fleet.serve(&quantized).unwrap(), fleet.serve(&back).unwrap());
+    assert_eq!(
+        fleet.run(ServePlan::workload(&quantized)).unwrap().report,
+        fleet.run(ServePlan::workload(&back)).unwrap().report
+    );
 }
 
 #[test]
@@ -94,7 +97,7 @@ fn hostile_inputs_error_instead_of_panicking() {
                 ..Default::default()
             }],
         };
-        match fleet.serve(&w) {
+        match fleet.run(ServePlan::workload(&w)).map(|o| o.report) {
             Err(ServeError::Unservable { id: 7, .. }) => {}
             other => panic!("({d},{h},{l},{sl}) gave {other:?}"),
         }
@@ -108,7 +111,10 @@ fn hostile_inputs_error_instead_of_panicking() {
     assert!(Fleet::try_new(FleetConfig { reload_gbps: 0.0, ..FleetConfig::default() }).is_err());
 
     // Empty trace.
-    assert!(matches!(fleet.serve(&Workload::default()), Err(ServeError::EmptyTrace)));
+    assert!(matches!(
+        fleet.run(ServePlan::workload(&Workload::default())).map(|o| o.report),
+        Err(ServeError::EmptyTrace)
+    ));
 }
 
 #[test]
@@ -119,8 +125,8 @@ fn functional_mode_is_bit_consistent_with_timing_mode() {
         Fleet::try_new(FleetConfig { cards: 2, functional: true, ..FleetConfig::default() })
             .unwrap();
     assert_eq!(
-        timing.serve(&trace).unwrap(),
-        functional.serve(&trace).unwrap(),
+        timing.run(ServePlan::workload(&trace)).unwrap().report,
+        functional.run(ServePlan::workload(&trace)).unwrap().report,
         "running the real datapath must not perturb the schedule"
     );
 }

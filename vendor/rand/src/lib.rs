@@ -110,6 +110,17 @@ pub mod rngs {
             Self { state }
         }
     }
+
+    impl StdRng {
+        /// The generator's internal state word. SplitMix64's state *is*
+        /// its seed stream position, so `seed_from_u64(rng.state())`
+        /// reconstructs a generator that continues the exact sequence —
+        /// the snapshot/resume hook for deterministic simulations.
+        #[must_use]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +154,18 @@ mod tests {
             let i: u64 = rng.gen_range(5u64..=9);
             assert!((5..=9).contains(&i));
         }
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let mut b = StdRng::seed_from_u64(a.state());
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys, "a restored generator continues the exact stream");
     }
 
     #[test]
