@@ -1,0 +1,266 @@
+//! Elastic-fleet scenario: goodput and per-tenant SLO attainment under
+//! runtime card churn.
+//!
+//! The overload sweep asks what a *fixed* fleet does when asked for too
+//! much; this one asks what a *moving* fleet does when its capacity is
+//! the thing that changes. The sweep crosses fleet compositions
+//! (uniform and heterogeneous device rosters) with churn intensities
+//! (seeded [`ChurnPlan`]s of increasing event counts) on one
+//! three-tenant request mix — an interactive tenant with a tight
+//! deadline, a normal tenant, and a best-effort tenant. The brownout
+//! ladder is armed, so when crashes and drains pull live capacity down,
+//! the fleet sheds the best-effort class first and the interesting
+//! shape is **SLO triage**: interactive attainment should degrade last.
+//!
+//! Every cell re-checks both halves of the conservation law — fleet
+//! level (`completed + shed + expired + failed == submitted`) and per
+//! tenant ([`ServeReport::tenants_accounted`]) — and aborts the sweep
+//! on a violation rather than printing a corrupt table.
+
+use protea_platform::FpgaDevice;
+use protea_serve::{
+    AimdConfig, BatchPolicy, BrownoutLadder, ChurnPlan, Fleet, FleetConfig, OverloadConfig,
+    PlacementPolicy, ServeError, ServePlan, ServeReport, TenantPolicy, Workload,
+};
+
+/// One (composition, churn intensity) measurement.
+#[derive(Debug, Clone)]
+pub struct ElasticRow {
+    /// Name of the fleet composition the cell ran on.
+    pub composition: &'static str,
+    /// Cards in the roster.
+    pub cards: usize,
+    /// Scripted churn events injected over the horizon.
+    pub churn_events: usize,
+    /// The cell's full report (goodput, churn tallies, per-tenant SLO).
+    pub report: ServeReport,
+}
+
+/// Seed for the arrival and churn streams; fixed so every run of the
+/// harness reproduces the same tables.
+pub const SEED: u64 = 0xE1A5;
+
+/// Requests per cell in the sweep's workloads.
+pub const REQUESTS: usize = 192;
+
+/// Poisson arrival rate for every cell (req/s). Just above the ~650
+/// inf/s a calm three-card fleet sustains on this mix: high enough
+/// that a shrinking fleet actually queues and sheds, low enough that
+/// the full fleet nearly clears it and deadlines are meetable.
+pub const OFFERED_RPS: f64 = 800.0;
+
+/// Churn horizon: at [`OFFERED_RPS`] the 192-request trace arrives
+/// over ~240 ms, so a 150 ms horizon lands churn throughout the bulk
+/// of the run rather than only at its start.
+pub const HORIZON_NS: u64 = 150_000_000;
+
+/// The fleet compositions the sweep crosses: a uniform baseline, a
+/// mixed two-device roster, and a three-way heterogeneous roster.
+/// All placement runs capacity-aware so big cards soak proportionally
+/// more work.
+#[must_use]
+pub fn compositions() -> Vec<(&'static str, Vec<FpgaDevice>)> {
+    vec![
+        ("uniform-u55c", vec![FpgaDevice::alveo_u55c(); 3]),
+        (
+            "mixed-u55c-u250",
+            vec![FpgaDevice::alveo_u55c(), FpgaDevice::alveo_u250(), FpgaDevice::alveo_u55c()],
+        ),
+        (
+            "hetero-u250-u200-u55c",
+            vec![FpgaDevice::alveo_u250(), FpgaDevice::alveo_u200(), FpgaDevice::alveo_u55c()],
+        ),
+    ]
+}
+
+/// The three-tenant mix every cell serves: tenant 0 interactive with a
+/// 50 ms deadline (a couple of batch windows — tight but meetable on a
+/// healthy fleet), tenant 1 normal with a 200 ms deadline, tenant 2
+/// best-effort with no deadline (first to brown out).
+#[must_use]
+pub fn tenant_mix() -> TenantPolicy {
+    TenantPolicy::parse("0=interactive@50,1=normal@200,2=best-effort")
+        .expect("static tenant spec parses")
+}
+
+/// The elastic config every cell runs with: the given roster under
+/// capacity-aware placement, the seeded churn plan, the tenant mix,
+/// the default brownout ladder, and the same bounded-queue + AIMD
+/// overload controls as the overload sweep (shedding needs authority
+/// for brownout to act through).
+#[must_use]
+pub fn standard_config(roster: Vec<FpgaDevice>, churn: ChurnPlan) -> FleetConfig {
+    let cards = roster.len();
+    FleetConfig {
+        cards,
+        roster: Some(roster),
+        placement: PlacementPolicy::CapacityAware,
+        churn: Some(churn),
+        tenants: Some(tenant_mix()),
+        brownout: Some(BrownoutLadder::default()),
+        policy: BatchPolicy { max_batch: 8, max_queue: Some(32), ..BatchPolicy::default() },
+        overload: Some(OverloadConfig {
+            aimd: Some(AimdConfig {
+                initial: 16 * cards,
+                min: 4,
+                max: 32 * cards,
+                ..AimdConfig::default()
+            }),
+            retry_budget: Some(Default::default()),
+            hedge: None,
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+/// The workload every cell serves: `requests` Poisson arrivals at
+/// [`OFFERED_RPS`] with tenants 0/1/2 stamped round-robin. Priorities
+/// and deadlines come from the [`tenant_mix`] policy at admission, not
+/// from the trace.
+#[must_use]
+pub fn standard_workload(requests: usize) -> Workload {
+    let mut workload = Workload::poisson(requests, OFFERED_RPS, &[(96, 4, 2)], (8, 32), SEED);
+    for (i, r) in workload.requests.iter_mut().enumerate() {
+        r.tenant = (i % 3) as u32;
+    }
+    workload
+}
+
+/// Cross [`compositions`] with `churn_event_counts`. Each cell derives
+/// its churn plan from the same seed (so cells differ only in how many
+/// events fire) and serves the same stamped workload.
+///
+/// # Errors
+/// Propagates any [`ServeError`]; also surfaces a broken fleet-level or
+/// per-tenant conservation invariant as a serving error so the harness
+/// fails loudly rather than printing a corrupt table.
+pub fn run_sweep(
+    churn_event_counts: &[usize],
+    requests: usize,
+) -> Result<Vec<ElasticRow>, ServeError> {
+    let workload = standard_workload(requests);
+    let mut rows = Vec::with_capacity(compositions().len() * churn_event_counts.len());
+    for (name, roster) in compositions() {
+        for &n in churn_event_counts {
+            let cards = roster.len();
+            let churn = ChurnPlan::seeded(SEED ^ n as u64, cards, HORIZON_NS, n);
+            let fleet = Fleet::try_new(standard_config(roster.clone(), churn))?;
+            let report = fleet.run(ServePlan::workload(&workload))?.report;
+            if !report.accounted() || !report.tenants_accounted() {
+                return Err(ServeError::Core(protea_core::CoreError::Serving(format!(
+                    "conservation broken at {name} x {n} churn events: \
+                     {} completed + {} shed + {} expired + {} failed != {} submitted \
+                     (tenants accounted: {})",
+                    report.completed,
+                    report.shed.len(),
+                    report.expired.len(),
+                    report.failed.len(),
+                    report.submitted,
+                    report.tenants_accounted()
+                ))));
+            }
+            rows.push(ElasticRow { composition: name, cards, churn_events: n, report });
+        }
+    }
+    Ok(rows)
+}
+
+/// Serialize the sweep as the committed `BENCH_elastic.json` artifact:
+/// one object per cell with goodput, churn tallies, and a per-tenant
+/// SLO attainment array.
+#[must_use]
+pub fn to_json(rows: &[ElasticRow]) -> String {
+    let mut s = String::from("{\n  \"seed\": ");
+    s.push_str(&format!("{SEED},\n  \"offered_rps\": {OFFERED_RPS:.1},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        let tenants: Vec<String> = r
+            .report
+            .tenant_slo
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tenant\": {}, \"submitted\": {}, \"completed\": {}, \"shed\": {}, \
+                     \"expired\": {}, \"failed\": {}, \"attainment\": {:.4}}}",
+                    t.tenant,
+                    t.submitted,
+                    t.completed,
+                    t.shed,
+                    t.expired,
+                    t.failed,
+                    t.attainment()
+                )
+            })
+            .collect();
+        s.push_str(&format!(
+            "    {{\"composition\": \"{}\", \"cards\": {}, \"churn_events\": {}, \
+             \"joins\": {}, \"drains\": {}, \"throughput_rps\": {:.1}, \
+             \"goodput_rps\": {:.1}, \"completed\": {}, \"shed\": {}, \"expired\": {}, \
+             \"failed\": {}, \"tenants\": [{}]}}{}\n",
+            r.composition,
+            r.cards,
+            r.churn_events,
+            r.report.joins,
+            r.report.drains,
+            r.report.throughput_rps,
+            r.report.goodput_rps,
+            r.report.completed,
+            r.report.shed.len(),
+            r.report.expired.len(),
+            r.report.failed.len(),
+            tenants.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_conserves_requests_per_tenant() {
+        let rows = run_sweep(&[0, 6], 64).unwrap();
+        assert_eq!(rows.len(), compositions().len() * 2);
+        for r in &rows {
+            assert!(
+                r.report.accounted(),
+                "{} x {} leaked a request",
+                r.composition,
+                r.churn_events
+            );
+            assert!(
+                r.report.tenants_accounted(),
+                "{} x {} leaked a request from a tenant ledger",
+                r.composition,
+                r.churn_events
+            );
+            assert_eq!(r.report.tenant_slo.len(), 3, "three tenants always submit");
+            let per_tenant: usize = r.report.tenant_slo.iter().map(|t| t.submitted).sum();
+            assert_eq!(per_tenant, r.report.submitted);
+        }
+    }
+
+    #[test]
+    fn churn_actually_churns_and_the_sweep_is_deterministic() {
+        let a = run_sweep(&[6], 64).unwrap();
+        let b = run_sweep(&[6], 64).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.report, y.report, "{} must replay bit-identically", x.composition);
+        }
+        assert!(
+            a.iter().any(|r| r.report.joins + r.report.drains > 0),
+            "a 6-event churn plan must land at least one join or drain somewhere"
+        );
+    }
+
+    #[test]
+    fn json_artifact_carries_per_tenant_attainment() {
+        let rows = run_sweep(&[0], 48).unwrap();
+        let json = to_json(&rows);
+        assert!(json.contains("\"tenants\": ["));
+        assert!(json.contains("\"attainment\": "));
+        assert!(json.contains("uniform-u55c"));
+    }
+}

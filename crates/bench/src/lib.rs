@@ -15,6 +15,7 @@
 //! | Batched multi-card serving (extension)       | [`serving`] | `serving` |
 //! | Availability under fault injection (extension) | [`availability`] | `availability` |
 //! | Goodput knee under overload (extension)      | [`overload`] | `overload` |
+//! | Elastic fleets under churn (extension)       | [`elastic`] | `elastic` |
 //! | Fast-backend kernels (extension)             | [`kernels`] | `kernels` |
 //! | Everything above in sequence                 | —          | `repro_all` |
 
@@ -24,6 +25,7 @@
 pub mod ablation;
 pub mod availability;
 pub mod crossover;
+pub mod elastic;
 pub mod fig7;
 pub mod fmt;
 pub mod kernels;

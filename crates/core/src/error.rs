@@ -78,6 +78,12 @@ pub enum CoreError {
     /// differs: an overloaded rejection is retryable elsewhere or
     /// later, a serving failure is not.
     Overloaded(String),
+    /// A persisted fleet snapshot failed version negotiation or seal
+    /// verification (unknown grammar version, tampered or bit-rotted
+    /// `hash` trailer). Distinct from [`CoreError::Serving`] because
+    /// the input *file* is untrusted: the correct caller response is
+    /// to discard it, not retry or migrate it.
+    SnapshotIntegrity(String),
 }
 
 impl fmt::Display for CoreError {
@@ -114,6 +120,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Serving(m) => write!(f, "serving error: {m}"),
             CoreError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            CoreError::SnapshotIntegrity(m) => write!(f, "snapshot rejected: {m}"),
         }
     }
 }
@@ -124,7 +131,8 @@ impl CoreError {
     /// programming, 3 = model blob rejected, 4 = design infeasible,
     /// 5 = weight/input/batch mismatch on the request path, 6 =
     /// unrecoverable hardware fault, 7 = serving-layer rejection, 8 =
-    /// overloaded (admission refused; retryable elsewhere or later).
+    /// overloaded (admission refused; retryable elsewhere or later),
+    /// 9 = snapshot integrity failure (untrusted input file; discard).
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -138,6 +146,7 @@ impl CoreError {
             CoreError::Fault { .. } => 6,
             CoreError::Serving(_) => 7,
             CoreError::Overloaded(_) => 8,
+            CoreError::SnapshotIntegrity(_) => 9,
         }
     }
 }
@@ -223,6 +232,7 @@ mod tests {
             CoreError::Fault { kind: FaultKind::AxiTimeout, context: "QKV tile load".into() },
             CoreError::Serving("trace rejected".into()),
             CoreError::Overloaded("queue full (32 pending, limit 32)".into()),
+            CoreError::SnapshotIntegrity("unknown snapshot version v9".into()),
         ]
     }
 
@@ -237,7 +247,7 @@ mod tests {
     fn exit_codes_are_stable_and_nonzero() {
         for e in every_variant() {
             assert!(e.exit_code() >= 2, "{e:?} must not collide with success/usage codes");
-            assert!(e.exit_code() <= 8);
+            assert!(e.exit_code() <= 9);
         }
         assert_eq!(
             CoreError::Fault { kind: FaultKind::CardCrash, context: String::new() }.exit_code(),
@@ -245,5 +255,6 @@ mod tests {
         );
         assert_eq!(CoreError::Serving(String::new()).exit_code(), 7);
         assert_eq!(CoreError::Overloaded(String::new()).exit_code(), 8);
+        assert_eq!(CoreError::SnapshotIntegrity(String::new()).exit_code(), 9);
     }
 }

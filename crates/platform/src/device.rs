@@ -114,6 +114,58 @@ impl FpgaDevice {
         let needle = name.to_ascii_lowercase();
         Self::all().into_iter().find(|d| d.name.to_ascii_lowercase().contains(&needle))
     }
+
+    /// A dimensionless throughput weight for fleet placement: DSP budget
+    /// × clock ceiling, normalized so the paper's U55C scores 1.0.
+    /// Capacity-aware schedulers balance load in units of this weight
+    /// instead of raw busy nanoseconds, so a big card absorbs
+    /// proportionally more work than a small one.
+    #[must_use]
+    pub fn relative_capacity(&self) -> f64 {
+        let u55c = Self::alveo_u55c();
+        (self.budget.dsps as f64 * self.fmax_ceiling_mhz)
+            / (u55c.budget.dsps as f64 * u55c.fmax_ceiling_mhz)
+    }
+
+    /// Parse a comma-separated roster spec (e.g. `"u55c,u200,u250"`)
+    /// into per-card devices via [`by_name`](Self::by_name). An element
+    /// may carry a `xN` repeat suffix (`"u55c x3"` or `"u55cx3"` are
+    /// not accepted — spell it `"u55c*3"`), so `"u55c*2,u200"` is a
+    /// three-card roster.
+    ///
+    /// # Errors
+    /// A message naming the offending element and the known devices.
+    pub fn parse_roster(spec: &str) -> Result<Vec<FpgaDevice>, String> {
+        let known =
+            || Self::all().iter().map(|d| d.name.to_string()).collect::<Vec<_>>().join(", ");
+        let mut roster = Vec::new();
+        for raw in spec.split(',') {
+            let elem = raw.trim();
+            if elem.is_empty() {
+                return Err(format!("empty roster element in {spec:?}"));
+            }
+            let (name, count) = match elem.split_once('*') {
+                Some((n, c)) => {
+                    let count: usize = c
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad repeat count in roster element {elem:?}"))?;
+                    if count == 0 {
+                        return Err(format!("repeat count must be nonzero in {elem:?}"));
+                    }
+                    (n.trim(), count)
+                }
+                None => (elem, 1),
+            };
+            let device = Self::by_name(name)
+                .ok_or_else(|| format!("unknown device {name:?} (known: {})", known()))?;
+            roster.extend(std::iter::repeat_n(device, count));
+        }
+        if roster.is_empty() {
+            return Err("roster is empty".into());
+        }
+        Ok(roster)
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +203,30 @@ mod tests {
             assert!(z.budget.dsps <= d.budget.dsps);
             assert!(z.budget.luts <= d.budget.luts);
         }
+    }
+
+    #[test]
+    fn relative_capacity_is_u55c_normalized() {
+        assert!((FpgaDevice::alveo_u55c().relative_capacity() - 1.0).abs() < 1e-12);
+        assert!(FpgaDevice::alveo_u250().relative_capacity() > 1.0, "U250 outmuscles U55C");
+        assert!(FpgaDevice::zcu102().relative_capacity() < 1.0, "ZCU102 is the small part");
+        for d in FpgaDevice::all() {
+            assert!(d.relative_capacity() > 0.0 && d.relative_capacity().is_finite());
+        }
+    }
+
+    #[test]
+    fn roster_spec_parses_repeats_and_rejects_garbage() {
+        let r = FpgaDevice::parse_roster("u55c*2, u200").unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].name, "Alveo U55C");
+        assert_eq!(r[1].name, "Alveo U55C");
+        assert_eq!(r[2].name, "Alveo U200");
+        assert!(FpgaDevice::parse_roster("").is_err());
+        assert!(FpgaDevice::parse_roster("u55c,,u200").is_err());
+        assert!(FpgaDevice::parse_roster("virtex-4").unwrap_err().contains("known:"));
+        assert!(FpgaDevice::parse_roster("u55c*0").is_err());
+        assert!(FpgaDevice::parse_roster("u55c*x").is_err());
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Elastic-fleet vocabulary: placement policies over a heterogeneous
+//! roster, scripted runtime churn (cards joining, draining, crashing),
+//! per-tenant service classes, and the brownout degradation ladder.
+//!
+//! None of these types run a simulation themselves — they are the knob
+//! blocks a [`FleetConfig`](crate::FleetConfig) carries into the event
+//! loop. Everything is plain data with seeded generators and CLI
+//! spec parsers, so an elastic scenario is reproducible from a command
+//! line and serializable into a snapshot. A config that sets none of
+//! them behaves exactly as before elasticity existed.
+
+use crate::request::Priority;
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// How the dispatcher chooses among the free, live cards for the next
+/// ready batch.
+///
+/// [`PlacementPolicy::FirstFree`] is the historical behavior (lowest
+/// card index wins) and the default; the other policies only change
+/// *which* card serves a batch, never whether it is served, so every
+/// conservation invariant holds under all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Lowest-index free card (the historical, pre-roster behavior).
+    #[default]
+    FirstFree,
+    /// The free card with the highest synthesized clock; ties break to
+    /// the lowest index. Greedy for latency on mixed rosters.
+    FastestFirst,
+    /// The free card with the least accumulated busy time; ties break
+    /// to the lowest index. Evens wear across a uniform roster.
+    LeastLoaded,
+    /// The free card with the least busy time *per unit of relative
+    /// capacity* ([`FpgaDevice::relative_capacity`]); ties break to the
+    /// lowest index. Loads big cards proportionally harder.
+    ///
+    /// [`FpgaDevice::relative_capacity`]: protea_platform::FpgaDevice::relative_capacity
+    CapacityAware,
+}
+
+impl PlacementPolicy {
+    /// Parse the CLI spelling (`first-free` | `fastest-first` |
+    /// `least-loaded` | `capacity-aware`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "first-free" => Some(PlacementPolicy::FirstFree),
+            "fastest-first" => Some(PlacementPolicy::FastestFirst),
+            "least-loaded" => Some(PlacementPolicy::LeastLoaded),
+            "capacity-aware" => Some(PlacementPolicy::CapacityAware),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlacementPolicy::FirstFree => "first-free",
+            PlacementPolicy::FastestFirst => "fastest-first",
+            PlacementPolicy::LeastLoaded => "least-loaded",
+            PlacementPolicy::CapacityAware => "capacity-aware",
+        })
+    }
+}
+
+/// What happens to a card at a scripted churn instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The card (re)joins the fleet. Its next batch pays the full
+    /// reprogramming charge — bitstream registers plus a weight reload
+    /// over `reload_gbps` — exactly as the paper prices a retarget;
+    /// there is no re-synthesis.
+    Join,
+    /// Voluntary scale-down: the card stops accepting new batches,
+    /// finishes anything in flight, then leaves cleanly.
+    Drain,
+    /// Involuntary loss: the card dies mid-flight through the same
+    /// health ladder a random crash uses (in-flight work requeues or
+    /// fails under the retry policy).
+    Crash,
+}
+
+impl ChurnAction {
+    /// Parse the CLI spelling (`join` | `drain` | `crash`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "join" => Some(ChurnAction::Join),
+            "drain" => Some(ChurnAction::Drain),
+            "crash" => Some(ChurnAction::Crash),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ChurnAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ChurnAction::Join => "join",
+            ChurnAction::Drain => "drain",
+            ChurnAction::Crash => "crash",
+        })
+    }
+}
+
+/// One scripted churn instant: at `at_ns`, `card` does `action`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Simulation time of the action, nanoseconds from trace start.
+    pub at_ns: u64,
+    /// The affected card's index in the roster.
+    pub card: usize,
+    /// What happens to it.
+    pub action: ChurnAction,
+}
+
+/// A deterministic, scriptable churn schedule for one run.
+///
+/// The plan is fixed before the simulation starts — either written by
+/// hand / parsed from a CLI spec, or drawn from a seed with
+/// [`ChurnPlan::seeded`] — so two runs of the same plan replay
+/// bit-identically and a snapshot taken mid-churn can resume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChurnPlan {
+    /// The scripted actions, in any order (the event queue sorts them).
+    pub events: Vec<ChurnEvent>,
+    /// Cards absent at time zero (they join only if the plan says so).
+    pub start_absent: Vec<usize>,
+}
+
+impl ChurnPlan {
+    /// True when the plan does nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.start_absent.is_empty()
+    }
+
+    /// Check every card index against the fleet size and every join
+    /// against double-booking at time zero.
+    ///
+    /// # Errors
+    /// A human-readable description of the first structural problem.
+    pub fn validate(&self, cards: usize) -> Result<(), String> {
+        for &c in &self.start_absent {
+            if c >= cards {
+                return Err(format!("churn plan marks card {c} absent, fleet has {cards}"));
+            }
+        }
+        let mut absent = self.start_absent.clone();
+        absent.sort_unstable();
+        absent.dedup();
+        if absent.len() != self.start_absent.len() {
+            return Err("churn plan lists a card absent twice".into());
+        }
+        if absent.len() == cards && self.events.iter().all(|e| e.action != ChurnAction::Join) {
+            return Err("churn plan leaves the whole fleet absent with no join".into());
+        }
+        for e in &self.events {
+            if e.card >= cards {
+                return Err(format!(
+                    "churn event `{}:{}@{}` targets a card outside the fleet of {cards}",
+                    e.action, e.card, e.at_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Draw a random plan from a seed: `n` events over `horizon_ns`,
+    /// uniformly random cards and times, actions cycling through
+    /// join/drain/crash so all three paths get exercised. Two calls
+    /// with equal arguments return equal plans.
+    #[must_use]
+    pub fn seeded(seed: u64, cards: usize, horizon_ns: u64, n: usize) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // splitmix64: tiny, seedable, good enough to scatter churn.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut events = Vec::with_capacity(n);
+        for i in 0..n {
+            let at_ns = if horizon_ns == 0 { 0 } else { next() % horizon_ns };
+            let card = if cards == 0 { 0 } else { (next() as usize) % cards };
+            let action = match i % 3 {
+                0 => ChurnAction::Drain,
+                1 => ChurnAction::Join,
+                _ => ChurnAction::Crash,
+            };
+            events.push(ChurnEvent { at_ns, card, action });
+        }
+        ChurnPlan { events, start_absent: Vec::new() }
+    }
+
+    /// Parse a CLI churn spec: comma-separated elements, each either
+    /// `absent:<card>` or `<action>:<card>@<ns>` (e.g.
+    /// `absent:2,join:2@5000000,drain:0@9000000,crash:1@12000000`).
+    ///
+    /// # Errors
+    /// Names the offending element and the accepted grammar.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = ChurnPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let bad = || {
+                format!(
+                    "bad churn element `{part}` (want `absent:<card>` or \
+                     `join|drain|crash:<card>@<ns>`)"
+                )
+            };
+            let (head, rest) = part.split_once(':').ok_or_else(bad)?;
+            if head == "absent" {
+                plan.start_absent.push(rest.parse::<usize>().map_err(|_| bad())?);
+                continue;
+            }
+            let action = ChurnAction::parse(head).ok_or_else(bad)?;
+            let (card, at) = rest.split_once('@').ok_or_else(bad)?;
+            plan.events.push(ChurnEvent {
+                at_ns: at.parse::<u64>().map_err(|_| bad())?,
+                card: card.parse::<usize>().map_err(|_| bad())?,
+                action,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// The service class a tenant's requests run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantClass {
+    /// Priority stamped on every request from the tenant (shed order
+    /// under overload and brownout).
+    pub priority: Priority,
+    /// Relative completion deadline stamped on every request (ns from
+    /// its arrival), or `None` for no SLO deadline.
+    pub deadline_rel_ns: Option<u64>,
+}
+
+impl Default for TenantClass {
+    /// [`Priority::Normal`], no deadline — the class an unlisted tenant
+    /// (including the default tenant `0`) runs under.
+    fn default() -> Self {
+        TenantClass { priority: Priority::Normal, deadline_rel_ns: None }
+    }
+}
+
+/// Per-tenant priority / SLO classes.
+///
+/// Installing a policy (even an empty one) turns on per-tenant SLO rows
+/// in the report; tenants the map does not list run under
+/// [`TenantClass::default`]. The policy *overwrites* the priority and
+/// relative deadline on every admitted request — the trace's own
+/// stamps are the fallback only when no policy is installed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantPolicy {
+    /// Tenant id → its service class.
+    pub classes: BTreeMap<u32, TenantClass>,
+}
+
+impl TenantPolicy {
+    /// The class tenant `tenant` runs under (default class if unlisted).
+    #[must_use]
+    pub fn class_for(&self, tenant: u32) -> TenantClass {
+        self.classes.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// Whether any listed tenant carries an SLO deadline (forces the
+    /// simulation onto the deadline-tracking path).
+    #[must_use]
+    pub fn any_deadline(&self) -> bool {
+        self.classes.values().any(|c| c.deadline_rel_ns.is_some())
+    }
+
+    /// Parse a CLI tenant spec: comma-separated
+    /// `<tenant>=<priority>[@<deadline-ms>]` entries, e.g.
+    /// `0=interactive@5,1=normal@20,2=best-effort`.
+    ///
+    /// # Errors
+    /// Names the offending entry and the accepted grammar.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut classes = BTreeMap::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let bad = || {
+                format!(
+                    "bad tenant entry `{part}` (want \
+                     `<tenant>=best-effort|normal|interactive[@<deadline-ms>]`)"
+                )
+            };
+            let (id, class) = part.split_once('=').ok_or_else(bad)?;
+            let id: u32 = id.parse().map_err(|_| bad())?;
+            let (prio, deadline_rel_ns) = match class.split_once('@') {
+                Some((p, ms)) => {
+                    let ms: u64 = ms.parse().map_err(|_| bad())?;
+                    (p, Some(ms.saturating_mul(1_000_000)))
+                }
+                None => (class, None),
+            };
+            let priority = Priority::parse(prio).ok_or_else(bad)?;
+            if classes.insert(id, TenantClass { priority, deadline_rel_ns }).is_some() {
+                return Err(format!("tenant {id} listed twice in `{spec}`"));
+            }
+        }
+        Ok(TenantPolicy { classes })
+    }
+}
+
+/// The brownout degradation ladder: admission floors keyed to the live
+/// fraction of the fleet.
+///
+/// `live` is the fraction of roster slots that are present, not
+/// draining, and not dead. Below `degraded`, admission sheds
+/// [`Priority::BestEffort`] arrivals; below `severe`, only
+/// [`Priority::Interactive`] arrivals are admitted. Both sheds are
+/// typed [`FailReason::Brownout`](crate::FailReason::Brownout) and
+/// recover on their own as cards rejoin — the ladder is re-evaluated
+/// at every admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutLadder {
+    /// Live fraction below which best-effort work is shed. In `(0, 1]`.
+    pub degraded: f64,
+    /// Live fraction below which only interactive work is admitted.
+    /// In `[0, degraded)`.
+    pub severe: f64,
+}
+
+impl Default for BrownoutLadder {
+    /// Shed best-effort below 2/3 of the fleet, everything but
+    /// interactive below 1/3.
+    fn default() -> Self {
+        BrownoutLadder { degraded: 2.0 / 3.0, severe: 1.0 / 3.0 }
+    }
+}
+
+impl BrownoutLadder {
+    /// Check threshold ordering and ranges.
+    ///
+    /// # Errors
+    /// A human-readable description of the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.degraded > 0.0 && self.degraded <= 1.0) {
+            return Err(format!("brownout degraded threshold {} outside (0, 1]", self.degraded));
+        }
+        if !(self.severe >= 0.0 && self.severe < self.degraded) {
+            return Err(format!(
+                "brownout severe threshold {} must sit in [0, degraded={})",
+                self.severe, self.degraded
+            ));
+        }
+        Ok(())
+    }
+
+    /// The admission floor at a live-capacity fraction: requests with a
+    /// priority *below* the floor are shed. `None` means no brownout.
+    #[must_use]
+    pub fn floor(&self, live_fraction: f64) -> Option<Priority> {
+        if live_fraction < self.severe {
+            Some(Priority::Interactive)
+        } else if live_fraction < self.degraded {
+            Some(Priority::Normal)
+        } else {
+            None
+        }
+    }
+
+    /// Parse the CLI spelling `<degraded>,<severe>` (two fractions,
+    /// e.g. `0.67,0.34`).
+    ///
+    /// # Errors
+    /// Names the offending value and the accepted grammar.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let bad = || format!("bad brownout spec `{spec}` (want `<degraded>,<severe>` fractions)");
+        let (d, s) = spec.split_once(',').ok_or_else(bad)?;
+        let ladder = BrownoutLadder {
+            degraded: d.trim().parse().map_err(|_| bad())?,
+            severe: s.trim().parse().map_err(|_| bad())?,
+        };
+        ladder.validate()?;
+        Ok(ladder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_spellings_round_trip() {
+        for p in [
+            PlacementPolicy::FirstFree,
+            PlacementPolicy::FastestFirst,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::CapacityAware,
+        ] {
+            assert_eq!(PlacementPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(PlacementPolicy::parse("round-robin"), None);
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::FirstFree);
+    }
+
+    #[test]
+    fn churn_spec_parses_and_validates() {
+        let plan =
+            ChurnPlan::parse("absent:2, join:2@5000000,drain:0@9000000,crash:1@12000000").unwrap();
+        assert_eq!(plan.start_absent, vec![2]);
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(
+            plan.events[0],
+            ChurnEvent { at_ns: 5_000_000, card: 2, action: ChurnAction::Join }
+        );
+        assert!(plan.validate(3).is_ok());
+        assert!(plan.validate(2).unwrap_err().contains("absent"));
+        assert!(ChurnPlan::parse("join:2").unwrap_err().contains("join:2"));
+        assert!(ChurnPlan::parse("reboot:1@5").unwrap_err().contains("reboot"));
+    }
+
+    #[test]
+    fn churn_validation_rejects_an_all_absent_fleet() {
+        let plan = ChurnPlan { events: Vec::new(), start_absent: vec![0, 1] };
+        assert!(plan.validate(2).unwrap_err().contains("no join"));
+        let with_join = ChurnPlan {
+            events: vec![ChurnEvent { at_ns: 5, card: 0, action: ChurnAction::Join }],
+            start_absent: vec![0, 1],
+        };
+        assert!(with_join.validate(2).is_ok());
+    }
+
+    #[test]
+    fn seeded_churn_is_deterministic_and_in_range() {
+        let a = ChurnPlan::seeded(7, 4, 1_000_000, 9);
+        let b = ChurnPlan::seeded(7, 4, 1_000_000, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, ChurnPlan::seeded(8, 4, 1_000_000, 9));
+        assert_eq!(a.events.len(), 9);
+        assert!(a.validate(4).is_ok());
+        assert!(a.events.iter().any(|e| e.action == ChurnAction::Join));
+        assert!(a.events.iter().any(|e| e.action == ChurnAction::Crash));
+        for e in &a.events {
+            assert!(e.at_ns < 1_000_000 && e.card < 4);
+        }
+    }
+
+    #[test]
+    fn tenant_spec_parses_classes() {
+        let p = TenantPolicy::parse("0=interactive@5,1=normal@20,2=best-effort").unwrap();
+        assert_eq!(
+            p.class_for(0),
+            TenantClass { priority: Priority::Interactive, deadline_rel_ns: Some(5_000_000) }
+        );
+        assert_eq!(p.class_for(2).priority, Priority::BestEffort);
+        assert_eq!(p.class_for(9), TenantClass::default(), "unlisted tenants run the default");
+        assert!(p.any_deadline());
+        assert!(!TenantPolicy::parse("3=best-effort").unwrap().any_deadline());
+        assert!(TenantPolicy::parse("0=vip").unwrap_err().contains("vip"));
+        assert!(TenantPolicy::parse("0=normal,0=normal").unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn brownout_floor_follows_the_ladder() {
+        let b = BrownoutLadder::default();
+        assert!(b.validate().is_ok());
+        assert_eq!(b.floor(1.0), None);
+        assert_eq!(b.floor(0.5), Some(Priority::Normal), "degraded sheds best-effort");
+        assert_eq!(b.floor(0.2), Some(Priority::Interactive), "severe admits interactive only");
+        assert!(BrownoutLadder { degraded: 0.0, severe: 0.0 }.validate().is_err());
+        assert!(BrownoutLadder { degraded: 0.5, severe: 0.6 }.validate().is_err());
+        let parsed = BrownoutLadder::parse("0.67, 0.34").unwrap();
+        assert!((parsed.degraded - 0.67).abs() < 1e-12);
+        assert!(BrownoutLadder::parse("0.67").unwrap_err().contains("brownout"));
+    }
+}

@@ -60,6 +60,16 @@ pub enum ServeError {
         /// What went wrong.
         msg: String,
     },
+    /// Snapshot version negotiation or seal verification failed: the
+    /// header names an unknown grammar version, or the `hash` trailer
+    /// does not match the body (tampering / bit-rot). Distinct from
+    /// [`ServeError::Snapshot`] because the file itself is untrusted —
+    /// retrying, migrating, or resuming from it would be unsound — so
+    /// CLI surfaces map it to its own exit code.
+    SnapshotIntegrity {
+        /// What the negotiation or seal check found.
+        msg: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -77,6 +87,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::Plan { msg } => write!(f, "invalid serve plan: {msg}"),
             ServeError::Snapshot { msg } => write!(f, "snapshot error: {msg}"),
+            ServeError::SnapshotIntegrity { msg } => {
+                write!(f, "snapshot integrity error: {msg}")
+            }
         }
     }
 }
@@ -101,15 +114,21 @@ impl From<CoreError> for ServeError {
 /// uniform [`exit_code`](CoreError::exit_code) table. A wrapped core
 /// error unwraps losslessly; an admission rejection keeps its identity
 /// as [`CoreError::Overloaded`] (its exit code tells a load balancer
-/// "retry elsewhere/later", unlike a hard serving failure); every other
-/// serving-specific variant becomes [`CoreError::Serving`] with its
-/// full rendered message.
+/// "retry elsewhere/later", unlike a hard serving failure); an
+/// integrity failure keeps its identity as
+/// [`CoreError::SnapshotIntegrity`] (the input file is untrusted —
+/// neither retryable nor migratable); every other serving-specific
+/// variant becomes [`CoreError::Serving`] with its full rendered
+/// message.
 impl From<ServeError> for CoreError {
     fn from(e: ServeError) -> Self {
         match e {
             ServeError::Core(c) => c,
             overloaded @ ServeError::Overloaded { .. } => {
                 CoreError::Overloaded(overloaded.to_string())
+            }
+            sealed @ ServeError::SnapshotIntegrity { .. } => {
+                CoreError::SnapshotIntegrity(sealed.to_string())
             }
             other => CoreError::Serving(other.to_string()),
         }
@@ -144,6 +163,7 @@ mod tests {
             ServeError::Overloaded { id: 9, pending: 32, limit: 32 },
             ServeError::Plan { msg: "tracing with snapshots".into() },
             ServeError::Snapshot { msg: "hash mismatch".into() },
+            ServeError::SnapshotIntegrity { msg: "unknown snapshot version v9".into() },
         ]
     }
 
@@ -170,6 +190,19 @@ mod tests {
                 assert_eq!(c.exit_code(), 7);
             }
         }
+    }
+
+    #[test]
+    fn snapshot_integrity_lifts_to_its_own_exit_code() {
+        let e = ServeError::SnapshotIntegrity { msg: "seal mismatch".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("integrity") && msg.contains("seal mismatch"));
+        let c: CoreError = e.into();
+        match &c {
+            CoreError::SnapshotIntegrity(m) => assert_eq!(*m, msg),
+            other => panic!("expected SnapshotIntegrity, got {other:?}"),
+        }
+        assert_eq!(c.exit_code(), 9);
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub enum FailReason {
         /// The fault class of the attempt that wanted the retry.
         last: FaultKind,
     },
+    /// Shed by the brownout ladder: live fleet capacity had dropped
+    /// below the configured threshold and the request's service class
+    /// fell under the raised admission floor. Brownout sheds recover on
+    /// their own as cards rejoin — no retry storm required.
+    Brownout,
 }
 
 impl fmt::Display for FailReason {
@@ -94,6 +99,9 @@ impl fmt::Display for FailReason {
             FailReason::DeadlineExpired => write!(f, "deadline expired while queued"),
             FailReason::RetryBudgetExhausted { last } => {
                 write!(f, "fleet retry budget empty (last fault: {last})")
+            }
+            FailReason::Brownout => {
+                write!(f, "shed by brownout (admission floor above its class)")
             }
         }
     }

@@ -23,6 +23,10 @@ pub(super) struct Card {
     pub(super) loaded_class: Option<CapacityClass>,
     pub(super) busy: bool,
     pub(super) busy_ns: u64,
+    /// The device's relative throughput weight
+    /// ([`FpgaDevice::relative_capacity`](protea_platform::FpgaDevice::relative_capacity)),
+    /// read by capacity-aware placement.
+    pub(super) capacity: f64,
 }
 
 impl SimModel {

@@ -224,9 +224,15 @@ impl SimModel {
         let batch = inflight.batch;
         for r in &batch.requests {
             f.prio_completed[r.priority.index()] += 1;
-            if r.within_deadline(finish_ns) {
+            let good = r.within_deadline(finish_ns);
+            if good {
                 f.good_completions += 1;
                 f.prio_good[r.priority.index()] += 1;
+            }
+            let ledger = f.ledger(r.tenant);
+            ledger.completed += 1;
+            if good {
+                ledger.good += 1;
             }
             let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
             self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
@@ -239,6 +245,11 @@ impl SimModel {
                 batch_size: batch.len(),
                 padded_seq_len: batch.runtime.seq_len,
             });
+        }
+        // A draining card's last in-flight batch just landed: the drain
+        // completes and the card leaves the fleet.
+        if self.faulty.as_ref().expect("fault state").draining[card] {
+            self.finish_drain(card);
         }
     }
 
@@ -256,18 +267,27 @@ impl SimModel {
             l.on_overload();
         }
         self.cards[card].busy = false;
+        let draining = f.draining[card];
         // A leg of a hedged pair that fails while its partner still runs
         // dissolves the pair: the survivor keeps sole responsibility,
         // nothing requeues, nothing is double-counted.
+        let mut dissolved = false;
         if let Some(p) = inflight.partner {
             if let Some(other) = f.inflight[p].as_mut() {
                 if other.seq == inflight.seq {
                     other.partner = None;
-                    return;
+                    dissolved = true;
                 }
             }
         }
-        self.requeue_or_fail(inflight.batch, kind);
+        if !dissolved {
+            self.requeue_or_fail(inflight.batch, kind);
+        }
+        if draining {
+            // Even a failed final batch completes the drain — the card
+            // was leaving either way.
+            self.finish_drain(card);
+        }
         self.fail_all_pending_if_dead();
     }
 
@@ -275,10 +295,12 @@ impl SimModel {
     /// any in-flight completion/failure events, and requeue its batch.
     pub(super) fn crash_card(&mut self, card: usize, _now_ns: u64) {
         let f = self.faulty.as_mut().expect("fault state");
-        if f.monitors[card].health() == crate::health::CardHealth::Dead {
+        // An absent slot has nothing to crash; a dead card is dead.
+        if !f.present[card] || f.monitors[card].health() == crate::health::CardHealth::Dead {
             return;
         }
         f.crashes += 1;
+        f.draining[card] = false; // the crash pre-empts any drain
         f.epochs[card] += 1;
         f.monitors[card].kill();
         self.cards[card].busy = false;
@@ -419,7 +441,7 @@ pub(super) fn dispatch_all(q: &mut EventQueue<FleetEvent>, m: &mut SimModel) {
                 .cards
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| !c.busy)
+                .filter(|&(i, c)| !c.busy && f.present[i] && !f.draining[i])
                 .filter_map(|(i, _)| f.monitors[i].open_until_ns())
                 .filter(|&t| t > now)
                 .min();

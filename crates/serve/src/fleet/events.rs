@@ -77,6 +77,18 @@ pub(crate) enum FleetEvent {
         /// The dispatch id to hedge.
         seq: u64,
     },
+    /// A scripted churn join: the slot (re)gains a card, whose first
+    /// batch pays the full reprogramming charge.
+    Join {
+        /// The joining roster slot.
+        card: usize,
+    },
+    /// A scripted churn drain: the card stops taking batches, finishes
+    /// its in-flight work, then leaves cleanly.
+    Drain {
+        /// The draining card.
+        card: usize,
+    },
     /// Bare dispatch wake-up (batch flush window, request deadline, or
     /// circuit-breaker cooldown).
     Wake,
@@ -167,6 +179,20 @@ pub(super) fn handle_event(
                 return;
             }
             m.fail_faulty(card, epoch, now, kind);
+            dispatch_all(q, m);
+        }
+        FleetEvent::Join { card } => {
+            if m.error.is_some() {
+                return;
+            }
+            m.join_card(card);
+            dispatch_all(q, m);
+        }
+        FleetEvent::Drain { card } => {
+            if m.error.is_some() {
+                return;
+            }
+            m.drain_card(card);
             dispatch_all(q, m);
         }
         FleetEvent::Hedge { card, seq } => {

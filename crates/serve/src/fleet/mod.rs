@@ -83,6 +83,7 @@ pub(crate) mod snapshot;
 #[cfg(test)]
 mod tests;
 
+use crate::elastic::{BrownoutLadder, ChurnAction, ChurnPlan, PlacementPolicy, TenantPolicy};
 use crate::error::ServeError;
 use crate::faults::FaultConfig;
 use crate::overload::OverloadConfig;
@@ -106,7 +107,13 @@ pub struct FleetConfig {
     pub cards: usize,
     /// The bitstream all cards are synthesized from.
     pub synthesis: SynthesisConfig,
-    /// The device every card is built on.
+    /// Uniform-roster shorthand: the device a card is built on when
+    /// [`roster`](Self::roster) is `None`. (The old doc claimed this was
+    /// "the device every card is built on" — since heterogeneous
+    /// rosters exist, that is only true of the shorthand.) Prefer
+    /// `roster` for anything heterogeneous; this field stays because a
+    /// `Some(vec![device; cards])` roster is pinned byte-identical to
+    /// it by `tests/serve_equiv.rs`, so existing configs lose nothing.
     pub device: FpgaDevice,
     /// Batching policy.
     pub policy: BatchPolicy,
@@ -127,8 +134,28 @@ pub struct FleetConfig {
     /// Memoize fault-free batch timing per deterministic-plan key
     /// (see [`TimingMemo`](crate::memo::TimingMemo)). Byte-identical
     /// reports either way; `true` (the default) makes large serving
-    /// sweeps dramatically cheaper to simulate.
+    /// sweeps dramatically cheaper to simulate. Memoization keys do not
+    /// carry a device, so it silently disables itself on a
+    /// heterogeneous roster.
     pub timing_memo: bool,
+    /// Per-card device roster for a heterogeneous fleet. `None` (the
+    /// default) means every card is built on [`device`](Self::device);
+    /// `Some(v)` must have exactly [`cards`](Self::cards) entries, each
+    /// feasibility-checked against the bitstream at construction.
+    pub roster: Option<Vec<FpgaDevice>>,
+    /// How the dispatcher picks among free cards.
+    /// [`PlacementPolicy::FirstFree`] is the historical behavior.
+    pub placement: PlacementPolicy,
+    /// Scripted runtime churn: cards joining, draining, and crashing on
+    /// a deterministic schedule. `None` changes nothing.
+    pub churn: Option<ChurnPlan>,
+    /// Per-tenant priority/SLO classes. `None` leaves the trace's own
+    /// priority/deadline stamps in force; `Some` overwrites them per
+    /// tenant and turns on per-tenant SLO rows in the report.
+    pub tenants: Option<TenantPolicy>,
+    /// Brownout degradation ladder: admission floors keyed to the live
+    /// fraction of the fleet. `None` never browns out.
+    pub brownout: Option<BrownoutLadder>,
 }
 
 impl Default for FleetConfig {
@@ -143,6 +170,48 @@ impl Default for FleetConfig {
             faults: None,
             overload: None,
             timing_memo: true,
+            roster: None,
+            placement: PlacementPolicy::FirstFree,
+            churn: None,
+            tenants: None,
+            brownout: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Whether any elastic feature is in force — a roster, a
+    /// non-historical placement policy, churn, tenancy, or brownout.
+    /// Gates the snapshot grammar version: an elastic config captures
+    /// v2, everything else keeps emitting byte-identical v1.
+    #[must_use]
+    pub fn elastic_active(&self) -> bool {
+        self.roster.is_some()
+            || self.placement != PlacementPolicy::FirstFree
+            || self.churn.is_some()
+            || self.tenants.is_some()
+            || self.brownout.is_some()
+    }
+
+    /// The per-card device list actually in force: the explicit roster,
+    /// or [`device`](Self::device) repeated [`cards`](Self::cards)
+    /// times.
+    #[must_use]
+    pub fn resolved_roster(&self) -> Vec<FpgaDevice> {
+        match &self.roster {
+            Some(r) => r.clone(),
+            None => vec![self.device; self.cards],
+        }
+    }
+
+    /// Whether every card sits on the same device (always true without
+    /// an explicit roster). Timing memoization requires this — memo
+    /// keys do not carry a device.
+    #[must_use]
+    pub fn uniform_roster(&self) -> bool {
+        match &self.roster {
+            Some(r) => r.windows(2).all(|w| w[0] == w[1]),
+            None => true,
         }
     }
 }
@@ -185,8 +254,28 @@ impl Fleet {
                 "policy.max_queue must be at least 1 when set".into(),
             )));
         }
-        // Fail now, not at dispatch time, if the design cannot exist.
-        Accelerator::try_new(config.synthesis, &config.device)?;
+        if let Some(roster) = &config.roster {
+            if roster.len() != config.cards {
+                return Err(ServeError::Core(CoreError::InvalidConfig(format!(
+                    "roster lists {} devices for a fleet of {} cards",
+                    roster.len(),
+                    config.cards
+                ))));
+            }
+        }
+        if let Some(churn) = &config.churn {
+            churn
+                .validate(config.cards)
+                .map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
+        }
+        if let Some(b) = &config.brownout {
+            b.validate().map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
+        }
+        // Fail now, not at dispatch time, if the design cannot exist on
+        // *any* card's device.
+        for device in config.resolved_roster() {
+            Accelerator::try_new(config.synthesis, &device)?;
+        }
         Ok(Self { config })
     }
 
@@ -238,6 +327,9 @@ impl Fleet {
         let managed = self.config.faults.is_some()
             || self.config.overload.as_ref().is_some_and(OverloadConfig::any)
             || self.config.policy.max_queue.is_some()
+            || self.config.churn.is_some()
+            || self.config.tenants.is_some()
+            || self.config.brownout.is_some()
             || source.has_deadlines();
         let hashing = every.is_some() || resume.is_some();
         let (mut q, mut model, mut arrivals_seen) = match resume {
@@ -246,7 +338,8 @@ impl Fleet {
                 let mut q = EventQueue::new();
                 let mut model = SimModel::build(&self.config, managed, traced, sketch)?;
                 if let Some(f) = model.faulty.as_mut() {
-                    f.track_deadlines = source.has_deadlines();
+                    f.track_deadlines = source.has_deadlines()
+                        || self.config.tenants.as_ref().is_some_and(TenantPolicy::any_deadline);
                     // Card-crash events: each card's crash timestamp is
                     // drawn once, up front, so the draw order (and thus
                     // the whole run) is deterministic in the seed.
@@ -258,6 +351,26 @@ impl Fleet {
                         .collect();
                     for (card, at) in crashes {
                         q.push(Cycles(at), events::RANK_CRASH, FleetEvent::Crash { card });
+                    }
+                    // Scripted churn rides the same rank: cards absent
+                    // at time zero, plus the join/drain/crash schedule.
+                    // A resumed run skips this — the pending churn
+                    // events were serialized with the snapshot.
+                    if let Some(plan) = &self.config.churn {
+                        for &card in &plan.start_absent {
+                            f.present[card] = false;
+                        }
+                        for e in &plan.events {
+                            let ev = match e.action {
+                                ChurnAction::Join => {
+                                    f.pending_joins += 1;
+                                    FleetEvent::Join { card: e.card }
+                                }
+                                ChurnAction::Drain => FleetEvent::Drain { card: e.card },
+                                ChurnAction::Crash => FleetEvent::Crash { card: e.card },
+                            };
+                            q.push(Cycles(e.at_ns), events::RANK_CRASH, ev);
+                        }
                     }
                 }
                 if !events::pull_arrival(&mut q, &mut model, source) {
@@ -310,7 +423,15 @@ impl Fleet {
         traced: bool,
         collect: bool,
     ) -> Result<ServeOutcome, ServeError> {
-        let single = FleetConfig { cards: 1, ..self.config.clone() };
+        // The serial baseline is one unmanaged card: slice any roster
+        // down to its first device and drop the churn schedule (a
+        // baseline that loses its only card is not a baseline).
+        let single = FleetConfig {
+            cards: 1,
+            roster: self.config.roster.as_ref().map(|r| vec![r[0]]),
+            churn: None,
+            ..self.config.clone()
+        };
         let mut m = SimModel::build(&single, false, traced, sketch)?;
         let mut free_at = 0u64;
         let mut any = false;

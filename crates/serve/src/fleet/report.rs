@@ -2,7 +2,7 @@
 
 use super::sim::{MetricsAccum, SimModel};
 use crate::health::CardMonitor;
-use crate::report::{FaultOutcome, PrioritySlo, ServeReport};
+use crate::report::{FaultOutcome, PrioritySlo, ServeReport, TenantSlo};
 use crate::request::Priority;
 
 impl SimModel {
@@ -43,6 +43,27 @@ impl SimModel {
                     })
                     .filter(|s| s.submitted > 0)
                     .collect();
+                // Tenant rows appear only when tenancy was visible — a
+                // policy installed, or traffic tagged with a nonzero
+                // tenant id — so a managed single-tenant run's report
+                // stays byte-identical to the pre-tenancy era.
+                let visible = f.tenant_policy.is_some() || f.tenants.keys().any(|&t| t != 0);
+                let tenant_slo: Vec<TenantSlo> = if visible {
+                    f.tenants
+                        .iter()
+                        .map(|(&tenant, l)| TenantSlo {
+                            tenant,
+                            submitted: l.submitted,
+                            completed: l.completed,
+                            shed: l.shed,
+                            expired: l.expired,
+                            failed: l.failed,
+                            within_deadline: l.good,
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 report.with_faults(FaultOutcome {
                     submitted: f.submitted,
                     failed: f.failed,
@@ -57,6 +78,9 @@ impl SimModel {
                     hedge_wins: f.hedge_wins,
                     hedge_cancels: f.hedge_cancels,
                     slo,
+                    joins: f.joins,
+                    drains: f.drains,
+                    tenant_slo,
                 })
             }
         };

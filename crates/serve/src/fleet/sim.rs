@@ -9,9 +9,10 @@
 
 use super::card::Card;
 use super::FleetConfig;
+use crate::elastic::{BrownoutLadder, PlacementPolicy, TenantPolicy};
 use crate::error::ServeError;
 use crate::faults::{FailReason, FailedRequest, FaultConfig};
-use crate::health::CardMonitor;
+use crate::health::{CardHealth, CardMonitor, CircuitBreaker};
 use crate::memo::TimingMemo;
 use crate::overload::{AimdLimiter, HedgeConfig, RetryBudget, ServiceTimeTracker};
 use crate::request::{CapacityClass, ServeRequest, ServeResponse};
@@ -54,6 +55,9 @@ pub(super) struct SimModel {
     pub(super) reprograms: u64,
     pub(super) next_flush: Option<u64>,
     pub(super) error: Option<ServeError>,
+    /// How the dispatch loop picks among free cards;
+    /// [`PlacementPolicy::FirstFree`] reproduces the historical scan.
+    pub(super) placement: PlacementPolicy,
     /// Fault-injection state; `None` keeps the exact fault-free path.
     pub(super) faulty: Option<FaultState>,
     /// Timing cache for the fault-free dispatch path (`None` = off).
@@ -119,6 +123,51 @@ pub(super) struct FaultState {
     pub(super) hedge_cancels: u64,
     /// Dedup for scheduled request-deadline wake-ups.
     pub(super) deadline_wake: Option<u64>,
+    // --- elasticity (churn, tenancy, brownout; defaults change nothing) ---
+    /// Whether each roster slot currently holds a card. A non-churn run
+    /// has every slot present for its whole life.
+    pub(super) present: Vec<bool>,
+    /// Slots refusing new batches while their in-flight work finishes.
+    pub(super) draining: Vec<bool>,
+    /// Scripted joins not yet fired — a fleet with a join pending is
+    /// not dead even when every present card is.
+    pub(super) pending_joins: usize,
+    /// The breaker template, kept so a joining card gets a fresh
+    /// monitor with the configured thresholds.
+    pub(super) breaker: CircuitBreaker,
+    /// Cards that (re)joined at runtime.
+    pub(super) joins: u64,
+    /// Cards that drained out cleanly at runtime.
+    pub(super) drains: u64,
+    /// Per-tenant conservation ledger. Tenant `0` is the default; the
+    /// map stays empty until the first managed submission.
+    pub(super) tenants: BTreeMap<u32, TenantLedger>,
+    /// Per-tenant service classes (`None`: trace stamps rule).
+    pub(super) tenant_policy: Option<TenantPolicy>,
+    /// Brownout admission ladder (`None`: never browns out).
+    pub(super) brownout: Option<BrownoutLadder>,
+}
+
+/// Per-tenant accounting: the same conservation law the fleet-wide
+/// report obeys (`completed + shed + expired + failed == submitted`),
+/// kept per tenant id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(super) struct TenantLedger {
+    pub(super) submitted: usize,
+    pub(super) completed: usize,
+    pub(super) shed: usize,
+    pub(super) expired: usize,
+    pub(super) failed: usize,
+    /// Completions that met their deadline (vacuously counted without
+    /// one).
+    pub(super) good: usize,
+}
+
+impl FaultState {
+    /// The (lazily created) conservation ledger for `tenant`.
+    pub(super) fn ledger(&mut self, tenant: u32) -> &mut TenantLedger {
+        self.tenants.entry(tenant).or_default()
+    }
 }
 
 pub(super) struct Inflight {
@@ -161,12 +210,13 @@ impl SimModel {
         sketch: bool,
     ) -> Result<Self, ServeError> {
         let mut cards = Vec::with_capacity(config.cards);
-        for _ in 0..config.cards {
+        for device in config.resolved_roster() {
             cards.push(Card {
-                accel: Accelerator::try_new(config.synthesis, &config.device)?,
+                accel: Accelerator::try_new(config.synthesis, &device)?,
                 loaded_class: None,
                 busy: false,
                 busy_ns: 0,
+                capacity: device.relative_capacity(),
             });
         }
         // A managed run without an explicit `FaultConfig` uses the
@@ -212,6 +262,15 @@ impl SimModel {
             hedge_wins: 0,
             hedge_cancels: 0,
             deadline_wake: None,
+            present: vec![true; config.cards],
+            draining: vec![false; config.cards],
+            pending_joins: 0,
+            breaker: f.breaker,
+            joins: 0,
+            drains: 0,
+            tenants: BTreeMap::new(),
+            tenant_policy: config.tenants.clone(),
+            brownout: config.brownout,
         });
         Ok(Self {
             scheduler: BatchScheduler::new(config.policy.clone(), config.synthesis),
@@ -229,26 +288,76 @@ impl SimModel {
             reprograms: 0,
             next_flush: None,
             error: None,
+            placement: config.placement,
             faulty,
-            memo: config.timing_memo.then(TimingMemo::new),
+            // Memo keys carry no device, so memoization is only sound
+            // when every card prices a batch identically.
+            memo: (config.timing_memo && config.uniform_roster()).then(TimingMemo::new),
             trace: traced.then(ExecTrace::new),
         })
     }
 
-    /// Whether every card in the fleet is dead (vacuously false without
-    /// fault injection).
+    /// Whether the fleet can never serve another request: every roster
+    /// slot is absent or dead *and* no scripted join is still pending.
+    /// Vacuously false without fault state; a non-churn run (all slots
+    /// present, no pending joins) reduces to the historical "every
+    /// monitor is dead".
     pub(super) fn all_cards_dead(&self) -> bool {
         self.faulty.as_ref().is_some_and(|f| {
-            f.monitors.iter().all(|m| m.health() == crate::health::CardHealth::Dead)
+            f.pending_joins == 0
+                && f.monitors
+                    .iter()
+                    .enumerate()
+                    .all(|(i, m)| !f.present[i] || m.health() == CardHealth::Dead)
         })
     }
 
-    /// First card that is idle and (under fault injection) alive with a
-    /// closed or cooled-down circuit.
+    /// Fraction of roster slots holding a live card (present, not
+    /// draining, not dead) — the brownout ladder's input. `1.0` without
+    /// fault state.
+    pub(super) fn live_fraction(&self) -> f64 {
+        let Some(f) = self.faulty.as_ref() else { return 1.0 };
+        if self.cards.is_empty() {
+            return 0.0;
+        }
+        let live = (0..self.cards.len())
+            .filter(|&i| {
+                f.present[i] && !f.draining[i] && f.monitors[i].health() != CardHealth::Dead
+            })
+            .count();
+        live as f64 / self.cards.len() as f64
+    }
+
+    /// Whether `card` may take a new batch right now: idle and (under
+    /// fault state) present, not draining, alive with a closed or
+    /// cooled-down circuit.
+    fn dispatchable(&self, card: usize, now_ns: u64) -> bool {
+        !self.cards[card].busy
+            && self.faulty.as_ref().is_none_or(|f| {
+                f.present[card] && !f.draining[card] && f.monitors[card].available(now_ns)
+            })
+    }
+
+    /// The card the placement policy picks for the next batch, among
+    /// the dispatchable ones. [`PlacementPolicy::FirstFree`] is the
+    /// historical lowest-index scan; every other policy breaks ties to
+    /// the lowest index so runs stay deterministic.
     pub(super) fn free_card(&self, now_ns: u64) -> Option<usize> {
-        self.cards.iter().enumerate().position(|(i, c)| {
-            !c.busy && self.faulty.as_ref().is_none_or(|f| f.monitors[i].available(now_ns))
-        })
+        let mut candidates = (0..self.cards.len()).filter(|&i| self.dispatchable(i, now_ns));
+        match self.placement {
+            PlacementPolicy::FirstFree => candidates.next(),
+            PlacementPolicy::FastestFirst => candidates.max_by(|&a, &b| {
+                let fa = self.cards[a].accel.design().fmax_mhz;
+                let fb = self.cards[b].accel.design().fmax_mhz;
+                fa.partial_cmp(&fb).expect("fmax is finite").then(b.cmp(&a)) // equal clocks: prefer the lower index
+            }),
+            PlacementPolicy::LeastLoaded => candidates.min_by_key(|&i| (self.cards[i].busy_ns, i)),
+            PlacementPolicy::CapacityAware => candidates.min_by(|&a, &b| {
+                let la = self.cards[a].busy_ns as f64 / self.cards[a].capacity;
+                let lb = self.cards[b].busy_ns as f64 / self.cards[b].capacity;
+                la.partial_cmp(&lb).expect("capacity is positive").then(a.cmp(&b))
+            }),
+        }
     }
 
     /// Count of requests queued or in flight (hedge legs are duplicate
@@ -260,26 +369,51 @@ impl SimModel {
         self.scheduler.pending() + inflight
     }
 
-    /// Managed admission: per-priority accounting, dead-fleet and
-    /// arrival-past-deadline checks, the AIMD concurrency gate, then the
-    /// (possibly bounded) scheduler push. Every rejected request is
-    /// recorded with a typed reason — nothing is silently dropped.
-    pub(super) fn admit(&mut self, req: ServeRequest, now_ns: u64) {
-        let prio = req.priority.index();
-        self.faulty.as_mut().expect("managed admission requires fault state").prio_submitted
-            [prio] += 1;
+    /// Managed admission: tenant-class stamping, per-priority and
+    /// per-tenant accounting, dead-fleet / arrival-past-deadline /
+    /// brownout checks, the AIMD concurrency gate, then the (possibly
+    /// bounded) scheduler push. Every rejected request is recorded with
+    /// a typed reason — nothing is silently dropped — and every
+    /// outcome lands in exactly one bucket of its tenant's ledger.
+    pub(super) fn admit(&mut self, mut req: ServeRequest, now_ns: u64) {
+        {
+            let f = self.faulty.as_mut().expect("managed admission requires fault state");
+            // The tenant policy rewrites the request's service class
+            // *before* any accounting, so submitted/shed tallies agree
+            // with the class the request actually ran under.
+            if let Some(policy) = f.tenant_policy.as_ref() {
+                let class = policy.class_for(req.tenant);
+                req.priority = class.priority;
+                req.deadline_ns = class.deadline_rel_ns.map(|d| req.arrival_ns.saturating_add(d));
+            }
+            f.prio_submitted[req.priority.index()] += 1;
+            f.ledger(req.tenant).submitted += 1;
+        }
         if self.all_cards_dead() {
             // Nothing can ever serve this request — fail it with a
             // typed reason rather than queueing it forever.
             let f = self.faulty.as_mut().expect("fault state");
             f.failed.push(FailedRequest { id: req.id, reason: FailReason::AllCardsDead });
+            f.ledger(req.tenant).failed += 1;
             return;
         }
         if req.expired_at(now_ns) {
             // Already dead on arrival: never let it touch a queue.
             let f = self.faulty.as_mut().expect("fault state");
             f.expired.push(FailedRequest { id: req.id, reason: FailReason::DeadlineExpired });
+            f.ledger(req.tenant).expired += 1;
             return;
+        }
+        let live = self.live_fraction();
+        let f = self.faulty.as_mut().expect("fault state");
+        if let Some(floor) = f.brownout.and_then(|b| b.floor(live)) {
+            if req.priority < floor {
+                // Brownout: capacity has dropped below the ladder's
+                // threshold, and this class is below the raised floor.
+                f.shed.push(FailedRequest { id: req.id, reason: FailReason::Brownout });
+                f.ledger(req.tenant).shed += 1;
+                return;
+            }
         }
         let in_system = self.in_system();
         let f = self.faulty.as_mut().expect("fault state");
@@ -292,9 +426,11 @@ impl SimModel {
                 Some(victim) => {
                     let f = self.faulty.as_mut().expect("fault state");
                     f.shed.push(FailedRequest { id: victim.id, reason: FailReason::Shed });
+                    f.ledger(victim.tenant).shed += 1;
                 }
                 None => {
                     f.shed.push(FailedRequest { id: req.id, reason: FailReason::Shed });
+                    f.ledger(req.tenant).shed += 1;
                     return;
                 }
             }
@@ -307,11 +443,14 @@ impl SimModel {
                 }
                 if let Some(v) = victim {
                     f.shed.push(FailedRequest { id: v.id, reason: FailReason::Shed });
+                    f.ledger(v.tenant).shed += 1;
                 }
             }
             Err(ServeError::Overloaded { id, .. }) => {
+                // The scheduler bounced the incoming request itself.
                 let f = self.faulty.as_mut().expect("fault state");
                 f.shed.push(FailedRequest { id, reason: FailReason::Shed });
+                f.ledger(req.tenant).shed += 1;
             }
             Err(e) => self.error = Some(e),
         }
@@ -331,6 +470,7 @@ impl SimModel {
         let f = self.faulty.as_mut().expect("fault state");
         for r in &expired {
             f.expired.push(FailedRequest { id: r.id, reason: FailReason::DeadlineExpired });
+            f.ledger(r.tenant).expired += 1;
         }
         if let Some(l) = f.limiter.as_mut() {
             l.on_overload();
@@ -353,11 +493,13 @@ impl SimModel {
                     id: r.id,
                     reason: FailReason::RetriesExhausted { last: kind },
                 });
+                f.ledger(r.tenant).failed += 1;
             } else if f.retry_budget.as_mut().is_some_and(|b| !b.try_withdraw()) {
                 f.failed.push(FailedRequest {
                     id: r.id,
                     reason: FailReason::RetryBudgetExhausted { last: kind },
                 });
+                f.ledger(r.tenant).failed += 1;
             } else {
                 survivors.push(r);
             }
@@ -378,7 +520,67 @@ impl SimModel {
             let f = self.faulty.as_mut().expect("fault state");
             for r in batch.requests {
                 f.failed.push(FailedRequest { id: r.id, reason: FailReason::AllCardsDead });
+                f.ledger(r.tenant).failed += 1;
             }
         }
+    }
+
+    /// A scripted join fires: the slot (re)gains a card with a fresh
+    /// monitor, a bumped epoch, and *no loaded weights* — the first
+    /// batch it takes pays the full reprogram-and-reload charge, which
+    /// is exactly how the paper prices a runtime retarget (register
+    /// writes plus a weight image over `reload_gbps`; never a
+    /// re-synthesis). Joining a slot that is already present only
+    /// consumes the pending-join token.
+    pub(super) fn join_card(&mut self, card: usize) {
+        let Some(f) = self.faulty.as_mut() else { return };
+        f.pending_joins = f.pending_joins.saturating_sub(1);
+        // A join revives an absent slot or replaces a dead card (its
+        // crash already bumped the epoch and requeued any in-flight
+        // work); joining a live, present card is a no-op.
+        if f.present[card] && f.monitors[card].health() != CardHealth::Dead {
+            return;
+        }
+        f.present[card] = true;
+        f.draining[card] = false;
+        f.epochs[card] += 1;
+        f.monitors[card] = CardMonitor::new(f.breaker);
+        f.joins += 1;
+        let c = &mut self.cards[card];
+        c.busy = false;
+        c.loaded_class = None;
+    }
+
+    /// A scripted drain fires: the card stops taking new batches; if it
+    /// is already idle it leaves immediately, otherwise the completion
+    /// (or failure) of its in-flight batch finishes the drain.
+    pub(super) fn drain_card(&mut self, card: usize) {
+        let idle = {
+            let Some(f) = self.faulty.as_mut() else { return };
+            if !f.present[card] || f.draining[card] {
+                return;
+            }
+            f.draining[card] = true;
+            f.inflight[card].is_none() && !self.cards[card].busy
+        };
+        if idle {
+            self.finish_drain(card);
+        }
+    }
+
+    /// Complete a voluntary scale-down: the slot empties, its epoch
+    /// bumps (any stale event no-ops), and anything still queued fails
+    /// typed if this was the last serving card.
+    pub(super) fn finish_drain(&mut self, card: usize) {
+        if let Some(f) = self.faulty.as_mut() {
+            f.present[card] = false;
+            f.draining[card] = false;
+            f.epochs[card] += 1;
+            f.drains += 1;
+            let c = &mut self.cards[card];
+            c.busy = false;
+            c.loaded_class = None;
+        }
+        self.fail_all_pending_if_dead();
     }
 }

@@ -20,12 +20,33 @@
 //! [`ServeOutcome::state_hash`](crate::ServeOutcome::state_hash):
 //! equal hashes mean bit-identical fleets.
 //!
-//! Format: line-oriented, space-separated tokens, header
-//! `protea-fleet-snapshot v1`, trailer `hash <16 hex digits>`. Floats
-//! travel as `f64::to_bits` so the round-trip is exact.
+//! Format: line-oriented, space-separated tokens, trailer
+//! `hash <16 hex digits>`. Floats travel as `f64::to_bits` so the
+//! round-trip is exact.
+//!
+//! ## Versions
+//!
+//! Two grammar versions coexist. `protea-fleet-snapshot v1` is the
+//! original: 8-token requests, no churn state, no tenant ledger. A run
+//! emits `protea-fleet-snapshot v2` only when the elastic machinery is
+//! visible — an explicit roster, a non-default placement policy, churn,
+//! tenant classes, brownout, or traffic tagged with a nonzero tenant id
+//! — so classic fleets keep producing byte-identical v1 snapshots.
+//! v2 appends the tenant id as a ninth request token, adds `J`/`D`
+//! churn events and the `brownout` fail reason, and closes the fault
+//! section with roster presence, drain flags, pending joins, churn
+//! counters, and the per-tenant ledger. `parse` accepts both; a v1
+//! snapshot restores with the fleet fully present and its history
+//! folded into tenant 0, and is rejected up front when the resuming
+//! config is elastic (the v1 grammar cannot carry that state).
+//!
+//! A wrong header, a missing or malformed `hash` trailer, or a body
+//! that does not re-hash to the trailer is an *integrity* failure
+//! ([`ServeError::SnapshotIntegrity`], its own exit code) — the file is
+//! untrusted input, not a config mismatch.
 
 use super::events::FleetEvent;
-use super::sim::{FaultState, Inflight, MetricsAccum, SimModel};
+use super::sim::{FaultState, Inflight, MetricsAccum, SimModel, TenantLedger};
 use super::FleetConfig;
 use crate::error::ServeError;
 use crate::faults::{FailReason, FailedRequest};
@@ -40,17 +61,60 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
-const HEADER: &str = "protea-fleet-snapshot v1";
+const HEADER_V1: &str = "protea-fleet-snapshot v1";
+const HEADER_V2: &str = "protea-fleet-snapshot v2";
 
 fn snap_err(msg: impl Into<String>) -> ServeError {
     ServeError::Snapshot { msg: msg.into() }
 }
 
-/// The fleet config digest a snapshot pins: FNV-1a over the config's
-/// debug form (which covers every field, including fault scripts and
-/// overload knobs).
-fn config_digest(config: &FleetConfig) -> u64 {
-    Fnv64::hash(format!("{config:?}").as_bytes())
+fn integrity_err(msg: impl Into<String>) -> ServeError {
+    ServeError::SnapshotIntegrity { msg: msg.into() }
+}
+
+/// The fleet config digest a snapshot pins. A v2 snapshot digests the
+/// config's full debug form (which covers every field, including the
+/// roster, churn plan, and tenant classes). A v1 snapshot digests only
+/// the nine fields that existed before the elastic era, in their
+/// historical order, so v1 snapshots taken by older builds keep
+/// verifying against configs whose elastic knobs are all at rest.
+fn config_digest(config: &FleetConfig, v2: bool) -> u64 {
+    if v2 {
+        Fnv64::hash(format!("{config:?}").as_bytes())
+    } else {
+        legacy_config_digest(config)
+    }
+}
+
+fn legacy_config_digest(c: &FleetConfig) -> u64 {
+    // `Debug` for `&T` forwards to `T`, and a derived `Debug` prints the
+    // struct's own name — so this shadow reproduces the pre-elastic
+    // config's debug output byte-for-byte without cloning anything.
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    struct FleetConfig<A, B, C, D, E, F, G, H, I> {
+        cards: A,
+        synthesis: B,
+        device: C,
+        policy: D,
+        functional: E,
+        reload_gbps: F,
+        faults: G,
+        overload: H,
+        timing_memo: I,
+    }
+    let shadow = FleetConfig {
+        cards: &c.cards,
+        synthesis: &c.synthesis,
+        device: &c.device,
+        policy: &c.policy,
+        functional: &c.functional,
+        reload_gbps: &c.reload_gbps,
+        faults: &c.faults,
+        overload: &c.overload,
+        timing_memo: &c.timing_memo,
+    };
+    Fnv64::hash(format!("{shadow:?}").as_bytes())
 }
 
 fn opt_u64(v: Option<u64>) -> String {
@@ -95,8 +159,8 @@ fn health_from(code: u64) -> Result<CardHealth, ServeError> {
     })
 }
 
-fn req_tokens(r: &ServeRequest) -> String {
-    format!(
+fn req_tokens(r: &ServeRequest, v2: bool) -> String {
+    let mut line = format!(
         "{} {} {} {} {} {} {} {}",
         r.id,
         r.arrival_ns,
@@ -106,12 +170,16 @@ fn req_tokens(r: &ServeRequest) -> String {
         r.seq_len,
         r.priority.index(),
         opt_u64(r.deadline_ns)
-    )
+    );
+    if v2 {
+        line.push_str(&format!(" {}", r.tenant));
+    }
+    line
 }
 
-fn event_tokens(ev: &FleetEvent) -> String {
+fn event_tokens(ev: &FleetEvent, v2: bool) -> String {
     match ev {
-        FleetEvent::Arrival(r) => format!("A {}", req_tokens(r)),
+        FleetEvent::Arrival(r) => format!("A {}", req_tokens(r, v2)),
         FleetEvent::Crash { card } => format!("X {card}"),
         FleetEvent::Free { card } => format!("F {card}"),
         FleetEvent::Complete { card, epoch, start_ns } => format!("C {card} {epoch} {start_ns}"),
@@ -119,6 +187,8 @@ fn event_tokens(ev: &FleetEvent) -> String {
             format!("L {card} {epoch} {}", kind_code(*kind))
         }
         FleetEvent::Hedge { card, seq } => format!("H {card} {seq}"),
+        FleetEvent::Join { card } => format!("J {card}"),
+        FleetEvent::Drain { card } => format!("D {card}"),
         FleetEvent::Wake => "W".into(),
     }
 }
@@ -130,6 +200,7 @@ fn reason_tokens(r: &FailReason) -> String {
         FailReason::Shed => "shed".into(),
         FailReason::DeadlineExpired => "expired".into(),
         FailReason::RetryBudgetExhausted { last } => format!("budget {}", kind_code(*last)),
+        FailReason::Brownout => "brownout".into(),
     }
 }
 
@@ -197,9 +268,10 @@ fn popt(tok: Option<&&str>, what: &str) -> Result<Option<u64>, ServeError> {
     }
 }
 
-fn parse_request(toks: &[&str]) -> Result<ServeRequest, ServeError> {
-    if toks.len() != 8 {
-        return Err(snap_err(format!("request wants 8 tokens, got {}", toks.len())));
+fn parse_request(toks: &[&str], v2: bool) -> Result<ServeRequest, ServeError> {
+    let want = if v2 { 9 } else { 8 };
+    if toks.len() != want {
+        return Err(snap_err(format!("request wants {want} tokens, got {}", toks.len())));
     }
     let mut it = toks.iter();
     let (id, arrival_ns) = (pu64(it.next(), "request id")?, pu64(it.next(), "arrival")?);
@@ -212,14 +284,25 @@ fn parse_request(toks: &[&str]) -> Result<ServeRequest, ServeError> {
         .get(prio)
         .ok_or_else(|| snap_err(format!("unknown priority index {prio}")))?;
     let deadline_ns = popt(it.next(), "deadline")?;
-    Ok(ServeRequest { id, arrival_ns, d_model, heads, layers, seq_len, priority, deadline_ns })
+    let tenant = if v2 { pu64(it.next(), "tenant")? as u32 } else { 0 };
+    Ok(ServeRequest {
+        id,
+        arrival_ns,
+        d_model,
+        heads,
+        layers,
+        seq_len,
+        priority,
+        deadline_ns,
+        tenant,
+    })
 }
 
-fn parse_event(toks: &[&str]) -> Result<FleetEvent, ServeError> {
+fn parse_event(toks: &[&str], v2: bool) -> Result<FleetEvent, ServeError> {
     let (tag, rest) = toks.split_first().ok_or_else(|| snap_err("empty event"))?;
     let mut it = rest.iter();
     Ok(match *tag {
-        "A" => FleetEvent::Arrival(parse_request(rest)?),
+        "A" => FleetEvent::Arrival(parse_request(rest, v2)?),
         "X" => FleetEvent::Crash { card: pusize(it.next(), "crash card")? },
         "F" => FleetEvent::Free { card: pusize(it.next(), "free card")? },
         "C" => FleetEvent::Complete {
@@ -236,6 +319,8 @@ fn parse_event(toks: &[&str]) -> Result<FleetEvent, ServeError> {
             card: pusize(it.next(), "hedge card")?,
             seq: pu64(it.next(), "hedge seq")?,
         },
+        "J" => FleetEvent::Join { card: pusize(it.next(), "join card")? },
+        "D" => FleetEvent::Drain { card: pusize(it.next(), "drain card")? },
         "W" => FleetEvent::Wake,
         other => return Err(snap_err(format!("unknown event tag `{other}`"))),
     })
@@ -253,6 +338,7 @@ fn parse_reason(toks: &[&str]) -> Result<FailReason, ServeError> {
         "budget" => {
             FailReason::RetryBudgetExhausted { last: kind_from(pu64(rest.first(), "fault kind")?)? }
         }
+        "brownout" => FailReason::Brownout,
         other => return Err(snap_err(format!("unknown fail reason `{other}`"))),
     })
 }
@@ -286,6 +372,8 @@ pub struct FleetSnapshot {
     hash: u64,
     /// Arrivals processed when captured (the snapshot's epoch).
     arrivals: u64,
+    /// Grammar version (1 or 2), read from the header line.
+    version: u8,
 }
 
 impl FleetSnapshot {
@@ -304,32 +392,50 @@ impl FleetSnapshot {
         self.arrivals
     }
 
+    /// The snapshot grammar version: 1 for classic fleets, 2 once the
+    /// elastic machinery (roster, churn, tenants, brownout) is visible.
+    #[must_use]
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
     fn seal(body: Vec<String>, arrivals: u64) -> Self {
         let hash = Fnv64::hash(body.join("\n").as_bytes());
-        Self { body, hash, arrivals }
+        let version = if body.first().map(String::as_str) == Some(HEADER_V2) { 2 } else { 1 };
+        Self { body, hash, arrivals, version }
     }
 
     /// Parse the canonical text form, verifying the version header and
     /// the integrity hash.
     ///
     /// # Errors
-    /// [`ServeError::Snapshot`] on a wrong header, a missing or
-    /// mismatching `hash` trailer, or a malformed `arrivals` line.
+    /// [`ServeError::SnapshotIntegrity`] on an unknown header, a
+    /// missing or malformed `hash` trailer, or a body that does not
+    /// re-hash to the trailer — the file is untrusted input.
+    /// [`ServeError::Snapshot`] on structural problems inside a sealed
+    /// body (e.g. a malformed `arrivals` line).
     pub fn parse(text: &str) -> Result<Self, ServeError> {
         let mut body: Vec<String> =
             text.lines().map(str::to_owned).filter(|l| !l.trim().is_empty()).collect();
-        let trailer = body.pop().ok_or_else(|| snap_err("empty snapshot"))?;
+        let trailer = body.pop().ok_or_else(|| integrity_err("empty snapshot"))?;
         let stated = trailer
             .strip_prefix("hash ")
-            .ok_or_else(|| snap_err("snapshot does not end with a `hash` trailer"))?;
+            .ok_or_else(|| integrity_err("snapshot does not end with a `hash` trailer"))?;
         let stated = u64::from_str_radix(stated.trim(), 16)
-            .map_err(|_| snap_err("malformed hash trailer"))?;
-        if body.first().map(String::as_str) != Some(HEADER) {
-            return Err(snap_err(format!("unsupported snapshot header (want `{HEADER}`)")));
-        }
+            .map_err(|_| integrity_err("malformed hash trailer"))?;
+        let version = match body.first().map(String::as_str) {
+            Some(h) if h == HEADER_V1 => 1,
+            Some(h) if h == HEADER_V2 => 2,
+            got => {
+                return Err(integrity_err(format!(
+                    "unsupported snapshot header `{}` (want `{HEADER_V1}` or `{HEADER_V2}`)",
+                    got.unwrap_or("")
+                )))
+            }
+        };
         let computed = Fnv64::hash(body.join("\n").as_bytes());
         if computed != stated {
-            return Err(snap_err(format!(
+            return Err(integrity_err(format!(
                 "hash mismatch: body hashes to {computed:016x}, trailer says {stated:016x}"
             )));
         }
@@ -339,7 +445,7 @@ impl FleetSnapshot {
             .ok_or_else(|| snap_err("snapshot has no arrivals line"))?
             .parse()
             .map_err(|_| snap_err("malformed arrivals line"))?;
-        Ok(Self { body, hash: computed, arrivals })
+        Ok(Self { body, hash: computed, arrivals, version })
     }
 
     /// Capture the complete state of a mid-run (or finished) simulation.
@@ -352,9 +458,27 @@ impl FleetSnapshot {
         managed: bool,
         sketch: bool,
     ) -> Self {
+        let events = q.sorted_events();
+        let rows = m.scheduler.export_queues();
+        // v2 only when the elastic machinery is visible: an elastic
+        // config, or traffic already tagged with a nonzero tenant id
+        // anywhere the snapshot will store a request. Classic fleets
+        // keep emitting byte-identical v1 snapshots.
+        let v2 = config.elastic_active()
+            || events
+                .iter()
+                .any(|(_, _, ev)| matches!(ev, FleetEvent::Arrival(r) if r.tenant != 0))
+            || rows.iter().any(|(_, _, reqs)| reqs.iter().any(|r| r.tenant != 0))
+            || m.faulty.as_ref().is_some_and(|f| {
+                f.tenants.keys().any(|&t| t != 0)
+                    || f.inflight
+                        .iter()
+                        .flatten()
+                        .any(|i| i.batch.requests.iter().any(|r| r.tenant != 0))
+            });
         let mut w: Vec<String> = Vec::new();
-        w.push(HEADER.into());
-        w.push(format!("config {:016x}", config_digest(config)));
+        w.push(if v2 { HEADER_V2 } else { HEADER_V1 }.into());
+        w.push(format!("config {:016x}", config_digest(config, v2)));
         let cursor = source.state();
         let mut line = format!("source {}", source.kind());
         for word in &cursor.words {
@@ -367,12 +491,10 @@ impl FleetSnapshot {
         w.push(format!("arrivals {arrivals}"));
         w.push(format!("counters {} {} {}", m.ops_total, m.batches, m.reprograms));
         w.push(format!("next_flush {}", opt_u64(m.next_flush)));
-        let events = q.sorted_events();
         w.push(format!("events {}", events.len()));
         for (t, rank, ev) in &events {
-            w.push(format!("event {} {rank} {}", t.get(), event_tokens(ev)));
+            w.push(format!("event {} {rank} {}", t.get(), event_tokens(ev, v2)));
         }
-        let rows = m.scheduler.export_queues();
         w.push(format!("queues {}", rows.len()));
         for (class, padded_seq_len, requests) in &rows {
             w.push(format!(
@@ -383,7 +505,7 @@ impl FleetSnapshot {
                 requests.len()
             ));
             for r in requests {
-                w.push(format!("req {}", req_tokens(r)));
+                w.push(format!("req {}", req_tokens(r, v2)));
             }
         }
         w.push(format!("cards {}", m.cards.len()));
@@ -443,7 +565,7 @@ impl FleetSnapshot {
         }
         match &m.faulty {
             None => w.push("faults 0".into()),
-            Some(f) => capture_faults(&mut w, f),
+            Some(f) => capture_faults(&mut w, f, v2),
         }
         Self::seal(w, arrivals)
     }
@@ -460,12 +582,16 @@ impl FleetSnapshot {
         source: &mut dyn WorkloadSource,
     ) -> Result<(EventQueue<FleetEvent>, SimModel, u64), ServeError> {
         let mut c = Cursor::new(&self.body);
-        if self.body.first().map(String::as_str) != Some(HEADER) {
-            return Err(snap_err(format!("unsupported snapshot header (want `{HEADER}`)")));
+        let v2 = self.version == 2;
+        if !v2 && config.elastic_active() {
+            return Err(snap_err(
+                "v1 snapshot cannot resume under an elastic fleet config \
+                 (roster/placement/churn/tenant/brownout knobs are set)",
+            ));
         }
         c.pos = 1;
         let digest = self.read_digest(&mut c)?;
-        let want = config_digest(config);
+        let want = config_digest(config, v2);
         if digest != want {
             return Err(snap_err(format!(
                 "snapshot was captured under a different fleet config \
@@ -518,7 +644,7 @@ impl FleetSnapshot {
                     "pending event at {t} ns predates the snapshot clock {time} ns"
                 )));
             }
-            q.push(Cycles(t), rank, parse_event(&toks[2..])?);
+            q.push(Cycles(t), rank, parse_event(&toks[2..], v2)?);
         }
 
         let n_queues = pusize(c.expect("queues")?.first(), "queue count")?;
@@ -534,7 +660,7 @@ impl FleetSnapshot {
             let k = pusize(toks.get(4), "queue length")?;
             let mut requests = Vec::with_capacity(k);
             for _ in 0..k {
-                requests.push(parse_request(&c.expect("req")?)?);
+                requests.push(parse_request(&c.expect("req")?, v2)?);
             }
             rows.push((class, padded, requests));
         }
@@ -632,7 +758,9 @@ impl FleetSnapshot {
             // Reports are a pure function of their key: reprice each
             // stored key on a scratch card instead of serializing the
             // CycleReports, then restore the true traffic counters.
-            let mut scratch = Accelerator::try_new(config.synthesis, &config.device)?;
+            // The memo only exists on a uniform roster, so slot 0's
+            // device prices every key the fleet could have cached.
+            let mut scratch = Accelerator::try_new(config.synthesis, &config.resolved_roster()[0])?;
             for _ in 0..n_keys {
                 let toks = c.expect("key")?;
                 scratch
@@ -655,7 +783,7 @@ impl FleetSnapshot {
             return Err(snap_err("snapshot fault state does not match the managed mode"));
         }
         if have_faults {
-            restore_faults(&mut c, &mut model)?;
+            restore_faults(&mut c, &mut model, v2)?;
         }
 
         // Self-check: the restored state must re-hash to exactly this
@@ -676,7 +804,7 @@ impl FleetSnapshot {
     }
 }
 
-fn capture_faults(w: &mut Vec<String>, f: &FaultState) {
+fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool) {
     w.push("faults 1".into());
     w.push(format!("f.submitted {}", f.submitted));
     w.push(format!("f.trackdl {}", u64::from(f.track_deadlines)));
@@ -742,7 +870,7 @@ fn capture_faults(w: &mut Vec<String>, f: &FaultState) {
                     i.batch.requests.len()
                 ));
                 for r in &i.batch.requests {
-                    w.push(format!("req {}", req_tokens(r)));
+                    w.push(format!("req {}", req_tokens(r, v2)));
                 }
             }
         }
@@ -771,9 +899,30 @@ fn capture_faults(w: &mut Vec<String>, f: &FaultState) {
         line.push_str(&format!(" {v}"));
     }
     w.push(line);
+    if v2 {
+        let mut line = String::from("f.present");
+        for p in &f.present {
+            line.push_str(&format!(" {}", u64::from(*p)));
+        }
+        w.push(line);
+        let mut line = String::from("f.draining");
+        for d in &f.draining {
+            line.push_str(&format!(" {}", u64::from(*d)));
+        }
+        w.push(line);
+        w.push(format!("f.pending_joins {}", f.pending_joins));
+        w.push(format!("f.churn {} {}", f.joins, f.drains));
+        w.push(format!("tenants {}", f.tenants.len()));
+        for (t, l) in &f.tenants {
+            w.push(format!(
+                "tenant {t} {} {} {} {} {} {}",
+                l.submitted, l.completed, l.shed, l.expired, l.failed, l.good
+            ));
+        }
+    }
 }
 
-fn restore_faults(c: &mut Cursor<'_>, model: &mut SimModel) -> Result<(), ServeError> {
+fn restore_faults(c: &mut Cursor<'_>, model: &mut SimModel, v2: bool) -> Result<(), ServeError> {
     let cards = model.cards.len();
     let f = model.faulty.as_mut().expect("managed model has fault state");
     f.submitted = pusize(c.expect("f.submitted")?.first(), "submitted")?;
@@ -843,7 +992,7 @@ fn restore_faults(c: &mut Cursor<'_>, model: &mut SimModel) -> Result<(), ServeE
         let k = pusize(toks.get(8), "inflight batch size")?;
         let mut requests = Vec::with_capacity(k);
         for _ in 0..k {
-            requests.push(parse_request(&c.expect("req")?)?);
+            requests.push(parse_request(&c.expect("req")?, v2)?);
         }
         let f = model.faulty.as_mut().expect("managed model has fault state");
         f.inflight[slot] = Some(Inflight {
@@ -902,6 +1051,75 @@ fn restore_faults(c: &mut Cursor<'_>, model: &mut SimModel) -> Result<(), ServeE
         samples.push(pu64(toks.get(1 + i), "service-time sample")?);
     }
     f.svc.import(samples);
+    if v2 {
+        let toks = c.expect("f.present")?;
+        if toks.len() != cards {
+            return Err(snap_err(format!(
+                "f.present line wants {cards} entries, got {}",
+                toks.len()
+            )));
+        }
+        for (i, slot) in f.present.iter_mut().enumerate() {
+            *slot = pbool(toks.get(i), "present flag")?;
+        }
+        let toks = c.expect("f.draining")?;
+        if toks.len() != cards {
+            return Err(snap_err(format!(
+                "f.draining line wants {cards} entries, got {}",
+                toks.len()
+            )));
+        }
+        for (i, slot) in f.draining.iter_mut().enumerate() {
+            *slot = pbool(toks.get(i), "draining flag")?;
+        }
+        f.pending_joins = pusize(c.expect("f.pending_joins")?.first(), "pending joins")?;
+        let toks = c.expect("f.churn")?;
+        f.joins = pu64(toks.first(), "join count")?;
+        f.drains = pu64(toks.get(1), "drain count")?;
+        let n = pusize(c.expect("tenants")?.first(), "tenant count")?;
+        let mut tenants = BTreeMap::new();
+        for _ in 0..n {
+            let toks = c.expect("tenant")?;
+            tenants.insert(
+                pu64(toks.first(), "tenant id")? as u32,
+                TenantLedger {
+                    submitted: pusize(toks.get(1), "tenant submitted")?,
+                    completed: pusize(toks.get(2), "tenant completed")?,
+                    shed: pusize(toks.get(3), "tenant shed")?,
+                    expired: pusize(toks.get(4), "tenant expired")?,
+                    failed: pusize(toks.get(5), "tenant failed")?,
+                    good: pusize(toks.get(6), "tenant good")?,
+                },
+            );
+        }
+        f.tenants = tenants;
+    } else {
+        // v1 snapshots predate churn and tenancy: the fleet is fully
+        // present, nothing is draining, and the run's entire history
+        // belongs to tenant 0. Reconstructing that ledger keeps the
+        // per-tenant conservation law holding across a v1 resume
+        // without perturbing the recapture hash (v1 emission never
+        // serializes it).
+        f.present = vec![true; cards];
+        f.draining = vec![false; cards];
+        f.pending_joins = 0;
+        f.joins = 0;
+        f.drains = 0;
+        f.tenants = BTreeMap::new();
+        if f.submitted > 0 {
+            f.tenants.insert(
+                0,
+                TenantLedger {
+                    submitted: f.submitted,
+                    completed: f.prio_completed.iter().sum(),
+                    shed: f.shed.len(),
+                    expired: f.expired.len(),
+                    failed: f.failed.len(),
+                    good: f.good_completions,
+                },
+            );
+        }
+    }
     Ok(())
 }
 
@@ -933,16 +1151,18 @@ mod tests {
     #[test]
     fn parse_round_trips_and_checks_hash() {
         let snap = FleetSnapshot::seal(
-            vec![HEADER.into(), "config 0123456789abcdef".into(), "arrivals 7".into()],
+            vec![HEADER_V1.into(), "config 0123456789abcdef".into(), "arrivals 7".into()],
             7,
         );
         let back = round_trip(&snap);
         assert_eq!(back, snap);
         assert_eq!(back.arrivals(), 7);
+        assert_eq!(back.version(), 1);
 
         let mut text = snap.to_string();
         text = text.replace("arrivals 7", "arrivals 8");
         let err = FleetSnapshot::parse(&text).unwrap_err();
+        assert!(matches!(err, ServeError::SnapshotIntegrity { .. }), "{err}");
         assert!(err.to_string().contains("hash mismatch"), "{err}");
     }
 
@@ -956,6 +1176,23 @@ mod tests {
     }
 
     #[test]
+    fn unknown_version_and_tampered_seal_are_integrity_errors() {
+        let unknown =
+            FleetSnapshot::seal(vec!["protea-fleet-snapshot v9".into(), "arrivals 0".into()], 0);
+        let err = FleetSnapshot::parse(&unknown.to_string()).unwrap_err();
+        assert!(matches!(err, ServeError::SnapshotIntegrity { .. }), "{err}");
+
+        let err = FleetSnapshot::parse("protea-fleet-snapshot v1\narrivals 3").unwrap_err();
+        assert!(matches!(err, ServeError::SnapshotIntegrity { .. }), "{err}");
+
+        let v2 = FleetSnapshot::seal(
+            vec![HEADER_V2.into(), "config 0123456789abcdef".into(), "arrivals 2".into()],
+            2,
+        );
+        assert_eq!(round_trip(&v2).version(), 2);
+    }
+
+    #[test]
     fn event_and_request_tokens_round_trip() {
         let req = ServeRequest {
             id: 42,
@@ -966,6 +1203,7 @@ mod tests {
             seq_len: 17,
             priority: Priority::Interactive,
             deadline_ns: Some(5_000),
+            tenant: 0,
         };
         let events = [
             FleetEvent::Arrival(req),
@@ -974,13 +1212,42 @@ mod tests {
             FleetEvent::Complete { card: 1, epoch: 9, start_ns: 77 },
             FleetEvent::Fail { card: 2, epoch: 4, kind: FaultKind::AxiTimeout },
             FleetEvent::Hedge { card: 1, seq: 12 },
+            FleetEvent::Join { card: 2 },
+            FleetEvent::Drain { card: 1 },
             FleetEvent::Wake,
         ];
         for ev in events {
-            let text = event_tokens(&ev);
+            let text = event_tokens(&ev, false);
             let toks: Vec<&str> = text.split_whitespace().collect();
-            assert_eq!(parse_event(&toks).unwrap(), ev, "{text}");
+            assert_eq!(parse_event(&toks, false).unwrap(), ev, "{text}");
         }
+    }
+
+    #[test]
+    fn v2_request_tokens_carry_the_tenant() {
+        let req = ServeRequest {
+            id: 7,
+            arrival_ns: 500,
+            d_model: 64,
+            heads: 4,
+            layers: 1,
+            seq_len: 9,
+            priority: Priority::BestEffort,
+            deadline_ns: None,
+            tenant: 31,
+        };
+        let toks_line = req_tokens(&req, true);
+        let toks: Vec<&str> = toks_line.split_whitespace().collect();
+        assert_eq!(toks.len(), 9);
+        assert_eq!(parse_request(&toks, true).unwrap(), req);
+        // The v1 grammar has no ninth token: the tenant id is dropped on
+        // emit and rejected on parse.
+        let v1_line = req_tokens(&req, false);
+        let v1: Vec<&str> = v1_line.split_whitespace().collect();
+        assert_eq!(v1.len(), 8);
+        assert_eq!(parse_request(&v1, false).unwrap().tenant, 0);
+        assert!(parse_request(&toks, false).is_err());
+        assert!(parse_request(&v1, true).is_err());
     }
 
     #[test]
@@ -991,6 +1258,7 @@ mod tests {
             FailReason::Shed,
             FailReason::DeadlineExpired,
             FailReason::RetryBudgetExhausted { last: FaultKind::CardCrash },
+            FailReason::Brownout,
         ];
         for r in reasons {
             let text = reason_tokens(&r);

@@ -63,10 +63,20 @@
 //! a time, [`MetricsMode::Sketch`] folds completions into an O(1)
 //! log-histogram [`StreamMetrics`], and `snapshot_every` captures
 //! versioned [`FleetSnapshot`]s a later process resumes bit-identically.
+//!
+//! The elastic layer makes the fleet a moving target: a heterogeneous
+//! device roster with a [`PlacementPolicy`], a scripted [`ChurnPlan`]
+//! (joins that pay the paper's full reprogramming charge, drains that
+//! finish in-flight work, crashes through the health ladder), a
+//! [`TenantPolicy`] mapping tenant ids to priority/deadline classes,
+//! and a [`BrownoutLadder`] that sheds the lowest classes first as live
+//! capacity drops — with per-tenant accounting ([`TenantSlo`]) obeying
+//! the same conservation law under arbitrary churn.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod elastic;
 mod error;
 mod faults;
 mod fleet;
@@ -81,6 +91,9 @@ mod sketch;
 mod source;
 mod trace;
 
+pub use elastic::{
+    BrownoutLadder, ChurnAction, ChurnEvent, ChurnPlan, PlacementPolicy, TenantClass, TenantPolicy,
+};
 pub use error::ServeError;
 pub use faults::{FailReason, FailedRequest, FaultConfig};
 pub use fleet::snapshot::FleetSnapshot;
@@ -92,7 +105,7 @@ pub use overload::{
     ServiceTimeTracker,
 };
 pub use plan::{MetricsMode, ServeOutcome, ServePlan};
-pub use report::{FaultOutcome, Percentiles, PrioritySlo, ServeReport};
+pub use report::{FaultOutcome, Percentiles, PrioritySlo, ServeReport, TenantSlo};
 pub use request::{CapacityClass, Priority, ServeRequest, ServeResponse};
 pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
 pub use sketch::{LatencySketch, StreamMetrics};

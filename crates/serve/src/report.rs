@@ -112,6 +112,14 @@ pub struct ServeReport {
     /// Timing-memo cache misses (distinct plan keys priced). Zero when
     /// the memo is off. Excluded from report equality.
     pub memo_misses: u64,
+    /// Cards that (re)joined the fleet at runtime (scripted churn).
+    pub joins: u64,
+    /// Cards that drained out cleanly at runtime (scripted churn).
+    pub drains: u64,
+    /// Per-tenant SLO attainment and conservation rows, ascending
+    /// tenant id. Empty for runs without a tenant policy or tagged
+    /// traffic, so historical reports render unchanged.
+    pub tenant_slo: Vec<TenantSlo>,
 }
 
 impl PartialEq for ServeReport {
@@ -150,6 +158,9 @@ impl PartialEq for ServeReport {
             slo,
             memo_hits: _,
             memo_misses: _,
+            joins,
+            drains,
+            tenant_slo,
         } = self;
         *completed == other.completed
             && *cards == other.cards
@@ -177,6 +188,49 @@ impl PartialEq for ServeReport {
             && *hedge_wins == other.hedge_wins
             && *hedge_cancels == other.hedge_cancels
             && *slo == other.slo
+            && *joins == other.joins
+            && *drains == other.drains
+            && *tenant_slo == other.tenant_slo
+    }
+}
+
+/// SLO attainment and conservation accounting for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSlo {
+    /// The tenant id.
+    pub tenant: u32,
+    /// Requests this tenant submitted.
+    pub submitted: usize,
+    /// Of those, completed.
+    pub completed: usize,
+    /// Of those, shed at admission (overload or brownout).
+    pub shed: usize,
+    /// Of those, expired in queue.
+    pub expired: usize,
+    /// Of those, failed on hardware.
+    pub failed: usize,
+    /// Completions that met the tenant's deadline (every completion
+    /// counts when the tenant carries no deadline).
+    pub within_deadline: usize,
+}
+
+impl TenantSlo {
+    /// Fraction of submitted requests served within deadline (1.0 when
+    /// the tenant saw no traffic).
+    #[must_use]
+    pub fn attainment(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.within_deadline as f64 / self.submitted as f64
+        }
+    }
+
+    /// Per-tenant conservation check: every submitted request counted
+    /// exactly once across {completed, shed, expired, failed}.
+    #[must_use]
+    pub fn accounted(&self) -> bool {
+        self.completed + self.shed + self.expired + self.failed == self.submitted
     }
 }
 
@@ -237,6 +291,12 @@ pub struct FaultOutcome {
     pub hedge_cancels: u64,
     /// Per-priority SLO rows (empty without the overload layer).
     pub slo: Vec<PrioritySlo>,
+    /// Runtime card joins (scripted churn).
+    pub joins: u64,
+    /// Runtime card drains (scripted churn).
+    pub drains: u64,
+    /// Per-tenant SLO/conservation rows (empty without tenancy).
+    pub tenant_slo: Vec<TenantSlo>,
 }
 
 impl ServeReport {
@@ -287,6 +347,9 @@ impl ServeReport {
             slo: Vec::new(),
             memo_hits: 0,
             memo_misses: 0,
+            joins: 0,
+            drains: 0,
+            tenant_slo: Vec::new(),
         }
     }
 
@@ -335,6 +398,9 @@ impl ServeReport {
             slo: Vec::new(),
             memo_hits: 0,
             memo_misses: 0,
+            joins: 0,
+            drains: 0,
+            tenant_slo: Vec::new(),
         }
     }
 
@@ -369,6 +435,9 @@ impl ServeReport {
         self.hedge_wins = outcome.hedge_wins;
         self.hedge_cancels = outcome.hedge_cancels;
         self.slo = outcome.slo;
+        self.joins = outcome.joins;
+        self.drains = outcome.drains;
+        self.tenant_slo = outcome.tenant_slo;
         self
     }
 
@@ -401,6 +470,25 @@ impl ServeReport {
     #[must_use]
     pub fn accounted(&self) -> bool {
         self.completed + self.shed.len() + self.expired.len() + self.failed.len() == self.submitted
+    }
+
+    /// Per-tenant conservation check: every tenant row individually
+    /// accounted, and the rows summing to the fleet-wide `submitted`
+    /// when any row exists. Vacuously true without tenancy.
+    #[must_use]
+    pub fn tenants_accounted(&self) -> bool {
+        let rows_ok = self.tenant_slo.iter().all(TenantSlo::accounted);
+        let total: usize = self.tenant_slo.iter().map(|t| t.submitted).sum();
+        rows_ok && (self.tenant_slo.is_empty() || total == self.submitted)
+    }
+
+    /// Whether the elastic layer left any visible trace — runtime joins,
+    /// drains, or per-tenant rows — i.e. whether the elastic section of
+    /// [`Display`](fmt::Display) prints. Always false for pre-elastic
+    /// runs, so their rendered reports are unchanged.
+    #[must_use]
+    pub fn elastic(&self) -> bool {
+        self.joins > 0 || self.drains > 0 || !self.tenant_slo.is_empty()
     }
 }
 
@@ -470,6 +558,27 @@ impl fmt::Display for ServeReport {
                     })
                     .collect();
                 writeln!(f, "  slo          [{}]", rows.join(", "))?;
+            }
+        }
+        // The elastic section prints only when churn or tenancy was in
+        // play, so pre-elastic reports render exactly as before.
+        if self.elastic() {
+            if self.joins + self.drains > 0 {
+                writeln!(f, "  churn        {} join(s), {} drain(s)", self.joins, self.drains)?;
+            }
+            for t in &self.tenant_slo {
+                writeln!(
+                    f,
+                    "  tenant {:>5} {:.1}% slo ({} submitted: {} completed, {} shed, \
+                     {} expired, {} failed)",
+                    t.tenant,
+                    100.0 * t.attainment(),
+                    t.submitted,
+                    t.completed,
+                    t.shed,
+                    t.expired,
+                    t.failed
+                )?;
             }
         }
         // The fault section prints only when something actually went

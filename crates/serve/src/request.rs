@@ -84,6 +84,12 @@ pub struct ServeRequest {
     /// before dispatch rather than burned on a card; one that completes
     /// after it counts against goodput and SLO attainment.
     pub deadline_ns: Option<u64>,
+    /// Which tenant issued the request. Tenant `0` is the default
+    /// (single-tenant traces behave exactly as before tenancy existed);
+    /// a [`TenantPolicy`](crate::TenantPolicy) maps ids to per-tenant
+    /// priority/SLO classes, and the managed fleet keeps a per-tenant
+    /// conservation ledger in the report.
+    pub tenant: u32,
 }
 
 impl Default for ServeRequest {
@@ -100,6 +106,7 @@ impl Default for ServeRequest {
             seq_len: 0,
             priority: Priority::Normal,
             deadline_ns: None,
+            tenant: 0,
         }
     }
 }
@@ -239,6 +246,13 @@ mod tests {
         assert!(tight.expired_at(1_000), "a deadline reached is a deadline missed");
         assert!(tight.within_deadline(1_000));
         assert!(!tight.within_deadline(1_001));
+    }
+
+    #[test]
+    fn tenant_defaults_to_zero() {
+        assert_eq!(ServeRequest::default().tenant, 0);
+        let tagged = ServeRequest { tenant: 3, ..shaped(0, 0, 8) };
+        assert_eq!(tagged.class(), shaped(1, 9, 8).class(), "tenancy never splits batches");
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //!
 //! One request object per line, same fields as the array dialect in
 //! [`crate::trace`] (`arrival_us`, `d_model`, `heads`, `layers`,
-//! `seq_len`, optional `deadline_us` and `priority`); blank lines are
+//! `seq_len`, optional `deadline_us`, `priority`, and `tenant` — the
+//! tenant id defaults to `0`, the single-tenant class); blank lines are
 //! ignored; request ids are assigned from the request's ordinal (0-based
 //! count of non-blank lines before it):
 //!
@@ -132,6 +133,7 @@ pub struct PoissonSource {
     rng: StdRng,
     t_ns: u64,
     deadline_rel_ns: Option<u64>,
+    tenants: u32,
 }
 
 impl PoissonSource {
@@ -161,6 +163,7 @@ impl PoissonSource {
             rng: StdRng::seed_from_u64(seed),
             t_ns: 0,
             deadline_rel_ns: None,
+            tenants: 0,
         }
     }
 
@@ -169,6 +172,15 @@ impl PoissonSource {
     #[must_use]
     pub fn with_deadline(mut self, rel_ns: u64) -> Self {
         self.deadline_rel_ns = Some(rel_ns);
+        self
+    }
+
+    /// Assign tenant ids round-robin across `tenants` tenants (the
+    /// streaming analogue of [`Workload::with_tenants`]; `0` leaves the
+    /// stream single-tenant).
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: u32) -> Self {
+        self.tenants = tenants;
         self
     }
 
@@ -204,6 +216,7 @@ impl WorkloadSource for PoissonSource {
             layers,
             seq_len,
             deadline_ns: self.deadline_rel_ns.map(|rel| self.t_ns.saturating_add(rel)),
+            tenant: if self.tenants == 0 { 0 } else { (id % u64::from(self.tenants)) as u32 },
             ..ServeRequest::default()
         }))
     }
@@ -638,6 +651,71 @@ mod tests {
         assert_eq!((reqs[0].id, reqs[1].id), (0, 1));
         assert_eq!(reqs[1].deadline_ns, Some(900_000));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_lines_malformed_line_is_a_typed_error_naming_the_line() {
+        let body = concat!(
+            "{ \"arrival_us\": 1, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8 }\n",
+            "\n",
+            "{ \"arrival_us\": 2, \"d_model\": 96, \"heads\": 4 }\n",
+        );
+        let path = temp_trace("jsonl-malformed.jsonl", body);
+        // The validation pass catches it at open — typed, no panic.
+        let err = JsonLinesSource::open(&path).unwrap_err();
+        match &err {
+            ServeError::Trace { at, msg } => {
+                assert_eq!(*at, 3, "the error must carry the 1-based line number");
+                assert!(msg.contains("line 3"), "message must name the line: {msg}");
+                assert!(msg.contains("layers"), "message must name the missing field: {msg}");
+            }
+            other => panic!("expected a Trace error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_lines_truncated_file_is_a_typed_error_not_a_panic() {
+        // A trace cut off mid-object (e.g. a partial upload): the last
+        // line is unterminated JSON and must fail with the line number.
+        let body = concat!(
+            "{ \"arrival_us\": 1, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8 }\n",
+            "{ \"arrival_us\": 2, \"d_model\": 96, \"hea",
+        );
+        let path = temp_trace("jsonl-truncated.jsonl", body);
+        let err = JsonLinesSource::open(&path).unwrap_err();
+        match &err {
+            ServeError::Trace { at, msg } => {
+                assert_eq!(*at, 2);
+                assert!(msg.contains("line 2"), "message must name the line: {msg}");
+            }
+            other => panic!("expected a Trace error, got {other:?}"),
+        }
+        // A file truncated to nothing after a trailing newline is empty.
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(JsonLinesSource::open(&path), Err(ServeError::EmptyTrace)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_lines_accepts_tenant_with_zero_default() {
+        let body = concat!(
+            "{ \"arrival_us\": 1, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8 }\n",
+            "{ \"arrival_us\": 2, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8, ",
+            "\"tenant\": 7 }\n",
+        );
+        let path = temp_trace("jsonl-tenant.jsonl", body);
+        let mut src = JsonLinesSource::open(&path).unwrap();
+        let reqs = drain(&mut src);
+        assert_eq!((reqs[0].tenant, reqs[1].tenant), (0, 7));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn poisson_tenants_mirror_the_eager_builder() {
+        let eager = Workload::poisson(30, 10_000.0, &[(96, 4, 2)], (8, 16), 5).with_tenants(3);
+        let mut lazy = PoissonSource::new(30, 10_000.0, &[(96, 4, 2)], (8, 16), 5).with_tenants(3);
+        assert_eq!(drain(&mut lazy), eager.requests);
     }
 
     #[test]

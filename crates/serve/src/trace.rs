@@ -16,9 +16,10 @@
 //! ```
 //!
 //! Each request may optionally carry `"deadline_us"` (absolute, from
-//! trace start) and `"priority"` (`"best-effort"` | `"normal"` |
-//! `"interactive"`); both default to the pre-overload behavior (no
-//! deadline, normal priority).
+//! trace start), `"priority"` (`"best-effort"` | `"normal"` |
+//! `"interactive"`), and `"tenant"` (a non-negative tenant id); all
+//! default to the pre-overload behavior (no deadline, normal priority,
+//! tenant `0`).
 
 use crate::error::ServeError;
 use crate::request::{Priority, ServeRequest};
@@ -72,6 +73,9 @@ impl Workload {
             }
             if r.priority != Priority::Normal {
                 extra.push_str(&format!(", \"priority\": \"{}\"", r.priority));
+            }
+            if r.tenant != 0 {
+                extra.push_str(&format!(", \"tenant\": {}", r.tenant));
             }
             out.push_str(&format!(
                 "  {{ \"arrival_us\": {}, \"d_model\": {}, \"heads\": {}, \"layers\": {}, \"seq_len\": {}{} }}{}\n",
@@ -151,6 +155,20 @@ impl Workload {
         self
     }
 
+    /// Assign tenant ids round-robin across `tenants` tenants
+    /// (builder-style, deterministic). `tenants == 0` leaves the trace
+    /// single-tenant.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: u32) -> Self {
+        if tenants == 0 {
+            return self;
+        }
+        for (i, r) in self.requests.iter_mut().enumerate() {
+            r.tenant = (i as u32) % tenants;
+        }
+        self
+    }
+
     /// Total trace span in seconds (first arrival is relative to zero).
     #[must_use]
     pub fn span_s(&self) -> f64 {
@@ -212,6 +230,14 @@ pub(crate) fn request_from_value(item: &json::Value, id: u64) -> Result<ServeReq
         }
         None => Priority::Normal,
     };
+    let tenant = match opt_field("tenant") {
+        Some(v) => {
+            let raw = v.as_u64(0, "tenant")?;
+            u32::try_from(raw)
+                .map_err(|_| trace_err(0, format!("request {id}: tenant {raw} out of range")))?
+        }
+        None => 0,
+    };
     Ok(ServeRequest {
         id,
         arrival_ns: field("arrival_us")?.saturating_mul(1_000),
@@ -221,6 +247,7 @@ pub(crate) fn request_from_value(item: &json::Value, id: u64) -> Result<ServeReq
         seq_len: field("seq_len")? as usize,
         priority,
         deadline_ns,
+        tenant,
     })
 }
 
@@ -560,6 +587,32 @@ mod tests {
                  "seq_len": 8, "priority": 3 } ] }"#,
             r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
                  "seq_len": 8, "deadline_us": "soon" } ] }"#,
+        ] {
+            assert!(Workload::from_json(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn tenant_field_is_optional_round_trips_and_is_validated() {
+        let plain = r#"{ "requests": [
+            { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 8 }
+        ] }"#;
+        assert_eq!(Workload::from_json(plain).unwrap().requests[0].tenant, 0);
+        let tagged = r#"{ "requests": [
+            { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 8, "tenant": 2 }
+        ] }"#;
+        assert_eq!(Workload::from_json(tagged).unwrap().requests[0].tenant, 2);
+        let w = Workload::poisson(9, 5_000.0, &[(96, 4, 2)], (8, 16), 3).with_tenants(3);
+        assert_eq!(w.requests.iter().map(|r| r.tenant).collect::<Vec<_>>().len(), 9);
+        let back = Workload::from_json(&w.to_json()).unwrap();
+        for (a, b) in w.requests.iter().zip(&back.requests) {
+            assert_eq!(a.tenant, b.tenant);
+        }
+        for bad in [
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "tenant": "gold" } ] }"#,
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "tenant": 4294967296 } ] }"#,
         ] {
             assert!(Workload::from_json(bad).is_err(), "{bad} must be rejected");
         }

@@ -47,6 +47,7 @@ fn workload_of(arrivals: &[Arrival]) -> Workload {
             seq_len: a.seq_len,
             deadline_ns: a.deadline_rel_ns.map(|d| a.at_ns.saturating_add(d)),
             priority: a.priority,
+            tenant: 0,
         })
         .collect();
     requests.sort_by_key(|r| (r.arrival_ns, r.id));

@@ -5,6 +5,7 @@
 //! plain fleet, the fully managed (faults + overload + deadlines)
 //! fleet, and the streaming-sketch path.
 
+use protea_core::CoreError;
 use protea_serve::{
     AimdConfig, BatchPolicy, FaultConfig, Fleet, FleetConfig, FleetSnapshot, HedgeConfig,
     MetricsMode, OverloadConfig, PoissonSource, RetryBudgetConfig, ServeError, ServePlan, Workload,
@@ -146,17 +147,83 @@ fn tampered_snapshot_text_is_rejected() {
     let out = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
     let text = out.snapshots[0].to_string();
 
-    // Flip one digit in a counter line: the hash trailer must catch it.
+    // Flip one digit in a counter line: the hash trailer must catch it,
+    // and a tampered seal is an *integrity* error — untrusted input,
+    // with its own exit code — not a generic snapshot error.
     let tampered = text.replacen("arrivals 8", "arrivals 9", 1);
     assert_ne!(tampered, text, "the fixture must actually tamper the text");
     match FleetSnapshot::parse(&tampered) {
-        Err(ServeError::Snapshot { msg }) => assert!(msg.contains("hash mismatch"), "{msg}"),
+        Err(err @ ServeError::SnapshotIntegrity { .. }) => {
+            assert!(err.to_string().contains("hash mismatch"), "{err}");
+            assert_eq!(CoreError::from(err).exit_code(), 9);
+        }
         other => panic!("tampered snapshot accepted: {other:?}"),
     }
 
-    // Truncation loses the trailer.
+    // Truncation loses the trailer: also an integrity failure.
     let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
-    assert!(FleetSnapshot::parse(&truncated).is_err());
+    match FleetSnapshot::parse(&truncated) {
+        Err(ServeError::SnapshotIntegrity { .. }) => {}
+        other => panic!("truncated snapshot accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_snapshot_version_is_an_integrity_error_with_its_own_exit_code() {
+    let fleet = plain_fleet();
+    let w = trace();
+    let out = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
+    let text = out.snapshots[0].to_string();
+
+    // Rewrite the header to an unknown version and re-seal the body so
+    // the trailer verifies: version negotiation itself must reject it.
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    lines.pop();
+    lines[0] = "protea-fleet-snapshot v9".into();
+    let body = lines.join("\n");
+    let resealed = format!("{body}\nhash {:016x}\n", protea_hwsim::Fnv64::hash(body.as_bytes()));
+    let err = FleetSnapshot::parse(&resealed).unwrap_err();
+    assert!(matches!(err, ServeError::SnapshotIntegrity { .. }), "{err}");
+    assert!(err.to_string().contains("unsupported snapshot header"), "{err}");
+    assert_eq!(CoreError::from(err).exit_code(), 9, "integrity failures get exit code 9");
+}
+
+/// The committed v1 fixture keeps the legacy grammar honest: it must
+/// keep parsing as version 1, resuming bit-identically, and being
+/// rejected under an elastic config (whose state v1 cannot carry).
+/// Regenerate with `PROTEA_REGEN_FIXTURES=1 cargo test -p protea-serve`.
+#[test]
+fn committed_v1_fixture_parses_and_resumes_bit_identically() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/snapshot_v1.txt");
+    let fleet = plain_fleet();
+    let w = trace();
+    let full = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
+    if std::env::var_os("PROTEA_REGEN_FIXTURES").is_some() {
+        std::fs::write(path, full.snapshots[0].to_string()).unwrap();
+    }
+    let text = std::fs::read_to_string(path).expect("committed v1 fixture");
+    let snap = FleetSnapshot::parse(&text).unwrap();
+    assert_eq!(snap.version(), 1, "a classic fleet must emit the v1 grammar");
+    assert_eq!(&snap, &full.snapshots[0], "fixture drifted from the captured epoch");
+
+    let resumed =
+        fleet.run(ServePlan::workload(&w).snapshot_every(EVERY).resume(snap.clone())).unwrap();
+    assert_eq!(resumed.state_hash, full.state_hash);
+    assert_eq!(resumed.report, full.report);
+
+    // v1 → v2 migration has a hard edge: a v1 snapshot cannot describe
+    // roster/churn/tenant state, so an elastic config refuses it.
+    let device = FleetConfig::default().device;
+    let elastic = Fleet::try_new(FleetConfig {
+        cards: 3,
+        roster: Some(vec![device; 3]),
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    match elastic.run(ServePlan::workload(&w).resume(snap)) {
+        Err(ServeError::Snapshot { msg }) => assert!(msg.contains("v1 snapshot"), "{msg}"),
+        other => panic!("v1-under-elastic accepted: {:?}", other.map(|o| o.report)),
+    }
 }
 
 #[test]

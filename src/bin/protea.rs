@@ -12,6 +12,12 @@
 //!                  [--emit-trace out.json] [--exec-trace exec.json]
 //!                  [--metrics exact|sketch] [--snapshot-every N]
 //!                  [--snapshot-out snap.txt] [--resume snap.txt]
+//!                  [--roster u55c,u250,...] [--placement first-free|fastest-first|
+//!                   least-loaded|capacity-aware]
+//!                  [--churn "absent:1,join:1@5000000,drain:0@9000000,crash:2@3000000"]
+//!                  [--churn-seed S] [--churn-events N] [--churn-horizon-ns H]
+//!                  [--tenants "1=interactive@50,2=best-effort"] [--tenant-cycle K]
+//!                  [--brownout "0.67,0.34"]
 //! protea chaos-sim [--cards 2] [--fault-rate 0.02] [--crash-rate 0]
 //!                  [--max-attempts 5] [--seed 42] [--requests 64]
 //!                  [--arrival-rate 50000] [--d 96] [--heads 4] [--layers 2]
@@ -29,7 +35,9 @@
 //! then [`CoreError::exit_code`] (2 = invalid configuration, 3 = bad
 //! model blob, 4 = infeasible design, 5 = request-path mismatch, 6 =
 //! unrecoverable hardware fault, 7 = serving-layer rejection, 8 =
-//! overloaded — shed fraction above `--max-shed-pct`).
+//! overloaded — shed fraction above `--max-shed-pct`, 9 = snapshot
+//! integrity failure: the `--resume` file's header or seal is wrong,
+//! so the snapshot is untrusted input and must be discarded).
 
 use protea::prelude::*;
 use std::collections::HashMap;
@@ -276,10 +284,70 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse the elastic-fleet flags for `serve-sim`: an optional
+/// heterogeneous `--roster`, a `--placement` policy, a scripted or
+/// seeded `--churn` plan, `--tenants` SLO classes, and a `--brownout`
+/// ladder. Returns the effective card count (a roster overrides a
+/// defaulted `--cards`) plus the fields to merge into the
+/// [`FleetConfig`].
+#[allow(clippy::type_complexity)]
+fn elastic_flags(
+    flags: &HashMap<String, String>,
+    mut cards: usize,
+) -> Result<
+    (
+        usize,
+        Option<Vec<FpgaDevice>>,
+        PlacementPolicy,
+        Option<ChurnPlan>,
+        Option<TenantPolicy>,
+        Option<BrownoutLadder>,
+    ),
+    CliError,
+> {
+    let roster = flags.get("roster").map(|s| FpgaDevice::parse_roster(s)).transpose()?;
+    if let (Some(r), false) = (&roster, flags.contains_key("cards")) {
+        cards = r.len();
+    }
+    let placement = match flags.get("placement") {
+        None => PlacementPolicy::FirstFree,
+        Some(s) => PlacementPolicy::parse(s).ok_or_else(|| {
+            format!(
+                "--placement must be first-free, fastest-first, least-loaded, \
+                 or capacity-aware, got '{s}'"
+            )
+        })?,
+    };
+    let churn = match (flags.get("churn"), flags.contains_key("churn-seed")) {
+        (Some(_), true) => {
+            return Err("--churn and --churn-seed are mutually exclusive".into());
+        }
+        (Some(spec), false) => Some(ChurnPlan::parse(spec)?),
+        (None, true) => {
+            let seed = flag(flags, "churn-seed", 0u64)?;
+            let n = flag(flags, "churn-events", 6usize)?;
+            let horizon = flag(flags, "churn-horizon-ns", 20_000_000u64)?;
+            Some(ChurnPlan::seeded(seed, cards, horizon, n))
+        }
+        (None, false) => None,
+    };
+    let tenants = flags.get("tenants").map(|s| TenantPolicy::parse(s)).transpose()?;
+    let brownout = flags.get("brownout").map(|s| BrownoutLadder::parse(s)).transpose()?;
+    Ok((cards, roster, placement, churn, tenants, brownout))
+}
+
 fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let device = device_of(flags)?;
     let cards = flag(flags, "cards", 2usize)?;
-    let workload = serving_workload(flags)?;
+    let mut workload = serving_workload(flags)?;
+    // `--tenant-cycle K` stamps tenants 0..K round-robin onto a
+    // synthesized workload; JSON traces carry their own `tenant` field.
+    let tenant_cycle = flag(flags, "tenant-cycle", 0usize)?;
+    if tenant_cycle > 0 {
+        for (i, r) in workload.requests.iter_mut().enumerate() {
+            r.tenant = (i % tenant_cycle) as u32;
+        }
+    }
     if let Some(path) = flags.get("emit-trace") {
         std::fs::write(path, workload.to_json())
             .map_err(|e| format!("cannot write '{path}': {e}"))?;
@@ -287,7 +355,18 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
     let policy =
         BatchPolicy { max_batch: flag(flags, "max-batch", 8usize)?, ..BatchPolicy::default() };
-    let fleet = Fleet::try_new(FleetConfig { cards, device, policy, ..FleetConfig::default() })?;
+    let (cards, roster, placement, churn, tenants, brownout) = elastic_flags(flags, cards)?;
+    let fleet = Fleet::try_new(FleetConfig {
+        cards,
+        device,
+        policy,
+        roster,
+        placement,
+        churn,
+        tenants,
+        brownout,
+        ..FleetConfig::default()
+    })?;
 
     // Assemble the ServePlan: metrics mode, exec tracing, periodic
     // snapshot capture, and/or resume from a snapshot file. Conflicting

@@ -111,10 +111,11 @@ pub mod prelude {
     };
     pub use protea_platform::FpgaDevice;
     pub use protea_serve::{
-        AimdConfig, BatchPolicy, CardHealth, FailReason, FailedRequest, FaultConfig, Fleet,
-        FleetConfig, FleetSnapshot, HedgeConfig, JsonLinesSource, MetricsMode, OverloadConfig,
-        Percentiles, PoissonSource, Priority, RetryBudgetConfig, ServeError, ServeOutcome,
-        ServePlan, ServeReport, ServeRequest, ServeResponse, StreamMetrics, Workload,
+        AimdConfig, BatchPolicy, BrownoutLadder, CardHealth, ChurnAction, ChurnEvent, ChurnPlan,
+        FailReason, FailedRequest, FaultConfig, Fleet, FleetConfig, FleetSnapshot, HedgeConfig,
+        JsonLinesSource, MetricsMode, OverloadConfig, Percentiles, PlacementPolicy, PoissonSource,
+        Priority, RetryBudgetConfig, ServeError, ServeOutcome, ServePlan, ServeReport,
+        ServeRequest, ServeResponse, StreamMetrics, TenantPolicy, TenantSlo, Workload,
         WorkloadSource,
     };
     pub use protea_tensor::Matrix;

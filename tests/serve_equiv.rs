@@ -157,3 +157,25 @@ fn contradictory_plans_are_rejected_up_front() {
     assert!(plan_err(ServePlan::workload(&w).metrics(MetricsMode::Sketch).collect_responses())
         .contains("exact metrics"));
 }
+
+#[test]
+fn uniform_roster_is_byte_exact_against_the_device_shorthand() {
+    // `FleetConfig::device` is now shorthand for a uniform roster: a
+    // config spelling the roster out explicitly must produce the same
+    // report, byte for byte, as the shorthand — for both the plain and
+    // the fully managed fleet. This is the freeze on the elastic
+    // refactor's back-compat story.
+    let w = trace();
+    let device = FleetConfig::default().device;
+    for (shorthand, cards) in [(plain_fleet(3), 3), (managed_fleet(2), 2)] {
+        let rostered = Fleet::try_new(FleetConfig {
+            roster: Some(vec![device; cards]),
+            ..shorthand.config().clone()
+        })
+        .unwrap();
+        let base = shorthand.run(ServePlan::workload(&w)).unwrap().report;
+        let elastic = rostered.run(ServePlan::workload(&w)).unwrap().report;
+        assert_eq!(base, elastic);
+        assert_eq!(base.to_string(), elastic.to_string());
+    }
+}
