@@ -12,8 +12,17 @@ fn main() {
     // the single source of truth; fall back to in-process if spawning
     // fails (e.g. when invoked from a context without the sibling
     // binaries built).
-    let bins =
-        ["table1", "table2", "table3", "fig7", "ablations", "serving", "availability", "overload"];
+    let bins = [
+        "table1",
+        "table2",
+        "table3",
+        "fig7",
+        "ablations",
+        "serving",
+        "availability",
+        "overload",
+        "integrity",
+    ];
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("bin dir");
     for (i, bin) in bins.iter().enumerate() {
@@ -96,6 +105,22 @@ fn main() {
                         Err(e) => println!("AVAILABILITY (compact fallback): error: {e}"),
                     }
                 }
+                "integrity" => match protea_bench::integrity::run_sweep(96) {
+                    Ok(rows) => {
+                        let defended: Vec<_> = rows
+                            .iter()
+                            .filter(|r| r.posture == "defended" && r.sdc_rate > 0.0)
+                            .collect();
+                        let worst = defended.iter().map(|r| r.coverage()).fold(1.0f64, f64::min);
+                        println!(
+                            "INTEGRITY (compact fallback): {} defended cells, worst \
+                             detection coverage {:.1}%",
+                            defended.len(),
+                            100.0 * worst
+                        );
+                    }
+                    Err(e) => println!("INTEGRITY (compact fallback): error: {e}"),
+                },
                 "overload" => {
                     match protea_bench::overload::run_sweep(&[250.0, 1_000.0], &[100_000_000], &[2])
                     {

@@ -16,6 +16,7 @@
 //! | Availability under fault injection (extension) | [`availability`] | `availability` |
 //! | Goodput knee under overload (extension)      | [`overload`] | `overload` |
 //! | Elastic fleets under churn (extension)       | [`elastic`] | `elastic` |
+//! | SDC defense: coverage vs overhead (extension) | [`integrity`] | `integrity` |
 //! | Fast-backend kernels (extension)             | [`kernels`] | `kernels` |
 //! | Everything above in sequence                 | —          | `repro_all` |
 
@@ -28,6 +29,7 @@ pub mod crossover;
 pub mod elastic;
 pub mod fig7;
 pub mod fmt;
+pub mod integrity;
 pub mod kernels;
 pub mod overload;
 pub mod serving;

@@ -30,6 +30,12 @@ pub struct Accelerator {
     design: SynthesizedDesign,
     runtime: RuntimeConfig,
     weights: Option<QuantizedEncoder>,
+    /// FNV digest of the loaded weight image, sealed at
+    /// [`try_load_weights`](Self::try_load_weights) and re-checked by
+    /// [`verify_weights`](Self::verify_weights) — the detection layer
+    /// for silent corruption of resident weights, which ABFT checksums
+    /// structurally cannot see.
+    weight_digest: Option<u64>,
     /// The weight image repacked for the fast kernel, built lazily on
     /// the first fast-path run after a weight load. Timing-only users
     /// (the fleet's default serving mode reloads cards constantly and
@@ -81,6 +87,7 @@ impl Accelerator {
             design,
             runtime,
             weights: None,
+            weight_digest: None,
             packed: OnceLock::new(),
             backend: Backend::from_env(),
             overlap_enabled: true,
@@ -152,8 +159,40 @@ impl Accelerator {
             });
         }
         self.packed = OnceLock::new();
+        self.weight_digest = Some(crate::integrity::weight_digest(&weights));
         self.weights = Some(weights);
         Ok(())
+    }
+
+    /// The FNV digest sealed over the loaded weight image, if any.
+    #[must_use]
+    pub fn weight_digest(&self) -> Option<u64> {
+        self.weight_digest
+    }
+
+    /// Recompute the weight digest and compare it against the value
+    /// sealed at load time, returning the verified digest. Called at
+    /// load, after reprogramming, and from the serving layer's periodic
+    /// scrub — the detection rung for *persistent* silent corruption
+    /// that ABFT checksums cannot see.
+    ///
+    /// # Errors
+    /// [`CoreError::WeightsNotLoaded`] if no image is resident;
+    /// [`CoreError::Integrity`] if the recomputed digest disagrees with
+    /// the sealed one (the image is untrusted — reload it).
+    pub fn verify_weights(&self) -> Result<u64, CoreError> {
+        let weights = self.weights.as_ref().ok_or(CoreError::WeightsNotLoaded)?;
+        let sealed = self.weight_digest.ok_or(CoreError::WeightsNotLoaded)?;
+        let observed = crate::integrity::weight_digest(weights);
+        if observed == sealed {
+            Ok(sealed)
+        } else {
+            Err(CoreError::Integrity {
+                context: format!(
+                    "weight digest mismatch: sealed {sealed:016x}, resident {observed:016x}"
+                ),
+            })
+        }
     }
 
     /// Disable/enable load-compute overlap (ablation).
@@ -713,6 +752,29 @@ mod tests {
             acc.try_load_weights(shallow).unwrap_err(),
             CoreError::WeightShape { weights_layers: 1, programmed_layers: 2, .. }
         ));
+    }
+
+    #[test]
+    fn weight_digest_sealed_at_load_and_verified() {
+        let (mut acc, _, qw) = small_accel();
+        let sealed = acc.weight_digest().expect("digest sealed at load");
+        assert_eq!(sealed, crate::integrity::weight_digest(&qw));
+        assert_eq!(acc.verify_weights(), Ok(sealed));
+        // Flip one bit of the resident image behind the driver's back —
+        // the silent corruption the digest exists to catch.
+        let flipped = acc.weights.as_mut().unwrap().layers[0].wq.data[(0, 0)] ^ 0x01;
+        acc.weights.as_mut().unwrap().layers[0].wq.data[(0, 0)] = flipped;
+        match acc.verify_weights() {
+            Err(CoreError::Integrity { context }) => {
+                assert!(context.contains("digest mismatch"), "{context}");
+            }
+            other => panic!("expected Integrity, got {other:?}"),
+        }
+        let fresh =
+            Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+                .unwrap();
+        assert_eq!(fresh.weight_digest(), None);
+        assert_eq!(fresh.verify_weights(), Err(CoreError::WeightsNotLoaded));
     }
 
     #[test]

@@ -84,6 +84,17 @@ pub enum CoreError {
     /// the input *file* is untrusted: the correct caller response is
     /// to discard it, not retry or migrate it.
     SnapshotIntegrity(String),
+    /// On-card data failed an integrity check: a weight image whose FNV
+    /// digest no longer matches the sealed value (verified at load, at
+    /// reprogram, and by periodic scrubs) or an ABFT checksum mismatch
+    /// in a GEMM epilogue. Distinct from [`CoreError::Fault`] — no
+    /// hardware error signal ever fired; the data is *silently* wrong
+    /// and the correct response is to discard the affected results and
+    /// re-image the card, not to retry the transfer.
+    Integrity {
+        /// What was being verified when the mismatch surfaced.
+        context: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -121,6 +132,9 @@ impl fmt::Display for CoreError {
             CoreError::Serving(m) => write!(f, "serving error: {m}"),
             CoreError::Overloaded(m) => write!(f, "overloaded: {m}"),
             CoreError::SnapshotIntegrity(m) => write!(f, "snapshot rejected: {m}"),
+            CoreError::Integrity { context } => {
+                write!(f, "silent data corruption detected: {context}")
+            }
         }
     }
 }
@@ -132,7 +146,9 @@ impl CoreError {
     /// 5 = weight/input/batch mismatch on the request path, 6 =
     /// unrecoverable hardware fault, 7 = serving-layer rejection, 8 =
     /// overloaded (admission refused; retryable elsewhere or later),
-    /// 9 = snapshot integrity failure (untrusted input file; discard).
+    /// 9 = snapshot integrity failure (untrusted input file; discard),
+    /// 10 = silent data corruption detected (weight digest or ABFT
+    /// checksum mismatch; discard affected results and re-image).
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -147,6 +163,7 @@ impl CoreError {
             CoreError::Serving(_) => 7,
             CoreError::Overloaded(_) => 8,
             CoreError::SnapshotIntegrity(_) => 9,
+            CoreError::Integrity { .. } => 10,
         }
     }
 }
@@ -233,6 +250,7 @@ mod tests {
             CoreError::Serving("trace rejected".into()),
             CoreError::Overloaded("queue full (32 pending, limit 32)".into()),
             CoreError::SnapshotIntegrity("unknown snapshot version v9".into()),
+            CoreError::Integrity { context: "weight digest mismatch on card 2".into() },
         ]
     }
 
@@ -247,7 +265,7 @@ mod tests {
     fn exit_codes_are_stable_and_nonzero() {
         for e in every_variant() {
             assert!(e.exit_code() >= 2, "{e:?} must not collide with success/usage codes");
-            assert!(e.exit_code() <= 9);
+            assert!(e.exit_code() <= 10);
         }
         assert_eq!(
             CoreError::Fault { kind: FaultKind::CardCrash, context: String::new() }.exit_code(),
@@ -256,5 +274,6 @@ mod tests {
         assert_eq!(CoreError::Serving(String::new()).exit_code(), 7);
         assert_eq!(CoreError::Overloaded(String::new()).exit_code(), 8);
         assert_eq!(CoreError::SnapshotIntegrity(String::new()).exit_code(), 9);
+        assert_eq!(CoreError::Integrity { context: String::new() }.exit_code(), 10);
     }
 }

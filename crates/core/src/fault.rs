@@ -19,7 +19,10 @@
 //!   driver gives up on the run and the layer above decides what card
 //!   to fail over to.
 
-pub use protea_mem::fault::{FaultEvent, FaultKind, FaultRates, FaultStream, TransferFault};
+pub use protea_mem::fault::{
+    FaultEvent, FaultKind, FaultRates, FaultStream, SdcEvent, SdcHit, SdcSite, SdcStream,
+    TransferFault,
+};
 
 /// The driver's transfer watchdog: a hung AXI transaction is declared
 /// dead after `timeout_cycles` and handed to the retry path.

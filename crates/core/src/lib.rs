@@ -50,6 +50,7 @@ pub mod driver;
 pub mod engines;
 pub mod error;
 pub mod fault;
+pub mod integrity;
 pub mod pipeline;
 pub mod registers;
 pub mod report;
@@ -66,8 +67,10 @@ pub use desched::simulate_layer_des;
 pub use driver::{Driver, DriverError, Instruction};
 pub use error::CoreError;
 pub use fault::{
-    FaultEvent, FaultKind, FaultRates, FaultStats, FaultStream, RetryPolicy, Watchdog,
+    FaultEvent, FaultKind, FaultRates, FaultStats, FaultStream, RetryPolicy, SdcEvent, SdcHit,
+    SdcSite, SdcStream, Watchdog,
 };
+pub use integrity::weight_digest;
 pub use pipeline::{FaultPlan, PlanKey, RunOutcome, RunPlan};
 pub use registers::{RegisterError, RuntimeConfig};
 pub use report::{CycleReport, EnginePhase};

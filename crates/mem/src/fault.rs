@@ -37,6 +37,46 @@ pub enum FaultKind {
     AxiTimeout,
     /// The whole card drops off the bus.
     CardCrash,
+    /// Silent data corruption: a bit flips in weight SRAM or an
+    /// activation datapath and the transfer *completes normally* — no
+    /// error signal ever fires. Never produced by
+    /// [`FaultStream::sample_transfer`] (there is nothing for the
+    /// driver to observe); drawn instead by an [`SdcStream`] and caught
+    /// only by integrity machinery (ABFT checksums, weight digests)
+    /// layers above.
+    SilentCorrupt,
+}
+
+impl FaultKind {
+    /// The transfer-level fault this kind afflicts one tile load with,
+    /// or `None` for the kinds that are not transfer faults
+    /// ([`FaultKind::CardCrash`] is card-level;
+    /// [`FaultKind::SilentCorrupt`] completes the transfer cleanly).
+    /// `stall_cycles` is used only by [`FaultKind::AxiStall`].
+    ///
+    /// This is the single kind→transfer conversion — the sampler and
+    /// every scripted-event path go through it, so the two enums can
+    /// never drift apart (pinned by the round-trip proptest below).
+    #[must_use]
+    pub fn transfer(self, stall_cycles: u64) -> Option<TransferFault> {
+        match self {
+            FaultKind::EccSingle => Some(TransferFault::EccSingle),
+            FaultKind::EccDouble => Some(TransferFault::EccDouble),
+            FaultKind::AxiStall => Some(TransferFault::Stall { extra_cycles: stall_cycles }),
+            FaultKind::AxiTimeout => Some(TransferFault::Timeout),
+            FaultKind::CardCrash | FaultKind::SilentCorrupt => None,
+        }
+    }
+
+    /// Every fault class, for exhaustive audits and property tests.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::EccSingle,
+        FaultKind::EccDouble,
+        FaultKind::AxiStall,
+        FaultKind::AxiTimeout,
+        FaultKind::CardCrash,
+        FaultKind::SilentCorrupt,
+    ];
 }
 
 impl fmt::Display for FaultKind {
@@ -47,6 +87,7 @@ impl fmt::Display for FaultKind {
             FaultKind::AxiStall => "AXI stall",
             FaultKind::AxiTimeout => "AXI timeout",
             FaultKind::CardCrash => "card crash",
+            FaultKind::SilentCorrupt => "silent data corruption",
         };
         f.write_str(name)
     }
@@ -236,16 +277,14 @@ impl FaultStream {
                 break;
             }
             self.next_scripted += 1;
-            match kind {
-                FaultKind::EccSingle => return Some(TransferFault::EccSingle),
-                FaultKind::EccDouble => return Some(TransferFault::EccDouble),
-                FaultKind::AxiStall => {
-                    return Some(TransferFault::Stall { extra_cycles: self.draw_stall() })
-                }
-                FaultKind::AxiTimeout => return Some(TransferFault::Timeout),
-                // Crashes are card-level; the fleet layer schedules them
-                // via `crash_at_ns` — skip here.
-                FaultKind::CardCrash => continue,
+            // Only a stall consumes RNG, and only when it actually fires.
+            let stall = if kind == FaultKind::AxiStall { self.draw_stall() } else { 0 };
+            match kind.transfer(stall) {
+                Some(fault) => return Some(fault),
+                // Card-level crashes (scheduled via `crash_at_ns`) and
+                // silent corruptions (drawn by `SdcStream`) are not
+                // transfer faults — skip them here.
+                None => continue,
             }
         }
         let r = &self.rates;
@@ -253,23 +292,23 @@ impl FaultStream {
             return None;
         }
         let u: f64 = self.rng.gen_range(0.0..1.0);
-        let mut acc = r.stall;
-        if u < acc {
-            return Some(TransferFault::Stall { extra_cycles: self.draw_stall() });
+        let mut acc = 0.0;
+        let mut drawn = None;
+        for (kind, p) in [
+            (FaultKind::AxiStall, r.stall),
+            (FaultKind::EccSingle, r.ecc_single),
+            (FaultKind::AxiTimeout, r.timeout),
+            (FaultKind::EccDouble, r.ecc_double),
+        ] {
+            acc += p;
+            if u < acc {
+                drawn = Some(kind);
+                break;
+            }
         }
-        acc += r.ecc_single;
-        if u < acc {
-            return Some(TransferFault::EccSingle);
-        }
-        acc += r.timeout;
-        if u < acc {
-            return Some(TransferFault::Timeout);
-        }
-        acc += r.ecc_double;
-        if u < acc {
-            return Some(TransferFault::EccDouble);
-        }
-        None
+        let kind = drawn?;
+        let stall = if kind == FaultKind::AxiStall { self.draw_stall() } else { 0 };
+        kind.transfer(stall)
     }
 
     /// The timestamp at which this card crashes, if the schedule holds a
@@ -306,6 +345,163 @@ impl FaultStream {
     /// Restore a previously captured [`state`](Self::state) onto a
     /// stream rebuilt from the same configuration. The restored stream
     /// continues the exact fault sequence of the captured one.
+    pub fn restore(&mut self, rng_state: u64, next_scripted: usize) {
+        self.rng = StdRng::seed_from_u64(rng_state);
+        self.next_scripted = next_scripted.min(self.scripted.len());
+    }
+}
+
+/// Where a silent corruption lands.
+///
+/// The two sites fail differently: a weight flip persists in on-card
+/// SRAM and poisons **every** subsequent batch until a digest check or
+/// scrub catches it, while an activation flip corrupts exactly one
+/// batch's datapath and is gone on the next run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SdcSite {
+    /// A bit flip in resident weight SRAM (persistent until reload).
+    Weights,
+    /// A bit flip in one batch's activation datapath (transient).
+    Activations,
+}
+
+impl fmt::Display for SdcSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SdcSite::Weights => "weights",
+            SdcSite::Activations => "activations",
+        })
+    }
+}
+
+/// One explicitly scripted silent corruption at a simulated timestamp:
+/// the first batch executing at or after `at_ns` on `card` is hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcEvent {
+    /// Simulated time the corruption lands (nanoseconds).
+    pub at_ns: u64,
+    /// The card the corruption targets.
+    pub card: usize,
+    /// Which site the flip lands in.
+    pub site: SdcSite,
+}
+
+/// A silent corruption drawn against one executed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcHit {
+    /// Which site the flip landed in.
+    pub site: SdcSite,
+    /// Deterministic 64-bit locus of the flip within the site. Layers
+    /// above map it onto their own address space (e.g. the fleet maps an
+    /// activation locus onto the batch's op mix to decide whether ABFT
+    /// covers the struck operation).
+    pub locus: u64,
+}
+
+/// SplitMix64 finalizer: a pure bijective hash used to derive scripted
+/// loci from timestamps without consuming stream RNG.
+fn splitmix_finalize(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic silent-corruption source for **one card**.
+///
+/// Mirrors [`FaultStream`]'s contract — seeded per card (with a
+/// *different* salt, so SDC draws never correlate with loud-fault
+/// draws), scripted events consumed in timestamp order before random
+/// draws, zero rate consumes no RNG, and `state`/`restore` resume the
+/// exact sequence. Unlike a [`TransferFault`], a drawn [`SdcHit`] does
+/// **not** fail the batch: execution completes normally and only
+/// integrity machinery can notice.
+#[derive(Debug, Clone)]
+pub struct SdcStream {
+    rng: StdRng,
+    /// Probability an executed batch suffers a silent flip.
+    rate: f64,
+    /// Fraction of hits that land in weight SRAM (the rest strike the
+    /// batch's activation datapath).
+    weight_fraction: f64,
+    /// Scripted `(at_ns, site)` pairs for this card, ascending by time.
+    scripted: Vec<(u64, SdcSite)>,
+    next_scripted: usize,
+}
+
+impl SdcStream {
+    /// A stream for `card` flipping bits at `rate` per executed batch,
+    /// `weight_fraction` of them into weight SRAM. Fully determined by
+    /// `(seed, card, rate, weight_fraction)`.
+    #[must_use]
+    pub fn seeded(seed: u64, card: usize, rate: f64, weight_fraction: f64) -> Self {
+        // Distinct rotate/salt from `FaultStream::seeded` so the loud
+        // and silent fault sequences of a card are uncorrelated.
+        let mixed = seed
+            ^ (card as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29)
+            ^ 0xD6E8_FEB8_6659_FD93;
+        Self {
+            rng: StdRng::seed_from_u64(mixed),
+            rate: rate.clamp(0.0, 1.0),
+            weight_fraction: weight_fraction.clamp(0.0, 1.0),
+            scripted: Vec::new(),
+            next_scripted: 0,
+        }
+    }
+
+    /// Attach scripted corruptions (those targeting this card); they are
+    /// sorted by timestamp and consumed before random draws.
+    #[must_use]
+    pub fn with_events(mut self, events: impl IntoIterator<Item = (u64, SdcSite)>) -> Self {
+        self.scripted.extend(events);
+        self.scripted.sort_unstable();
+        self
+    }
+
+    /// The per-batch corruption probability this stream draws from.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draw the silent corruption (if any) striking a batch executed at
+    /// simulated time `now_ns`.
+    ///
+    /// Scripted events whose timestamp has passed fire first, their
+    /// locus a pure hash of the scripted timestamp (no RNG consumed, so
+    /// scripted-only streams replay regardless of rate-draw history).
+    /// With a zero rate and no scripted events this is free: no RNG
+    /// state is consumed.
+    pub fn sample_batch(&mut self, now_ns: u64) -> Option<SdcHit> {
+        if let Some(&(at, site)) = self.scripted.get(self.next_scripted) {
+            if at <= now_ns {
+                self.next_scripted += 1;
+                return Some(SdcHit { site, locus: splitmix_finalize(at) });
+            }
+        }
+        if self.rate == 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        if u >= self.rate {
+            return None;
+        }
+        let v: f64 = self.rng.gen_range(0.0..1.0);
+        let site = if v < self.weight_fraction { SdcSite::Weights } else { SdcSite::Activations };
+        let locus = self.rng.gen_range(0..u64::MAX);
+        Some(SdcHit { site, locus })
+    }
+
+    /// The stream's resumable state: the RNG state word and the index of
+    /// the next unconsumed scripted event (mirrors
+    /// [`FaultStream::state`]).
+    #[must_use]
+    pub fn state(&self) -> (u64, usize) {
+        (self.rng.state(), self.next_scripted)
+    }
+
+    /// Restore a previously captured [`state`](Self::state) onto a
+    /// stream rebuilt from the same configuration.
     pub fn restore(&mut self, rng_state: u64, next_scripted: usize) {
         self.rng = StdRng::seed_from_u64(rng_state);
         self.next_scripted = next_scripted.min(self.scripted.len());
@@ -427,14 +623,140 @@ mod tests {
     fn kind_mapping_and_display() {
         assert_eq!(TransferFault::EccSingle.kind(), FaultKind::EccSingle);
         assert_eq!(TransferFault::Stall { extra_cycles: 3 }.kind(), FaultKind::AxiStall);
-        for kind in [
-            FaultKind::EccSingle,
-            FaultKind::EccDouble,
-            FaultKind::AxiStall,
-            FaultKind::AxiTimeout,
-            FaultKind::CardCrash,
-        ] {
+        for kind in FaultKind::ALL {
             assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn transfer_to_kind_round_trips_every_transfer_fault() {
+        for fault in [
+            TransferFault::EccSingle,
+            TransferFault::EccDouble,
+            TransferFault::Stall { extra_cycles: 7 },
+            TransferFault::Timeout,
+        ] {
+            assert_eq!(fault.kind().transfer(7), Some(fault));
+        }
+    }
+
+    proptest::proptest! {
+        /// Satellite: the kind↔transfer mapping round-trips for every
+        /// variant — `transfer()` is the single conversion, and exactly
+        /// the non-transfer kinds (crash, silent corruption) map to
+        /// `None`.
+        #[test]
+        fn kind_transfer_round_trips(idx in 0usize..FaultKind::ALL.len(), stall in 1u64..100_000) {
+            let kind = FaultKind::ALL[idx];
+            match kind.transfer(stall) {
+                Some(fault) => {
+                    proptest::prop_assert_eq!(fault.kind(), kind);
+                    if kind == FaultKind::AxiStall {
+                        proptest::prop_assert_eq!(
+                            fault,
+                            TransferFault::Stall { extra_cycles: stall }
+                        );
+                    }
+                }
+                None => proptest::prop_assert!(matches!(
+                    kind,
+                    FaultKind::CardCrash | FaultKind::SilentCorrupt
+                )),
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_silent_corrupt_never_surfaces_as_transfer_fault() {
+        let mut s = FaultStream::seeded(5, 0, FaultRates::ZERO)
+            .with_events([(10, FaultKind::SilentCorrupt), (20, FaultKind::EccDouble)]);
+        assert_eq!(s.sample_transfer(30), Some(TransferFault::EccDouble));
+        assert_eq!(s.sample_transfer(30), None);
+    }
+
+    #[test]
+    fn sdc_zero_rate_draws_nothing_and_consumes_no_rng() {
+        let mut a = SdcStream::seeded(9, 0, 0.0, 0.25);
+        for t in 0..1000 {
+            assert_eq!(a.sample_batch(t), None);
+        }
+        let mut warm = SdcStream::seeded(9, 0, 1.0, 0.25);
+        let mut cold = SdcStream::seeded(9, 0, 1.0, 0.25);
+        assert_eq!(warm.sample_batch(0), cold.sample_batch(0));
+    }
+
+    #[test]
+    fn sdc_same_seed_same_stream_and_cards_decorrelate() {
+        let draw = |seed: u64, card: usize| -> Vec<Option<SdcHit>> {
+            let mut s = SdcStream::seeded(seed, card, 0.5, 0.25);
+            (0..64).map(|t| s.sample_batch(t)).collect()
+        };
+        assert_eq!(draw(42, 1), draw(42, 1));
+        assert_ne!(draw(42, 1), draw(43, 1), "different seeds must decorrelate");
+        assert_ne!(draw(42, 1), draw(42, 2), "different cards must decorrelate");
+    }
+
+    #[test]
+    fn sdc_decorrelated_from_loud_fault_stream() {
+        // Same (seed, card): the SDC salt must give an unrelated stream.
+        let mut loud = FaultStream::seeded(42, 1, FaultRates::scaled(0.5));
+        let mut silent = SdcStream::seeded(42, 1, 0.5, 0.25);
+        let loud_hits: Vec<bool> = (0..64).map(|t| loud.sample_transfer(t).is_some()).collect();
+        let silent_hits: Vec<bool> = (0..64).map(|t| silent.sample_batch(t).is_some()).collect();
+        assert_ne!(loud_hits, silent_hits);
+    }
+
+    #[test]
+    fn sdc_weight_fraction_splits_sites() {
+        let mut s = SdcStream::seeded(3, 0, 1.0, 0.25);
+        let mut weights = 0u32;
+        let mut acts = 0u32;
+        for t in 0..4000 {
+            match s.sample_batch(t).expect("rate 1.0 must always hit") {
+                SdcHit { site: SdcSite::Weights, .. } => weights += 1,
+                SdcHit { site: SdcSite::Activations, .. } => acts += 1,
+            }
+        }
+        assert!(acts > weights, "75 % of hits must strike activations");
+        assert!(weights > 0, "weight hits must still occur over 4000 draws");
+        let mut all_weights = SdcStream::seeded(3, 0, 1.0, 1.0);
+        for t in 0..100 {
+            assert_eq!(all_weights.sample_batch(t).map(|h| h.site), Some(SdcSite::Weights));
+        }
+    }
+
+    #[test]
+    fn sdc_scripted_events_fire_in_order_without_rng() {
+        let build = || {
+            SdcStream::seeded(5, 0, 0.0, 0.25)
+                .with_events([(200, SdcSite::Activations), (100, SdcSite::Weights)])
+        };
+        let mut s = build();
+        assert_eq!(s.sample_batch(50), None, "nothing scheduled yet");
+        let first = s.sample_batch(150).expect("scripted weight hit");
+        assert_eq!(first.site, SdcSite::Weights);
+        assert_eq!(s.sample_batch(150), None, "event consumed");
+        let second = s.sample_batch(250).expect("scripted activation hit");
+        assert_eq!(second.site, SdcSite::Activations);
+        assert_ne!(first.locus, second.locus, "loci derive from distinct timestamps");
+        // Scripted loci are pure functions of the timestamp: replay matches.
+        let mut replay = build();
+        assert_eq!(replay.sample_batch(150), Some(first));
+    }
+
+    #[test]
+    fn sdc_state_capture_resumes_the_exact_sequence() {
+        let build =
+            || SdcStream::seeded(21, 3, 0.4, 0.25).with_events([(50_000, SdcSite::Weights)]);
+        let mut live = build();
+        for t in 0..40 {
+            live.sample_batch(t * 20);
+        }
+        let (rng_state, next_scripted) = live.state();
+        let mut resumed = build();
+        resumed.restore(rng_state, next_scripted);
+        for t in 40..4000 {
+            assert_eq!(live.sample_batch(t * 20), resumed.sample_batch(t * 20));
         }
     }
 }

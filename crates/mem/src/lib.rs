@@ -33,7 +33,10 @@ pub mod overlap;
 pub use arbiter::{arbitrate_round_robin, ArbitrationResult};
 pub use axi::AxiPort;
 pub use dma::TileTransfer;
-pub use fault::{FaultEvent, FaultKind, FaultRates, FaultStream, TransferFault};
+pub use fault::{
+    FaultEvent, FaultKind, FaultRates, FaultStream, SdcEvent, SdcHit, SdcSite, SdcStream,
+    TransferFault,
+};
 pub use hbm::ChannelShare;
 pub use overlap::{
     simulate_double_buffered, simulate_double_buffered_spans, simulate_serial,

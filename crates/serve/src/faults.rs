@@ -10,7 +10,7 @@
 
 use crate::health::CircuitBreaker;
 use core::fmt;
-use protea_core::{FaultEvent, FaultKind, FaultRates, RetryPolicy, Watchdog};
+use protea_core::{FaultEvent, FaultKind, FaultRates, RetryPolicy, SdcEvent, Watchdog};
 
 /// Everything a fault-injected serving simulation needs beyond the
 /// fault-free [`FleetConfig`](crate::FleetConfig) fields.
@@ -54,6 +54,90 @@ impl FaultConfig {
     #[must_use]
     pub fn seeded(seed: u64, rate: f64) -> Self {
         Self { seed, rates: FaultRates::scaled(rate), ..Self::default() }
+    }
+}
+
+/// The silent-data-corruption defense knobs: injection (seeded rate
+/// and/or scripted [`SdcEvent`]s), detection (ABFT checksums on the
+/// GEMM epilogue, periodic weight-digest scrubs), and — implicitly —
+/// the recovery ladder the fleet runs when a hit is detected
+/// (re-execute on the same card, then quarantine + reprogram + reload).
+///
+/// With **no** knob set ([`SdcConfig::armed`] is `false`, equivalently
+/// `FleetConfig.sdc = None`), the simulation is byte-for-byte the
+/// SDC-free one: no state is allocated, no RNG is consumed, reports and
+/// snapshots are bit-identical — pinned by `tests/integrity.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdcConfig {
+    /// Seed for the per-card [`SdcStream`](protea_core::SdcStream)s
+    /// (decorrelated from the loud-fault seed by construction).
+    pub seed: u64,
+    /// Probability an executed batch suffers a silent bit flip.
+    pub rate: f64,
+    /// Fraction of hits that land in weight SRAM (persistent until
+    /// reload) rather than the batch's activation datapath (transient).
+    pub weight_fraction: f64,
+    /// Explicitly scripted corruptions, routed to their target cards.
+    pub events: Vec<SdcEvent>,
+    /// Verify ABFT row/column checksums in every GEMM epilogue. Charges
+    /// the checksum arithmetic on every batch's service time and
+    /// detects activation-site hits whose locus falls in checksummed
+    /// compute; weight-site hits are structurally invisible to ABFT and
+    /// only the digest rungs catch them.
+    pub abft: bool,
+    /// Fire a weight-digest scrub over every idle resident card each
+    /// interval (nanoseconds). `None` scrubs only at load/reprogram.
+    pub scrub_every_ns: Option<u64>,
+}
+
+impl Default for SdcConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            rate: 0.0,
+            weight_fraction: 0.25,
+            events: Vec::new(),
+            abft: false,
+            scrub_every_ns: None,
+        }
+    }
+}
+
+impl SdcConfig {
+    /// A seeded configuration injecting at `rate` with the full defense
+    /// (ABFT on, scrubbing at `scrub_every_ns`).
+    #[must_use]
+    pub fn defended(seed: u64, rate: f64, scrub_every_ns: u64) -> Self {
+        Self { seed, rate, abft: true, scrub_every_ns: Some(scrub_every_ns), ..Self::default() }
+    }
+
+    /// Whether any SDC knob is set — injection, scripted events, ABFT,
+    /// or scrubbing. `false` means the config is inert: the fleet
+    /// allocates no SDC state and the run is byte-identical to
+    /// `sdc: None`.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.rate > 0.0 || !self.events.is_empty() || self.abft || self.scrub_every_ns.is_some()
+    }
+
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.rate) {
+            return Err(format!("sdc rate must be in [0, 1], got {}", self.rate));
+        }
+        if !(0.0..=1.0).contains(&self.weight_fraction) {
+            return Err(format!(
+                "sdc weight_fraction must be in [0, 1], got {}",
+                self.weight_fraction
+            ));
+        }
+        if self.scrub_every_ns == Some(0) {
+            return Err("scrub_every_ns must be at least 1 when set".into());
+        }
+        Ok(())
     }
 }
 
@@ -140,6 +224,29 @@ mod tests {
         assert_eq!(c.seed, 9);
         assert!(!c.rates.is_zero());
         assert!(c.rates.validate().is_ok());
+    }
+
+    #[test]
+    fn sdc_default_is_inert_and_every_knob_arms() {
+        use protea_core::SdcSite;
+        let off = SdcConfig::default();
+        assert!(!off.armed());
+        assert!(off.validate().is_ok());
+        assert!(SdcConfig { rate: 0.01, ..SdcConfig::default() }.armed());
+        assert!(SdcConfig { abft: true, ..SdcConfig::default() }.armed());
+        assert!(SdcConfig { scrub_every_ns: Some(1_000_000), ..SdcConfig::default() }.armed());
+        let ev = SdcEvent { at_ns: 5, card: 0, site: SdcSite::Weights };
+        assert!(SdcConfig { events: vec![ev], ..SdcConfig::default() }.armed());
+        assert!(SdcConfig::defended(7, 0.01, 1_000_000).armed());
+    }
+
+    #[test]
+    fn sdc_validate_rejects_bad_knobs() {
+        assert!(SdcConfig { rate: 1.5, ..SdcConfig::default() }.validate().is_err());
+        assert!(SdcConfig { rate: -0.1, ..SdcConfig::default() }.validate().is_err());
+        assert!(SdcConfig { weight_fraction: 2.0, ..SdcConfig::default() }.validate().is_err());
+        assert!(SdcConfig { scrub_every_ns: Some(0), ..SdcConfig::default() }.validate().is_err());
+        assert!(SdcConfig::defended(7, 0.01, 1_000_000).validate().is_ok());
     }
 
     #[test]

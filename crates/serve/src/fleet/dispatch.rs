@@ -10,9 +10,10 @@
 use super::events::{FleetEvent, RANK_DYN};
 use super::sim::{record_span, Inflight, SimModel};
 use crate::error::ServeError;
+use crate::health::CardHealth;
 use crate::request::ServeResponse;
 use crate::scheduler::Batch;
-use protea_core::{CoreError, FaultKind, FaultPlan, RunPlan};
+use protea_core::{CoreError, FaultKind, FaultPlan, RunPlan, SdcSite};
 use protea_hwsim::{Cycles, EventQueue, SpanKind};
 use protea_model::{EncoderConfig, OpCount};
 use protea_tensor::Matrix;
@@ -42,6 +43,34 @@ fn functional_inputs(batch: &Batch) -> Vec<Matrix<i8>> {
             })
         })
         .collect()
+}
+
+/// Extra service time ABFT checksum verification charges on a batch:
+/// one row-sum pass over the activations (`1/(batch·seq_len)` of the
+/// GEMM work) plus a row and a column checksum per output tile
+/// (`2/d_model`) — the classic O(1/m + 1/n) ABFT tax, ~2.5% at the
+/// paper's d96/b8/sl32 design point.
+fn abft_overhead_ns(service_ns: u64, batch: &Batch) -> u64 {
+    let rows = (batch.len() * batch.runtime.seq_len).max(1) as f64;
+    let cols = batch.runtime.d_model.max(1) as f64;
+    ((service_ns as f64) * (1.0 / rows + 2.0 / cols)).ceil() as u64
+}
+
+/// Whether an activation-site hit at `locus` lands in ABFT-protected
+/// compute. The checksums cover the GEMM epilogues only, so a hit is
+/// caught iff its (uniformly drawn) locus falls inside the matmul share
+/// of the batch's op count — softmax, layernorm, and residual datapaths
+/// stay unprotected and their hits complete undetected.
+fn abft_covers(locus: u64, batch: &Batch) -> bool {
+    let cfg = EncoderConfig::new(
+        batch.runtime.d_model,
+        batch.runtime.heads,
+        batch.runtime.layers,
+        batch.runtime.seq_len,
+    );
+    let ops = OpCount::for_config(&cfg);
+    let frac = ops.matmul_only() as f64 / ops.total().max(1) as f64;
+    (locus as f64 / u64::MAX as f64) < frac
 }
 
 impl SimModel {
@@ -114,6 +143,20 @@ impl SimModel {
         seq: u64,
         is_hedge: bool,
     ) -> Result<FaultyDispatch, ServeError> {
+        // Load-time digest rung: a class switch replaces the resident
+        // image, and the fresh load verifies its sealed digest on the
+        // way in — so resident corruption is wiped and resolves as
+        // detected. A *warm* dispatch trusts the resident image: a
+        // dirty one keeps serving silently-wrong answers until the
+        // periodic scrub sweep (or a crash, or the end of the run)
+        // resolves its hit — weight corruption is invisible to ABFT,
+        // which only checks the activation datapath.
+        let warm = self.cards[card].loaded_class == Some(batch.requests[0].class());
+        if !warm {
+            if let Some(s) = self.faulty.as_mut().and_then(|f| f.sdc.as_mut()) {
+                s.detected += u64::from(std::mem::take(&mut s.dirty[card]));
+            }
+        }
         let reload_ns = self.prepare_card(card, batch, now_ns)?;
         let f = self.faulty.as_mut().expect("dispatch_faulty requires fault state");
         let c = &mut self.cards[card];
@@ -129,7 +172,34 @@ impl SimModel {
         f.stats.merge(&stats);
         let dispatched = match outcome {
             Ok(run) => {
-                let service_ns = (run.report.latency_ms() * 1e6).ceil() as u64;
+                let mut service_ns = (run.report.latency_ms() * 1e6).ceil() as u64;
+                if f.sdc.as_ref().is_some_and(|s| s.abft) {
+                    // ABFT verification runs in every GEMM epilogue,
+                    // hit or no hit — the overhead is the price of the
+                    // defense, not of the corruption.
+                    service_ns = service_ns.saturating_add(abft_overhead_ns(service_ns, batch));
+                }
+                // The corruption draw resolves per *executed* batch; an
+                // aborted leg never finishes its epilogue, so only the
+                // clean outcome draws.
+                if let Some(s) = f.sdc.as_mut() {
+                    if let Some(hit) = s.streams[card].sample_batch(now_ns) {
+                        s.injected += 1;
+                        match hit.site {
+                            SdcSite::Weights => {
+                                // Resident SRAM corruption: ABFT's
+                                // checksum prediction is computed from
+                                // the same corrupt weights, so only a
+                                // digest rung can catch this.
+                                s.dirty[card] += 1;
+                            }
+                            SdcSite::Activations => {
+                                let covered = s.abft && abft_covers(hit.locus, batch);
+                                s.pending[card] = Some(covered);
+                            }
+                        }
+                    }
+                }
                 let finish_ns = now_ns.saturating_add(reload_ns).saturating_add(service_ns);
                 c.busy_ns = c.busy_ns.saturating_add(reload_ns + service_ns);
                 FaultyDispatch::Done { finish_ns }
@@ -176,8 +246,15 @@ impl SimModel {
     /// A fault-injected batch completed: free the card, record the
     /// member responses, and credit the card's health. No-op if the
     /// card crashed while the batch was in flight (stale epoch).
+    ///
+    /// Under SDC injection, the batch's corruption draw resolves here
+    /// first: a *detected* hit discards the result and runs the
+    /// recovery ladder instead of completing; a *missed* hit falls
+    /// through — the fleet serves a silently wrong answer and the
+    /// `sdc_missed` counter is the only witness.
     pub(super) fn complete_faulty(
         &mut self,
+        q: &mut EventQueue<FleetEvent>,
         card: usize,
         epoch: u64,
         start_ns: u64,
@@ -188,6 +265,19 @@ impl SimModel {
             return;
         }
         let Some(inflight) = f.inflight[card].take() else { return };
+        match f.sdc.as_mut().and_then(|s| s.pending[card].take()) {
+            Some(true) => {
+                f.sdc.as_mut().expect("hit drawn above").detected += 1;
+                self.recover_detected(q, card, inflight, finish_ns);
+                return;
+            }
+            Some(false) => f.sdc.as_mut().expect("hit drawn above").missed += 1,
+            None => {}
+        }
+        if let Some(s) = f.sdc.as_mut() {
+            // A re-execution that lands cleanly clears its strike.
+            s.reexec.remove(&inflight.seq);
+        }
         // First completion of a hedged pair wins: cancel the loser by
         // bumping its epoch (its pending completion/failure event goes
         // stale) and refund the busy time it will no longer spend. The
@@ -204,6 +294,11 @@ impl SimModel {
                 self.cards[p].busy_ns = self.cards[p]
                     .busy_ns
                     .saturating_sub(loser.resolve_ns.saturating_sub(finish_ns));
+                if let Some(s) = f.sdc.as_mut() {
+                    // The loser's execution is abandoned mid-flight;
+                    // its corruption draw never materializes.
+                    s.pending[p] = None;
+                }
                 record_span(
                     &mut self.trace,
                     format!("hedge cancel seq{}", inflight.seq),
@@ -253,6 +348,181 @@ impl SimModel {
         }
     }
 
+    /// The recovery ladder for a batch whose completion on `card` was
+    /// flagged by ABFT: the result is discarded (never recorded), then
+    /// — cheapest rung first — a live hedge partner inherits the work,
+    /// a draining card hands it back and leaves, a second strike on the
+    /// same work escalates to quarantine, and a first strike simply
+    /// re-executes the batch on the same card.
+    fn recover_detected(
+        &mut self,
+        q: &mut EventQueue<FleetEvent>,
+        card: usize,
+        inflight: Inflight,
+        now_ns: u64,
+    ) {
+        self.cards[card].busy = false;
+        let f = self.faulty.as_mut().expect("fault state");
+        // No health credit — the card produced a wrong answer. No
+        // debit either on a first strike: one transient flip is not a
+        // sick card; the quarantine rungs below are the escalation.
+        let partner_alive = inflight
+            .partner
+            .is_some_and(|p| f.inflight[p].as_ref().is_some_and(|other| other.seq == inflight.seq));
+        let second_strike = f.sdc.as_mut().expect("sdc state").reexec.remove(&inflight.seq);
+        let draining = f.draining[card];
+        if partner_alive {
+            // The other leg is already executing this work elsewhere:
+            // dissolve the pair — the survivor *is* the re-execution —
+            // and quarantine the card that lied.
+            let p = inflight.partner.expect("checked above");
+            f.inflight[p].as_mut().expect("checked above").partner = None;
+            self.quarantine_card(q, card, now_ns);
+        } else if draining {
+            // The card was leaving anyway: hand the work back to the
+            // survivors — quarantining a departing card would waste a
+            // reload on an image nobody will serve from.
+            self.requeue_or_fail(inflight.batch, FaultKind::SilentCorrupt);
+            self.finish_drain(card);
+        } else if second_strike {
+            // The re-execution was detected *again*: stop trusting the
+            // card, quarantine it, and move the work elsewhere.
+            self.quarantine_card(q, card, now_ns);
+            self.requeue_or_fail(inflight.batch, FaultKind::SilentCorrupt);
+        } else {
+            // First strike: re-execute in place — the cheapest rung,
+            // no reload, no requeue churn, same card, fresh draw.
+            let seq = {
+                f.batch_seq += 1;
+                let seq = f.batch_seq;
+                let s = f.sdc.as_mut().expect("sdc state");
+                s.re_execs += 1;
+                s.reexec.insert(seq);
+                seq
+            };
+            match self.dispatch_faulty(card, &inflight.batch, now_ns, seq, false) {
+                Ok(outcome) => {
+                    let epoch = self.faulty.as_ref().expect("fault state").epochs[card];
+                    schedule_leg(q, card, epoch, now_ns, outcome);
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+    }
+
+    /// Quarantine `card` after a detected corruption: lock it out of
+    /// dispatch, bump its epoch (any stale event no-ops), debit its
+    /// health ladder — repeated quarantines escalate to Dead exactly
+    /// like repeated faults — and charge the paper's full restore
+    /// price: a reprogram plus a fresh, digest-verified weight image
+    /// over the reload link. The scheduled [`FleetEvent::Requalify`]
+    /// readmits the card when the restore lands.
+    pub(super) fn quarantine_card(
+        &mut self,
+        q: &mut EventQueue<FleetEvent>,
+        card: usize,
+        now_ns: u64,
+    ) {
+        let reload_ns = self.cards[card].loaded_class.map_or(0, |cl| self.reload_ns(cl));
+        let epoch;
+        let preempted;
+        {
+            let f = self.faulty.as_mut().expect("fault state");
+            {
+                let s = f.sdc.as_mut().expect("sdc state");
+                s.quarantined[card] = true;
+                // The re-image wipes resident corruption, and the
+                // load-time digest verification catches it on the way:
+                // undetected weight hits resolve as detected here.
+                s.detected += u64::from(std::mem::take(&mut s.dirty[card]));
+                s.pending[card] = None;
+            }
+            f.epochs[card] += 1;
+            epoch = f.epochs[card];
+            f.monitors[card].record_failure(now_ns);
+            preempted = match f.inflight[card].take() {
+                None => None,
+                Some(inflight) => {
+                    f.sdc.as_mut().expect("sdc state").reexec.remove(&inflight.seq);
+                    let partner_alive = inflight.partner.is_some_and(|p| {
+                        f.inflight[p].as_ref().is_some_and(|other| other.seq == inflight.seq)
+                    });
+                    if partner_alive {
+                        let p = inflight.partner.expect("checked above");
+                        f.inflight[p].as_mut().expect("checked above").partner = None;
+                        None
+                    } else {
+                        Some(inflight.batch)
+                    }
+                }
+            };
+        }
+        if let Some(batch) = preempted {
+            // A scrub pre-empted the in-flight batch: its work moves to
+            // the survivors, its completion event goes stale.
+            self.requeue_or_fail(batch, FaultKind::SilentCorrupt);
+        }
+        self.reprograms += 1;
+        let c = &mut self.cards[card];
+        c.busy = true; // occupied by its own restore until requalified
+        c.busy_ns = c.busy_ns.saturating_add(reload_ns);
+        record_span(
+            &mut self.trace,
+            format!("quarantine reload card{card}"),
+            SpanKind::Reprogram,
+            card,
+            now_ns,
+            now_ns.saturating_add(reload_ns),
+        );
+        q.push(
+            Cycles(now_ns.saturating_add(reload_ns)),
+            RANK_DYN,
+            FleetEvent::Requalify { card, epoch },
+        );
+        // The health debit above can tip the last live card to Dead —
+        // the queue must flush here exactly as it does after a loud
+        // fault, or pending work (and the scrub chain keeping the run
+        // alive for it) waits forever on a fleet that cannot serve.
+        self.fail_all_pending_if_dead();
+    }
+
+    /// The quarantine restore on `card` finished: release it with a
+    /// fresh, digest-verified image. No-op on a stale epoch (the card
+    /// crashed or drained away mid-restore).
+    pub(super) fn requalify_card(&mut self, card: usize, epoch: u64) {
+        let Some(f) = self.faulty.as_mut() else { return };
+        if f.epochs[card] != epoch {
+            return;
+        }
+        if let Some(s) = f.sdc.as_mut() {
+            s.quarantined[card] = false;
+        }
+        self.cards[card].busy = false;
+    }
+
+    /// A scrub event fires: sweep every live resident card's weight
+    /// digest against its seal. Cards whose digest disagrees go
+    /// straight to quarantine-and-reprogram — pre-empting any in-flight
+    /// batch — and `dispatch_all` re-arms the sweep while work remains.
+    pub(super) fn scrub_fleet(&mut self, q: &mut EventQueue<FleetEvent>, now_ns: u64) {
+        let to_quarantine: Vec<usize> = {
+            let Some(f) = self.faulty.as_mut() else { return };
+            let Some(s) = f.sdc.as_mut() else { return };
+            s.scrubs += 1;
+            let dirty: Vec<usize> =
+                (0..s.dirty.len()).filter(|&c| s.dirty[c] > 0 && !s.quarantined[c]).collect();
+            dirty
+                .into_iter()
+                .filter(|&c| {
+                    f.present[c] && !f.draining[c] && f.monitors[c].health() != CardHealth::Dead
+                })
+                .collect()
+        };
+        for card in to_quarantine {
+            self.quarantine_card(q, card, now_ns);
+        }
+    }
+
     /// The driver gave up on a batch at `now_ns`: free the card, trip
     /// its breaker, and requeue the batch onto survivors. No-op on a
     /// stale epoch (the card crashed first and already requeued it).
@@ -262,6 +532,11 @@ impl SimModel {
             return;
         }
         let Some(inflight) = f.inflight[card].take() else { return };
+        if let Some(s) = f.sdc.as_mut() {
+            // A failed re-execution surfaces as a loud fault and takes
+            // the requeue path below; its strike is spent.
+            s.reexec.remove(&inflight.seq);
+        }
         f.monitors[card].record_failure(now_ns);
         if let Some(l) = f.limiter.as_mut() {
             l.on_overload();
@@ -303,8 +578,19 @@ impl SimModel {
         f.draining[card] = false; // the crash pre-empts any drain
         f.epochs[card] += 1;
         f.monitors[card].kill();
+        if let Some(s) = f.sdc.as_mut() {
+            // The card's image dies with it: resident corruption that
+            // no rung ever caught resolves as missed, and any pending
+            // quarantine restore (Requalify) went stale with the epoch.
+            s.missed += u64::from(std::mem::take(&mut s.dirty[card]));
+            s.pending[card] = None;
+            s.quarantined[card] = false;
+        }
         self.cards[card].busy = false;
         if let Some(inflight) = f.inflight[card].take() {
+            if let Some(s) = f.sdc.as_mut() {
+                s.reexec.remove(&inflight.seq);
+            }
             // If the crashed card was one leg of a hedged pair and the
             // other leg is still running, that survivor owns the batch —
             // requeueing here would serve it twice.
@@ -429,6 +715,29 @@ pub(super) fn dispatch_all(q: &mut EventQueue<FleetEvent>, m: &mut SimModel) {
             if d > now && stale {
                 f.deadline_wake = Some(d);
                 q.push(Cycles(d), RANK_DYN, FleetEvent::Wake);
+            }
+        }
+    }
+    // Periodic weight-digest scrub: (re)armed only while work remains
+    // in the system — and only while some card could still serve it —
+    // so the scrub chain never outlives the workload (or a fully dead
+    // fleet, where requests arriving after the last card died would
+    // otherwise keep it ticking forever). Same dedup idiom as the
+    // wakes.
+    if m.in_system() > 0 && !m.all_cards_dead() {
+        if let Some(s) = m.faulty.as_ref().and_then(|f| f.sdc.as_ref()) {
+            if let Some(every) = s.scrub_every_ns {
+                if s.scrub_armed.is_none_or(|t| t <= now) {
+                    let at = now.saturating_add(every);
+                    m.faulty
+                        .as_mut()
+                        .expect("checked above")
+                        .sdc
+                        .as_mut()
+                        .expect("checked above")
+                        .scrub_armed = Some(at);
+                    q.push(Cycles(at), RANK_DYN, FleetEvent::Scrub);
+                }
             }
         }
     }

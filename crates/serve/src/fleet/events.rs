@@ -89,6 +89,18 @@ pub(crate) enum FleetEvent {
         /// The draining card.
         card: usize,
     },
+    /// Periodic weight-digest scrub sweep over every live resident
+    /// card (armed only while work remains in the system).
+    Scrub,
+    /// A quarantined card's reprogram-and-reload finished: readmit it
+    /// with a fresh, digest-verified image (no-op if `epoch` went
+    /// stale — the card crashed or drained away mid-restore).
+    Requalify {
+        /// The card leaving quarantine.
+        card: usize,
+        /// Epoch captured when the quarantine began.
+        epoch: u64,
+    },
     /// Bare dispatch wake-up (batch flush window, request deadline, or
     /// circuit-breaker cooldown).
     Wake,
@@ -171,7 +183,7 @@ pub(super) fn handle_event(
             if m.error.is_some() {
                 return;
             }
-            m.complete_faulty(card, epoch, start_ns, now);
+            m.complete_faulty(q, card, epoch, start_ns, now);
             dispatch_all(q, m);
         }
         FleetEvent::Fail { card, epoch, kind } => {
@@ -206,6 +218,20 @@ pub(super) fn handle_event(
                 Ok(None) => {}
                 Err(e) => m.error = Some(e),
             }
+        }
+        FleetEvent::Scrub => {
+            if m.error.is_some() {
+                return;
+            }
+            m.scrub_fleet(q, now);
+            dispatch_all(q, m);
+        }
+        FleetEvent::Requalify { card, epoch } => {
+            if m.error.is_some() {
+                return;
+            }
+            m.requalify_card(card, epoch);
+            dispatch_all(q, m);
         }
         FleetEvent::Wake => dispatch_all(q, m),
     }

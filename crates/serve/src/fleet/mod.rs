@@ -85,7 +85,7 @@ mod tests;
 
 use crate::elastic::{BrownoutLadder, ChurnAction, ChurnPlan, PlacementPolicy, TenantPolicy};
 use crate::error::ServeError;
-use crate::faults::FaultConfig;
+use crate::faults::{FaultConfig, SdcConfig};
 use crate::overload::OverloadConfig;
 use crate::plan::{MetricsMode, ServeOutcome, ServePlan};
 use crate::report::ServeReport;
@@ -156,6 +156,12 @@ pub struct FleetConfig {
     /// Brownout degradation ladder: admission floors keyed to the live
     /// fraction of the fleet. `None` never browns out.
     pub brownout: Option<BrownoutLadder>,
+    /// Silent-data-corruption defense: injection, ABFT detection,
+    /// digest scrubbing, and the quarantine-and-reprogram recovery
+    /// ladder. `None` — or a config with every knob off — changes
+    /// nothing (byte-identical reports and snapshots, pinned by
+    /// `tests/integrity.rs`).
+    pub sdc: Option<SdcConfig>,
 }
 
 impl Default for FleetConfig {
@@ -175,6 +181,7 @@ impl Default for FleetConfig {
             churn: None,
             tenants: None,
             brownout: None,
+            sdc: None,
         }
     }
 }
@@ -191,6 +198,15 @@ impl FleetConfig {
             || self.churn.is_some()
             || self.tenants.is_some()
             || self.brownout.is_some()
+    }
+
+    /// Whether the SDC defense layer is in force (any injection,
+    /// detection, or scrub knob set). Gates the SDC state allocation,
+    /// the managed simulation path, and the v3 snapshot grammar; an
+    /// unarmed config keeps every byte of the SDC-free behavior.
+    #[must_use]
+    pub fn sdc_active(&self) -> bool {
+        self.sdc.as_ref().is_some_and(SdcConfig::armed)
     }
 
     /// The per-card device list actually in force: the explicit roster,
@@ -271,6 +287,9 @@ impl Fleet {
         if let Some(b) = &config.brownout {
             b.validate().map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
         }
+        if let Some(s) = &config.sdc {
+            s.validate().map_err(|m| ServeError::Core(CoreError::InvalidConfig(m)))?;
+        }
         // Fail now, not at dispatch time, if the design cannot exist on
         // *any* card's device.
         for device in config.resolved_roster() {
@@ -330,6 +349,7 @@ impl Fleet {
             || self.config.churn.is_some()
             || self.config.tenants.is_some()
             || self.config.brownout.is_some()
+            || self.config.sdc_active()
             || source.has_deadlines();
         let hashing = every.is_some() || resume.is_some();
         let (mut q, mut model, mut arrivals_seen) = match resume {
@@ -425,11 +445,14 @@ impl Fleet {
     ) -> Result<ServeOutcome, ServeError> {
         // The serial baseline is one unmanaged card: slice any roster
         // down to its first device and drop the churn schedule (a
-        // baseline that loses its only card is not a baseline).
+        // baseline that loses its only card is not a baseline) and the
+        // SDC knobs (corrupting the yardstick would corrupt the
+        // comparison).
         let single = FleetConfig {
             cards: 1,
             roster: self.config.roster.as_ref().map(|r| vec![r[0]]),
             churn: None,
+            sdc: None,
             ..self.config.clone()
         };
         let mut m = SimModel::build(&single, false, traced, sketch)?;

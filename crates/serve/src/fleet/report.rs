@@ -32,7 +32,13 @@ impl SimModel {
         };
         let mut report = match self.faulty {
             None => report,
-            Some(f) => {
+            Some(mut f) => {
+                if let Some(s) = f.sdc.as_mut() {
+                    // Resident corruption still undetected when the run
+                    // ends was never caught by any rung: missed.
+                    s.missed += s.dirty.iter().map(|&d| u64::from(d)).sum::<u64>();
+                    s.dirty.iter_mut().for_each(|d| *d = 0);
+                }
                 let slo: Vec<PrioritySlo> = Priority::ALL
                     .iter()
                     .map(|&p| PrioritySlo {
@@ -81,6 +87,11 @@ impl SimModel {
                     joins: f.joins,
                     drains: f.drains,
                     tenant_slo,
+                    sdc_injected: f.sdc.as_ref().map_or(0, |s| s.injected),
+                    sdc_detected: f.sdc.as_ref().map_or(0, |s| s.detected),
+                    sdc_missed: f.sdc.as_ref().map_or(0, |s| s.missed),
+                    re_execs: f.sdc.as_ref().map_or(0, |s| s.re_execs),
+                    scrubs: f.sdc.as_ref().map_or(0, |s| s.scrubs),
                 })
             }
         };

@@ -18,6 +18,7 @@ use crate::overload::{AimdLimiter, HedgeConfig, RetryBudget, ServiceTimeTracker}
 use crate::request::{CapacityClass, ServeRequest, ServeResponse};
 use crate::scheduler::{Batch, BatchScheduler};
 use crate::sketch::StreamMetrics;
+use protea_core::SdcStream;
 use protea_core::{Accelerator, FaultStats, FaultStream};
 use protea_hwsim::exec_trace::{track, ExecTrace, SpanKind};
 use protea_model::QuantizedEncoder;
@@ -146,6 +147,49 @@ pub(super) struct FaultState {
     pub(super) tenant_policy: Option<TenantPolicy>,
     /// Brownout admission ladder (`None`: never browns out).
     pub(super) brownout: Option<BrownoutLadder>,
+    // --- silent-data-corruption defense (`None` changes nothing) ---
+    /// SDC injection/detection/recovery state; allocated only when the
+    /// config arms at least one SDC knob.
+    pub(super) sdc: Option<SdcState>,
+}
+
+/// Everything the SDC defense layer tracks: per-card corruption
+/// streams, resident-corruption and quarantine flags, the in-flight
+/// draw, and the five report counters.
+pub(super) struct SdcState {
+    /// Verify ABFT checksums in every GEMM epilogue (charged on service
+    /// time; detects activation-site hits in checksummed compute).
+    pub(super) abft: bool,
+    /// Periodic weight-digest scrub interval, if armed.
+    pub(super) scrub_every_ns: Option<u64>,
+    /// One seeded corruption source per card.
+    pub(super) streams: Vec<SdcStream>,
+    /// Cards locked out while their quarantine reprogram+reload runs;
+    /// the pending `Requalify` event releases the flag.
+    pub(super) quarantined: Vec<bool>,
+    /// Undetected weight-site hits resident on each card — corrupt
+    /// SRAM that keeps poisoning batches until a digest rung (load,
+    /// reprogram, scrub) catches it.
+    pub(super) dirty: Vec<u32>,
+    /// The SDC draw for the batch in flight on each card:
+    /// `Some(detected)` when it was hit, resolved at completion.
+    pub(super) pending: Vec<Option<bool>>,
+    /// Dedup for the scheduled scrub event (mirrors `breaker_wake`).
+    pub(super) scrub_armed: Option<u64>,
+    /// Dispatch seqs that are re-executions of a detected batch: a
+    /// second detection on the same work escalates to quarantine
+    /// instead of re-executing forever.
+    pub(super) reexec: std::collections::BTreeSet<u64>,
+    /// Batches struck by an injected corruption.
+    pub(super) injected: u64,
+    /// Hits caught by a detection rung (ABFT, digest, scrub).
+    pub(super) detected: u64,
+    /// Hits served to completion undetected — silently wrong results.
+    pub(super) missed: u64,
+    /// Batches re-executed after a detection.
+    pub(super) re_execs: u64,
+    /// Scrub sweeps performed.
+    pub(super) scrubs: u64,
 }
 
 /// Per-tenant accounting: the same conservation law the fleet-wide
@@ -271,6 +315,27 @@ impl SimModel {
             tenants: BTreeMap::new(),
             tenant_policy: config.tenants.clone(),
             brownout: config.brownout,
+            sdc: config.sdc.as_ref().filter(|s| s.armed()).map(|s| SdcState {
+                abft: s.abft,
+                scrub_every_ns: s.scrub_every_ns,
+                streams: (0..config.cards)
+                    .map(|card| {
+                        SdcStream::seeded(s.seed, card, s.rate, s.weight_fraction).with_events(
+                            s.events.iter().filter(|e| e.card == card).map(|e| (e.at_ns, e.site)),
+                        )
+                    })
+                    .collect(),
+                quarantined: vec![false; config.cards],
+                dirty: vec![0; config.cards],
+                pending: vec![None; config.cards],
+                scrub_armed: None,
+                reexec: std::collections::BTreeSet::new(),
+                injected: 0,
+                detected: 0,
+                missed: 0,
+                re_execs: 0,
+                scrubs: 0,
+            }),
         });
         Ok(Self {
             scheduler: BatchScheduler::new(config.policy.clone(), config.synthesis),
@@ -334,7 +399,10 @@ impl SimModel {
     fn dispatchable(&self, card: usize, now_ns: u64) -> bool {
         !self.cards[card].busy
             && self.faulty.as_ref().is_none_or(|f| {
-                f.present[card] && !f.draining[card] && f.monitors[card].available(now_ns)
+                f.present[card]
+                    && !f.draining[card]
+                    && f.monitors[card].available(now_ns)
+                    && f.sdc.as_ref().is_none_or(|s| !s.quarantined[card])
             })
     }
 
@@ -508,6 +576,11 @@ impl SimModel {
         if !survivors.is_empty() {
             self.scheduler.requeue(&Batch { requests: survivors, runtime: batch.runtime });
         }
+        // The caller may have just retired the last live card (e.g. the
+        // quarantine ladder's second strike): survivors requeued onto a
+        // dead fleet must resolve as typed failures, not strand in the
+        // queue past the end of the run.
+        self.fail_all_pending_if_dead();
     }
 
     /// Once the last card dies, drain everything still queued into
@@ -546,6 +619,12 @@ impl SimModel {
         f.epochs[card] += 1;
         f.monitors[card] = CardMonitor::new(f.breaker);
         f.joins += 1;
+        if let Some(s) = f.sdc.as_mut() {
+            // A fresh card brings a fresh, digest-verified image.
+            s.quarantined[card] = false;
+            s.dirty[card] = 0;
+            s.pending[card] = None;
+        }
         let c = &mut self.cards[card];
         c.busy = false;
         c.loaded_class = None;
@@ -577,6 +656,13 @@ impl SimModel {
             f.draining[card] = false;
             f.epochs[card] += 1;
             f.drains += 1;
+            if let Some(s) = f.sdc.as_mut() {
+                // The card leaves with its image: resident corruption
+                // that no rung ever caught resolves as missed.
+                s.missed += u64::from(std::mem::take(&mut s.dirty[card]));
+                s.quarantined[card] = false;
+                s.pending[card] = None;
+            }
             let c = &mut self.cards[card];
             c.busy = false;
             c.loaded_class = None;

@@ -26,7 +26,7 @@
 //!
 //! ## Versions
 //!
-//! Two grammar versions coexist. `protea-fleet-snapshot v1` is the
+//! Three grammar versions coexist. `protea-fleet-snapshot v1` is the
 //! original: 8-token requests, no churn state, no tenant ledger. A run
 //! emits `protea-fleet-snapshot v2` only when the elastic machinery is
 //! visible — an explicit roster, a non-default placement policy, churn,
@@ -35,10 +35,15 @@
 //! v2 appends the tenant id as a ninth request token, adds `J`/`D`
 //! churn events and the `brownout` fail reason, and closes the fault
 //! section with roster presence, drain flags, pending joins, churn
-//! counters, and the per-tenant ledger. `parse` accepts both; a v1
-//! snapshot restores with the fleet fully present and its history
-//! folded into tenant 0, and is rejected up front when the resuming
-//! config is elastic (the v1 grammar cannot carry that state).
+//! counters, and the per-tenant ledger. `protea-fleet-snapshot v3` is
+//! emitted only when the SDC defense is armed: it adds `S` (scrub) and
+//! `Q` (requalify) events and closes the fault section with the SDC
+//! block — counters, scrub arming, per-card quarantine/dirty/pending
+//! state, the re-execution seq set, and each card's corruption-stream
+//! RNG position. `parse` accepts all three; a v1 snapshot restores with
+//! the fleet fully present and its history folded into tenant 0, and a
+//! v1/v2 snapshot is rejected up front when the resuming config arms
+//! machinery its grammar cannot carry (elastic for v1, SDC for both).
 //!
 //! A wrong header, a missing or malformed `hash` trailer, or a body
 //! that does not re-hash to the trailer is an *integrity* failure
@@ -63,6 +68,7 @@ use std::str::FromStr;
 
 const HEADER_V1: &str = "protea-fleet-snapshot v1";
 const HEADER_V2: &str = "protea-fleet-snapshot v2";
+const HEADER_V3: &str = "protea-fleet-snapshot v3";
 
 fn snap_err(msg: impl Into<String>) -> ServeError {
     ServeError::Snapshot { msg: msg.into() }
@@ -72,18 +78,60 @@ fn integrity_err(msg: impl Into<String>) -> ServeError {
     ServeError::SnapshotIntegrity { msg: msg.into() }
 }
 
-/// The fleet config digest a snapshot pins. A v2 snapshot digests the
+/// The fleet config digest a snapshot pins. A v3 snapshot digests the
 /// config's full debug form (which covers every field, including the
-/// roster, churn plan, and tenant classes). A v1 snapshot digests only
-/// the nine fields that existed before the elastic era, in their
-/// historical order, so v1 snapshots taken by older builds keep
-/// verifying against configs whose elastic knobs are all at rest.
-fn config_digest(config: &FleetConfig, v2: bool) -> u64 {
-    if v2 {
-        Fnv64::hash(format!("{config:?}").as_bytes())
-    } else {
-        legacy_config_digest(config)
+/// SDC knobs). A v2 snapshot digests only the fourteen fields that
+/// existed before the SDC era, and a v1 snapshot only the nine
+/// pre-elastic ones — each in its historical order, so snapshots taken
+/// by older builds keep verifying against configs whose newer knobs
+/// are all at rest.
+fn config_digest(config: &FleetConfig, version: u8) -> u64 {
+    match version {
+        3 => Fnv64::hash(format!("{config:?}").as_bytes()),
+        2 => elastic_config_digest(config),
+        _ => legacy_config_digest(config),
     }
+}
+
+fn elastic_config_digest(c: &FleetConfig) -> u64 {
+    // Same shadow-struct trick as `legacy_config_digest`, over the
+    // fourteen fields the elastic-era config had — so pre-SDC v2
+    // snapshots (and their pinned state hashes) keep verifying.
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    struct FleetConfig<A, B, C, D, E, F, G, H, I, J, K, L, M, N> {
+        cards: A,
+        synthesis: B,
+        device: C,
+        policy: D,
+        functional: E,
+        reload_gbps: F,
+        faults: G,
+        overload: H,
+        timing_memo: I,
+        roster: J,
+        placement: K,
+        churn: L,
+        tenants: M,
+        brownout: N,
+    }
+    let shadow = FleetConfig {
+        cards: &c.cards,
+        synthesis: &c.synthesis,
+        device: &c.device,
+        policy: &c.policy,
+        functional: &c.functional,
+        reload_gbps: &c.reload_gbps,
+        faults: &c.faults,
+        overload: &c.overload,
+        timing_memo: &c.timing_memo,
+        roster: &c.roster,
+        placement: &c.placement,
+        churn: &c.churn,
+        tenants: &c.tenants,
+        brownout: &c.brownout,
+    };
+    Fnv64::hash(format!("{shadow:?}").as_bytes())
 }
 
 fn legacy_config_digest(c: &FleetConfig) -> u64 {
@@ -128,6 +176,7 @@ fn kind_code(k: FaultKind) -> u64 {
         FaultKind::AxiStall => 2,
         FaultKind::AxiTimeout => 3,
         FaultKind::CardCrash => 4,
+        FaultKind::SilentCorrupt => 5,
     }
 }
 
@@ -138,6 +187,7 @@ fn kind_from(code: u64) -> Result<FaultKind, ServeError> {
         2 => FaultKind::AxiStall,
         3 => FaultKind::AxiTimeout,
         4 => FaultKind::CardCrash,
+        5 => FaultKind::SilentCorrupt,
         _ => return Err(snap_err(format!("unknown fault kind code {code}"))),
     })
 }
@@ -189,6 +239,8 @@ fn event_tokens(ev: &FleetEvent, v2: bool) -> String {
         FleetEvent::Hedge { card, seq } => format!("H {card} {seq}"),
         FleetEvent::Join { card } => format!("J {card}"),
         FleetEvent::Drain { card } => format!("D {card}"),
+        FleetEvent::Scrub => "S".into(),
+        FleetEvent::Requalify { card, epoch } => format!("Q {card} {epoch}"),
         FleetEvent::Wake => "W".into(),
     }
 }
@@ -321,6 +373,11 @@ fn parse_event(toks: &[&str], v2: bool) -> Result<FleetEvent, ServeError> {
         },
         "J" => FleetEvent::Join { card: pusize(it.next(), "join card")? },
         "D" => FleetEvent::Drain { card: pusize(it.next(), "drain card")? },
+        "S" => FleetEvent::Scrub,
+        "Q" => FleetEvent::Requalify {
+            card: pusize(it.next(), "requalify card")?,
+            epoch: pu64(it.next(), "requalify epoch")?,
+        },
         "W" => FleetEvent::Wake,
         other => return Err(snap_err(format!("unknown event tag `{other}`"))),
     })
@@ -372,7 +429,7 @@ pub struct FleetSnapshot {
     hash: u64,
     /// Arrivals processed when captured (the snapshot's epoch).
     arrivals: u64,
-    /// Grammar version (1 or 2), read from the header line.
+    /// Grammar version (1, 2, or 3), read from the header line.
     version: u8,
 }
 
@@ -393,7 +450,8 @@ impl FleetSnapshot {
     }
 
     /// The snapshot grammar version: 1 for classic fleets, 2 once the
-    /// elastic machinery (roster, churn, tenants, brownout) is visible.
+    /// elastic machinery (roster, churn, tenants, brownout) is visible,
+    /// 3 once the SDC defense is armed.
     #[must_use]
     pub fn version(&self) -> u8 {
         self.version
@@ -401,7 +459,11 @@ impl FleetSnapshot {
 
     fn seal(body: Vec<String>, arrivals: u64) -> Self {
         let hash = Fnv64::hash(body.join("\n").as_bytes());
-        let version = if body.first().map(String::as_str) == Some(HEADER_V2) { 2 } else { 1 };
+        let version = match body.first().map(String::as_str) {
+            Some(h) if h == HEADER_V3 => 3,
+            Some(h) if h == HEADER_V2 => 2,
+            _ => 1,
+        };
         Self { body, hash, arrivals, version }
     }
 
@@ -426,9 +488,11 @@ impl FleetSnapshot {
         let version = match body.first().map(String::as_str) {
             Some(h) if h == HEADER_V1 => 1,
             Some(h) if h == HEADER_V2 => 2,
+            Some(h) if h == HEADER_V3 => 3,
             got => {
                 return Err(integrity_err(format!(
-                    "unsupported snapshot header `{}` (want `{HEADER_V1}` or `{HEADER_V2}`)",
+                    "unsupported snapshot header `{}` (want `{HEADER_V1}`, `{HEADER_V2}`, \
+                     or `{HEADER_V3}`)",
                     got.unwrap_or("")
                 )))
             }
@@ -460,11 +524,15 @@ impl FleetSnapshot {
     ) -> Self {
         let events = q.sorted_events();
         let rows = m.scheduler.export_queues();
-        // v2 only when the elastic machinery is visible: an elastic
-        // config, or traffic already tagged with a nonzero tenant id
-        // anywhere the snapshot will store a request. Classic fleets
-        // keep emitting byte-identical v1 snapshots.
-        let v2 = config.elastic_active()
+        // v3 only when the SDC defense is armed; v2 only when the
+        // elastic machinery is visible: an elastic config, or traffic
+        // already tagged with a nonzero tenant id anywhere the snapshot
+        // will store a request. Classic fleets keep emitting
+        // byte-identical v1 snapshots, elastic-but-undefended fleets
+        // byte-identical v2 ones.
+        let v3 = m.faulty.as_ref().is_some_and(|f| f.sdc.is_some());
+        let v2 = v3
+            || config.elastic_active()
             || events
                 .iter()
                 .any(|(_, _, ev)| matches!(ev, FleetEvent::Arrival(r) if r.tenant != 0))
@@ -476,9 +544,23 @@ impl FleetSnapshot {
                         .flatten()
                         .any(|i| i.batch.requests.iter().any(|r| r.tenant != 0))
             });
+        let version = if v3 {
+            3
+        } else if v2 {
+            2
+        } else {
+            1
+        };
         let mut w: Vec<String> = Vec::new();
-        w.push(if v2 { HEADER_V2 } else { HEADER_V1 }.into());
-        w.push(format!("config {:016x}", config_digest(config, v2)));
+        w.push(
+            match version {
+                3 => HEADER_V3,
+                2 => HEADER_V2,
+                _ => HEADER_V1,
+            }
+            .into(),
+        );
+        w.push(format!("config {:016x}", config_digest(config, version)));
         let cursor = source.state();
         let mut line = format!("source {}", source.kind());
         for word in &cursor.words {
@@ -565,7 +647,7 @@ impl FleetSnapshot {
         }
         match &m.faulty {
             None => w.push("faults 0".into()),
-            Some(f) => capture_faults(&mut w, f, v2),
+            Some(f) => capture_faults(&mut w, f, v2, v3),
         }
         Self::seal(w, arrivals)
     }
@@ -582,16 +664,23 @@ impl FleetSnapshot {
         source: &mut dyn WorkloadSource,
     ) -> Result<(EventQueue<FleetEvent>, SimModel, u64), ServeError> {
         let mut c = Cursor::new(&self.body);
-        let v2 = self.version == 2;
+        let v2 = self.version >= 2;
+        let v3 = self.version >= 3;
         if !v2 && config.elastic_active() {
             return Err(snap_err(
                 "v1 snapshot cannot resume under an elastic fleet config \
                  (roster/placement/churn/tenant/brownout knobs are set)",
             ));
         }
+        if !v3 && config.sdc_active() {
+            return Err(snap_err(
+                "pre-v3 snapshot cannot resume under an SDC-armed fleet config \
+                 (its grammar carries no corruption-stream or quarantine state)",
+            ));
+        }
         c.pos = 1;
         let digest = self.read_digest(&mut c)?;
-        let want = config_digest(config, v2);
+        let want = config_digest(config, self.version);
         if digest != want {
             return Err(snap_err(format!(
                 "snapshot was captured under a different fleet config \
@@ -783,7 +872,7 @@ impl FleetSnapshot {
             return Err(snap_err("snapshot fault state does not match the managed mode"));
         }
         if have_faults {
-            restore_faults(&mut c, &mut model, v2)?;
+            restore_faults(&mut c, &mut model, v2, v3)?;
         }
 
         // Self-check: the restored state must re-hash to exactly this
@@ -804,7 +893,7 @@ impl FleetSnapshot {
     }
 }
 
-fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool) {
+fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool, v3: bool) {
     w.push("faults 1".into());
     w.push(format!("f.submitted {}", f.submitted));
     w.push(format!("f.trackdl {}", u64::from(f.track_deadlines)));
@@ -920,9 +1009,49 @@ fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool) {
             ));
         }
     }
+    if v3 {
+        let s = f.sdc.as_ref().expect("v3 snapshots are only emitted with SDC state");
+        w.push(format!(
+            "s.counters {} {} {} {} {}",
+            s.injected, s.detected, s.missed, s.re_execs, s.scrubs
+        ));
+        w.push(format!("s.scrub_armed {}", opt_u64(s.scrub_armed)));
+        for stream in &s.streams {
+            let (rng, next_scripted) = stream.state();
+            w.push(format!("sstream {rng} {next_scripted}"));
+        }
+        let mut line = String::from("s.quarantined");
+        for q in &s.quarantined {
+            line.push_str(&format!(" {}", u64::from(*q)));
+        }
+        w.push(line);
+        let mut line = String::from("s.dirty");
+        for d in &s.dirty {
+            line.push_str(&format!(" {d}"));
+        }
+        w.push(line);
+        let mut line = String::from("s.pending");
+        for p in &s.pending {
+            match p {
+                None => line.push_str(" -"),
+                Some(covered) => line.push_str(&format!(" {}", u64::from(*covered))),
+            }
+        }
+        w.push(line);
+        let mut line = format!("s.reexec {}", s.reexec.len());
+        for seq in &s.reexec {
+            line.push_str(&format!(" {seq}"));
+        }
+        w.push(line);
+    }
 }
 
-fn restore_faults(c: &mut Cursor<'_>, model: &mut SimModel, v2: bool) -> Result<(), ServeError> {
+fn restore_faults(
+    c: &mut Cursor<'_>,
+    model: &mut SimModel,
+    v2: bool,
+    v3: bool,
+) -> Result<(), ServeError> {
     let cards = model.cards.len();
     let f = model.faulty.as_mut().expect("managed model has fault state");
     f.submitted = pusize(c.expect("f.submitted")?.first(), "submitted")?;
@@ -1120,6 +1249,66 @@ fn restore_faults(c: &mut Cursor<'_>, model: &mut SimModel, v2: bool) -> Result<
             );
         }
     }
+    if v3 {
+        let f = model.faulty.as_mut().expect("managed model has fault state");
+        let s = f
+            .sdc
+            .as_mut()
+            .ok_or_else(|| snap_err("v3 snapshot requires an SDC-armed fleet config"))?;
+        let toks = c.expect("s.counters")?;
+        s.injected = pu64(toks.first(), "sdc injected")?;
+        s.detected = pu64(toks.get(1), "sdc detected")?;
+        s.missed = pu64(toks.get(2), "sdc missed")?;
+        s.re_execs = pu64(toks.get(3), "sdc re_execs")?;
+        s.scrubs = pu64(toks.get(4), "sdc scrubs")?;
+        s.scrub_armed = popt(c.expect("s.scrub_armed")?.first(), "scrub_armed")?;
+        for stream in &mut s.streams {
+            let toks = c.expect("sstream")?;
+            let rng = pu64(toks.first(), "sdc stream rng state")?;
+            let next_scripted = pusize(toks.get(1), "sdc stream scripted cursor")?;
+            stream.restore(rng, next_scripted);
+        }
+        let toks = c.expect("s.quarantined")?;
+        if toks.len() != cards {
+            return Err(snap_err(format!(
+                "s.quarantined line wants {cards} entries, got {}",
+                toks.len()
+            )));
+        }
+        for (i, slot) in s.quarantined.iter_mut().enumerate() {
+            *slot = pbool(toks.get(i), "quarantined flag")?;
+        }
+        let toks = c.expect("s.dirty")?;
+        if toks.len() != cards {
+            return Err(snap_err(format!(
+                "s.dirty line wants {cards} entries, got {}",
+                toks.len()
+            )));
+        }
+        for (i, slot) in s.dirty.iter_mut().enumerate() {
+            *slot = pu64(toks.get(i), "dirty count")? as u32;
+        }
+        let toks = c.expect("s.pending")?;
+        if toks.len() != cards {
+            return Err(snap_err(format!(
+                "s.pending line wants {cards} entries, got {}",
+                toks.len()
+            )));
+        }
+        for (i, slot) in s.pending.iter_mut().enumerate() {
+            *slot = match toks.get(i) {
+                Some(&"-") => None,
+                tok => Some(pbool(tok, "pending draw")?),
+            };
+        }
+        let toks = c.expect("s.reexec")?;
+        let n = pusize(toks.first(), "reexec count")?;
+        let mut reexec = std::collections::BTreeSet::new();
+        for i in 0..n {
+            reexec.insert(pu64(toks.get(1 + i), "reexec seq")?);
+        }
+        s.reexec = reexec;
+    }
     Ok(())
 }
 
@@ -1190,6 +1379,12 @@ mod tests {
             2,
         );
         assert_eq!(round_trip(&v2).version(), 2);
+
+        let v3 = FleetSnapshot::seal(
+            vec![HEADER_V3.into(), "config 0123456789abcdef".into(), "arrivals 5".into()],
+            5,
+        );
+        assert_eq!(round_trip(&v3).version(), 3);
     }
 
     #[test]
@@ -1214,6 +1409,8 @@ mod tests {
             FleetEvent::Hedge { card: 1, seq: 12 },
             FleetEvent::Join { card: 2 },
             FleetEvent::Drain { card: 1 },
+            FleetEvent::Scrub,
+            FleetEvent::Requalify { card: 0, epoch: 6 },
             FleetEvent::Wake,
         ];
         for ev in events {

@@ -95,7 +95,7 @@ pub use elastic::{
     BrownoutLadder, ChurnAction, ChurnEvent, ChurnPlan, PlacementPolicy, TenantClass, TenantPolicy,
 };
 pub use error::ServeError;
-pub use faults::{FailReason, FailedRequest, FaultConfig};
+pub use faults::{FailReason, FailedRequest, FaultConfig, SdcConfig};
 pub use fleet::snapshot::FleetSnapshot;
 pub use fleet::{Fleet, FleetConfig};
 pub use health::{CardHealth, CardMonitor, CircuitBreaker};

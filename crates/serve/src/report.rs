@@ -120,6 +120,22 @@ pub struct ServeReport {
     /// tenant id. Empty for runs without a tenant policy or tagged
     /// traffic, so historical reports render unchanged.
     pub tenant_slo: Vec<TenantSlo>,
+    /// Batches struck by an injected silent corruption. All five SDC
+    /// counters are zero (and the integrity section silent) when no SDC
+    /// knob is armed — pinned byte-identical by `tests/integrity.rs`.
+    pub sdc_injected: u64,
+    /// Corruption hits caught by a detection rung (ABFT epilogue
+    /// checksums, the dispatch digest check, or a scrub sweep).
+    pub sdc_detected: u64,
+    /// Corruption hits served to completion undetected — silently
+    /// wrong results, the number the defense exists to drive to zero.
+    pub sdc_missed: u64,
+    /// Batches re-executed after a detection (each counted once; the
+    /// per-tenant conservation law still holds because responses are
+    /// only ever recorded by the final clean completion).
+    pub re_execs: u64,
+    /// Weight-digest scrub sweeps performed.
+    pub scrubs: u64,
 }
 
 impl PartialEq for ServeReport {
@@ -161,6 +177,11 @@ impl PartialEq for ServeReport {
             joins,
             drains,
             tenant_slo,
+            sdc_injected,
+            sdc_detected,
+            sdc_missed,
+            re_execs,
+            scrubs,
         } = self;
         *completed == other.completed
             && *cards == other.cards
@@ -191,6 +212,11 @@ impl PartialEq for ServeReport {
             && *joins == other.joins
             && *drains == other.drains
             && *tenant_slo == other.tenant_slo
+            && *sdc_injected == other.sdc_injected
+            && *sdc_detected == other.sdc_detected
+            && *sdc_missed == other.sdc_missed
+            && *re_execs == other.re_execs
+            && *scrubs == other.scrubs
     }
 }
 
@@ -297,6 +323,16 @@ pub struct FaultOutcome {
     pub drains: u64,
     /// Per-tenant SLO/conservation rows (empty without tenancy).
     pub tenant_slo: Vec<TenantSlo>,
+    /// Batches struck by an injected silent corruption.
+    pub sdc_injected: u64,
+    /// Corruption hits caught by a detection rung.
+    pub sdc_detected: u64,
+    /// Corruption hits that completed undetected.
+    pub sdc_missed: u64,
+    /// Batches re-executed after a detection.
+    pub re_execs: u64,
+    /// Weight-digest scrub sweeps performed.
+    pub scrubs: u64,
 }
 
 impl ServeReport {
@@ -350,6 +386,11 @@ impl ServeReport {
             joins: 0,
             drains: 0,
             tenant_slo: Vec::new(),
+            sdc_injected: 0,
+            sdc_detected: 0,
+            sdc_missed: 0,
+            re_execs: 0,
+            scrubs: 0,
         }
     }
 
@@ -401,6 +442,11 @@ impl ServeReport {
             joins: 0,
             drains: 0,
             tenant_slo: Vec::new(),
+            sdc_injected: 0,
+            sdc_detected: 0,
+            sdc_missed: 0,
+            re_execs: 0,
+            scrubs: 0,
         }
     }
 
@@ -438,6 +484,11 @@ impl ServeReport {
         self.joins = outcome.joins;
         self.drains = outcome.drains;
         self.tenant_slo = outcome.tenant_slo;
+        self.sdc_injected = outcome.sdc_injected;
+        self.sdc_detected = outcome.sdc_detected;
+        self.sdc_missed = outcome.sdc_missed;
+        self.re_execs = outcome.re_execs;
+        self.scrubs = outcome.scrubs;
         self
     }
 
@@ -480,6 +531,35 @@ impl ServeReport {
         let rows_ok = self.tenant_slo.iter().all(TenantSlo::accounted);
         let total: usize = self.tenant_slo.iter().map(|t| t.submitted).sum();
         rows_ok && (self.tenant_slo.is_empty() || total == self.submitted)
+    }
+
+    /// Whether the SDC defense layer left any visible trace —
+    /// injections, detections, misses, re-executions, or scrubs — i.e.
+    /// whether the integrity section of [`Display`](fmt::Display)
+    /// prints. Always false when no SDC knob was armed, so every
+    /// pre-SDC report renders unchanged.
+    #[must_use]
+    pub fn sdc(&self) -> bool {
+        self.sdc_injected > 0
+            || self.sdc_detected > 0
+            || self.sdc_missed > 0
+            || self.re_execs > 0
+            || self.scrubs > 0
+    }
+
+    /// Detection coverage: the fraction of *resolved* corruption hits a
+    /// rung caught, `detected / (detected + missed)`. 1.0 when nothing
+    /// resolved (vacuously perfect). Hits whose execution was abandoned
+    /// (hedge-cancelled legs, crashed cards' in-flight batches) resolve
+    /// as neither, so the denominator can trail `sdc_injected`.
+    #[must_use]
+    pub fn sdc_coverage(&self) -> f64 {
+        let resolved = self.sdc_detected + self.sdc_missed;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.sdc_detected as f64 / resolved as f64
+        }
     }
 
     /// Whether the elastic layer left any visible trace — runtime joins,
@@ -580,6 +660,21 @@ impl fmt::Display for ServeReport {
                     t.failed
                 )?;
             }
+        }
+        // The integrity section prints only when the SDC layer saw
+        // action, so SDC-off reports render exactly as before.
+        if self.sdc() {
+            writeln!(
+                f,
+                "  integrity    {} injected, {} detected, {} missed ({:.1}% coverage), \
+                 {} re-exec(s), {} scrub(s)",
+                self.sdc_injected,
+                self.sdc_detected,
+                self.sdc_missed,
+                100.0 * self.sdc_coverage(),
+                self.re_execs,
+                self.scrubs
+            )?;
         }
         // The fault section prints only when something actually went
         // wrong, so fault-free reports render exactly as before.

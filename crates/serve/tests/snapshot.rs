@@ -252,6 +252,57 @@ fn resume_under_a_different_config_or_source_is_rejected() {
     }
 }
 
+/// Corruption fuzz over the whole file: flipping a byte at *every*
+/// offset of a sealed v2 snapshot must either still parse to the
+/// bit-exact original (flips the canonical form never reads, e.g. a
+/// trailing newline) or fail as a typed [`ServeError::SnapshotIntegrity`]
+/// with exit code 9 — never a panic, never a silently different state.
+#[test]
+fn every_single_byte_flip_is_caught_or_harmless() {
+    let device = FleetConfig::default().device;
+    let fleet = Fleet::try_new(FleetConfig {
+        cards: 2,
+        roster: Some(vec![device; 2]),
+        faults: Some(FaultConfig::seeded(0xF1B, 0.05)),
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let w = Workload::poisson(24, 80_000.0, &[(96, 4, 2)], (8, 32), 31);
+    let out = fleet.run(ServePlan::workload(&w).snapshot_every(EVERY)).unwrap();
+    let snap = &out.snapshots[0];
+    assert_eq!(snap.version(), 2, "the fuzz target must be a v2 snapshot");
+    let text = snap.to_string();
+    let bytes = text.as_bytes();
+
+    let mut rejected = 0u32;
+    for offset in 0..bytes.len() {
+        for mask in [0x01u8, 0xFF] {
+            let mut corrupt = bytes.to_vec();
+            corrupt[offset] ^= mask;
+            // Non-UTF-8 output cannot even reach the parser; any real
+            // consumer rejects it while reading the file.
+            let Ok(corrupt) = String::from_utf8(corrupt) else {
+                rejected += 1;
+                continue;
+            };
+            match FleetSnapshot::parse(&corrupt) {
+                Ok(back) => assert_eq!(
+                    &back, snap,
+                    "offset {offset} mask {mask:#x}: a surviving parse must be bit-exact"
+                ),
+                Err(err @ ServeError::SnapshotIntegrity { .. }) => {
+                    rejected += 1;
+                    assert_eq!(CoreError::from(err).exit_code(), 9);
+                }
+                Err(other) => {
+                    panic!("offset {offset} mask {mask:#x}: untyped rejection {other:?}")
+                }
+            }
+        }
+    }
+    assert!(rejected > 0, "the sweep must exercise the rejection path");
+}
+
 #[test]
 fn managed_snapshot_text_survives_a_parse_round_trip() {
     // The managed snapshot exercises every section of the grammar

@@ -18,16 +18,22 @@
 //!   multiply-add and is bit-identical to [`matmul_i8_i32`].
 //! * [`ops`] — elementwise and broadcast helpers (bias add, residual add,
 //!   transpose, max-abs reduction).
+//! * [`abft`] — algorithm-based fault tolerance: exact i64 row/column
+//!   checksums predicted from the GEMM inputs and verified against the
+//!   packed kernel's output, the cheap detection layer for silent data
+//!   corruption in the datapath.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod matmul;
 pub mod matrix;
 pub mod ops;
 pub mod pack;
 pub mod tile;
 
+pub use abft::{matmul_i8_i32_packed_verified, AbftChecksums, AbftMismatch};
 pub use matmul::{
     matmul_blocked, matmul_i8_i32, matmul_i8_i32_parallel, matmul_naive, matmul_parallel,
 };

@@ -18,6 +18,7 @@
 //!                  [--churn-seed S] [--churn-events N] [--churn-horizon-ns H]
 //!                  [--tenants "1=interactive@50,2=best-effort"] [--tenant-cycle K]
 //!                  [--brownout "0.67,0.34"]
+//!                  [--sdc-rate 0.01] [--scrub-every 1000000] [--abft 1]
 //! protea chaos-sim [--cards 2] [--fault-rate 0.02] [--crash-rate 0]
 //!                  [--max-attempts 5] [--seed 42] [--requests 64]
 //!                  [--arrival-rate 50000] [--d 96] [--heads 4] [--layers 2]
@@ -37,7 +38,9 @@
 //! unrecoverable hardware fault, 7 = serving-layer rejection, 8 =
 //! overloaded — shed fraction above `--max-shed-pct`, 9 = snapshot
 //! integrity failure: the `--resume` file's header or seal is wrong,
-//! so the snapshot is untrusted input and must be discarded).
+//! so the snapshot is untrusted input and must be discarded, 10 =
+//! data-integrity failure: a weight image's sealed digest no longer
+//! verifies, so results from that card cannot be trusted).
 
 use protea::prelude::*;
 use std::collections::HashMap;
@@ -356,6 +359,21 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let policy =
         BatchPolicy { max_batch: flag(flags, "max-batch", 8usize)?, ..BatchPolicy::default() };
     let (cards, roster, placement, churn, tenants, brownout) = elastic_flags(flags, cards)?;
+    // SDC defense knobs: any of them arms the integrity machinery; all
+    // at rest leaves the run byte-identical to an undefended fleet.
+    let sdc_rate = flag(flags, "sdc-rate", 0.0f64)?;
+    let scrub_every = flag(flags, "scrub-every", 0u64)?;
+    let abft = flag(flags, "abft", 0u8)? != 0;
+    if !(0.0..=1.0).contains(&sdc_rate) {
+        return Err(format!("--sdc-rate must be in [0, 1], got {sdc_rate}").into());
+    }
+    let sdc = (sdc_rate > 0.0 || scrub_every > 0 || abft).then(|| SdcConfig {
+        seed: flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42),
+        rate: sdc_rate,
+        abft,
+        scrub_every_ns: (scrub_every > 0).then_some(scrub_every),
+        ..SdcConfig::default()
+    });
     let fleet = Fleet::try_new(FleetConfig {
         cards,
         device,
@@ -365,6 +383,7 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
         churn,
         tenants,
         brownout,
+        sdc,
         ..FleetConfig::default()
     })?;
 

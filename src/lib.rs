@@ -114,7 +114,7 @@ pub mod prelude {
         AimdConfig, BatchPolicy, BrownoutLadder, CardHealth, ChurnAction, ChurnEvent, ChurnPlan,
         FailReason, FailedRequest, FaultConfig, Fleet, FleetConfig, FleetSnapshot, HedgeConfig,
         JsonLinesSource, MetricsMode, OverloadConfig, Percentiles, PlacementPolicy, PoissonSource,
-        Priority, RetryBudgetConfig, ServeError, ServeOutcome, ServePlan, ServeReport,
+        Priority, RetryBudgetConfig, SdcConfig, ServeError, ServeOutcome, ServePlan, ServeReport,
         ServeRequest, ServeResponse, StreamMetrics, TenantPolicy, TenantSlo, Workload,
         WorkloadSource,
     };
