@@ -1,10 +1,19 @@
-//! Fast-backend kernel benchmark: packed GEMM vs reference, encoder
-//! forward fast vs reference, and the fleet timing memo on vs off.
-//! Writes `BENCH_kernels.json` next to the working directory.
+//! Fast-backend kernel benchmark: packed GEMM vs reference (per
+//! microkernel ISA), encoder forward fast vs reference, and the fleet
+//! timing memo on vs off. Writes `BENCH_kernels.json` next to the
+//! working directory.
 //!
 //! Flags: `--smoke` shrinks iterations for CI; `--check` additionally
-//! exits nonzero unless the packed kernel is ≥3× the reference on the
-//! 12-head/768-dim gate shape and the memo wins the serving sweep.
+//! exits nonzero unless every gate holds on the 12-head/768-dim gate
+//! shape (`128×768×768`):
+//!
+//! * dispatched kernel ≥ 8× the tiled reference when an explicit SIMD
+//!   variant (AVX2/AVX-512/NEON) was selected, ≥ 3× otherwise;
+//! * the portable fallback kernel ≥ 3× regardless of dispatch — the
+//!   floor a runner without SIMD support must still clear;
+//! * the panel-parallel entry point no slower than the serial kernel
+//!   (within a 10% + 50µs noise allowance) on *every* sweep shape;
+//! * the timing memo wins the serving sweep.
 
 use protea_bench::kernels;
 
@@ -28,13 +37,28 @@ fn main() {
 
     if check {
         let gate = report.gate();
+        let gate_need = if report.simd_dispatched() { 8.0 } else { 3.0 };
+        let fallback = report.fallback_gate();
         let memo = report.fleet.speedup;
+        let regressions = report.parallel_regressions(0.10);
         println!(
-            "\ncheck: gate (packed vs tiled @128x768x768) = {gate:.2}x (need >= 3), \
-             memo sweep = {memo:.2}x (need > 1)"
+            "\ncheck: gate ({} vs tiled @128x768x768) = {gate:.2}x (need >= {gate_need}), \
+             fallback = {fallback:.2}x (need >= 3), memo sweep = {memo:.2}x (need > 1)",
+            report.kernel
         );
-        if gate < 3.0 {
-            eprintln!("FAIL: packed kernel below 3x on the gate shape");
+        if gate < gate_need {
+            eprintln!("FAIL: dispatched kernel below {gate_need}x on the gate shape");
+            std::process::exit(1);
+        }
+        if fallback < 3.0 {
+            eprintln!("FAIL: portable fallback kernel below 3x on the gate shape");
+            std::process::exit(1);
+        }
+        if !regressions.is_empty() {
+            eprintln!(
+                "FAIL: panel-parallel GEMM slower than serial on: {}",
+                regressions.join(", ")
+            );
             std::process::exit(1);
         }
         if memo <= 1.0 {

@@ -4,13 +4,16 @@
 //! computations (the fast path is an exact re-association of the
 //! reference path — `backend_equiv` pins the bytes):
 //!
-//! 1. **GEMM sweep** — the packed widened-i16 microkernel
-//!    ([`protea_tensor::matmul_i8_i32_packed`]) against the reference
-//!    tile-accumulated product ([`protea_core::engines::accumulate_tiled`],
-//!    the Reference backend's inner pattern) and the dense kernel
-//!    ([`protea_tensor::matmul_i8_i32`], the golden model's). The gate
-//!    shape is `128×768×768` — one projection of the paper's
-//!    12-head/768-dim encoder at SL=128.
+//! 1. **GEMM sweep** — the packed widened-i16 GEMM
+//!    ([`protea_tensor::matmul_i8_i32_packed`]) on its auto-dispatched
+//!    microkernel against the reference tile-accumulated product
+//!    ([`protea_core::engines::accumulate_tiled`], the Reference
+//!    backend's inner pattern) and the dense kernel
+//!    ([`protea_tensor::matmul_i8_i32`], the golden model's), plus a
+//!    per-ISA column block timing every kernel this host supports
+//!    (scalar control, portable fallback, explicit SIMD) and the fused
+//!    requant epilogue. The gate shape is `128×768×768` — one
+//!    projection of the paper's 12-head/768-dim encoder at SL=128.
 //! 2. **Model forward** — a full encoder run at d_model=768, 12 heads,
 //!    SL=128 under [`Backend::Fast`] vs [`Backend::Reference`].
 //! 3. **Fleet serving sweep** — a Poisson workload served with the
@@ -23,14 +26,25 @@
 use crate::fmt::num;
 use protea_core::engines::accumulate_tiled;
 use protea_core::{Accelerator, Backend, RuntimeConfig, SynthesisConfig};
+use protea_fixed::{QFormat, Requantizer, Rounding};
 use protea_model::{EncoderConfig, EncoderWeights, QuantSchedule, QuantizedEncoder};
 use protea_platform::FpgaDevice;
 use protea_serve::{Fleet, FleetConfig, ServePlan, Workload};
 use protea_tensor::{
-    matmul_i8_i32, matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, Matrix, PackedWeights,
-    TileGrid,
+    active_kernel, force_kernel, matmul_i8_i32, matmul_i8_i32_packed,
+    matmul_i8_i32_packed_parallel, matmul_i8_requant_packed, supported_kernels, KernelIsa, Matrix,
+    PackedWeights, TileGrid,
 };
 use std::time::Instant;
+
+/// Serial packed-GEMM timing under one forced microkernel ISA.
+#[derive(Debug, Clone)]
+pub struct IsaMs {
+    /// Kernel name (`scalar`, `packed`, `avx2`, `avx512`, `neon`).
+    pub isa: String,
+    /// Min-of-iters wall clock, ms.
+    pub ms: f64,
+}
 
 /// One GEMM shape measurement (milliseconds are min-of-iters).
 #[derive(Debug, Clone)]
@@ -45,12 +59,31 @@ pub struct GemmRow {
     pub tiled_ms: f64,
     /// Dense `matmul_i8_i32`, ms.
     pub dense_ms: f64,
-    /// Packed microkernel (serial), ms.
+    /// Packed microkernel (serial, auto-dispatched ISA), ms.
     pub packed_ms: f64,
-    /// Packed microkernel through the row-parallel entry point, ms.
+    /// Packed microkernel through the panel-parallel entry point, ms.
     pub packed_parallel_ms: f64,
+    /// Fused requant epilogue (`matmul_i8_requant_packed`), ms — the
+    /// GEMM *plus* the narrowing stage the separate pipeline pays as an
+    /// extra `O(m·n)` pass.
+    pub fused_ms: f64,
+    /// Serial timing with each supported ISA forced in turn.
+    pub per_isa: Vec<IsaMs>,
     /// `tiled_ms / packed_ms` — the headline per-kernel speedup.
     pub speedup: f64,
+}
+
+impl GemmRow {
+    /// Speedup of the *portable fallback* kernel over the tiled
+    /// reference on this shape — what a host without explicit SIMD
+    /// support gets.
+    #[must_use]
+    pub fn fallback_speedup(&self) -> f64 {
+        self.per_isa
+            .iter()
+            .find(|e| e.isa == KernelIsa::Packed.to_string())
+            .map_or(0.0, |e| self.tiled_ms / e.ms)
+    }
 }
 
 /// Full-encoder forward timing, fast vs reference backend.
@@ -90,6 +123,10 @@ pub struct FleetRow {
 /// Everything the `kernels` binary measures.
 #[derive(Debug, Clone)]
 pub struct KernelsReport {
+    /// The auto-dispatched microkernel ISA the headline numbers ran on.
+    pub kernel: String,
+    /// Every ISA this host can run (per-ISA rows cover each).
+    pub supported: Vec<String>,
     /// GEMM sweep rows (last row is the 768-wide gate shape).
     pub gemm: Vec<GemmRow>,
     /// Encoder forward at the paper's 12-head/768-dim shape.
@@ -100,20 +137,55 @@ pub struct KernelsReport {
 
 impl KernelsReport {
     /// The CI gate: packed-kernel speedup at the 12-head/768-dim shape
-    /// (`128×768×768`, the last GEMM row).
+    /// (`128×768×768`, the last GEMM row), on the auto-dispatched ISA.
     #[must_use]
     pub fn gate(&self) -> f64 {
         self.gemm.last().map_or(0.0, |r| r.speedup)
     }
 
+    /// The fallback gate: the portable kernel's speedup on the same
+    /// shape — what CI enforces on runners without explicit SIMD.
+    #[must_use]
+    pub fn fallback_gate(&self) -> f64 {
+        self.gemm.last().map_or(0.0, GemmRow::fallback_speedup)
+    }
+
+    /// True when the auto-dispatched kernel is an explicit SIMD variant
+    /// (AVX2/AVX-512/NEON) rather than the portable fallback — decides
+    /// which gate threshold applies.
+    #[must_use]
+    pub fn simd_dispatched(&self) -> bool {
+        self.kernel != KernelIsa::Packed.to_string() && self.kernel != KernelIsa::Scalar.to_string()
+    }
+
+    /// Shapes where the panel-parallel entry point ran slower than the
+    /// serial kernel beyond `tol_frac` (+ a fixed 50µs noise floor) —
+    /// empty means parallel ≥ serial everywhere, the regression gate.
+    #[must_use]
+    pub fn parallel_regressions(&self, tol_frac: f64) -> Vec<String> {
+        self.gemm
+            .iter()
+            .filter(|r| r.packed_parallel_ms > r.packed_ms * (1.0 + tol_frac) + 0.05)
+            .map(|r| format!("{}x{}x{}", r.m, r.k, r.n))
+            .collect()
+    }
+
     /// Hand-rolled JSON (the workspace has no serde).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"gemm\": [\n");
+        let supported: Vec<String> = self.supported.iter().map(|s| format!("\"{s}\"")).collect();
+        let mut s = format!(
+            "{{\n  \"kernel\": \"{}\",\n  \"supported\": [{}],\n  \"gemm\": [\n",
+            self.kernel,
+            supported.join(", ")
+        );
         for (i, r) in self.gemm.iter().enumerate() {
+            let isa_ms: Vec<String> =
+                r.per_isa.iter().map(|e| format!("\"{}\": {:.4}", e.isa, e.ms)).collect();
             s.push_str(&format!(
                 "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"tiled_ms\": {:.4}, \"dense_ms\": {:.4}, \
-                 \"packed_ms\": {:.4}, \"packed_parallel_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+                 \"packed_ms\": {:.4}, \"packed_parallel_ms\": {:.4}, \"fused_ms\": {:.4}, \
+                 \"isa_ms\": {{{}}}, \"speedup\": {:.3}}}{}\n",
                 r.m,
                 r.k,
                 r.n,
@@ -121,6 +193,8 @@ impl KernelsReport {
                 r.dense_ms,
                 r.packed_ms,
                 r.packed_parallel_ms,
+                r.fused_ms,
+                isa_ms.join(", "),
                 r.speedup,
                 if i + 1 < self.gemm.len() { "," } else { "" }
             ));
@@ -145,11 +219,15 @@ impl KernelsReport {
              \"speedup\": {:.3}}},\n",
             f.requests, f.memo_ms, f.no_memo_ms, f.speedup
         ));
-        s.push_str(&format!("  \"gate_speedup_768\": {:.3}\n}}\n", self.gate()));
+        s.push_str(&format!(
+            "  \"gate_speedup_768\": {:.3},\n  \"fallback_speedup_768\": {:.3}\n}}\n",
+            self.gate(),
+            self.fallback_gate()
+        ));
         s
     }
 
-    /// Render the three sections as tables for the binary.
+    /// Render the sections as tables for the binary.
     #[must_use]
     pub fn render(&self) -> String {
         let gemm_rows: Vec<Vec<String>> = self
@@ -162,8 +240,22 @@ impl KernelsReport {
                     num(r.dense_ms),
                     num(r.packed_ms),
                     num(r.packed_parallel_ms),
+                    num(r.fused_ms),
                     format!("{:.2}x", r.speedup),
                 ]
+            })
+            .collect();
+        let isa_headers: Vec<String> = std::iter::once("shape (MxKxN)".to_string())
+            .chain(self.supported.iter().map(|s| format!("{s} ms")))
+            .collect();
+        let isa_header_refs: Vec<&str> = isa_headers.iter().map(String::as_str).collect();
+        let isa_rows: Vec<Vec<String>> = self
+            .gemm
+            .iter()
+            .map(|r| {
+                std::iter::once(format!("{}x{}x{}", r.m, r.k, r.n))
+                    .chain(r.per_isa.iter().map(|e| num(e.ms)))
+                    .collect()
             })
             .collect();
         let m = &self.model;
@@ -182,11 +274,21 @@ impl KernelsReport {
             format!("{:.2}x", f.speedup),
         ]];
         format!(
-            "GEMM microkernel (min-of-iters)\n{}\nEncoder forward\n{}\nFleet serving sweep (timing memo)\n{}",
+            "GEMM microkernel (min-of-iters, dispatched kernel: {})\n{}\nPer-ISA serial packed GEMM\n{}\nEncoder forward\n{}\nFleet serving sweep (timing memo)\n{}",
+            self.kernel,
             crate::fmt::render_table(
-                &["shape (MxKxN)", "tiled ms", "dense ms", "packed ms", "packed-par ms", "speedup"],
+                &[
+                    "shape (MxKxN)",
+                    "tiled ms",
+                    "dense ms",
+                    "packed ms",
+                    "packed-par ms",
+                    "fused ms",
+                    "speedup"
+                ],
                 &gemm_rows
             ),
+            crate::fmt::render_table(&isa_header_refs, &isa_rows),
             crate::fmt::render_table(
                 &["shape", "fast ms", "reference ms", "speedup", "threads"],
                 &model_rows
@@ -237,6 +339,25 @@ pub fn gemm_row(m: usize, k: usize, n: usize, iters: u32) -> GemmRow {
     let packed_parallel_ms = min_ms(iters, || {
         std::hint::black_box(matmul_i8_i32_packed_parallel(&a, &packed));
     });
+    let rq = Requantizer::new(10, QFormat::new(8, 5), Rounding::NearestEven);
+    let fused_ms = min_ms(iters, || {
+        std::hint::black_box(matmul_i8_requant_packed(&a, &packed, None, rq));
+    });
+    // Per-ISA rows: the same serial GEMM with each supported kernel
+    // forced. The scalar control is slow at the large shapes, so it gets
+    // fewer repetitions.
+    let per_isa = supported_kernels()
+        .into_iter()
+        .map(|isa| {
+            let reps = if isa == KernelIsa::Scalar { iters.clamp(1, 2) } else { iters };
+            force_kernel(Some(isa));
+            let ms = min_ms(reps, || {
+                std::hint::black_box(matmul_i8_i32_packed(&a, &packed));
+            });
+            force_kernel(None);
+            IsaMs { isa: isa.to_string(), ms }
+        })
+        .collect();
     GemmRow {
         m,
         k,
@@ -245,6 +366,8 @@ pub fn gemm_row(m: usize, k: usize, n: usize, iters: u32) -> GemmRow {
         dense_ms,
         packed_ms,
         packed_parallel_ms,
+        fused_ms,
+        per_isa,
         speedup: tiled_ms / packed_ms,
     }
 }
@@ -352,6 +475,8 @@ pub fn fleet_sweep(requests: usize) -> FleetRow {
 #[must_use]
 pub fn run(iters: u32, requests: usize) -> KernelsReport {
     KernelsReport {
+        kernel: active_kernel().to_string(),
+        supported: supported_kernels().into_iter().map(|k| k.to_string()).collect(),
         gemm: gemm_sweep(iters),
         model: model_forward(iters),
         fleet: fleet_sweep(requests),
@@ -370,8 +495,21 @@ mod tests {
     }
 
     #[test]
+    fn gemm_row_covers_every_supported_isa() {
+        let r = gemm_row(4, 16, 12, 1);
+        let names: Vec<String> = r.per_isa.iter().map(|e| e.isa.clone()).collect();
+        for isa in supported_kernels() {
+            assert!(names.contains(&isa.to_string()), "missing per-ISA row for {isa}");
+        }
+        assert!(r.fused_ms > 0.0);
+        assert!(r.fallback_speedup() > 0.0);
+    }
+
+    #[test]
     fn json_shape_is_well_formed() {
         let rep = KernelsReport {
+            kernel: active_kernel().to_string(),
+            supported: supported_kernels().into_iter().map(|k| k.to_string()).collect(),
             gemm: vec![gemm_row(8, 32, 24, 1)],
             model: ModelRow {
                 d_model: 768,
@@ -387,6 +525,10 @@ mod tests {
         };
         let j = rep.to_json();
         assert!(j.contains("\"gate_speedup_768\""));
+        assert!(j.contains("\"fallback_speedup_768\""));
+        assert!(j.contains("\"kernel\""));
+        assert!(j.contains("\"isa_ms\""));
+        assert!(j.contains("\"fused_ms\""));
         assert!(j.contains("\"fleet\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }

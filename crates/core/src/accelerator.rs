@@ -7,7 +7,7 @@ use crate::engines::qk::QkEngine;
 use crate::engines::qkv::QkvEngine;
 use crate::engines::softmax::SoftmaxEngine;
 use crate::engines::sv::SvEngine;
-use crate::engines::{finish_projection, Access};
+use crate::engines::{fused_projection, fused_projection_act, Access};
 use crate::error::CoreError;
 use crate::fault::{FaultStats, FaultStream, RetryPolicy, Watchdog};
 use crate::pipeline::{FaultPlan, RunPlan};
@@ -17,10 +17,10 @@ use crate::synthesis::{SynthesisConfig, SynthesizedDesign};
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::Requantizer;
 use protea_hwsim::Cycles;
-use protea_model::quantized::requant_logits;
+use protea_model::quantized::LogitRequant;
 use protea_model::QuantizedEncoder;
 use protea_platform::FpgaDevice;
-use protea_tensor::{matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, Matrix, PackedWeights};
+use protea_tensor::{matmul_i8_packed_epilogue, Matrix, PackedWeights};
 use std::sync::OnceLock;
 
 /// The full ProTEA instance: one synthesized design, a runtime register
@@ -418,12 +418,17 @@ impl Accelerator {
     }
 
     /// Fast functional path: every projection and attention GEMM goes
-    /// through the packed widened-i16 microkernel, with attention heads
-    /// fanned out across threads. The non-GEMM stages (`requant_logits`,
-    /// softmax, the SV requantizer, `finish_projection`, layer norm, the
-    /// activation LUT) are the *same* calls as the reference path, and
-    /// the packed kernel reproduces `matmul_i8_i32` exactly, so the two
-    /// paths cannot diverge — `tests/backend_equiv.rs` pins this.
+    /// through the runtime-dispatched packed microkernel
+    /// (`PROTEA_KERNEL` selects the ISA) with its requantization fused
+    /// into the store loop — the separate i32→i8 pass over each
+    /// materialized accumulator matrix is gone. Projections parallelize
+    /// across column panels *inside* the GEMM; attention heads fan out
+    /// across threads on top. The narrowing stages are derived from the
+    /// same definitions as the reference path ([`LogitRequant`],
+    /// `projection_requantizer`, the activation LUT), and every kernel
+    /// reproduces `matmul_i8_i32`'s accumulators exactly, so the two
+    /// paths cannot diverge — `tests/backend_equiv.rs` pins this across
+    /// every dispatchable ISA.
     fn forward_fast(
         &self,
         x: &Matrix<i8>,
@@ -437,32 +442,24 @@ impl Accelerator {
         let sl = rt.seq_len;
         let dk = rt.dk();
         let cfg = rt.to_model_config();
+        let logit_rq = LogitRequant::new(&cfg, s);
+        let sv_rq = Requantizer::new(
+            s.logit_fmt.frac_bits() + s.act_fmt.frac_bits(),
+            s.act_fmt,
+            s.rounding,
+        );
 
         let mut h = x.clone();
         for (layer, pl) in weights.layers.iter().zip(&packed.layers).take(rt.layers) {
             // --- attention -------------------------------------------------
-            let q = finish_projection(
-                matmul_i8_i32_packed_parallel(&h, &pl.wq),
-                &layer.bq,
-                layer.wq.fmt,
-                s,
-            );
-            let k = finish_projection(
-                matmul_i8_i32_packed_parallel(&h, &pl.wk),
-                &layer.bk,
-                layer.wk.fmt,
-                s,
-            );
-            let v = finish_projection(
-                matmul_i8_i32_packed_parallel(&h, &pl.wv),
-                &layer.bv,
-                layer.wv.fmt,
-                s,
-            );
+            let q = fused_projection(&h, &pl.wq, &layer.bq, layer.wq.fmt, s);
+            let k = fused_projection(&h, &pl.wk, &layer.bk, layer.wk.fmt, s);
+            let v = fused_projection(&h, &pl.wv, &layer.bv, layer.wv.fmt, s);
             let mut head_outs: Vec<Option<Matrix<i8>>> = (0..rt.heads).map(|_| None).collect();
             rayon::scope(|sc| {
                 for (head, slot) in head_outs.iter_mut().enumerate() {
-                    let (q, k, v, softmax, cfg) = (&q, &k, &v, &softmax, &cfg);
+                    let (q, k, v, softmax) = (&q, &k, &v, &softmax);
+                    let (logit_rq, sv_rq) = (&logit_rq, &sv_rq);
                     sc.spawn(move |_| {
                         let c0 = head * dk;
                         let qi = q.submatrix(0, c0, sl, dk);
@@ -470,18 +467,20 @@ impl Accelerator {
                         let vi = v.submatrix(0, c0, sl, dk);
                         // Packing `kiᵀ` column-major is `ki`'s row-major
                         // bytes — a straight copy, so Q·Kᵀ runs on the
-                        // packed kernel at negligible packing cost.
-                        let logits_acc =
-                            matmul_i8_i32_packed(&qi, &PackedWeights::from_transpose(&ki));
-                        let logits = requant_logits(&logits_acc, cfg, s);
-                        let probs = softmax.compute_head(&logits);
-                        let sv_acc = matmul_i8_i32_packed(&probs, &PackedWeights::pack(&vi));
-                        let rq = Requantizer::new(
-                            s.logit_fmt.frac_bits() + s.act_fmt.frac_bits(),
-                            s.act_fmt,
-                            s.rounding,
+                        // packed kernel at negligible packing cost. The
+                        // logit scale/narrow runs in the store loop.
+                        let logits = matmul_i8_packed_epilogue(
+                            &qi,
+                            &PackedWeights::from_transpose(&ki),
+                            |_, a| logit_rq.apply(a),
                         );
-                        *slot = Some(sv_acc.map(|a| rq.apply(a)));
+                        let probs = softmax.compute_head(&logits);
+                        // SV with its requantizer fused the same way.
+                        *slot = Some(matmul_i8_packed_epilogue(
+                            &probs,
+                            &PackedWeights::pack(&vi),
+                            |_, a| sv_rq.apply(a),
+                        ));
                     });
                 }
             });
@@ -490,27 +489,11 @@ impl Accelerator {
                 sv_concat.write_submatrix(0, head * dk, &svi.expect("every head is computed"));
             }
             // --- FFN1 (output projection) + add&norm -----------------------
-            let attn = finish_projection(
-                matmul_i8_i32_packed_parallel(&sv_concat, &pl.wo),
-                &layer.bo,
-                layer.wo.fmt,
-                s,
-            );
+            let attn = fused_projection(&sv_concat, &pl.wo, &layer.bo, layer.wo.fmt, s);
             let x1 = LnEngine::compute(&h, &attn, &layer.ln1, s);
-            // --- FFN2 (+activation) and FFN3 + add&norm --------------------
-            let mut hidden = finish_projection(
-                matmul_i8_i32_packed_parallel(&x1, &pl.w1),
-                &layer.b1,
-                layer.w1.fmt,
-                s,
-            );
-            act.apply_slice(hidden.as_mut_slice());
-            let ffn_out = finish_projection(
-                matmul_i8_i32_packed_parallel(&hidden, &pl.w2),
-                &layer.b2,
-                layer.w2.fmt,
-                s,
-            );
+            // --- FFN2 (+activation, fused) and FFN3 + add&norm -------------
+            let hidden = fused_projection_act(&x1, &pl.w1, &layer.b1, layer.w1.fmt, s, &act);
+            let ffn_out = fused_projection(&hidden, &pl.w2, &layer.b2, layer.w2.fmt, s);
             h = LnEngine::compute(&x1, &ffn_out, &layer.ln2, s);
         }
         h

@@ -54,6 +54,50 @@ pub fn finish_projection(
     acc.map(|a| rq.apply(a))
 }
 
+/// The requantizer [`finish_projection`] applies for a projection with
+/// weights in `weight_fmt` — exposed so the fused GEMM epilogue and the
+/// separate-pass pipeline derive the stage from one definition.
+#[must_use]
+pub fn projection_requantizer(weight_fmt: QFormat, s: &QuantSchedule) -> Requantizer {
+    Requantizer::new(s.act_fmt.frac_bits() + weight_fmt.frac_bits(), s.act_fmt, s.rounding)
+}
+
+/// Fused linear projection: `requant(x·W ⊕ bias)` in one GEMM pass, the
+/// bias add and requantization running in the kernel's store loop
+/// instead of a second sweep over a materialized i32 matrix.
+/// Byte-identical to `matmul` + [`finish_projection`] — same exact
+/// accumulators, same saturating bias add, same [`Requantizer`].
+/// Parallel across column panels inside the GEMM.
+#[must_use]
+pub fn fused_projection(
+    x: &Matrix<i8>,
+    w: &protea_tensor::PackedWeights,
+    bias: &[i32],
+    weight_fmt: QFormat,
+    s: &QuantSchedule,
+) -> Matrix<i8> {
+    let rq = projection_requantizer(weight_fmt, s);
+    protea_tensor::matmul_i8_requant_packed_parallel(x, w, Some(bias), rq)
+}
+
+/// Fused projection + activation: [`fused_projection`] with the
+/// activation LUT applied to each requantized byte in the same store
+/// loop — the FFN1 stage (`act(requant(x·W1 ⊕ b1))`) as a single pass.
+#[must_use]
+pub fn fused_projection_act(
+    x: &Matrix<i8>,
+    w: &protea_tensor::PackedWeights,
+    bias: &[i32],
+    weight_fmt: QFormat,
+    s: &QuantSchedule,
+    act: &protea_fixed::activation::ActivationLut,
+) -> Matrix<i8> {
+    let rq = projection_requantizer(weight_fmt, s);
+    protea_tensor::matmul_i8_packed_epilogue_parallel(x, w, |j, acc| {
+        act.apply(rq.apply(acc.saturating_add(bias[j])))
+    })
+}
+
 /// Tile-accumulated matrix product: `acc += x[:, rows_of(w_tile)] ·
 /// w_tile` over every tile of `w` in the grid — the engines' inner
 /// pattern. The accumulator must be pre-shaped to `(x.rows, w.cols)`.

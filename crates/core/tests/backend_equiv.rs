@@ -103,6 +103,30 @@ fn batch_outputs_identical_across_backends() {
 }
 
 #[test]
+fn every_kernel_isa_agrees_across_backends() {
+    // The dispatch gate: force each microkernel this host can run
+    // (scalar control, portable fallback, and whatever explicit SIMD
+    // variants the CPU supports) and require byte-identical outputs
+    // from the fast path under every one of them. `force_kernel` takes
+    // the same code path as a `PROTEA_KERNEL` override, minus the
+    // once-per-process env cache.
+    let cfg = EncoderConfig::new(144, 12, 1, 9);
+    let (mut acc, golden) = accel_for(&cfg, 41);
+    let x = input_for(&cfg, 41);
+    acc.set_backend(Backend::Reference);
+    let reference = acc.try_run(&x).expect("reference run").output;
+    assert_eq!(reference.as_slice(), golden.forward(&x).as_slice(), "reference vs golden");
+
+    acc.set_backend(Backend::Fast);
+    for isa in protea_tensor::supported_kernels() {
+        protea_tensor::force_kernel(Some(isa));
+        let fast = acc.try_run(&x).expect("fast run").output;
+        assert_eq!(fast.as_slice(), reference.as_slice(), "kernel {isa} diverged from reference");
+    }
+    protea_tensor::force_kernel(None);
+}
+
+#[test]
 fn self_test_passes_on_both_backends() {
     let cfg = EncoderConfig::new(96, 4, 2, 8);
     let (mut acc, _) = accel_for(&cfg, 3);

@@ -271,31 +271,55 @@ pub fn project(x: &Matrix<i8>, w: &QuantMatrix, bias: &[i32], s: &QuantSchedule)
     acc.map(|a| rq.apply(a))
 }
 
-/// Attention logit scaling + narrowing (Algorithm 2 line 9): exact
-/// integer division by the scale denominator at the accumulator
-/// precision, then requantization to the logit format.
-#[must_use]
-pub fn requant_logits(acc: &Matrix<i32>, cfg: &EncoderConfig, s: &QuantSchedule) -> Matrix<i8> {
-    let denom: i64 = match s.scaling {
-        AttnScaling::InvDmodel => cfg.d_model as i64,
-        AttnScaling::InvSqrtDk => {
-            protea_fixed::layernorm::isqrt_u64(cfg.d_k() as u64).max(1) as i64
-        }
-    };
-    let acc_frac = i32::from(2 * s.act_fmt.frac_bits());
-    let dst_frac = i32::from(s.logit_fmt.frac_bits());
-    acc.map(|a| {
+/// The attention-logit scaling stage (Algorithm 2 line 9) as a
+/// standalone per-element operator: exact integer division by the scale
+/// denominator at the accumulator precision, then requantization to the
+/// logit format. Extracted so the matrix pass ([`requant_logits`]) and
+/// the accelerator's fused GEMM epilogue apply the *same* scalar —
+/// one definition, no way to diverge.
+#[derive(Debug, Clone, Copy)]
+pub struct LogitRequant {
+    denom: i64,
+    /// `2·act_frac − logit_frac`: right shift when ≥ 0, left otherwise.
+    sh: i32,
+    rounding: Rounding,
+}
+
+impl LogitRequant {
+    /// Derive the stage from the deployment's config and schedule.
+    #[must_use]
+    pub fn new(cfg: &EncoderConfig, s: &QuantSchedule) -> Self {
+        let denom: i64 = match s.scaling {
+            AttnScaling::InvDmodel => cfg.d_model as i64,
+            AttnScaling::InvSqrtDk => {
+                protea_fixed::layernorm::isqrt_u64(cfg.d_k() as u64).max(1) as i64
+            }
+        };
+        let sh = i32::from(2 * s.act_fmt.frac_bits()) - i32::from(s.logit_fmt.frac_bits());
+        Self { denom, sh, rounding: s.rounding }
+    }
+
+    /// Scale and narrow one i32 logit accumulator.
+    #[must_use]
+    pub fn apply(&self, a: i32) -> i8 {
         // exact division, C-style truncation toward zero (what an HLS
         // integer divide produces)
-        let scaled = i64::from(a) / denom;
-        let sh = acc_frac - dst_frac;
-        let v = if sh >= 0 {
-            s.rounding.shift_right(scaled, sh as u32)
+        let scaled = i64::from(a) / self.denom;
+        let v = if self.sh >= 0 {
+            self.rounding.shift_right(scaled, self.sh as u32)
         } else {
-            scaled << (-sh).min(62)
+            scaled << (-self.sh).min(62)
         };
         v.clamp(-128, 127) as i8
-    })
+    }
+}
+
+/// Attention logit scaling + narrowing over a full accumulator matrix:
+/// [`LogitRequant`] applied elementwise.
+#[must_use]
+pub fn requant_logits(acc: &Matrix<i32>, cfg: &EncoderConfig, s: &QuantSchedule) -> Matrix<i8> {
+    let lr = LogitRequant::new(cfg, s);
+    acc.map(|a| lr.apply(a))
 }
 
 /// Residual add (saturating, shared format) then layer norm. Shared with

@@ -1,0 +1,289 @@
+//! Explicit microkernels behind runtime CPU-feature dispatch.
+//!
+//! The packed GEMM's inner loop — reduce one widened activation row
+//! against `CB` widened weight columns into `CB` i32 sums — used to rely
+//! on LLVM autovectorizing a scalar loop into `pmaddwd`. That works, but
+//! only by luck of the loop shape, and it leaves half the machine on the
+//! table on AVX2/AVX-512 hosts. This module makes the instruction
+//! selection explicit:
+//!
+//! * [`KernelIsa::Scalar`] — one plain `i32 += i16·i16` loop per column.
+//!   The semantic baseline; never auto-selected, only forced.
+//! * [`KernelIsa::Packed`] — the original autovectorized microkernel,
+//!   kept verbatim as the portable fallback ([`portable`]). This is what
+//!   every host without SIMD support runs.
+//! * [`KernelIsa::Avx2`] — explicit `_mm256_madd_epi16` over the same
+//!   widened-i16 strips: 16 MACs per instruction, eight ymm accumulators
+//!   (one per `CB` column) live across the k sweep ([`x86`]).
+//! * [`KernelIsa::Avx512`] — the zmm version (`avx512bw`): 32 MACs per
+//!   `vpmaddwd` ([`x86`]).
+//! * [`KernelIsa::Neon`] — `vmlal_s16` widening multiply-accumulate on
+//!   aarch64 ([`neon`]).
+//!
+//! Why `_mm256_madd_epi16` and not `_mm256_maddubs_epi16`: `maddubs`
+//! multiplies *unsigned* by signed bytes and **saturates** its i16 pair
+//! sums — `(255·127 + 255·127)` overflows i16 — so it cannot reproduce
+//! the exact integer semantics this workspace pins byte-for-byte.
+//! Widening i8→i16 first costs one shuffle per 16 operands and makes
+//! `madd_epi16` exact: each i16 product is ≤ 2¹⁴, a pair sum is ≤ 2¹⁵,
+//! and the per-lane i32 accumulation over `k ≤ 2¹⁶` cannot wrap. Every
+//! variant computes the same sum of the same products — integer addition
+//! is associative and commutative, so re-associating the reduction into
+//! SIMD lanes is bit-invisible. The `kernel_dispatch` integration tests
+//! and `backend_equiv` pin this across every selectable variant.
+//!
+//! ## Selection
+//!
+//! The active kernel is resolved **once** per process:
+//! `PROTEA_KERNEL=scalar|packed|avx2|avx512|neon|auto` overrides;
+//! otherwise the best ISA the CPU reports is used (AVX-512 ≻ AVX2 ≻
+//! NEON ≻ portable packed). Requesting an ISA the host lacks falls back
+//! to the portable packed kernel — deterministically, never to an
+//! illegal-instruction fault. Benchmarks and tests can re-route at
+//! runtime with [`force_kernel`]; because all variants are bit-exact,
+//! forcing changes wall-clock only.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+pub mod portable;
+
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
+
+/// Columns processed per microkernel call: the widened `CB × k` weight
+/// strip stays L1-resident across the row sweep, and `CB` accumulators
+/// fit the register file at every supported vector width (eight ymm/zmm
+/// accumulators plus two operand registers).
+pub const CB: usize = 8;
+
+/// A selectable microkernel instruction set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelIsa {
+    /// Plain scalar reduction — the semantic baseline, forced only.
+    Scalar,
+    /// The autovectorized portable kernel (the pre-dispatch default).
+    Packed,
+    /// Explicit AVX2 (`vpmaddwd` ymm), x86-64 only.
+    Avx2,
+    /// Explicit AVX-512 (`vpmaddwd` zmm, needs `avx512bw`), x86-64 only.
+    Avx512,
+    /// Explicit NEON (`vmlal_s16`), aarch64 only.
+    Neon,
+}
+
+impl KernelIsa {
+    /// All variants, in ascending preference order.
+    pub const ALL: [Self; 5] = [Self::Scalar, Self::Packed, Self::Avx2, Self::Avx512, Self::Neon];
+
+    /// Parse a `PROTEA_KERNEL` value (case-insensitive). `auto` and
+    /// unknown strings return `None` (→ auto-detect).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Self::Scalar),
+            "packed" => Some(Self::Packed),
+            "avx2" => Some(Self::Avx2),
+            "avx512" => Some(Self::Avx512),
+            "neon" => Some(Self::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can execute the variant.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        match self {
+            Self::Scalar | Self::Packed => true,
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+            }
+            #[cfg(target_arch = "aarch64")]
+            Self::Neon => true,
+            #[allow(unreachable_patterns)] // arms above are cfg-gated
+            _ => false,
+        }
+    }
+
+    /// The best variant this host supports (never `Scalar` — the scalar
+    /// kernel exists as a forced baseline, not a serving path).
+    #[must_use]
+    pub fn detect() -> Self {
+        [Self::Avx512, Self::Avx2, Self::Neon]
+            .into_iter()
+            .find(|isa| isa.is_supported())
+            .unwrap_or(Self::Packed)
+    }
+}
+
+impl std::fmt::Display for KernelIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Scalar => "scalar",
+            Self::Packed => "packed",
+            Self::Avx2 => "avx2",
+            Self::Avx512 => "avx512",
+            Self::Neon => "neon",
+        })
+    }
+}
+
+/// Every variant the current host can execute, ascending preference.
+#[must_use]
+pub fn supported_kernels() -> Vec<KernelIsa> {
+    KernelIsa::ALL.into_iter().filter(|isa| isa.is_supported()).collect()
+}
+
+/// The process-wide default, resolved once: `PROTEA_KERNEL` override
+/// (clamped to supported — an unsupported request falls back to the
+/// portable packed kernel) or auto-detection.
+fn env_kernel() -> KernelIsa {
+    static RESOLVED: OnceLock<KernelIsa> = OnceLock::new();
+    *RESOLVED.get_or_init(|| match std::env::var("PROTEA_KERNEL") {
+        Ok(v) => match KernelIsa::parse(&v) {
+            Some(isa) if isa.is_supported() => isa,
+            Some(_) => KernelIsa::Packed,
+            None => KernelIsa::detect(),
+        },
+        Err(_) => KernelIsa::detect(),
+    })
+}
+
+/// Runtime re-route for benchmarks and tests; 0 = no override.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Force every subsequent packed-GEMM call onto one kernel variant
+/// (`None` restores `PROTEA_KERNEL`/auto selection). Forcing an
+/// unsupported variant falls back to the portable packed kernel, same
+/// as the env override. All variants are bit-exact, so this changes
+/// wall-clock only — it exists so benchmarks can sweep ISAs and tests
+/// can pin every dispatch path inside one process.
+pub fn force_kernel(isa: Option<KernelIsa>) {
+    let code = match isa {
+        None => 0,
+        Some(i) if !i.is_supported() => 1 + KernelIsa::Packed as u8,
+        Some(i) => 1 + i as u8,
+    };
+    FORCED.store(code, Ordering::Release);
+}
+
+/// The kernel variant the next packed GEMM will run: the
+/// [`force_kernel`] override if set, else the `PROTEA_KERNEL`/detected
+/// process default.
+#[must_use]
+pub fn active_kernel() -> KernelIsa {
+    match FORCED.load(Ordering::Acquire) {
+        0 => env_kernel(),
+        n => KernelIsa::ALL[(n - 1) as usize],
+    }
+}
+
+/// One microkernel invocation: reduce the widened activation row
+/// against `CB` widened weight columns (`wcol16[c*k..(c+1)*k]`) into
+/// `CB` exact i32 sums. `isa` is resolved once per GEMM by the caller
+/// and passed down so the hot loop pays one predictable branch per
+/// block, not an atomic load per block.
+#[inline]
+#[must_use]
+// The dispatch site carries the `unsafe` calls into the feature-gated
+// kernels; the safety contract (CPU probed before selection) is noted
+// on each arm.
+#[allow(unsafe_code)]
+pub(crate) fn mk_block(isa: KernelIsa, arow16: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    debug_assert_eq!(arow16.len(), k);
+    debug_assert_eq!(wcol16.len(), CB * k);
+    match isa {
+        KernelIsa::Scalar => portable::mk_scalar(arow16, wcol16, k),
+        KernelIsa::Packed => portable::mk_packed(arow16, wcol16, k),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY of the feature gate: `isa` only reaches these arms via
+        // `env_kernel`/`force_kernel`, both of which clamp to
+        // `is_supported()` — the CPU has been probed.
+        KernelIsa::Avx2 => unsafe { x86::mk_avx2(arow16, wcol16, k) },
+        #[cfg(target_arch = "x86_64")]
+        KernelIsa::Avx512 => unsafe { x86::mk_avx512(arow16, wcol16, k) },
+        #[cfg(target_arch = "aarch64")]
+        KernelIsa::Neon => unsafe { neon::mk_neon(arow16, wcol16, k) },
+        #[allow(unreachable_patterns)] // arms above are cfg-gated
+        _ => portable::mk_packed(arow16, wcol16, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn operands(k: usize) -> (Vec<i16>, Vec<i16>) {
+        let a: Vec<i16> = (0..k).map(|i| ((i * 47 + 3) % 255) as i16 - 127).collect();
+        let w: Vec<i16> = (0..CB * k).map(|i| ((i * 29 + 11) % 255) as i16 - 127).collect();
+        (a, w)
+    }
+
+    #[test]
+    fn every_supported_isa_matches_scalar() {
+        // Straddle the 16- and 32-wide chunk boundaries and the empty
+        // reduction.
+        for k in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 96, 257] {
+            let (a, w) = operands(k);
+            let want = portable::mk_scalar(&a, &w, k);
+            for isa in supported_kernels() {
+                assert_eq!(mk_block(isa, &a, &w, k), want, "isa={isa} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_operands_are_exact_on_every_isa() {
+        // Worst case: every product is (-128)·(-128) at transformer
+        // depth — the magnitude bound the no-overflow argument uses.
+        let k = 3072;
+        let a = vec![-128i16; k];
+        let w = vec![-128i16; CB * k];
+        for isa in supported_kernels() {
+            assert_eq!(mk_block(isa, &a, &w, k), [k as i32 * 128 * 128; CB], "isa={isa}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_unknown() {
+        for isa in KernelIsa::ALL {
+            assert_eq!(KernelIsa::parse(&isa.to_string()), Some(isa));
+            assert_eq!(KernelIsa::parse(&isa.to_string().to_uppercase()), Some(isa));
+        }
+        assert_eq!(KernelIsa::parse("auto"), None);
+        assert_eq!(KernelIsa::parse("sse9"), None);
+    }
+
+    #[test]
+    fn portable_kernels_are_always_supported() {
+        assert!(KernelIsa::Scalar.is_supported());
+        assert!(KernelIsa::Packed.is_supported());
+        assert!(supported_kernels().contains(&KernelIsa::Packed));
+    }
+
+    #[test]
+    fn detect_never_picks_scalar() {
+        assert_ne!(KernelIsa::detect(), KernelIsa::Scalar);
+        assert!(KernelIsa::detect().is_supported());
+    }
+
+    #[test]
+    fn forcing_unsupported_falls_back_to_packed() {
+        // NEON is never supported on x86 and vice versa, so one of the
+        // two SIMD families is a guaranteed-unsupported probe.
+        let unsupported =
+            [KernelIsa::Neon, KernelIsa::Avx2].into_iter().find(|isa| !isa.is_supported());
+        if let Some(isa) = unsupported {
+            force_kernel(Some(isa));
+            assert_eq!(active_kernel(), KernelIsa::Packed);
+            force_kernel(None);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Explicit aarch64 NEON microkernel: `vmlal_s16` widening
+//! multiply-accumulate over the widened-i16 strips.
+//!
+//! Exactness follows the same argument as the x86 module: widened-i8
+//! products are ≤ 2¹⁴, each int32x4 lane accumulates at most `⌈k/4⌉`
+//! of them, so partials stay far below `i32::MAX` and the horizontal
+//! `vaddvq_s32` reduction is an exact re-association of the scalar sum.
+//!
+//! NEON is baseline on aarch64, so this variant needs no runtime
+//! probe; the dispatch layer still routes through [`super::KernelIsa`]
+//! so `PROTEA_KERNEL` can force the portable kernels for comparison.
+#![allow(unsafe_code)]
+
+use super::CB;
+
+use core::arch::aarch64::{
+    vaddvq_s32, vdupq_n_s32, vget_high_s16, vget_low_s16, vld1q_s16, vmlal_s16,
+};
+
+/// NEON microkernel: one activation row against `CB` weight columns,
+/// eight int32x4 accumulators live across the `k` sweep.
+///
+/// # Safety
+/// NEON is mandatory on aarch64; the only obligations are the in-bounds
+/// loads, discharged by the slice-length asserts.
+#[target_feature(enable = "neon")]
+#[must_use]
+pub unsafe fn mk_neon(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    assert_eq!(arow.len(), k);
+    assert_eq!(wcol16.len(), CB * k);
+    let kc = k / 8 * 8;
+    let mut acc = [vdupq_n_s32(0); CB];
+    let ap = arow.as_ptr();
+    let wp = wcol16.as_ptr();
+    for k0 in (0..kc).step_by(8) {
+        // SAFETY: k0 + 8 <= kc <= k = arow.len(); per column c the
+        // strip c*k + k0 + 8 <= (c+1)*k <= wcol16.len().
+        let xa = vld1q_s16(ap.add(k0));
+        for (c, a) in acc.iter_mut().enumerate() {
+            let wv = vld1q_s16(wp.add(c * k + k0));
+            *a = vmlal_s16(*a, vget_low_s16(xa), vget_low_s16(wv));
+            *a = vmlal_s16(*a, vget_high_s16(xa), vget_high_s16(wv));
+        }
+    }
+    let mut sums = [0i32; CB];
+    for (c, s) in sums.iter_mut().enumerate() {
+        *s = vaddvq_s32(acc[c]);
+    }
+    for kk in kc..k {
+        let x = i32::from(arow[kk]);
+        for (c, s) in sums.iter_mut().enumerate() {
+            *s += x * i32::from(wcol16[c * k + kk]);
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::portable::mk_scalar;
+
+    #[test]
+    fn neon_matches_scalar() {
+        for k in [0usize, 3, 8, 15, 16, 49] {
+            let a: Vec<i16> = (0..k).map(|i| ((i * 91 + 17) % 255) as i16 - 127).collect();
+            let w: Vec<i16> = (0..CB * k).map(|i| ((i * 53 + 5) % 255) as i16 - 127).collect();
+            assert_eq!(unsafe { mk_neon(&a, &w, k) }, mk_scalar(&a, &w, k), "k={k}");
+        }
+    }
+}

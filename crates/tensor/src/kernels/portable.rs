@@ -1,0 +1,102 @@
+//! Portable microkernels: the scalar baseline and the autovectorized
+//! packed kernel (the pre-dispatch implementation, kept verbatim as the
+//! fallback every host without explicit SIMD support runs).
+
+use super::CB;
+
+/// Scalar baseline: one plain widened dot loop per column. Never
+/// auto-selected — it exists so `PROTEA_KERNEL=scalar` gives tests and
+/// benchmarks a vectorization-free control with identical bytes.
+#[inline]
+#[must_use]
+pub fn mk_scalar(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    let mut sums = [0i32; CB];
+    for (c, s) in sums.iter_mut().enumerate() {
+        let col = &wcol16[c * k..(c + 1) * k];
+        let mut acc = 0i32;
+        for (&x, &w) in arow.iter().zip(col) {
+            acc += i32::from(x) * i32::from(w);
+        }
+        *s = acc;
+    }
+    sums
+}
+
+/// The portable packed microkernel: the loop shape LLVM autovectorizes
+/// best for the *build* target is chosen at compile time (the two
+/// shapes compute identical sums). This is exactly the pre-dispatch
+/// kernel, unchanged.
+#[inline]
+#[must_use]
+pub fn mk_packed(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    if cfg!(target_feature = "avx2") {
+        mk_separate(arow, wcol16, k)
+    } else {
+        mk_interleaved(arow, wcol16, k)
+    }
+}
+
+/// Microkernel, interleaved shape: `k` swept in fixed 16-element chunks,
+/// each chunk reduced into all `CB` column sums before moving on. The
+/// fixed inner trip count plus the widened operands let LLVM prove
+/// no-overflow and emit dense `pmaddwd` chains; at baseline SSE2 this is
+/// the fastest autovectorized shape measured (the chunked form beats the
+/// plain one-element sweep by ~20%).
+#[inline]
+#[must_use]
+pub fn mk_interleaved(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    let mut sums = [0i32; CB];
+    let kc = k / 16 * 16;
+    for k0 in (0..kc).step_by(16) {
+        let xa = &arow[k0..k0 + 16];
+        for (c, s) in sums.iter_mut().enumerate() {
+            let wv = &wcol16[c * k + k0..c * k + k0 + 16];
+            let mut acc = 0i32;
+            for t in 0..16 {
+                acc += i32::from(xa[t]) * i32::from(wv[t]);
+            }
+            *s += acc;
+        }
+    }
+    for kk in kc..k {
+        let x = i32::from(arow[kk]);
+        for (c, s) in sums.iter_mut().enumerate() {
+            *s += x * i32::from(wcol16[c * k + kk]);
+        }
+    }
+    sums
+}
+
+/// Microkernel, separate shape: `CB` independent dot-product loops. With
+/// AVX2 enabled at compile time this autovectorized variant wins (wider
+/// horizontal reductions amortize better per column).
+#[inline]
+#[must_use]
+pub fn mk_separate(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    let mut sums = [0i32; CB];
+    for (c, s) in sums.iter_mut().enumerate() {
+        let col = &wcol16[c * k..(c + 1) * k];
+        let mut acc = 0i32;
+        for kk in 0..k {
+            acc += i32::from(arow[kk]) * i32::from(col[kk]);
+        }
+        *s = acc;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_portable_shapes_agree() {
+        let k = 37;
+        let a: Vec<i16> = (0..k).map(|i| (i as i16 * 7) % 251 - 125).collect();
+        let w: Vec<i16> = (0..CB * k).map(|i| (i as i16 * 13) % 251 - 125).collect();
+        let want = mk_scalar(&a, &w, k);
+        assert_eq!(mk_interleaved(&a, &w, k), want);
+        assert_eq!(mk_separate(&a, &w, k), want);
+        assert_eq!(mk_packed(&a, &w, k), want);
+    }
+}

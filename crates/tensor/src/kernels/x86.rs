@@ -1,0 +1,139 @@
+//! Explicit x86-64 microkernels: AVX2 (ymm) and AVX-512 (zmm)
+//! `vpmaddwd` over the widened-i16 strips.
+//!
+//! Exactness argument (why re-association to SIMD lanes is bit-safe):
+//! every i16 operand is a widened i8, so each product is bounded by
+//! `2¹⁴` and a `madd` pair sum by `2¹⁵`. One vector lane accumulates at
+//! most `⌈k/lanes⌉` pair sums, so its i32 partial stays below `k·2¹⁵ ≪
+//! i32::MAX` for every `k` in this design (`≤ 4·d_model`). All partial
+//! sums are therefore exact, and integer addition is associative and
+//! commutative — the horizontal reduction at the end produces the same
+//! i32 as the scalar left-to-right loop, byte for byte.
+//!
+//! `unsafe` is confined to this module (and its aarch64 sibling): the
+//! crate otherwise keeps `deny(unsafe_code)`. The only obligations are
+//! (a) the CPU supports the feature — guaranteed by the dispatch layer,
+//! which probes `is_x86_feature_detected!` before ever selecting these
+//! variants — and (b) in-bounds pointers, discharged by the explicit
+//! slice bounds asserted below.
+#![allow(unsafe_code)]
+
+use super::CB;
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::{
+    __m128i, __m256i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_extracti128_si256,
+    _mm256_loadu_si256, _mm256_madd_epi16, _mm256_setzero_si256, _mm512_add_epi32,
+    _mm512_loadu_si512, _mm512_madd_epi16, _mm512_reduce_add_epi32, _mm512_setzero_si512,
+    _mm_add_epi32, _mm_cvtsi128_si32, _mm_shuffle_epi32,
+};
+
+/// Exact horizontal sum of the eight i32 lanes of a ymm accumulator.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi32(v: __m256i) -> i32 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256(v, 1);
+    let s: __m128i = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+    _mm_cvtsi128_si32(s)
+}
+
+/// AVX2 microkernel: one activation row against `CB` weight columns.
+/// Eight ymm accumulators (one per column) live across the whole `k`
+/// sweep; each 16-wide chunk costs one activation load shared by all
+/// eight columns plus one load + one `vpmaddwd` + one `vpaddd` per
+/// column.
+///
+/// # Safety
+/// The caller must have verified `is_x86_feature_detected!("avx2")`.
+#[target_feature(enable = "avx2")]
+#[must_use]
+pub unsafe fn mk_avx2(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    assert_eq!(arow.len(), k);
+    assert_eq!(wcol16.len(), CB * k);
+    let kc = k / 16 * 16;
+    let mut acc = [_mm256_setzero_si256(); CB];
+    let ap = arow.as_ptr();
+    let wp = wcol16.as_ptr();
+    for k0 in (0..kc).step_by(16) {
+        // SAFETY: k0 + 16 <= kc <= k = arow.len(), and for each column
+        // c the strip c*k + k0 + 16 <= (c+1)*k <= wcol16.len().
+        let xa = _mm256_loadu_si256(ap.add(k0).cast());
+        for (c, a) in acc.iter_mut().enumerate() {
+            let wv = _mm256_loadu_si256(wp.add(c * k + k0).cast());
+            *a = _mm256_add_epi32(*a, _mm256_madd_epi16(xa, wv));
+        }
+    }
+    let mut sums = [0i32; CB];
+    for (c, s) in sums.iter_mut().enumerate() {
+        *s = hsum_epi32(acc[c]);
+    }
+    // Ragged k tail (< 16): scalar, same values.
+    for kk in kc..k {
+        let x = i32::from(arow[kk]);
+        for (c, s) in sums.iter_mut().enumerate() {
+            *s += x * i32::from(wcol16[c * k + kk]);
+        }
+    }
+    sums
+}
+
+/// AVX-512 microkernel: identical structure at zmm width — 32 MACs per
+/// `vpmaddwd`, `_mm512_reduce_add_epi32` for the exact horizontal sum.
+///
+/// # Safety
+/// The caller must have verified `avx512f` and `avx512bw` detection.
+#[target_feature(enable = "avx512f,avx512bw")]
+#[must_use]
+pub unsafe fn mk_avx512(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
+    assert_eq!(arow.len(), k);
+    assert_eq!(wcol16.len(), CB * k);
+    let kc = k / 32 * 32;
+    let mut acc = [_mm512_setzero_si512(); CB];
+    let ap = arow.as_ptr();
+    let wp = wcol16.as_ptr();
+    for k0 in (0..kc).step_by(32) {
+        // SAFETY: bounds as in `mk_avx2`, at 32-element granularity.
+        let xa = _mm512_loadu_si512(ap.add(k0).cast());
+        for (c, a) in acc.iter_mut().enumerate() {
+            let wv = _mm512_loadu_si512(wp.add(c * k + k0).cast());
+            *a = _mm512_add_epi32(*a, _mm512_madd_epi16(xa, wv));
+        }
+    }
+    let mut sums = [0i32; CB];
+    for (c, s) in sums.iter_mut().enumerate() {
+        *s = _mm512_reduce_add_epi32(acc[c]);
+    }
+    for kk in kc..k {
+        let x = i32::from(arow[kk]);
+        for (c, s) in sums.iter_mut().enumerate() {
+            *s += x * i32::from(wcol16[c * k + kk]);
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::portable::mk_scalar;
+
+    #[test]
+    fn avx_variants_match_scalar_when_supported() {
+        for k in [0usize, 5, 16, 31, 32, 49, 160] {
+            let a: Vec<i16> = (0..k).map(|i| ((i * 91 + 17) % 255) as i16 - 127).collect();
+            let w: Vec<i16> = (0..CB * k).map(|i| ((i * 53 + 5) % 255) as i16 - 127).collect();
+            let want = mk_scalar(&a, &w, k);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                assert_eq!(unsafe { mk_avx2(&a, &w, k) }, want, "avx2 k={k}");
+            }
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+            {
+                assert_eq!(unsafe { mk_avx512(&a, &w, k) }, want, "avx512 k={k}");
+            }
+        }
+    }
+}

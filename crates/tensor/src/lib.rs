@@ -13,9 +13,13 @@
 //!   rayon-parallel floating point, plus the exact i8→i32 quantized kernel
 //!   the hardware implements.
 //! * [`pack`] — the throughput path: weights transposed once into
-//!   column-major strips ([`PackedWeights`]) and a widened-i16,
-//!   row-parallel i8→i32 GEMM microkernel that vectorizes into packed
-//!   multiply-add and is bit-identical to [`matmul_i8_i32`].
+//!   column-major strips ([`PackedWeights`]), a widened-i16 i8→i32 GEMM
+//!   with column-panel parallelism inside the product, and fused
+//!   requant/activation epilogues — all bit-identical to
+//!   [`matmul_i8_i32`].
+//! * [`kernels`] — the explicit SIMD microkernels (AVX2, AVX-512, NEON)
+//!   behind runtime CPU-feature dispatch, the portable autovectorized
+//!   kernel as fallback, overridable with `PROTEA_KERNEL`.
 //! * [`ops`] — elementwise and broadcast helpers (bias add, residual add,
 //!   transpose, max-abs reduction).
 //! * [`abft`] — algorithm-based fault tolerance: exact i64 row/column
@@ -23,10 +27,14 @@
 //!   packed kernel's output, the cheap detection layer for silent data
 //!   corruption in the datapath.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the `kernels::{x86,neon}` modules holding the `std::arch` intrinsic
+// calls (each with its feature-detection safety contract documented).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abft;
+pub mod kernels;
 pub mod matmul;
 pub mod matrix;
 pub mod ops;
@@ -34,10 +42,15 @@ pub mod pack;
 pub mod tile;
 
 pub use abft::{matmul_i8_i32_packed_verified, AbftChecksums, AbftMismatch};
+pub use kernels::{active_kernel, force_kernel, supported_kernels, KernelIsa};
 pub use matmul::{
     matmul_blocked, matmul_i8_i32, matmul_i8_i32_parallel, matmul_naive, matmul_parallel,
 };
 pub use matrix::Matrix;
 pub use ops::{add_bias_row, max_abs, residual_add, transpose};
-pub use pack::{matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, PackedWeights};
+pub use pack::{
+    matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, matmul_i8_packed_epilogue,
+    matmul_i8_packed_epilogue_checked, matmul_i8_packed_epilogue_parallel,
+    matmul_i8_requant_packed, matmul_i8_requant_packed_parallel, PackedWeights,
+};
 pub use tile::{Tile, TileGrid};

@@ -1,11 +1,11 @@
-//! Packed weights and the widened-i16 i8→i32 GEMM microkernel.
+//! Packed weights and the dispatched i8→i32 GEMM with fused epilogues.
 //!
 //! The naive kernels in [`crate::matmul`] walk the weight matrix row by
 //! row for every output row, so at transformer shapes (`k, n` in the
 //! hundreds to thousands) each weight element is re-fetched from cache
 //! `m` times with no layout control, and the i8 operands never reach a
-//! form the compiler can vectorize into multiply-accumulate
-//! instructions. This module is the throughput path:
+//! form a multiply-accumulate unit can stream. This module is the
+//! throughput path:
 //!
 //! * [`PackedWeights`] — the weight matrix transposed once into
 //!   column-major storage: column `j` of the logical `k×n` matrix is one
@@ -13,35 +13,44 @@
 //!   inner loop streams, and for attention's `Q·Kᵀ` it means packing
 //!   `Kᵀ` is a straight copy of `K`'s row-major bytes
 //!   ([`PackedWeights::from_transpose`]).
-//! * [`matmul_i8_i32_packed`] — widens the activation matrix to i16
-//!   once, widens weight columns block by block, and reduces each output
-//!   element with a plain `i32 += i16 as i32 * i16 as i32` dot loop.
-//!   Because both operands are *visibly* widened from i8 in the same
-//!   function, the compiler can prove the products fit 16×16→32 and
-//!   vectorizes the reduction into packed multiply-add (`pmaddwd` on
-//!   x86: 8 MACs per instruction at SSE2, 16 at AVX2) — the host-side
-//!   analogue of the DSP48 packing trick the paper uses to double MAC
-//!   density per slice.
-//! * [`matmul_i8_i32_packed_parallel`] — the same kernel fanned out over
-//!   disjoint row bands of `C` via `rayon::scope`.
+//! * [`matmul_i8_i32_packed`] — widens the activations to i16 once,
+//!   widens weight columns block by block, and reduces each output
+//!   element through the microkernel selected by the runtime dispatch
+//!   layer ([`crate::kernels`]): explicit AVX2/AVX-512/NEON where the
+//!   host supports it, the original autovectorized kernel as the
+//!   portable fallback, overridable via `PROTEA_KERNEL`.
+//! * [`matmul_i8_i32_packed_parallel`] — the same GEMM with parallelism
+//!   *inside* the product: the column space is split into panels, each
+//!   worker reduces its panel into a private accumulator slab (so
+//!   weight-strip widening is never duplicated across threads — the
+//!   defect of the old row-band split), and the slabs are stitched into
+//!   the row-major output afterwards.
+//! * [`matmul_i8_packed_epilogue`] and friends — the fused epilogue:
+//!   requantization (bias add, shift, saturate — any per-element
+//!   `(col, acc) → i8` map) applied in the store loop, so the i32
+//!   accumulator matrix is never materialized and the separate
+//!   `O(m·n)` requant pass disappears.
+//! * [`matmul_i8_packed_epilogue_checked`] — the ABFT hook: the same
+//!   fused kernel accumulating exact i64 row/column checksums of the
+//!   pre-epilogue i32 sums, verified against predictions from the
+//!   inputs ([`crate::abft`]) — fusion does not weaken the
+//!   silent-data-corruption defense.
 //!
 //! Bit-exactness: each `C[i][j]` is a sum of `A[i][p]·W[p][j]` products
-//! accumulated in i32. Widening to i16 is value-preserving for i8, the
-//! per-element reduction order here is plain increasing `p` (the same
-//! order as the naive kernel), and integer partial sums cannot overflow
-//! (`|sum| ≤ k·2¹⁴` stays far below `i32::MAX` for any realistic `k`) —
-//! so the kernel produces the same bytes as
+//! accumulated exactly in i32 (widening to i16 is value-preserving for
+//! i8, and `|sum| ≤ k·2¹⁴` cannot wrap for any realistic `k`). Integer
+//! addition is associative and commutative, so every dispatchable
+//! microkernel and every panel split produces the same bytes as
 //! [`crate::matmul::matmul_i8_i32`] by construction, not merely within
-//! tolerance. The property tests in `tests/props.rs` pin this across
-//! random shapes.
+//! tolerance — each output element's reduction runs whole within one
+//! thread and one kernel. The property tests in `tests/props.rs` and
+//! `tests/kernel_dispatch.rs` pin this across random shapes, ISAs and
+//! thread counts.
 
+use crate::abft::{AbftChecksums, AbftMismatch};
+use crate::kernels::{self, KernelIsa, CB};
 use crate::matrix::Matrix;
-use protea_fixed::dot_i8;
-
-/// Columns processed per block: the widened `CB × k` weight strip stays
-/// L1-resident across the row sweep, and `CB` accumulators fit the
-/// register file at both SSE2 and AVX2 widths.
-const CB: usize = 8;
+use protea_fixed::Requantizer;
 
 /// A weight matrix packed once (transposed to column-major) for
 /// repeated GEMMs.
@@ -116,8 +125,152 @@ impl PackedWeights {
     }
 }
 
+/// Widen an i8 strip to i16 (value-preserving).
+fn widen(src: &[i8], dst: &mut [i16]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = i16::from(s);
+    }
+}
+
+/// Widen all `m` activation rows once; shared read-only by every panel
+/// worker so the widening pass is never duplicated.
+fn widen_activations(a: &Matrix<i8>) -> Vec<i16> {
+    let (m, k) = a.shape();
+    let mut a16 = vec![0i16; m * k];
+    for r in 0..m {
+        widen(a.row(r), &mut a16[r * k..(r + 1) * k]);
+    }
+    a16
+}
+
+/// Where one strip's results go: each implementor owns a disjoint
+/// output region, so strips parallelize without synchronization. `put`
+/// receives the *global* column index and the exact i32 accumulator.
+trait StripSink {
+    fn put(&mut self, di: usize, j: usize, sum: i32);
+}
+
+/// Raw accumulator store (the unfused `Matrix<i32>` product).
+struct I32Sink<'a> {
+    out: &'a mut [i32],
+    stride: usize,
+    j_base: usize,
+}
+
+impl StripSink for I32Sink<'_> {
+    #[inline]
+    fn put(&mut self, di: usize, j: usize, sum: i32) {
+        self.out[di * self.stride + (j - self.j_base)] = sum;
+    }
+}
+
+/// Fused-epilogue store: the per-element map runs in the store loop and
+/// only the narrowed i8 ever reaches memory.
+struct MapSink<'a, F> {
+    out: &'a mut [i8],
+    stride: usize,
+    j_base: usize,
+    f: &'a F,
+}
+
+impl<F: Fn(usize, i32) -> i8> StripSink for MapSink<'_, F> {
+    #[inline]
+    fn put(&mut self, di: usize, j: usize, sum: i32) {
+        self.out[di * self.stride + (j - self.j_base)] = (self.f)(j, sum);
+    }
+}
+
+/// Fused-epilogue store that additionally folds every pre-epilogue sum
+/// into exact i64 row/column checksums — the ABFT observation, obtained
+/// for free in the store loop instead of a second pass over a
+/// materialized i32 matrix.
+struct CheckedMapSink<'a, F> {
+    inner: MapSink<'a, F>,
+    row: &'a mut [i64],
+    col: &'a mut [i64],
+}
+
+impl<F: Fn(usize, i32) -> i8> StripSink for CheckedMapSink<'_, F> {
+    #[inline]
+    fn put(&mut self, di: usize, j: usize, sum: i32) {
+        self.row[di] += i64::from(sum);
+        self.col[j - self.inner.j_base] += i64::from(sum);
+        self.inner.put(di, j, sum);
+    }
+}
+
+/// Reduce the weight columns in `cols` for all `rows` activation rows
+/// through the selected microkernel. Weight columns are widened once
+/// per `CB`-block and reused across the whole row sweep; the ragged
+/// tail (`cols.len() % CB` columns) runs a scalar widened dot with
+/// identical values.
+fn gemm_strip<S: StripSink>(
+    a16: &[i16],
+    rows: usize,
+    k: usize,
+    w: &PackedWeights,
+    cols: std::ops::Range<usize>,
+    isa: KernelIsa,
+    sink: &mut S,
+) {
+    let (j0, jw) = (cols.start, cols.len());
+    let mut wcol16 = vec![0i16; CB * k];
+    let mut j = j0;
+    while j + CB <= j0 + jw {
+        for c in 0..CB {
+            widen(w.col(j + c), &mut wcol16[c * k..(c + 1) * k]);
+        }
+        for di in 0..rows {
+            let sums = kernels::mk_block(isa, &a16[di * k..(di + 1) * k], &wcol16, k);
+            for (c, &s) in sums.iter().enumerate() {
+                sink.put(di, j + c, s);
+            }
+        }
+        j += CB;
+    }
+    for jt in j..j0 + jw {
+        let col = w.col(jt);
+        for di in 0..rows {
+            let arow = &a16[di * k..(di + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &wv) in arow.iter().zip(col) {
+                acc += i32::from(x) * i32::from(wv);
+            }
+            sink.put(di, jt, acc);
+        }
+    }
+}
+
+/// Below this many MACs a scoped-thread fan-out costs more than it
+/// saves; the parallel entry points fall back to the serial kernel.
+const MIN_PAR_MACS: usize = 1 << 20;
+
+/// The column panels a parallel GEMM is split into: one `(j0, width)`
+/// per worker, widths `CB`-aligned except possibly the last so panel
+/// interiors stay on the block microkernel. Returns `None` when the
+/// product is too small (or too narrow) to pay for threads.
+fn column_panels(m: usize, k: usize, n: usize) -> Option<Vec<(usize, usize)>> {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || n < 2 * CB || m.saturating_mul(k).saturating_mul(n) < MIN_PAR_MACS {
+        return None;
+    }
+    let width = n.div_ceil(threads).next_multiple_of(CB);
+    let mut panels = Vec::with_capacity(n.div_ceil(width));
+    let mut j0 = 0;
+    while j0 < n {
+        let w = width.min(n - j0);
+        panels.push((j0, w));
+        j0 += w;
+    }
+    if panels.len() < 2 {
+        return None;
+    }
+    Some(panels)
+}
+
 /// Packed GEMM: `C = A × W` with `A: m×k` i8 and `W` packed from `k×n`.
-/// Bit-identical to [`crate::matmul::matmul_i8_i32`].
+/// Bit-identical to [`crate::matmul::matmul_i8_i32`] on every dispatch
+/// path.
 ///
 /// # Panics
 /// Panics if `A.cols() != W.rows()`.
@@ -126,16 +279,21 @@ pub fn matmul_i8_i32_packed(a: &Matrix<i8>, w: &PackedWeights) -> Matrix<i32> {
     let (m, k) = a.shape();
     let n = w.cols();
     assert_eq!(k, w.rows(), "inner dimensions must agree: {m}x{k} · {}x{n}", w.rows());
+    let isa = kernels::active_kernel();
+    let a16 = widen_activations(a);
     let mut out = vec![0i32; m * n];
-    gemm_band(a, w, 0, m, &mut out);
+    gemm_strip(&a16, m, k, w, 0..n, isa, &mut I32Sink { out: &mut out, stride: n, j_base: 0 });
     Matrix::from_vec(m, n, out)
 }
 
-/// Row-parallel packed GEMM: identical bytes to
+/// Panel-parallel packed GEMM: identical bytes to
 /// [`matmul_i8_i32_packed`] (each output element's reduction runs whole
-/// within one thread), parallel across disjoint row bands of `C`.
-/// Falls back to the serial kernel when the product is too small to pay
-/// for threads.
+/// within one thread), parallel across column panels *inside* the
+/// product. Each worker reduces into a private slab, so no weight strip
+/// is widened twice and no two threads share a cache line; the slabs
+/// are stitched into the row-major output in one `O(m·n)` copy. Falls
+/// back to the serial kernel when the product is too small to pay for
+/// threads.
 ///
 /// # Panics
 /// Panics if `A.cols() != W.rows()`.
@@ -144,124 +302,213 @@ pub fn matmul_i8_i32_packed_parallel(a: &Matrix<i8>, w: &PackedWeights) -> Matri
     let (m, k) = a.shape();
     let n = w.cols();
     assert_eq!(k, w.rows(), "inner dimensions must agree: {m}x{k} · {}x{n}", w.rows());
-    let threads = rayon::current_num_threads();
-    // ~1 MMAC amortizes a scoped-thread fan-out comfortably.
-    const MIN_PAR_MACS: usize = 1 << 20;
-    if threads <= 1 || m < 2 || n == 0 || m.saturating_mul(k).saturating_mul(n) < MIN_PAR_MACS {
+    let Some(panels) = column_panels(m, k, n) else {
         return matmul_i8_i32_packed(a, w);
-    }
-    let mut out = vec![0i32; m * n];
-    let band_rows = m.div_ceil(threads);
+    };
+    let isa = kernels::active_kernel();
+    let a16 = widen_activations(a);
+    let mut slabs: Vec<(usize, usize, Vec<i32>)> =
+        panels.into_iter().map(|(j0, pw)| (j0, pw, vec![0i32; m * pw])).collect();
+    let a16 = &a16;
     rayon::scope(|s| {
-        for (band, slab) in out.chunks_mut(band_rows * n).enumerate() {
-            let r0 = band * band_rows;
-            let rows = slab.len() / n;
-            s.spawn(move |_| gemm_band(a, w, r0, rows, slab));
+        for (j0, pw, slab) in &mut slabs {
+            let (j0, pw) = (*j0, *pw);
+            s.spawn(move |_| {
+                gemm_strip(
+                    a16,
+                    m,
+                    k,
+                    w,
+                    j0..j0 + pw,
+                    isa,
+                    &mut I32Sink { out: slab, stride: pw, j_base: j0 },
+                );
+            });
         }
     });
+    let mut out = vec![0i32; m * n];
+    for (j0, pw, slab) in &slabs {
+        for di in 0..m {
+            out[di * n + j0..di * n + j0 + pw].copy_from_slice(&slab[di * pw..(di + 1) * pw]);
+        }
+    }
     Matrix::from_vec(m, n, out)
 }
 
-/// Widen an i8 strip to i16 (value-preserving).
-fn widen(src: &[i8], dst: &mut [i16]) {
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = i16::from(s);
-    }
-}
-
-/// Compute output rows `r0 .. r0+rows` of `C = A × W` into `out` (a flat
-/// `rows × n` slab). Both the serial and the parallel kernels call this
-/// on disjoint slabs, so they cannot drift.
+/// Packed GEMM with a fused epilogue: `C[i][j] = f(j, Σₚ A[i][p]·W[p][j])`,
+/// the per-element map applied in the store loop so the i32 accumulator
+/// matrix is never materialized. Byte-identical to computing
+/// [`matmul_i8_i32_packed`] and mapping afterwards — `f` sees the exact
+/// same accumulator values in both formulations.
 ///
-/// Shape: widen the band's activations to i16 once, then per `CB`-column
-/// block widen the weight columns and reduce. The two microkernel loop
-/// shapes below compute identical sums; which one the compiler turns
-/// into the densest multiply-add code differs by target ISA, so the
-/// choice is made per *build* (compile-time feature check — see
-/// [`mk_interleaved`] / [`mk_separate`]).
-fn gemm_band(a: &Matrix<i8>, w: &PackedWeights, r0: usize, rows: usize, out: &mut [i32]) {
+/// # Panics
+/// Panics if `A.cols() != W.rows()`.
+#[must_use]
+pub fn matmul_i8_packed_epilogue<F: Fn(usize, i32) -> i8>(
+    a: &Matrix<i8>,
+    w: &PackedWeights,
+    f: F,
+) -> Matrix<i8> {
+    let (m, k) = a.shape();
     let n = w.cols();
-    let k = w.rows();
-    if n == 0 || rows == 0 {
-        return;
-    }
-    let mut a16 = vec![0i16; rows * k];
-    for di in 0..rows {
-        widen(a.row(r0 + di), &mut a16[di * k..(di + 1) * k]);
-    }
-    let mut wcol16 = vec![0i16; CB * k];
-    let nb = n / CB * CB;
-    let mut j0 = 0usize;
-    while j0 < nb {
-        for c in 0..CB {
-            widen(w.col(j0 + c), &mut wcol16[c * k..(c + 1) * k]);
+    assert_eq!(k, w.rows(), "inner dimensions must agree: {m}x{k} · {}x{n}", w.rows());
+    let isa = kernels::active_kernel();
+    let a16 = widen_activations(a);
+    let mut out = vec![0i8; m * n];
+    gemm_strip(
+        &a16,
+        m,
+        k,
+        w,
+        0..n,
+        isa,
+        &mut MapSink { out: &mut out, stride: n, j_base: 0, f: &f },
+    );
+    Matrix::from_vec(m, n, out)
+}
+
+/// Panel-parallel form of [`matmul_i8_packed_epilogue`]: identical
+/// bytes, the epilogue runs inside each worker's store loop.
+///
+/// # Panics
+/// Panics if `A.cols() != W.rows()`.
+#[must_use]
+pub fn matmul_i8_packed_epilogue_parallel<F: Fn(usize, i32) -> i8 + Sync>(
+    a: &Matrix<i8>,
+    w: &PackedWeights,
+    f: F,
+) -> Matrix<i8> {
+    let (m, k) = a.shape();
+    let n = w.cols();
+    assert_eq!(k, w.rows(), "inner dimensions must agree: {m}x{k} · {}x{n}", w.rows());
+    let Some(panels) = column_panels(m, k, n) else {
+        return matmul_i8_packed_epilogue(a, w, f);
+    };
+    let isa = kernels::active_kernel();
+    let a16 = widen_activations(a);
+    let mut slabs: Vec<(usize, usize, Vec<i8>)> =
+        panels.into_iter().map(|(j0, pw)| (j0, pw, vec![0i8; m * pw])).collect();
+    let (a16, f) = (&a16, &f);
+    rayon::scope(|s| {
+        for (j0, pw, slab) in &mut slabs {
+            let (j0, pw) = (*j0, *pw);
+            s.spawn(move |_| {
+                gemm_strip(
+                    a16,
+                    m,
+                    k,
+                    w,
+                    j0..j0 + pw,
+                    isa,
+                    &mut MapSink { out: slab, stride: pw, j_base: j0, f },
+                );
+            });
         }
-        for di in 0..rows {
-            let arow = &a16[di * k..(di + 1) * k];
-            let sums = if cfg!(target_feature = "avx2") {
-                mk_separate(arow, &wcol16, k)
-            } else {
-                mk_interleaved(arow, &wcol16, k)
-            };
-            out[di * n + j0..di * n + j0 + CB].copy_from_slice(&sums);
+    });
+    let mut out = vec![0i8; m * n];
+    for (j0, pw, slab) in &slabs {
+        for di in 0..m {
+            out[di * n + j0..di * n + j0 + pw].copy_from_slice(&slab[di * pw..(di + 1) * pw]);
         }
-        j0 += CB;
     }
-    // Ragged trailing columns (< CB): scalar dot via the workspace's one
-    // canonical i8 MAC reduction.
-    for j in nb..n {
-        let col = w.col(j);
-        for di in 0..rows {
-            out[di * n + j] = dot_i8(a.row(r0 + di), col);
-        }
+    Matrix::from_vec(m, n, out)
+}
+
+/// ABFT-checked fused GEMM: the epilogue hook. Computes
+/// `C[i][j] = f(j, acc)` exactly as [`matmul_i8_packed_epilogue`] while
+/// folding every pre-epilogue i32 sum into exact i64 row/column
+/// checksums, then verifies them against predictions computed from the
+/// inputs alone ([`AbftChecksums::predicted`]). Fusing the requant
+/// epilogue therefore costs none of the silent-data-corruption
+/// coverage: the checksums observe the accumulators *before* the
+/// narrowing map, the same quantity the unfused
+/// [`crate::abft::matmul_i8_i32_packed_verified`] checks.
+///
+/// # Errors
+/// An [`AbftMismatch`] if any checksum disagrees (on a fault-free host
+/// this cannot happen).
+///
+/// # Panics
+/// Panics if `A.cols() != W.rows()`.
+pub fn matmul_i8_packed_epilogue_checked<F: Fn(usize, i32) -> i8>(
+    a: &Matrix<i8>,
+    w: &PackedWeights,
+    f: F,
+) -> Result<Matrix<i8>, AbftMismatch> {
+    let (m, k) = a.shape();
+    let n = w.cols();
+    assert_eq!(k, w.rows(), "inner dimensions must agree: {m}x{k} · {}x{n}", w.rows());
+    let isa = kernels::active_kernel();
+    let a16 = widen_activations(a);
+    let mut out = vec![0i8; m * n];
+    let mut row = vec![0i64; m];
+    let mut col = vec![0i64; n];
+    gemm_strip(
+        &a16,
+        m,
+        k,
+        w,
+        0..n,
+        isa,
+        &mut CheckedMapSink {
+            inner: MapSink { out: &mut out, stride: n, j_base: 0, f: &f },
+            row: &mut row,
+            col: &mut col,
+        },
+    );
+    AbftChecksums::predicted(a, w).verify(&AbftChecksums { row, col })?;
+    Ok(Matrix::from_vec(m, n, out))
+}
+
+/// The requantizing projection epilogue: `out = rq(acc ⊕ bias)` with
+/// the saturating bias add the engines use. Fused form of the
+/// `finish_projection` / `Requantizer::apply` pass.
+#[inline]
+fn requant_map(bias: Option<&[i32]>, rq: Requantizer) -> impl Fn(usize, i32) -> i8 + Sync + '_ {
+    move |j, acc| {
+        let biased = match bias {
+            Some(b) => acc.saturating_add(b[j]),
+            None => acc,
+        };
+        rq.apply(biased)
     }
 }
 
-/// Microkernel, interleaved shape: `k` swept in fixed 16-element chunks,
-/// each chunk reduced into all `CB` column sums before moving on. The
-/// fixed inner trip count plus the widened operands let LLVM prove
-/// no-overflow and emit dense `pmaddwd` chains; at baseline SSE2 this is
-/// the fastest shape measured (the chunked form beats the plain
-/// one-element sweep by ~20%).
-#[inline]
-fn mk_interleaved(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
-    let mut sums = [0i32; CB];
-    let kc = k / 16 * 16;
-    for k0 in (0..kc).step_by(16) {
-        let xa = &arow[k0..k0 + 16];
-        for (c, s) in sums.iter_mut().enumerate() {
-            let wv = &wcol16[c * k + k0..c * k + k0 + 16];
-            let mut acc = 0i32;
-            for t in 0..16 {
-                acc += i32::from(xa[t]) * i32::from(wv[t]);
-            }
-            *s += acc;
-        }
+/// Fused requantizing GEMM: `C = rq(A × W ⊕ bias)` in one pass, the
+/// projection-shaped convenience over [`matmul_i8_packed_epilogue`].
+/// Byte-identical to the separate accumulate → bias → requantize
+/// pipeline.
+///
+/// # Panics
+/// Panics if shapes disagree or `bias` (when given) is not `n`-long.
+#[must_use]
+pub fn matmul_i8_requant_packed(
+    a: &Matrix<i8>,
+    w: &PackedWeights,
+    bias: Option<&[i32]>,
+    rq: Requantizer,
+) -> Matrix<i8> {
+    if let Some(b) = bias {
+        assert_eq!(b.len(), w.cols(), "bias length mismatch");
     }
-    for kk in kc..k {
-        let x = i32::from(arow[kk]);
-        for (c, s) in sums.iter_mut().enumerate() {
-            *s += x * i32::from(wcol16[c * k + kk]);
-        }
-    }
-    sums
+    matmul_i8_packed_epilogue(a, w, requant_map(bias, rq))
 }
 
-/// Microkernel, separate shape: `CB` independent dot-product loops. With
-/// AVX2 enabled at compile time this variant wins (wider horizontal
-/// reductions amortize better per column).
-#[inline]
-fn mk_separate(arow: &[i16], wcol16: &[i16], k: usize) -> [i32; CB] {
-    let mut sums = [0i32; CB];
-    for (c, s) in sums.iter_mut().enumerate() {
-        let col = &wcol16[c * k..(c + 1) * k];
-        let mut acc = 0i32;
-        for kk in 0..k {
-            acc += i32::from(arow[kk]) * i32::from(col[kk]);
-        }
-        *s = acc;
+/// Panel-parallel form of [`matmul_i8_requant_packed`]; identical bytes.
+///
+/// # Panics
+/// Panics if shapes disagree or `bias` (when given) is not `n`-long.
+#[must_use]
+pub fn matmul_i8_requant_packed_parallel(
+    a: &Matrix<i8>,
+    w: &PackedWeights,
+    bias: Option<&[i32]>,
+    rq: Requantizer,
+) -> Matrix<i8> {
+    if let Some(b) = bias {
+        assert_eq!(b.len(), w.cols(), "bias length mismatch");
     }
-    sums
+    matmul_i8_packed_epilogue_parallel(a, w, requant_map(bias, rq))
 }
 
 #[cfg(test)]
@@ -269,6 +516,7 @@ mod tests {
     use super::*;
     use crate::matmul::matmul_i8_i32;
     use crate::ops::transpose;
+    use protea_fixed::{QFormat, Rounding};
 
     fn a_mat(m: usize, k: usize) -> Matrix<i8> {
         Matrix::from_fn(m, k, |r, c| (((r * 47 + c * 31) % 255) as i64 - 127) as i8)
@@ -308,21 +556,6 @@ mod tests {
     }
 
     #[test]
-    fn both_microkernels_agree() {
-        let k = 37;
-        let a = a_mat(1, k);
-        let w = w_mat(k, CB);
-        let packed = PackedWeights::pack(&w);
-        let mut a16 = vec![0i16; k];
-        widen(a.row(0), &mut a16);
-        let mut w16 = vec![0i16; CB * k];
-        for c in 0..CB {
-            widen(packed.col(c), &mut w16[c * k..(c + 1) * k]);
-        }
-        assert_eq!(mk_interleaved(&a16, &w16, k), mk_separate(&a16, &w16, k));
-    }
-
-    #[test]
     fn packed_parallel_matches_serial_bitwise() {
         // Large enough to clear the parallel threshold when threads are
         // available; the contract holds either way.
@@ -333,6 +566,48 @@ mod tests {
             matmul_i8_i32_packed_parallel(&a, &packed).as_slice(),
             matmul_i8_i32(&a, &w).as_slice()
         );
+    }
+
+    #[test]
+    fn fused_epilogue_equals_separate_pass() {
+        let rq = Requantizer::new(11, QFormat::new(8, 5), Rounding::NearestEven);
+        for (m, k, n) in [(7, 33, 19), (8, 64, 16), (1, 5, 1), (12, 20, 9)] {
+            let a = a_mat(m, k);
+            let packed = PackedWeights::pack(&w_mat(k, n));
+            let bias: Vec<i32> = (0..n as i32).map(|j| (j - 4) * 1000).collect();
+            let acc = matmul_i8_i32_packed(&a, &packed);
+            let mut want = Matrix::<i8>::zeros(m, n);
+            for r in 0..m {
+                for c in 0..n {
+                    want[(r, c)] = rq.apply(acc[(r, c)].saturating_add(bias[c]));
+                }
+            }
+            let fused = matmul_i8_requant_packed(&a, &packed, Some(&bias), rq);
+            assert_eq!(fused.as_slice(), want.as_slice(), "{m}x{k}x{n}");
+            let fused_par = matmul_i8_requant_packed_parallel(&a, &packed, Some(&bias), rq);
+            assert_eq!(fused_par.as_slice(), want.as_slice(), "parallel {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn fused_without_bias_is_plain_requant() {
+        let rq = Requantizer::new(9, QFormat::new(8, 4), Rounding::Truncate);
+        let a = a_mat(6, 24);
+        let packed = PackedWeights::pack(&w_mat(24, 10));
+        let want = matmul_i8_i32_packed(&a, &packed).map(|v| rq.apply(v));
+        let fused = matmul_i8_requant_packed(&a, &packed, None, rq);
+        assert_eq!(fused.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn checked_fused_verifies_and_matches_unchecked() {
+        let rq = Requantizer::new(10, QFormat::new(8, 5), Rounding::NearestEven);
+        let a = a_mat(9, 40);
+        let packed = PackedWeights::pack(&w_mat(40, 13));
+        let plain = matmul_i8_requant_packed(&a, &packed, None, rq);
+        let checked = matmul_i8_packed_epilogue_checked(&a, &packed, |_, v| rq.apply(v))
+            .expect("clean GEMM must verify");
+        assert_eq!(checked.as_slice(), plain.as_slice());
     }
 
     #[test]
@@ -355,6 +630,8 @@ mod tests {
         assert!(c.as_slice().iter().all(|&x| x == 0));
         let w3 = PackedWeights::pack(&Matrix::<i8>::zeros(4, 0));
         assert_eq!(matmul_i8_i32_packed(&Matrix::<i8>::zeros(2, 4), &w3).shape(), (2, 0));
+        let rq = Requantizer::new(8, QFormat::new(8, 4), Rounding::Truncate);
+        assert_eq!(matmul_i8_requant_packed(&a, &w, None, rq).shape(), (0, 3));
     }
 
     #[test]
@@ -362,5 +639,13 @@ mod tests {
     fn shape_mismatch_panics() {
         let w = PackedWeights::pack(&Matrix::<i8>::zeros(4, 2));
         let _ = matmul_i8_i32_packed(&Matrix::<i8>::zeros(2, 3), &w);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn bias_length_mismatch_panics() {
+        let w = PackedWeights::pack(&Matrix::<i8>::zeros(4, 2));
+        let rq = Requantizer::new(8, QFormat::new(8, 4), Rounding::Truncate);
+        let _ = matmul_i8_requant_packed(&Matrix::<i8>::zeros(2, 4), &w, Some(&[1, 2, 3]), rq);
     }
 }

@@ -1,10 +1,12 @@
 //! Property-based tests of the tensor layer.
 
 use proptest::prelude::*;
+use protea_fixed::{QFormat, Requantizer, Rounding};
 use protea_tensor::ops::{residual_add_i8, transpose};
 use protea_tensor::{
-    matmul_i8_i32, matmul_i8_i32_packed, matmul_i8_i32_packed_parallel, matmul_naive, Matrix,
-    PackedWeights, TileGrid,
+    force_kernel, matmul_i8_i32, matmul_i8_i32_packed, matmul_i8_i32_packed_parallel,
+    matmul_i8_packed_epilogue_checked, matmul_i8_requant_packed, matmul_i8_requant_packed_parallel,
+    matmul_naive, supported_kernels, Matrix, PackedWeights, TileGrid,
 };
 
 fn arb_matrix(max: usize) -> impl Strategy<Value = Matrix<i8>> {
@@ -98,6 +100,61 @@ proptest! {
         let parallel = matmul_i8_i32_packed_parallel(&a, &packed);
         prop_assert_eq!(serial.as_slice(), reference.as_slice());
         prop_assert_eq!(parallel.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn fused_requant_epilogue_matches_separate_pass(
+        a in arb_matrix(24), n in 1usize..24, seed in any::<u64>(),
+        shift in 0u8..12, use_bias in any::<bool>(),
+    ) {
+        // The fusion contract: requantizing in the kernel's store loop
+        // is byte-for-byte the separate accumulate → bias → requant
+        // pipeline, for arbitrary shapes, shifts and bias vectors, on
+        // the serial and the panel-parallel path alike.
+        let w = Matrix::from_fn(a.cols(), n, |i, j| {
+            (seed.wrapping_mul(i as u64 + 17).wrapping_add(j as u64 * 29) % 255) as i8
+        });
+        let rq = Requantizer::new(shift, QFormat::new(8, 5), Rounding::NearestEven);
+        let bias: Option<Vec<i32>> = use_bias.then(|| {
+            (0..n).map(|j| ((seed.wrapping_add(j as u64) % 4001) as i32 - 2000) * 37).collect()
+        });
+        let packed = PackedWeights::pack(&w);
+        let acc = matmul_i8_i32_packed(&a, &packed);
+        let mut want = vec![0i8; a.rows() * n];
+        for r in 0..a.rows() {
+            for c in 0..n {
+                let b = bias.as_ref().map_or(0, |b| b[c]);
+                want[r * n + c] = rq.apply(acc[(r, c)].saturating_add(b));
+            }
+        }
+        let fused = matmul_i8_requant_packed(&a, &packed, bias.as_deref(), rq);
+        prop_assert_eq!(fused.as_slice(), &want[..]);
+        let fused_par = matmul_i8_requant_packed_parallel(&a, &packed, bias.as_deref(), rq);
+        prop_assert_eq!(fused_par.as_slice(), &want[..]);
+        let checked = matmul_i8_packed_epilogue_checked(&a, &packed, |j, v| {
+            let b = bias.as_ref().map_or(0, |b| b[j]);
+            rq.apply(v.saturating_add(b))
+        }).expect("clean GEMM verifies");
+        prop_assert_eq!(checked.as_slice(), &want[..]);
+    }
+
+    #[test]
+    fn every_supported_isa_is_bit_identical(
+        a in arb_matrix(20), n in 1usize..20, seed in any::<u64>()
+    ) {
+        // The dispatch contract: every microkernel this host can run
+        // (scalar, portable, explicit SIMD) produces the same bytes.
+        let w = Matrix::from_fn(a.cols(), n, |i, j| {
+            (seed.wrapping_mul(i as u64 + 23).wrapping_add(j as u64 * 41) % 255) as i8
+        });
+        let reference = matmul_i8_i32(&a, &w);
+        let packed = PackedWeights::pack(&w);
+        for isa in supported_kernels() {
+            force_kernel(Some(isa));
+            let out = matmul_i8_i32_packed(&a, &packed);
+            force_kernel(None);
+            prop_assert_eq!(out.as_slice(), reference.as_slice(), "kernel {}", isa);
+        }
     }
 
     #[test]

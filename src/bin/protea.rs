@@ -30,6 +30,8 @@
 //!                  [--layers 2] [--sl-min 8] [--sl-max 64] [--max-batch 8]
 //!                  (0 disables a knob: deadline-us, max-queue,
 //!                  aimd-initial, hedge-after-p99)
+//! protea kernels   (report supported/active GEMM microkernel ISAs and
+//!                  the PROTEA_KERNEL override, if any)
 //! ```
 //!
 //! Exit codes are uniform across subcommands: 0 success, 1 usage error,
@@ -618,9 +620,26 @@ fn cmd_overload_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `protea kernels`: report the GEMM microkernel dispatch — which ISAs
+/// this host supports, which one the dispatcher selected, and whether a
+/// `PROTEA_KERNEL` override is in effect. The diagnostic for "what code
+/// actually ran" when comparing bench numbers across hosts.
+fn cmd_kernels(_flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let supported = protea::tensor::supported_kernels();
+    let active = protea::tensor::active_kernel();
+    let names: Vec<String> = supported.iter().map(|k| k.to_string()).collect();
+    println!("supported kernels: {}", names.join(", "));
+    match std::env::var("PROTEA_KERNEL") {
+        Ok(v) => println!("PROTEA_KERNEL={v} (override)"),
+        Err(_) => println!("PROTEA_KERNEL unset (auto-detect)"),
+    }
+    println!("active kernel: {active}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: protea <synth|run|fit|sweep|serve-sim|chaos-sim|overload-sim> [--flag value]...\n  see source header for flags";
+    let usage = "usage: protea <synth|run|fit|sweep|serve-sim|chaos-sim|overload-sim|kernels> [--flag value]...\n  see source header for flags";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -635,6 +654,7 @@ fn main() -> ExitCode {
             "serve-sim" => cmd_serve_sim(&flags),
             "chaos-sim" => cmd_chaos_sim(&flags),
             "overload-sim" => cmd_overload_sim(&flags),
+            "kernels" => cmd_kernels(&flags),
             other => Err(CliError::Usage(format!("unknown command '{other}'\n{usage}"))),
         },
     };
