@@ -22,6 +22,7 @@ fn main() {
         "availability",
         "overload",
         "integrity",
+        "decode",
     ];
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("bin dir");
@@ -133,6 +134,21 @@ fn main() {
                             );
                         }
                         Err(e) => println!("OVERLOAD (compact fallback): error: {e}"),
+                    }
+                }
+                "decode" => {
+                    match protea_bench::decode::run_sweep(&protea_bench::decode::WIDTHS, 16) {
+                        Ok(rows) => {
+                            let widest = rows.last().expect("sweep has rows");
+                            println!(
+                                "DECODE (compact fallback): batch {} at {:.1} tok/s, {:.2}x \
+                             single-stream",
+                                widest.batch,
+                                widest.report.tokens_per_s,
+                                protea_bench::decode::speedup_vs_single(&rows, widest)
+                            );
+                        }
+                        Err(e) => println!("DECODE (compact fallback): error: {e}"),
                     }
                 }
                 _ => unreachable!(),

@@ -1,0 +1,177 @@
+//! Decode-serving scenario: tokens/s scaling with decode batch width.
+//!
+//! The serving sweep measures encoder request throughput; this one
+//! measures *generation* throughput. Each cell starts `batch`
+//! same-shape sessions at time zero on a single card, so the scheduler
+//! forms one decode batch of exactly that width, and the fleet runs it
+//! to completion: one shared prefill, then `steps` token rounds with
+//! the KV cache resident on the card. Because decode is memory-bound
+//! per step while the weight-stationary card amortizes its per-round
+//! cost across the batch, tokens/s should scale strongly with width —
+//! the `--check` gate demands the widest batch clear at least twice
+//! the single-stream rate.
+//!
+//! Every cell re-checks token conservation (`emitted + shed ==
+//! requested`) and aborts the sweep on a violation rather than
+//! printing a corrupt table.
+
+use protea_serve::{
+    BatchPolicy, Fleet, FleetConfig, Priority, ServeError, ServePlan, ServeReport, ServeRequest,
+    Workload,
+};
+
+/// One decode-batch-width measurement.
+#[derive(Debug, Clone)]
+pub struct DecodeRow {
+    /// Sessions decoding together in the one batch.
+    pub batch: usize,
+    /// The cell's full report (tokens/s, prefill/decode split).
+    pub report: ServeReport,
+}
+
+/// Seed stamped into the JSON artifact (the workload itself is fully
+/// deterministic — same-shape sessions at time zero — so the seed only
+/// documents provenance).
+pub const SEED: u64 = 0xDEC0;
+
+/// Prompt length every session prefills (pads to the 16-token bucket).
+pub const PROMPT_LEN: usize = 16;
+
+/// Tokens each session generates after its prefill.
+pub const STEPS: u32 = 64;
+
+/// The batch widths the sweep crosses.
+pub const WIDTHS: [usize; 3] = [1, 4, 8];
+
+/// `batch` identical generation sessions arriving at time zero: same
+/// paper-scale shape (d=768, 8 heads — wide enough that a single
+/// row's weight traffic dominates its compute, the regime where
+/// batching pays), same prompt bucket, so the scheduler forms one
+/// full batch.
+#[must_use]
+pub fn session_workload(batch: usize, steps: u32) -> Workload {
+    let requests = (0..batch as u64)
+        .map(|i| ServeRequest {
+            id: i,
+            arrival_ns: 0,
+            d_model: 768,
+            heads: 8,
+            layers: 2,
+            seq_len: PROMPT_LEN,
+            deadline_ns: None,
+            priority: Priority::Normal,
+            tenant: 0,
+            decode_steps: steps,
+            token_deadline_ns: None,
+        })
+        .collect();
+    Workload { requests }
+}
+
+/// The one-card config a cell runs with: `max_batch` pinned to the
+/// cell's width so the batch is exactly that wide, everything else at
+/// defaults.
+#[must_use]
+pub fn standard_config(batch: usize) -> FleetConfig {
+    FleetConfig {
+        cards: 1,
+        policy: BatchPolicy { max_batch: batch, ..BatchPolicy::default() },
+        ..FleetConfig::default()
+    }
+}
+
+/// Run one cell per width in `widths`, each generating `steps` tokens
+/// per session.
+///
+/// # Errors
+/// Propagates any [`ServeError`]; also surfaces a broken token
+/// conservation invariant or a short emission as a serving error so
+/// the harness fails loudly rather than printing a corrupt table.
+pub fn run_sweep(widths: &[usize], steps: u32) -> Result<Vec<DecodeRow>, ServeError> {
+    let mut rows = Vec::with_capacity(widths.len());
+    for &batch in widths {
+        let workload = session_workload(batch, steps);
+        let fleet = Fleet::try_new(standard_config(batch))?;
+        let report = fleet.run(ServePlan::workload(&workload))?.report;
+        let expected = (batch as u64) * u64::from(steps);
+        if !report.tokens_accounted() || report.tokens_emitted != expected {
+            return Err(ServeError::Core(protea_core::CoreError::Serving(format!(
+                "token conservation broken at batch {batch}: {} emitted + {} shed != {} \
+                 requested (expected {expected} emitted)",
+                report.tokens_emitted, report.tokens_shed, report.tokens_requested
+            ))));
+        }
+        rows.push(DecodeRow { batch, report });
+    }
+    Ok(rows)
+}
+
+/// Batched tokens/s over single-stream tokens/s, for a widths row
+/// relative to the sweep's first (narrowest) row.
+#[must_use]
+pub fn speedup_vs_single(rows: &[DecodeRow], row: &DecodeRow) -> f64 {
+    let single = rows.first().map_or(0.0, |r| r.report.tokens_per_s);
+    if single <= 0.0 {
+        0.0
+    } else {
+        row.report.tokens_per_s / single
+    }
+}
+
+/// Serialize the sweep as the committed `BENCH_decode.json` artifact:
+/// one object per width with tokens/s and the prefill/decode latency
+/// split.
+#[must_use]
+pub fn to_json(rows: &[DecodeRow], steps: u32) -> String {
+    let mut s = format!(
+        "{{\n  \"seed\": {SEED},\n  \"prompt_len\": {PROMPT_LEN},\n  \"decode_steps\": \
+         {steps},\n  \"rows\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"tokens_emitted\": {}, \"tokens_per_s\": {:.1}, \
+             \"prefill_ms\": {:.4}, \"decode_ms_per_token\": {:.4}, \
+             \"speedup_vs_single\": {:.2}}}{}\n",
+            r.batch,
+            r.report.tokens_emitted,
+            r.report.tokens_per_s,
+            r.report.prefill_ms_mean,
+            r.report.decode_ms_per_token,
+            speedup_vs_single(rows, r),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_emits_and_conserves() {
+        let rows = run_sweep(&WIDTHS, 8).unwrap();
+        assert_eq!(rows.len(), WIDTHS.len());
+        for r in &rows {
+            assert!(r.report.tokens_accounted());
+            assert_eq!(r.report.tokens_emitted, (r.batch as u64) * 8);
+            assert!(r.report.tokens_per_s > 0.0);
+            assert!(r.report.prefill_ms_mean > 0.0);
+            assert!(r.report.decode_ms_per_token > 0.0);
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_decode_cost() {
+        let rows = run_sweep(&WIDTHS, 16).unwrap();
+        let widest = rows.last().unwrap();
+        assert!(
+            speedup_vs_single(&rows, widest) >= 2.0,
+            "batch {} tokens/s must be at least twice single-stream: {:.1} vs {:.1}",
+            widest.batch,
+            widest.report.tokens_per_s,
+            rows[0].report.tokens_per_s
+        );
+    }
+}

@@ -26,6 +26,7 @@
 pub mod ablation;
 pub mod availability;
 pub mod crossover;
+pub mod decode;
 pub mod elastic;
 pub mod fig7;
 pub mod fmt;

@@ -20,6 +20,7 @@ use crate::synthesis::SynthesisConfig;
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::{Requantizer, SoftmaxUnit};
 use protea_hwsim::Cycles;
+use protea_mem::kv as kv_mem;
 use protea_model::decoder::{QuantizedDecoder, QuantizedDecoderLayer};
 use protea_model::quantized::{add_norm, requant_logits, QuantMatrix};
 use protea_model::QuantSchedule;
@@ -134,7 +135,9 @@ impl Accelerator {
     /// positions, the cross-attention spans `src_len`. Weight streaming
     /// is unchanged (every tile still loads — the dominant cost of
     /// single-token decoding, which is why generation is bandwidth-bound
-    /// everywhere).
+    /// everywhere); the cache's own traffic — appending the new K/V row,
+    /// streaming the cached rows back through the attention reductions —
+    /// is charged over the same memory link.
     #[must_use]
     pub fn decode_step_timing(
         &self,
@@ -143,7 +146,6 @@ impl Accelerator {
         src_len: usize,
     ) -> CycleReport {
         let syn = &self.design().config;
-        let t = &syn.timing;
         let cfg = &dec.config;
         let rt = RuntimeConfig {
             heads: cfg.heads,
@@ -151,35 +153,7 @@ impl Accelerator {
             d_model: cfg.d_model,
             seq_len: 1,
         };
-        let dk = rt.dk() as u64;
-        let kv = (position + 1) as u64;
-        let sl_s = src_len as u64;
-        let compute_only = |cycles: u64| vec![Access { load_bytes: 0, compute_cycles: cycles }];
-        let proj_plan = |rows: u64| -> Vec<Access> {
-            let tiles = syn.tiles_mha() as u64;
-            let w = rt.mha_tile_width(syn) as u64;
-            let h = rt.heads as u64;
-            let load = h * (3 * dk * w + rows * w);
-            let compute = t.qkv_tile_cycles(rows, dk);
-            (0..tiles).map(|_| Access { load_bytes: load, compute_cycles: compute }).collect()
-        };
-        let phase_plans: Vec<(&'static str, Vec<Access>)> = vec![
-            ("SelfQKV", proj_plan(1)),
-            ("SelfQK", compute_only(t.qk_cycles_rect(1, kv, dk, syn.dk_max() as u64))),
-            ("SelfSoftmax", compute_only(t.softmax_cycles(1).max(kv))),
-            ("SelfSV", compute_only(t.sv_cycles_rect(1, kv, dk, syn.sl_unroll as u64))),
-            ("SelfProj", FfnEngine::plan(FfnStage::Ffn1, &rt, syn)),
-            ("AddNorm1", compute_only(t.ln_cycles(1, rt.d_model as u64))),
-            ("CrossQKV", proj_plan(1)), // memory K/V cached: only Q projects
-            ("CrossQK", compute_only(t.qk_cycles_rect(1, sl_s, dk, syn.dk_max() as u64))),
-            ("CrossSoftmax", compute_only(t.softmax_cycles(1).max(sl_s))),
-            ("CrossSV", compute_only(t.sv_cycles_rect(1, sl_s, dk, syn.sl_unroll as u64))),
-            ("CrossProj", FfnEngine::plan(FfnStage::Ffn1, &rt, syn)),
-            ("AddNorm2", compute_only(t.ln_cycles(1, rt.d_model as u64))),
-            ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, &rt, syn)),
-            ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, &rt, syn)),
-            ("AddNorm3", compute_only(t.ln_cycles(1, rt.d_model as u64))),
-        ];
+        let phase_plans = decode_step_plans(syn, &rt, (position + 1) as u64, src_len as u64, 1);
         // One decode step always overlaps loads with compute (the
         // decoder has no serial-ablation knob).
         self.price_phase_plans(&phase_plans, cfg.layers, 1, true, None)
@@ -240,6 +214,115 @@ impl Accelerator {
 
         self.price_phase_plans(&phase_plans, cfg.layers, 1, true, None)
     }
+}
+
+/// QKV-style projection phase: `rows` activation rows, the weight strips
+/// tiled `tiles_mha` times. Shared by every decoder plan builder.
+fn proj_plan(syn: &SynthesisConfig, rt: &RuntimeConfig, rows: u64) -> Vec<Access> {
+    let t = &syn.timing;
+    let dk = rt.dk() as u64;
+    let tiles = syn.tiles_mha() as u64;
+    let w = rt.mha_tile_width(syn) as u64;
+    let h = rt.heads as u64;
+    let load = h * (3 * dk * w + rows * w);
+    let compute = t.qkv_tile_cycles(rows, dk);
+    (0..tiles).map(|_| Access { load_bytes: load, compute_cycles: compute }).collect()
+}
+
+/// Per-layer phase plans of one KV-cached decode step for `rows`
+/// resident sessions in lockstep: each session contributes one target
+/// row against `kv` cached self-attention positions and `sl_s` rows of
+/// encoder memory. KV-cache residency is charged on the memory link —
+/// every session's new K/V row is written once (`SelfQKV`) and each
+/// session streams *its own* cached rows back through the attention
+/// reductions, so cache traffic scales with the batch. The engines,
+/// by contrast, stream the batch's rows back-to-back through a single
+/// pipeline fill (the same rows-streaming model the encoder uses):
+/// this is the weight-stationary amortization that makes batched
+/// decode cheaper per token than single-stream. `rows = 1` reproduces
+/// the historical single-session plan exactly. `rt.seq_len` must be 1.
+pub(crate) fn decode_step_plans(
+    syn: &SynthesisConfig,
+    rt: &RuntimeConfig,
+    kv: u64,
+    sl_s: u64,
+    rows: u64,
+) -> Vec<(&'static str, Vec<Access>)> {
+    let t = &syn.timing;
+    let dk = rt.dk() as u64;
+    let d = rt.d_model;
+    let compute_only = |cycles: u64| vec![Access { load_bytes: 0, compute_cycles: cycles }];
+    let kv_access = |per_session: u64, cycles: u64| {
+        vec![Access {
+            load_bytes: rows * kv_mem::attn_read_bytes(per_session, d),
+            compute_cycles: cycles,
+        }]
+    };
+    // FFN-style engines take their row count from the runtime's
+    // sequence register; the batched step streams `rows` rows.
+    let ffn_rt = RuntimeConfig { seq_len: rows as usize, ..*rt };
+    let mut self_qkv = proj_plan(syn, rt, rows);
+    self_qkv.push(Access { load_bytes: rows * kv_mem::step_write_bytes(d), compute_cycles: 0 });
+    vec![
+        ("SelfQKV", self_qkv),
+        ("SelfQK", kv_access(kv, t.qk_cycles_rect(rows, kv, dk, syn.dk_max() as u64))),
+        ("SelfSoftmax", compute_only((rows * t.softmax_cycles(1)).max(rows * kv))),
+        ("SelfSV", kv_access(kv, t.sv_cycles_rect(rows, kv, dk, syn.sl_unroll as u64))),
+        ("SelfProj", FfnEngine::plan(FfnStage::Ffn1, &ffn_rt, syn)),
+        ("AddNorm1", compute_only(t.ln_cycles(rows, rt.d_model as u64))),
+        ("CrossQKV", proj_plan(syn, rt, rows)), // memory K/V cached: only Q projects
+        ("CrossQK", kv_access(sl_s, t.qk_cycles_rect(rows, sl_s, dk, syn.dk_max() as u64))),
+        ("CrossSoftmax", compute_only((rows * t.softmax_cycles(1)).max(rows * sl_s))),
+        ("CrossSV", kv_access(sl_s, t.sv_cycles_rect(rows, sl_s, dk, syn.sl_unroll as u64))),
+        ("CrossProj", FfnEngine::plan(FfnStage::Ffn1, &ffn_rt, syn)),
+        ("AddNorm2", compute_only(t.ln_cycles(rows, rt.d_model as u64))),
+        ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, &ffn_rt, syn)),
+        ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, &ffn_rt, syn)),
+        ("AddNorm3", compute_only(t.ln_cycles(rows, rt.d_model as u64))),
+    ]
+}
+
+/// Per-layer phase plans of a prefill pass: the whole `rt.seq_len`-row
+/// prompt runs through the decoder stack once, *populating* the KV cache
+/// — the self K/V rows of every prompt position are written out
+/// (`SelfQKV`), the cross K/V of the `sl_s`-row encoder memory is
+/// written once (`CrossQKV`), and the attention reductions stream the
+/// freshly cached rows back. Compute shape matches the full
+/// target-length decoder pass.
+pub(crate) fn prefill_plans(
+    syn: &SynthesisConfig,
+    rt: &RuntimeConfig,
+    sl_s: u64,
+) -> Vec<(&'static str, Vec<Access>)> {
+    let t = &syn.timing;
+    let dk = rt.dk() as u64;
+    let d = rt.d_model;
+    let sl_t = rt.seq_len as u64;
+    let compute_only = |cycles: u64| vec![Access { load_bytes: 0, compute_cycles: cycles }];
+    let kv_access = |rows: u64, cycles: u64| {
+        vec![Access { load_bytes: kv_mem::attn_read_bytes(rows, d), compute_cycles: cycles }]
+    };
+    let mut self_qkv = proj_plan(syn, rt, sl_t);
+    self_qkv.push(Access { load_bytes: sl_t * kv_mem::step_write_bytes(d), compute_cycles: 0 });
+    let mut cross_qkv = proj_plan(syn, rt, sl_t.max(sl_s));
+    cross_qkv.push(Access { load_bytes: sl_s * kv_mem::step_write_bytes(d), compute_cycles: 0 });
+    vec![
+        ("SelfQKV", self_qkv),
+        ("SelfQK", kv_access(sl_t, t.qk_cycles_rect(sl_t, sl_t, dk, syn.dk_max() as u64))),
+        ("SelfSoftmax", compute_only(t.softmax_cycles(sl_t))),
+        ("SelfSV", kv_access(sl_t, t.sv_cycles_rect(sl_t, sl_t, dk, syn.sl_unroll as u64))),
+        ("SelfProj", FfnEngine::plan(FfnStage::Ffn1, rt, syn)),
+        ("AddNorm1", compute_only(t.ln_cycles(sl_t, rt.d_model as u64))),
+        ("CrossQKV", cross_qkv),
+        ("CrossQK", kv_access(sl_s, t.qk_cycles_rect(sl_t, sl_s, dk, syn.dk_max() as u64))),
+        ("CrossSoftmax", compute_only(t.softmax_cycles(sl_t.max(sl_s)))),
+        ("CrossSV", kv_access(sl_s, t.sv_cycles_rect(sl_t, sl_s, dk, syn.sl_unroll as u64))),
+        ("CrossProj", FfnEngine::plan(FfnStage::Ffn1, rt, syn)),
+        ("AddNorm2", compute_only(t.ln_cycles(sl_t, rt.d_model as u64))),
+        ("FFN2_CE", FfnEngine::plan(FfnStage::Ffn2, rt, syn)),
+        ("FFN3_CE", FfnEngine::plan(FfnStage::Ffn3, rt, syn)),
+        ("AddNorm3", compute_only(t.ln_cycles(sl_t, rt.d_model as u64))),
+    ]
 }
 
 /// The tile-accumulated functional path (bit-identical to the golden

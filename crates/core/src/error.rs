@@ -13,6 +13,7 @@ use crate::registers::RegisterError;
 use core::fmt;
 use protea_mem::fault::FaultKind;
 use protea_model::serialize::DecodeError;
+use protea_model::KvCacheError;
 
 /// Any error reachable through the accelerator's fallible API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +96,17 @@ pub enum CoreError {
         /// What was being verified when the mismatch surfaced.
         context: String,
     },
+    /// A decode step would grow a session's KV cache past the bound it
+    /// was admitted with. Distinct from [`CoreError::Overloaded`]: the
+    /// session itself outgrew its reservation mid-generation, so the
+    /// correct caller response is to end *this* generation, not retry
+    /// it elsewhere.
+    KvCapacity {
+        /// Positions already decoded.
+        positions: usize,
+        /// The cache's position bound.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -135,6 +147,9 @@ impl fmt::Display for CoreError {
             CoreError::Integrity { context } => {
                 write!(f, "silent data corruption detected: {context}")
             }
+            CoreError::KvCapacity { positions, capacity } => {
+                write!(f, "KV cache full: {positions} positions decoded, capacity {capacity}")
+            }
         }
     }
 }
@@ -148,7 +163,9 @@ impl CoreError {
     /// overloaded (admission refused; retryable elsewhere or later),
     /// 9 = snapshot integrity failure (untrusted input file; discard),
     /// 10 = silent data corruption detected (weight digest or ABFT
-    /// checksum mismatch; discard affected results and re-image).
+    /// checksum mismatch; discard affected results and re-image),
+    /// 11 = KV cache capacity exhausted mid-generation (end this
+    /// session's generation; not retryable).
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -164,6 +181,7 @@ impl CoreError {
             CoreError::Overloaded(_) => 8,
             CoreError::SnapshotIntegrity(_) => 9,
             CoreError::Integrity { .. } => 10,
+            CoreError::KvCapacity { .. } => 11,
         }
     }
 }
@@ -195,6 +213,20 @@ impl From<DriverError> for CoreError {
         match e {
             DriverError::Decode(d) => CoreError::Decode(d),
             DriverError::Register(r) => CoreError::Register(r),
+        }
+    }
+}
+
+impl From<KvCacheError> for CoreError {
+    fn from(e: KvCacheError) -> Self {
+        match e {
+            KvCacheError::CapacityExhausted { positions, capacity } => {
+                CoreError::KvCapacity { positions, capacity }
+            }
+            KvCacheError::RowShape { expected, got } => CoreError::InputShape { expected, got },
+            KvCacheError::DimMismatch { cache, decoder } => CoreError::InvalidConfig(format!(
+                "KV cache built for d_model={cache}, decoder has d_model={decoder}"
+            )),
         }
     }
 }
@@ -251,6 +283,7 @@ mod tests {
             CoreError::Overloaded("queue full (32 pending, limit 32)".into()),
             CoreError::SnapshotIntegrity("unknown snapshot version v9".into()),
             CoreError::Integrity { context: "weight digest mismatch on card 2".into() },
+            CoreError::KvCapacity { positions: 64, capacity: 64 },
         ]
     }
 
@@ -265,7 +298,7 @@ mod tests {
     fn exit_codes_are_stable_and_nonzero() {
         for e in every_variant() {
             assert!(e.exit_code() >= 2, "{e:?} must not collide with success/usage codes");
-            assert!(e.exit_code() <= 10);
+            assert!(e.exit_code() <= 11);
         }
         assert_eq!(
             CoreError::Fault { kind: FaultKind::CardCrash, context: String::new() }.exit_code(),
@@ -275,5 +308,16 @@ mod tests {
         assert_eq!(CoreError::Overloaded(String::new()).exit_code(), 8);
         assert_eq!(CoreError::SnapshotIntegrity(String::new()).exit_code(), 9);
         assert_eq!(CoreError::Integrity { context: String::new() }.exit_code(), 10);
+        assert_eq!(CoreError::KvCapacity { positions: 64, capacity: 64 }.exit_code(), 11);
+    }
+
+    #[test]
+    fn from_kv_cache_error_maps_each_variant() {
+        let c: CoreError = KvCacheError::CapacityExhausted { positions: 3, capacity: 3 }.into();
+        assert_eq!(c, CoreError::KvCapacity { positions: 3, capacity: 3 });
+        let c: CoreError = KvCacheError::RowShape { expected: (1, 96), got: (2, 96) }.into();
+        assert_eq!(c, CoreError::InputShape { expected: (1, 96), got: (2, 96) });
+        let c: CoreError = KvCacheError::DimMismatch { cache: 96, decoder: 128 }.into();
+        assert!(matches!(c, CoreError::InvalidConfig(m) if m.contains("96")));
     }
 }

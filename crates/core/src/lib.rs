@@ -71,7 +71,7 @@ pub use fault::{
     SdcSite, SdcStream, Watchdog,
 };
 pub use integrity::weight_digest;
-pub use pipeline::{FaultPlan, PlanKey, RunOutcome, RunPlan};
+pub use pipeline::{DecodeSession, FaultPlan, Phase, PlanKey, RunOutcome, RunPlan};
 pub use registers::{RegisterError, RuntimeConfig};
 pub use report::{CycleReport, EnginePhase};
 pub use sparse::{SparseMode, SparsePhase};

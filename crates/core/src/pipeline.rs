@@ -35,9 +35,11 @@
 //! (phase-major), since each layer's faulted schedule differs.
 
 use crate::accelerator::{Accelerator, RunResult};
+use crate::decoder::{decode_step_plans, prefill_plans};
 use crate::engines::Access;
 use crate::error::CoreError;
 use crate::fault::{faulty_load, FaultStats, FaultStream, RetryPolicy, Watchdog};
+use crate::registers::{RegisterError, RuntimeConfig};
 use crate::report::{CycleReport, EnginePhase};
 use protea_hwsim::exec_trace::{track, ExecTrace, SpanKind};
 use protea_hwsim::Cycles;
@@ -46,8 +48,55 @@ use protea_mem::overlap::{
     simulate_double_buffered, simulate_double_buffered_spans, simulate_serial,
     simulate_serial_spans, AccessSpans, OverlapReport,
 };
-use protea_model::OpCount;
+use protea_model::{DecoderKvCache, OpCount, PackedDecoder, QuantizedDecoder};
 use protea_tensor::Matrix;
+
+/// Which execution phase a [`RunPlan`] prices. The default — and the
+/// only phase encoder-only configurations ever see — is [`Phase::Encode`],
+/// which preserves the historical pipeline byte for byte. The two
+/// generation phases route the same unified path through the decoder's
+/// phase-plan builders with KV-cache traffic charged on the memory link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// The encoder pass over the programmed `SL × d_model` shape —
+    /// today's behavior, bit-identical.
+    #[default]
+    Encode,
+    /// The prompt pass of a generation: the whole prompt runs through
+    /// the decoder stack once, populating the KV cache.
+    Prefill {
+        /// Prompt rows (target-side positions processed in one pass).
+        prompt_len: usize,
+    },
+    /// One autoregressive token step against a resident KV cache.
+    Decode {
+        /// 0-based generation step (bookkeeping only; the cost depends
+        /// on `kv_len`).
+        step: usize,
+        /// Cached self-attention positions this step attends over
+        /// (prompt + tokens decoded so far, ≥ 1 counting this row).
+        kv_len: usize,
+    },
+}
+
+/// The functional arm of a decode-phase plan: which decoder steps, with
+/// what resident cache, on which input row. Attach with
+/// [`RunPlan::with_session`]; the pipeline runs exactly one KV-cached
+/// step (through the packed fast path when `packed` is given — output
+/// bit-identical either way) and returns the `1 × d` row in
+/// [`RunOutcome::outputs`].
+#[derive(Debug)]
+pub struct DecodeSession<'a> {
+    /// The decoder being stepped.
+    pub decoder: &'a QuantizedDecoder,
+    /// Pre-packed projection weights for the SIMD fast path; `None`
+    /// takes the scalar reference path.
+    pub packed: Option<&'a PackedDecoder>,
+    /// The session's resident KV cache (mutated: one position appended).
+    pub cache: &'a mut DecoderKvCache,
+    /// The `1 × d_model` input row for this position.
+    pub x_row: &'a Matrix<i8>,
+}
 
 /// Fault-injection arm of a [`RunPlan`]: the seeded stream plus the
 /// driver's recovery machinery.
@@ -74,6 +123,8 @@ pub struct RunPlan<'a> {
     inputs: Option<&'a [Matrix<i8>]>,
     faults: Option<FaultPlan<'a>>,
     trace_capacity: Option<usize>,
+    phase: Phase,
+    session: Option<DecodeSession<'a>>,
 }
 
 impl<'a> RunPlan<'a> {
@@ -89,6 +140,37 @@ impl<'a> RunPlan<'a> {
     #[must_use]
     pub fn functional(inputs: &'a [Matrix<i8>]) -> Self {
         Self { batch: inputs.len(), inputs: Some(inputs), ..Self::default() }
+    }
+
+    /// A prefill pass: `batch` prompts of `prompt_len` rows run through
+    /// the decoder stack once each, populating their KV caches. The
+    /// programmed `seq_len` is the source/memory length the
+    /// cross-attention spans.
+    #[must_use]
+    pub fn prefill(prompt_len: usize, batch: usize) -> Self {
+        Self { batch, phase: Phase::Prefill { prompt_len }, ..Self::default() }
+    }
+
+    /// One autoregressive token step for a batch of `batch` concurrent
+    /// sessions, each attending over `kv_len` cached positions. The
+    /// programmed `seq_len` is the source/memory length.
+    #[must_use]
+    pub fn decode(step: usize, kv_len: usize, batch: usize) -> Self {
+        Self { batch, phase: Phase::Decode { step, kv_len }, ..Self::default() }
+    }
+
+    /// Attach the functional arm of a decode step: the pipeline runs one
+    /// KV-cached step of `session.decoder` and returns the output row.
+    #[must_use]
+    pub fn with_session(mut self, session: DecodeSession<'a>) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// The execution phase this plan prices.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
     }
 
     /// Arm fault injection: every tile load draws from the plan's
@@ -138,6 +220,11 @@ impl<'a> RunPlan<'a> {
     #[must_use]
     pub fn memo_key(&self, accel: &Accelerator) -> Option<PlanKey> {
         if !self.deterministic() {
+            return None;
+        }
+        // The key does not carry a phase, so only encode plans (whose
+        // cost the registers fully determine) are memoizable.
+        if self.phase != Phase::Encode {
             return None;
         }
         let rt = accel.runtime();
@@ -206,24 +293,40 @@ impl Accelerator {
     /// Panics if a timing-only plan has a zero batch (a functional plan
     /// with no inputs errors with `EmptyBatch` instead).
     pub fn execute(&self, plan: RunPlan<'_>) -> (Result<RunOutcome, CoreError>, FaultStats) {
-        let outputs = match plan.inputs {
+        let mut outputs = match plan.inputs {
             Some(xs) => match self.forward_batch(xs) {
                 Ok(outputs) => outputs,
                 Err(e) => return (Err(e), FaultStats::default()),
             },
             None => Vec::new(),
         };
+        if let Some(session) = plan.session {
+            let DecodeSession { decoder, packed, cache, x_row } = session;
+            let step = match packed {
+                Some(p) => decoder.try_decode_step_packed(p, cache, x_row),
+                None => decoder.try_decode_step(cache, x_row),
+            };
+            match step {
+                Ok(row) => outputs.push(row),
+                Err(e) => return (Err(e.into()), FaultStats::default()),
+            }
+        }
         assert!(plan.batch > 0, "batch must be nonzero");
         let mut trace = plan.trace_capacity.map(ExecTrace::bounded);
-        let (report, stats) = match plan.faults {
-            Some(faults) => {
+        let (report, stats) = match (plan.faults, plan.phase) {
+            (Some(faults), Phase::Encode) => {
                 let (report, stats) = self.faulty_phase_report(plan.batch, faults, trace.as_mut());
                 match report {
                     Ok(report) => (report, stats),
                     Err(e) => return (Err(e), stats),
                 }
             }
-            None => {
+            (Some(_), _) => {
+                let e =
+                    CoreError::InvalidConfig("fault injection covers the encode phase only".into());
+                return (Err(e), FaultStats::default());
+            }
+            (None, Phase::Encode) => {
                 let plans = self.phase_plans();
                 let report = self.price_phase_plans(
                     &plans,
@@ -232,6 +335,44 @@ impl Accelerator {
                     self.overlap_enabled(),
                     trace.as_mut(),
                 );
+                (report, FaultStats::default())
+            }
+            (None, Phase::Prefill { prompt_len }) => {
+                if let Err(e) = self.check_phase_len("prompt_len", prompt_len) {
+                    return (Err(e), FaultStats::default());
+                }
+                let base = *self.runtime();
+                let rt = RuntimeConfig { seq_len: prompt_len, ..base };
+                let plans = prefill_plans(&self.design().config, &rt, base.seq_len as u64);
+                // Generation phases always overlap loads with compute
+                // (the decoder has no serial-ablation knob).
+                let report = self.price_phase_plans(
+                    &plans,
+                    rt.layers,
+                    plan.batch as u64,
+                    true,
+                    trace.as_mut(),
+                );
+                (report, FaultStats::default())
+            }
+            (None, Phase::Decode { step: _, kv_len }) => {
+                if let Err(e) = self.check_phase_len("kv_len", kv_len) {
+                    return (Err(e), FaultStats::default());
+                }
+                let base = *self.runtime();
+                let rt = RuntimeConfig { seq_len: 1, ..base };
+                // The batch is baked into the plans as streamed rows
+                // (weight-stationary amortization with per-session KV
+                // traffic), so the pricer itself runs at batch 1 —
+                // multiplying compute again would double-charge.
+                let plans = decode_step_plans(
+                    &self.design().config,
+                    &rt,
+                    kv_len as u64,
+                    base.seq_len as u64,
+                    plan.batch.max(1) as u64,
+                );
+                let report = self.price_phase_plans(&plans, rt.layers, 1, true, trace.as_mut());
                 (report, FaultStats::default())
             }
         };
@@ -245,6 +386,20 @@ impl Accelerator {
             trace,
         };
         (Ok(outcome), stats)
+    }
+
+    /// A generation-phase length must fit the synthesized sequence
+    /// capacity, exactly like the programmed `seq_len`.
+    fn check_phase_len(&self, reg: &'static str, len: usize) -> Result<(), CoreError> {
+        let max = self.design().config.sl_max;
+        if len == 0 || len > max {
+            return Err(CoreError::Register(RegisterError::ExceedsCapacity {
+                reg,
+                requested: len as u32,
+                max: max as u32,
+            }));
+        }
+        Ok(())
     }
 
     /// Functional half: validate, then run every input through the
@@ -482,5 +637,157 @@ impl RunOutcome {
             latency_ms: self.latency_ms,
             gops: self.gops,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::SynthesisConfig;
+    use protea_model::{DecoderWeights, EncoderConfig, QuantSchedule};
+    use protea_platform::FpgaDevice;
+
+    fn accel(cfg: &EncoderConfig) -> Accelerator {
+        let mut a =
+            Accelerator::try_new(SynthesisConfig::paper_default(), &FpgaDevice::alveo_u55c())
+                .expect("design fits");
+        a.program(RuntimeConfig {
+            heads: cfg.heads,
+            layers: cfg.layers,
+            d_model: cfg.d_model,
+            seq_len: cfg.seq_len,
+        })
+        .expect("register write");
+        a
+    }
+
+    fn decoder(cfg: EncoderConfig, seed: u64) -> QuantizedDecoder {
+        QuantizedDecoder::from_float(&DecoderWeights::random(cfg, seed), QuantSchedule::paper())
+    }
+
+    #[test]
+    fn decode_plan_matches_decode_step_timing_shim() {
+        // The legacy decode_step_timing entry point and the phase-aware
+        // pipeline must price a step identically.
+        let cfg = EncoderConfig::new(96, 4, 2, 16);
+        let a = accel(&cfg);
+        let dec = decoder(cfg, 31);
+        for pos in [0usize, 3, 7] {
+            let (outcome, _) = a.execute(RunPlan::decode(pos, pos + 1, 1));
+            let pipeline = outcome.expect("decode plan prices");
+            let shim = a.decode_step_timing(&dec, pos, 16);
+            assert_eq!(pipeline.report.total, shim.total, "position {pos}");
+        }
+    }
+
+    #[test]
+    fn decode_session_output_matches_full_forward() {
+        let cfg = EncoderConfig::new(32, 4, 2, 8);
+        let a = accel(&cfg);
+        let dec = decoder(cfg, 33);
+        let packed = dec.pack();
+        let mem = Matrix::from_fn(8, 32, |r, c| ((r * 13 + c * 3) % 110) as i8 - 50);
+        let x = Matrix::from_fn(6, 32, |r, c| ((r * 7 + c * 11) % 110) as i8 - 50);
+        let full = dec.forward(&x, &mem);
+        let mut cache = DecoderKvCache::new(&dec, &mem);
+        for pos in 0..6 {
+            let row = x.submatrix(pos, 0, 1, 32);
+            let plan = RunPlan::decode(pos, pos + 1, 1).with_session(DecodeSession {
+                decoder: &dec,
+                packed: Some(&packed),
+                cache: &mut cache,
+                x_row: &row,
+            });
+            let (outcome, _) = a.execute(plan);
+            let out = outcome.expect("decode step runs");
+            assert_eq!(out.outputs.len(), 1);
+            assert_eq!(out.outputs[0].row(0), full.row(pos), "position {pos} diverged");
+            assert!(out.latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn session_capacity_error_lifts_to_core_error() {
+        let cfg = EncoderConfig::new(32, 4, 1, 8);
+        let a = accel(&cfg);
+        let dec = decoder(cfg, 35);
+        let mem = Matrix::from_fn(8, 32, |r, c| ((r + c) % 90) as i8);
+        let mut cache = DecoderKvCache::bounded(&dec, &mem, 1);
+        let row = Matrix::from_fn(1, 32, |_, c| (c % 40) as i8);
+        let step = |cache: &mut DecoderKvCache, pos: usize| {
+            let plan = RunPlan::decode(pos, pos + 1, 1).with_session(DecodeSession {
+                decoder: &dec,
+                packed: None,
+                cache,
+                x_row: &row,
+            });
+            a.execute(plan).0
+        };
+        assert!(step(&mut cache, 0).is_ok());
+        let err = step(&mut cache, 1).unwrap_err();
+        assert_eq!(err, CoreError::KvCapacity { positions: 1, capacity: 1 });
+        assert_eq!(err.exit_code(), 11);
+    }
+
+    #[test]
+    fn prefill_prices_between_one_step_and_full_forward_shape() {
+        let cfg = EncoderConfig::new(96, 4, 2, 32);
+        let a = accel(&cfg);
+        let (one, _) = a.execute(RunPlan::decode(0, 1, 1));
+        let (pre, _) = a.execute(RunPlan::prefill(16, 1));
+        let one = one.expect("decode prices");
+        let pre = pre.expect("prefill prices");
+        assert!(
+            pre.report.total > one.report.total,
+            "a 16-row prefill must cost more than one token step"
+        );
+    }
+
+    #[test]
+    fn generation_phases_reject_oversized_lengths_and_faults() {
+        let cfg = EncoderConfig::new(96, 4, 1, 16);
+        let a = accel(&cfg);
+        let sl_max = a.design().config.sl_max;
+        assert!(matches!(
+            a.execute(RunPlan::prefill(sl_max + 1, 1)).0.unwrap_err(),
+            CoreError::Register(RegisterError::ExceedsCapacity { reg: "prompt_len", .. })
+        ));
+        assert!(matches!(
+            a.execute(RunPlan::decode(0, 0, 1)).0.unwrap_err(),
+            CoreError::Register(RegisterError::ExceedsCapacity { reg: "kv_len", .. })
+        ));
+        let mut stream = FaultStream::seeded(7, 0, crate::fault::FaultRates::scaled(1.0));
+        let plan = RunPlan::decode(0, 1, 1).with_faults(FaultPlan {
+            stream: &mut stream,
+            watchdog: Watchdog::default(),
+            retry: RetryPolicy::default(),
+            now_ns: 0,
+        });
+        assert!(matches!(a.execute(plan).0.unwrap_err(), CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn decode_batch_scales_compute_not_loads() {
+        // Weight streaming is shared across a decode batch (weight-
+        // stationary), so batching tokens must cost less than pricing
+        // each token alone.
+        let cfg = EncoderConfig::new(768, 8, 2, 64);
+        let a = accel(&cfg);
+        let single = a.execute(RunPlan::decode(0, 32, 1)).0.unwrap().report.total;
+        let batched = a.execute(RunPlan::decode(0, 32, 8)).0.unwrap().report.total;
+        assert!(batched > single);
+        assert!(
+            batched.get() < 8 * single.get(),
+            "batch 8 ({batched:?}) must beat 8 independent steps ({single:?} each)"
+        );
+    }
+
+    #[test]
+    fn non_encode_plans_are_not_memoizable() {
+        let cfg = EncoderConfig::new(96, 4, 1, 16);
+        let a = accel(&cfg);
+        assert!(RunPlan::timing(1).memo_key(&a).is_some());
+        assert!(RunPlan::prefill(4, 1).memo_key(&a).is_none());
+        assert!(RunPlan::decode(0, 4, 1).memo_key(&a).is_none());
     }
 }

@@ -1,0 +1,168 @@
+//! KV-cache residency in device memory.
+//!
+//! Autoregressive decoding keeps every layer's self-attention K/V rows
+//! (growing one row per generated token) and the cross-attention K/V
+//! (fixed once the encoder memory is seen) resident in the card's
+//! external memory. This module owns both sides of that residency:
+//!
+//! * **traffic** — the per-step bytes a decode step moves over the
+//!   memory link (append the new K/V row, stream the cached rows back
+//!   through the attention reduction), priced by the same
+//!   [`bounded_transfer_cycles`](crate::hbm::bounded_transfer_cycles)
+//!   path as weight tiles;
+//! * **capacity** — a per-card byte budget ([`KvResidency`]) that bounds
+//!   how many concurrent sessions a card can hold; admission reserves a
+//!   session's worst-case footprint up front and releases it when the
+//!   session retires, so a full card sheds new sessions instead of
+//!   silently oversubscribing its DRAM.
+
+/// The byte footprint of one decode session's KV cache.
+///
+/// All activations are int8, so one cached row of one layer costs
+/// `d_model` bytes per tensor; K and V double it; self- and
+/// cross-attention caches add up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvSpec {
+    /// Decoder layers (each keeps its own K/V).
+    pub layers: usize,
+    /// Embedding dimension (row width in bytes at int8).
+    pub d_model: usize,
+    /// Maximum decoded positions the session may reach (prompt + steps).
+    pub self_rows: usize,
+    /// Encoder-memory rows cached once for cross-attention.
+    pub cross_rows: usize,
+}
+
+impl KvSpec {
+    /// Worst-case resident bytes of the whole session: self K+V grown to
+    /// `self_rows` plus the fixed cross K+V, per layer.
+    #[must_use]
+    pub fn session_bytes(&self) -> u64 {
+        let rows = self.self_rows as u64 + self.cross_rows as u64;
+        2 * rows * self.d_model as u64 * self.layers as u64
+    }
+}
+
+/// Bytes one decode step *writes* per layer: the new K row and the new
+/// V row.
+#[must_use]
+pub fn step_write_bytes(d_model: usize) -> u64 {
+    2 * d_model as u64
+}
+
+/// Bytes one attention reduction *reads* per layer from a cached tensor
+/// of `rows` positions (the K read of QK, or the V read of SV — call
+/// once per tensor).
+#[must_use]
+pub fn attn_read_bytes(rows: u64, d_model: usize) -> u64 {
+    rows * d_model as u64
+}
+
+/// A card's KV byte budget: how much of its external memory is carved
+/// out for resident session caches (the rest belongs to weights and
+/// activations). Reservations are worst-case and up-front, so the
+/// accounting never depends on token-step order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvResidency {
+    budget_bytes: u64,
+    used_bytes: u64,
+    sessions: usize,
+}
+
+impl KvResidency {
+    /// An empty residency over `budget_bytes` of device memory.
+    #[must_use]
+    pub fn new(budget_bytes: u64) -> Self {
+        Self { budget_bytes, used_bytes: 0, sessions: 0 }
+    }
+
+    /// Reserve a session's footprint. Returns `false` (reserving
+    /// nothing) when the budget cannot hold it.
+    pub fn try_reserve(&mut self, spec: &KvSpec) -> bool {
+        let bytes = spec.session_bytes();
+        if self.used_bytes.saturating_add(bytes) > self.budget_bytes {
+            return false;
+        }
+        self.used_bytes += bytes;
+        self.sessions += 1;
+        true
+    }
+
+    /// Release a retired session's footprint (saturating: releasing
+    /// more than was reserved clamps to empty rather than underflowing).
+    pub fn release(&mut self, spec: &KvSpec) {
+        self.used_bytes = self.used_bytes.saturating_sub(spec.session_bytes());
+        self.sessions = self.sessions.saturating_sub(1);
+    }
+
+    /// Drop every reservation (the card crashed or was re-imaged).
+    pub fn clear(&mut self) {
+        self.used_bytes = 0;
+        self.sessions = 0;
+    }
+
+    /// Bytes currently reserved.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Sessions currently resident.
+    #[must_use]
+    pub fn sessions(&self) -> usize {
+        self.sessions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> KvSpec {
+        // 2 layers, d=96, 64 decoded + 32 memory rows:
+        // 2 * (64+32) * 96 * 2 = 36864 bytes
+        KvSpec { layers: 2, d_model: 96, self_rows: 64, cross_rows: 32 }
+    }
+
+    #[test]
+    fn session_bytes_formula() {
+        assert_eq!(spec().session_bytes(), 36_864);
+        assert_eq!(step_write_bytes(96), 192);
+        assert_eq!(attn_read_bytes(10, 96), 960);
+    }
+
+    #[test]
+    fn reserve_release_round_trip() {
+        let mut r = KvResidency::new(100_000);
+        assert!(r.try_reserve(&spec()));
+        assert!(r.try_reserve(&spec()));
+        assert_eq!(r.sessions(), 2);
+        assert_eq!(r.used_bytes(), 2 * 36_864);
+        // third does not fit
+        assert!(!r.try_reserve(&spec()));
+        assert_eq!(r.sessions(), 2, "failed reserve must not leak accounting");
+        r.release(&spec());
+        assert!(r.try_reserve(&spec()));
+        r.clear();
+        assert_eq!((r.used_bytes(), r.sessions()), (0, 0));
+    }
+
+    #[test]
+    fn zero_budget_admits_nothing() {
+        let mut r = KvResidency::new(0);
+        assert!(!r.try_reserve(&spec()));
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut r = KvResidency::new(1 << 20);
+        r.release(&spec());
+        assert_eq!((r.used_bytes(), r.sessions()), (0, 0));
+    }
+}

@@ -28,6 +28,7 @@ pub mod axi;
 pub mod dma;
 pub mod fault;
 pub mod hbm;
+pub mod kv;
 pub mod overlap;
 
 pub use arbiter::{arbitrate_round_robin, ArbitrationResult};
@@ -38,6 +39,7 @@ pub use fault::{
     TransferFault,
 };
 pub use hbm::ChannelShare;
+pub use kv::{KvResidency, KvSpec};
 pub use overlap::{
     simulate_double_buffered, simulate_double_buffered_spans, simulate_serial,
     simulate_serial_spans, AccessSpans, OverlapReport,

@@ -23,10 +23,14 @@ use crate::config::{AttnScaling, EncoderConfig};
 use crate::float::{layer_norm, softmax_rows};
 use crate::quantized::{add_norm, project, requant_logits, QuantMatrix, QuantSchedule};
 use crate::weights::EncoderWeights;
+use core::fmt;
 use protea_fixed::activation::ActivationLut;
 use protea_fixed::layernorm::LayerNormUnit;
 use protea_fixed::{Activation, QFormat, Quantizer, Requantizer, SoftmaxUnit};
-use protea_tensor::{add_bias_row, matmul_i8_i32, matmul_naive, residual_add, transpose, Matrix};
+use protea_tensor::{
+    add_bias_row, matmul_i8_i32, matmul_i8_i32_packed, matmul_naive, residual_add, transpose,
+    Matrix, PackedWeights,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -548,13 +552,79 @@ pub struct DecoderKvCache {
     cross_v: Vec<Matrix<i8>>,
     d_model: usize,
     positions: usize,
+    /// Maximum decoded positions, `None` for unbounded growth.
+    capacity: Option<usize>,
 }
+
+/// How the KV-cached decode path can fail. Growth past a bounded
+/// cache's capacity and shape mismatches surface here instead of
+/// panicking, so a serving layer can shed the session; the unified
+/// `CoreError` wraps this via `From` one crate up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvCacheError {
+    /// The cache is full: decoding one more position would exceed the
+    /// capacity the cache was bounded to at construction.
+    CapacityExhausted {
+        /// Positions already decoded.
+        positions: usize,
+        /// The bound set by [`DecoderKvCache::bounded`].
+        capacity: usize,
+    },
+    /// The input is not one `1 × d_model` row.
+    RowShape {
+        /// Shape the decoder demands.
+        expected: (usize, usize),
+        /// Shape that was supplied.
+        got: (usize, usize),
+    },
+    /// The cache was built for a different embedding dimension than the
+    /// decoder it is being stepped with.
+    DimMismatch {
+        /// `d_model` the cache was built with.
+        cache: usize,
+        /// `d_model` of the decoder.
+        decoder: usize,
+    },
+}
+
+impl fmt::Display for KvCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvCacheError::CapacityExhausted { positions, capacity } => {
+                write!(f, "KV cache full: {positions} positions decoded, capacity {capacity}")
+            }
+            KvCacheError::RowShape { expected, got } => write!(
+                f,
+                "decode step takes one {}×{} row, got {}×{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            KvCacheError::DimMismatch { cache, decoder } => {
+                write!(f, "KV cache built for d_model={cache}, decoder has d_model={decoder}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvCacheError {}
 
 impl DecoderKvCache {
     /// Build the cache: precompute the cross-attention K/V from the
-    /// encoder memory for every layer.
+    /// encoder memory for every layer. Growth is unbounded; use
+    /// [`bounded`](Self::bounded) to cap it.
     #[must_use]
     pub fn new(dec: &QuantizedDecoder, memory: &Matrix<i8>) -> Self {
+        Self::build(dec, memory, None)
+    }
+
+    /// Build a cache that holds at most `capacity` decoded positions;
+    /// stepping past it fails with [`KvCacheError::CapacityExhausted`]
+    /// instead of growing (a device's KV region is finite).
+    #[must_use]
+    pub fn bounded(dec: &QuantizedDecoder, memory: &Matrix<i8>, capacity: usize) -> Self {
+        Self::build(dec, memory, Some(capacity))
+    }
+
+    fn build(dec: &QuantizedDecoder, memory: &Matrix<i8>, capacity: Option<usize>) -> Self {
         let d = dec.config.d_model;
         assert_eq!(memory.cols(), d);
         let s = &dec.schedule;
@@ -571,6 +641,7 @@ impl DecoderKvCache {
             cross_v,
             d_model: d,
             positions: 0,
+            capacity,
         }
     }
 
@@ -585,18 +656,162 @@ impl DecoderKvCache {
     pub fn is_empty(&self) -> bool {
         self.positions == 0
     }
+
+    /// The position bound, `None` when growth is unbounded.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Rows of encoder memory cached for cross-attention.
+    #[must_use]
+    pub fn cross_len(&self) -> usize {
+        self.cross_k.first().map_or(0, Matrix::rows)
+    }
+}
+
+/// Pre-packed projection weights for the fast decode path: the eight
+/// matrices a decode step multiplies against, packed once into the
+/// SIMD-dispatched [`PackedWeights`] layout (bit-identical to the
+/// reference GEMM on every kernel ISA). Build once per decoder with
+/// [`QuantizedDecoder::pack`]; steps with it then route every
+/// projection through the runtime-dispatched microkernels.
+#[derive(Debug, Clone)]
+pub struct PackedDecoder {
+    layers: Vec<PackedDecoderLayer>,
+}
+
+#[derive(Debug, Clone)]
+struct PackedDecoderLayer {
+    self_wq: PackedWeights,
+    self_wk: PackedWeights,
+    self_wv: PackedWeights,
+    self_wo: PackedWeights,
+    cross_wq: PackedWeights,
+    cross_wo: PackedWeights,
+    w1: PackedWeights,
+    w2: PackedWeights,
+}
+
+/// [`project`] with a pre-packed weight matrix: the same bias add and
+/// requantization tail over the packed GEMM, bit-identical by the
+/// packed kernels' equivalence contract.
+fn project_packed(
+    x: &Matrix<i8>,
+    pw: &PackedWeights,
+    fmt: QFormat,
+    bias: &[i32],
+    s: &QuantSchedule,
+) -> Matrix<i8> {
+    let mut acc = matmul_i8_i32_packed(x, pw);
+    assert_eq!(acc.cols(), bias.len(), "bias length mismatch");
+    for r in 0..acc.rows() {
+        for (a, &b) in acc.row_mut(r).iter_mut().zip(bias.iter()) {
+            *a = a.saturating_add(b);
+        }
+    }
+    let rq = Requantizer::new(s.act_fmt.frac_bits() + fmt.frac_bits(), s.act_fmt, s.rounding);
+    acc.map(|a| rq.apply(a))
 }
 
 impl QuantizedDecoder {
+    /// Pack the per-step projection weights for the fast decode path.
+    #[must_use]
+    pub fn pack(&self) -> PackedDecoder {
+        PackedDecoder {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| PackedDecoderLayer {
+                    self_wq: PackedWeights::pack(&l.self_wq.data),
+                    self_wk: PackedWeights::pack(&l.self_wk.data),
+                    self_wv: PackedWeights::pack(&l.self_wv.data),
+                    self_wo: PackedWeights::pack(&l.self_wo.data),
+                    cross_wq: PackedWeights::pack(&l.cross_wq.data),
+                    cross_wo: PackedWeights::pack(&l.cross_wo.data),
+                    w1: PackedWeights::pack(&l.w1.data),
+                    w2: PackedWeights::pack(&l.w2.data),
+                })
+                .collect(),
+        }
+    }
+
     /// Decode one position incrementally: `x_row` is the `1 × d` input
     /// for the next target position; the cache supplies all previous
     /// K/V rows. Returns the `1 × d` output for this position, identical
     /// to the corresponding row of a full [`forward`](Self::forward).
+    ///
+    /// # Panics
+    /// On any [`KvCacheError`]; serving paths use
+    /// [`try_decode_step`](Self::try_decode_step) instead.
     #[must_use]
     pub fn decode_step(&self, cache: &mut DecoderKvCache, x_row: &Matrix<i8>) -> Matrix<i8> {
-        assert_eq!(x_row.shape(), (1, self.config.d_model), "one row at a time");
-        assert_eq!(cache.d_model, self.config.d_model);
+        match self.try_decode_step(cache, x_row) {
+            Ok(out) => out,
+            Err(e) => panic!("decode_step: {e}"),
+        }
+    }
+
+    /// Fallible [`decode_step`](Self::decode_step): shape, dimension and
+    /// cache-capacity violations surface as [`KvCacheError`] before the
+    /// cache is mutated.
+    ///
+    /// # Errors
+    /// [`KvCacheError`] on a bad input shape, a cache built for a
+    /// different decoder, or a bounded cache that is already full.
+    pub fn try_decode_step(
+        &self,
+        cache: &mut DecoderKvCache,
+        x_row: &Matrix<i8>,
+    ) -> Result<Matrix<i8>, KvCacheError> {
+        self.decode_step_impl(cache, x_row, None)
+    }
+
+    /// [`try_decode_step`](Self::try_decode_step) with every projection
+    /// routed through `packed`'s SIMD-dispatched weights — bit-identical
+    /// output, built for the serving fast path where the same decoder
+    /// steps many sessions.
+    ///
+    /// # Errors
+    /// Same contract as [`try_decode_step`](Self::try_decode_step).
+    pub fn try_decode_step_packed(
+        &self,
+        packed: &PackedDecoder,
+        cache: &mut DecoderKvCache,
+        x_row: &Matrix<i8>,
+    ) -> Result<Matrix<i8>, KvCacheError> {
+        self.decode_step_impl(cache, x_row, Some(packed))
+    }
+
+    fn decode_step_impl(
+        &self,
+        cache: &mut DecoderKvCache,
+        x_row: &Matrix<i8>,
+        packed: Option<&PackedDecoder>,
+    ) -> Result<Matrix<i8>, KvCacheError> {
+        let d = self.config.d_model;
+        if x_row.shape() != (1, d) {
+            return Err(KvCacheError::RowShape { expected: (1, d), got: x_row.shape() });
+        }
+        if cache.d_model != d {
+            return Err(KvCacheError::DimMismatch { cache: cache.d_model, decoder: d });
+        }
+        if let Some(cap) = cache.capacity {
+            if cache.positions >= cap {
+                return Err(KvCacheError::CapacityExhausted {
+                    positions: cache.positions,
+                    capacity: cap,
+                });
+            }
+        }
         let s = &self.schedule;
+        // Projection that takes the packed route when a PackedDecoder is
+        // supplied; the scalar and packed GEMMs are bit-identical.
+        let proj = |x: &Matrix<i8>, w: &QuantMatrix, pw: Option<&PackedWeights>, b: &[i32]| match pw
+        {
+            Some(pw) => project_packed(x, pw, w.fmt, b, s),
+            None => project(x, w, b, s),
+        };
         let dk = self.config.d_k();
         let rq = Requantizer::new(
             s.logit_fmt.frac_bits() + s.act_fmt.frac_bits(),
@@ -606,10 +821,11 @@ impl QuantizedDecoder {
         let mut h = x_row.clone();
         let pos = cache.positions;
         for (li, layer) in self.layers.iter().enumerate() {
+            let pl = packed.map(|p| &p.layers[li]);
             // --- masked self-attention with cached K/V ------------------
-            let q = project(&h, &layer.self_wq, &layer.self_bq, s);
-            let k_new = project(&h, &layer.self_wk, &layer.self_bk, s);
-            let v_new = project(&h, &layer.self_wv, &layer.self_bv, s);
+            let q = proj(&h, &layer.self_wq, pl.map(|p| &p.self_wq), &layer.self_bq);
+            let k_new = proj(&h, &layer.self_wk, pl.map(|p| &p.self_wk), &layer.self_bk);
+            let v_new = proj(&h, &layer.self_wv, pl.map(|p| &p.self_wv), &layer.self_bv);
             cache.self_k[li].extend_from_slice(k_new.row(0));
             cache.self_v[li].extend_from_slice(v_new.row(0));
             let kv_len = pos + 1;
@@ -629,11 +845,11 @@ impl QuantizedDecoder {
                 let acc_sv = matmul_i8_i32(&p, &vi);
                 concat.write_submatrix(0, c0, &acc_sv.map(|a| rq.apply(a)));
             }
-            let sa = project(&concat, &layer.self_wo, &layer.self_bo, s);
+            let sa = proj(&concat, &layer.self_wo, pl.map(|p| &p.self_wo), &layer.self_bo);
             let x1 = add_norm(&h, &sa, &layer.ln[0], s);
 
             // --- cross-attention with precomputed memory K/V ------------
-            let qc = project(&x1, &layer.cross_wq, &layer.cross_bq, s);
+            let qc = proj(&x1, &layer.cross_wq, pl.map(|p| &p.cross_wq), &layer.cross_bq);
             let k_mem = &cache.cross_k[li];
             let v_mem = &cache.cross_v[li];
             let sl_kv = k_mem.rows();
@@ -650,17 +866,17 @@ impl QuantizedDecoder {
                 let acc_sv = matmul_i8_i32(&p, &vi);
                 ccat.write_submatrix(0, c0, &acc_sv.map(|a| rq.apply(a)));
             }
-            let ca = project(&ccat, &layer.cross_wo, &layer.cross_bo, s);
+            let ca = proj(&ccat, &layer.cross_wo, pl.map(|p| &p.cross_wo), &layer.cross_bo);
             let x2 = add_norm(&x1, &ca, &layer.ln[1], s);
 
             // --- FFN -----------------------------------------------------
-            let mut hidden = project(&x2, &layer.w1, &layer.b1, s);
+            let mut hidden = proj(&x2, &layer.w1, pl.map(|p| &p.w1), &layer.b1);
             self.act.apply_slice(hidden.as_mut_slice());
-            let ffn = project(&hidden, &layer.w2, &layer.b2, s);
+            let ffn = proj(&hidden, &layer.w2, pl.map(|p| &p.w2), &layer.b2);
             h = add_norm(&x2, &ffn, &layer.ln[2], s);
         }
         cache.positions += 1;
-        h
+        Ok(h)
     }
 }
 
@@ -812,6 +1028,64 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.cross_k.len(), c.layers);
         assert_eq!(cache.cross_k[0].shape(), (5, 32));
+    }
+
+    #[test]
+    fn bounded_cache_surfaces_capacity_error() {
+        let c = cfg();
+        let w = DecoderWeights::random(c, 23);
+        let dec = QuantizedDecoder::from_float(&w, QuantSchedule::paper());
+        let mem = Matrix::from_fn(4, 32, |r, cc| ((r + cc * 2) % 90) as i8);
+        let mut cache = DecoderKvCache::bounded(&dec, &mem, 2);
+        assert_eq!(cache.capacity(), Some(2));
+        let row = Matrix::from_fn(1, 32, |_, cc| (cc % 50) as i8);
+        assert!(dec.try_decode_step(&mut cache, &row).is_ok());
+        assert!(dec.try_decode_step(&mut cache, &row).is_ok());
+        let err = dec.try_decode_step(&mut cache, &row).unwrap_err();
+        assert_eq!(err, KvCacheError::CapacityExhausted { positions: 2, capacity: 2 });
+        assert_eq!(cache.len(), 2, "failed step must not mutate the cache");
+    }
+
+    #[test]
+    fn bad_shapes_surface_errors_not_panics() {
+        let c = cfg();
+        let w = DecoderWeights::random(c, 24);
+        let dec = QuantizedDecoder::from_float(&w, QuantSchedule::paper());
+        let mem = Matrix::from_fn(4, 32, |r, cc| ((r + cc) % 90) as i8);
+        let mut cache = DecoderKvCache::new(&dec, &mem);
+        let wide = Matrix::<i8>::zeros(1, 16);
+        assert_eq!(
+            dec.try_decode_step(&mut cache, &wide).unwrap_err(),
+            KvCacheError::RowShape { expected: (1, 32), got: (1, 16) },
+        );
+        let two_rows = Matrix::<i8>::zeros(2, 32);
+        assert!(matches!(
+            dec.try_decode_step(&mut cache, &two_rows).unwrap_err(),
+            KvCacheError::RowShape { .. }
+        ));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn packed_decode_is_bit_exact() {
+        // The packed fast path must match the scalar path (and therefore
+        // the full forward) byte for byte at every position.
+        let c = cfg();
+        let w = DecoderWeights::random(c, 25);
+        let dec = QuantizedDecoder::from_float(&w, QuantSchedule::paper());
+        let packed = dec.pack();
+        let mem = Matrix::from_fn(6, 32, |r, cc| ((r * 17 + cc * 5) % 110) as i8 - 50);
+        let x = Matrix::from_fn(8, 32, |r, cc| ((r * 3 + cc * 13) % 110) as i8 - 50);
+        let full = dec.forward(&x, &mem);
+        let mut scalar_cache = DecoderKvCache::new(&dec, &mem);
+        let mut packed_cache = DecoderKvCache::new(&dec, &mem);
+        for r in 0..8 {
+            let row = x.submatrix(r, 0, 1, 32);
+            let a = dec.try_decode_step(&mut scalar_cache, &row).unwrap();
+            let b = dec.try_decode_step_packed(&packed, &mut packed_cache, &row).unwrap();
+            assert_eq!(a.row(0), b.row(0), "packed diverged at position {r}");
+            assert_eq!(b.row(0), full.row(r), "packed diverged from full forward at {r}");
+        }
     }
 
     #[test]

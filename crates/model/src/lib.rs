@@ -38,7 +38,8 @@ pub mod workload;
 pub use analysis::{error_profile, ErrorProfile, LayerError};
 pub use config::{AttnScaling, EncoderConfig};
 pub use decoder::{
-    DecoderKvCache, DecoderWeights, FloatDecoder, QuantizedDecoder, QuantizedTransformer,
+    DecoderKvCache, DecoderWeights, FloatDecoder, KvCacheError, PackedDecoder, QuantizedDecoder,
+    QuantizedTransformer,
 };
 pub use embedding::{Embedding, GeneratorHead};
 pub use float::FloatEncoder;

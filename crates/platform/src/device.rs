@@ -96,6 +96,25 @@ impl FpgaDevice {
         }
     }
 
+    /// Total external DRAM on the card, in bytes. The bandwidth model
+    /// ([`ExternalMemory`]) deliberately carries no capacity field — it
+    /// prices transfers, not residency — so the canonical board
+    /// capacities live here: 16 GB HBM2 on the U55C, 64 GB DDR4 on the
+    /// big Alveo/VCU boards, 4 GB on the ZCU102's PS-side DDR4.
+    #[must_use]
+    pub fn dram_capacity_bytes(&self) -> u64 {
+        match self.memory_kind {
+            MemoryKind::Hbm2 => 16 << 30,
+            MemoryKind::Ddr4 => {
+                if self.name == "ZCU102" {
+                    4 << 30
+                } else {
+                    64 << 30
+                }
+            }
+        }
+    }
+
     /// All devices in the database.
     #[must_use]
     pub fn all() -> Vec<FpgaDevice> {

@@ -8,8 +8,9 @@
 //! timing vs fault-armed), not which code path they take.
 
 use super::events::{FleetEvent, RANK_DYN};
-use super::sim::{record_span, Inflight, SimModel};
+use super::sim::{kv_spec, record_span, CardGen, GenSession, Inflight, SimModel};
 use crate::error::ServeError;
+use crate::faults::{FailReason, FailedRequest};
 use crate::health::CardHealth;
 use crate::request::ServeResponse;
 use crate::scheduler::Batch;
@@ -462,6 +463,10 @@ impl SimModel {
             // the survivors, its completion event goes stale.
             self.requeue_or_fail(batch, FaultKind::SilentCorrupt);
         }
+        // Resident generation sessions were decoding against the very
+        // image that just failed its digest — their outputs cannot be
+        // trusted and their caches do not survive the re-image.
+        self.shed_card_sessions(card, FaultKind::SilentCorrupt);
         self.reprograms += 1;
         let c = &mut self.cards[card];
         c.busy = true; // occupied by its own restore until requalified
@@ -604,6 +609,9 @@ impl SimModel {
                 self.requeue_or_fail(inflight.batch, FaultKind::CardCrash);
             }
         }
+        // Generation sessions die with the card: their KV caches are
+        // gone, so the work cannot move — remaining tokens shed.
+        self.shed_card_sessions(card, FaultKind::CardCrash);
         self.fail_all_pending_if_dead();
     }
 
@@ -636,6 +644,272 @@ impl SimModel {
         f.inflight[hedge_card].as_mut().expect("just dispatched").partner = Some(card);
         f.inflight[card].as_mut().expect("still running").partner = Some(hedge_card);
         Ok(Some((hedge_card, f.epochs[hedge_card], outcome)))
+    }
+
+    /// Start a generation batch on `card`: reserve every member's
+    /// worst-case KV footprint (members that do not fit are shed, with
+    /// their tokens conserved), pay the reprogram-and-load, price the
+    /// batched prefill, and schedule the first
+    /// [`FleetEvent::Generate`] window. The prefill window emits no
+    /// tokens; every subsequent decode window banks one token per
+    /// resident session. Returns whether the card actually took the
+    /// batch (false when every member was shed on KV capacity).
+    pub(super) fn start_session_batch(
+        &mut self,
+        q: &mut EventQueue<FleetEvent>,
+        card: usize,
+        batch: Batch,
+        now_ns: u64,
+    ) -> Result<bool, ServeError> {
+        let class = batch.requests[0].class();
+        let padded = batch.runtime.seq_len;
+        // Admission to the batch is a promise the cache cannot break
+        // mid-generation, so the worst-case footprint (prompt + every
+        // requested token) reserves up front.
+        let mut members = Vec::with_capacity(batch.requests.len());
+        for r in batch.requests {
+            let fits = self.sessions_mut().kv[card].try_reserve(&kv_spec(&r));
+            if fits {
+                members.push(r);
+            } else {
+                self.shed_session_tokens(&r, 0);
+                let f = self.faulty.as_mut().expect("decode runs are managed");
+                f.shed.push(FailedRequest { id: r.id, reason: FailReason::Shed });
+                f.ledger(r.tenant).shed += 1;
+            }
+        }
+        if members.is_empty() {
+            return Ok(false);
+        }
+        let batch = Batch { requests: members, runtime: batch.runtime };
+        let reload_ns = self.prepare_card(card, &batch, now_ns)?;
+        let (outcome, _) = self.cards[card].accel.execute(RunPlan::prefill(padded, batch.len()));
+        let service_ns = (outcome?.report.latency_ms() * 1e6).ceil() as u64;
+        let finish_ns = now_ns.saturating_add(reload_ns).saturating_add(service_ns);
+        {
+            let st = self.sessions_mut();
+            st.prefill_ns_sum += service_ns;
+            st.prefill_count += batch.len() as u64;
+            st.cards[card] = Some(CardGen {
+                class,
+                padded_prompt: padded,
+                pending_step: false,
+                sessions: batch
+                    .requests
+                    .iter()
+                    .map(|r| GenSession {
+                        req: *r,
+                        start_ns: now_ns,
+                        emitted: 0,
+                        last_emit_ns: r.arrival_ns,
+                        on_time: 0,
+                    })
+                    .collect(),
+            });
+        }
+        let c = &mut self.cards[card];
+        c.busy = true;
+        c.busy_ns = c.busy_ns.saturating_add(reload_ns + service_ns);
+        self.batches += 1;
+        record_span(
+            &mut self.trace,
+            format!("prefill x{} d{} sl{}", batch.len(), batch.runtime.d_model, padded),
+            SpanKind::Batch,
+            card,
+            now_ns.saturating_add(reload_ns),
+            finish_ns,
+        );
+        let epoch = self.faulty.as_ref().map_or(0, |f| f.epochs[card]);
+        q.push(Cycles(finish_ns), RANK_DYN, FleetEvent::Generate { card, epoch });
+        Ok(true)
+    }
+
+    /// A generation compute window on `card` ended. Bank one token per
+    /// resident session when a step was pending, retire sessions that
+    /// reached their requested length, pull compatible queued prefills
+    /// into the freed slots (continuous batching), and price the next
+    /// window. No-op on a stale epoch — the card crashed, drained, or
+    /// was quarantined mid-window and its sessions were already shed.
+    pub(super) fn generate_round(
+        &mut self,
+        q: &mut EventQueue<FleetEvent>,
+        card: usize,
+        epoch: u64,
+        now_ns: u64,
+    ) {
+        if self.faulty.as_ref().is_some_and(|f| f.epochs[card] != epoch) {
+            return;
+        }
+        let Some(mut gen) = self.sessions.as_mut().and_then(|s| s.cards[card].take()) else {
+            return;
+        };
+        // Bank the tokens the finished window produced. A token is on
+        // time when it lands within the per-token deadline of the
+        // previous emission (of the arrival, for the first token — the
+        // time-to-first-token deadline); tokens without a deadline
+        // count vacuously.
+        if gen.pending_step {
+            let mut on_time = 0u64;
+            for s in &mut gen.sessions {
+                s.emitted += 1;
+                let met = s
+                    .req
+                    .token_deadline_ns
+                    .is_none_or(|d| now_ns <= s.last_emit_ns.saturating_add(d));
+                if met {
+                    s.on_time += 1;
+                    on_time += 1;
+                }
+                s.last_emit_ns = now_ns;
+            }
+            let st = self.sessions.as_mut().expect("taken above");
+            st.tokens_emitted += gen.sessions.len() as u64;
+            st.decode_tokens += gen.sessions.len() as u64;
+            st.tokens_on_time += on_time;
+        }
+        // Retire sessions that reached their requested length: release
+        // their KV carve-out and record the completion at the final
+        // token's timestamp.
+        let batch_size = gen.sessions.len();
+        let (done, active): (Vec<GenSession>, Vec<GenSession>) =
+            gen.sessions.into_iter().partition(|s| s.emitted >= s.req.decode_steps);
+        gen.sessions = active;
+        for s in done {
+            let r = s.req;
+            self.sessions.as_mut().expect("taken above").kv[card].release(&kv_spec(&r));
+            let f = self.faulty.as_mut().expect("decode runs are managed");
+            f.prio_completed[r.priority.index()] += 1;
+            let good = r.within_deadline(now_ns);
+            if good {
+                f.good_completions += 1;
+                f.prio_good[r.priority.index()] += 1;
+            }
+            let ledger = f.ledger(r.tenant);
+            ledger.completed += 1;
+            if good {
+                ledger.good += 1;
+            }
+            let cfg = EncoderConfig::new(r.d_model, r.heads, r.layers, r.seq_len);
+            self.ops_total = self.ops_total.saturating_add(OpCount::for_config(&cfg).total());
+            self.metrics.record(ServeResponse {
+                id: r.id,
+                arrival_ns: r.arrival_ns,
+                start_ns: s.start_ns,
+                finish_ns: now_ns,
+                card,
+                batch_size,
+                padded_seq_len: gen.padded_prompt,
+            });
+        }
+        // Continuous batching: freed slots refill with queued
+        // compatible prefills *between* token steps — the joiners'
+        // prompts prefill inside this window ahead of the next step,
+        // resident sessions keep their caches, nothing reprograms.
+        let draining = self.faulty.as_ref().is_some_and(|f| f.draining[card]);
+        let mut joiner_prefill_ns = 0u64;
+        if !draining {
+            let slots = self.scheduler.policy().max_batch.saturating_sub(gen.sessions.len());
+            let joiners = self.scheduler.take_session_joiners(gen.class, gen.padded_prompt, slots);
+            let mut admitted = 0usize;
+            for r in joiners {
+                let fits =
+                    self.sessions.as_mut().expect("taken above").kv[card].try_reserve(&kv_spec(&r));
+                if !fits {
+                    self.shed_session_tokens(&r, 0);
+                    let f = self.faulty.as_mut().expect("decode runs are managed");
+                    f.shed.push(FailedRequest { id: r.id, reason: FailReason::Shed });
+                    f.ledger(r.tenant).shed += 1;
+                    continue;
+                }
+                gen.sessions.push(GenSession {
+                    req: r,
+                    start_ns: now_ns,
+                    emitted: 0,
+                    last_emit_ns: r.arrival_ns,
+                    on_time: 0,
+                });
+                admitted += 1;
+            }
+            if admitted > 0 {
+                let (outcome, _) =
+                    self.cards[card].accel.execute(RunPlan::prefill(gen.padded_prompt, admitted));
+                match outcome {
+                    Ok(run) => {
+                        joiner_prefill_ns = (run.report.latency_ms() * 1e6).ceil() as u64;
+                        let st = self.sessions.as_mut().expect("taken above");
+                        st.prefill_ns_sum += joiner_prefill_ns;
+                        st.prefill_count += admitted as u64;
+                    }
+                    Err(e) => {
+                        self.error = Some(e.into());
+                        return;
+                    }
+                }
+            }
+        }
+        // Batch drained: the card goes idle (and a pending scale-down
+        // completes — the drain was deferred while tokens flowed).
+        if gen.sessions.is_empty() {
+            self.cards[card].busy = false;
+            if draining {
+                self.finish_drain(card);
+            }
+            return;
+        }
+        // Price the next decode window: every resident session takes
+        // one KV-cached token step in lockstep. The kv_len register
+        // covers the longest member cache, clamped to the synthesized
+        // window — positions beyond SL_MAX fall out of the attention
+        // span, exactly like a sliding-window decode kernel.
+        let step = gen.sessions.iter().map(|s| s.emitted as usize).max().unwrap_or(0);
+        let sl_max = self.cards[card].accel.design().config.sl_max;
+        let kv_len = (gen.padded_prompt + step + 1).min(sl_max);
+        let (outcome, _) =
+            self.cards[card].accel.execute(RunPlan::decode(step, kv_len, gen.sessions.len()));
+        let service_ns = match outcome {
+            Ok(run) => (run.report.latency_ms() * 1e6).ceil() as u64,
+            Err(e) => {
+                self.error = Some(e.into());
+                return;
+            }
+        };
+        let window_ns = joiner_prefill_ns.saturating_add(service_ns);
+        let finish_ns = now_ns.saturating_add(window_ns);
+        self.sessions.as_mut().expect("taken above").decode_ns_sum += service_ns;
+        let c = &mut self.cards[card];
+        c.busy_ns = c.busy_ns.saturating_add(window_ns);
+        record_span(
+            &mut self.trace,
+            format!("decode x{} kv{}", gen.sessions.len(), kv_len),
+            SpanKind::Batch,
+            card,
+            now_ns,
+            finish_ns,
+        );
+        gen.pending_step = true;
+        self.sessions.as_mut().expect("taken above").cards[card] = Some(gen);
+        q.push(Cycles(finish_ns), RANK_DYN, FleetEvent::Generate { card, epoch });
+    }
+
+    /// Discard every generation session resident on `card` — it crashed
+    /// or its image can no longer be trusted. Each session's remaining
+    /// tokens are conserved as shed, each fails typed, and the card's
+    /// KV carve-out empties with it.
+    pub(super) fn shed_card_sessions(&mut self, card: usize, kind: FaultKind) {
+        let Some(st) = self.sessions.as_mut() else { return };
+        let Some(gen) = st.cards[card].take() else { return };
+        st.kv[card].clear();
+        for s in &gen.sessions {
+            st.tokens_shed += u64::from(s.req.decode_steps.saturating_sub(s.emitted));
+        }
+        let f = self.faulty.as_mut().expect("decode runs are managed");
+        for s in gen.sessions {
+            f.failed.push(FailedRequest {
+                id: s.req.id,
+                reason: FailReason::RetriesExhausted { last: kind },
+            });
+            f.ledger(s.req.tenant).failed += 1;
+        }
     }
 }
 
@@ -690,6 +964,18 @@ pub(super) fn dispatch_all(q: &mut EventQueue<FleetEvent>, m: &mut SimModel) {
                     return;
                 }
             }
+        }
+    }
+    // Generation batches claim cards after the one-shot loop: a free
+    // card left over prefills the best queued session batch, then holds
+    // it resident, emitting tokens window by window until it drains.
+    // (Encoder-only runs have no session queues; this loop breaks
+    // immediately and perturbs nothing.)
+    while let Some(card) = m.free_card(now) {
+        let Some(batch) = m.scheduler.pop_session_ready(now) else { break };
+        if let Err(e) = m.start_session_batch(q, card, batch, now) {
+            m.error = Some(e);
+            return;
         }
     }
     // A partial batch left waiting needs a wake-up at its deadline; one

@@ -101,6 +101,16 @@ pub(crate) enum FleetEvent {
         /// Epoch captured when the quarantine began.
         epoch: u64,
     },
+    /// A generation compute window on `card` ended: bank one token per
+    /// active session (when a step was pending), retire finished
+    /// sessions, admit queued joiners, and price the next window
+    /// (no-op if `epoch` went stale — the card crashed or drained).
+    Generate {
+        /// The card running the generation batch.
+        card: usize,
+        /// Dispatch epoch captured when the window was priced.
+        epoch: u64,
+    },
     /// Bare dispatch wake-up (batch flush window, request deadline, or
     /// circuit-breaker cooldown).
     Wake,
@@ -231,6 +241,13 @@ pub(super) fn handle_event(
                 return;
             }
             m.requalify_card(card, epoch);
+            dispatch_all(q, m);
+        }
+        FleetEvent::Generate { card, epoch } => {
+            if m.error.is_some() {
+                return;
+            }
+            m.generate_round(q, card, epoch, now);
             dispatch_all(q, m);
         }
         FleetEvent::Wake => dispatch_all(q, m),

@@ -350,7 +350,11 @@ impl Fleet {
             || self.config.tenants.is_some()
             || self.config.brownout.is_some()
             || self.config.sdc_active()
-            || source.has_deadlines();
+            || source.has_deadlines()
+            // Generation sessions need the typed failure/shed ledgers
+            // for token conservation, so decode workloads always run
+            // managed (zero-rate faults: timing is unperturbed).
+            || source.has_decode();
         let hashing = every.is_some() || resume.is_some();
         let (mut q, mut model, mut arrivals_seen) = match resume {
             Some(snap) => snap.apply(&self.config, managed, sketch, source)?,
@@ -460,6 +464,17 @@ impl Fleet {
         let mut any = false;
         while let Some(req) = source.next_request()? {
             any = true;
+            if req.is_decode() {
+                // The serial yardstick has no resident-session machinery;
+                // a decode request would queue as a session and never
+                // pop. Reject it typed instead of erroring obscurely.
+                return Err(ServeError::Unservable {
+                    id: req.id,
+                    why: "the serial baseline serves encode-only workloads; \
+                          generation requests need the batched fleet"
+                        .into(),
+                });
+            }
             // admission check through the same scheduler validation
             let mut probe = BatchScheduler::new(single.policy.clone(), single.synthesis);
             probe.push(req)?;

@@ -30,6 +30,10 @@ impl SimModel {
                 &busy,
             ),
         };
+        // Session state is read before the faulty match partially moves
+        // `self`; the token fields land after the fold so with_faults
+        // cannot clobber them.
+        let gen = self.sessions;
         let mut report = match self.faulty {
             None => report,
             Some(mut f) => {
@@ -95,6 +99,24 @@ impl SimModel {
                 })
             }
         };
+        if let Some(st) = gen {
+            let span = if report.makespan_s > 0.0 { report.makespan_s } else { f64::MIN_POSITIVE };
+            report.tokens_requested = st.tokens_requested;
+            report.tokens_emitted = st.tokens_emitted;
+            report.tokens_shed = st.tokens_shed;
+            report.tokens_on_time = st.tokens_on_time;
+            report.tokens_per_s = st.tokens_emitted as f64 / span;
+            report.prefill_ms_mean = if st.prefill_count == 0 {
+                0.0
+            } else {
+                st.prefill_ns_sum as f64 / 1e6 / st.prefill_count as f64
+            };
+            report.decode_ms_per_token = if st.decode_tokens == 0 {
+                0.0
+            } else {
+                st.decode_ns_sum as f64 / 1e6 / st.decode_tokens as f64
+            };
+        }
         report.memo_hits = memo_hits;
         report.memo_misses = memo_misses;
         report

@@ -21,6 +21,7 @@ use crate::sketch::StreamMetrics;
 use protea_core::SdcStream;
 use protea_core::{Accelerator, FaultStats, FaultStream};
 use protea_hwsim::exec_trace::{track, ExecTrace, SpanKind};
+use protea_mem::{KvResidency, KvSpec};
 use protea_model::QuantizedEncoder;
 use std::collections::BTreeMap;
 
@@ -66,6 +67,102 @@ pub(super) struct SimModel {
     /// Fleet-level span recorder (`None` = untraced; recording is
     /// observational and never perturbs the schedule).
     pub(super) trace: Option<ExecTrace>,
+    /// Autoregressive generation state, allocated lazily on the first
+    /// decode-tagged request — encoder-only runs never touch it.
+    pub(super) sessions: Option<SessionState>,
+    /// Per-card KV byte budgets (half of each card's DRAM), fixed at
+    /// build so lazy session allocation never re-resolves the roster.
+    pub(super) kv_budgets: Vec<u64>,
+}
+
+/// Everything the continuous-batching generation layer tracks: one
+/// running generation batch per card, per-card KV residency, the token
+/// conservation ledger, and the phase latency accumulators.
+pub(super) struct SessionState {
+    /// The generation batch running on each card, if any.
+    pub(super) cards: Vec<Option<CardGen>>,
+    /// Per-card resident-KV accounting; a session reserves its
+    /// worst-case footprint at batch start and releases it on retire.
+    pub(super) kv: Vec<KvResidency>,
+    /// Decode tokens asked for by every admitted generation request.
+    pub(super) tokens_requested: u64,
+    /// Decode tokens actually emitted.
+    pub(super) tokens_emitted: u64,
+    /// Decode tokens never emitted because their request was shed,
+    /// expired, failed, or crashed mid-generation. The conservation law
+    /// `tokens_emitted + tokens_shed == tokens_requested` holds at the
+    /// end of every run.
+    pub(super) tokens_shed: u64,
+    /// Emitted tokens that met their per-token deadline (tokens with no
+    /// deadline count vacuously).
+    pub(super) tokens_on_time: u64,
+    /// Summed prefill window cost (ns) and number of prefilled prompts.
+    pub(super) prefill_ns_sum: u64,
+    pub(super) prefill_count: u64,
+    /// Summed decode round cost (ns) and tokens generated in them.
+    pub(super) decode_ns_sum: u64,
+    pub(super) decode_tokens: u64,
+}
+
+impl SessionState {
+    fn new(cards: usize, kv_budgets: &[u64]) -> Self {
+        Self {
+            cards: (0..cards).map(|_| None).collect(),
+            kv: kv_budgets.iter().map(|&b| KvResidency::new(b)).collect(),
+            tokens_requested: 0,
+            tokens_emitted: 0,
+            tokens_shed: 0,
+            tokens_on_time: 0,
+            prefill_ns_sum: 0,
+            prefill_count: 0,
+            decode_ns_sum: 0,
+            decode_tokens: 0,
+        }
+    }
+}
+
+/// The generation batch resident on one card: the sessions decoding in
+/// lockstep, the class/prompt bucket new joiners must match, and
+/// whether the next `Generate` event has a token step to bank.
+pub(super) struct CardGen {
+    /// The batch's capacity class (what the card is programmed for).
+    pub(super) class: CapacityClass,
+    /// The padded prompt bucket the batch was formed at (joiners must
+    /// match it so the register file never reprograms mid-generation).
+    pub(super) padded_prompt: usize,
+    /// Whether the window ending at the next `Generate` event emits a
+    /// token for every active session (false for the initial
+    /// prefill-only window).
+    pub(super) pending_step: bool,
+    /// The sessions currently decoding on this card.
+    pub(super) sessions: Vec<GenSession>,
+}
+
+/// One in-flight generation session.
+pub(super) struct GenSession {
+    pub(super) req: ServeRequest,
+    /// When the session's batch started service (prefill start).
+    pub(super) start_ns: u64,
+    /// Tokens emitted so far.
+    pub(super) emitted: u32,
+    /// When the previous token was emitted (arrival before the first) —
+    /// the base of the next per-token deadline.
+    pub(super) last_emit_ns: u64,
+    /// Tokens that met their per-token deadline.
+    pub(super) on_time: u32,
+}
+
+/// The worst-case KV footprint of a generation request: self-attention
+/// rows grow to prompt + decode steps; the cross-attention cache spans
+/// the prompt-length encoder memory. Deterministic in the request
+/// alone, so snapshot restore re-derives reservations exactly.
+pub(super) fn kv_spec(req: &ServeRequest) -> KvSpec {
+    KvSpec {
+        layers: req.layers,
+        d_model: req.d_model,
+        self_rows: req.seq_len + req.decode_steps as usize,
+        cross_rows: req.seq_len,
+    }
 }
 
 /// Everything the fault-injected simulation tracks on top of the
@@ -254,7 +351,11 @@ impl SimModel {
         sketch: bool,
     ) -> Result<Self, ServeError> {
         let mut cards = Vec::with_capacity(config.cards);
+        let mut kv_budgets = Vec::with_capacity(config.cards);
         for device in config.resolved_roster() {
+            // Half of each card's DRAM is carved out for resident KV
+            // caches; weights and activations own the other half.
+            kv_budgets.push(device.dram_capacity_bytes() / 2);
             cards.push(Card {
                 accel: Accelerator::try_new(config.synthesis, &device)?,
                 loaded_class: None,
@@ -359,7 +460,29 @@ impl SimModel {
             // when every card prices a batch identically.
             memo: (config.timing_memo && config.uniform_roster()).then(TimingMemo::new),
             trace: traced.then(ExecTrace::new),
+            sessions: None,
+            kv_budgets,
         })
+    }
+
+    /// The generation state, allocated on first touch (an encoder-only
+    /// run never allocates it, so its snapshots stay pre-v4).
+    pub(super) fn sessions_mut(&mut self) -> &mut SessionState {
+        let cards = self.cards.len();
+        self.sessions.get_or_insert_with(|| SessionState::new(cards, &self.kv_budgets))
+    }
+
+    /// Charge the never-to-be-emitted remainder of a generation
+    /// request's tokens to the shed side of the conservation ledger —
+    /// called on every terminal path that is not a completed session
+    /// (admission shed/expiry/failure, queue expiry, dead-fleet drain,
+    /// KV-capacity shed, mid-generation crash). No-op for one-shots.
+    pub(super) fn shed_session_tokens(&mut self, req: &ServeRequest, emitted: u32) {
+        if !req.is_decode() {
+            return;
+        }
+        let remaining = u64::from(req.decode_steps.saturating_sub(emitted));
+        self.sessions_mut().tokens_shed += remaining;
     }
 
     /// Whether the fleet can never serve another request: every roster
@@ -434,7 +557,11 @@ impl SimModel {
         let inflight: usize = self.faulty.as_ref().map_or(0, |f| {
             f.inflight.iter().flatten().filter(|i| !i.is_hedge).map(|i| i.batch.len()).sum()
         });
-        self.scheduler.pending() + inflight
+        let generating: usize = self
+            .sessions
+            .as_ref()
+            .map_or(0, |s| s.cards.iter().flatten().map(|g| g.sessions.len()).sum());
+        self.scheduler.pending() + inflight + generating
     }
 
     /// Managed admission: tenant-class stamping, per-priority and
@@ -444,6 +571,13 @@ impl SimModel {
     /// a typed reason — nothing is silently dropped — and every
     /// outcome lands in exactly one bucket of its tenant's ledger.
     pub(super) fn admit(&mut self, mut req: ServeRequest, now_ns: u64) {
+        if req.is_decode() {
+            // Every decode token a generation request asks for enters
+            // the conservation ledger here, before any outcome branch —
+            // whichever way the request leaves the system, its tokens
+            // resolve as emitted or shed, never lost.
+            self.sessions_mut().tokens_requested += u64::from(req.decode_steps);
+        }
         {
             let f = self.faulty.as_mut().expect("managed admission requires fault state");
             // The tenant policy rewrites the request's service class
@@ -460,6 +594,7 @@ impl SimModel {
         if self.all_cards_dead() {
             // Nothing can ever serve this request — fail it with a
             // typed reason rather than queueing it forever.
+            self.shed_session_tokens(&req, 0);
             let f = self.faulty.as_mut().expect("fault state");
             f.failed.push(FailedRequest { id: req.id, reason: FailReason::AllCardsDead });
             f.ledger(req.tenant).failed += 1;
@@ -467,6 +602,7 @@ impl SimModel {
         }
         if req.expired_at(now_ns) {
             // Already dead on arrival: never let it touch a queue.
+            self.shed_session_tokens(&req, 0);
             let f = self.faulty.as_mut().expect("fault state");
             f.expired.push(FailedRequest { id: req.id, reason: FailReason::DeadlineExpired });
             f.ledger(req.tenant).expired += 1;
@@ -480,6 +616,7 @@ impl SimModel {
                 // threshold, and this class is below the raised floor.
                 f.shed.push(FailedRequest { id: req.id, reason: FailReason::Brownout });
                 f.ledger(req.tenant).shed += 1;
+                self.shed_session_tokens(&req, 0);
                 return;
             }
         }
@@ -499,6 +636,7 @@ impl SimModel {
                 None => {
                     f.shed.push(FailedRequest { id: req.id, reason: FailReason::Shed });
                     f.ledger(req.tenant).shed += 1;
+                    self.shed_session_tokens(&req, 0);
                     return;
                 }
             }
@@ -512,6 +650,7 @@ impl SimModel {
                 if let Some(v) = victim {
                     f.shed.push(FailedRequest { id: v.id, reason: FailReason::Shed });
                     f.ledger(v.tenant).shed += 1;
+                    self.shed_session_tokens(&v, 0);
                 }
             }
             Err(ServeError::Overloaded { id, .. }) => {
@@ -519,6 +658,7 @@ impl SimModel {
                 let f = self.faulty.as_mut().expect("fault state");
                 f.shed.push(FailedRequest { id, reason: FailReason::Shed });
                 f.ledger(req.tenant).shed += 1;
+                self.shed_session_tokens(&req, 0);
             }
             Err(e) => self.error = Some(e),
         }
@@ -534,6 +674,9 @@ impl SimModel {
         let expired = self.scheduler.take_expired(now_ns);
         if expired.is_empty() {
             return;
+        }
+        for r in &expired {
+            self.shed_session_tokens(r, 0);
         }
         let f = self.faulty.as_mut().expect("fault state");
         for r in &expired {
@@ -592,6 +735,14 @@ impl SimModel {
         while let Some(batch) = self.scheduler.pop_any() {
             let f = self.faulty.as_mut().expect("fault state");
             for r in batch.requests {
+                f.failed.push(FailedRequest { id: r.id, reason: FailReason::AllCardsDead });
+                f.ledger(r.tenant).failed += 1;
+            }
+        }
+        while let Some(batch) = self.scheduler.pop_any_session() {
+            for r in batch.requests {
+                self.shed_session_tokens(&r, 0);
+                let f = self.faulty.as_mut().expect("fault state");
                 f.failed.push(FailedRequest { id: r.id, reason: FailReason::AllCardsDead });
                 f.ledger(r.tenant).failed += 1;
             }

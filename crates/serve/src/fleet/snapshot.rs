@@ -26,7 +26,7 @@
 //!
 //! ## Versions
 //!
-//! Three grammar versions coexist. `protea-fleet-snapshot v1` is the
+//! Four grammar versions coexist. `protea-fleet-snapshot v1` is the
 //! original: 8-token requests, no churn state, no tenant ledger. A run
 //! emits `protea-fleet-snapshot v2` only when the elastic machinery is
 //! visible — an explicit roster, a non-default placement policy, churn,
@@ -40,10 +40,19 @@
 //! `Q` (requalify) events and closes the fault section with the SDC
 //! block — counters, scrub arming, per-card quarantine/dirty/pending
 //! state, the re-execution seq set, and each card's corruption-stream
-//! RNG position. `parse` accepts all three; a v1 snapshot restores with
-//! the fleet fully present and its history folded into tenant 0, and a
-//! v1/v2 snapshot is rejected up front when the resuming config arms
-//! machinery its grammar cannot carry (elastic for v1, SDC for both).
+//! RNG position. `protea-fleet-snapshot v4` is emitted once
+//! autoregressive generation is visible — mid-run session state (live
+//! or retired) or a decode-tagged arrival still pending: it extends
+//! requests to eleven tokens (`decode_steps`, per-token deadline), adds
+//! the `G` (generation round) event, and appends the generation block —
+//! session queues, the token conservation ledger, phase latency
+//! accumulators, and each card's running generation batch. KV residency
+//! is not serialized; restore re-derives it by re-reserving each
+//! restored session's worst-case footprint. `parse` accepts all four; a
+//! v1 snapshot restores with the fleet fully present and its history
+//! folded into tenant 0, and a v1/v2 snapshot is rejected up front when
+//! the resuming config arms machinery its grammar cannot carry (elastic
+//! for v1, SDC for both).
 //!
 //! A wrong header, a missing or malformed `hash` trailer, or a body
 //! that does not re-hash to the trailer is an *integrity* failure
@@ -51,7 +60,9 @@
 //! untrusted input, not a config mismatch.
 
 use super::events::FleetEvent;
-use super::sim::{FaultState, Inflight, MetricsAccum, SimModel, TenantLedger};
+use super::sim::{
+    kv_spec, CardGen, FaultState, GenSession, Inflight, MetricsAccum, SimModel, TenantLedger,
+};
 use super::FleetConfig;
 use crate::error::ServeError;
 use crate::faults::{FailReason, FailedRequest};
@@ -69,6 +80,7 @@ use std::str::FromStr;
 const HEADER_V1: &str = "protea-fleet-snapshot v1";
 const HEADER_V2: &str = "protea-fleet-snapshot v2";
 const HEADER_V3: &str = "protea-fleet-snapshot v3";
+const HEADER_V4: &str = "protea-fleet-snapshot v4";
 
 fn snap_err(msg: impl Into<String>) -> ServeError {
     ServeError::Snapshot { msg: msg.into() }
@@ -87,7 +99,7 @@ fn integrity_err(msg: impl Into<String>) -> ServeError {
 /// are all at rest.
 fn config_digest(config: &FleetConfig, version: u8) -> u64 {
     match version {
-        3 => Fnv64::hash(format!("{config:?}").as_bytes()),
+        3 | 4 => Fnv64::hash(format!("{config:?}").as_bytes()),
         2 => elastic_config_digest(config),
         _ => legacy_config_digest(config),
     }
@@ -209,7 +221,7 @@ fn health_from(code: u64) -> Result<CardHealth, ServeError> {
     })
 }
 
-fn req_tokens(r: &ServeRequest, v2: bool) -> String {
+fn req_tokens(r: &ServeRequest, version: u8) -> String {
     let mut line = format!(
         "{} {} {} {} {} {} {} {}",
         r.id,
@@ -221,15 +233,18 @@ fn req_tokens(r: &ServeRequest, v2: bool) -> String {
         r.priority.index(),
         opt_u64(r.deadline_ns)
     );
-    if v2 {
+    if version >= 2 {
         line.push_str(&format!(" {}", r.tenant));
+    }
+    if version >= 4 {
+        line.push_str(&format!(" {} {}", r.decode_steps, opt_u64(r.token_deadline_ns)));
     }
     line
 }
 
-fn event_tokens(ev: &FleetEvent, v2: bool) -> String {
+fn event_tokens(ev: &FleetEvent, version: u8) -> String {
     match ev {
-        FleetEvent::Arrival(r) => format!("A {}", req_tokens(r, v2)),
+        FleetEvent::Arrival(r) => format!("A {}", req_tokens(r, version)),
         FleetEvent::Crash { card } => format!("X {card}"),
         FleetEvent::Free { card } => format!("F {card}"),
         FleetEvent::Complete { card, epoch, start_ns } => format!("C {card} {epoch} {start_ns}"),
@@ -241,6 +256,7 @@ fn event_tokens(ev: &FleetEvent, v2: bool) -> String {
         FleetEvent::Drain { card } => format!("D {card}"),
         FleetEvent::Scrub => "S".into(),
         FleetEvent::Requalify { card, epoch } => format!("Q {card} {epoch}"),
+        FleetEvent::Generate { card, epoch } => format!("G {card} {epoch}"),
         FleetEvent::Wake => "W".into(),
     }
 }
@@ -320,8 +336,12 @@ fn popt(tok: Option<&&str>, what: &str) -> Result<Option<u64>, ServeError> {
     }
 }
 
-fn parse_request(toks: &[&str], v2: bool) -> Result<ServeRequest, ServeError> {
-    let want = if v2 { 9 } else { 8 };
+fn parse_request(toks: &[&str], version: u8) -> Result<ServeRequest, ServeError> {
+    let want = match version {
+        0..=1 => 8,
+        2..=3 => 9,
+        _ => 11,
+    };
     if toks.len() != want {
         return Err(snap_err(format!("request wants {want} tokens, got {}", toks.len())));
     }
@@ -336,7 +356,9 @@ fn parse_request(toks: &[&str], v2: bool) -> Result<ServeRequest, ServeError> {
         .get(prio)
         .ok_or_else(|| snap_err(format!("unknown priority index {prio}")))?;
     let deadline_ns = popt(it.next(), "deadline")?;
-    let tenant = if v2 { pu64(it.next(), "tenant")? as u32 } else { 0 };
+    let tenant = if version >= 2 { pu64(it.next(), "tenant")? as u32 } else { 0 };
+    let decode_steps = if version >= 4 { pu64(it.next(), "decode_steps")? as u32 } else { 0 };
+    let token_deadline_ns = if version >= 4 { popt(it.next(), "token deadline")? } else { None };
     Ok(ServeRequest {
         id,
         arrival_ns,
@@ -347,14 +369,16 @@ fn parse_request(toks: &[&str], v2: bool) -> Result<ServeRequest, ServeError> {
         priority,
         deadline_ns,
         tenant,
+        decode_steps,
+        token_deadline_ns,
     })
 }
 
-fn parse_event(toks: &[&str], v2: bool) -> Result<FleetEvent, ServeError> {
+fn parse_event(toks: &[&str], version: u8) -> Result<FleetEvent, ServeError> {
     let (tag, rest) = toks.split_first().ok_or_else(|| snap_err("empty event"))?;
     let mut it = rest.iter();
     Ok(match *tag {
-        "A" => FleetEvent::Arrival(parse_request(rest, v2)?),
+        "A" => FleetEvent::Arrival(parse_request(rest, version)?),
         "X" => FleetEvent::Crash { card: pusize(it.next(), "crash card")? },
         "F" => FleetEvent::Free { card: pusize(it.next(), "free card")? },
         "C" => FleetEvent::Complete {
@@ -377,6 +401,10 @@ fn parse_event(toks: &[&str], v2: bool) -> Result<FleetEvent, ServeError> {
         "Q" => FleetEvent::Requalify {
             card: pusize(it.next(), "requalify card")?,
             epoch: pu64(it.next(), "requalify epoch")?,
+        },
+        "G" => FleetEvent::Generate {
+            card: pusize(it.next(), "generate card")?,
+            epoch: pu64(it.next(), "generate epoch")?,
         },
         "W" => FleetEvent::Wake,
         other => return Err(snap_err(format!("unknown event tag `{other}`"))),
@@ -429,7 +457,7 @@ pub struct FleetSnapshot {
     hash: u64,
     /// Arrivals processed when captured (the snapshot's epoch).
     arrivals: u64,
-    /// Grammar version (1, 2, or 3), read from the header line.
+    /// Grammar version (1 through 4), read from the header line.
     version: u8,
 }
 
@@ -451,7 +479,8 @@ impl FleetSnapshot {
 
     /// The snapshot grammar version: 1 for classic fleets, 2 once the
     /// elastic machinery (roster, churn, tenants, brownout) is visible,
-    /// 3 once the SDC defense is armed.
+    /// 3 once the SDC defense is armed, 4 once autoregressive decode
+    /// traffic or mid-generation session state is visible.
     #[must_use]
     pub fn version(&self) -> u8 {
         self.version
@@ -460,6 +489,7 @@ impl FleetSnapshot {
     fn seal(body: Vec<String>, arrivals: u64) -> Self {
         let hash = Fnv64::hash(body.join("\n").as_bytes());
         let version = match body.first().map(String::as_str) {
+            Some(h) if h == HEADER_V4 => 4,
             Some(h) if h == HEADER_V3 => 3,
             Some(h) if h == HEADER_V2 => 2,
             _ => 1,
@@ -489,10 +519,11 @@ impl FleetSnapshot {
             Some(h) if h == HEADER_V1 => 1,
             Some(h) if h == HEADER_V2 => 2,
             Some(h) if h == HEADER_V3 => 3,
+            Some(h) if h == HEADER_V4 => 4,
             got => {
                 return Err(integrity_err(format!(
                     "unsupported snapshot header `{}` (want `{HEADER_V1}`, `{HEADER_V2}`, \
-                     or `{HEADER_V3}`)",
+                     `{HEADER_V3}`, or `{HEADER_V4}`)",
                     got.unwrap_or("")
                 )))
             }
@@ -524,14 +555,23 @@ impl FleetSnapshot {
     ) -> Self {
         let events = q.sorted_events();
         let rows = m.scheduler.export_queues();
+        let srows = m.scheduler.export_session_queues();
+        // v4 once generation is visible: live or finished session state,
+        // or a decode request still pending as an arrival (a pre-v4
+        // grammar would silently drop its decode_steps on restore and
+        // the resumed run would diverge from the uninterrupted one).
         // v3 only when the SDC defense is armed; v2 only when the
         // elastic machinery is visible: an elastic config, or traffic
         // already tagged with a nonzero tenant id anywhere the snapshot
         // will store a request. Classic fleets keep emitting
         // byte-identical v1 snapshots, elastic-but-undefended fleets
         // byte-identical v2 ones.
-        let v3 = m.faulty.as_ref().is_some_and(|f| f.sdc.is_some());
-        let v2 = v3
+        let v4 = m.sessions.is_some()
+            || events
+                .iter()
+                .any(|(_, _, ev)| matches!(ev, FleetEvent::Arrival(r) if r.is_decode()));
+        let sdc = m.faulty.as_ref().is_some_and(|f| f.sdc.is_some());
+        let v2 = sdc
             || config.elastic_active()
             || events
                 .iter()
@@ -544,7 +584,9 @@ impl FleetSnapshot {
                         .flatten()
                         .any(|i| i.batch.requests.iter().any(|r| r.tenant != 0))
             });
-        let version = if v3 {
+        let version = if v4 {
+            4
+        } else if sdc {
             3
         } else if v2 {
             2
@@ -554,6 +596,7 @@ impl FleetSnapshot {
         let mut w: Vec<String> = Vec::new();
         w.push(
             match version {
+                4 => HEADER_V4,
                 3 => HEADER_V3,
                 2 => HEADER_V2,
                 _ => HEADER_V1,
@@ -575,7 +618,7 @@ impl FleetSnapshot {
         w.push(format!("next_flush {}", opt_u64(m.next_flush)));
         w.push(format!("events {}", events.len()));
         for (t, rank, ev) in &events {
-            w.push(format!("event {} {rank} {}", t.get(), event_tokens(ev, v2)));
+            w.push(format!("event {} {rank} {}", t.get(), event_tokens(ev, version)));
         }
         w.push(format!("queues {}", rows.len()));
         for (class, padded_seq_len, requests) in &rows {
@@ -587,7 +630,7 @@ impl FleetSnapshot {
                 requests.len()
             ));
             for r in requests {
-                w.push(format!("req {}", req_tokens(r, v2)));
+                w.push(format!("req {}", req_tokens(r, version)));
             }
         }
         w.push(format!("cards {}", m.cards.len()));
@@ -647,7 +690,10 @@ impl FleetSnapshot {
         }
         match &m.faulty {
             None => w.push("faults 0".into()),
-            Some(f) => capture_faults(&mut w, f, v2, v3),
+            Some(f) => capture_faults(&mut w, f, version, sdc),
+        }
+        if version >= 4 {
+            capture_sessions(&mut w, m, &srows, version);
         }
         Self::seal(w, arrivals)
     }
@@ -666,6 +712,9 @@ impl FleetSnapshot {
         let mut c = Cursor::new(&self.body);
         let v2 = self.version >= 2;
         let v3 = self.version >= 3;
+        // A v3 body always carries the SDC block; a v4 body carries it
+        // exactly when the (digest-pinned) config arms the defense.
+        let sdc = self.version == 3 || (self.version >= 4 && config.sdc_active());
         if !v2 && config.elastic_active() {
             return Err(snap_err(
                 "v1 snapshot cannot resume under an elastic fleet config \
@@ -733,7 +782,7 @@ impl FleetSnapshot {
                     "pending event at {t} ns predates the snapshot clock {time} ns"
                 )));
             }
-            q.push(Cycles(t), rank, parse_event(&toks[2..], v2)?);
+            q.push(Cycles(t), rank, parse_event(&toks[2..], self.version)?);
         }
 
         let n_queues = pusize(c.expect("queues")?.first(), "queue count")?;
@@ -749,7 +798,7 @@ impl FleetSnapshot {
             let k = pusize(toks.get(4), "queue length")?;
             let mut requests = Vec::with_capacity(k);
             for _ in 0..k {
-                requests.push(parse_request(&c.expect("req")?, v2)?);
+                requests.push(parse_request(&c.expect("req")?, self.version)?);
             }
             rows.push((class, padded, requests));
         }
@@ -872,7 +921,10 @@ impl FleetSnapshot {
             return Err(snap_err("snapshot fault state does not match the managed mode"));
         }
         if have_faults {
-            restore_faults(&mut c, &mut model, v2, v3)?;
+            restore_faults(&mut c, &mut model, self.version, sdc)?;
+        }
+        if self.version >= 4 {
+            restore_sessions(&mut c, &mut model)?;
         }
 
         // Self-check: the restored state must re-hash to exactly this
@@ -893,7 +945,7 @@ impl FleetSnapshot {
     }
 }
 
-fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool, v3: bool) {
+fn capture_faults(w: &mut Vec<String>, f: &FaultState, version: u8, sdc: bool) {
     w.push("faults 1".into());
     w.push(format!("f.submitted {}", f.submitted));
     w.push(format!("f.trackdl {}", u64::from(f.track_deadlines)));
@@ -959,7 +1011,7 @@ fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool, v3: bool) {
                     i.batch.requests.len()
                 ));
                 for r in &i.batch.requests {
-                    w.push(format!("req {}", req_tokens(r, v2)));
+                    w.push(format!("req {}", req_tokens(r, version)));
                 }
             }
         }
@@ -988,7 +1040,7 @@ fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool, v3: bool) {
         line.push_str(&format!(" {v}"));
     }
     w.push(line);
-    if v2 {
+    if version >= 2 {
         let mut line = String::from("f.present");
         for p in &f.present {
             line.push_str(&format!(" {}", u64::from(*p)));
@@ -1009,8 +1061,8 @@ fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool, v3: bool) {
             ));
         }
     }
-    if v3 {
-        let s = f.sdc.as_ref().expect("v3 snapshots are only emitted with SDC state");
+    if sdc {
+        let s = f.sdc.as_ref().expect("the SDC block is only emitted with SDC state");
         w.push(format!(
             "s.counters {} {} {} {} {}",
             s.injected, s.detected, s.missed, s.re_execs, s.scrubs
@@ -1049,8 +1101,8 @@ fn capture_faults(w: &mut Vec<String>, f: &FaultState, v2: bool, v3: bool) {
 fn restore_faults(
     c: &mut Cursor<'_>,
     model: &mut SimModel,
-    v2: bool,
-    v3: bool,
+    version: u8,
+    sdc: bool,
 ) -> Result<(), ServeError> {
     let cards = model.cards.len();
     let f = model.faulty.as_mut().expect("managed model has fault state");
@@ -1121,7 +1173,7 @@ fn restore_faults(
         let k = pusize(toks.get(8), "inflight batch size")?;
         let mut requests = Vec::with_capacity(k);
         for _ in 0..k {
-            requests.push(parse_request(&c.expect("req")?, v2)?);
+            requests.push(parse_request(&c.expect("req")?, version)?);
         }
         let f = model.faulty.as_mut().expect("managed model has fault state");
         f.inflight[slot] = Some(Inflight {
@@ -1180,7 +1232,7 @@ fn restore_faults(
         samples.push(pu64(toks.get(1 + i), "service-time sample")?);
     }
     f.svc.import(samples);
-    if v2 {
+    if version >= 2 {
         let toks = c.expect("f.present")?;
         if toks.len() != cards {
             return Err(snap_err(format!(
@@ -1249,12 +1301,11 @@ fn restore_faults(
             );
         }
     }
-    if v3 {
+    if sdc {
         let f = model.faulty.as_mut().expect("managed model has fault state");
-        let s = f
-            .sdc
-            .as_mut()
-            .ok_or_else(|| snap_err("v3 snapshot requires an SDC-armed fleet config"))?;
+        let s = f.sdc.as_mut().ok_or_else(|| {
+            snap_err("the snapshot's SDC block requires an SDC-armed fleet config")
+        })?;
         let toks = c.expect("s.counters")?;
         s.injected = pu64(toks.first(), "sdc injected")?;
         s.detected = pu64(toks.get(1), "sdc detected")?;
@@ -1308,6 +1359,157 @@ fn restore_faults(
             reexec.insert(pu64(toks.get(1 + i), "reexec seq")?);
         }
         s.reexec = reexec;
+    }
+    Ok(())
+}
+
+/// The v4 generation block: queued sessions (the session-queue twin of
+/// the one-shot queues), the token conservation ledger, the phase
+/// latency accumulators, and each card's running generation batch.
+/// KV residency is deliberately **not** serialized — reservations are
+/// worst-case up-front, so [`restore_sessions`] re-derives them by
+/// re-reserving per restored session.
+fn capture_sessions(
+    w: &mut Vec<String>,
+    m: &SimModel,
+    srows: &[(CapacityClass, usize, Vec<ServeRequest>)],
+    version: u8,
+) {
+    w.push(format!("squeues {}", srows.len()));
+    for (class, padded_seq_len, requests) in srows {
+        w.push(format!(
+            "squeue {} {} {} {padded_seq_len} {}",
+            class.d_model,
+            class.heads,
+            class.layers,
+            requests.len()
+        ));
+        for r in requests {
+            w.push(format!("req {}", req_tokens(r, version)));
+        }
+    }
+    match &m.sessions {
+        None => w.push("sessions 0".into()),
+        Some(s) => {
+            w.push("sessions 1".into());
+            w.push(format!(
+                "g.tokens {} {} {} {}",
+                s.tokens_requested, s.tokens_emitted, s.tokens_shed, s.tokens_on_time
+            ));
+            w.push(format!(
+                "g.lat {} {} {} {}",
+                s.prefill_ns_sum, s.prefill_count, s.decode_ns_sum, s.decode_tokens
+            ));
+            for slot in &s.cards {
+                match slot {
+                    None => w.push("gcard -".into()),
+                    Some(g) => {
+                        w.push(format!(
+                            "gcard {} {} {} {} {} {}",
+                            g.class.d_model,
+                            g.class.heads,
+                            g.class.layers,
+                            g.padded_prompt,
+                            u64::from(g.pending_step),
+                            g.sessions.len()
+                        ));
+                        for sess in &g.sessions {
+                            w.push(format!(
+                                "sess {} {} {} {}",
+                                sess.start_ns, sess.emitted, sess.last_emit_ns, sess.on_time
+                            ));
+                            w.push(format!("req {}", req_tokens(&sess.req, version)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn restore_sessions(c: &mut Cursor<'_>, model: &mut SimModel) -> Result<(), ServeError> {
+    let n = pusize(c.expect("squeues")?.first(), "session queue count")?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let toks = c.expect("squeue")?;
+        let class = CapacityClass {
+            d_model: pusize(toks.first(), "squeue d_model")?,
+            heads: pusize(toks.get(1), "squeue heads")?,
+            layers: pusize(toks.get(2), "squeue layers")?,
+        };
+        let padded = pusize(toks.get(3), "squeue padded_seq_len")?;
+        let k = pusize(toks.get(4), "squeue length")?;
+        let mut requests = Vec::with_capacity(k);
+        for _ in 0..k {
+            requests.push(parse_request(&c.expect("req")?, 4)?);
+        }
+        rows.push((class, padded, requests));
+    }
+    model.scheduler.import_session_queues(rows);
+    if !pbool(c.expect("sessions")?.first(), "sessions flag")? {
+        return Ok(());
+    }
+    let cards = model.cards.len();
+    {
+        let s = model.sessions_mut();
+        let toks = c.expect("g.tokens")?;
+        s.tokens_requested = pu64(toks.first(), "tokens requested")?;
+        s.tokens_emitted = pu64(toks.get(1), "tokens emitted")?;
+        s.tokens_shed = pu64(toks.get(2), "tokens shed")?;
+        s.tokens_on_time = pu64(toks.get(3), "tokens on time")?;
+        let toks = c.expect("g.lat")?;
+        s.prefill_ns_sum = pu64(toks.first(), "prefill ns sum")?;
+        s.prefill_count = pu64(toks.get(1), "prefill count")?;
+        s.decode_ns_sum = pu64(toks.get(2), "decode ns sum")?;
+        s.decode_tokens = pu64(toks.get(3), "decode token count")?;
+    }
+    for slot in 0..cards {
+        let toks = c.expect("gcard")?;
+        if toks.first() == Some(&"-") {
+            continue;
+        }
+        let class = CapacityClass {
+            d_model: pusize(toks.first(), "gcard d_model")?,
+            heads: pusize(toks.get(1), "gcard heads")?,
+            layers: pusize(toks.get(2), "gcard layers")?,
+        };
+        let padded_prompt = pusize(toks.get(3), "gcard padded prompt")?;
+        let pending_step = pbool(toks.get(4), "gcard pending_step")?;
+        let k = pusize(toks.get(5), "gcard session count")?;
+        let mut sessions = Vec::with_capacity(k);
+        for _ in 0..k {
+            let toks = c.expect("sess")?;
+            let start_ns = pu64(toks.first(), "session start")?;
+            let emitted = pu64(toks.get(1), "session emitted")? as u32;
+            let last_emit_ns = pu64(toks.get(2), "session last emit")?;
+            let on_time = pu64(toks.get(3), "session on_time")? as u32;
+            let req = parse_request(&c.expect("req")?, 4)?;
+            sessions.push(GenSession { req, start_ns, emitted, last_emit_ns, on_time });
+        }
+        // Decode windows (and joiner prefills) are priced off the
+        // card's *current* register file — resident sessions never
+        // reprogram between token steps — so the restored card must
+        // carry the exact program `start_session_batch` left it with:
+        // the batch class at the padded prompt length. Without this the
+        // resumed run prices every remaining window at the accelerator's
+        // default (d_max) program and diverges from the uninterrupted
+        // run.
+        model.cards[slot]
+            .accel
+            .program(RuntimeConfig {
+                heads: class.heads,
+                layers: class.layers,
+                d_model: class.d_model,
+                seq_len: padded_prompt,
+            })
+            .map_err(CoreError::from)?;
+        let s = model.sessions_mut();
+        for sess in &sessions {
+            // Reservations are worst-case up-front: re-reserving per
+            // restored session reproduces the residency accounting.
+            s.kv[slot].try_reserve(&kv_spec(&sess.req));
+        }
+        s.cards[slot] = Some(CardGen { class, padded_prompt, pending_step, sessions });
     }
     Ok(())
 }
@@ -1385,6 +1587,12 @@ mod tests {
             5,
         );
         assert_eq!(round_trip(&v3).version(), 3);
+
+        let v4 = FleetSnapshot::seal(
+            vec![HEADER_V4.into(), "config 0123456789abcdef".into(), "arrivals 6".into()],
+            6,
+        );
+        assert_eq!(round_trip(&v4).version(), 4);
     }
 
     #[test]
@@ -1399,6 +1607,8 @@ mod tests {
             priority: Priority::Interactive,
             deadline_ns: Some(5_000),
             tenant: 0,
+            decode_steps: 0,
+            token_deadline_ns: None,
         };
         let events = [
             FleetEvent::Arrival(req),
@@ -1411,12 +1621,15 @@ mod tests {
             FleetEvent::Drain { card: 1 },
             FleetEvent::Scrub,
             FleetEvent::Requalify { card: 0, epoch: 6 },
+            FleetEvent::Generate { card: 2, epoch: 8 },
             FleetEvent::Wake,
         ];
-        for ev in events {
-            let text = event_tokens(&ev, false);
-            let toks: Vec<&str> = text.split_whitespace().collect();
-            assert_eq!(parse_event(&toks, false).unwrap(), ev, "{text}");
+        for version in [1u8, 2, 4] {
+            for ev in &events {
+                let text = event_tokens(ev, version);
+                let toks: Vec<&str> = text.split_whitespace().collect();
+                assert_eq!(parse_event(&toks, version).unwrap(), *ev, "{text}");
+            }
         }
     }
 
@@ -1432,19 +1645,52 @@ mod tests {
             priority: Priority::BestEffort,
             deadline_ns: None,
             tenant: 31,
+            decode_steps: 0,
+            token_deadline_ns: None,
         };
-        let toks_line = req_tokens(&req, true);
+        let toks_line = req_tokens(&req, 2);
         let toks: Vec<&str> = toks_line.split_whitespace().collect();
         assert_eq!(toks.len(), 9);
-        assert_eq!(parse_request(&toks, true).unwrap(), req);
+        assert_eq!(parse_request(&toks, 2).unwrap(), req);
         // The v1 grammar has no ninth token: the tenant id is dropped on
         // emit and rejected on parse.
-        let v1_line = req_tokens(&req, false);
+        let v1_line = req_tokens(&req, 1);
         let v1: Vec<&str> = v1_line.split_whitespace().collect();
         assert_eq!(v1.len(), 8);
-        assert_eq!(parse_request(&v1, false).unwrap().tenant, 0);
-        assert!(parse_request(&toks, false).is_err());
-        assert!(parse_request(&v1, true).is_err());
+        assert_eq!(parse_request(&v1, 1).unwrap().tenant, 0);
+        assert!(parse_request(&toks, 1).is_err());
+        assert!(parse_request(&v1, 2).is_err());
+    }
+
+    #[test]
+    fn v4_request_tokens_carry_the_generation_fields() {
+        let req = ServeRequest {
+            id: 11,
+            arrival_ns: 900,
+            d_model: 96,
+            heads: 4,
+            layers: 2,
+            seq_len: 12,
+            priority: Priority::Normal,
+            deadline_ns: Some(9_000),
+            tenant: 2,
+            decode_steps: 16,
+            token_deadline_ns: Some(1_500),
+        };
+        let line = req_tokens(&req, 4);
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(toks.len(), 11);
+        assert_eq!(parse_request(&toks, 4).unwrap(), req);
+        // Pre-v4 grammars drop the generation fields on emit and reject
+        // the eleven-token form on parse.
+        let v2_line = req_tokens(&req, 2);
+        let v2: Vec<&str> = v2_line.split_whitespace().collect();
+        assert_eq!(v2.len(), 9);
+        let back = parse_request(&v2, 2).unwrap();
+        assert_eq!(back.decode_steps, 0);
+        assert_eq!(back.token_deadline_ns, None);
+        assert!(parse_request(&toks, 2).is_err());
+        assert!(parse_request(&v2, 4).is_err());
     }
 
     #[test]

@@ -556,3 +556,49 @@ fn invalid_overload_config_rejected_up_front() {
     };
     assert!(Fleet::try_new(zero_cap).is_err());
 }
+
+/// A KV budget too small for even one session: every batch member is
+/// shed at session start with a typed reason, the card stays free, and
+/// the token ledger still balances.
+#[test]
+fn kv_capacity_exhaustion_sheds_sessions_with_conserved_tokens() {
+    use super::sim::SimModel;
+    use crate::fleet::events::FleetEvent;
+    use protea_hwsim::EventQueue;
+
+    let config = FleetConfig { cards: 1, ..FleetConfig::default() };
+    let mut m = SimModel::build(&config, true, false, false).unwrap();
+    // A few bytes of KV headroom: no session's cache can ever fit.
+    // (Real budgets are half a card's DRAM — gigabytes — so capacity
+    // exhaustion is reachable only by shrinking the budget directly.)
+    m.kv_budgets = vec![64];
+
+    let steps = 8u32;
+    let req = ServeRequest {
+        id: 0,
+        arrival_ns: 0,
+        d_model: 96,
+        heads: 4,
+        layers: 2,
+        seq_len: 8,
+        deadline_ns: None,
+        priority: Priority::Normal,
+        tenant: 0,
+        decode_steps: steps,
+        token_deadline_ns: None,
+    };
+    let mut q: EventQueue<FleetEvent> = EventQueue::new();
+    m.admit(req, 0);
+    let batch =
+        m.scheduler.pop_session_ready(10_000_000).expect("an aged single-session batch must flush");
+    let took = m.start_session_batch(&mut q, 0, batch, 10_000_000).unwrap();
+    assert!(!took, "with no KV headroom the card must stay free");
+
+    let st = m.sessions.as_ref().expect("decode traffic creates session state");
+    assert_eq!(st.tokens_requested, u64::from(steps));
+    assert_eq!(st.tokens_shed, u64::from(steps), "every requested token resolves as shed");
+    assert_eq!(st.tokens_emitted, 0);
+    let shed = &m.faulty.as_ref().expect("managed model").shed;
+    assert_eq!(shed.len(), 1, "the session lands in the shed ledger exactly once");
+    assert!(matches!(shed[0].reason, FailReason::Shed));
+}

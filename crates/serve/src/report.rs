@@ -136,6 +136,27 @@ pub struct ServeReport {
     pub re_execs: u64,
     /// Weight-digest scrub sweeps performed.
     pub scrubs: u64,
+    /// Decode tokens requested by admitted generation requests. All
+    /// token counters are zero (and the generation section silent) for
+    /// encoder-only runs, whose reports render unchanged.
+    pub tokens_requested: u64,
+    /// Decode tokens actually emitted.
+    pub tokens_emitted: u64,
+    /// Decode tokens never emitted — their session was shed, expired,
+    /// failed, or crashed. `tokens_emitted + tokens_shed ==
+    /// tokens_requested` at the end of every run (see
+    /// [`tokens_accounted`](Self::tokens_accounted)).
+    pub tokens_shed: u64,
+    /// Emitted tokens that met their per-token deadline (tokens with no
+    /// deadline count vacuously).
+    pub tokens_on_time: u64,
+    /// Sustained decode throughput: emitted tokens per second over the
+    /// makespan.
+    pub tokens_per_s: f64,
+    /// Mean prefill window cost per prompt, milliseconds.
+    pub prefill_ms_mean: f64,
+    /// Mean decode window cost per emitted token, milliseconds.
+    pub decode_ms_per_token: f64,
 }
 
 impl PartialEq for ServeReport {
@@ -182,6 +203,13 @@ impl PartialEq for ServeReport {
             sdc_missed,
             re_execs,
             scrubs,
+            tokens_requested,
+            tokens_emitted,
+            tokens_shed,
+            tokens_on_time,
+            tokens_per_s,
+            prefill_ms_mean,
+            decode_ms_per_token,
         } = self;
         *completed == other.completed
             && *cards == other.cards
@@ -217,6 +245,13 @@ impl PartialEq for ServeReport {
             && *sdc_missed == other.sdc_missed
             && *re_execs == other.re_execs
             && *scrubs == other.scrubs
+            && *tokens_requested == other.tokens_requested
+            && *tokens_emitted == other.tokens_emitted
+            && *tokens_shed == other.tokens_shed
+            && *tokens_on_time == other.tokens_on_time
+            && *tokens_per_s == other.tokens_per_s
+            && *prefill_ms_mean == other.prefill_ms_mean
+            && *decode_ms_per_token == other.decode_ms_per_token
     }
 }
 
@@ -391,6 +426,13 @@ impl ServeReport {
             sdc_missed: 0,
             re_execs: 0,
             scrubs: 0,
+            tokens_requested: 0,
+            tokens_emitted: 0,
+            tokens_shed: 0,
+            tokens_on_time: 0,
+            tokens_per_s: 0.0,
+            prefill_ms_mean: 0.0,
+            decode_ms_per_token: 0.0,
         }
     }
 
@@ -447,6 +489,13 @@ impl ServeReport {
             sdc_missed: 0,
             re_execs: 0,
             scrubs: 0,
+            tokens_requested: 0,
+            tokens_emitted: 0,
+            tokens_shed: 0,
+            tokens_on_time: 0,
+            tokens_per_s: 0.0,
+            prefill_ms_mean: 0.0,
+            decode_ms_per_token: 0.0,
         }
     }
 
@@ -570,6 +619,35 @@ impl ServeReport {
     pub fn elastic(&self) -> bool {
         self.joins > 0 || self.drains > 0 || !self.tenant_slo.is_empty()
     }
+
+    /// Whether the run served any generation traffic — i.e. whether the
+    /// generation section of [`Display`](fmt::Display) prints. Always
+    /// false for encoder-only runs, so their rendered reports are
+    /// unchanged.
+    #[must_use]
+    pub fn decoded(&self) -> bool {
+        self.tokens_requested > 0 || self.tokens_emitted > 0
+    }
+
+    /// Token conservation check: every requested decode token counted
+    /// exactly once across {emitted, shed}. Vacuously true for
+    /// encoder-only runs.
+    #[must_use]
+    pub fn tokens_accounted(&self) -> bool {
+        self.tokens_emitted + self.tokens_shed == self.tokens_requested
+    }
+
+    /// Per-token SLO attainment: the fraction of emitted tokens that
+    /// met their per-token deadline (1.0 when nothing was emitted, or
+    /// when no token carried a deadline — those count vacuously).
+    #[must_use]
+    pub fn token_slo_attainment(&self) -> f64 {
+        if self.tokens_emitted == 0 {
+            1.0
+        } else {
+            self.tokens_on_time as f64 / self.tokens_emitted as f64
+        }
+    }
 }
 
 impl fmt::Display for ServeReport {
@@ -660,6 +738,25 @@ impl fmt::Display for ServeReport {
                     t.failed
                 )?;
             }
+        }
+        // The generation section prints only when decode traffic ran,
+        // so encoder-only reports render exactly as before.
+        if self.decoded() {
+            writeln!(
+                f,
+                "  generation   {}/{} tokens emitted ({} shed), {:.1} tok/s",
+                self.tokens_emitted, self.tokens_requested, self.tokens_shed, self.tokens_per_s
+            )?;
+            writeln!(
+                f,
+                "  gen latency  prefill {:.3} ms/prompt, decode {:.3} ms/token",
+                self.prefill_ms_mean, self.decode_ms_per_token
+            )?;
+            writeln!(
+                f,
+                "  token slo    {:.1}% of emitted tokens on time",
+                100.0 * self.token_slo_attainment()
+            )?;
         }
         // The integrity section prints only when the SDC layer saw
         // action, so SDC-off reports render exactly as before.

@@ -90,6 +90,18 @@ pub struct ServeRequest {
     /// priority/SLO classes, and the managed fleet keeps a per-tenant
     /// conservation ledger in the report.
     pub tenant: u32,
+    /// Autoregressive decode steps to generate after the prefill. Zero
+    /// (the default) is a plain one-shot encode — the request behaves
+    /// exactly as before generation existed. Nonzero routes the request
+    /// through the phase-aware decode path: its `seq_len` becomes the
+    /// prompt length, the card prefills it, then emits `decode_steps`
+    /// tokens with a resident KV cache.
+    pub decode_steps: u32,
+    /// Per-token deadline for decode requests (relative, nanoseconds):
+    /// the first token is due `token_deadline_ns` after arrival, each
+    /// later token that long after its predecessor. `None` means tokens
+    /// are never late. Ignored for one-shot requests.
+    pub token_deadline_ns: Option<u64>,
 }
 
 impl Default for ServeRequest {
@@ -107,6 +119,8 @@ impl Default for ServeRequest {
             priority: Priority::Normal,
             deadline_ns: None,
             tenant: 0,
+            decode_steps: 0,
+            token_deadline_ns: None,
         }
     }
 }
@@ -143,6 +157,13 @@ impl ServeRequest {
     #[must_use]
     pub fn within_deadline(&self, finish_ns: u64) -> bool {
         self.deadline_ns.is_none_or(|d| finish_ns <= d)
+    }
+
+    /// Whether this is a generation request (prefill + decode phases)
+    /// rather than a one-shot encode.
+    #[must_use]
+    pub fn is_decode(&self) -> bool {
+        self.decode_steps > 0
     }
 }
 
@@ -253,6 +274,17 @@ mod tests {
         assert_eq!(ServeRequest::default().tenant, 0);
         let tagged = ServeRequest { tenant: 3, ..shaped(0, 0, 8) };
         assert_eq!(tagged.class(), shaped(1, 9, 8).class(), "tenancy never splits batches");
+    }
+
+    #[test]
+    fn decode_steps_default_to_zero() {
+        let r = ServeRequest::default();
+        assert_eq!(r.decode_steps, 0);
+        assert_eq!(r.token_deadline_ns, None);
+        assert!(!r.is_decode(), "zero steps is a one-shot encode");
+        let g = ServeRequest { decode_steps: 4, ..shaped(0, 0, 8) };
+        assert!(g.is_decode());
+        assert_eq!(g.class(), shaped(1, 9, 8).class(), "generation never splits batches");
     }
 
     #[test]

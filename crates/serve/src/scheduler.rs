@@ -100,6 +100,13 @@ pub struct BatchScheduler {
     policy: BatchPolicy,
     capacity: SynthesisConfig,
     queues: BTreeMap<BatchKey, VecDeque<ServeRequest>>,
+    /// Generation requests wait here, keyed like the one-shot queues.
+    /// They form their own batches — a session batch holds its card for
+    /// many token steps, so mixing it with one-shot work would stall
+    /// the latter behind an entire generation — and they are exempt
+    /// from priority eviction: an admitted session is never displaced
+    /// by a later arrival, only shed whole at admission or on faults.
+    session_queues: BTreeMap<BatchKey, VecDeque<ServeRequest>>,
     pending: usize,
 }
 
@@ -107,7 +114,13 @@ impl BatchScheduler {
     /// A scheduler for a fleet synthesized at `capacity`.
     #[must_use]
     pub fn new(policy: BatchPolicy, capacity: SynthesisConfig) -> Self {
-        Self { policy, capacity, queues: BTreeMap::new(), pending: 0 }
+        Self {
+            policy,
+            capacity,
+            queues: BTreeMap::new(),
+            session_queues: BTreeMap::new(),
+            pending: 0,
+        }
     }
 
     /// The policy in force.
@@ -159,6 +172,39 @@ impl BatchScheduler {
             .map_err(|e| ServeError::Unservable { id: req.id, why: e.to_string() })?;
         let key = BatchKey { class: req.class(), padded_seq_len: padded };
         let cap = self.policy.max_queue;
+        if req.is_decode() {
+            // The KV cache grows one position per emitted token; the
+            // decode phase's kv_len register is capped at the
+            // synthesized SL_MAX, so a generation that would outgrow it
+            // can never be served by any card in this fleet.
+            if req.decode_steps as usize > self.capacity.sl_max {
+                return Err(ServeError::Unservable {
+                    id: req.id,
+                    why: format!(
+                        "decode_steps {} exceeds synthesized sl_max {} (the KV length register)",
+                        req.decode_steps, self.capacity.sl_max
+                    ),
+                });
+            }
+            let q = self.session_queues.entry(key).or_default();
+            if cap.is_some_and(|cap| q.len() >= cap) {
+                // Sessions never evict each other — an admitted
+                // generation is a promise of decode_steps tokens, so the
+                // newcomer bounces instead.
+                let pending = q.len();
+                if q.is_empty() {
+                    self.session_queues.remove(&key);
+                }
+                return Err(ServeError::Overloaded {
+                    id: req.id,
+                    pending,
+                    limit: cap.unwrap_or(usize::MAX),
+                });
+            }
+            q.push_back(req);
+            self.pending += 1;
+            return Ok(None);
+        }
         let q = self.queues.entry(key).or_default();
         let mut victim = None;
         if cap.is_some_and(|cap| q.len() >= cap) {
@@ -195,11 +241,12 @@ impl BatchScheduler {
     }
 
     /// Earliest deadline at which a currently queued partial batch must
-    /// flush, if any.
+    /// flush, if any (session batches flush on the same clock).
     #[must_use]
     pub fn next_flush_deadline_ns(&self) -> Option<u64> {
         self.queues
             .values()
+            .chain(self.session_queues.values())
             .filter_map(|q| q.front())
             .map(|r| r.arrival_ns.saturating_add(self.policy.max_wait_ns))
             .min()
@@ -211,7 +258,12 @@ impl BatchScheduler {
     /// or completion.
     #[must_use]
     pub fn next_request_deadline_ns(&self) -> Option<u64> {
-        self.queues.values().flatten().filter_map(|r| r.deadline_ns).min()
+        self.queues
+            .values()
+            .chain(self.session_queues.values())
+            .flatten()
+            .filter_map(|r| r.deadline_ns)
+            .min()
     }
 
     /// Remove and return the queued request that matters least among
@@ -251,6 +303,7 @@ impl BatchScheduler {
         let h = headroom_ns.unwrap_or(self.policy.max_wait_ns);
         self.queues
             .values()
+            .chain(self.session_queues.values())
             .flatten()
             .filter_map(|r| r.deadline_ns)
             .map(|d| {
@@ -270,16 +323,18 @@ impl BatchScheduler {
     /// burned on an answer nobody is waiting for.
     pub fn take_expired(&mut self, now_ns: u64) -> Vec<ServeRequest> {
         let mut expired = Vec::new();
-        self.queues.retain(|_, q| {
-            q.retain(|r| {
-                let dead = r.expired_at(now_ns);
-                if dead {
-                    expired.push(*r);
-                }
-                !dead
+        for queues in [&mut self.queues, &mut self.session_queues] {
+            queues.retain(|_, q| {
+                q.retain(|r| {
+                    let dead = r.expired_at(now_ns);
+                    if dead {
+                        expired.push(*r);
+                    }
+                    !dead
+                });
+                !q.is_empty()
             });
-            !q.is_empty()
-        });
+        }
         self.pending -= expired.len();
         expired.sort_by_key(|r| (r.arrival_ns, r.id));
         expired
@@ -334,7 +389,9 @@ impl BatchScheduler {
     }
 
     /// Take the oldest pending batch regardless of fill or age (used to
-    /// drain the queue once arrivals stop). `None` when empty.
+    /// drain the queue once arrivals stop). `None` when empty. Covers
+    /// only the one-shot queues; drain sessions with
+    /// [`pop_any_session`](Self::pop_any_session).
     pub fn pop_any(&mut self) -> Option<Batch> {
         let key = self
             .queues
@@ -343,6 +400,77 @@ impl BatchScheduler {
             .min_by_key(|(k, q)| (q.front().map_or(u64::MAX, |r| r.arrival_ns), **k))
             .map(|(k, _)| *k)?;
         Some(self.take(key))
+    }
+
+    /// Take the best dispatchable *session* batch at `now_ns`: the same
+    /// fill-or-age rule as [`pop_ready`](Self::pop_ready), over the
+    /// generation queues. Every member shares one capacity class and
+    /// padded prompt length — the card prefills them together, then
+    /// emits tokens step by step with the batch resident.
+    pub fn pop_session_ready(&mut self, now_ns: u64) -> Option<Batch> {
+        let full = self
+            .session_queues
+            .iter()
+            .filter(|(_, q)| q.len() >= self.policy.max_batch)
+            .min_by_key(|(k, q)| (q.front().map_or(u64::MAX, |r| r.arrival_ns), **k))
+            .map(|(k, _)| *k);
+        let key = full.or_else(|| {
+            self.session_queues
+                .iter()
+                .filter(|(_, q)| {
+                    q.front().is_some_and(|r| {
+                        now_ns >= r.arrival_ns.saturating_add(self.policy.max_wait_ns)
+                    })
+                })
+                .min_by_key(|(k, q)| (q.front().map_or(u64::MAX, |r| r.arrival_ns), **k))
+                .map(|(k, _)| *k)
+        })?;
+        Some(self.take_session(key))
+    }
+
+    /// Take the oldest pending session batch regardless of fill or age
+    /// (drain, or fail-everything when the fleet dies). `None` when no
+    /// generation request is queued.
+    pub fn pop_any_session(&mut self) -> Option<Batch> {
+        let key = self
+            .session_queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by_key(|(k, q)| (q.front().map_or(u64::MAX, |r| r.arrival_ns), **k))
+            .map(|(k, _)| *k)?;
+        Some(self.take_session(key))
+    }
+
+    /// Pop up to `slots` queued sessions compatible with a running
+    /// session batch (same class, same padded prompt bucket) — the
+    /// continuous-batching join: freed batch slots are refilled with
+    /// new prefills between token steps instead of waiting for the
+    /// whole batch to finish.
+    pub fn take_session_joiners(
+        &mut self,
+        class: CapacityClass,
+        padded_seq_len: usize,
+        slots: usize,
+    ) -> Vec<ServeRequest> {
+        if slots == 0 {
+            return Vec::new();
+        }
+        let key = BatchKey { class, padded_seq_len };
+        let Some(q) = self.session_queues.get_mut(&key) else { return Vec::new() };
+        let n = q.len().min(slots);
+        let joiners: Vec<ServeRequest> = q.drain(..n).collect();
+        if q.is_empty() {
+            self.session_queues.remove(&key);
+        }
+        self.pending -= joiners.len();
+        joiners
+    }
+
+    /// Generation requests currently queued (a subset of
+    /// [`pending`](Self::pending)).
+    #[must_use]
+    pub fn session_pending(&self) -> usize {
+        self.session_queues.values().map(VecDeque::len).sum()
     }
 
     /// Return a dispatched batch's requests to the **front** of their
@@ -382,8 +510,8 @@ impl BatchScheduler {
     /// rows (requests were validated at original admission, so none
     /// re-validates here).
     pub(crate) fn import_queues(&mut self, rows: Vec<(CapacityClass, usize, Vec<ServeRequest>)>) {
+        self.pending -= self.queues.values().map(VecDeque::len).sum::<usize>();
         self.queues.clear();
-        self.pending = 0;
         for (class, padded_seq_len, requests) in rows {
             if requests.is_empty() {
                 continue;
@@ -393,12 +521,50 @@ impl BatchScheduler {
         }
     }
 
+    /// Session-queue twin of [`export_queues`](Self::export_queues)
+    /// (serialized only into v4 snapshots).
+    pub(crate) fn export_session_queues(&self) -> Vec<(CapacityClass, usize, Vec<ServeRequest>)> {
+        self.session_queues
+            .iter()
+            .map(|(k, q)| (k.class, k.padded_seq_len, q.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Session-queue twin of [`import_queues`](Self::import_queues).
+    pub(crate) fn import_session_queues(
+        &mut self,
+        rows: Vec<(CapacityClass, usize, Vec<ServeRequest>)>,
+    ) {
+        self.pending -= self.session_queues.values().map(VecDeque::len).sum::<usize>();
+        self.session_queues.clear();
+        for (class, padded_seq_len, requests) in rows {
+            if requests.is_empty() {
+                continue;
+            }
+            self.pending += requests.len();
+            self.session_queues
+                .insert(BatchKey { class, padded_seq_len }, requests.into_iter().collect());
+        }
+    }
+
     fn take(&mut self, key: BatchKey) -> Batch {
         let q = self.queues.get_mut(&key).expect("key exists by construction");
         let n = q.len().min(self.policy.max_batch);
         let requests: Vec<ServeRequest> = q.drain(..n).collect();
         if q.is_empty() {
             self.queues.remove(&key);
+        }
+        self.pending -= requests.len();
+        let runtime = requests[0].runtime_at(key.padded_seq_len);
+        Batch { requests, runtime }
+    }
+
+    fn take_session(&mut self, key: BatchKey) -> Batch {
+        let q = self.session_queues.get_mut(&key).expect("key exists by construction");
+        let n = q.len().min(self.policy.max_batch);
+        let requests: Vec<ServeRequest> = q.drain(..n).collect();
+        if q.is_empty() {
+            self.session_queues.remove(&key);
         }
         self.pending -= requests.len();
         let runtime = requests[0].runtime_at(key.padded_seq_len);
@@ -625,6 +791,70 @@ mod tests {
         assert_eq!(s.pending(), 8);
         let front = s.pop_ready(u64::MAX).unwrap();
         assert_eq!(front.requests[0].id, 0, "requeued batch keeps its place at the head");
+    }
+
+    #[test]
+    fn decode_requests_form_their_own_session_queues() {
+        let mut s = sched();
+        s.push(ServeRequest { decode_steps: 4, ..req(0, 0, 12) }).unwrap();
+        s.push(req(1, 0, 12)).unwrap();
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.session_pending(), 1);
+        // One-shot pops never return sessions and vice versa.
+        let b = s.pop_ready(u64::MAX).unwrap();
+        assert_eq!(b.requests[0].id, 1);
+        assert!(s.pop_ready(u64::MAX).is_none());
+        let sb = s.pop_session_ready(u64::MAX).expect("session flushes after max_wait");
+        assert_eq!(sb.requests[0].id, 0);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn session_joiners_come_from_the_matching_bucket() {
+        let mut s = sched();
+        for i in 0..3 {
+            s.push(ServeRequest { decode_steps: 4, ..req(i, i, 12) }).unwrap();
+        }
+        s.push(ServeRequest { decode_steps: 4, ..req(9, 3, 40) }).unwrap(); // other bucket
+        let joiners = s.take_session_joiners(req(0, 0, 12).class(), 16, 2);
+        assert_eq!(joiners.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s.session_pending(), 2);
+        assert!(s.take_session_joiners(req(0, 0, 12).class(), 16, 0).is_empty());
+        // Wrong bucket matches nothing.
+        assert!(s.take_session_joiners(req(0, 0, 12).class(), 128, 4).is_empty());
+        let drained = s.pop_any_session().unwrap();
+        assert_eq!(drained.requests[0].id, 2);
+        assert_eq!(s.pop_any_session().unwrap().requests[0].id, 9);
+        assert!(s.pop_any_session().is_none());
+    }
+
+    #[test]
+    fn oversized_decode_steps_are_unservable_and_sessions_never_evict() {
+        let mut s = sched();
+        let huge = ServeRequest { decode_steps: 100_000, ..req(0, 0, 12) };
+        assert!(matches!(s.push(huge), Err(ServeError::Unservable { id: 0, .. })));
+        // A capped session queue bounces the newcomer even at higher
+        // priority — admitted sessions are never displaced.
+        let mut s = capped(2);
+        for i in 0..2 {
+            s.push(ServeRequest { decode_steps: 4, ..req(i, i, 12) }).unwrap();
+        }
+        let vip =
+            ServeRequest { decode_steps: 4, priority: Priority::Interactive, ..req(5, 5, 12) };
+        assert!(matches!(s.push(vip), Err(ServeError::Overloaded { id: 5, .. })));
+        assert!(s.evict_lower_priority(Priority::Interactive).is_none());
+        assert_eq!(s.session_pending(), 2);
+    }
+
+    #[test]
+    fn session_deadlines_expire_in_queue() {
+        let mut s = sched();
+        s.push(ServeRequest { decode_steps: 4, deadline_ns: Some(100), ..req(0, 0, 12) }).unwrap();
+        assert_eq!(s.next_request_deadline_ns(), Some(100));
+        assert_eq!(s.next_flush_deadline_ns(), Some(1_000));
+        let dead = s.take_expired(100);
+        assert_eq!(dead.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.pending(), 0);
     }
 
     #[test]

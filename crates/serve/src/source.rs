@@ -91,6 +91,15 @@ pub trait WorkloadSource {
     /// managed scheduling path, which cannot change mid-simulation.
     fn has_deadlines(&self) -> bool;
 
+    /// Whether any request this source will ever yield asks for
+    /// autoregressive decode steps. Like deadline presence, decided
+    /// before the run starts: generation always rides the managed
+    /// event-driven path (token emission is scheduled as fleet events).
+    /// Defaults to `false`, so every pre-generation source is unchanged.
+    fn has_decode(&self) -> bool {
+        false
+    }
+
     /// Capture the cursor.
     fn state(&self) -> SourceState;
 
@@ -134,6 +143,8 @@ pub struct PoissonSource {
     t_ns: u64,
     deadline_rel_ns: Option<u64>,
     tenants: u32,
+    decode_steps: u32,
+    token_deadline_rel_ns: Option<u64>,
 }
 
 impl PoissonSource {
@@ -164,6 +175,8 @@ impl PoissonSource {
             t_ns: 0,
             deadline_rel_ns: None,
             tenants: 0,
+            decode_steps: 0,
+            token_deadline_rel_ns: None,
         }
     }
 
@@ -181,6 +194,17 @@ impl PoissonSource {
     #[must_use]
     pub fn with_tenants(mut self, tenants: u32) -> Self {
         self.tenants = tenants;
+        self
+    }
+
+    /// Turn every generated request into a generation request emitting
+    /// `steps` tokens with an optional per-token deadline (the streaming
+    /// analogue of [`Workload::with_decode`]; `0` leaves the stream
+    /// one-shot).
+    #[must_use]
+    pub fn with_decode(mut self, steps: u32, token_deadline_ns: Option<u64>) -> Self {
+        self.decode_steps = steps;
+        self.token_deadline_rel_ns = if steps == 0 { None } else { token_deadline_ns };
         self
     }
 
@@ -217,12 +241,18 @@ impl WorkloadSource for PoissonSource {
             seq_len,
             deadline_ns: self.deadline_rel_ns.map(|rel| self.t_ns.saturating_add(rel)),
             tenant: if self.tenants == 0 { 0 } else { (id % u64::from(self.tenants)) as u32 },
+            decode_steps: self.decode_steps,
+            token_deadline_ns: self.token_deadline_rel_ns,
             ..ServeRequest::default()
         }))
     }
 
     fn has_deadlines(&self) -> bool {
         self.deadline_rel_ns.is_some()
+    }
+
+    fn has_decode(&self) -> bool {
+        self.decode_steps > 0
     }
 
     fn state(&self) -> SourceState {
@@ -263,6 +293,7 @@ pub struct JsonLinesSource {
     last_arrival_ns: u64,
     total: u64,
     deadlines: bool,
+    decode: bool,
 }
 
 impl JsonLinesSource {
@@ -278,6 +309,7 @@ impl JsonLinesSource {
         let mut line = String::new();
         let mut lineno = 0usize;
         let (mut total, mut deadlines, mut last_arrival) = (0u64, false, 0u64);
+        let mut decode = false;
         loop {
             line.clear();
             let n = reader
@@ -305,6 +337,7 @@ impl JsonLinesSource {
             }
             last_arrival = req.arrival_ns;
             deadlines |= req.deadline_ns.is_some();
+            decode |= req.is_decode();
             total += 1;
         }
         if total == 0 {
@@ -317,6 +350,7 @@ impl JsonLinesSource {
             last_arrival_ns: 0,
             total,
             deadlines,
+            decode,
         })
     }
 
@@ -386,6 +420,10 @@ impl WorkloadSource for JsonLinesSource {
         self.deadlines
     }
 
+    fn has_decode(&self) -> bool {
+        self.decode
+    }
+
     fn state(&self) -> SourceState {
         SourceState { words: vec![self.emitted, self.last_arrival_ns] }
     }
@@ -432,6 +470,7 @@ pub struct WorkloadStream<'a> {
     requests: &'a [ServeRequest],
     pos: usize,
     deadlines: bool,
+    decode: bool,
 }
 
 impl<'a> WorkloadStream<'a> {
@@ -443,6 +482,7 @@ impl<'a> WorkloadStream<'a> {
             requests: &workload.requests,
             pos: 0,
             deadlines: workload.requests.iter().any(|r| r.deadline_ns.is_some()),
+            decode: workload.requests.iter().any(ServeRequest::is_decode),
         }
     }
 }
@@ -462,6 +502,10 @@ impl WorkloadSource for WorkloadStream<'_> {
 
     fn has_deadlines(&self) -> bool {
         self.deadlines
+    }
+
+    fn has_decode(&self) -> bool {
+        self.decode
     }
 
     fn state(&self) -> SourceState {
@@ -501,6 +545,10 @@ impl WorkloadSource for Workload {
 
     fn has_deadlines(&self) -> bool {
         self.requests.iter().any(|r| r.deadline_ns.is_some())
+    }
+
+    fn has_decode(&self) -> bool {
+        self.requests.iter().any(ServeRequest::is_decode)
     }
 
     fn state(&self) -> SourceState {
@@ -716,6 +764,33 @@ mod tests {
         let eager = Workload::poisson(30, 10_000.0, &[(96, 4, 2)], (8, 16), 5).with_tenants(3);
         let mut lazy = PoissonSource::new(30, 10_000.0, &[(96, 4, 2)], (8, 16), 5).with_tenants(3);
         assert_eq!(drain(&mut lazy), eager.requests);
+    }
+
+    #[test]
+    fn poisson_decode_mirrors_the_eager_builder_and_flips_has_decode() {
+        let eager = Workload::poisson(20, 10_000.0, &[(96, 4, 2)], (8, 16), 5)
+            .with_decode(6, Some(400_000));
+        let mut lazy = PoissonSource::new(20, 10_000.0, &[(96, 4, 2)], (8, 16), 5)
+            .with_decode(6, Some(400_000));
+        assert!(lazy.has_decode());
+        assert_eq!(drain(&mut lazy), eager.requests);
+        let plain = PoissonSource::new(5, 10_000.0, &[(96, 4, 2)], (8, 16), 5);
+        assert!(!plain.has_decode(), "one-shot sources stay one-shot");
+    }
+
+    #[test]
+    fn json_lines_detects_decode_requests() {
+        let body = concat!(
+            "{ \"arrival_us\": 1, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8 }\n",
+            "{ \"arrival_us\": 2, \"d_model\": 96, \"heads\": 4, \"layers\": 2, \"seq_len\": 8, ",
+            "\"decode_steps\": 3 }\n",
+        );
+        let path = temp_trace("jsonl-decode.jsonl", body);
+        let mut src = JsonLinesSource::open(&path).unwrap();
+        assert!(src.has_decode());
+        let reqs = drain(&mut src);
+        assert_eq!((reqs[0].decode_steps, reqs[1].decode_steps), (0, 3));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

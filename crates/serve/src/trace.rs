@@ -17,9 +17,11 @@
 //!
 //! Each request may optionally carry `"deadline_us"` (absolute, from
 //! trace start), `"priority"` (`"best-effort"` | `"normal"` |
-//! `"interactive"`), and `"tenant"` (a non-negative tenant id); all
-//! default to the pre-overload behavior (no deadline, normal priority,
-//! tenant `0`).
+//! `"interactive"`), `"tenant"` (a non-negative tenant id),
+//! `"decode_steps"` (tokens to generate after the prefill), and
+//! `"token_deadline_us"` (per-token deadline, relative); all default to
+//! the pre-overload behavior (no deadline, normal priority, tenant `0`,
+//! one-shot encode).
 
 use crate::error::ServeError;
 use crate::request::{Priority, ServeRequest};
@@ -76,6 +78,12 @@ impl Workload {
             }
             if r.tenant != 0 {
                 extra.push_str(&format!(", \"tenant\": {}", r.tenant));
+            }
+            if r.decode_steps != 0 {
+                extra.push_str(&format!(", \"decode_steps\": {}", r.decode_steps));
+            }
+            if let Some(t) = r.token_deadline_ns {
+                extra.push_str(&format!(", \"token_deadline_us\": {}", t / 1_000));
             }
             out.push_str(&format!(
                 "  {{ \"arrival_us\": {}, \"d_model\": {}, \"heads\": {}, \"layers\": {}, \"seq_len\": {}{} }}{}\n",
@@ -169,6 +177,22 @@ impl Workload {
         self
     }
 
+    /// Turn every request into a generation request emitting `steps`
+    /// tokens after its prefill, with an optional per-token deadline
+    /// `token_deadline_ns` after the previous token (builder-style,
+    /// deterministic). `steps == 0` leaves the trace one-shot.
+    #[must_use]
+    pub fn with_decode(mut self, steps: u32, token_deadline_ns: Option<u64>) -> Self {
+        if steps == 0 {
+            return self;
+        }
+        for r in &mut self.requests {
+            r.decode_steps = steps;
+            r.token_deadline_ns = token_deadline_ns;
+        }
+        self
+    }
+
     /// Total trace span in seconds (first arrival is relative to zero).
     #[must_use]
     pub fn span_s(&self) -> f64 {
@@ -238,6 +262,19 @@ pub(crate) fn request_from_value(item: &json::Value, id: u64) -> Result<ServeReq
         }
         None => 0,
     };
+    let decode_steps = match opt_field("decode_steps") {
+        Some(v) => {
+            let raw = v.as_u64(0, "decode_steps")?;
+            u32::try_from(raw).map_err(|_| {
+                trace_err(0, format!("request {id}: decode_steps {raw} out of range"))
+            })?
+        }
+        None => 0,
+    };
+    let token_deadline_ns = match opt_field("token_deadline_us") {
+        Some(v) => Some(v.as_u64(0, "token_deadline_us")?.saturating_mul(1_000)),
+        None => None,
+    };
     Ok(ServeRequest {
         id,
         arrival_ns: field("arrival_us")?.saturating_mul(1_000),
@@ -248,6 +285,8 @@ pub(crate) fn request_from_value(item: &json::Value, id: u64) -> Result<ServeReq
         priority,
         deadline_ns,
         tenant,
+        decode_steps,
+        token_deadline_ns,
     })
 }
 
@@ -613,6 +652,39 @@ mod tests {
                  "seq_len": 8, "tenant": "gold" } ] }"#,
             r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
                  "seq_len": 8, "tenant": 4294967296 } ] }"#,
+        ] {
+            assert!(Workload::from_json(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn decode_fields_are_optional_round_trip_and_are_validated() {
+        let plain = r#"{ "requests": [
+            { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 8 }
+        ] }"#;
+        let r = Workload::from_json(plain).unwrap().requests[0];
+        assert_eq!((r.decode_steps, r.token_deadline_ns), (0, None));
+        let tagged = r#"{ "requests": [
+            { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2, "seq_len": 8,
+              "decode_steps": 6, "token_deadline_us": 250 }
+        ] }"#;
+        let r = Workload::from_json(tagged).unwrap().requests[0];
+        assert_eq!(r.decode_steps, 6);
+        assert_eq!(r.token_deadline_ns, Some(250_000));
+        let w =
+            Workload::poisson(5, 5_000.0, &[(96, 4, 2)], (8, 16), 3).with_decode(4, Some(300_000));
+        let back = Workload::from_json(&w.to_json()).unwrap();
+        for (a, b) in w.requests.iter().zip(&back.requests) {
+            assert_eq!(a.decode_steps, b.decode_steps);
+            assert_eq!(a.token_deadline_ns, b.token_deadline_ns);
+        }
+        for bad in [
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "decode_steps": "many" } ] }"#,
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "decode_steps": 4294967296 } ] }"#,
+            r#"{ "requests": [ { "arrival_us": 1, "d_model": 96, "heads": 4, "layers": 2,
+                 "seq_len": 8, "token_deadline_us": "soon" } ] }"#,
         ] {
             assert!(Workload::from_json(bad).is_err(), "{bad} must be rejected");
         }

@@ -134,6 +134,8 @@ fn brownout_sheds_lowest_classes_first_and_recovers_on_rejoin() {
         priority,
         deadline_ns: None,
         tenant: 0,
+        decode_steps: 0,
+        token_deadline_ns: None,
     };
     let requests = vec![
         mk(0, 2_000, Priority::BestEffort),

@@ -48,6 +48,8 @@ fn workload_of(arrivals: &[Arrival]) -> Workload {
             deadline_ns: a.deadline_rel_ns.map(|d| a.at_ns.saturating_add(d)),
             priority: a.priority,
             tenant: 0,
+            decode_steps: 0,
+            token_deadline_ns: None,
         })
         .collect();
     requests.sort_by_key(|r| (r.arrival_ns, r.id));

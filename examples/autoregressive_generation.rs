@@ -1,6 +1,6 @@
 //! Autoregressive generation with a KV cache: decode a sequence one
-//! position at a time on the simulated accelerator's timing model, with
-//! the functional path verified bit-exact against the full forward pass.
+//! position at a time through the phase-aware pipeline, with the
+//! functional path verified bit-exact against the full forward pass.
 //!
 //! This is the deployment profile a decoder actually runs in (the
 //! paper's future-work direction), and it exposes the structural truth
@@ -17,31 +17,48 @@ use protea::prelude::*;
 
 fn main() {
     let syn = SynthesisConfig::paper_default();
-    let accel =
+    let mut accel =
         Accelerator::try_new(syn, &FpgaDevice::alveo_u55c()).expect("design must fit the device");
 
     let cfg = EncoderConfig::new(256, 8, 2, 1);
     let dec = QuantizedDecoder::from_float(&DecoderWeights::random(cfg, 7), QuantSchedule::paper());
+    let packed = dec.pack();
 
     // Encoder memory for a 32-token source (stands in for an encoded
-    // sentence).
+    // sentence). The programmed seq_len is the source length the decode
+    // phases' cross-attention spans.
     let memory = Matrix::from_fn(32, 256, |r, c| (((r * 17 + c * 5) % 120) as i32 - 60) as i8);
+    accel
+        .program(RuntimeConfig { heads: 8, layers: 2, d_model: 256, seq_len: memory.rows() })
+        .expect("register write");
     let steps = 12usize;
 
-    // Generate step by step. The "next token" here is a deterministic
-    // function of the previous output row (greedy-decoding stand-in).
+    // Generate step by step through RunPlan::decode — one phase-aware
+    // pipeline call per token carries both the functional step (via the
+    // packed SIMD fast path) and its timing. The "next token" here is a
+    // deterministic function of the previous output row (greedy-decoding
+    // stand-in).
     let mut cache = DecoderKvCache::new(&dec, &memory);
     let mut row = Matrix::from_fn(1, 256, |_, c| ((c * 3) % 90) as i8);
     let mut rows: Vec<Matrix<i8>> = vec![row.clone()];
     let mut total_ms = 0.0;
     println!("step  kv_len  latency (ms)   cumulative (ms)");
     for pos in 0..steps {
-        let out = dec.decode_step(&mut cache, &row);
-        let t = accel.decode_step_timing(&dec, pos, memory.rows());
-        total_ms += t.latency_ms();
-        println!("{pos:>4}  {:>6}  {:>12.4}  {:>14.4}", pos + 1, t.latency_ms(), total_ms);
+        let plan = RunPlan::decode(pos, pos + 1, 1).with_session(DecodeSession {
+            decoder: &dec,
+            packed: Some(&packed),
+            cache: &mut cache,
+            x_row: &row,
+        });
+        let (outcome, _) = accel.execute(plan);
+        let out = outcome.expect("decode step runs");
+        // the pipeline's price is the legacy decode_step_timing, exactly
+        let shim = accel.decode_step_timing(&dec, pos, memory.rows());
+        assert_eq!(out.report.total, shim.total, "pipeline price diverged at step {pos}");
+        total_ms += out.latency_ms;
+        println!("{pos:>4}  {:>6}  {:>12.4}  {:>14.4}", pos + 1, out.latency_ms, total_ms);
         // feed the output back as the next input position
-        row = out.map(|v| v.saturating_add(1));
+        row = out.outputs[0].map(|v| v.saturating_add(1));
         rows.push(row.clone());
     }
 
@@ -55,8 +72,15 @@ fn main() {
     let mut replay_cache = DecoderKvCache::new(&dec, &memory);
     for r in 0..steps {
         let row_in = x_full.submatrix(r, 0, 1, 256);
-        let out = dec.decode_step(&mut replay_cache, &row_in);
-        assert_eq!(out.row(0), full.row(r), "step {r} diverged from full forward");
+        let plan = RunPlan::decode(r, r + 1, 1).with_session(DecodeSession {
+            decoder: &dec,
+            packed: None, // scalar path this time: both must agree
+            cache: &mut replay_cache,
+            x_row: &row_in,
+        });
+        let (outcome, _) = accel.execute(plan);
+        let out = outcome.expect("replay step runs");
+        assert_eq!(out.outputs[0].row(0), full.row(r), "step {r} diverged from full forward");
     }
     println!("\n✓ {steps} incremental steps are bit-identical to the full forward pass");
 

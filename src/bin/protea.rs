@@ -6,9 +6,18 @@
 //!                  [--trace exec.json]
 //! protea fit       [--device zcu102] [--d 256] [--heads 2] [--layers 2] [--sl 64]
 //! protea sweep     [--device u55c]
+//! protea generate  [--device u55c] [--d 256] [--heads 8] [--layers 2]
+//!                  [--src-len 32] [--steps 12] [--seed 7] [--kv-capacity 0]
+//!                  (autoregressive decode with a resident KV cache; a
+//!                  nonzero --kv-capacity bounds the cache and a
+//!                  generation that outgrows it exits 11)
 //! protea serve-sim [--cards 2] [--arrival-rate 50000] [--trace workload.json]
 //!                  [--requests 64] [--d 96] [--heads 4] [--layers 2]
 //!                  [--sl-min 8] [--sl-max 64] [--max-batch 8] [--seed 42]
+//!                  [--decode-steps 0] [--token-deadline-us 0] [--prefill-len 0]
+//!                  (a nonzero --decode-steps turns every request into a
+//!                  generation session served by continuous batching; a
+//!                  nonzero --prefill-len pins every prompt to that length)
 //!                  [--emit-trace out.json] [--exec-trace exec.json]
 //!                  [--metrics exact|sketch] [--snapshot-every N]
 //!                  [--snapshot-out snap.txt] [--resume snap.txt]
@@ -42,7 +51,10 @@
 //! integrity failure: the `--resume` file's header or seal is wrong,
 //! so the snapshot is untrusted input and must be discarded, 10 =
 //! data-integrity failure: a weight image's sealed digest no longer
-//! verifies, so results from that card cannot be trusted).
+//! verifies, so results from that card cannot be trusted, 11 = KV
+//! cache capacity exhausted: the generation outgrew the residency it
+//! was admitted with, so this generation must end — not retry
+//! elsewhere).
 
 use protea::prelude::*;
 use std::collections::HashMap;
@@ -146,12 +158,18 @@ fn workload_of(flags: &HashMap<String, String>) -> Result<EncoderConfig, String>
 }
 
 /// Assemble the serving workload shared by `serve-sim` and `chaos-sim`.
+/// A nonzero `--decode-steps` stamps every request as a generation
+/// session (optionally with a `--token-deadline-us` per-token SLO);
+/// `--prefill-len` pins every synthesized prompt to one length so
+/// sessions share a bucket and join each other's decode batches.
 fn serving_workload(flags: &HashMap<String, String>) -> Result<Workload, CliError> {
-    match flags.get("trace") {
+    let decode_steps = flag(flags, "decode-steps", 0u32)?;
+    let token_deadline_us = flag(flags, "token-deadline-us", 0u64)?;
+    let workload = match flags.get("trace") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
-            Ok(Workload::from_json(&text)?)
+            Workload::from_json(&text)?
         }
         None => {
             let n = flag(flags, "requests", 64usize)?;
@@ -159,14 +177,24 @@ fn serving_workload(flags: &HashMap<String, String>) -> Result<Workload, CliErro
             let d = flag(flags, "d", 96usize)?;
             let h = flag(flags, "heads", 4usize)?;
             let l = flag(flags, "layers", 2usize)?;
-            let sl_min = flag(flags, "sl-min", 8usize)?;
-            let sl_max = flag(flags, "sl-max", 64usize)?;
+            let prefill_len = flag(flags, "prefill-len", 0usize)?;
+            let (sl_min, sl_max) = if prefill_len > 0 {
+                (prefill_len, prefill_len)
+            } else {
+                (flag(flags, "sl-min", 8usize)?, flag(flags, "sl-max", 64usize)?)
+            };
             let seed = flag(flags, "seed", 42u64)?;
             if rate.is_nan() || rate <= 0.0 {
                 return Err("--arrival-rate must be positive".into());
             }
-            Ok(Workload::poisson(n, rate, &[(d, h, l)], (sl_min, sl_max), seed))
+            Workload::poisson(n, rate, &[(d, h, l)], (sl_min, sl_max), seed)
         }
+    };
+    if decode_steps > 0 {
+        let deadline = (token_deadline_us > 0).then_some(token_deadline_us * 1_000);
+        Ok(workload.with_decode(decode_steps, deadline))
+    } else {
+        Ok(workload)
     }
 }
 
@@ -341,6 +369,85 @@ fn elastic_flags(
     Ok((cards, roster, placement, churn, tenants, brownout))
 }
 
+/// Autoregressive generation on one accelerator: prefill nothing,
+/// decode `--steps` tokens through the phase-aware pipeline with the
+/// KV cache resident, and report the per-step latency curve plus the
+/// effective tokens/s. A nonzero `--kv-capacity` bounds the cache, so
+/// a generation that outgrows its residency surfaces the typed
+/// [`CoreError::KvCapacity`] and exits 11 — the session must end, not
+/// retry elsewhere.
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use protea::model::decoder::{DecoderKvCache, DecoderWeights, QuantizedDecoder};
+
+    let device = device_of(flags)?;
+    let d = flag(flags, "d", 256usize)?;
+    let heads = flag(flags, "heads", 8usize)?;
+    let layers = flag(flags, "layers", 2usize)?;
+    let src_len = flag(flags, "src-len", 32usize)?;
+    let steps = flag(flags, "steps", 12usize)?;
+    let seed = flag(flags, "seed", 7u64)?;
+    let kv_capacity = flag(flags, "kv-capacity", 0usize)?;
+    if d == 0 || heads == 0 || layers == 0 || src_len == 0 || steps == 0 || d % heads != 0 {
+        return Err(format!(
+            "invalid generation: d={d} heads={heads} layers={layers} src-len={src_len} \
+             steps={steps}"
+        )
+        .into());
+    }
+
+    let syn = SynthesisConfig::paper_default();
+    let mut accel = Accelerator::try_new(syn, &device)?;
+    let cfg = EncoderConfig::new(d, heads, layers, 1);
+    let dec =
+        QuantizedDecoder::from_float(&DecoderWeights::random(cfg, seed), QuantSchedule::paper());
+    let packed = dec.pack();
+    let memory = Matrix::from_fn(src_len, d, |r, c| {
+        ((seed as usize + r * 17 + c * 5) % 120) as i32 as i8 - 60
+    });
+    accel
+        .program(RuntimeConfig { heads, layers, d_model: d, seq_len: src_len })
+        .map_err(CoreError::from)?;
+
+    let mut cache = if kv_capacity > 0 {
+        DecoderKvCache::bounded(&dec, &memory, kv_capacity)
+    } else {
+        DecoderKvCache::new(&dec, &memory)
+    };
+    let mut row = Matrix::from_fn(1, d, |_, c| ((c * 3 + seed as usize) % 90) as i8);
+    let mut total_ms = 0.0;
+    println!(
+        "generate: d={d} heads={heads} layers={layers} src-len={src_len} steps={steps} \
+         on {} (seed {seed}{})",
+        device.name,
+        if kv_capacity > 0 {
+            format!(", KV capacity {kv_capacity} positions")
+        } else {
+            String::new()
+        }
+    );
+    println!("step  kv_len  latency (ms)   cumulative (ms)");
+    for pos in 0..steps {
+        let plan = RunPlan::decode(pos, pos + 1, 1).with_session(DecodeSession {
+            decoder: &dec,
+            packed: Some(&packed),
+            cache: &mut cache,
+            x_row: &row,
+        });
+        let (outcome, _) = accel.execute(plan);
+        let out = outcome?;
+        total_ms += out.latency_ms;
+        println!("{pos:>4}  {:>6}  {:>12.4}  {:>14.4}", pos + 1, out.latency_ms, total_ms);
+        row = out.outputs[0].map(|v| v.saturating_add(1));
+    }
+    println!(
+        "\n{steps} tokens in {total_ms:.3} ms — {:.1} tokens/s single-stream \
+         (every step streams every weight tile: generation is bandwidth-bound, \
+         so serve-sim's continuous batching is where tokens/s scales)",
+        steps as f64 / (total_ms / 1e3)
+    );
+    Ok(())
+}
+
 fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let device = device_of(flags)?;
     let cards = flag(flags, "cards", 2usize)?;
@@ -449,6 +556,12 @@ fn cmd_serve_sim(flags: &HashMap<String, String>) -> Result<(), CliError> {
     println!("{report}");
     if let Some(hash) = outcome.state_hash {
         println!("final state hash: {hash:016x}");
+    }
+    // The serial baseline has no token loop, so generation workloads
+    // skip the comparison instead of tripping its typed rejection.
+    if workload.requests.iter().any(ServeRequest::is_decode) {
+        println!("serial 1-card baseline: skipped (generation needs the batched fleet)");
+        return Ok(());
     }
     let serial = fleet.run(ServePlan::workload(&workload).serial_baseline())?.report;
     println!(
@@ -639,7 +752,7 @@ fn cmd_kernels(_flags: &HashMap<String, String>) -> Result<(), CliError> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: protea <synth|run|fit|sweep|serve-sim|chaos-sim|overload-sim|kernels> [--flag value]...\n  see source header for flags";
+    let usage = "usage: protea <synth|run|fit|sweep|generate|serve-sim|chaos-sim|overload-sim|kernels> [--flag value]...\n  see source header for flags";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -651,6 +764,7 @@ fn main() -> ExitCode {
             "run" => cmd_run(&flags),
             "fit" => cmd_fit(&flags),
             "sweep" => cmd_sweep(&flags),
+            "generate" => cmd_generate(&flags),
             "serve-sim" => cmd_serve_sim(&flags),
             "chaos-sim" => cmd_chaos_sim(&flags),
             "overload-sim" => cmd_overload_sim(&flags),

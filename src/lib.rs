@@ -99,9 +99,10 @@ pub use protea_tensor as tensor;
 pub mod prelude {
     pub use protea_baselines::{NativeCpuEngine, PowerModel};
     pub use protea_core::{
-        Accelerator, CoreError, CycleReport, Driver, FaultEvent, FaultKind, FaultPlan, FaultRates,
-        FaultStats, PlanKey, RetryPolicy, RunOutcome, RunPlan, RunResult, RuntimeConfig,
-        SparseMode, SynthesisConfig, SynthesisConfigBuilder, TimingPreset, Watchdog,
+        Accelerator, CoreError, CycleReport, DecodeSession, Driver, FaultEvent, FaultKind,
+        FaultPlan, FaultRates, FaultStats, Phase, PlanKey, RetryPolicy, RunOutcome, RunPlan,
+        RunResult, RuntimeConfig, SparseMode, SynthesisConfig, SynthesisConfigBuilder,
+        TimingPreset, Watchdog,
     };
     pub use protea_fixed::{QFormat, Quantizer, Rounding};
     pub use protea_hwsim::{ExecSpan, ExecTrace, SpanKind};
